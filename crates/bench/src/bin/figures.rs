@@ -1,0 +1,160 @@
+//! Regenerate every table and figure of the DeNova paper.
+//!
+//! ```text
+//! cargo run --release -p denova-bench --bin figures             # everything, laptop scale
+//! cargo run --release -p denova-bench --bin figures -- fig8     # one experiment
+//! cargo run --release -p denova-bench --bin figures -- --smoke  # CI-fast
+//! cargo run --release -p denova-bench --bin figures -- --full   # paper-sized workloads
+//! ```
+//!
+//! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
+//! crash ablation endurance`. Pass `--json <path>` to also dump every
+//! result as machine-readable JSON (for plotting or diffing runs).
+
+use denova_bench::*;
+
+fn main() {
+    std::panic::set_hook(Box::new(|info| {
+        // Simulated crashes (crash experiment) unwind with panics; only
+        // print real ones.
+        if info.payload().downcast_ref::<denova_pmem::SimulatedCrash>().is_none() {
+            eprintln!("panic: {info}");
+        }
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_scale();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--full" => scale = Scale::paper_scale(),
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let all = [
+        "table1", "fig2", "model", "table4", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "space", "crash", "ablation", "endurance", "recovery",
+    ];
+    let run_all = wanted.is_empty();
+    let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
+    for w in &wanted {
+        if !all.contains(&w.as_str()) {
+            eprintln!("unknown experiment '{w}'; known: {all:?}");
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "# DeNova paper reproduction — {} scale ({} small files, {} large files)",
+        if scale.small_files >= 1_000_000 {
+            "paper"
+        } else if scale.small_files <= 300 {
+            "smoke"
+        } else {
+            "default"
+        },
+        scale.small_files,
+        scale.large_files
+    );
+    println!("# host: {} CPUs", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    let mut json = serde_json::Map::new();
+    if want("table1") {
+        let rows = table1::run();
+        println!("{}", table1::render(&rows));
+        json.insert("table1".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if want("fig2") {
+        let sizes = [4096, 16384, 65536, 262144, 1048576];
+        let rows = model::fig2(&sizes, 20);
+        println!("{}", model::render_fig2(&rows));
+        json.insert("fig2".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if want("model") {
+        let terms = model::measure_terms(200);
+        println!("{}", model::render_model(&terms));
+        json.insert("model".into(), serde_json::to_value(&terms).unwrap());
+    }
+    if want("table4") {
+        let rows = table4::run(
+            (scale.small_files / 4).max(50),
+            (scale.large_files / 2).max(10),
+        );
+        println!("{}", table4::render(&rows));
+        json.insert("table4".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if want("fig8") {
+        let res = fig8::run(&scale);
+        println!("{}", fig8::render(&res));
+        json.insert("fig8".into(), serde_json::to_value(&res).unwrap());
+    }
+    if want("fig9") {
+        let res = fig9::run(&scale);
+        println!("{}", fig9::render(&res, &scale));
+        json.insert("fig9".into(), serde_json::to_value(&res).unwrap());
+    }
+    if want("fig10") {
+        let res = fig10::run(&scale);
+        println!("{}", fig10::render(&res));
+        json.insert("fig10".into(), serde_json::to_value(&res).unwrap());
+    }
+    if want("fig11") {
+        let res = fig11::run(&scale);
+        println!("{}", fig11::render(&res));
+        json.insert("fig11".into(), serde_json::to_value(&res).unwrap());
+    }
+    if want("fig12") {
+        let res = fig12::run(&scale);
+        println!("{}", fig12::render(&res));
+        json.insert("fig12".into(), serde_json::to_value(&res).unwrap());
+    }
+    if want("space") {
+        let geo = space::geometry();
+        let sav = space::savings((scale.small_files / 4).max(100));
+        println!("{}", space::render(&geo, &sav));
+        json.insert("fact_geometry".into(), serde_json::to_value(&geo).unwrap());
+        json.insert("savings".into(), serde_json::to_value(&sav).unwrap());
+    }
+    if want("endurance") {
+        let rows = endurance::run((scale.small_files / 2).max(200), 0.5);
+        println!("{}", endurance::render(&rows));
+        json.insert("endurance".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if want("recovery") {
+        let counts = [
+            scale.small_files / 8,
+            scale.small_files / 2,
+            scale.small_files,
+        ];
+        let rows = recovery_time::run(&counts);
+        println!("{}", recovery_time::render(&rows));
+        json.insert("recovery_time".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if want("crash") {
+        let rows = crashes::run();
+        println!("{}", crashes::render(&rows));
+        json.insert("crash_matrix".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if want("ablation") {
+        let r = ablation::reorder(12, 200);
+        let d = ablation::delete_ptr(200);
+        let e = ablation::entry_size(1000);
+        println!("{}", ablation::render(&r, &d, &e));
+        json.insert("ablation_reorder".into(), serde_json::to_value(&r).unwrap());
+        json.insert("ablation_delete_ptr".into(), serde_json::to_value(&d).unwrap());
+        json.insert("ablation_entry_size".into(), serde_json::to_value(&e).unwrap());
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("# JSON results written to {path}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Fig. 10 — CDF of DWQ node lingering time (enqueue → dequeue) under
+//! DeNova-Immediate and three DeNova-Delayed(n, m) settings.
+//!
+//! The paper writes 250,000 × 4 KB files and shows (i) a stair-step CDF for
+//! the Delayed variants (nodes drain in periodic batches) and (ii) the p90
+//! lingering time growing by ~21× as n rises from 0 to 250 ms. Longer
+//! lingering = a longer DWQ = more DRAM held by queued nodes, which is why
+//! the paper concludes Immediate is the best choice.
+//!
+//! The paper's `(n, m)` values are used verbatim even at reduced scale:
+//! `m/n` is the drain rate and must stay above the 0.2 ms-cycle arrival
+//! rate, exactly as in the paper's runs (scaling `m` down would push the
+//! queue into a backlogged regime the paper never measured).
+
+use crate::report;
+use crate::Scale;
+use denova::DedupMode;
+use denova_workload::{cdf_points, percentile, run_write_job, JobSpec, ThinkTime};
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Fig10Series {
+    /// Paper-style label, e.g. "DeNova-delayed(250,2000)".
+    pub label: String,
+    /// The `lingering_ns` value.
+    pub lingering_ns: Vec<u64>,
+    /// Peak DWQ length observed (proxy for the paper's DRAM-overhead
+    /// argument: a longer queue holds more DRAM).
+    pub peak_queue: usize,
+}
+
+impl Fig10Series {
+    /// `p90_ms` accessor.
+    pub fn p90_ms(&self) -> f64 {
+        percentile(&self.lingering_ns, 90.0) as f64 / 1e6
+    }
+
+    /// `cdf` accessor.
+    pub fn cdf(&self, points: usize) -> Vec<(u64, f64)> {
+        cdf_points(&self.lingering_ns, points)
+    }
+}
+
+/// The paper's four Fig. 10 variants.
+fn variants() -> Vec<(String, DedupMode)> {
+    let scale_m = |m: usize| m;
+    vec![
+        ("DeNova-Immediate".to_string(), DedupMode::Immediate),
+        (
+            "DeNova-delayed(250,2000)".to_string(),
+            DedupMode::Delayed {
+                interval_ms: 250,
+                batch: scale_m(2000),
+            },
+        ),
+        (
+            "DeNova-delayed(500,10000)".to_string(),
+            DedupMode::Delayed {
+                interval_ms: 500,
+                batch: scale_m(10000),
+            },
+        ),
+        (
+            "DeNova-delayed(750,20000)".to_string(),
+            DedupMode::Delayed {
+                interval_ms: 750,
+                batch: scale_m(20000),
+            },
+        ),
+    ]
+}
+
+/// `run` accessor.
+pub fn run(scale: &Scale) -> Vec<Fig10Series> {
+    variants()
+        .into_iter()
+        .map(|(label, mode)| {
+            let spec = JobSpec::small_files(scale.lingering_files, 0.5)
+                .with_think(ThinkTime::paper_cycle());
+            let fs = crate::mount(
+                mode,
+                crate::device_bytes_for(spec.total_bytes() as usize),
+                spec.file_count,
+            );
+            // Sample the queue length while the job runs.
+            let peak = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let sampler = {
+                let fs = fs.clone();
+                let peak = peak.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        peak.fetch_max(fs.dwq().len(), std::sync::atomic::Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                })
+            };
+            run_write_job(&fs, &spec).expect("job failed");
+            fs.drain();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            sampler.join().unwrap();
+            Fig10Series {
+                label,
+                lingering_ns: fs.stats().lingering_ns(),
+                peak_queue: peak.load(std::sync::atomic::Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+/// `render` accessor.
+pub fn render(series: &[Fig10Series]) -> String {
+    let mut rows = Vec::new();
+    for s in series {
+        let l = &s.lingering_ns;
+        rows.push(vec![
+            s.label.clone(),
+            report::ms(percentile(l, 50.0)),
+            report::ms(percentile(l, 90.0)),
+            report::ms(percentile(l, 99.0)),
+            report::ms(l.iter().copied().max().unwrap_or(0)),
+            s.peak_queue.to_string(),
+        ]);
+    }
+    let mut out = report::table(
+        "Fig. 10 — DWQ lingering time (ms) and peak queue length",
+        &["Variant", "p50", "p90", "p99", "max", "peak DWQ len"],
+        &rows,
+    );
+    // Plus the CDF series themselves, 10 points each, for plotting.
+    for s in series {
+        out.push_str(&format!("\nCDF {}:", s.label));
+        for (v, f) in s.cdf(10) {
+            out.push_str(&format!(" ({:.1}ms, {:.0}%)", v as f64 / 1e6, f * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lingering_grows_with_trigger_interval() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let scale = Scale::smoke();
+            let series = run(&scale);
+            assert_eq!(series.len(), 4);
+            let p90: Vec<f64> = series.iter().map(|s| s.p90_ms()).collect();
+            // Immediate is far below every Delayed variant...
+            assert!(
+                p90[0] * 5.0 < p90[3],
+                "immediate p90 {} vs delayed(750) p90 {}",
+                p90[0],
+                p90[3]
+            );
+            // ...and the largest n yields the largest p90 among the delayed
+            // variants (monotone in n for the paper's settings).
+            assert!(p90[3] >= p90[1], "p90(750) {} < p90(250) {}", p90[3], p90[1]);
+        });
+    }
+
+    #[test]
+    fn delayed_queue_grows_longer_than_immediate() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let scale = Scale::smoke();
+            let series = run(&scale);
+            assert!(
+                series[3].peak_queue > series[0].peak_queue,
+                "delayed peak {} vs immediate peak {}",
+                series[3].peak_queue,
+                series[0].peak_queue
+            );
+        });
+    }
+}

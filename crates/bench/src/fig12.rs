@@ -1,0 +1,151 @@
+//! Fig. 12 — read throughput on duplicate files.
+//!
+//! Two identical files A and B are fully deduplicated (every page shared).
+//! A reader thread measures B's throughput while (a) another thread reads A
+//! (read-only) or (b) another thread overwrites A (read-write mixed). The
+//! paper finds **no** degradation versus baseline NOVA in either case: FACT
+//! is not on the read path, and CoW isolates readers from writers.
+
+use crate::report;
+use crate::Scale;
+use denova::{DedupMode, Denova};
+use denova_workload::run_read_job;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Fig12Cell {
+    /// The `mode` value.
+    pub mode: String,
+    /// The `scenario` value.
+    pub scenario: &'static str,
+    /// Throughput of the thread reading file B.
+    pub read_mbs: f64,
+}
+
+fn setup(mode: DedupMode, bytes: usize) -> Arc<Denova> {
+    let fs = crate::mount(mode, crate::device_bytes_for(bytes * 3), 8);
+    // Two byte-identical files.
+    let content: Vec<u8> = (0..bytes).map(|i| (i * 31 % 255) as u8).collect();
+    for name in ["A", "B"] {
+        let ino = fs.create(name).unwrap();
+        fs.write(ino, 0, &content).unwrap();
+    }
+    // "We gave plenty of time in DENOVA-Immediate for the DD to finish the
+    // entire deduplication process."
+    fs.drain();
+    fs
+}
+
+/// `run` accessor.
+pub fn run(scale: &Scale) -> Vec<Fig12Cell> {
+    let bytes = scale.read_file_bytes;
+    let mut out = Vec::new();
+    for mode in [DedupMode::Baseline, DedupMode::Immediate] {
+        // Read-only: two threads read A and B; report B's throughput.
+        {
+            let fs = setup(mode, bytes);
+            let fa = fs.clone();
+            let ta = std::thread::spawn(move || run_read_job(&fa, "A", 64 * 1024).unwrap());
+            let rb = run_read_job(&fs, "B", 64 * 1024).unwrap();
+            ta.join().unwrap();
+            out.push(Fig12Cell {
+                mode: mode.to_string(),
+                scenario: "read-only (A+B readers)",
+                read_mbs: rb.throughput_mbs(),
+            });
+        }
+        // Mixed: one thread overwrites A while B is read.
+        {
+            let fs = setup(mode, bytes);
+            let fa = fs.clone();
+            let bytes_a = bytes;
+            let tw = std::thread::spawn(move || {
+                let ino = fa.open("A").unwrap();
+                let chunk = vec![0xA5u8; 128 * 1024];
+                let mut off = 0u64;
+                while (off as usize) < bytes_a {
+                    fa.write(ino, off, &chunk).unwrap();
+                    off += chunk.len() as u64;
+                }
+            });
+            let rb = run_read_job(&fs, "B", 64 * 1024).unwrap();
+            tw.join().unwrap();
+            fs.drain();
+            out.push(Fig12Cell {
+                mode: mode.to_string(),
+                scenario: "mixed (A writer + B reader)",
+                read_mbs: rb.throughput_mbs(),
+            });
+        }
+    }
+    out
+}
+
+/// `render` accessor.
+pub fn render(cells: &[Fig12Cell]) -> String {
+    report::table(
+        "Fig. 12 — read throughput of file B on fully-deduplicated duplicate files",
+        &["Scenario", "Variant", "B read throughput (MB/s)"],
+        &cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.scenario.to_string(),
+                    c.mode.clone(),
+                    report::mbs(c.read_mbs),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_pages_do_not_slow_reads() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let scale = Scale::smoke();
+            let cells = run(&scale);
+            let single_core = std::thread::available_parallelism()
+                .map(|n| n.get() == 1)
+                .unwrap_or(false);
+            for scenario in ["read-only (A+B readers)", "mixed (A writer + B reader)"] {
+                if single_core && scenario.starts_with("mixed") {
+                    // On a single-core host the Immediate daemon time-slices
+                    // against the reader — pure CPU contention, not the
+                    // FACT-on-read-path effect the paper measures (their testbed
+                    // has 40 cores). The read-only comparison above still holds.
+                    continue;
+                }
+                let base = cells
+                    .iter()
+                    .find(|c| c.scenario == scenario && c.mode == "Baseline NOVA")
+                    .unwrap();
+                let dn = cells
+                    .iter()
+                    .find(|c| c.scenario == scenario && c.mode == "DeNova-Immediate")
+                    .unwrap();
+                // "The results show no difference": allow generous noise but
+                // require the same ballpark.
+                assert!(
+                    dn.read_mbs > base.read_mbs * 0.5,
+                    "{scenario}: denova {} vs baseline {}",
+                    dn.read_mbs,
+                    base.read_mbs
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn dedup_actually_shared_the_files() {
+        let _serial = crate::timing_test_lock();
+        // Sanity: the fig12 setup really deduplicates A against B.
+        let fs = setup(DedupMode::Immediate, 1024 * 1024);
+        assert!(fs.bytes_saved() >= 1024 * 1024);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fig. 8 — write throughput vs duplicate ratio for the four variants, on
+//! the small-file (4 KB) and large-file (128 KB) workloads.
+//!
+//! The paper's result: DeNova-Inline loses > 50 % (small files) / > 80 %
+//! (large files) to baseline NOVA at *every* duplicate ratio, while
+//! DeNova-Immediate and DeNova-Delayed stay within 1 % of baseline.
+
+use crate::report;
+use crate::Scale;
+use denova_workload::{run_write_job, JobSpec, ThinkTime};
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Fig8Cell {
+    /// The `mode` value.
+    pub mode: String,
+    /// The `dup_pct` value.
+    pub dup_pct: u32,
+    /// The `mbs` value.
+    pub mbs: f64,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Fig8Result {
+    /// The `workload` value.
+    pub workload: &'static str,
+    /// The `cells` value.
+    pub cells: Vec<Fig8Cell>,
+}
+
+impl Fig8Result {
+    /// Throughput of `mode` at `dup_pct`.
+    pub fn get(&self, mode: &str, dup_pct: u32) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.mode == mode && c.dup_pct == dup_pct)
+            .map(|c| c.mbs)
+    }
+
+    /// Throughput relative to Baseline NOVA at the same ratio.
+    pub fn relative_to_baseline(&self, mode: &str, dup_pct: u32) -> Option<f64> {
+        Some(self.get(mode, dup_pct)? / self.get("Baseline NOVA", dup_pct)?)
+    }
+}
+
+fn job_for(workload: &str, scale: &Scale, dup_pct: u32, think: bool) -> JobSpec {
+    let spec = match workload {
+        "small" => JobSpec::small_files(scale.small_files, dup_pct as f64 / 100.0),
+        _ => JobSpec::large_files(scale.large_files, dup_pct as f64 / 100.0),
+    };
+    if think {
+        spec.with_think(ThinkTime::paper_cycle())
+    } else {
+        spec
+    }
+}
+
+/// Run one workload family over the duplicate-ratio sweep.
+pub fn run_workload(
+    workload: &'static str,
+    scale: &Scale,
+    dup_ratios: &[u32],
+    think: bool,
+) -> Fig8Result {
+    let mut cells = Vec::new();
+    for &dup in dup_ratios {
+        let spec = job_for(workload, scale, dup, think);
+        for mode in crate::paper_modes() {
+            let fs = crate::mount(
+                mode,
+                crate::device_bytes_for(spec.total_bytes() as usize),
+                spec.file_count,
+            );
+            let report = run_write_job(&fs, &spec).expect("job failed");
+            cells.push(Fig8Cell {
+                mode: mode.to_string(),
+                dup_pct: dup,
+                mbs: report.throughput_mbs(),
+            });
+            fs.drain();
+        }
+    }
+    Fig8Result { workload, cells }
+}
+
+/// The full figure: both workloads, ratios 0–100 %.
+pub fn run(scale: &Scale) -> Vec<Fig8Result> {
+    let ratios = [0, 25, 50, 75, 100];
+    vec![
+        run_workload("small", scale, &ratios, true),
+        run_workload("large", scale, &ratios, true),
+    ]
+}
+
+/// `render` accessor.
+pub fn render(results: &[Fig8Result]) -> String {
+    let mut out = String::new();
+    for res in results {
+        let modes: Vec<String> = {
+            let mut m: Vec<String> = Vec::new();
+            for c in &res.cells {
+                if !m.contains(&c.mode) {
+                    m.push(c.mode.clone());
+                }
+            }
+            m
+        };
+        let ratios: Vec<u32> = {
+            let mut r: Vec<u32> = res.cells.iter().map(|c| c.dup_pct).collect();
+            r.sort();
+            r.dedup();
+            r
+        };
+        let mut rows = Vec::new();
+        for mode in &modes {
+            let mut row = vec![mode.clone()];
+            for &dup in &ratios {
+                row.push(report::mbs(res.get(mode, dup).unwrap_or(0.0)));
+            }
+            if mode != "Baseline NOVA" {
+                let rel = res.relative_to_baseline(mode, 50).unwrap_or(0.0);
+                row.push(format!("{:.1}% of baseline @50%", rel * 100.0));
+            } else {
+                row.push(String::new());
+            }
+            rows.push(row);
+        }
+        let mut header = vec!["Variant".to_string()];
+        header.extend(ratios.iter().map(|r| format!("{r}% dup (MB/s)")));
+        header.push("vs baseline".to_string());
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        out.push_str(&report::table(
+            &format!(
+                "Fig. 8 — write throughput vs duplicate ratio ({} files)",
+                res.workload
+            ),
+            &header_refs,
+            &rows,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_loses_big_offline_stays_close() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        // The paper's Fig. 8 shape at a single ratio, smoke scale, with the
+            // paper's think-time cycle (which is what gives the background
+            // daemon its CPU share — essential on small-core hosts).
+            let scale = Scale::smoke();
+            let res = run_workload("small", &scale, &[50], true);
+            let inline = res.relative_to_baseline("DeNova-Inline", 50).unwrap();
+            let immediate = res.relative_to_baseline("DeNova-Immediate", 50).unwrap();
+            assert!(
+                inline < 0.75,
+                "inline should lose substantially to baseline, got {inline}"
+            );
+            // On the paper's 40-core testbed immediate is within 1% of
+            // baseline; on a shared small-core host the daemon steals writer
+            // cycles, so the bound here is looser. The figures harness reports
+            // the actual margins.
+            assert!(
+                immediate > 0.60,
+                "immediate should stay near baseline, got {immediate}"
+            );
+            assert!(immediate > inline + 0.1, "immediate {immediate} vs inline {inline}");
+            // Eq. 4/5: the adaptive scheme beats plain inline (weak FPs are
+            // cheap) but still cannot reach baseline.
+            let adaptive = res.relative_to_baseline("NV-Dedup-Adaptive", 50).unwrap();
+            assert!(
+                adaptive < 0.97,
+                "adaptive must stay below baseline, got {adaptive}"
+            );
+            assert!(
+                adaptive > inline,
+                "adaptive {adaptive} should beat plain inline {inline}"
+            );
+        });
+    }
+
+    #[test]
+    fn large_files_punish_inline_harder() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let scale = Scale::smoke();
+            let small = run_workload("small", &scale, &[50], true);
+            let large = run_workload("large", &scale, &[50], true);
+            let small_inline = small.relative_to_baseline("DeNova-Inline", 50).unwrap();
+            let large_inline = large.relative_to_baseline("DeNova-Inline", 50).unwrap();
+            assert!(
+                large_inline < small_inline + 0.05,
+                "large-file inline ({large_inline}) should fare no better than small ({small_inline})"
+            );
+        });
+    }
+}

@@ -1,0 +1,139 @@
+//! Fig. 9 — write throughput vs number of threads, duplicate ratio fixed at
+//! 50 %.
+//!
+//! The paper's observations: (i) throughput rises then falls in a parabola
+//! as threads exceed the sweet spot, and (ii) DeNova-Immediate/-Delayed
+//! track baseline NOVA within 1 % at *every* thread count — DWQ contention
+//! does not grow with parallelism.
+
+use crate::report;
+use crate::Scale;
+use denova_workload::{run_write_job, JobSpec, ThinkTime};
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Fig9Cell {
+    /// The `mode` value.
+    pub mode: String,
+    /// The `threads` value.
+    pub threads: usize,
+    /// The `mbs` value.
+    pub mbs: f64,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Fig9Result {
+    /// The `workload` value.
+    pub workload: &'static str,
+    /// The `cells` value.
+    pub cells: Vec<Fig9Cell>,
+}
+
+impl Fig9Result {
+    /// `get` accessor.
+    pub fn get(&self, mode: &str, threads: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.mode == mode && c.threads == threads)
+            .map(|c| c.mbs)
+    }
+}
+
+/// Sweep thread counts for one workload family.
+pub fn run_workload(workload: &'static str, scale: &Scale) -> Fig9Result {
+    let mut cells = Vec::new();
+    for &threads in scale.threads {
+        let base = match workload {
+            "small" => JobSpec::small_files(scale.small_files, 0.5),
+            _ => JobSpec::large_files(scale.large_files, 0.5),
+        };
+        // Keep per-thread file counts even.
+        let spec = base
+            .with_threads(threads)
+            .with_think(ThinkTime::paper_cycle());
+        for mode in crate::paper_modes() {
+            let fs = crate::mount(
+                mode,
+                crate::device_bytes_for(spec.total_bytes() as usize),
+                spec.file_count,
+            );
+            let report = run_write_job(&fs, &spec).expect("job failed");
+            cells.push(Fig9Cell {
+                mode: mode.to_string(),
+                threads,
+                mbs: report.throughput_mbs(),
+            });
+            fs.drain();
+        }
+    }
+    Fig9Result { workload, cells }
+}
+
+/// `run` accessor.
+pub fn run(scale: &Scale) -> Vec<Fig9Result> {
+    vec![run_workload("small", scale), run_workload("large", scale)]
+}
+
+/// `render` accessor.
+pub fn render(results: &[Fig9Result], scale: &Scale) -> String {
+    let mut out = String::new();
+    for res in results {
+        let modes: Vec<String> = {
+            let mut m: Vec<String> = Vec::new();
+            for c in &res.cells {
+                if !m.contains(&c.mode) {
+                    m.push(c.mode.clone());
+                }
+            }
+            m
+        };
+        let mut rows = Vec::new();
+        for mode in &modes {
+            let mut row = vec![mode.clone()];
+            for &t in scale.threads {
+                row.push(report::mbs(res.get(mode, t).unwrap_or(0.0)));
+            }
+            rows.push(row);
+        }
+        let mut header = vec!["Variant".to_string()];
+        header.extend(scale.threads.iter().map(|t| format!("{t} thr (MB/s)")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        out.push_str(&report::table(
+            &format!(
+                "Fig. 9 — write throughput vs threads, 50% duplicates ({} files)",
+                res.workload
+            ),
+            &header_refs,
+            &rows,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_tracks_baseline_at_every_thread_count() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let scale = Scale::smoke();
+            let res = run_workload("small", &scale);
+            for &t in scale.threads {
+                let base = res.get("Baseline NOVA", t).unwrap();
+                let imm = res.get("DeNova-Immediate", t).unwrap();
+                assert!(
+                    imm > base * 0.5,
+                    "threads {t}: immediate {imm} vs baseline {base}"
+                );
+                let inline = res.get("DeNova-Inline", t).unwrap();
+                assert!(
+                    inline < imm,
+                    "threads {t}: inline {inline} should trail immediate {imm}"
+                );
+            }
+        });
+    }
+}

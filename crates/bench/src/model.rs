@@ -1,0 +1,271 @@
+//! Fig. 2 and the Section III mathematical model (Eq. 1–5).
+//!
+//! Fig. 2 compares, per write size, the time spent fingerprinting (`T_f`:
+//! chunking + SHA-1 + duplicate lookup) with the time spent actually writing
+//! to the device (`T_w`). The paper's finding — `T_w ≪ T_f` at every size
+//! (Eq. 1) — is what dooms inline dedup on Optane-class devices.
+//!
+//! The model module then measures the Eq. 2–5 terms directly (`T_w`, `T_f`,
+//! `T_fw`) and evaluates both inequalities across the duplicate ratio α,
+//! reporting where (if anywhere) inline dedup could win.
+
+use crate::report;
+use denova::{DedupStats, Fact};
+use denova_fingerprint::weak_fingerprint;
+use denova_nova::Layout;
+use denova_pmem::PAGE_SIZE;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One Fig. 2 bar: the T_f vs T_w split for a write size.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig2Row {
+    /// The `write_size` value.
+    pub write_size: usize,
+    /// The `tf_ns` value.
+    pub tf_ns: u64,
+    /// The `tw_ns` value.
+    pub tw_ns: u64,
+}
+
+impl Fig2Row {
+    /// Fraction of (T_f + T_w) spent fingerprinting — the bar the paper
+    /// plots.
+    pub fn tf_share(&self) -> f64 {
+        self.tf_ns as f64 / (self.tf_ns + self.tw_ns) as f64
+    }
+}
+
+/// Measure T_f and T_w for each write size (Fig. 2's x-axis).
+pub fn fig2(sizes: &[usize], iters: usize) -> Vec<Fig2Row> {
+    let dev = crate::raw_device(64 * 1024 * 1024);
+    let layout = Layout::compute(dev.size() as u64, 64, 2);
+    let fact = Fact::new(dev.clone(), layout, Arc::new(DedupStats::default()));
+    fact.fp().set_paper_target();
+    let data_base = layout.data_start * PAGE_SIZE as u64;
+
+    sizes
+        .iter()
+        .map(|&size| {
+            let buf: Vec<u8> = (0..size).map(|i| (i * 131 % 251) as u8).collect();
+            // T_f: chunk into 4 KB, fingerprint each chunk (calibrated
+            // SHA-1 cost), look each up in FACT.
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                for page in buf.chunks(PAGE_SIZE) {
+                    let fp = fact.fingerprint(page);
+                    std::hint::black_box(fact.lookup(&fp));
+                }
+            }
+            let tf_ns = t0.elapsed().as_nanos() as u64 / iters as u64;
+            // T_w: copy the data to the device and persist it.
+            let t0 = Instant::now();
+            for i in 0..iters {
+                let off = data_base + ((i * size) % (16 * 1024 * 1024)) as u64;
+                dev.write(off, &buf);
+                dev.persist(off, size);
+            }
+            let tw_ns = t0.elapsed().as_nanos() as u64 / iters as u64;
+            Fig2Row {
+                write_size: size,
+                tf_ns,
+                tw_ns,
+            }
+        })
+        .collect()
+}
+
+/// `render_fig2` accessor.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    report::table(
+        "Fig. 2 — time share of fingerprinting (T_f) vs device write (T_w) by write size",
+        &["Write size", "T_f (us)", "T_w (us)", "T_f share", "T_w share"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    human_size(r.write_size),
+                    report::us(r.tf_ns),
+                    report::us(r.tw_ns),
+                    report::pct(r.tf_share()),
+                    report::pct(1.0 - r.tf_share()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{} MB", bytes / (1024 * 1024))
+    } else {
+        format!("{} KB", bytes / 1024)
+    }
+}
+
+/// The Eq. 1–5 term measurements.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ModelTerms {
+    /// 4 KB device write + persist (ns).
+    pub tw_ns: u64,
+    /// 4 KB chunk + SHA-1 + FACT lookup (ns).
+    pub tf_ns: u64,
+    /// 4 KB weak fingerprint (ns).
+    pub tfw_ns: u64,
+}
+
+impl ModelTerms {
+    /// Eq. 3: inline dedup wins only if `α · T_w > T_f` for some α < 1.
+    /// Returns the α at which plain inline dedup would break even (> 1
+    /// means it can never win — the paper's claim).
+    pub fn breakeven_alpha_plain(&self) -> f64 {
+        self.tf_ns as f64 / self.tw_ns as f64
+    }
+
+    /// Eq. 5: breakeven for NV-Dedup-style adaptive fingerprinting in its
+    /// *worst* case (every weak FP collides): `α·T_w > T_fw + α·T_f`.
+    pub fn breakeven_alpha_adaptive(&self) -> f64 {
+        let denom = self.tw_ns as f64 - self.tf_ns as f64;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.tfw_ns as f64 / denom
+        }
+    }
+
+    /// Predicted inline slowdown vs baseline at duplicate ratio α
+    /// (write time ratio `(T_f + (1-α)·T_w) / T_w`, ignoring shared T_a).
+    pub fn predicted_inline_slowdown(&self, alpha: f64) -> f64 {
+        (self.tf_ns as f64 + (1.0 - alpha) * self.tw_ns as f64) / self.tw_ns as f64
+    }
+}
+
+/// Measure the model terms on the Optane profile.
+pub fn measure_terms(iters: usize) -> ModelTerms {
+    let dev = crate::raw_device(32 * 1024 * 1024);
+    let layout = Layout::compute(dev.size() as u64, 64, 2);
+    let fact = Fact::new(dev.clone(), layout, Arc::new(DedupStats::default()));
+    fact.fp().set_paper_target();
+    let page: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 249) as u8).collect();
+    let base = layout.data_start * PAGE_SIZE as u64;
+
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let off = base + ((i % 1024) * PAGE_SIZE) as u64;
+        dev.write(off, &page);
+        dev.persist(off, PAGE_SIZE);
+    }
+    let tw_ns = t0.elapsed().as_nanos() as u64 / iters as u64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let fp = fact.fingerprint(std::hint::black_box(&page));
+        std::hint::black_box(fact.lookup(&fp));
+    }
+    let tf_ns = t0.elapsed().as_nanos() as u64 / iters as u64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(weak_fingerprint(std::hint::black_box(&page)));
+    }
+    let tfw_ns = t0.elapsed().as_nanos() as u64 / iters as u64;
+
+    ModelTerms {
+        tw_ns,
+        tf_ns,
+        tfw_ns,
+    }
+}
+
+/// `render_model` accessor.
+pub fn render_model(terms: &ModelTerms) -> String {
+    let mut rows = vec![
+        vec!["T_w (4 KB write+persist)".to_string(), report::us(terms.tw_ns)],
+        vec!["T_f (chunk+SHA-1+lookup)".to_string(), report::us(terms.tf_ns)],
+        vec!["T_fw (weak fingerprint)".to_string(), report::us(terms.tfw_ns)],
+        vec![
+            "Eq.1 T_w << T_f".to_string(),
+            format!("{} (T_f/T_w = {:.1}x)", terms.tf_ns > terms.tw_ns, terms.tf_ns as f64 / terms.tw_ns as f64),
+        ],
+        vec![
+            "Eq.3 breakeven alpha (plain inline)".to_string(),
+            format!("{:.2} (>1 = can never win)", terms.breakeven_alpha_plain()),
+        ],
+        vec![
+            "Eq.5 breakeven alpha (adaptive, worst case)".to_string(),
+            format!("{:.2}", terms.breakeven_alpha_adaptive()),
+        ],
+    ];
+    for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        rows.push(vec![
+            format!("predicted inline slowdown at alpha={alpha}"),
+            format!("{:.2}x", terms.predicted_inline_slowdown(alpha)),
+        ]);
+    }
+    report::table(
+        "Section III model — measured Eq. 1–5 terms (us) and predictions",
+        &["Quantity", "Value"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_holds_tf_dominates_tw() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        // The paper's core premise on Optane-class latency.
+            let t = measure_terms(50);
+            assert!(
+                t.tf_ns > t.tw_ns,
+                "T_f ({}) must exceed T_w ({})",
+                t.tf_ns,
+                t.tw_ns
+            );
+        });
+    }
+
+    #[test]
+    fn inline_can_never_win_eq3() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let t = measure_terms(50);
+            assert!(
+                t.breakeven_alpha_plain() > 1.0,
+                "breakeven alpha {} should exceed 1",
+                t.breakeven_alpha_plain()
+            );
+            // And the predicted slowdown is > 1 even at alpha = 1.
+            assert!(t.predicted_inline_slowdown(1.0) > 1.0);
+        });
+    }
+
+    #[test]
+    fn weak_fingerprint_is_much_cheaper_than_strong() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let t = measure_terms(50);
+            assert!(t.tfw_ns * 2 < t.tf_ns, "T_fw {} vs T_f {}", t.tfw_ns, t.tf_ns);
+        });
+    }
+
+    #[test]
+    fn fig2_tf_share_exceeds_half_everywhere() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        // Fig. 2's visual: the T_f bar dominates at every write size.
+            let rows = fig2(&[4096, 65536], 5);
+            for r in &rows {
+                assert!(
+                    r.tf_share() > 0.5,
+                    "size {}: T_f share {}",
+                    r.write_size,
+                    r.tf_share()
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,83 @@
+//! Plain-text table rendering for the figure harness.
+
+/// Render rows as an aligned table with a header.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n## {title}\n\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a throughput in MB/s.
+pub fn mbs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format nanoseconds as microseconds.
+pub fn us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1000.0)
+}
+
+/// Format nanoseconds as milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "Demo",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4444".into()],
+            ],
+        );
+        assert!(t.contains("## Demo"));
+        let lines: Vec<&str> = t.lines().filter(|l| !l.is_empty()).collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[4].contains("333"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mbs(12.345), "12.3");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(us(2850), "2.85");
+        assert_eq!(ms(1_254_000_000), "1254.0");
+    }
+}

@@ -1,0 +1,148 @@
+//! Table IV — file write latency vs deduplication latency, broken into
+//! fingerprint time and other ops, for 4 KB and 128 KB files.
+//!
+//! The paper's numbers (4 KB: write 2.85 µs, FP 11.78 µs, other 3.66 µs;
+//! 128 KB: write 39.86 µs, FP 215.26 µs, other 53.57 µs) establish that
+//! deduplication takes 6–7× longer than the write itself — hence offline.
+
+use crate::report;
+use denova::DedupMode;
+use denova_workload::DataGenerator;
+use std::time::Instant;
+
+#[derive(Debug, Clone, serde::Serialize)]
+/// The `struct` value.
+pub struct Table4Row {
+    /// The `file_size` value.
+    pub file_size: usize,
+    /// Mean foreground write latency (ns), file create + data write.
+    pub write_ns: u64,
+    /// Mean fingerprinting time per file during dedup (ns).
+    pub fp_ns: u64,
+    /// Mean other dedup ops per file (chunking, FACT lookups, appends,
+    /// counter updates) (ns).
+    pub other_ns: u64,
+}
+
+impl Table4Row {
+    /// `dedup_total_ns` accessor.
+    pub fn dedup_total_ns(&self) -> u64 {
+        self.fp_ns + self.other_ns
+    }
+
+    /// The paper's headline ratio: total dedup latency over write latency.
+    pub fn dedup_over_write(&self) -> f64 {
+        self.dedup_total_ns() as f64 / self.write_ns as f64
+    }
+}
+
+/// Measure one file size with `files` samples.
+pub fn measure(file_size: usize, files: usize) -> Table4Row {
+    let fs = crate::mount(
+        DedupMode::Delayed {
+            interval_ms: 600_000, // drive dedup by hand, after the writes
+            batch: 1,
+        },
+        crate::device_bytes_for(file_size * files),
+        files,
+    );
+    let mut gen = DataGenerator::new(7, 0.0);
+    // Create files first: Table IV's "write latency" is T_w + T_a of the
+    // data write itself, not inode creation.
+    let inos: Vec<u64> = (0..files)
+        .map(|i| fs.create(&format!("f{i}")).unwrap())
+        .collect();
+    let payloads: Vec<Vec<u8>> = (0..files).map(|_| gen.next_file(file_size)).collect();
+    let t0 = Instant::now();
+    for (ino, data) in inos.iter().zip(&payloads) {
+        fs.write(*ino, 0, data).unwrap();
+    }
+    let write_ns = t0.elapsed().as_nanos() as u64 / files as u64;
+    // Dedup pass (hand-driven so its time is attributable).
+    while let Some(node) = fs.dwq().pop_batch(1).first().copied() {
+        denova::dedup_entry(fs.nova(), fs.fact(), &node).unwrap();
+    }
+    let s = fs.stats();
+    Table4Row {
+        file_size,
+        write_ns,
+        fp_ns: s.fingerprint_time().as_nanos() as u64 / files as u64,
+        other_ns: s.other_ops_time().as_nanos() as u64 / files as u64,
+    }
+}
+
+/// Run both paper file sizes.
+pub fn run(files_small: usize, files_large: usize) -> Vec<Table4Row> {
+    vec![
+        measure(4096, files_small),
+        measure(128 * 1024, files_large),
+    ]
+}
+
+/// `render` accessor.
+pub fn render(rows: &[Table4Row]) -> String {
+    report::table(
+        "Table IV — write latency vs dedup latency breakdown (us/file)",
+        &[
+            "File size",
+            "Write (us)",
+            "Dedupe other ops (us)",
+            "Dedupe FP time (us)",
+            "Dedupe total / write",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} KB", r.file_size / 1024),
+                    report::us(r.write_ns),
+                    report::us(r.other_ns),
+                    report::us(r.fp_ns),
+                    format!("{:.1}x", r.dedup_over_write()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_latency_exceeds_write_latency() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        // The paper's Table IV shape: total dedup latency is a multiple of
+            // the write latency for both file sizes, and FP time dominates the
+            // dedup side.
+            for row in run(60, 8) {
+                assert!(
+                    row.dedup_over_write() > 1.0,
+                    "{} B: dedup/write = {}",
+                    row.file_size,
+                    row.dedup_over_write()
+                );
+                assert!(
+                    row.fp_ns > row.write_ns,
+                    "{} B: FP {} !> write {}",
+                    row.file_size,
+                    row.fp_ns,
+                    row.write_ns
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn large_files_scale_every_component() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+        let rows = run(40, 6);
+            let small = &rows[0];
+            let large = &rows[1];
+            assert!(large.write_ns > small.write_ns * 4);
+            assert!(large.fp_ns > small.fp_ns * 8);
+        });
+    }
+}

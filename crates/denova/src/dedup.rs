@@ -1,0 +1,478 @@
+//! The deduplication transaction — Algorithm 1 of the paper, with its
+//! numbered steps and the crash points the failure analysis (Section V-C)
+//! reasons about.
+//!
+//! For one DWQ node (a committed write entry with `dedupe_flag = Needed`):
+//!
+//! 1. the daemon pops the node (`target entry`) and takes the inode lock;
+//! 2. each still-live data page is fingerprinted and looked up in FACT;
+//! 3. the matching (or freshly inserted) FACT entry's **UC** is increased
+//!    atomically — registering an in-flight transaction;
+//! 4. for every *duplicate* page a new write entry pointing at the old
+//!    (canonical) data page is appended with flag `in_process`;
+//! 5. the log tail is updated atomically — the transaction is now durable
+//!    from the file's point of view — and the target entry's flag becomes
+//!    `in_process`;
+//! 6. each touched FACT entry commits `UC -= 1, RFC += 1` in one atomic
+//!    64-bit store; flags become `dedupe_complete`; the obsolete duplicate
+//!    pages are reclaimed.
+//!
+//! A crash in any window leaves state that the recovery handlers
+//! (Inconsistency Handling I/II/III, `recovery.rs`) repair exactly as the
+//! paper prescribes.
+
+use crate::dwq::DwqNode;
+use crate::fact::Fact;
+use denova_fingerprint::Fingerprint;
+use denova_nova::{
+    entry::{read_dedupe_flag, read_entry, write_dedupe_flag},
+    DedupeFlag, LogEntry, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE,
+};
+use std::time::Instant;
+
+/// What happened to one DWQ node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// Transaction ran: `duplicates` pages now share canonical blocks,
+    /// `uniques` pages were registered in FACT.
+    Done {
+        /// Pages now sharing a canonical block.
+        duplicates: u32,
+        /// Pages registered as new FACT entries.
+        uniques: u32,
+    },
+    /// The entry's flag was no longer `Needed` (already processed, e.g.
+    /// re-queued across a crash after completion).
+    AlreadyProcessed,
+    /// The file was unlinked before the daemon got to the entry.
+    FileGone,
+}
+
+/// Deduplicate one target entry. Runs on the daemon thread (offline modes)
+/// with the inode lock held for the duration, exactly as "the deduplication
+/// process holds an inode lock" (Section IV-E).
+pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutcome> {
+    let stats = fact.stats().clone();
+    let dev = nova.device().clone();
+    let t_start = Instant::now();
+    let mut fp_time = std::time::Duration::ZERO;
+
+    let result = nova.with_inode_write(node.ino, |ctx| {
+        // Re-read the target entry under the lock; skip if another pass (or
+        // a pre-crash run, Inconsistency Handling III) already handled it.
+        let target = match read_entry(&dev, node.entry_off)? {
+            LogEntry::Write(we) => we,
+            _ => return Err(NovaError::Corrupt("DWQ node is not a write entry")),
+        };
+        if target.dedupe_flag != DedupeFlag::Needed {
+            return Ok(DedupOutcome::AlreadyProcessed);
+        }
+
+        // Steps ②③: fingerprint each live page, look it up, and reserve the
+        // transaction with UC += 1 (insert with UC = 1 for unique chunks).
+        let layout = *nova.layout();
+        let mut reservations: Vec<u64> = Vec::new(); // FACT indices, one per page
+        let mut duplicates: Vec<(u64, u64, u64)> = Vec::new(); // (pgoff, old block, canonical block)
+        let mut uniques = 0u32;
+        let mut page_buf = vec![0u8; BLOCK_SIZE as usize];
+        for i in 0..target.num_pages as u64 {
+            let pgoff = target.file_pgoff + i;
+            let block = target.block + i;
+            // Page superseded by a newer write since enqueue? Skip it.
+            match ctx.mem.radix.get(pgoff) {
+                Some(er) if er.entry_off == node.entry_off => {}
+                _ => {
+                    stats.record_stale_page();
+                    continue;
+                }
+            }
+            dev.read_into(layout.block_off(block), &mut page_buf);
+            let t_fp = Instant::now();
+            let fp = fact.fingerprint(&page_buf);
+            fp_time += t_fp.elapsed();
+
+            let (idx, existing) = fact.reserve_or_insert(&fp, block)?;
+            reservations.push(idx);
+            if existing.is_occupied() && existing.block != block {
+                duplicates.push((pgoff, block, existing.block));
+                stats.record_page(true);
+            } else {
+                uniques += 1;
+                stats.record_page(false);
+            }
+        }
+        dev.crash_point("denova::dedup::after_reserve");
+
+        // Step ④: append a write entry per duplicate page, pointing at the
+        // canonical data page, flag in_process.
+        let size_after = ctx.mem.size;
+        let txid = ctx.next_txid();
+        let new_entries: Vec<WriteEntry> = duplicates
+            .iter()
+            .map(|&(pgoff, _, canonical)| WriteEntry {
+                dedupe_flag: DedupeFlag::InProcess,
+                file_pgoff: pgoff,
+                num_pages: 1,
+                block: canonical,
+                size_after,
+                txid,
+            })
+            .collect();
+        let encoded: Vec<[u8; 64]> = new_entries.iter().map(|e| e.encode()).collect();
+        // Step ⑤ happens inside append: the atomic tail commit (with crash
+        // points denova::dedup::{before,after}_tail_commit).
+        let offs = ctx.append(&encoded, "denova::dedup")?;
+
+        // Target entry joins the transaction: needed → in_process.
+        write_dedupe_flag(&dev, node.entry_off, DedupeFlag::InProcess);
+        dev.crash_point("denova::dedup::after_target_in_process");
+
+        // Fold the new entries into the radix tree ("rebuild_radix_tree");
+        // the superseded blocks are the obsolete duplicate pages.
+        let mut obsolete = Vec::new();
+        for (off, we) in offs.iter().zip(&new_entries) {
+            obsolete.extend(ctx.apply_write_entry(*off, we));
+        }
+
+        // Step ⑥: commit every reservation — UC -= 1, RFC += 1, one atomic
+        // 64-bit store per FACT entry.
+        for (n, idx) in reservations.iter().enumerate() {
+            fact.commit_uc_to_rfc(*idx);
+            if n == 0 {
+                dev.crash_point("denova::dedup::mid_commit_counts");
+            }
+        }
+        dev.crash_point("denova::dedup::after_commit_counts");
+
+        // Flags: appended entries and the target become dedupe_complete.
+        for off in &offs {
+            write_dedupe_flag(&dev, *off, DedupeFlag::Complete);
+        }
+        write_dedupe_flag(&dev, node.entry_off, DedupeFlag::Complete);
+        dev.crash_point("denova::dedup::after_complete");
+
+        // "The obsolete duplicate data pages are reclaimed afterwards."
+        for block in obsolete {
+            ctx.reclaim_block(block);
+        }
+        Ok(DedupOutcome::Done {
+            duplicates: duplicates.len() as u32,
+            uniques,
+        })
+    });
+
+    match result {
+        Err(NovaError::BadInode(_)) => Ok(DedupOutcome::FileGone),
+        other => {
+            stats.record_fingerprint_time(fp_time);
+            stats.record_other_ops_time(t_start.elapsed().saturating_sub(fp_time));
+            other
+        }
+    }
+}
+
+/// Resume a transaction from step ⑥ for an entry found `in_process` during
+/// recovery (Inconsistency Handling II). The log tail already committed the
+/// transaction; only the count transfer, flags, and reclaim remain.
+pub fn resume_in_process(nova: &Nova, fact: &Fact, ino: u64, entry_off: u64) -> Result<()> {
+    let dev = nova.device().clone();
+    nova.with_inode_write(ino, |ctx| {
+        let we = match read_entry(&dev, entry_off)? {
+            LogEntry::Write(we) => we,
+            _ => return Ok(()),
+        };
+        if read_dedupe_flag(&dev, entry_off)? != DedupeFlag::InProcess {
+            return Ok(());
+        }
+        let layout = *nova.layout();
+        let mut page_buf = vec![0u8; BLOCK_SIZE as usize];
+        for i in 0..we.num_pages as u64 {
+            let pgoff = we.file_pgoff + i;
+            let block = we.block + i;
+            // Only pages this entry still backs participate.
+            match ctx.mem.radix.get(pgoff) {
+                Some(er) if er.entry_off == entry_off => {}
+                _ => continue,
+            }
+            dev.read_into(layout.block_off(block), &mut page_buf);
+            let fp = Fingerprint::of(&page_buf);
+            if let Some((idx, _)) = fact.lookup(&fp) {
+                // Commit at most the UC this transaction reserved; a zero UC
+                // means the commit already happened before the crash.
+                fact.commit_uc_to_rfc(idx);
+            }
+        }
+        write_dedupe_flag(&dev, entry_off, DedupeFlag::Complete);
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dwq::Dwq;
+    use crate::reclaim::DenovaHooks;
+    use crate::stats::DedupStats;
+    use denova_nova::NovaOptions;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// A mounted stack with dedup candidates enabled and hooks installed,
+    /// but no daemon: tests drive dedup_entry by hand.
+    fn setup() -> (Arc<Nova>, Arc<Fact>, Arc<Dwq>) {
+        let dev = Arc::new(denova_pmem::PmemDevice::new(32 * 1024 * 1024));
+        let nova = Arc::new(
+            Nova::mkfs(
+                dev.clone(),
+                NovaOptions {
+                    num_inodes: 128,
+                    dedup_enabled: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let stats = Arc::new(DedupStats::default());
+        let fact = Arc::new(Fact::new(dev, *nova.layout(), stats.clone()));
+        let dwq = Arc::new(Dwq::new(stats));
+        nova.set_hooks(Arc::new(DenovaHooks::new(fact.clone(), dwq.clone(), true)));
+        (nova, fact, dwq)
+    }
+
+    fn drain(nova: &Nova, fact: &Fact, dwq: &Dwq) {
+        while let Some(node) = dwq.pop_batch(1).first().copied() {
+            dedup_entry(nova, fact, &node).unwrap();
+        }
+    }
+
+    #[test]
+    fn identical_files_share_pages() {
+        let (nova, fact, dwq) = setup();
+        let data = vec![0xABu8; 4096];
+        let a = nova.create("a").unwrap();
+        let b = nova.create("b").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        nova.write(b, 0, &data).unwrap();
+        assert_eq!(dwq.len(), 2);
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        // One duplicate page reclaimed.
+        assert_eq!(nova.free_blocks(), free_before + 1);
+        // Both files read back correctly from the shared page.
+        assert_eq!(nova.read(a, 0, 4096).unwrap(), data);
+        assert_eq!(nova.read(b, 0, 4096).unwrap(), data);
+        // FACT has exactly one entry with RFC = 2.
+        let fp = Fingerprint::of(&data);
+        let (idx, e) = fact.lookup(&fp).unwrap();
+        assert_eq!(fact.counters(idx), (2, 0));
+        assert_eq!(e.uc, 0);
+        assert_eq!(fact.stats().duplicate_pages(), 1);
+        assert_eq!(fact.stats().unique_pages(), 1);
+    }
+
+    #[test]
+    fn duplicate_pages_within_one_write() {
+        let (nova, fact, dwq) = setup();
+        // 4 pages, all identical content.
+        let data = vec![7u8; 4 * 4096];
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        // 3 of the 4 pages deduplicated.
+        assert_eq!(nova.free_blocks(), free_before + 3);
+        assert_eq!(nova.read(a, 0, data.len()).unwrap(), data);
+        let (idx, _) = fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(fact.counters(idx), (4, 0));
+    }
+
+    #[test]
+    fn unique_data_registers_without_saving() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        let mut data = vec![0u8; 3 * 4096];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i / 4096 + 1) as u8;
+        }
+        nova.write(a, 0, &data).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        assert_eq!(nova.free_blocks(), free_before);
+        assert_eq!(fact.stats().duplicate_pages(), 0);
+        assert_eq!(fact.stats().unique_pages(), 3);
+        assert_eq!(fact.occupied_count(), 3);
+    }
+
+    #[test]
+    fn flags_progress_to_complete() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![1u8; 4096]).unwrap();
+        let node = dwq.pop_batch(1)[0];
+        assert_eq!(
+            read_dedupe_flag(nova.device(), node.entry_off).unwrap(),
+            DedupeFlag::Needed
+        );
+        dedup_entry(&nova, &fact, &node).unwrap();
+        assert_eq!(
+            read_dedupe_flag(nova.device(), node.entry_off).unwrap(),
+            DedupeFlag::Complete
+        );
+    }
+
+    #[test]
+    fn reprocessing_completed_entry_is_noop() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![1u8; 4096]).unwrap();
+        let node = dwq.pop_batch(1)[0];
+        assert!(matches!(
+            dedup_entry(&nova, &fact, &node).unwrap(),
+            DedupOutcome::Done { .. }
+        ));
+        assert_eq!(
+            dedup_entry(&nova, &fact, &node).unwrap(),
+            DedupOutcome::AlreadyProcessed
+        );
+        // Counters unchanged by the second pass.
+        let (idx, _) = fact.lookup(&Fingerprint::of(&vec![1u8; 4096])).unwrap();
+        assert_eq!(fact.counters(idx), (1, 0));
+    }
+
+    #[test]
+    fn stale_pages_skipped_after_overwrite() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![1u8; 4096]).unwrap();
+        // Overwrite before the daemon runs: the queued entry's page is stale.
+        nova.write(a, 0, &vec![2u8; 4096]).unwrap();
+        let nodes = dwq.pop_batch(10);
+        assert_eq!(nodes.len(), 2);
+        let out = dedup_entry(&nova, &fact, &nodes[0]).unwrap();
+        assert_eq!(out, DedupOutcome::Done { duplicates: 0, uniques: 0 });
+        assert_eq!(fact.stats().stale_pages(), 1);
+        // The second (current) entry dedups normally.
+        dedup_entry(&nova, &fact, &nodes[1]).unwrap();
+        assert_eq!(nova.read(a, 0, 4096).unwrap(), vec![2u8; 4096]);
+    }
+
+    #[test]
+    fn unlinked_file_reports_gone() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![1u8; 4096]).unwrap();
+        let node = dwq.pop_batch(1)[0];
+        nova.unlink("a").unwrap();
+        assert_eq!(
+            dedup_entry(&nova, &fact, &node).unwrap(),
+            DedupOutcome::FileGone
+        );
+    }
+
+    #[test]
+    fn overwrite_of_shared_page_keeps_other_reference() {
+        let (nova, fact, dwq) = setup();
+        let data = vec![0x44u8; 4096];
+        let a = nova.create("a").unwrap();
+        let b = nova.create("b").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        nova.write(b, 0, &data).unwrap();
+        drain(&nova, &fact, &dwq);
+        // Overwrite a's copy: the shared block must survive for b.
+        nova.write(a, 0, &vec![0x55u8; 4096]).unwrap();
+        assert_eq!(nova.read(b, 0, 4096).unwrap(), data);
+        let (idx, _) = fact.lookup(&Fingerprint::of(&data)).unwrap();
+        assert_eq!(fact.counters(idx), (1, 0));
+        // Overwrite b's too: last reference drops, entry removed.
+        nova.write(b, 0, &vec![0x66u8; 4096]).unwrap();
+        assert!(fact.lookup(&Fingerprint::of(&data)).is_none());
+        drain(&nova, &fact, &dwq); // process the overwrites themselves
+    }
+
+    #[test]
+    fn unlink_of_shared_file_keeps_other_reference() {
+        let (nova, fact, dwq) = setup();
+        let data = vec![0x77u8; 2 * 4096];
+        let a = nova.create("a").unwrap();
+        let b = nova.create("b").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        nova.write(b, 0, &data).unwrap();
+        drain(&nova, &fact, &dwq);
+        nova.unlink("a").unwrap();
+        assert_eq!(nova.read(b, 0, data.len()).unwrap(), data);
+        nova.unlink("b").unwrap();
+        // All shared pages now free and FACT empty of those fps.
+        assert!(fact.lookup(&Fingerprint::of(&data[..4096])).is_none());
+    }
+
+    #[test]
+    fn dedup_chain_across_three_files() {
+        let (nova, fact, dwq) = setup();
+        let data = vec![0x99u8; 4096];
+        for name in ["a", "b", "c"] {
+            let ino = nova.create(name).unwrap();
+            nova.write(ino, 0, &data).unwrap();
+        }
+        drain(&nova, &fact, &dwq);
+        let (idx, _) = fact.lookup(&Fingerprint::of(&data)).unwrap();
+        assert_eq!(fact.counters(idx), (3, 0));
+        for name in ["a", "b", "c"] {
+            let ino = nova.open(name).unwrap();
+            assert_eq!(nova.read(ino, 0, 4096).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn table4_breakdown_is_recorded() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![5u8; 32 * 4096]).unwrap();
+        drain(&nova, &fact, &dwq);
+        let s = fact.stats();
+        assert!(s.fingerprint_time() > std::time::Duration::ZERO);
+        assert!(s.other_ops_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn resume_in_process_commits_and_completes() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![3u8; 4096]).unwrap();
+        let node = dwq.pop_batch(1)[0];
+        // Simulate the crash window after step 5: reserve + flag in_process,
+        // but no count commit.
+        let fp = Fingerprint::of(&vec![3u8; 4096]);
+        let (idx, _) = fact.reserve_or_insert(&fp, {
+            // the block the write allocated
+            nova.with_inode_read(a, |mem| Ok(mem.radix.get(0).unwrap().block))
+                .unwrap()
+        })
+        .unwrap();
+        write_dedupe_flag(nova.device(), node.entry_off, DedupeFlag::InProcess);
+        assert_eq!(fact.counters(idx), (0, 1));
+
+        resume_in_process(&nova, &fact, a, node.entry_off).unwrap();
+        assert_eq!(fact.counters(idx), (1, 0));
+        assert_eq!(
+            read_dedupe_flag(nova.device(), node.entry_off).unwrap(),
+            DedupeFlag::Complete
+        );
+        // Resuming again is harmless.
+        resume_in_process(&nova, &fact, a, node.entry_off).unwrap();
+        assert_eq!(fact.counters(idx), (1, 0));
+    }
+
+    #[test]
+    fn dwq_lingering_recorded_via_real_flow() {
+        let (nova, fact, dwq) = setup();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &vec![1u8; 4096]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t0 = Instant::now();
+        drain(&nova, &fact, &dwq);
+        let _ = t0;
+        let lingering = fact.stats().lingering_ns();
+        assert_eq!(lingering.len(), 1);
+        assert!(lingering[0] >= 2_000_000);
+    }
+}

@@ -1,0 +1,1014 @@
+//! FACT — the Failure Atomic Consistent Table (paper Section IV-C).
+//!
+//! FACT is a *persistent, DRAM-free* deduplication index: a static linear
+//! table of 64 B entries living entirely in PM. It is split into
+//!
+//! * the **direct access area (DAA)** — `2^n` entries indexed directly by
+//!   the n-bit prefix of a chunk's SHA-1 fingerprint (one PM read per
+//!   lookup when there is no prefix collision), and
+//! * the **indirect access area (IAA)** — another `2^n` entries holding
+//!   prefix-collision chains as doubly-linked lists hanging off the DAA
+//!   entry.
+//!
+//! Each entry is exactly one cache line, so any field update persists with a
+//! single flush + fence. The (RFC, UC) counter pair shares the first 8 bytes
+//! and is updated with one atomic 64-bit operation — the paper's count-based
+//! consistency primitive ("after the transactions become persistent, an
+//! atomic update decreases the UC and increases the RFC").
+//!
+//! The **delete pointer** gives reclaim an O(1) reverse index: the entry at
+//! table index `B` stores, in its delete-pointer field, the index of the
+//! FACT entry whose canonical block is `B`. Resolving a block to its FACT
+//! entry therefore takes *exactly two PM reads* (asserted by tests). A slot
+//! thus serves two independent roles — dedup metadata keyed by FP prefix,
+//! and delete-pointer cell keyed by block number — so writers must never
+//! clobber the other role's bytes.
+//!
+//! Entry layout (64 B, Fig. 4):
+//!
+//! ```text
+//! 0..4    RFC  (u32)     reference count
+//! 4..8    UC   (u32)     update count (in-flight dedup transactions)
+//! 8..28   FP   (20 B)    SHA-1 fingerprint
+//! 28..36  block (u64)    canonical data block
+//! 36..44  prev (i64)     IAA chain predecessor (0 = chain head sentinel)
+//! 44..52  next (i64)     IAA chain successor (-1 = none)
+//! 52..60  delete pointer (i64, -1 = none)
+//! 60..64  padding
+//! ```
+
+use crate::stats::DedupStats;
+use denova_fingerprint::Fingerprint;
+use denova_nova::{Layout, NovaError, Result};
+use denova_pmem::PmemDevice;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Number of chain-lock stripes. Counter updates are lock-free atomics;
+/// stripes only serialize chain-structure mutations (insert/remove/reorder)
+/// per FP prefix.
+const STRIPES: usize = 256;
+
+const OFF_COUNTERS: u64 = 0;
+const OFF_PREV: u64 = 36;
+const OFF_NEXT: u64 = 44;
+const OFF_DELETE_PTR: u64 = 52;
+
+/// Chain-terminator / empty-field sentinel for `prev`, `next`, `delete_ptr`.
+pub const NIL: i64 = -1;
+
+/// A decoded FACT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactEntry {
+    /// The `rfc` value.
+    pub rfc: u32,
+    /// The `uc` value.
+    pub uc: u32,
+    /// The `fp` value.
+    pub fp: Fingerprint,
+    /// The `block` value.
+    pub block: u64,
+    /// The `prev` value.
+    pub prev: i64,
+    /// The `next` value.
+    pub next: i64,
+    /// The `delete_ptr` value.
+    pub delete_ptr: i64,
+}
+
+impl FactEntry {
+    /// Whether the slot holds live dedup metadata (the FP of real data is
+    /// never all-zero).
+    pub fn is_occupied(&self) -> bool {
+        !self.fp.is_zero()
+    }
+}
+
+/// Handle to the persistent FACT region of a formatted device.
+pub struct Fact {
+    dev: Arc<PmemDevice>,
+    layout: Layout,
+    /// DRAM cache of free IAA slots. This is *allocator* state (like NOVA's
+    /// free lists), not lookup-index state — lookups never touch it — so the
+    /// paper's DRAM-free-indexing property holds. Rebuilt by a single FACT
+    /// scan on mount.
+    iaa_free: Mutex<IaaFree>,
+    /// Chain-structure locks, striped by FP prefix.
+    stripes: Vec<Mutex<()>>,
+    stats: Arc<DedupStats>,
+    /// Prefixes whose chains deserve reordering: a lookup walked past
+    /// `reorder_walk_threshold` entries to reach one with
+    /// `RFC >= reorder_rfc_threshold` (Section IV-E's dual-threshold
+    /// trigger). Drained by the daemon.
+    reorder_candidates: Mutex<std::collections::HashSet<u64>>,
+    reorder_walk_threshold: std::sync::atomic::AtomicU64,
+    reorder_rfc_threshold: std::sync::atomic::AtomicU32,
+    /// Calibrated fingerprint cost model shared by every dedup path.
+    fp: crate::fp::FpThrottle,
+}
+
+#[derive(Debug)]
+struct IaaFree {
+    /// Recycled IAA slots.
+    stack: Vec<u64>,
+    /// Next never-used IAA slot.
+    cursor: u64,
+}
+
+impl Fact {
+    /// Attach to the FACT region of a freshly-formatted device (all slots
+    /// empty).
+    pub fn new(dev: Arc<PmemDevice>, layout: Layout, stats: Arc<DedupStats>) -> Fact {
+        Fact {
+            iaa_free: Mutex::new(IaaFree {
+                stack: Vec::new(),
+                cursor: layout.daa_entries(),
+            }),
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            reorder_candidates: Mutex::new(std::collections::HashSet::new()),
+            reorder_walk_threshold: std::sync::atomic::AtomicU64::new(3),
+            reorder_rfc_threshold: std::sync::atomic::AtomicU32::new(2),
+            fp: crate::fp::FpThrottle::none(),
+            dev,
+            layout,
+            stats,
+        }
+    }
+
+    /// Attach to an existing FACT region, rebuilding the IAA free-slot cache
+    /// by scanning the IAA (mount-time cost, like NOVA's log scan).
+    pub fn mount(dev: Arc<PmemDevice>, layout: Layout, stats: Arc<DedupStats>) -> Fact {
+        let fact = Fact::new(dev, layout, stats);
+        let mut free = IaaFree {
+            stack: Vec::new(),
+            cursor: fact.entries(),
+        };
+        for idx in fact.layout.daa_entries()..fact.entries() {
+            if !fact.read_entry(idx).is_occupied() {
+                free.stack.push(idx);
+            }
+        }
+        // Serve recycled slots in ascending order for determinism.
+        free.stack.reverse();
+        *fact.iaa_free.lock() = free;
+        fact
+    }
+
+    /// Total entries (DAA + IAA).
+    pub fn entries(&self) -> u64 {
+        self.layout.fact_entries()
+    }
+
+    /// Entries in the DAA (== first IAA index).
+    pub fn daa_entries(&self) -> u64 {
+        self.layout.daa_entries()
+    }
+
+    /// FP prefix length in bits (`n`).
+    pub fn prefix_bits(&self) -> u32 {
+        self.layout.fact_prefix_bits
+    }
+
+    /// The device this table lives on.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.dev
+    }
+
+    /// Shared dedup statistics.
+    pub fn stats(&self) -> &Arc<DedupStats> {
+        &self.stats
+    }
+
+    /// The fingerprint cost model (see [`crate::fp::FpThrottle`]).
+    pub fn fp(&self) -> &crate::fp::FpThrottle {
+        &self.fp
+    }
+
+    /// Fingerprint a chunk through the calibrated cost model.
+    pub fn fingerprint(&self, data: &[u8]) -> Fingerprint {
+        self.fp.fingerprint(data)
+    }
+
+    #[inline]
+    fn off(&self, idx: u64) -> u64 {
+        self.layout.fact_entry_off(idx)
+    }
+
+    fn stripe_for_prefix(&self, prefix: u64) -> &Mutex<()> {
+        &self.stripes[(prefix as usize) % STRIPES]
+    }
+
+    /// The stripe lock guarding the chain of `fp`'s prefix. Exposed for the
+    /// reorderer, which mutates chain links.
+    pub(crate) fn lock_chain(&self, prefix: u64) -> parking_lot::MutexGuard<'_, ()> {
+        self.stripe_for_prefix(prefix).lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Raw entry access
+    // ------------------------------------------------------------------
+
+    /// Read and decode the entry at `idx` (one 64 B PM read).
+    pub fn read_entry(&self, idx: u64) -> FactEntry {
+        let mut b = [0u8; 64];
+        self.dev.read_into(self.off(idx), &mut b);
+        FactEntry {
+            rfc: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            uc: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            fp: Fingerprint::from_bytes(b[8..28].try_into().unwrap()),
+            block: u64::from_le_bytes(b[28..36].try_into().unwrap()),
+            prev: i64::from_le_bytes(b[36..44].try_into().unwrap()),
+            next: i64::from_le_bytes(b[44..52].try_into().unwrap()),
+            delete_ptr: i64::from_le_bytes(b[52..60].try_into().unwrap()),
+        }
+    }
+
+    /// Write the dedup-metadata fields (counters, FP, block, prev, next) of
+    /// slot `idx`, *preserving* its delete-pointer field, and persist with a
+    /// single flush (one cache line).
+    fn write_metadata(&self, idx: u64, e: &FactEntry) {
+        let base = self.off(idx);
+        let mut head = [0u8; 52];
+        head[0..4].copy_from_slice(&e.rfc.to_le_bytes());
+        head[4..8].copy_from_slice(&e.uc.to_le_bytes());
+        head[8..28].copy_from_slice(e.fp.as_bytes());
+        head[28..36].copy_from_slice(&e.block.to_le_bytes());
+        head[36..44].copy_from_slice(&e.prev.to_le_bytes());
+        head[44..52].copy_from_slice(&e.next.to_le_bytes());
+        self.dev.write(base, &head);
+        self.dev.persist(base, 64);
+        self.stats.bump_flushes(1);
+    }
+
+    /// Clear the dedup-metadata fields of slot `idx` (delete pointer
+    /// preserved — the slot may still serve as another block's reverse
+    /// index).
+    fn clear_metadata(&self, idx: u64) {
+        self.write_metadata(
+            idx,
+            &FactEntry {
+                rfc: 0,
+                uc: 0,
+                fp: Fingerprint::zero(),
+                block: 0,
+                prev: NIL,
+                next: NIL,
+                delete_ptr: NIL, // ignored by write_metadata
+            },
+        );
+    }
+
+    pub(crate) fn write_prev(&self, idx: u64, prev: i64) {
+        let off = self.off(idx) + OFF_PREV;
+        self.dev.write(off, &prev.to_le_bytes());
+        self.dev.persist(off, 8);
+        self.stats.bump_flushes(1);
+    }
+
+    pub(crate) fn write_next(&self, idx: u64, next: i64) {
+        let off = self.off(idx) + OFF_NEXT;
+        self.dev.write(off, &next.to_le_bytes());
+        self.dev.persist(off, 8);
+        self.stats.bump_flushes(1);
+    }
+
+    pub(crate) fn read_prev(&self, idx: u64) -> i64 {
+        let mut b = [0u8; 8];
+        self.dev.read_into(self.off(idx) + OFF_PREV, &mut b);
+        i64::from_le_bytes(b)
+    }
+
+    pub(crate) fn read_next(&self, idx: u64) -> i64 {
+        let mut b = [0u8; 8];
+        self.dev.read_into(self.off(idx) + OFF_NEXT, &mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Set the delete pointer stored in slot `block` to `fact_idx` ("the
+    /// block address B is used as an index to set the delete pointer
+    /// field").
+    fn set_delete_ptr(&self, block: u64, fact_idx: i64) {
+        debug_assert!(block < self.entries(), "block exceeds FACT range");
+        let off = self.off(block) + OFF_DELETE_PTR;
+        self.dev.write(off, &fact_idx.to_le_bytes());
+        self.dev.persist(off, 8);
+        self.stats.bump_flushes(1);
+    }
+
+    // ------------------------------------------------------------------
+    // Counters (atomic, lock-free)
+    // ------------------------------------------------------------------
+
+    fn counters_off(&self, idx: u64) -> u64 {
+        self.off(idx) + OFF_COUNTERS
+    }
+
+    fn load_counters(&self, idx: u64) -> (u32, u32) {
+        let v = self.dev.atomic_load_u64(self.counters_off(idx));
+        ((v & 0xFFFF_FFFF) as u32, (v >> 32) as u32)
+    }
+
+    fn cas_counters(&self, idx: u64, f: impl Fn(u32, u32) -> Option<(u32, u32)>) -> Option<(u32, u32)> {
+        let off = self.counters_off(idx);
+        let mut cur = self.dev.atomic_load_u64(off);
+        loop {
+            let rfc = (cur & 0xFFFF_FFFF) as u32;
+            let uc = (cur >> 32) as u32;
+            let (nrfc, nuc) = f(rfc, uc)?;
+            let new = nrfc as u64 | ((nuc as u64) << 32);
+            match self.dev.atomic_cas_u64(off, cur, new) {
+                Ok(_) => {
+                    self.dev.persist(off, 8);
+                    self.stats.bump_flushes(1);
+                    return Some((nrfc, nuc));
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Step ③ of the dedup flow: register an in-flight transaction
+    /// (`UC += 1`).
+    pub fn inc_uc(&self, idx: u64) {
+        self.cas_counters(idx, |rfc, uc| Some((rfc, uc + 1)));
+    }
+
+    /// Step ⑥: the transaction is persistent — atomically `UC -= 1,
+    /// RFC += 1` in one 64-bit store. Returns false if `UC` was already 0
+    /// (recovery discarded it; nothing to commit).
+    pub fn commit_uc_to_rfc(&self, idx: u64) -> bool {
+        self.cas_counters(idx, |rfc, uc| {
+            if uc == 0 {
+                None
+            } else {
+                Some((rfc + 1, uc - 1))
+            }
+        })
+        .is_some()
+    }
+
+    /// Abandon an in-flight transaction (`UC -= 1` without the RFC credit).
+    pub fn abort_uc(&self, idx: u64) -> bool {
+        self.cas_counters(idx, |rfc, uc| if uc == 0 { None } else { Some((rfc, uc - 1)) })
+            .is_some()
+    }
+
+    /// Recovery: discard a stale update count ("these UCs are set to 0 at
+    /// system reboot").
+    pub fn reset_uc(&self, idx: u64) {
+        self.cas_counters(idx, |rfc, uc| if uc == 0 { None } else { Some((rfc, 0)) });
+    }
+
+    /// Decrement RFC (reclaim path). Returns the counters after the
+    /// decrement, or `None` if RFC was already 0 (left untouched; the
+    /// scrubber reconciles such over-decrements).
+    pub fn dec_rfc(&self, idx: u64) -> Option<(u32, u32)> {
+        self.cas_counters(idx, |rfc, uc| if rfc == 0 { None } else { Some((rfc - 1, uc)) })
+    }
+
+    /// Recovery scrubber: force RFC to an exact recomputed value.
+    pub fn set_rfc(&self, idx: u64, rfc: u32) {
+        self.cas_counters(idx, |_, uc| Some((rfc, uc)));
+    }
+
+    /// Current (RFC, UC) of slot `idx`.
+    pub fn counters(&self, idx: u64) -> (u32, u32) {
+        self.load_counters(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup / insert / remove
+    // ------------------------------------------------------------------
+
+    /// Look up `fp`: read the DAA entry at its prefix, then walk the IAA
+    /// chain. Returns the entry's index and decoded contents. Lock-free.
+    pub fn lookup(&self, fp: &Fingerprint) -> Option<(u64, FactEntry)> {
+        let prefix = fp.prefix(self.prefix_bits());
+        self.stats.bump_lookups();
+        let mut idx = prefix;
+        let mut reads = 0u64;
+        loop {
+            let e = self.read_entry(idx);
+            reads += 1;
+            if e.is_occupied() && e.fp == *fp {
+                self.stats.record_lookup_reads(reads, idx < self.daa_entries());
+                // Section IV-E trigger: a hot entry (high RFC) that took a
+                // long chain walk to reach marks its chain for reordering.
+                if reads > self.reorder_walk_threshold.load(std::sync::atomic::Ordering::Relaxed)
+                    && e.rfc >= self.reorder_rfc_threshold.load(std::sync::atomic::Ordering::Relaxed)
+                {
+                    self.reorder_candidates.lock().insert(prefix);
+                }
+                return Some((idx, e));
+            }
+            if !e.is_occupied() && idx == prefix {
+                // Empty DAA slot: nothing with this prefix exists.
+                self.stats.record_lookup_reads(reads, true);
+                return None;
+            }
+            match e.next {
+                NIL => {
+                    self.stats.record_lookup_reads(reads, false);
+                    return None;
+                }
+                next => idx = next as u64,
+            }
+        }
+    }
+
+    /// Look up `fp` and reserve a transaction against it (`UC += 1`), or
+    /// insert a fresh entry for `(fp, block)` with `UC = 1`. Returns the
+    /// entry index and whether an existing entry was found (i.e. `block` is
+    /// a duplicate of the entry's canonical block — unless it *is* the
+    /// canonical block, which callers detect via the returned entry).
+    ///
+    /// The chain stripe lock is held across the lookup-or-insert so two
+    /// threads cannot insert the same fingerprint twice.
+    pub fn reserve_or_insert(&self, fp: &Fingerprint, block: u64) -> Result<(u64, FactEntry)> {
+        let prefix = fp.prefix(self.prefix_bits());
+        let _guard = self.lock_chain(prefix);
+        if let Some((idx, e)) = self.lookup(fp) {
+            self.inc_uc(idx);
+            self.stats.bump_hits();
+            return Ok((idx, e));
+        }
+        let idx = self.insert_locked(prefix, fp, block)?;
+        self.inc_uc(idx);
+        self.stats.bump_inserts();
+        Ok((idx, self.read_entry(idx)))
+    }
+
+    /// Insert `(fp, block)` assuming the chain lock for `prefix` is held and
+    /// the fingerprint is absent.
+    fn insert_locked(&self, prefix: u64, fp: &Fingerprint, block: u64) -> Result<u64> {
+        let daa = self.read_entry(prefix);
+        if !daa.is_occupied() {
+            // The DAA slot itself is free: one entry write, one delete-ptr
+            // write.
+            self.write_metadata(
+                prefix,
+                &FactEntry {
+                    rfc: 0,
+                    uc: 0,
+                    fp: *fp,
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                    delete_ptr: NIL,
+                },
+            );
+            self.set_delete_ptr(block, prefix as i64);
+            return Ok(prefix);
+        }
+        // Prefix collision: allocate an IAA slot and append at the chain
+        // tail ("the new entry that generated the collision is allocated in
+        // the IAA").
+        let idx = self.alloc_iaa()?;
+        // Find the tail.
+        let mut tail = prefix;
+        loop {
+            match self.read_next(tail) {
+                NIL => break,
+                next => tail = next as u64,
+            }
+        }
+        // prev: 0 is the "I am the IAA chain head" sentinel (the paper's
+        // "prev field of a normal linked list head is always 0"); deeper
+        // nodes point at their IAA predecessor.
+        let prev = if tail == prefix { 0 } else { tail as i64 };
+        // Write the new entry completely before linking it: a crash between
+        // the two leaves it unreachable (and the IAA scan reclaims it).
+        self.write_metadata(
+            idx,
+            &FactEntry {
+                rfc: 0,
+                uc: 0,
+                fp: *fp,
+                block,
+                prev,
+                next: NIL,
+                delete_ptr: NIL,
+            },
+        );
+        self.set_delete_ptr(block, idx as i64);
+        self.dev.crash_point("denova::fact::before_chain_link");
+        self.write_next(tail, idx as i64);
+        self.stats.bump_iaa_inserts();
+        Ok(idx)
+    }
+
+    fn alloc_iaa(&self) -> Result<u64> {
+        let mut free = self.iaa_free.lock();
+        if let Some(idx) = free.stack.pop() {
+            return Ok(idx);
+        }
+        if free.cursor < self.entries() {
+            let idx = free.cursor;
+            free.cursor += 1;
+            return Ok(idx);
+        }
+        Err(NovaError::NoSpace)
+    }
+
+    /// Resolve a data block to its FACT entry via the delete pointer — the
+    /// reclaim-path lookup that costs exactly two PM reads (Section IV-C
+    /// steps 1–3).
+    pub fn resolve_block(&self, block: u64) -> Option<(u64, FactEntry)> {
+        if block >= self.entries() {
+            return None;
+        }
+        // Read 1: the delete pointer stored at index `block`.
+        let mut b = [0u8; 8];
+        self.dev.read_into(self.off(block) + OFF_DELETE_PTR, &mut b);
+        let ptr = i64::from_le_bytes(b);
+        if ptr < 0 || ptr as u64 >= self.entries() {
+            return None;
+        }
+        // Read 2: the entry it points at. Stale pointers (left behind by
+        // removals) are detected by the block-address check.
+        let e = self.read_entry(ptr as u64);
+        if e.is_occupied() && e.block == block {
+            Some((ptr as u64, e))
+        } else {
+            None
+        }
+    }
+
+    /// Remove the entry at `idx` (its RFC reached 0), unlinking it from its
+    /// chain. At most three cache-line flushes (entry clear + two neighbour
+    /// link updates), matching the paper's reclaiming-cost analysis
+    /// (Section V-B3).
+    pub fn remove(&self, idx: u64) -> Result<()> {
+        let e = self.read_entry(idx);
+        if !e.is_occupied() {
+            return Ok(());
+        }
+        let prefix = e.fp.prefix(self.prefix_bits());
+        let _guard = self.lock_chain(prefix);
+        // Re-read under the lock.
+        let e = self.read_entry(idx);
+        if !e.is_occupied() {
+            return Ok(());
+        }
+        self.stats.bump_removes();
+        if idx < self.daa_entries() {
+            // DAA entry. If a chain hangs off it, promote the IAA head into
+            // the DAA slot so the prefix stays resolvable.
+            match e.next {
+                NIL => self.clear_metadata(idx),
+                head => {
+                    let head = head as u64;
+                    let h = self.read_entry(head);
+                    // Copy head's payload into the DAA slot, preserving the
+                    // chain beyond it.
+                    self.write_metadata(
+                        idx,
+                        &FactEntry {
+                            prev: NIL,
+                            next: h.next,
+                            delete_ptr: NIL, // preserved by write_metadata
+                            ..h
+                        },
+                    );
+                    self.set_delete_ptr(h.block, idx as i64);
+                    if h.next != NIL {
+                        // The new IAA head's prev becomes the sentinel 0.
+                        self.write_prev(h.next as u64, 0);
+                    }
+                    self.dev.crash_point("denova::fact::remove::after_promote");
+                    self.clear_metadata(head);
+                    self.free_iaa(head);
+                }
+            }
+            return Ok(());
+        }
+        // IAA entry: splice prev → next.
+        let pred = if e.prev == 0 {
+            // Chain head: predecessor is the DAA slot.
+            prefix
+        } else {
+            e.prev as u64
+        };
+        self.write_next(pred, e.next);
+        if e.next != NIL {
+            let succ_prev = if e.prev == 0 { 0 } else { e.prev };
+            self.write_prev(e.next as u64, succ_prev);
+        }
+        self.dev.crash_point("denova::fact::remove::after_unlink");
+        self.clear_metadata(idx);
+        self.free_iaa(idx);
+        Ok(())
+    }
+
+    fn free_iaa(&self, idx: u64) {
+        self.iaa_free.lock().stack.push(idx);
+    }
+
+    /// Configure the reordering trigger: a lookup that walks more than
+    /// `walk` entries to reach one with `RFC >= rfc` flags its chain.
+    pub fn set_reorder_thresholds(&self, walk: u64, rfc: u32) {
+        self.reorder_walk_threshold
+            .store(walk, std::sync::atomic::Ordering::Relaxed);
+        self.reorder_rfc_threshold
+            .store(rfc, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drain the set of prefixes flagged for reordering.
+    pub fn take_reorder_candidates(&self) -> Vec<u64> {
+        let mut set = self.reorder_candidates.lock();
+        let out: Vec<u64> = set.iter().copied().collect();
+        set.clear();
+        out
+    }
+
+    /// Walk the chain for `prefix`, returning `(index, entry)` pairs in
+    /// lookup order (DAA entry first). Used by the reorderer and tests.
+    pub fn chain(&self, prefix: u64) -> Vec<(u64, FactEntry)> {
+        let mut out = Vec::new();
+        let mut idx = prefix;
+        loop {
+            let e = self.read_entry(idx);
+            if !e.is_occupied() {
+                break;
+            }
+            let next = e.next;
+            out.push((idx, e));
+            match next {
+                NIL => break,
+                n => idx = n as u64,
+            }
+        }
+        out
+    }
+
+    /// Visit every occupied entry (full-table scan: recovery and the
+    /// scrubber use this; normal operation never does).
+    pub fn for_each_occupied<F: FnMut(u64, FactEntry)>(&self, mut f: F) {
+        for idx in 0..self.entries() {
+            let e = self.read_entry(idx);
+            if e.is_occupied() {
+                f(idx, e);
+            }
+        }
+    }
+
+    /// Number of occupied entries (scan; tests only).
+    pub fn occupied_count(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_occupied(|_, _| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<PmemDevice>, Fact) {
+        let dev = Arc::new(PmemDevice::new(16 * 1024 * 1024));
+        let layout = Layout::compute(dev.size() as u64, 64, 2);
+        let stats = Arc::new(DedupStats::default());
+        // Zero the FACT region as mkfs would.
+        dev.memset(
+            layout.fact_start * denova_nova::BLOCK_SIZE,
+            (layout.fact_blocks * denova_nova::BLOCK_SIZE) as usize,
+            0,
+        );
+        let fact = Fact::new(dev.clone(), layout, stats);
+        (dev, fact)
+    }
+
+    /// A fingerprint with a chosen prefix (so collision tests are
+    /// deterministic).
+    fn fp_with_prefix(fact: &Fact, prefix: u64, salt: u8) -> Fingerprint {
+        let bits = fact.prefix_bits();
+        let mut bytes = [0u8; 20];
+        let word = prefix << (64 - bits);
+        bytes[..8].copy_from_slice(&word.to_be_bytes());
+        bytes[19] = salt;
+        bytes[18] = 1; // never all-zero
+        Fingerprint::from_bytes(bytes)
+    }
+
+    #[test]
+    fn empty_lookup_misses() {
+        let (_dev, fact) = setup();
+        assert!(fact.lookup(&Fingerprint::of(b"nothing")).is_none());
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_daa() {
+        let (_dev, fact) = setup();
+        let fp = Fingerprint::of(b"data");
+        let (idx, e) = fact.reserve_or_insert(&fp, 500).unwrap();
+        assert!(idx < fact.daa_entries());
+        assert_eq!(e.uc, 1); // fresh insert is returned with its reservation
+        let (found, fe) = fact.lookup(&fp).unwrap();
+        assert_eq!(found, idx);
+        assert_eq!(fe.block, 500);
+        assert_eq!(fe.uc, 1);
+        assert_eq!(fe.rfc, 0);
+    }
+
+    #[test]
+    fn commit_moves_uc_to_rfc_atomically() {
+        let (_dev, fact) = setup();
+        let fp = Fingerprint::of(b"x");
+        let (idx, _) = fact.reserve_or_insert(&fp, 7).unwrap();
+        assert!(fact.commit_uc_to_rfc(idx));
+        assert_eq!(fact.counters(idx), (1, 0));
+        // Nothing left to commit.
+        assert!(!fact.commit_uc_to_rfc(idx));
+    }
+
+    #[test]
+    fn duplicate_reserve_bumps_uc_not_new_entry() {
+        let (_dev, fact) = setup();
+        let fp = Fingerprint::of(b"dup");
+        let (i1, _) = fact.reserve_or_insert(&fp, 10).unwrap();
+        let (i2, e2) = fact.reserve_or_insert(&fp, 99).unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(e2.block, 10, "canonical block unchanged");
+        assert_eq!(fact.counters(i1), (0, 2));
+        assert_eq!(fact.occupied_count(), 1);
+    }
+
+    #[test]
+    fn prefix_collision_goes_to_iaa_chain() {
+        let (_dev, fact) = setup();
+        let a = fp_with_prefix(&fact, 5, 1);
+        let b = fp_with_prefix(&fact, 5, 2);
+        let c = fp_with_prefix(&fact, 5, 3);
+        let (ia, _) = fact.reserve_or_insert(&a, 100).unwrap();
+        let (ib, _) = fact.reserve_or_insert(&b, 101).unwrap();
+        let (ic, _) = fact.reserve_or_insert(&c, 102).unwrap();
+        assert_eq!(ia, 5);
+        assert!(ib >= fact.daa_entries());
+        assert!(ic >= fact.daa_entries());
+        // Lookup order: DAA head then the chain.
+        let chain: Vec<u64> = fact.chain(5).iter().map(|(i, _)| *i).collect();
+        assert_eq!(chain, vec![ia, ib, ic]);
+        // Each resolves by fingerprint.
+        assert_eq!(fact.lookup(&b).unwrap().0, ib);
+        assert_eq!(fact.lookup(&c).unwrap().0, ic);
+        // Chain-head sentinel: first IAA node has prev == 0, second points
+        // at the first.
+        assert_eq!(fact.read_entry(ib).prev, 0);
+        assert_eq!(fact.read_entry(ic).prev, ib as i64);
+    }
+
+    #[test]
+    fn resolve_block_costs_two_reads() {
+        let (dev, fact) = setup();
+        let fp = Fingerprint::of(b"blk");
+        let (idx, _) = fact.reserve_or_insert(&fp, 321).unwrap();
+        let before = dev.stats().snapshot();
+        let (ridx, e) = fact.resolve_block(321).unwrap();
+        let delta = dev.stats().snapshot().delta(&before);
+        assert_eq!(ridx, idx);
+        assert_eq!(e.block, 321);
+        assert_eq!(delta.reads, 2, "delete pointer must resolve in exactly 2 PM reads");
+    }
+
+    #[test]
+    fn resolve_unknown_block_misses() {
+        let (_dev, fact) = setup();
+        assert!(fact.resolve_block(12345).is_none());
+    }
+
+    #[test]
+    fn stale_delete_pointer_rejected_by_block_check() {
+        let (_dev, fact) = setup();
+        let a = Fingerprint::of(b"a");
+        let (ia, _) = fact.reserve_or_insert(&a, 50).unwrap();
+        fact.commit_uc_to_rfc(ia);
+        fact.dec_rfc(ia);
+        fact.remove(ia).unwrap();
+        // The delete pointer at slot 50 still exists but must not resolve.
+        assert!(fact.resolve_block(50).is_none());
+    }
+
+    #[test]
+    fn remove_daa_with_chain_promotes_head() {
+        let (_dev, fact) = setup();
+        let a = fp_with_prefix(&fact, 9, 1);
+        let b = fp_with_prefix(&fact, 9, 2);
+        let c = fp_with_prefix(&fact, 9, 3);
+        fact.reserve_or_insert(&a, 100).unwrap();
+        let (ib, _) = fact.reserve_or_insert(&b, 101).unwrap();
+        fact.reserve_or_insert(&c, 102).unwrap();
+        fact.remove(9).unwrap();
+        // b promoted into the DAA slot; c's prev becomes the head sentinel.
+        let (idx_b, eb) = fact.lookup(&b).unwrap();
+        assert_eq!(idx_b, 9);
+        assert_eq!(eb.block, 101);
+        let (idx_c, ec) = fact.lookup(&c).unwrap();
+        assert_eq!(ec.prev, 0);
+        assert!(idx_c >= fact.daa_entries());
+        // a is gone; b resolves via its refreshed delete pointer.
+        assert!(fact.lookup(&a).is_none());
+        assert_eq!(fact.resolve_block(101).unwrap().0, 9);
+        assert_eq!(fact.occupied_count(), 2);
+        let _ = ib;
+    }
+
+    #[test]
+    fn remove_iaa_middle_splices_chain() {
+        let (_dev, fact) = setup();
+        let fps: Vec<Fingerprint> = (1..=4).map(|s| fp_with_prefix(&fact, 3, s)).collect();
+        let idxs: Vec<u64> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, fp)| fact.reserve_or_insert(fp, 200 + i as u64).unwrap().0)
+            .collect();
+        // Remove the middle IAA node (third in lookup order).
+        fact.remove(idxs[2]).unwrap();
+        let chain: Vec<u64> = fact.chain(3).iter().map(|(i, _)| *i).collect();
+        assert_eq!(chain, vec![idxs[0], idxs[1], idxs[3]]);
+        assert_eq!(fact.read_entry(idxs[3]).prev, idxs[1] as i64);
+        assert!(fact.lookup(&fps[2]).is_none());
+        assert!(fact.lookup(&fps[3]).is_some());
+    }
+
+    #[test]
+    fn remove_iaa_head_updates_sentinel() {
+        let (_dev, fact) = setup();
+        let fps: Vec<Fingerprint> = (1..=3).map(|s| fp_with_prefix(&fact, 4, s)).collect();
+        let idxs: Vec<u64> = fps
+            .iter()
+            .map(|fp| fact.reserve_or_insert(fp, 300).unwrap().0)
+            .collect();
+        fact.remove(idxs[1]).unwrap(); // the IAA chain head
+        let chain: Vec<u64> = fact.chain(4).iter().map(|(i, _)| *i).collect();
+        assert_eq!(chain, vec![idxs[0], idxs[2]]);
+        assert_eq!(fact.read_entry(idxs[2]).prev, 0);
+    }
+
+    #[test]
+    fn iaa_slots_recycle() {
+        let (_dev, fact) = setup();
+        let a = fp_with_prefix(&fact, 7, 1);
+        let b = fp_with_prefix(&fact, 7, 2);
+        fact.reserve_or_insert(&a, 10).unwrap();
+        let (ib, _) = fact.reserve_or_insert(&b, 11).unwrap();
+        fact.remove(ib).unwrap();
+        let c = fp_with_prefix(&fact, 7, 3);
+        let (ic, _) = fact.reserve_or_insert(&c, 12).unwrap();
+        assert_eq!(ic, ib, "freed IAA slot must be reused");
+    }
+
+    #[test]
+    fn mount_rebuilds_iaa_free_list() {
+        let (dev, fact) = setup();
+        let layout = Layout::compute(dev.size() as u64, 64, 2);
+        let a = fp_with_prefix(&fact, 2, 1);
+        let b = fp_with_prefix(&fact, 2, 2);
+        fact.reserve_or_insert(&a, 20).unwrap();
+        let (ib, _) = fact.reserve_or_insert(&b, 21).unwrap();
+        // Remount and verify both the entry and free-slot accounting.
+        let fact2 = Fact::mount(dev, layout, Arc::new(DedupStats::default()));
+        assert_eq!(fact2.lookup(&b).unwrap().0, ib);
+        let c = fp_with_prefix(&fact2, 2, 3);
+        let (ic, _) = fact2.reserve_or_insert(&c, 22).unwrap();
+        assert!(ic >= fact2.daa_entries());
+        assert_ne!(ic, ib, "occupied IAA slot must not be reallocated");
+    }
+
+    #[test]
+    fn dec_rfc_stops_at_zero() {
+        let (_dev, fact) = setup();
+        let fp = Fingerprint::of(b"z");
+        let (idx, _) = fact.reserve_or_insert(&fp, 77).unwrap();
+        fact.commit_uc_to_rfc(idx);
+        assert_eq!(fact.dec_rfc(idx), Some((0, 0)));
+        assert_eq!(fact.dec_rfc(idx), None);
+        assert_eq!(fact.counters(idx), (0, 0));
+    }
+
+    #[test]
+    fn abort_and_reset_uc() {
+        let (_dev, fact) = setup();
+        let fp = Fingerprint::of(b"u");
+        let (idx, _) = fact.reserve_or_insert(&fp, 88).unwrap();
+        fact.inc_uc(idx);
+        fact.inc_uc(idx);
+        assert_eq!(fact.counters(idx), (0, 3));
+        assert!(fact.abort_uc(idx));
+        assert_eq!(fact.counters(idx), (0, 2));
+        fact.reset_uc(idx);
+        assert_eq!(fact.counters(idx), (0, 0));
+        assert!(!fact.abort_uc(idx));
+    }
+
+    #[test]
+    fn counter_update_is_failure_atomic() {
+        let (dev, fact) = setup();
+        let fp = Fingerprint::of(b"fa");
+        let (idx, _) = fact.reserve_or_insert(&fp, 99).unwrap();
+        fact.commit_uc_to_rfc(idx); // (1, 0) persisted
+        // A torn crash right after an unpersisted counter store must revert
+        // to the last persisted pair, never a mix.
+        let off = fact.counters_off(idx);
+        dev.atomic_store_u64(off, 5 | (7 << 32)); // not persisted
+        let after = dev.crash_clone(denova_pmem::CrashMode::Strict);
+        let v = after.read_u64(off);
+        assert_eq!(v & 0xFFFF_FFFF, 1);
+        assert_eq!(v >> 32, 0);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_exact() {
+        let (_dev, fact) = setup();
+        let fp = Fingerprint::of(b"conc");
+        let (idx, _) = fact.reserve_or_insert(&fp, 40).unwrap();
+        fact.commit_uc_to_rfc(idx);
+        let fact = Arc::new(fact);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let f = fact.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    f.inc_uc(idx);
+                    f.commit_uc_to_rfc(idx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 1 initial + 4 * 250 commits.
+        assert_eq!(fact.counters(idx), (1001, 0));
+    }
+
+    #[test]
+    fn crash_before_chain_link_leaves_orphan_unreachable() {
+        let (dev, fact) = setup();
+        let a = fp_with_prefix(&fact, 6, 1);
+        let b = fp_with_prefix(&fact, 6, 2);
+        fact.reserve_or_insert(&a, 60).unwrap();
+        dev.crash_points().arm("denova::fact::before_chain_link", 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fact.reserve_or_insert(&b, 61).unwrap();
+        }));
+        assert!(r.is_err());
+        // Post-crash: b is not reachable; a still is; remount reclaims the
+        // orphan slot for reuse.
+        let layout = Layout::compute(dev.size() as u64, 64, 2);
+        let fact2 = Fact::mount(dev, layout, Arc::new(DedupStats::default()));
+        assert!(fact2.lookup(&a).is_some());
+        assert!(fact2.lookup(&b).is_none());
+    }
+
+    #[test]
+    fn iaa_can_never_exhaust_before_block_space() {
+        // Invariant behind "we set the IAA size equal to the DAA": the
+        // device holds at most `total_blocks` unique chunks, DAA ≥
+        // total_blocks, and each unique chunk occupies exactly one entry —
+        // so DAA + IAA can absorb the worst case (every chunk colliding on
+        // one prefix). Verify the arithmetic and the clean error past it.
+        let (_dev, fact) = setup();
+        assert!(fact.daa_entries() >= {
+            // total_blocks of the 16 MB test device
+            16 * 1024 * 1024 / 4096
+        });
+        assert_eq!(fact.entries(), 2 * fact.daa_entries());
+        // Force synthetic exhaustion by draining the IAA allocator
+        // directly: inserting more colliding fps than IAA slots must fail
+        // with NoSpace, not corrupt the chain.
+        let total_iaa = fact.entries() - fact.daa_entries();
+        let mut inserted = 0u64;
+        let mut failed = false;
+        for i in 0..total_iaa + 2 {
+            let fp = fp_with_prefix(&fact, 1, 0); // same prefix...
+            let mut bytes = *fp.as_bytes();
+            bytes[10..18].copy_from_slice(&i.to_le_bytes()); // ...unique fp
+            let fp = Fingerprint::from_bytes(bytes);
+            match fact.reserve_or_insert(&fp, 100 + i) {
+                Ok(_) => inserted += 1,
+                Err(NovaError::NoSpace) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(failed, "expected NoSpace past IAA capacity");
+        // 1 DAA slot + every IAA slot.
+        assert_eq!(inserted, total_iaa + 1);
+        // The chain is still structurally sound and fully reachable.
+        assert_eq!(fact.chain(1).len() as u64, inserted);
+    }
+
+    #[test]
+    fn for_each_occupied_sees_all() {
+        let (_dev, fact) = setup();
+        for i in 0..10u64 {
+            let fp = Fingerprint::of(&i.to_le_bytes());
+            fact.reserve_or_insert(&fp, 100 + i).unwrap();
+        }
+        let mut blocks = Vec::new();
+        fact.for_each_occupied(|_, e| blocks.push(e.block));
+        blocks.sort();
+        assert_eq!(blocks, (100..110).collect::<Vec<u64>>());
+    }
+}

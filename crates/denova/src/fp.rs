@@ -1,0 +1,146 @@
+//! Calibrated fingerprint cost model.
+//!
+//! Every quantitative claim in the paper flows from one relation: the time
+//! to fingerprint a 4 KB chunk (`T_f`) dwarfs the time to write it to Optane
+//! (`T_w`) — Eq. 1, Table IV (11.78 µs vs 2.85 µs), Fig. 2, Fig. 8. `T_f`
+//! is a property of the authors' Xeon running the kernel's SHA-1
+//! (≈ 350 MB/s); a host with a faster SHA-1 would understate `T_f` and
+//! silently soften the paper's conclusion.
+//!
+//! [`FpThrottle`] therefore treats fingerprint latency as part of the
+//! simulation, just like device latency: it measures the host's real SHA-1
+//! cost once and pads each fingerprint up to a configurable per-4 KB target
+//! (default: the paper's Table IV value). This substitution is documented in
+//! DESIGN.md. Tests that only care about *correctness* use
+//! [`FpThrottle::none`], which adds nothing.
+
+use denova_fingerprint::Fingerprint;
+use denova_pmem::spin_ns;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The paper's measured fingerprint time per 4 KB chunk (Table IV).
+pub const PAPER_FP_NS_PER_4K: u64 = 11_780;
+
+/// Pads SHA-1 fingerprinting up to a target per-4 KB latency.
+#[derive(Debug, Default)]
+pub struct FpThrottle {
+    /// Extra ns injected per 4 KB fingerprinted; 0 = raw host speed.
+    extra_ns_per_4k: AtomicU64,
+}
+
+impl FpThrottle {
+    /// No padding: raw host SHA-1 speed (the default for correctness
+    /// tests).
+    pub fn none() -> FpThrottle {
+        FpThrottle::default()
+    }
+
+    /// Measure the host's SHA-1 cost for a 4 KB chunk (best of several
+    /// runs, ns).
+    pub fn measure_host_fp_ns() -> u64 {
+        let page = vec![0xA7u8; 4096];
+        (0..8)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(Fingerprint::of(std::hint::black_box(&page)));
+                t0.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Calibrate so a 4 KB fingerprint costs `target_ns_per_4k` in total.
+    pub fn set_target(&self, target_ns_per_4k: u64) {
+        let host = Self::measure_host_fp_ns();
+        self.extra_ns_per_4k
+            .store(target_ns_per_4k.saturating_sub(host), Ordering::Relaxed);
+    }
+
+    /// Calibrate to the paper's Table IV fingerprint latency.
+    pub fn set_paper_target(&self) {
+        self.set_target(PAPER_FP_NS_PER_4K);
+    }
+
+    /// Disable padding.
+    pub fn clear(&self) {
+        self.extra_ns_per_4k.store(0, Ordering::Relaxed);
+    }
+
+    /// Current padding per 4 KB.
+    pub fn extra_ns_per_4k(&self) -> u64 {
+        self.extra_ns_per_4k.load(Ordering::Relaxed)
+    }
+
+    /// Fingerprint `data`, injecting the calibrated padding (scaled by the
+    /// data length in 4 KB units).
+    pub fn fingerprint(&self, data: &[u8]) -> Fingerprint {
+        let fp = Fingerprint::of(data);
+        let extra = self.extra_ns_per_4k.load(Ordering::Relaxed);
+        if extra > 0 {
+            spin_ns(extra * (data.len() as u64).div_ceil(4096).max(1));
+        }
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_adds_no_padding() {
+        let t = FpThrottle::none();
+        assert_eq!(t.extra_ns_per_4k(), 0);
+        let data = vec![1u8; 4096];
+        assert_eq!(t.fingerprint(&data), Fingerprint::of(&data));
+    }
+
+    #[test]
+    fn paper_target_pads_to_table4_latency() {
+        let t = FpThrottle::none();
+        t.set_paper_target();
+        let data = vec![2u8; 4096];
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            std::hint::black_box(t.fingerprint(&data));
+        }
+        let per_fp = t0.elapsed().as_nanos() as u64 / 10;
+        // Total cost lands near the paper's 11.78 us (generous CI slack).
+        assert!(
+            (8_000..40_000).contains(&per_fp),
+            "per-fp cost {per_fp} ns"
+        );
+    }
+
+    #[test]
+    fn padding_scales_with_chunks() {
+        let t = FpThrottle::none();
+        t.set_target(100_000); // exaggerated so timing is unambiguous
+        let one = vec![0u8; 4096];
+        let four = vec![0u8; 4 * 4096];
+        let t0 = Instant::now();
+        t.fingerprint(&one);
+        let one_ns = t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
+        t.fingerprint(&four);
+        let four_ns = t0.elapsed().as_nanos() as u64;
+        assert!(four_ns > one_ns * 2, "four {four_ns} vs one {one_ns}");
+    }
+
+    #[test]
+    fn clear_restores_raw_speed() {
+        let t = FpThrottle::none();
+        t.set_target(1_000_000);
+        t.clear();
+        assert_eq!(t.extra_ns_per_4k(), 0);
+    }
+
+    #[test]
+    fn fingerprint_value_is_unchanged_by_throttle() {
+        let t = FpThrottle::none();
+        t.set_target(50_000);
+        let data = vec![9u8; 8192];
+        assert_eq!(t.fingerprint(&data), Fingerprint::of(&data));
+    }
+}

@@ -1,0 +1,379 @@
+//! DeNova recovery: the Inconsistency Handling I/II/III procedures of
+//! Section V-C plus the FACT scrubber.
+//!
+//! After NOVA's own log-scan recovery has rebuilt the namespace, radix
+//! trees, and free lists, the dedup layer:
+//!
+//! 1. **rebuilds the DWQ** by a fast scan of all write entries, re-queueing
+//!    everything flagged `dedupe_needed` (Handling I / III — a target entry
+//!    whose transaction committed but whose flag never advanced is simply
+//!    re-processed, which is safe because its already-deduplicated pages are
+//!    no longer backed by it);
+//! 2. **resumes from step ⑥** every entry flagged `in_process`
+//!    (Handling II): the tail commit made those transactions durable, so
+//!    only the UC→RFC transfer, flags, and reclaim remain;
+//! 3. **discards stale UCs** — any update count left non-zero belongs to a
+//!    transaction that failed before its tail commit ("the UC is not
+//!    applied to the RFC for these entries, but discarded");
+//! 4. **repairs interrupted chain reorders** via the commit flag (Fig. 7);
+//! 5. **scrubs FACT against the live files**: entries whose canonical block
+//!    no file references are dropped, and over-incremented RFCs (the
+//!    crash-during-reclaim case) are reset to the exact reference count, so
+//!    no page stays unreclaimable.
+
+use crate::dedup::resume_in_process;
+use crate::dwq::Dwq;
+use crate::fact::Fact;
+use crate::reorder::recover_reorder;
+use denova_nova::{DedupeFlag, LogEntry, LogIter, Nova, Result, ROOT_INO};
+
+/// What recovery did, for logging and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Write entries re-queued onto the DWQ (flag `Needed`).
+    pub requeued: u64,
+    /// Transactions resumed from step ⑥ (flag `InProcess`).
+    pub resumed: u64,
+    /// FACT entries whose stale UC was discarded.
+    pub stale_ucs_discarded: u64,
+    /// Chains whose interrupted reorder was repaired.
+    pub reorders_repaired: u64,
+    /// FACT entries dropped or RFC-corrected by the scrubber.
+    pub scrubbed: u64,
+}
+
+/// Run dedup recovery on a freshly-mounted (crashed) file system.
+pub fn recover(nova: &Nova, fact: &Fact, dwq: &Dwq) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    let dev = nova.device().clone();
+    let layout = *nova.layout();
+
+    // Phase A: fast scan of every live inode's write entries.
+    let mut in_process: Vec<(u64, u64)> = Vec::new();
+    let mut needed: Vec<(u64, u64)> = Vec::new();
+    let mut inos = nova.live_inodes();
+    inos.push(ROOT_INO);
+    for ino in inos {
+        let pos = nova.with_inode_read(ino, |mem| Ok(mem.pos))?;
+        for item in LogIter::new(&dev, &layout, pos.head, pos.tail) {
+            let (off, entry) = item?;
+            if let LogEntry::Write(we) = entry {
+                match we.dedupe_flag {
+                    DedupeFlag::Needed => needed.push((ino, off)),
+                    DedupeFlag::InProcess => in_process.push((ino, off)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Phase B (Handling II): resume interrupted transactions from step ⑥.
+    for &(ino, off) in &in_process {
+        resume_in_process(nova, fact, ino, off)?;
+        report.resumed += 1;
+    }
+
+    // Phase C (Handling I/III): re-queue pending candidates in log order.
+    for &(ino, off) in &needed {
+        dwq.push(ino, off);
+        report.requeued += 1;
+    }
+
+    // Phase D: discard stale UCs and collect chains to check for
+    // interrupted reorders (one full-table scan covers both).
+    let mut chained_prefixes = Vec::new();
+    fact.for_each_occupied(|idx, e| {
+        if e.uc > 0 {
+            fact.reset_uc(idx);
+            report.stale_ucs_discarded += 1;
+        }
+        if idx < fact.daa_entries() && e.next >= 0 {
+            chained_prefixes.push(idx);
+        }
+    });
+    for prefix in chained_prefixes {
+        if recover_reorder(fact, prefix)? {
+            report.reorders_repaired += 1;
+        }
+    }
+
+    // Phase E: scrub FACT against the recovered file system.
+    report.scrubbed = scrub(nova, fact)?;
+    Ok(report)
+}
+
+/// Reconcile every FACT entry with the exact number of write entries
+/// referencing its canonical block. This is the paper's background monitor
+/// ("it periodically scans all the files and generates a bitmap of which
+/// FACT entry is in use"), generalized to also repair over-incremented RFCs.
+/// Returns the number of entries dropped or corrected.
+///
+/// Must run quiescent (at mount, or with the daemon drained): it compares
+/// two scans that are not mutually atomic.
+pub fn scrub(nova: &Nova, fact: &Fact) -> Result<u64> {
+    let counts = nova.block_reference_counts();
+    let mut fixed = 0;
+    let mut doomed: Vec<u64> = Vec::new();
+    let mut adjust: Vec<(u64, u32)> = Vec::new();
+    fact.for_each_occupied(|idx, e| {
+        if e.uc > 0 {
+            // In-flight transaction (only possible in a non-quiescent call);
+            // leave it alone.
+            return;
+        }
+        let actual = counts.get(&e.block).copied().unwrap_or(0);
+        if actual == 0 {
+            doomed.push(idx);
+        } else if e.rfc != actual {
+            adjust.push((idx, actual));
+        }
+    });
+    for idx in doomed {
+        fact.remove(idx)?;
+        fixed += 1;
+    }
+    for (idx, rfc) in adjust {
+        fact.set_rfc(idx, rfc);
+        fixed += 1;
+    }
+    Ok(fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dedup::dedup_entry;
+    use crate::reclaim::DenovaHooks;
+    use crate::stats::DedupStats;
+    use denova_fingerprint::Fingerprint;
+    use denova_nova::NovaOptions;
+    use denova_pmem::PmemDevice;
+    use std::sync::Arc;
+
+    fn opts() -> NovaOptions {
+        NovaOptions {
+            num_inodes: 128,
+            dedup_enabled: true,
+            ..Default::default()
+        }
+    }
+
+    struct Stack {
+        nova: Arc<Nova>,
+        fact: Arc<Fact>,
+        dwq: Arc<Dwq>,
+    }
+
+    fn mkfs() -> Stack {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        let nova = Arc::new(Nova::mkfs(dev.clone(), opts()).unwrap());
+        let stats = Arc::new(DedupStats::default());
+        let fact = Arc::new(Fact::new(dev, *nova.layout(), stats.clone()));
+        let dwq = Arc::new(Dwq::new(stats));
+        nova.set_hooks(Arc::new(DenovaHooks::new(fact.clone(), dwq.clone(), true)));
+        Stack { nova, fact, dwq }
+    }
+
+    /// Crash the device and bring up a recovered stack.
+    fn crash_and_recover(s: &Stack) -> (Stack, RecoveryReport) {
+        let dev = Arc::new(s.nova.device().crash_clone(denova_pmem::CrashMode::Strict));
+        let nova = Arc::new(Nova::mount(dev.clone(), opts()).unwrap());
+        let stats = Arc::new(DedupStats::default());
+        let fact = Arc::new(Fact::mount(dev, *nova.layout(), stats.clone()));
+        let dwq = Arc::new(Dwq::new(stats));
+        nova.set_hooks(Arc::new(DenovaHooks::new(fact.clone(), dwq.clone(), true)));
+        let report = recover(&nova, &fact, &dwq).unwrap();
+        (Stack { nova, fact, dwq }, report)
+    }
+
+    fn drain(s: &Stack) {
+        while let Some(node) = s.dwq.pop_batch(1).first().copied() {
+            dedup_entry(&s.nova, &s.fact, &node).unwrap();
+        }
+    }
+
+    #[test]
+    fn handling_i_requeues_needed_entries() {
+        let s = mkfs();
+        let data = vec![0x11u8; 4096];
+        for name in ["a", "b"] {
+            let ino = s.nova.create(name).unwrap();
+            s.nova.write(ino, 0, &data).unwrap();
+        }
+        // Crash before the daemon ran: both entries still flagged Needed.
+        let (s2, report) = crash_and_recover(&s);
+        assert_eq!(report.requeued, 2);
+        assert_eq!(report.resumed, 0);
+        assert_eq!(s2.dwq.len(), 2);
+        drain(&s2);
+        let (idx, _) = s2.fact.lookup(&Fingerprint::of(&data)).unwrap();
+        assert_eq!(s2.fact.counters(idx), (2, 0));
+    }
+
+    #[test]
+    fn crash_matrix_over_every_dedup_crash_point() {
+        // For each crash point inside the dedup transaction: crash there,
+        // recover, finish, and verify the end state is byte- and
+        // count-identical to a run that never crashed.
+        let points = [
+            "denova::dedup::after_reserve",
+            "denova::dedup::before_tail_commit",
+            "denova::dedup::after_tail_commit",
+            "denova::dedup::after_target_in_process",
+            "denova::dedup::mid_commit_counts",
+            "denova::dedup::after_commit_counts",
+            "denova::dedup::after_complete",
+        ];
+        let data = vec![0x5Au8; 2 * 4096]; // 2 identical pages per file
+        for point in points {
+            let s = mkfs();
+            let a = s.nova.create("a").unwrap();
+            let b = s.nova.create("b").unwrap();
+            s.nova.write(a, 0, &data).unwrap();
+            s.nova.write(b, 0, &data).unwrap();
+            // Process the first node cleanly, crash inside the second.
+            let nodes = s.dwq.pop_batch(2);
+            dedup_entry(&s.nova, &s.fact, &nodes[0]).unwrap();
+            s.nova.device().crash_points().arm(point, 0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dedup_entry(&s.nova, &s.fact, &nodes[1]).unwrap();
+            }));
+            assert!(r.is_err(), "{point} did not fire");
+
+            let (s2, _report) = crash_and_recover(&s);
+            drain(&s2);
+            crate::recovery::scrub(&s2.nova, &s2.fact).unwrap();
+            // Both files intact.
+            let a2 = s2.nova.open("a").unwrap();
+            let b2 = s2.nova.open("b").unwrap();
+            assert_eq!(s2.nova.read(a2, 0, data.len()).unwrap(), data, "{point}");
+            assert_eq!(s2.nova.read(b2, 0, data.len()).unwrap(), data, "{point}");
+            // FACT consistent: one entry for the content, RFC == exact
+            // number of referencing write entries, no UC residue.
+            let (idx, e) = s2.fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+            assert_eq!(e.uc, 0, "{point}: UC residue");
+            let counts = s2.nova.block_reference_counts();
+            let expected = counts.get(&e.block).copied().unwrap();
+            assert_eq!(
+                s2.fact.counters(idx).0,
+                expected,
+                "{point}: RFC mismatch"
+            );
+            // And nothing got leaked or double-freed: a second scrub finds
+            // nothing to fix.
+            assert_eq!(crate::recovery::scrub(&s2.nova, &s2.fact).unwrap(), 0, "{point}");
+        }
+    }
+
+    #[test]
+    fn stale_uc_discarded_at_recovery() {
+        let s = mkfs();
+        let a = s.nova.create("a").unwrap();
+        s.nova.write(a, 0, &vec![0x77u8; 4096]).unwrap();
+        // Crash after step 3 (UC++) but before the tail commit.
+        let node = s.dwq.pop_batch(1)[0];
+        s.nova
+            .device()
+            .crash_points()
+            .arm("denova::dedup::after_reserve", 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dedup_entry(&s.nova, &s.fact, &node).unwrap();
+        }));
+        assert!(r.is_err());
+        let (s2, report) = crash_and_recover(&s);
+        // The UC either never persisted (crash reverted it) or was discarded.
+        assert!(report.stale_ucs_discarded <= 1);
+        let mut bad = 0;
+        s2.fact.for_each_occupied(|_, e| {
+            if e.uc != 0 {
+                bad += 1;
+            }
+        });
+        assert_eq!(bad, 0);
+        // The entry is re-queued and a clean pass completes it.
+        drain(&s2);
+        let a2 = s2.nova.open("a").unwrap();
+        assert_eq!(s2.nova.read(a2, 0, 4096).unwrap(), vec![0x77u8; 4096]);
+    }
+
+    #[test]
+    fn scrubber_drops_orphan_fact_entries() {
+        let s = mkfs();
+        let data = vec![0x3Cu8; 4096];
+        let a = s.nova.create("a").unwrap();
+        s.nova.write(a, 0, &data).unwrap();
+        drain(&s);
+        assert!(s.fact.lookup(&Fingerprint::of(&data)).is_some());
+        // Simulate an over-increment: bump RFC so unlink's reclaim leaves
+        // the entry alive with no referencing file.
+        let (idx, _) = s.fact.lookup(&Fingerprint::of(&data)).unwrap();
+        s.fact.inc_uc(idx);
+        s.fact.commit_uc_to_rfc(idx); // RFC = 2, actual refs = 1
+        s.nova.unlink("a").unwrap(); // dec to 1, entry survives (wrongly)
+        assert!(s.fact.lookup(&Fingerprint::of(&data)).is_some());
+        let fixed = scrub(&s.nova, &s.fact).unwrap();
+        assert_eq!(fixed, 1);
+        assert!(s.fact.lookup(&Fingerprint::of(&data)).is_none());
+    }
+
+    #[test]
+    fn scrubber_corrects_over_incremented_rfc() {
+        let s = mkfs();
+        let data = vec![0x2Bu8; 4096];
+        let a = s.nova.create("a").unwrap();
+        let b = s.nova.create("b").unwrap();
+        s.nova.write(a, 0, &data).unwrap();
+        s.nova.write(b, 0, &data).unwrap();
+        drain(&s);
+        let (idx, _) = s.fact.lookup(&Fingerprint::of(&data)).unwrap();
+        s.fact.set_rfc(idx, 9); // simulate crash-induced over-increment
+        let fixed = scrub(&s.nova, &s.fact).unwrap();
+        assert_eq!(fixed, 1);
+        assert_eq!(s.fact.counters(idx), (2, 0));
+    }
+
+    #[test]
+    fn scrub_on_healthy_fs_is_noop() {
+        let s = mkfs();
+        let a = s.nova.create("a").unwrap();
+        s.nova.write(a, 0, &vec![1u8; 3 * 4096]).unwrap();
+        drain(&s);
+        assert_eq!(scrub(&s.nova, &s.fact).unwrap(), 0);
+    }
+
+    #[test]
+    fn recovery_repairs_interrupted_reorder() {
+        let s = mkfs();
+        // Build an IAA chain through real dedup is hard to force; use the
+        // fact layer directly with colliding prefixes, then crash mid
+        // reorder and run full recovery.
+        let bits = s.fact.prefix_bits();
+        let mk = |salt: u8| {
+            let mut bytes = [0u8; 20];
+            bytes[..8].copy_from_slice(&(99u64 << (64 - bits)).to_be_bytes());
+            bytes[19] = salt;
+            bytes[18] = 1;
+            Fingerprint::from_bytes(bytes)
+        };
+        for salt in 1..=5 {
+            let (idx, _) = s.fact.reserve_or_insert(&mk(salt), 400 + salt as u64).unwrap();
+            s.fact.commit_uc_to_rfc(idx);
+            s.fact.set_rfc(idx, salt as u32 * 3 % 7 + 1);
+        }
+        s.nova
+            .device()
+            .crash_points()
+            .arm("denova::reorder::phase2_step", 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::reorder::reorder_chain(&s.fact, 99).unwrap();
+        }));
+        assert!(r.is_err());
+        let (s2, report) = crash_and_recover(&s);
+        assert_eq!(report.reorders_repaired, 1);
+        // All five fingerprints reachable after repair... the scrubber will
+        // have dropped them (no file references those blocks), so check the
+        // repair happened via the report and chain soundness before scrub is
+        // covered by reorder.rs tests.
+        let _ = s2;
+    }
+}

@@ -1,0 +1,272 @@
+//! Deduplication statistics.
+//!
+//! These counters back the paper's evaluation directly: Table IV's
+//! fingerprint-time vs other-ops breakdown, Fig. 10's DWQ lingering-time
+//! CDF, the space-savings numbers, and the FACT access-cost claims (DAA
+//! lookups resolve in one PM read; reclaim in two).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared dedup counters. All atomics are relaxed — statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct DedupStats {
+    // FACT.
+    lookups: AtomicU64,
+    lookup_pm_reads: AtomicU64,
+    daa_direct_hits: AtomicU64,
+    hits: AtomicU64,
+    inserts: AtomicU64,
+    iaa_inserts: AtomicU64,
+    removes: AtomicU64,
+    entry_flushes: AtomicU64,
+    // Dedup outcomes.
+    pages_scanned: AtomicU64,
+    duplicate_pages: AtomicU64,
+    unique_pages: AtomicU64,
+    pages_skipped_stale: AtomicU64,
+    // Latency breakdown (Table IV).
+    fingerprint_ns: AtomicU64,
+    other_ops_ns: AtomicU64,
+    // DWQ.
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    /// Lingering time (enqueue → dequeue) per node, for the Fig. 10 CDF.
+    lingering_ns: Mutex<Vec<u64>>,
+    // Reordering.
+    reorders: AtomicU64,
+}
+
+impl DedupStats {
+    // -- FACT hooks (called by `fact.rs`) --------------------------------
+
+    pub(crate) fn bump_lookups(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lookup_reads(&self, reads: u64, direct: bool) {
+        self.lookup_pm_reads.fetch_add(reads, Ordering::Relaxed);
+        if direct {
+            self.daa_direct_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn bump_hits(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_inserts(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_iaa_inserts(&self) {
+        self.iaa_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_removes(&self) {
+        self.removes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_flushes(&self, n: u64) {
+        self.entry_flushes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_reorders(&self) {
+        self.reorders.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // -- Dedup outcomes ---------------------------------------------------
+
+    pub(crate) fn record_page(&self, duplicate: bool) {
+        self.pages_scanned.fetch_add(1, Ordering::Relaxed);
+        if duplicate {
+            self.duplicate_pages.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.unique_pages.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_stale_page(&self) {
+        self.pages_skipped_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fingerprint_time(&self, d: Duration) {
+        self.fingerprint_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_other_ops_time(&self, d: Duration) {
+        self.other_ops_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    // -- DWQ ---------------------------------------------------------------
+
+    pub(crate) fn record_enqueue(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dequeue(&self, lingered: Duration) {
+        self.dequeued.fetch_add(1, Ordering::Relaxed);
+        self.lingering_ns.lock().push(lingered.as_nanos() as u64);
+    }
+
+    // -- Readouts -----------------------------------------------------------
+
+    /// FACT lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Average PM reads per FACT lookup — 1.0 means every lookup was a
+    /// direct DAA access.
+    pub fn avg_lookup_reads(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            return 0.0;
+        }
+        self.lookup_pm_reads.load(Ordering::Relaxed) as f64 / l as f64
+    }
+
+    /// Lookups resolved by the DAA alone.
+    pub fn daa_direct_hits(&self) -> u64 {
+        self.daa_direct_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found an existing fingerprint.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// New FACT entries created.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Inserts that landed in the IAA (prefix collisions).
+    pub fn iaa_inserts(&self) -> u64 {
+        self.iaa_inserts.load(Ordering::Relaxed)
+    }
+
+    /// FACT entries removed.
+    pub fn removes(&self) -> u64 {
+        self.removes.load(Ordering::Relaxed)
+    }
+
+    /// Cache-line flushes spent on FACT entry updates.
+    pub fn entry_flushes(&self) -> u64 {
+        self.entry_flushes.load(Ordering::Relaxed)
+    }
+
+    /// Pages fingerprinted by the dedup process.
+    pub fn pages_scanned(&self) -> u64 {
+        self.pages_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate pages found (each saves one 4 KB block).
+    pub fn duplicate_pages(&self) -> u64 {
+        self.duplicate_pages.load(Ordering::Relaxed)
+    }
+
+    /// Unique pages registered in FACT.
+    pub fn unique_pages(&self) -> u64 {
+        self.unique_pages.load(Ordering::Relaxed)
+    }
+
+    /// Pages skipped because the file overwrote them before dedup ran.
+    pub fn stale_pages(&self) -> u64 {
+        self.pages_skipped_stale.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of storage saved by deduplication so far.
+    pub fn bytes_saved(&self) -> u64 {
+        self.duplicate_pages() * denova_pmem::PAGE_SIZE as u64
+    }
+
+    /// Total fingerprinting time (Table IV "FP Time").
+    pub fn fingerprint_time(&self) -> Duration {
+        Duration::from_nanos(self.fingerprint_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total non-fingerprint dedup time (Table IV "Other Ops": chunking,
+    /// FACT lookups, entry appends, counter updates).
+    pub fn other_ops_time(&self) -> Duration {
+        Duration::from_nanos(self.other_ops_ns.load(Ordering::Relaxed))
+    }
+
+    /// DWQ nodes enqueued.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// DWQ nodes dequeued (processed).
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Lingering times of every dequeued DWQ node, in nanoseconds
+    /// (Fig. 10's raw data).
+    pub fn lingering_ns(&self) -> Vec<u64> {
+        self.lingering_ns.lock().clone()
+    }
+
+    /// IAA chain reorders performed.
+    pub fn reorders(&self) -> u64 {
+        self.reorders.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_accounting_sums() {
+        let s = DedupStats::default();
+        s.record_page(true);
+        s.record_page(true);
+        s.record_page(false);
+        assert_eq!(s.pages_scanned(), 3);
+        assert_eq!(s.duplicate_pages(), 2);
+        assert_eq!(s.unique_pages(), 1);
+        assert_eq!(s.bytes_saved(), 8192);
+    }
+
+    #[test]
+    fn avg_lookup_reads_divides() {
+        let s = DedupStats::default();
+        assert_eq!(s.avg_lookup_reads(), 0.0);
+        s.bump_lookups();
+        s.record_lookup_reads(1, true);
+        s.bump_lookups();
+        s.record_lookup_reads(3, false);
+        assert!((s.avg_lookup_reads() - 2.0).abs() < 1e-9);
+        assert_eq!(s.daa_direct_hits(), 1);
+    }
+
+    #[test]
+    fn lingering_records_every_dequeue() {
+        let s = DedupStats::default();
+        s.record_enqueue();
+        s.record_enqueue();
+        s.record_dequeue(Duration::from_millis(5));
+        s.record_dequeue(Duration::from_millis(10));
+        assert_eq!(s.enqueued(), 2);
+        assert_eq!(s.dequeued(), 2);
+        let l = s.lingering_ns();
+        assert_eq!(l.len(), 2);
+        assert!(l[0] >= 5_000_000 && l[1] >= 10_000_000);
+    }
+
+    #[test]
+    fn time_breakdown_accumulates() {
+        let s = DedupStats::default();
+        s.record_fingerprint_time(Duration::from_micros(11));
+        s.record_fingerprint_time(Duration::from_micros(9));
+        s.record_other_ops_time(Duration::from_micros(4));
+        assert_eq!(s.fingerprint_time(), Duration::from_micros(20));
+        assert_eq!(s.other_ops_time(), Duration::from_micros(4));
+    }
+}

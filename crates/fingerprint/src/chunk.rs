@@ -1,0 +1,97 @@
+//! Fixed-size chunking.
+//!
+//! "DENOVA-Inline chunks the data into 4 KB" and the deduplication daemon
+//! likewise fingerprints per 4 KB data page (the NOVA block size). Chunking
+//! is fixed-size and block-aligned — the natural choice for a file system
+//! whose CoW granularity is already the 4 KB page; content-defined chunking
+//! would buy nothing because shared pages must be addressable by block.
+
+use crate::Fingerprint;
+
+/// Deduplication chunk size: one NOVA data page.
+pub const CHUNK_SIZE: usize = 4096;
+
+/// A chunk of a write buffer: its page index within the buffer and its
+/// strong fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Page index within the buffer (0-based).
+    pub page_index: u64,
+    /// SHA-1 fingerprint of the 4 KB page (short tails are zero-padded to a
+    /// full page, matching how the page lives on the device).
+    pub fingerprint: Fingerprint,
+}
+
+/// Split `data` into 4 KB pages and fingerprint each.
+///
+/// A final partial page is fingerprinted as if zero-padded to 4 KB, because
+/// that is exactly the content of the CoW data page NOVA allocates for it —
+/// dedup must match what is on the device, not what the user buffer held.
+pub fn chunk_pages(data: &[u8]) -> Vec<Chunk> {
+    let mut out = Vec::with_capacity(data.len().div_ceil(CHUNK_SIZE));
+    for (i, page) in data.chunks(CHUNK_SIZE).enumerate() {
+        let fingerprint = if page.len() == CHUNK_SIZE {
+            Fingerprint::of(page)
+        } else {
+            let mut padded = vec![0u8; CHUNK_SIZE];
+            padded[..page.len()].copy_from_slice(page);
+            Fingerprint::of(&padded)
+        };
+        out.push(Chunk {
+            page_index: i as u64,
+            fingerprint,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_yields_no_chunks() {
+        assert!(chunk_pages(&[]).is_empty());
+    }
+
+    #[test]
+    fn exact_pages_chunk_cleanly() {
+        let data = vec![3u8; CHUNK_SIZE * 3];
+        let chunks = chunk_pages(&data);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].page_index, 0);
+        assert_eq!(chunks[2].page_index, 2);
+        // Identical pages → identical fingerprints.
+        assert_eq!(chunks[0].fingerprint, chunks[1].fingerprint);
+    }
+
+    #[test]
+    fn partial_tail_is_zero_padded() {
+        let mut data = vec![7u8; CHUNK_SIZE + 100];
+        let chunks = chunk_pages(&data);
+        assert_eq!(chunks.len(), 2);
+        let mut padded = vec![0u8; CHUNK_SIZE];
+        padded[..100].copy_from_slice(&data[CHUNK_SIZE..]);
+        assert_eq!(chunks[1].fingerprint, Fingerprint::of(&padded));
+        // And it differs from the full page of the same byte.
+        data.truncate(CHUNK_SIZE);
+        assert_ne!(chunks[1].fingerprint, chunks[0].fingerprint);
+    }
+
+    #[test]
+    fn distinct_pages_distinct_fingerprints() {
+        let mut data = vec![0u8; CHUNK_SIZE * 2];
+        data[CHUNK_SIZE] = 1;
+        let chunks = chunk_pages(&data);
+        assert_ne!(chunks[0].fingerprint, chunks[1].fingerprint);
+    }
+
+    #[test]
+    fn sub_page_buffer_is_single_padded_chunk() {
+        let chunks = chunk_pages(b"tiny");
+        assert_eq!(chunks.len(), 1);
+        let mut padded = vec![0u8; CHUNK_SIZE];
+        padded[..4].copy_from_slice(b"tiny");
+        assert_eq!(chunks[0].fingerprint, Fingerprint::of(&padded));
+    }
+}

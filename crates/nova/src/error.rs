@@ -1,0 +1,68 @@
+//! File-system error type.
+
+/// Errors returned by the NOVA layer (and propagated by DeNova).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NovaError {
+    /// No free data/log pages left.
+    NoSpace,
+    /// No free inode slots left.
+    NoInodes,
+    /// Named file does not exist.
+    NotFound,
+    /// A file with this name already exists.
+    AlreadyExists,
+    /// File name longer than a dentry can hold (40 bytes).
+    NameTooLong,
+    /// Inode number out of range or not live.
+    BadInode(u64),
+    /// Read/write beyond the representable file range.
+    InvalidRange,
+    /// The device does not contain a valid file system.
+    NotFormatted,
+    /// On-media structures failed validation during mount/recovery.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for NovaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NovaError::NoSpace => write!(f, "no free pages"),
+            NovaError::NoInodes => write!(f, "no free inodes"),
+            NovaError::NotFound => write!(f, "file not found"),
+            NovaError::AlreadyExists => write!(f, "file already exists"),
+            NovaError::NameTooLong => write!(f, "file name too long"),
+            NovaError::BadInode(ino) => write!(f, "bad inode {ino}"),
+            NovaError::InvalidRange => write!(f, "invalid file range"),
+            NovaError::NotFormatted => write!(f, "device is not formatted"),
+            NovaError::Corrupt(what) => write!(f, "corrupt file system: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NovaError {}
+
+/// Result alias used across the file-system crates.
+pub type Result<T> = std::result::Result<T, NovaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_distinctly() {
+        let all = [
+            NovaError::NoSpace,
+            NovaError::NoInodes,
+            NovaError::NotFound,
+            NovaError::AlreadyExists,
+            NovaError::NameTooLong,
+            NovaError::BadInode(3),
+            NovaError::InvalidRange,
+            NovaError::NotFormatted,
+            NovaError::Corrupt("x"),
+        ];
+        let texts: std::collections::HashSet<String> =
+            all.iter().map(|e| e.to_string()).collect();
+        assert_eq!(texts.len(), all.len());
+    }
+}

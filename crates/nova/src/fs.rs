@@ -1,0 +1,1021 @@
+//! The `Nova` file system object: mkfs, mount, namespace operations, and the
+//! per-inode locking context used by both the foreground write path and the
+//! DeNova deduplication daemon.
+
+use crate::alloc::Allocator;
+use crate::entry::{DentryEntry, WriteEntry};
+use crate::error::{NovaError, Result};
+use crate::hooks::{NoHooks, NovaHooks, ReclaimDecision};
+use crate::index::RadixTree;
+use crate::inode::InodeTable;
+use crate::layout::{Layout, BLOCK_SIZE, ROOT_INO};
+use crate::log::{self, LogPosition};
+use crate::stats::NovaStats;
+use crate::superblock;
+use denova_pmem::PmemDevice;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// mkfs/mount options.
+#[derive(Debug, Clone)]
+pub struct NovaOptions {
+    /// Inode-table capacity (files + root).
+    pub num_inodes: u64,
+    /// Blocks reserved for the clean-shutdown DWQ save area.
+    pub dwq_blocks: u64,
+    /// Number of per-CPU free lists.
+    pub cpus: usize,
+    /// Whether new write entries are dedup candidates (`dedupe_flag =
+    /// Needed`). Baseline NOVA mounts with this off.
+    pub dedup_enabled: bool,
+}
+
+impl Default for NovaOptions {
+    fn default() -> Self {
+        NovaOptions {
+            num_inodes: 4096,
+            dwq_blocks: 64,
+            cpus: 4,
+            dedup_enabled: false,
+        }
+    }
+}
+
+/// Per-inode DRAM state: the radix tree index plus log bookkeeping. Rebuilt
+/// from the persistent log on recovery.
+#[derive(Debug, Default)]
+pub struct InodeMem {
+    /// File page offset → backing (entry, block).
+    pub radix: RadixTree,
+    /// Log head/tail mirror.
+    pub pos: LogPosition,
+    /// Current file size in bytes.
+    pub size: u64,
+    /// Live (non-superseded) pages remaining per write entry, keyed by entry
+    /// device offset. An entry with zero live pages is dead.
+    pub entry_live: HashMap<u64, u32>,
+    /// Live entries per log page block; a page with zero live entries can be
+    /// GCed.
+    pub live_per_page: HashMap<u64, u64>,
+    /// Tombstone: set (under the write lock) when the inode is released.
+    /// Late lockers — e.g. a dedup daemon that cloned the inode's `Arc`
+    /// moments before an unlink — must observe this and back off instead of
+    /// touching freed pages.
+    pub dead: bool,
+}
+
+impl InodeMem {
+    /// Register a freshly-appended write entry and fold it into the radix
+    /// tree. Returns the data blocks this entry superseded (to reclaim) —
+    /// never including blocks the new entry itself references.
+    pub fn apply_write_entry(&mut self, entry_off: u64, we: &WriteEntry) -> Vec<u64> {
+        let mut superseded = Vec::new();
+        self.entry_live.insert(entry_off, we.num_pages);
+        *self
+            .live_per_page
+            .entry(entry_off / BLOCK_SIZE)
+            .or_insert(0) += 1;
+        for i in 0..we.num_pages as u64 {
+            let pgoff = we.file_pgoff + i;
+            let block = we.block + i;
+            let old = self.radix.insert(
+                pgoff,
+                crate::index::EntryRef {
+                    entry_off,
+                    block,
+                },
+            );
+            if let Some(old) = old {
+                self.supersede(&old);
+                if old.block != block {
+                    superseded.push(old.block);
+                }
+            }
+        }
+        self.size = self.size.max(we.size_after);
+        superseded
+    }
+
+    /// Mark one page of `old`'s entry superseded, maintaining the per-entry
+    /// and per-page live counts. Called from the write path, truncate, and
+    /// the dedup layer's radix rebuild.
+    pub fn supersede(&mut self, old: &crate::index::EntryRef) {
+        if let Some(live) = self.entry_live.get_mut(&old.entry_off) {
+            *live -= 1;
+            if *live == 0 {
+                self.entry_live.remove(&old.entry_off);
+                let page = old.entry_off / BLOCK_SIZE;
+                if let Some(n) = self.live_per_page.get_mut(&page) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.live_per_page.remove(&page);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The NOVA-like log-structured file system.
+pub struct Nova {
+    dev: Arc<PmemDevice>,
+    layout: Layout,
+    alloc: Allocator,
+    /// Flat namespace: file name → inode number. The persistent source of
+    /// truth is the root directory inode's dentry log.
+    namespace: Mutex<HashMap<String, u64>>,
+    /// Per-inode DRAM state. `Arc` so callers can hold an inode lock without
+    /// holding the map lock.
+    inode_map: RwLock<HashMap<u64, Arc<RwLock<InodeMem>>>>,
+    /// Next inode slot to probe when allocating.
+    inode_cursor: Mutex<u64>,
+    txid: AtomicU64,
+    dedup_enabled: AtomicBool,
+    hooks: RwLock<Arc<dyn NovaHooks>>,
+    stats: NovaStats,
+}
+
+impl Nova {
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Format `dev` and return a mounted file system.
+    pub fn mkfs(dev: Arc<PmemDevice>, opts: NovaOptions) -> Result<Nova> {
+        let layout = Layout::compute(dev.size() as u64, opts.num_inodes, opts.dwq_blocks);
+        // Zero all metadata regions: inode table, FACT, DWQ save area.
+        let meta_bytes = (layout.data_start - layout.inode_table_start) * BLOCK_SIZE;
+        dev.memset(layout.inode_table_start * BLOCK_SIZE, meta_bytes as usize, 0);
+        dev.persist(layout.inode_table_start * BLOCK_SIZE, meta_bytes as usize);
+        superblock::write_superblock(&dev, &layout);
+
+        let fs = Nova {
+            alloc: Allocator::new(opts.cpus, layout.data_start, layout.data_blocks()),
+            namespace: Mutex::new(HashMap::new()),
+            inode_map: RwLock::new(HashMap::new()),
+            inode_cursor: Mutex::new(1),
+            txid: AtomicU64::new(1),
+            dedup_enabled: AtomicBool::new(opts.dedup_enabled),
+            hooks: RwLock::new(Arc::new(NoHooks)),
+            stats: NovaStats::default(),
+            layout,
+            dev,
+        };
+        // Root directory inode.
+        fs.table().init(ROOT_INO, true)?;
+        fs.inode_map
+            .write()
+            .insert(ROOT_INO, Arc::new(RwLock::new(InodeMem::default())));
+        Ok(fs)
+    }
+
+    /// Mount an existing file system, running log-scan recovery (the paths
+    /// NOVA uses after both clean and unclean shutdown; we always rebuild
+    /// from the logs, which is strictly more conservative).
+    pub fn mount(dev: Arc<PmemDevice>, opts: NovaOptions) -> Result<Nova> {
+        let layout = superblock::read_superblock(&dev)?;
+        let recovered = crate::recovery::recover(&dev, &layout, opts.cpus)?;
+        superblock::set_clean_unmount(&dev, false);
+        Ok(Nova {
+            alloc: recovered.alloc,
+            namespace: Mutex::new(recovered.namespace),
+            inode_map: RwLock::new(
+                recovered
+                    .inodes
+                    .into_iter()
+                    .map(|(ino, mem)| (ino, Arc::new(RwLock::new(mem))))
+                    .collect(),
+            ),
+            inode_cursor: Mutex::new(1),
+            txid: AtomicU64::new(recovered.next_txid),
+            dedup_enabled: AtomicBool::new(opts.dedup_enabled),
+            hooks: RwLock::new(Arc::new(NoHooks)),
+            stats: NovaStats::default(),
+            layout,
+            dev,
+        })
+    }
+
+    /// Cleanly unmount: persist the clean flag. (The DeNova layer saves the
+    /// DWQ to its reserved area *before* calling this.)
+    pub fn unmount(&self) {
+        superblock::set_clean_unmount(&self.dev, true);
+    }
+
+    /// Install the dedup layer's hooks.
+    pub fn set_hooks(&self, hooks: Arc<dyn NovaHooks>) {
+        *self.hooks.write() = hooks;
+    }
+
+    /// Enable/disable tagging of new write entries as dedup candidates.
+    pub fn set_dedup_enabled(&self, on: bool) {
+        self.dedup_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether new writes are tagged as dedup candidates.
+    pub fn dedup_enabled(&self) -> bool {
+        self.dedup_enabled.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.dev
+    }
+
+    /// The on-media layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &NovaStats {
+        &self.stats
+    }
+
+    /// Free data/log blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.free_blocks()
+    }
+
+    /// The block allocator (exposed for the dedup layer's recovery scrubber).
+    pub fn allocator(&self) -> &Allocator {
+        &self.alloc
+    }
+
+    pub(crate) fn table(&self) -> InodeTable<'_> {
+        InodeTable::new(&self.dev, &self.layout)
+    }
+
+    pub(crate) fn next_txid(&self) -> u64 {
+        self.txid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn current_hooks(&self) -> Arc<dyn NovaHooks> {
+        self.hooks.read().clone()
+    }
+
+    /// The dedupe flag new foreground write entries carry.
+    pub(crate) fn new_entry_flag(&self) -> crate::entry::DedupeFlag {
+        if self.dedup_enabled() {
+            crate::entry::DedupeFlag::Needed
+        } else {
+            crate::entry::DedupeFlag::NotApplicable
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inode access
+    // ------------------------------------------------------------------
+
+    fn inode_arc(&self, ino: u64) -> Result<Arc<RwLock<InodeMem>>> {
+        self.inode_map
+            .read()
+            .get(&ino)
+            .cloned()
+            .ok_or(NovaError::BadInode(ino))
+    }
+
+    /// Run `f` with the inode's DRAM state read-locked.
+    pub fn with_inode_read<R>(&self, ino: u64, f: impl FnOnce(&InodeMem) -> Result<R>) -> Result<R> {
+        let arc = self.inode_arc(ino)?;
+        let mem = arc.read();
+        if mem.dead {
+            return Err(NovaError::BadInode(ino));
+        }
+        f(&mem)
+    }
+
+    /// Run `f` with the inode write-locked, in a context that can append log
+    /// entries, update the index, and reclaim blocks. This is the "holds an
+    /// inode lock" critical section the paper describes for both foreground
+    /// writes and the deduplication process.
+    pub fn with_inode_write<R>(
+        &self,
+        ino: u64,
+        f: impl FnOnce(&mut InodeCtx<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let arc = self.inode_arc(ino)?;
+        let mut mem = arc.write();
+        if mem.dead {
+            return Err(NovaError::BadInode(ino));
+        }
+        let mut ctx = InodeCtx {
+            fs: self,
+            ino,
+            mem: &mut mem,
+        };
+        f(&mut ctx)
+    }
+
+    /// Bitmap of data blocks currently referenced by any file's radix tree.
+    /// The DeNova FACT scrubber reconciles reference counts against this
+    /// ("It periodically scans all the files and generates a bitmap of which
+    /// FACT entry is in use", Section V-C2). Takes each inode's read lock in
+    /// turn, so it runs concurrently with foreground I/O.
+    pub fn referenced_blocks(&self) -> crate::alloc::BlockBitmap {
+        let mut bitmap = crate::alloc::BlockBitmap::new(self.layout.total_blocks);
+        let arcs: Vec<Arc<RwLock<InodeMem>>> =
+            self.inode_map.read().values().cloned().collect();
+        for arc in arcs {
+            let mem = arc.read();
+            mem.radix.for_each(|_, e| bitmap.set(e.block));
+        }
+        bitmap
+    }
+
+    /// Exact reference count per data block across every file's radix tree.
+    /// The DeNova scrubber uses this to reconcile FACT RFCs after the
+    /// over-increment cases of Section V-C2.
+    pub fn block_reference_counts(&self) -> HashMap<u64, u32> {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let arcs: Vec<Arc<RwLock<InodeMem>>> =
+            self.inode_map.read().values().cloned().collect();
+        for arc in arcs {
+            let mem = arc.read();
+            mem.radix.for_each(|_, e| *counts.entry(e.block).or_insert(0) += 1);
+        }
+        counts
+    }
+
+    /// Inode numbers currently live (excluding the root directory).
+    pub fn live_inodes(&self) -> Vec<u64> {
+        let mut inos: Vec<u64> = self
+            .inode_map
+            .read()
+            .keys()
+            .copied()
+            .filter(|&i| i != ROOT_INO)
+            .collect();
+        inos.sort();
+        inos
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace operations
+    // ------------------------------------------------------------------
+
+    /// Create an empty file. Returns its inode number.
+    pub fn create(&self, name: &str) -> Result<u64> {
+        let mut ns = self.namespace.lock();
+        if ns.contains_key(name) {
+            return Err(NovaError::AlreadyExists);
+        }
+        // Allocate an inode slot (persist the inode first: an orphan inode
+        // with no dentry is cleaned by recovery, so a crash here is safe).
+        let ino = {
+            let mut cursor = self.inode_cursor.lock();
+            let table = self.table();
+            let ino = match table.find_free(*cursor) {
+                Ok(i) => i,
+                Err(_) => table.find_free(1)?,
+            };
+            *cursor = ino + 1;
+            table.init(ino, false)?;
+            ino
+        };
+        self.dev.crash_point("nova::create::after_inode_init");
+        // Commit the dentry in the root directory log — the atomic commit
+        // point of file creation.
+        let dentry = DentryEntry {
+            add: true,
+            ino,
+            name: name.to_string(),
+            txid: self.next_txid(),
+        }
+        .encode()?;
+        self.with_inode_write(ROOT_INO, |ctx| {
+            ctx.append(&[dentry], "nova::create")?;
+            Ok(())
+        })?;
+        self.inode_map
+            .write()
+            .insert(ino, Arc::new(RwLock::new(InodeMem::default())));
+        ns.insert(name.to_string(), ino);
+        NovaStats::add(&self.stats.creates, 1);
+        Ok(ino)
+    }
+
+    /// Look up a file by name.
+    pub fn open(&self, name: &str) -> Result<u64> {
+        self.namespace
+            .lock()
+            .get(name)
+            .copied()
+            .ok_or(NovaError::NotFound)
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.namespace.lock().contains_key(name)
+    }
+
+    /// All file names (unordered).
+    pub fn list(&self) -> Vec<String> {
+        self.namespace.lock().keys().cloned().collect()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.namespace.lock().len()
+    }
+
+    /// Add a hard link: `new_name` becomes a second name for the inode
+    /// behind `existing`. Commit point: the dentry-add in the root log.
+    pub fn link(&self, existing: &str, new_name: &str) -> Result<u64> {
+        let mut ns = self.namespace.lock();
+        let ino = *ns.get(existing).ok_or(NovaError::NotFound)?;
+        if ns.contains_key(new_name) {
+            return Err(NovaError::AlreadyExists);
+        }
+        let dentry = DentryEntry {
+            add: true,
+            ino,
+            name: new_name.to_string(),
+            txid: self.next_txid(),
+        }
+        .encode()?;
+        self.with_inode_write(ROOT_INO, |ctx| {
+            ctx.append(&[dentry], "nova::link")?;
+            Ok(())
+        })?;
+        // The persistent link count is a cache; recovery recounts dentries.
+        let table = self.table();
+        let nlink = table.read(ino)?.link_count;
+        table.set_link_count(ino, nlink + 1)?;
+        ns.insert(new_name.to_string(), ino);
+        Ok(ino)
+    }
+
+    /// Remove a name. The inode's pages, log, and slot are released only
+    /// when its last name goes (hard links keep it alive).
+    pub fn unlink(&self, name: &str) -> Result<()> {
+        let mut ns = self.namespace.lock();
+        let ino = *ns.get(name).ok_or(NovaError::NotFound)?;
+        // Commit point: the dentry-remove entry in the root log.
+        let dentry = DentryEntry {
+            add: false,
+            ino,
+            name: name.to_string(),
+            txid: self.next_txid(),
+        }
+        .encode()?;
+        self.with_inode_write(ROOT_INO, |ctx| {
+            ctx.append(&[dentry], "nova::unlink")?;
+            Ok(())
+        })?;
+        ns.remove(name);
+        let remaining = ns.values().filter(|&&i| i == ino).count();
+        drop(ns);
+        self.dev.crash_point("nova::unlink::after_dentry");
+
+        let table = self.table();
+        let nlink = table.read(ino)?.link_count;
+        table.set_link_count(ino, nlink.saturating_sub(1))?;
+        if remaining == 0 {
+            // Release the file's resources. A crash anywhere below leaks
+            // nothing: recovery rebuilds the free list from live logs, and
+            // the dedup scrubber reconciles FACT.
+            self.release_inode(ino)?;
+        }
+        NovaStats::add(&self.stats.unlinks, 1);
+        Ok(())
+    }
+
+    /// Current size of the file at `ino`.
+    pub fn file_size(&self, ino: u64) -> Result<u64> {
+        self.with_inode_read(ino, |mem| Ok(mem.size))
+    }
+
+    /// Rename `from` to `to`, atomically replacing `to` if it exists.
+    ///
+    /// Atomicity comes from NOVA's multi-entry commit: the dentry-remove for
+    /// `from` (and for a clobbered `to`) and the dentry-add for `to` are
+    /// appended to the root log and committed by a single tail update — a
+    /// crash shows either the old name or the new, never both or neither.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut ns = self.namespace.lock();
+        let ino = *ns.get(from).ok_or(NovaError::NotFound)?;
+        if from == to {
+            return Ok(());
+        }
+        let clobbered = ns.get(to).copied();
+        let mut entries: Vec<[u8; 64]> = Vec::with_capacity(3);
+        let txid = self.next_txid();
+        if let Some(old) = clobbered {
+            entries.push(
+                DentryEntry {
+                    add: false,
+                    ino: old,
+                    name: to.to_string(),
+                    txid,
+                }
+                .encode()?,
+            );
+        }
+        entries.push(
+            DentryEntry {
+                add: false,
+                ino,
+                name: from.to_string(),
+                txid,
+            }
+            .encode()?,
+        );
+        entries.push(
+            DentryEntry {
+                add: true,
+                ino,
+                name: to.to_string(),
+                txid,
+            }
+            .encode()?,
+        );
+        self.with_inode_write(ROOT_INO, |ctx| {
+            ctx.append(&entries, "nova::rename")?;
+            Ok(())
+        })?;
+        ns.remove(from);
+        ns.insert(to.to_string(), ino);
+        // The clobbered inode loses one name; it is only released when that
+        // was its last (it may have other hard links).
+        let clobbered_remaining =
+            clobbered.map(|old| (old, ns.values().filter(|&&i| i == old).count()));
+        drop(ns);
+        if let Some((old, remaining)) = clobbered_remaining {
+            let table = self.table();
+            let nlink = table.read(old)?.link_count;
+            table.set_link_count(old, nlink.saturating_sub(1))?;
+            if remaining == 0 {
+                self.release_inode(old)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// File metadata snapshot.
+    pub fn stat(&self, ino: u64) -> Result<FileStat> {
+        let pi = self.table().read(ino)?;
+        if !pi.valid {
+            return Err(NovaError::BadInode(ino));
+        }
+        self.with_inode_read(ino, |mem| {
+            let mut blocks = 0u64;
+            mem.radix.for_each(|_, _| blocks += 1);
+            Ok(FileStat {
+                ino,
+                size: mem.size,
+                blocks,
+                nlink: pi.link_count,
+                log_pages: log::log_pages(&self.dev, &self.layout, mem.pos.head).len() as u64,
+                log_entries_live: mem.entry_live.len() as u64,
+            })
+        })
+    }
+
+    /// Release an inode's data pages, log chain, and slot (unlink/rename
+    /// clobber path; the dentry removal must already be committed).
+    fn release_inode(&self, ino: u64) -> Result<()> {
+        let arc = self.inode_arc(ino)?;
+        {
+            let mut mem = arc.write();
+            if mem.dead {
+                return Ok(()); // already released by a racing caller
+            }
+            let mut ctx = InodeCtx {
+                fs: self,
+                ino,
+                mem: &mut mem,
+            };
+            let blocks: Vec<u64> = {
+                let mut v = Vec::new();
+                ctx.mem.radix.for_each(|_, e| v.push(e.block));
+                v
+            };
+            for block in blocks {
+                ctx.reclaim_block(block);
+            }
+            let pages = log::log_pages(&self.dev, &self.layout, ctx.mem.pos.head);
+            for page in pages {
+                self.alloc.free_range(page, 1);
+                NovaStats::add(&self.stats.blocks_freed, 1);
+            }
+            // Tombstone before the lock drops: anyone queued on this lock
+            // must not touch the pages we just freed.
+            *ctx.mem = InodeMem {
+                dead: true,
+                ..Default::default()
+            };
+        }
+        self.table().clear(ino)?;
+        self.inode_map.write().remove(&ino);
+        Ok(())
+    }
+}
+
+/// Metadata returned by [`Nova::stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// The `ino` value.
+    pub ino: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Mapped data pages.
+    pub blocks: u64,
+    /// Hard-link count.
+    pub nlink: u64,
+    /// Log pages in this inode's chain.
+    pub log_pages: u64,
+    /// Live (non-superseded) write entries.
+    pub log_entries_live: u64,
+}
+
+impl std::fmt::Debug for Nova {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nova")
+            .field("files", &self.file_count())
+            .field("free_blocks", &self.free_blocks())
+            .finish()
+    }
+}
+
+/// A write-locked inode context: every mutation of a file's log and index
+/// goes through here, from both the foreground write path and the dedup
+/// daemon.
+pub struct InodeCtx<'a> {
+    fs: &'a Nova,
+    ino: u64,
+    /// The inode's DRAM state (radix tree, log position, live counts).
+    pub mem: &'a mut InodeMem,
+}
+
+impl InodeCtx<'_> {
+    /// The inode number this context locks.
+    pub fn ino(&self) -> u64 {
+        self.ino
+    }
+
+    /// The owning file system.
+    pub fn fs(&self) -> &Nova {
+        self.fs
+    }
+
+    /// The device.
+    pub fn dev(&self) -> &PmemDevice {
+        &self.fs.dev
+    }
+
+    /// Append pre-encoded entries to this inode's log and commit the tail
+    /// atomically. Returns each entry's device offset.
+    pub fn append(&mut self, entries: &[[u8; 64]], cp: &str) -> Result<Vec<u64>> {
+        let table = self.fs.table();
+        log::append(
+            &self.fs.dev,
+            &self.fs.layout,
+            &self.fs.alloc,
+            &table,
+            self.ino,
+            &mut self.mem.pos,
+            entries,
+            cp,
+        )
+    }
+
+    /// Fold a committed write entry into the index and return the data
+    /// blocks it superseded.
+    pub fn apply_write_entry(&mut self, entry_off: u64, we: &WriteEntry) -> Vec<u64> {
+        self.mem.apply_write_entry(entry_off, we)
+    }
+
+    /// Drop the file system's reference to `block`: ask the dedup hook, and
+    /// free the block unless it is still shared.
+    pub fn reclaim_block(&mut self, block: u64) {
+        match self.fs.current_hooks().on_reclaim_block(block) {
+            ReclaimDecision::Free => {
+                self.fs.alloc.free_range(block, 1);
+                NovaStats::add(&self.fs.stats.blocks_freed, 1);
+            }
+            ReclaimDecision::Keep => {
+                NovaStats::add(&self.fs.stats.blocks_kept_shared, 1);
+            }
+        }
+    }
+
+    /// Persist the inode's cached size.
+    pub fn commit_size(&mut self, size: u64) -> Result<()> {
+        self.mem.size = size;
+        self.fs.table().set_size(self.ino, size)
+    }
+
+    /// Allocate a fresh transaction id.
+    pub fn next_txid(&self) -> u64 {
+        self.fs.next_txid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mkfs() -> Nova {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        Nova::mkfs(
+            dev,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let fs = mkfs();
+        let ino = fs.create("a.txt").unwrap();
+        assert_eq!(fs.open("a.txt").unwrap(), ino);
+        assert!(fs.exists("a.txt"));
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.file_size(ino).unwrap(), 0);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let fs = mkfs();
+        fs.create("a").unwrap();
+        assert_eq!(fs.create("a"), Err(NovaError::AlreadyExists));
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        let fs = mkfs();
+        assert_eq!(fs.open("ghost"), Err(NovaError::NotFound));
+    }
+
+    #[test]
+    fn unlink_removes_file() {
+        let fs = mkfs();
+        fs.create("a").unwrap();
+        fs.unlink("a").unwrap();
+        assert!(!fs.exists("a"));
+        assert_eq!(fs.unlink("a"), Err(NovaError::NotFound));
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn created_inodes_are_distinct() {
+        let fs = mkfs();
+        let a = fs.create("a").unwrap();
+        let b = fs.create("b").unwrap();
+        let c = fs.create("c").unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(fs.live_inodes(), {
+            let mut v = vec![a, b, c];
+            v.sort();
+            v
+        });
+    }
+
+    #[test]
+    fn inode_slot_reuse_after_unlink() {
+        let fs = mkfs();
+        // Exhaust, free one, create again: must succeed via slot reuse.
+        let n = 126; // 128 slots minus root minus 1 headroom
+        for i in 0..n {
+            fs.create(&format!("f{i}")).unwrap();
+        }
+        fs.unlink("f0").unwrap();
+        fs.create("again").unwrap();
+    }
+
+    #[test]
+    fn inode_exhaustion_reported() {
+        let fs = mkfs();
+        let mut made = 0;
+        loop {
+            match fs.create(&format!("f{made}")) {
+                Ok(_) => made += 1,
+                Err(NovaError::NoInodes) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(made, 126); // 128 slots minus reserved slot 0 minus root
+    }
+
+    #[test]
+    fn many_files_list() {
+        let fs = mkfs();
+        for i in 0..20 {
+            fs.create(&format!("file-{i}")).unwrap();
+        }
+        let mut names = fs.list();
+        names.sort();
+        assert_eq!(names.len(), 20);
+        assert_eq!(names[0], "file-0");
+    }
+
+    #[test]
+    fn rename_moves_file() {
+        let fs = mkfs();
+        let ino = fs.create("old").unwrap();
+        fs.write(ino, 0, b"hello").unwrap();
+        fs.rename("old", "new").unwrap();
+        assert!(!fs.exists("old"));
+        assert_eq!(fs.open("new").unwrap(), ino);
+        assert_eq!(fs.read(ino, 0, 5).unwrap(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn rename_clobbers_target() {
+        let fs = mkfs();
+        let a = fs.create("a").unwrap();
+        let b = fs.create("b").unwrap();
+        fs.write(a, 0, &vec![1u8; 4096]).unwrap();
+        fs.write(b, 0, &vec![2u8; 8192]).unwrap();
+        let free_before = fs.free_blocks();
+        fs.rename("a", "b").unwrap();
+        assert!(!fs.exists("a"));
+        let now = fs.open("b").unwrap();
+        assert_eq!(now, a);
+        assert_eq!(fs.read(now, 0, 4096).unwrap(), vec![1u8; 4096]);
+        // The clobbered file's pages (2 data + 1 log) were released.
+        assert!(fs.free_blocks() > free_before);
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn rename_missing_source_fails() {
+        let fs = mkfs();
+        assert_eq!(fs.rename("ghost", "x"), Err(NovaError::NotFound));
+    }
+
+    #[test]
+    fn rename_to_self_is_noop() {
+        let fs = mkfs();
+        let ino = fs.create("same").unwrap();
+        fs.rename("same", "same").unwrap();
+        assert_eq!(fs.open("same").unwrap(), ino);
+    }
+
+    #[test]
+    fn rename_survives_remount() {
+        let fs = mkfs();
+        let ino = fs.create("before").unwrap();
+        fs.write(ino, 0, b"payload").unwrap();
+        fs.rename("before", "after").unwrap();
+        let dev2 = Arc::new(fs.device().crash_clone(denova_pmem::CrashMode::Strict));
+        let fs2 = Nova::mount(
+            dev2,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!fs2.exists("before"));
+        let ino2 = fs2.open("after").unwrap();
+        assert_eq!(fs2.read(ino2, 0, 7).unwrap(), b"payload".to_vec());
+    }
+
+    #[test]
+    fn hard_link_shares_the_inode() {
+        let fs = mkfs();
+        let ino = fs.create("orig").unwrap();
+        fs.write(ino, 0, b"shared content").unwrap();
+        assert_eq!(fs.link("orig", "alias").unwrap(), ino);
+        assert_eq!(fs.open("alias").unwrap(), ino);
+        assert_eq!(fs.stat(ino).unwrap().nlink, 2);
+        // A write through one name is visible through the other.
+        fs.write(ino, 0, b"UPDATED").unwrap();
+        let via_alias = fs.open("alias").unwrap();
+        assert_eq!(fs.read(via_alias, 0, 7).unwrap(), b"UPDATED".to_vec());
+    }
+
+    #[test]
+    fn unlink_one_name_keeps_the_file() {
+        let fs = mkfs();
+        let ino = fs.create("a").unwrap();
+        fs.write(ino, 0, &vec![7u8; 8192]).unwrap();
+        fs.link("a", "b").unwrap();
+        let free_before = fs.free_blocks();
+        fs.unlink("a").unwrap();
+        // Nothing was released — the inode lives under "b".
+        assert_eq!(fs.free_blocks(), free_before);
+        let b = fs.open("b").unwrap();
+        assert_eq!(b, ino);
+        assert_eq!(fs.read(b, 0, 8192).unwrap(), vec![7u8; 8192]);
+        assert_eq!(fs.stat(ino).unwrap().nlink, 1);
+        // Last name releases everything.
+        fs.unlink("b").unwrap();
+        assert!(fs.free_blocks() > free_before);
+        assert!(fs.open("b").is_err());
+    }
+
+    #[test]
+    fn link_errors() {
+        let fs = mkfs();
+        fs.create("a").unwrap();
+        fs.create("b").unwrap();
+        assert_eq!(fs.link("ghost", "x"), Err(NovaError::NotFound));
+        assert_eq!(fs.link("a", "b"), Err(NovaError::AlreadyExists));
+    }
+
+    #[test]
+    fn links_survive_remount() {
+        let fs = mkfs();
+        let ino = fs.create("a").unwrap();
+        fs.write(ino, 0, b"persistent").unwrap();
+        fs.link("a", "b").unwrap();
+        fs.unlink("a").unwrap();
+        let dev2 = Arc::new(fs.device().crash_clone(denova_pmem::CrashMode::Strict));
+        let fs2 = Nova::mount(
+            dev2,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!fs2.exists("a"));
+        let b = fs2.open("b").unwrap();
+        assert_eq!(fs2.read(b, 0, 10).unwrap(), b"persistent".to_vec());
+        assert_eq!(fs2.stat(b).unwrap().nlink, 1);
+        // fsck is clean, including the link-count census.
+        let report = crate::fsck::check(&fs2, false).unwrap();
+        assert!(report.is_clean(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn linked_file_fsck_clean_with_both_names() {
+        let fs = mkfs();
+        let ino = fs.create("x").unwrap();
+        fs.write(ino, 0, &vec![3u8; 4096]).unwrap();
+        fs.link("x", "y").unwrap();
+        let report = crate::fsck::check(&fs, false).unwrap();
+        assert!(report.is_clean(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn rename_clobbering_linked_target_keeps_other_link() {
+        let fs = mkfs();
+        let victim = fs.create("victim").unwrap();
+        fs.write(victim, 0, b"keep me").unwrap();
+        fs.link("victim", "survivor").unwrap();
+        let other = fs.create("other").unwrap();
+        fs.write(other, 0, b"mover").unwrap();
+        // Clobber one of victim's two names: the inode must survive via the
+        // other.
+        fs.rename("other", "victim").unwrap();
+        assert_eq!(fs.open("victim").unwrap(), other);
+        let s = fs.open("survivor").unwrap();
+        assert_eq!(s, victim);
+        assert_eq!(fs.read(s, 0, 7).unwrap(), b"keep me".to_vec());
+        assert_eq!(fs.stat(victim).unwrap().nlink, 1);
+        let report = crate::fsck::check(&fs, false).unwrap();
+        assert!(report.is_clean(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn rename_of_linked_name_preserves_other_link() {
+        let fs = mkfs();
+        let ino = fs.create("a").unwrap();
+        fs.write(ino, 0, b"data").unwrap();
+        fs.link("a", "b").unwrap();
+        fs.rename("a", "c").unwrap();
+        assert_eq!(fs.open("c").unwrap(), ino);
+        assert_eq!(fs.open("b").unwrap(), ino);
+        assert_eq!(fs.read(ino, 0, 4).unwrap(), b"data".to_vec());
+    }
+
+    #[test]
+    fn stat_reports_shape() {
+        let fs = mkfs();
+        let ino = fs.create("s").unwrap();
+        fs.write(ino, 0, &vec![5u8; 3 * 4096 + 100]).unwrap();
+        let st = fs.stat(ino).unwrap();
+        assert_eq!(st.ino, ino);
+        assert_eq!(st.size, 3 * 4096 + 100);
+        assert_eq!(st.blocks, 4);
+        assert_eq!(st.log_pages, 1);
+        assert_eq!(st.log_entries_live, 1);
+        assert!(fs.stat(99).is_err());
+    }
+
+    #[test]
+    fn default_mount_is_baseline() {
+        let fs = mkfs();
+        assert!(!fs.dedup_enabled());
+        assert_eq!(
+            fs.new_entry_flag(),
+            crate::entry::DedupeFlag::NotApplicable
+        );
+        fs.set_dedup_enabled(true);
+        assert_eq!(fs.new_entry_flag(), crate::entry::DedupeFlag::Needed);
+    }
+}

@@ -1,0 +1,350 @@
+//! Per-inode DRAM index: a radix tree mapping file page offsets to the log
+//! entry and data block backing them.
+//!
+//! NOVA "uses a DRAM index data structure, radix tree, to guarantee fast
+//! access to data" (Section II-A). Note the contrast the paper draws: the
+//! *file* index may live in DRAM because it is rebuilt from the log on
+//! recovery, but the *dedup* index (FACT) must not — that is DeNova's
+//! DRAM-free design goal. This module is the former.
+//!
+//! The tree uses 6-bit fanout (64 children) with dynamic height, so small
+//! files pay one node and 64 GB files pay five levels.
+
+/// What a file page resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryRef {
+    /// Device byte offset of the `WriteEntry` covering this page.
+    pub entry_off: u64,
+    /// Device block number holding this page's data.
+    pub block: u64,
+}
+
+const BITS: u32 = 6;
+const FANOUT: usize = 1 << BITS;
+
+enum Node {
+    Internal(Box<[Option<Box<Node>>; FANOUT]>),
+    Leaf(Box<[Option<EntryRef>; FANOUT]>),
+}
+
+impl Node {
+    fn new_internal() -> Box<Node> {
+        Box::new(Node::Internal(Box::new(std::array::from_fn(|_| None))))
+    }
+
+    fn new_leaf() -> Box<Node> {
+        Box::new(Node::Leaf(Box::new([None; FANOUT])))
+    }
+}
+
+/// Radix tree over `u64` page offsets.
+pub struct RadixTree {
+    root: Option<Box<Node>>,
+    /// Number of levels; a height-1 tree is a single leaf indexing keys
+    /// `0..64`, height 2 indexes `0..4096`, etc.
+    height: u32,
+    len: usize,
+}
+
+impl Default for RadixTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RadixTree {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        RadixTree {
+            root: None,
+            height: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Keys representable at the current height.
+    fn capacity(&self) -> u64 {
+        1u64.checked_shl(BITS * self.height).unwrap_or(u64::MAX)
+    }
+
+    fn grow_to_fit(&mut self, key: u64) {
+        while key >= self.capacity() {
+            let old = self.root.take();
+            if let Some(old) = old {
+                let mut internal = Node::new_internal();
+                if let Node::Internal(children) = internal.as_mut() {
+                    children[0] = Some(old);
+                }
+                self.root = Some(internal);
+            }
+            self.height += 1;
+        }
+    }
+
+    /// Insert `key → val`, returning the previous mapping if any.
+    pub fn insert(&mut self, key: u64, val: EntryRef) -> Option<EntryRef> {
+        self.grow_to_fit(key);
+        let height = self.height;
+        let root = self
+            .root
+            .get_or_insert_with(|| if height == 1 { Node::new_leaf() } else { Node::new_internal() });
+        let mut node = root.as_mut();
+        let mut level = height;
+        loop {
+            let shift = BITS * (level - 1);
+            let idx = ((key >> shift) as usize) & (FANOUT - 1);
+            match node {
+                Node::Leaf(slots) => {
+                    debug_assert_eq!(level, 1);
+                    let old = slots[idx].replace(val);
+                    if old.is_none() {
+                        self.len += 1;
+                    }
+                    return old;
+                }
+                Node::Internal(children) => {
+                    let child = children[idx].get_or_insert_with(|| {
+                        if level == 2 {
+                            Node::new_leaf()
+                        } else {
+                            Node::new_internal()
+                        }
+                    });
+                    node = child.as_mut();
+                    level -= 1;
+                }
+            }
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: u64) -> Option<EntryRef> {
+        if key >= self.capacity() {
+            return None;
+        }
+        let mut node = self.root.as_deref()?;
+        let mut level = self.height;
+        loop {
+            let shift = BITS * (level - 1);
+            let idx = ((key >> shift) as usize) & (FANOUT - 1);
+            match node {
+                Node::Leaf(slots) => return slots[idx],
+                Node::Internal(children) => {
+                    node = children[idx].as_deref()?;
+                    level -= 1;
+                }
+            }
+        }
+    }
+
+    /// Remove `key`, returning its mapping. Empty nodes are left in place
+    /// (freed when the tree drops — fine for per-inode lifetimes).
+    pub fn remove(&mut self, key: u64) -> Option<EntryRef> {
+        if key >= self.capacity() {
+            return None;
+        }
+        let mut node = self.root.as_deref_mut()?;
+        let mut level = self.height;
+        loop {
+            let shift = BITS * (level - 1);
+            let idx = ((key >> shift) as usize) & (FANOUT - 1);
+            match node {
+                Node::Leaf(slots) => {
+                    let old = slots[idx].take();
+                    if old.is_some() {
+                        self.len -= 1;
+                    }
+                    return old;
+                }
+                Node::Internal(children) => {
+                    node = children[idx].as_deref_mut()?;
+                    level -= 1;
+                }
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` pair in ascending key order.
+    #[allow(clippy::only_used_in_recursion)]
+    pub fn for_each<F: FnMut(u64, EntryRef)>(&self, mut f: F) {
+        fn walk<F: FnMut(u64, EntryRef)>(node: &Node, prefix: u64, level: u32, f: &mut F) {
+            match node {
+                Node::Leaf(slots) => {
+                    for (i, slot) in slots.iter().enumerate() {
+                        if let Some(v) = slot {
+                            f((prefix << BITS) | i as u64, *v);
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for (i, child) in children.iter().enumerate() {
+                        if let Some(c) = child {
+                            walk(c, (prefix << BITS) | i as u64, level - 1, f);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, 0, self.height, &mut f);
+        }
+    }
+
+    /// Collect every pair as a vector (test/recovery convenience).
+    pub fn entries(&self) -> Vec<(u64, EntryRef)> {
+        let mut v = Vec::with_capacity(self.len);
+        self.for_each(|k, e| v.push((k, e)));
+        v
+    }
+
+    /// Remove every key `>= from`, returning the removed pairs (used by
+    /// truncate to find the pages to reclaim).
+    pub fn remove_from(&mut self, from: u64) -> Vec<(u64, EntryRef)> {
+        let doomed: Vec<u64> = {
+            let mut v = Vec::new();
+            self.for_each(|k, _| {
+                if k >= from {
+                    v.push(k);
+                }
+            });
+            v
+        };
+        doomed
+            .into_iter()
+            .map(|k| (k, self.remove(k).unwrap()))
+            .collect()
+    }
+
+    /// Largest mapped key, if any.
+    pub fn max_key(&self) -> Option<u64> {
+        let mut max = None;
+        self.for_each(|k, _| max = Some(k));
+        max
+    }
+}
+
+impl std::fmt::Debug for RadixTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RadixTree")
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u64) -> EntryRef {
+        EntryRef {
+            entry_off: n * 64,
+            block: n,
+        }
+    }
+
+    #[test]
+    fn insert_get_small_keys() {
+        let mut t = RadixTree::new();
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.insert(0, e(1)), None);
+        assert_eq!(t.insert(63, e(2)), None);
+        assert_eq!(t.get(0), Some(e(1)));
+        assert_eq!(t.get(63), Some(e(2)));
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t = RadixTree::new();
+        t.insert(5, e(1));
+        assert_eq!(t.insert(5, e(2)), Some(e(1)));
+        assert_eq!(t.get(5), Some(e(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn tree_grows_for_large_keys() {
+        let mut t = RadixTree::new();
+        t.insert(0, e(1));
+        t.insert(1 << 20, e(2));
+        t.insert(u64::from(u32::MAX), e(3));
+        assert_eq!(t.get(0), Some(e(1)));
+        assert_eq!(t.get(1 << 20), Some(e(2)));
+        assert_eq!(t.get(u64::from(u32::MAX)), Some(e(3)));
+        assert_eq!(t.get((1 << 20) + 1), None);
+    }
+
+    #[test]
+    fn remove_deletes_mapping() {
+        let mut t = RadixTree::new();
+        t.insert(100, e(1));
+        assert_eq!(t.remove(100), Some(e(1)));
+        assert_eq!(t.remove(100), None);
+        assert_eq!(t.get(100), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn for_each_is_sorted_and_complete() {
+        let mut t = RadixTree::new();
+        let keys = [900u64, 3, 64, 65, 0, 4095, 70000];
+        for &k in &keys {
+            t.insert(k, e(k));
+        }
+        let got: Vec<u64> = t.entries().iter().map(|(k, _)| *k).collect();
+        let mut want = keys.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_from_splits_at_boundary() {
+        let mut t = RadixTree::new();
+        for k in 0..100u64 {
+            t.insert(k, e(k));
+        }
+        let removed = t.remove_from(60);
+        assert_eq!(removed.len(), 40);
+        assert!(removed.iter().all(|(k, _)| *k >= 60));
+        assert_eq!(t.len(), 60);
+        assert_eq!(t.get(59), Some(e(59)));
+        assert_eq!(t.get(60), None);
+    }
+
+    #[test]
+    fn max_key_tracks_largest() {
+        let mut t = RadixTree::new();
+        assert_eq!(t.max_key(), None);
+        t.insert(7, e(7));
+        t.insert(100000, e(1));
+        assert_eq!(t.max_key(), Some(100000));
+        t.remove(100000);
+        assert_eq!(t.max_key(), Some(7));
+    }
+
+    #[test]
+    fn dense_file_mapping() {
+        // A 128 KB file (32 pages) plus sparse far pages — the shapes NOVA
+        // actually indexes.
+        let mut t = RadixTree::new();
+        for pg in 0..32u64 {
+            t.insert(pg, e(pg + 1000));
+        }
+        for pg in 0..32u64 {
+            assert_eq!(t.get(pg).unwrap().block, pg + 1000);
+        }
+        assert_eq!(t.len(), 32);
+    }
+}

@@ -1,0 +1,234 @@
+//! On-media layout.
+//!
+//! The device is partitioned at mkfs time:
+//!
+//! ```text
+//! block 0                  superblock
+//! block 1 ..               inode table (128 B inodes)
+//! ..                       FACT region (reserved for the dedup layer:
+//!                          2 · 2^n entries of 64 B, n = ceil(log2(blocks)))
+//! ..                       DWQ save area (clean-shutdown persistence of the
+//!                          deduplication work queue)
+//! data_start .. end        log pages + data pages (per-CPU free lists)
+//! ```
+//!
+//! All sizes are in 4 KB blocks. The FACT region is sized per Section IV-C:
+//! the DAA must hold one entry per data block in the worst (no-duplicate)
+//! case, and the IAA is sized equal to the DAA, giving the paper's ≈3.2 %
+//! space overhead.
+
+use denova_pmem::PAGE_SIZE;
+
+/// Block (page) size in bytes; NOVA mounts with 4 KB blocks.
+pub const BLOCK_SIZE: u64 = PAGE_SIZE as u64;
+
+/// Persistent inode size in bytes.
+pub const INODE_SIZE: u64 = 128;
+
+/// Log entry size in bytes — one cache line, so an entry persists with a
+/// single flush.
+pub const LOG_ENTRY_SIZE: u64 = 64;
+
+/// FACT entry size in bytes — one cache line (Section IV-C).
+pub const FACT_ENTRY_SIZE: u64 = 64;
+
+/// Bytes of a log page usable for entries; the final cache line is the page
+/// footer holding the next-page link.
+pub const LOG_PAGE_PAYLOAD: u64 = BLOCK_SIZE - 64;
+
+/// Entries per log page.
+pub const ENTRIES_PER_LOG_PAGE: u64 = LOG_PAGE_PAYLOAD / LOG_ENTRY_SIZE;
+
+/// The inode number of the root directory (the flat namespace).
+pub const ROOT_INO: u64 = 1;
+
+/// Computed partition of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Total device size in bytes.
+    pub device_size: u64,
+    /// Total blocks on the device.
+    pub total_blocks: u64,
+    /// First block of the inode table.
+    pub inode_table_start: u64,
+    /// Number of inode slots.
+    pub num_inodes: u64,
+    /// First block of the FACT region.
+    pub fact_start: u64,
+    /// Blocks reserved for FACT.
+    pub fact_blocks: u64,
+    /// FP prefix length n: DAA has 2^n entries.
+    pub fact_prefix_bits: u32,
+    /// First block of the DWQ save area.
+    pub dwq_start: u64,
+    /// Blocks reserved for the DWQ save area.
+    pub dwq_blocks: u64,
+    /// First block of the log/data area.
+    pub data_start: u64,
+}
+
+impl Layout {
+    /// Partition a device of `device_size` bytes.
+    ///
+    /// `num_inodes` is the inode-table capacity; `dwq_blocks` sizes the DWQ
+    /// save area (each saved node is 16 B).
+    pub fn compute(device_size: u64, num_inodes: u64, dwq_blocks: u64) -> Layout {
+        assert!(device_size.is_multiple_of(BLOCK_SIZE), "device size must be block-aligned");
+        let total_blocks = device_size / BLOCK_SIZE;
+        let inode_table_start = 1;
+        let inode_blocks = (num_inodes * INODE_SIZE).div_ceil(BLOCK_SIZE);
+
+        // Section IV-C: n = ceil(log2(number of data blocks)); DAA = 2^n
+        // entries, IAA the same, so FACT = 2^(n+1) entries of 64 B. We use
+        // total device blocks as the bound, which is conservative (data
+        // blocks < total blocks) and keeps delete-pointer indexing by
+        // absolute block number valid.
+        let fact_prefix_bits = 64 - (total_blocks.max(2) - 1).leading_zeros();
+        let fact_entries = 2u64 << fact_prefix_bits;
+        let fact_blocks = (fact_entries * FACT_ENTRY_SIZE).div_ceil(BLOCK_SIZE);
+        let fact_start = inode_table_start + inode_blocks;
+
+        let dwq_start = fact_start + fact_blocks;
+        let data_start = dwq_start + dwq_blocks;
+        assert!(
+            data_start + 8 <= total_blocks,
+            "device too small: metadata needs {data_start} blocks of {total_blocks}"
+        );
+        Layout {
+            device_size,
+            total_blocks,
+            inode_table_start,
+            num_inodes,
+            fact_start,
+            fact_blocks,
+            fact_prefix_bits,
+            dwq_start,
+            dwq_blocks,
+            data_start,
+        }
+    }
+
+    /// Byte offset of block `block`.
+    #[inline]
+    pub fn block_off(&self, block: u64) -> u64 {
+        debug_assert!(block < self.total_blocks, "block {block} out of range");
+        block * BLOCK_SIZE
+    }
+
+    /// Byte offset of inode slot `ino` (1-based; slot 0 is reserved).
+    #[inline]
+    pub fn inode_off(&self, ino: u64) -> u64 {
+        debug_assert!(ino >= 1 && ino < self.num_inodes, "ino {ino} out of range");
+        self.inode_table_start * BLOCK_SIZE + ino * INODE_SIZE
+    }
+
+    /// Byte offset of FACT entry `index`.
+    #[inline]
+    pub fn fact_entry_off(&self, index: u64) -> u64 {
+        debug_assert!(index < self.fact_entries(), "FACT index {index} out of range");
+        self.fact_start * BLOCK_SIZE + index * FACT_ENTRY_SIZE
+    }
+
+    /// Total FACT entries (DAA + IAA).
+    #[inline]
+    pub fn fact_entries(&self) -> u64 {
+        2u64 << self.fact_prefix_bits
+    }
+
+    /// Entries in the direct access area (== start index of the IAA).
+    #[inline]
+    pub fn daa_entries(&self) -> u64 {
+        1u64 << self.fact_prefix_bits
+    }
+
+    /// Blocks available for logs and data.
+    #[inline]
+    pub fn data_blocks(&self) -> u64 {
+        self.total_blocks - self.data_start
+    }
+
+    /// Byte offset of the DWQ save area.
+    #[inline]
+    pub fn dwq_off(&self) -> u64 {
+        self.dwq_start * BLOCK_SIZE
+    }
+
+    /// Bytes in the DWQ save area.
+    #[inline]
+    pub fn dwq_bytes(&self) -> u64 {
+        self.dwq_blocks * BLOCK_SIZE
+    }
+
+    /// FACT space overhead as a fraction of device size (the paper's ≈3.2 %).
+    pub fn fact_overhead(&self) -> f64 {
+        (self.fact_entries() * FACT_ENTRY_SIZE) as f64 / self.device_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn layout_partitions_in_order() {
+        let l = Layout::compute(64 * 1024 * 1024, 1024, 4);
+        assert!(l.inode_table_start < l.fact_start);
+        assert!(l.fact_start < l.dwq_start);
+        assert!(l.dwq_start < l.data_start);
+        assert!(l.data_start < l.total_blocks);
+    }
+
+    #[test]
+    fn prefix_bits_cover_all_blocks() {
+        // DAA must be able to index one entry per block: 2^n >= total_blocks.
+        for size in [16 * 1024 * 1024, 64 * 1024 * 1024, GB] {
+            let l = Layout::compute(size, 256, 2);
+            assert!(l.daa_entries() >= l.total_blocks, "size {size}");
+            // ...and not be more than 2x larger (ceil, not slop).
+            assert!(l.daa_entries() < 2 * l.total_blocks, "size {size}");
+        }
+    }
+
+    #[test]
+    fn paper_fact_sizing_example() {
+        // Section IV-C: an N GB device with 4 KB blocks has N * 2^18 blocks
+        // and FACT consumes (2 * N*2^18 * 64 B) / N GB = 3.125 % ~ "3.2 %".
+        let l = Layout::compute(GB, 256, 2);
+        assert_eq!(l.total_blocks, 1 << 18);
+        assert_eq!(l.fact_prefix_bits, 18);
+        assert_eq!(l.fact_entries(), 2 << 18);
+        let overhead = l.fact_overhead();
+        assert!((overhead - 0.03125).abs() < 1e-9, "overhead {overhead}");
+    }
+
+    #[test]
+    fn inode_offsets_are_disjoint_and_in_table() {
+        let l = Layout::compute(16 * 1024 * 1024, 64, 2);
+        let a = l.inode_off(1);
+        let b = l.inode_off(2);
+        assert_eq!(b - a, INODE_SIZE);
+        assert!(a >= l.inode_table_start * BLOCK_SIZE);
+        assert!(l.inode_off(63) + INODE_SIZE <= l.fact_start * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn fact_entry_offsets_live_in_fact_region() {
+        let l = Layout::compute(16 * 1024 * 1024, 64, 2);
+        assert_eq!(l.fact_entry_off(0), l.fact_start * BLOCK_SIZE);
+        let last = l.fact_entry_off(l.fact_entries() - 1);
+        assert!(last + FACT_ENTRY_SIZE <= l.dwq_start * BLOCK_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "device too small")]
+    fn tiny_device_rejected() {
+        Layout::compute(BLOCK_SIZE * 8, 64, 2);
+    }
+
+    #[test]
+    fn log_page_holds_63_entries() {
+        assert_eq!(ENTRIES_PER_LOG_PAGE, 63);
+    }
+}

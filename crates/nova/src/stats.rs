@@ -1,0 +1,53 @@
+//! File-system operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for file-system level operations (device-level counters live in
+/// [`denova_pmem::PmemStats`]).
+#[derive(Debug, Default)]
+pub struct NovaStats {
+    /// `write()` calls completed.
+    pub writes: AtomicU64,
+    /// Bytes written by `write()` calls.
+    pub bytes_written: AtomicU64,
+    /// `read()` calls completed.
+    pub reads: AtomicU64,
+    /// Bytes returned by `read()` calls.
+    pub bytes_read: AtomicU64,
+    /// Files created.
+    pub creates: AtomicU64,
+    /// Files unlinked.
+    pub unlinks: AtomicU64,
+    /// Data blocks freed back to the allocator.
+    pub blocks_freed: AtomicU64,
+    /// Data blocks whose reclaim was refused by the dedup hook (shared).
+    pub blocks_kept_shared: AtomicU64,
+    /// Log pages freed by GC.
+    pub log_pages_gced: AtomicU64,
+}
+
+impl NovaStats {
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Load a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let s = NovaStats::default();
+        NovaStats::add(&s.writes, 2);
+        NovaStats::add(&s.writes, 3);
+        assert_eq!(NovaStats::get(&s.writes), 5);
+        assert_eq!(NovaStats::get(&s.reads), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property test: the radix tree behaves exactly like a `BTreeMap<u64, _>`.
+
+use denova_nova::{EntryRef, RadixTree};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    RemoveFrom(u64),
+}
+
+fn key_strategy() -> impl Strategy<Value = u64> {
+    // Mix of dense small keys and sparse huge ones to exercise tree growth.
+    prop_oneof![0u64..200, 0u64..(1 << 30), any::<u64>().prop_map(|k| k >> 8)]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        key_strategy().prop_map(Op::Get),
+        key_strategy().prop_map(Op::RemoveFrom),
+    ]
+}
+
+fn eref(v: u64) -> EntryRef {
+    EntryRef {
+        entry_off: v,
+        block: v ^ 0xFFFF,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn radix_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut tree = RadixTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = tree.insert(k, eref(v));
+                    let model_old = model.insert(k, v);
+                    prop_assert_eq!(old, model_old.map(eref));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k).map(eref));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(&k).copied().map(eref));
+                }
+                Op::RemoveFrom(k) => {
+                    let removed = tree.remove_from(k);
+                    let model_removed: Vec<(u64, u64)> =
+                        model.split_off(&k).into_iter().collect();
+                    let mut got: Vec<(u64, u64)> =
+                        removed.into_iter().map(|(k, e)| (k, e.entry_off)).collect();
+                    got.sort();
+                    prop_assert_eq!(got, model_removed);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Final full iteration matches, in order.
+        let entries: Vec<(u64, u64)> =
+            tree.entries().into_iter().map(|(k, e)| (k, e.entry_off)).collect();
+        let model_entries: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(entries, model_entries);
+    }
+
+    #[test]
+    fn max_key_matches_model(keys in prop::collection::vec(key_strategy(), 1..100)) {
+        let mut tree = RadixTree::new();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            tree.insert(k, eref(k));
+            model.insert(k, k);
+        }
+        prop_assert_eq!(tree.max_key(), model.keys().next_back().copied());
+    }
+}

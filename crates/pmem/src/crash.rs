@@ -1,0 +1,235 @@
+//! Simulated power failure and crash-point injection.
+//!
+//! Section V-C of the paper analyzes failure scenarios qualitatively ("a
+//! system crash can occur at any time during deduplication"). To turn that
+//! qualitative argument into executable tests, the file-system and dedup code
+//! paths are annotated with *named crash points* (e.g.
+//! `"denova::dedup::after_tail_update"`). A test arms a point, runs the
+//! operation under [`std::panic::catch_unwind`], and — when the armed hit is
+//! reached — the device drops every unflushed cache line and the operation
+//! unwinds with a [`SimulatedCrash`] payload. Recovery is then exercised on
+//! the surviving persistent image.
+//!
+//! Unarmed crash points still *count* their hits, so a test harness can run
+//! an operation once, enumerate every crash opportunity, and then replay the
+//! operation crashing at each one — the crash-matrix driver used by
+//! `tests/crash_matrix.rs`.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Panic payload carried by an injected crash. Tests downcast the payload of
+/// `catch_unwind` to this type to distinguish simulated power loss from real
+/// bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatedCrash {
+    /// The crash point that fired.
+    pub point: String,
+    /// Which hit of that point fired (0-based).
+    pub hit: u64,
+}
+
+/// What happens to dirty (unflushed) cache lines at a simulated power
+/// failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Every line that was not explicitly flushed *and* fenced reverts to its
+    /// last persisted content. This is the strict persistence model: nothing
+    /// survives without `clwb; sfence`.
+    Strict,
+    /// Each dirty line independently survives or reverts, decided by a
+    /// deterministic hash of (seed, line index). Models arbitrary cache
+    /// eviction: real hardware may write back any dirty line at any time, so
+    /// correct recovery code must tolerate *any* subset of unflushed stores
+    /// becoming durable. The seed makes failures reproducible.
+    Adversarial {
+        /// Seed of the deterministic survive/revert decision.
+        seed: u64,
+    },
+}
+
+impl CrashMode {
+    /// Decide whether the dirty line at `line_index` survives the crash.
+    #[inline]
+    pub fn line_survives(&self, line_index: u64) -> bool {
+        match *self {
+            CrashMode::Strict => false,
+            CrashMode::Adversarial { seed } => {
+                // splitmix64 over (seed ^ line): cheap, deterministic,
+                // well-distributed.
+                let mut z = seed ^ line_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                z & 1 == 1
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PointState {
+    /// Total times this point has been reached.
+    hits: u64,
+    /// If set, crash when `hits` reaches this value (0-based: `Some(0)`
+    /// crashes on the first hit).
+    arm_at: Option<u64>,
+}
+
+/// Registry of named crash points attached to a device.
+///
+/// Thread-safe; the mutex is uncontended in practice because crash points are
+/// only compiled into cold transaction boundaries, not per-byte accesses.
+#[derive(Debug, Default)]
+pub struct CrashPointRegistry {
+    points: Mutex<HashMap<String, PointState>>,
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl CrashPointRegistry {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable hit counting and armed crashes. Disabled by default so that
+    /// production-shaped benchmark runs pay only one relaxed atomic load per
+    /// crash point.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the registry is recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Arm `point` to crash on its `nth` hit (0-based) from now. Resets the
+    /// point's hit counter so tests can arm-and-replay deterministically.
+    pub fn arm(&self, point: &str, nth: u64) {
+        let mut map = self.points.lock();
+        let st = map.entry(point.to_string()).or_default();
+        st.hits = 0;
+        st.arm_at = Some(nth);
+        self.set_enabled(true);
+    }
+
+    /// Disarm every point and clear all counters.
+    pub fn reset(&self) {
+        self.points.lock().clear();
+    }
+
+    /// Total recorded hits of `point`.
+    pub fn hits(&self, point: &str) -> u64 {
+        self.points.lock().get(point).map_or(0, |s| s.hits)
+    }
+
+    /// Names of every point seen so far, with hit counts.
+    pub fn observed(&self) -> Vec<(String, u64)> {
+        let map = self.points.lock();
+        let mut v: Vec<_> = map.iter().map(|(k, s)| (k.clone(), s.hits)).collect();
+        v.sort();
+        v
+    }
+
+    /// Record a hit of `point`. Returns `Some(hit_index)` when the armed
+    /// trigger fires and the caller must crash.
+    pub fn hit(&self, point: &str) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut map = self.points.lock();
+        let st = map.entry(point.to_string()).or_default();
+        let this_hit = st.hits;
+        st.hits += 1;
+        if st.arm_at == Some(this_hit) {
+            st.arm_at = None;
+            Some(this_hit)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_counts_nothing() {
+        let r = CrashPointRegistry::new();
+        assert_eq!(r.hit("x"), None);
+        assert_eq!(r.hits("x"), 0);
+    }
+
+    #[test]
+    fn enabled_registry_counts_hits() {
+        let r = CrashPointRegistry::new();
+        r.set_enabled(true);
+        assert_eq!(r.hit("x"), None);
+        assert_eq!(r.hit("x"), None);
+        assert_eq!(r.hits("x"), 2);
+        assert_eq!(r.hits("y"), 0);
+    }
+
+    #[test]
+    fn armed_point_fires_on_nth_hit() {
+        let r = CrashPointRegistry::new();
+        r.arm("p", 2);
+        assert_eq!(r.hit("p"), None);
+        assert_eq!(r.hit("p"), None);
+        assert_eq!(r.hit("p"), Some(2));
+        // Fires exactly once.
+        assert_eq!(r.hit("p"), None);
+    }
+
+    #[test]
+    fn arm_resets_hit_counter() {
+        let r = CrashPointRegistry::new();
+        r.set_enabled(true);
+        r.hit("p");
+        r.hit("p");
+        r.arm("p", 0);
+        assert_eq!(r.hit("p"), Some(0));
+    }
+
+    #[test]
+    fn observed_lists_points_sorted() {
+        let r = CrashPointRegistry::new();
+        r.set_enabled(true);
+        r.hit("b");
+        r.hit("a");
+        r.hit("a");
+        assert_eq!(
+            r.observed(),
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn strict_mode_drops_every_line() {
+        let m = CrashMode::Strict;
+        assert!((0..100).all(|i| !m.line_survives(i)));
+    }
+
+    #[test]
+    fn adversarial_mode_is_deterministic_and_mixed() {
+        let m = CrashMode::Adversarial { seed: 7 };
+        let a: Vec<bool> = (0..256).map(|i| m.line_survives(i)).collect();
+        let b: Vec<bool> = (0..256).map(|i| m.line_survives(i)).collect();
+        assert_eq!(a, b);
+        let kept = a.iter().filter(|&&x| x).count();
+        // Roughly half survive; require a nontrivial mix.
+        assert!(kept > 64 && kept < 192, "kept = {kept}");
+    }
+
+    #[test]
+    fn adversarial_seeds_differ() {
+        let m1 = CrashMode::Adversarial { seed: 1 };
+        let m2 = CrashMode::Adversarial { seed: 2 };
+        let a: Vec<bool> = (0..256).map(|i| m1.line_survives(i)).collect();
+        let b: Vec<bool> = (0..256).map(|i| m2.line_survives(i)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Device latency models (paper Table I).
+//!
+//! A profile charges a fixed access latency per operation plus a per-line
+//! bandwidth cost. The split matters: Optane's *latency* for a single 64 B
+//! read is 150–350 ns, but sequential multi-line accesses pipeline inside the
+//! XPController, so a 4 KB page read does not cost 64 × 300 ns. The per-line
+//! term models the sustained bandwidth; the per-op term models the first-access
+//! latency. With the default Optane profile a 4 KB copy-on-write page write
+//! (64 flushed lines) costs ≈ 2.6 µs, matching the paper's measured 2.85 µs
+//! (Table IV) to within the accuracy this reproduction needs.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A device latency model. All costs in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Human-readable device name (Table I row).
+    pub name: &'static str,
+    /// First-access read latency charged once per read operation.
+    pub read_latency_ns: u32,
+    /// Additional read cost per 64 B cache line touched.
+    pub read_per_line_ns: u32,
+    /// Write (flush) latency charged once per flush operation.
+    pub write_latency_ns: u32,
+    /// Additional write cost per 64 B cache line flushed.
+    pub write_per_line_ns: u32,
+}
+
+impl LatencyProfile {
+    /// No injected latency. The default for unit tests, where only
+    /// correctness and persistence ordering matter.
+    pub const fn none() -> Self {
+        LatencyProfile {
+            name: "none",
+            read_latency_ns: 0,
+            read_per_line_ns: 0,
+            write_latency_ns: 0,
+            write_per_line_ns: 0,
+        }
+    }
+
+    /// DRAM per Table I: 10–60 ns read and write. Used as the "no dedup
+    /// metadata cost" comparison point.
+    pub const fn dram() -> Self {
+        LatencyProfile {
+            name: "DRAM",
+            read_latency_ns: 35,
+            read_per_line_ns: 4,
+            write_latency_ns: 35,
+            write_per_line_ns: 4,
+        }
+    }
+
+    /// Intel Optane DC PM per Table I: 150–350 ns read, 60–100 ns write.
+    /// The headline evaluation profile.
+    pub const fn optane() -> Self {
+        LatencyProfile {
+            name: "Optane DC PM",
+            read_latency_ns: 250,
+            read_per_line_ns: 15,
+            write_latency_ns: 80,
+            write_per_line_ns: 40,
+        }
+    }
+
+    /// Phase-change memory per Table I: 50–300 ns read, 150–1000 ns write.
+    pub const fn pcm() -> Self {
+        LatencyProfile {
+            name: "PCM",
+            read_latency_ns: 175,
+            read_per_line_ns: 20,
+            write_latency_ns: 575,
+            write_per_line_ns: 120,
+        }
+    }
+
+    /// STT-RAM per Table I: 5–30 ns read, 10–100 ns write.
+    pub const fn stt_ram() -> Self {
+        LatencyProfile {
+            name: "STT-RAM",
+            read_latency_ns: 17,
+            read_per_line_ns: 3,
+            write_latency_ns: 55,
+            write_per_line_ns: 8,
+        }
+    }
+
+    /// All Table I rows, for the Table I regeneration harness.
+    pub fn table1() -> [LatencyProfile; 4] {
+        [
+            Self::dram(),
+            Self::pcm(),
+            Self::stt_ram(),
+            Self::optane(),
+        ]
+    }
+
+    /// True when the profile injects no delay at all (fast path).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.read_latency_ns == 0
+            && self.read_per_line_ns == 0
+            && self.write_latency_ns == 0
+            && self.write_per_line_ns == 0
+    }
+
+    /// Total injected cost of a read touching `lines` cache lines.
+    #[inline]
+    pub fn read_cost_ns(&self, lines: u64) -> u64 {
+        if lines == 0 {
+            return 0;
+        }
+        self.read_latency_ns as u64 + lines * self.read_per_line_ns as u64
+    }
+
+    /// Total injected cost of flushing `lines` cache lines.
+    #[inline]
+    pub fn write_cost_ns(&self, lines: u64) -> u64 {
+        if lines == 0 {
+            return 0;
+        }
+        self.write_latency_ns as u64 + lines * self.write_per_line_ns as u64
+    }
+}
+
+impl Default for LatencyProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Spin-loop iterations that take roughly one nanosecond, measured once.
+fn spins_per_ns() -> f64 {
+    static CAL: OnceLock<f64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        // Warm up, then time a large fixed spin count.
+        busy_spin(10_000);
+        let iters: u64 = 2_000_000;
+        let start = Instant::now();
+        busy_spin(iters);
+        let ns = start.elapsed().as_nanos().max(1) as f64;
+        (iters as f64 / ns).max(0.01)
+    })
+}
+
+#[inline]
+fn busy_spin(iters: u64) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+/// Force spin calibration now (otherwise it happens lazily on the first
+/// injected delay). Benchmarks call this before timing begins.
+pub fn calibrate_spin() {
+    let _ = spins_per_ns();
+}
+
+/// Busy-wait for approximately `ns` nanoseconds. Public so higher layers can
+/// model compute costs (e.g. DeNova's calibrated fingerprint latency) with
+/// the same mechanism as device latency.
+///
+/// Short waits (< ~200 ns) use a calibrated spin count to avoid the overhead
+/// of reading the clock; longer waits poll `Instant` for accuracy.
+#[inline]
+pub fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    if ns < 200 {
+        busy_spin((ns as f64 * spins_per_ns()) as u64);
+    } else {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Crate-internal alias retained by the device code.
+#[inline]
+pub(crate) fn inject_ns(ns: u64) {
+    spin_ns(ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_profile_has_zero_costs() {
+        let p = LatencyProfile::none();
+        assert!(p.is_zero());
+        assert_eq!(p.read_cost_ns(100), 0);
+        assert_eq!(p.write_cost_ns(100), 0);
+    }
+
+    #[test]
+    fn optane_asymmetry_matches_paper() {
+        // The paper's core observation: Optane single-line reads are slower
+        // than single-line writes (Table I), while DRAM is symmetric.
+        let o = LatencyProfile::optane();
+        assert!(o.read_cost_ns(1) > o.write_cost_ns(1));
+        let d = LatencyProfile::dram();
+        assert_eq!(d.read_cost_ns(1), d.write_cost_ns(1));
+    }
+
+    #[test]
+    fn optane_page_write_cost_near_paper_table4() {
+        // A 4 KB page is 64 lines; the paper measured 2.85 us for a 4 KB
+        // file write. Our injected flush cost should be in that ballpark
+        // (the rest of the 2.85 us is software path overhead).
+        let o = LatencyProfile::optane();
+        let cost = o.write_cost_ns(64);
+        assert!((2_000..3_500).contains(&cost), "cost = {cost}");
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_lines() {
+        let o = LatencyProfile::optane();
+        let one = o.write_cost_ns(1);
+        let ten = o.write_cost_ns(10);
+        assert_eq!(ten - one, 9 * o.write_per_line_ns as u64);
+    }
+
+    #[test]
+    fn zero_lines_cost_nothing() {
+        let o = LatencyProfile::optane();
+        assert_eq!(o.read_cost_ns(0), 0);
+        assert_eq!(o.write_cost_ns(0), 0);
+    }
+
+    #[test]
+    fn inject_ns_waits_roughly_right() {
+        calibrate_spin();
+        let start = Instant::now();
+        spin_ns(50_000);
+        let took = start.elapsed().as_nanos() as u64;
+        assert!(took >= 50_000, "took only {took} ns");
+        // Allow generous slack for noisy CI machines.
+        assert!(took < 5_000_000, "took {took} ns");
+    }
+
+    #[test]
+    fn table1_has_all_four_devices() {
+        let names: Vec<_> = LatencyProfile::table1().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["DRAM", "PCM", "STT-RAM", "Optane DC PM"]);
+    }
+}

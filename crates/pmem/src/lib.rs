@@ -1,0 +1,89 @@
+//! Emulated persistent-memory device for the DeNova reproduction.
+//!
+//! The DeNova paper evaluates on an Intel Optane DC PM module emulated over
+//! DRAM. This crate provides the equivalent substrate in user space, with two
+//! capabilities the authors' kernel emulation did not have:
+//!
+//! 1. **Persistence tracking.** Every store lands in a simulated CPU cache;
+//!    it only becomes durable after an explicit cache-line flush ([`PmemDevice::flush`],
+//!    the `clwb` analogue) followed by a fence ([`PmemDevice::fence`], the
+//!    `sfence` analogue). A simulated power failure ([`PmemDevice::crash_clone`])
+//!    reverts every line that was not flushed-and-fenced to its last durable
+//!    content. This reproduces the failure model that all of DeNova's
+//!    consistency machinery (count-based consistency, dedupe-flags, the IAA
+//!    reordering commit flag) is designed around.
+//!
+//! 2. **Device latency injection.** Table I of the paper lists read/write
+//!    latencies for DRAM, PCM, STT-RAM and Optane DC PM. [`LatencyProfile`]
+//!    models each and injects calibrated busy-waits per line read/flushed, so
+//!    benchmarks reproduce the latency *asymmetry* (cheap writes, expensive
+//!    reads relative to DRAM) that motivates the paper's offline-dedup
+//!    argument.
+//!
+//! The device is `Sync`: callers (the NOVA layer) are responsible for not
+//! racing plain accesses to the same bytes, exactly as a real file system is
+//! responsible for not racing stores to the same persistent words. 8-byte
+//! atomic stores — NOVA's commit primitive — are exposed separately and are
+//! always race-free.
+
+#![warn(missing_docs)]
+
+mod crash;
+mod device;
+mod latency;
+mod stats;
+
+pub use crash::{CrashMode, CrashPointRegistry, SimulatedCrash};
+pub use device::{PmemBuilder, PmemDevice};
+pub use latency::{calibrate_spin, spin_ns, LatencyProfile};
+pub use stats::PmemStats;
+
+/// Size of a CPU cache line in bytes. FACT entries and NOVA log entries are
+/// laid out to fit exactly one line so that persisting an entry costs a
+/// single flush + fence.
+pub const CACHE_LINE: usize = 64;
+
+/// Size of a data/log page (block) in bytes. NOVA mounts with 4 KB blocks and
+/// DeNova chunks at the same granularity.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Round `n` down to the start of its cache line.
+#[inline]
+pub const fn line_start(n: u64) -> u64 {
+    n & !(CACHE_LINE as u64 - 1)
+}
+
+/// Number of cache lines touched by the byte range `[off, off + len)`.
+#[inline]
+pub const fn lines_spanned(off: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = line_start(off);
+    let last = line_start(off + len - 1);
+    (last - first) / CACHE_LINE as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_start_rounds_down() {
+        assert_eq!(line_start(0), 0);
+        assert_eq!(line_start(63), 0);
+        assert_eq!(line_start(64), 64);
+        assert_eq!(line_start(130), 128);
+    }
+
+    #[test]
+    fn lines_spanned_counts_straddles() {
+        assert_eq!(lines_spanned(0, 0), 0);
+        assert_eq!(lines_spanned(0, 1), 1);
+        assert_eq!(lines_spanned(0, 64), 1);
+        assert_eq!(lines_spanned(0, 65), 2);
+        assert_eq!(lines_spanned(63, 2), 2);
+        assert_eq!(lines_spanned(64, 64), 1);
+        assert_eq!(lines_spanned(10, 4096), 65);
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic content generation with exact duplicate-ratio control.
+//!
+//! Dedup evaluations hinge on the duplicate ratio α of the written data
+//! (Eq. 2–5, Fig. 8). The generator decides per 4 KB page whether it is a
+//! *duplicate* (drawn from a small shared pool, so it will match an earlier
+//! page's fingerprint) or *unique* (stamped with a never-repeating counter).
+//! An error-diffusion accumulator makes the realized ratio exact over the
+//! whole stream, not just in expectation, so a "50 % duplicates" run really
+//! contains 50 % ± 1 duplicate pages.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Capacity of the duplicate ring: duplicates are copies of one of the last
+/// `POOL_PAGES` *unique* pages already emitted, so every "duplicate" page
+/// really duplicates data that exists on the device (savings == duplicate
+/// count, matching fio's `dedupe_percentage` semantics). A small ring keeps
+/// RFCs high, exercising IAA reordering.
+const POOL_PAGES: usize = 64;
+
+/// Seeded page-stream generator.
+pub struct DataGenerator {
+    rng: StdRng,
+    pool: Vec<[u8; 4096]>,
+    /// Error-diffusion accumulator for the exact duplicate ratio.
+    dup_ratio: f64,
+    credit: f64,
+    /// Monotonic stamp making unique pages globally unique.
+    unique_counter: u64,
+    dup_pages: u64,
+    total_pages: u64,
+}
+
+impl DataGenerator {
+    /// Create a new instance.
+    pub fn new(seed: u64, dup_ratio: f64) -> DataGenerator {
+        assert!((0.0..=1.0).contains(&dup_ratio), "dup_ratio out of range");
+        DataGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            pool: Vec::with_capacity(POOL_PAGES),
+            dup_ratio,
+            credit: 0.0,
+            unique_counter: 0,
+            dup_pages: 0,
+            total_pages: 0,
+        }
+    }
+
+    /// Fill `page` (4096 bytes) with the next page of the stream.
+    pub fn next_page(&mut self, page: &mut [u8]) {
+        debug_assert_eq!(page.len(), 4096);
+        self.total_pages += 1;
+        self.credit += self.dup_ratio;
+        if self.credit >= 1.0 && !self.pool.is_empty() {
+            self.credit -= 1.0;
+            self.dup_pages += 1;
+            let which = self.rng.gen_range(0..self.pool.len());
+            page.copy_from_slice(&self.pool[which]);
+        } else {
+            // Unique page: random fill plus a monotonic stamp so no two
+            // unique pages ever collide (even across RNG state reuse).
+            self.rng.fill(&mut page[..32]);
+            page[32..4096].fill(0);
+            self.unique_counter += 1;
+            page[0..8].copy_from_slice(&self.unique_counter.to_le_bytes());
+            page[8..16].copy_from_slice(&0xDEAD_BEEF_0000_0000u64.to_le_bytes());
+            // Feed the duplicate ring with emitted uniques.
+            if self.pool.len() < POOL_PAGES {
+                self.pool.push(page.try_into().unwrap());
+            } else {
+                let slot = self.rng.gen_range(0..POOL_PAGES);
+                self.pool[slot].copy_from_slice(page);
+            }
+        }
+    }
+
+    /// Generate a whole file of `size` bytes (whole pages; a short tail is
+    /// truncated from a full page).
+    pub fn next_file(&mut self, size: usize) -> Vec<u8> {
+        let mut out = vec![0u8; size.div_ceil(4096) * 4096];
+        for chunk in out.chunks_mut(4096) {
+            self.next_page(chunk);
+        }
+        out.truncate(size);
+        out
+    }
+
+    /// Duplicate pages emitted so far.
+    pub fn dup_pages(&self) -> u64 {
+        self.dup_pages
+    }
+
+    /// Total pages emitted so far.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Realized duplicate ratio so far.
+    pub fn realized_ratio(&self) -> f64 {
+        if self.total_pages == 0 {
+            return 0.0;
+        }
+        self.dup_pages as f64 / self.total_pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn pages(gen: &mut DataGenerator, n: usize) -> Vec<[u8; 4096]> {
+        (0..n)
+            .map(|_| {
+                let mut p = [0u8; 4096];
+                gen.next_page(&mut p);
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_ratio_is_all_unique() {
+        let mut g = DataGenerator::new(1, 0.0);
+        let ps = pages(&mut g, 500);
+        let set: HashSet<&[u8]> = ps.iter().map(|p| &p[..]).collect();
+        assert_eq!(set.len(), 500);
+        assert_eq!(g.dup_pages(), 0);
+    }
+
+    #[test]
+    fn full_ratio_duplicates_everything_after_the_first() {
+        let mut g = DataGenerator::new(1, 1.0);
+        let ps = pages(&mut g, 500);
+        let set: HashSet<&[u8]> = ps.iter().map(|p| &p[..]).collect();
+        // The single unique seed page plus its duplicates.
+        assert_eq!(set.len(), 1);
+        assert_eq!(g.dup_pages(), 499);
+    }
+
+    #[test]
+    fn duplicates_always_match_an_earlier_page() {
+        let mut g = DataGenerator::new(5, 0.5);
+        let ps = pages(&mut g, 400);
+        let mut seen: HashSet<&[u8]> = HashSet::new();
+        let mut dups = 0;
+        for p in &ps {
+            if !seen.insert(&p[..]) {
+                dups += 1;
+            }
+        }
+        assert_eq!(dups as u64, g.dup_pages());
+    }
+
+    #[test]
+    fn ratio_is_exact_not_just_expected() {
+        for ratio in [0.25, 0.5, 0.75] {
+            let mut g = DataGenerator::new(9, ratio);
+            pages(&mut g, 1000);
+            let realized = g.realized_ratio();
+            assert!(
+                (realized - ratio).abs() < 0.002,
+                "ratio {ratio}: realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DataGenerator::new(7, 0.5);
+        let mut b = DataGenerator::new(7, 0.5);
+        assert_eq!(pages(&mut a, 50), pages(&mut b, 50));
+        let mut c = DataGenerator::new(8, 0.5);
+        assert_ne!(pages(&mut a, 50), pages(&mut c, 50));
+    }
+
+    #[test]
+    fn unique_pages_never_collide_across_generators_with_same_seed_offset() {
+        // Within one generator, unique pages are distinct even at huge
+        // counts (the counter stamp guarantees it).
+        let mut g = DataGenerator::new(3, 0.0);
+        let ps = pages(&mut g, 2000);
+        let set: HashSet<&[u8]> = ps.iter().map(|p| &p[..]).collect();
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn next_file_sizes() {
+        let mut g = DataGenerator::new(1, 0.5);
+        assert_eq!(g.next_file(4096).len(), 4096);
+        assert_eq!(g.next_file(131072).len(), 131072);
+        assert_eq!(g.next_file(5000).len(), 5000);
+        assert_eq!(g.total_pages(), 1 + 32 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dup_ratio")]
+    fn bad_ratio_rejected() {
+        DataGenerator::new(0, 1.5);
+    }
+}

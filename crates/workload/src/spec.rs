@@ -1,0 +1,171 @@
+//! Workload specifications.
+
+use std::time::Duration;
+
+/// Think-time injection: the paper's Fig. 8 setup "added 0.1 ms of think
+/// time for every 0.1 ms, which leads to a 0.2 ms cycle of think time and
+/// actual IO time".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThinkTime {
+    /// No think time: saturate the device.
+    None,
+    /// After every `io` of measured I/O time, pause for `think`.
+    Cycle {
+        /// Measured I/O time per cycle.
+        io: Duration,
+        /// Pause per cycle.
+        think: Duration,
+    },
+}
+
+impl ThinkTime {
+    /// The paper's 0.1 ms / 0.1 ms cycle.
+    pub fn paper_cycle() -> ThinkTime {
+        ThinkTime::Cycle {
+            io: Duration::from_micros(100),
+            think: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Whether the job writes fresh files or overwrites existing ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Create a new file per unit and write it (the paper's "write"
+    /// workload: create inode + allocate log + write).
+    Create,
+    /// Overwrite files created by a previous pass (the paper's "overwrite"
+    /// workload, Fig. 11).
+    Overwrite,
+}
+
+/// A write job: `file_count` files of `file_size` bytes each, written by
+/// `threads` threads, with duplicate ratio `dup_ratio`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Name prefix for created files (files are `"{name}-{thread}-{i}"`).
+    pub name: String,
+    /// Bytes per file (4 KB for the paper's small-file workload, 128 KB for
+    /// large).
+    pub file_size: usize,
+    /// Total files across all threads.
+    pub file_count: usize,
+    /// Fraction of 4 KB pages that duplicate earlier pages, `0.0 ..= 1.0`.
+    pub dup_ratio: f64,
+    /// Writer threads.
+    pub threads: usize,
+    /// Think-time injection.
+    pub think: ThinkTime,
+    /// Create vs overwrite.
+    pub kind: WriteKind,
+    /// RNG seed (content is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// The paper's small-file workload shape (4 KB files), scaled to
+    /// `file_count` files.
+    pub fn small_files(file_count: usize, dup_ratio: f64) -> JobSpec {
+        JobSpec {
+            name: "small".to_string(),
+            file_size: 4096,
+            file_count,
+            dup_ratio,
+            threads: 1,
+            think: ThinkTime::None,
+            kind: WriteKind::Create,
+            seed: 42,
+        }
+    }
+
+    /// The paper's large-file workload shape (128 KB files).
+    pub fn large_files(file_count: usize, dup_ratio: f64) -> JobSpec {
+        JobSpec {
+            name: "large".to_string(),
+            file_size: 128 * 1024,
+            file_count,
+            dup_ratio,
+            threads: 1,
+            think: ThinkTime::None,
+            kind: WriteKind::Create,
+            seed: 42,
+        }
+    }
+
+    /// Total bytes the job writes.
+    pub fn total_bytes(&self) -> u64 {
+        self.file_size as u64 * self.file_count as u64
+    }
+
+    /// Pages per file.
+    pub fn pages_per_file(&self) -> usize {
+        self.file_size.div_ceil(4096)
+    }
+
+    /// Builder-style overrides.
+    pub fn with_threads(mut self, threads: usize) -> JobSpec {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style override of the think-time setting.
+    pub fn with_think(mut self, think: ThinkTime) -> JobSpec {
+        self.think = think;
+        self
+    }
+
+    /// Builder-style override of create-vs-overwrite.
+    pub fn with_kind(mut self, kind: WriteKind) -> JobSpec {
+        self.kind = kind;
+        self
+    }
+
+    /// Builder-style override of the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> JobSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the file-name prefix.
+    pub fn with_name(mut self, name: &str) -> JobSpec {
+        self.name = name.to_string();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_shapes() {
+        let s = JobSpec::small_files(1000, 0.5);
+        assert_eq!(s.file_size, 4096);
+        assert_eq!(s.pages_per_file(), 1);
+        assert_eq!(s.total_bytes(), 4096 * 1000);
+        let l = JobSpec::large_files(100, 0.5);
+        assert_eq!(l.file_size, 131072);
+        assert_eq!(l.pages_per_file(), 32);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = JobSpec::small_files(10, 0.0)
+            .with_threads(4)
+            .with_kind(WriteKind::Overwrite)
+            .with_seed(7)
+            .with_name("x")
+            .with_think(ThinkTime::paper_cycle());
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.kind, WriteKind::Overwrite);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.name, "x");
+        assert!(matches!(s.think, ThinkTime::Cycle { .. }));
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let s = JobSpec::small_files(10, 0.0).with_threads(0);
+        assert_eq!(s.threads, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Measurement helpers: percentiles, CDFs, summaries.
+
+/// Mean of a sample set.
+pub fn mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a sorted copy.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Evenly-spaced CDF points `(value, fraction ≤ value)` for plotting
+/// (Fig. 10's presentation). Returns `points` pairs from the 1/points
+/// quantile to the maximum.
+pub fn cdf_points(samples: &[u64], points: usize) -> Vec<(u64, f64)> {
+    if samples.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    (1..=points)
+        .map(|i| {
+            let frac = i as f64 / points as f64;
+            let rank = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            (sorted[rank - 1], frac)
+        })
+        .collect()
+}
+
+/// A compact distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// The `count` value.
+    pub count: usize,
+    /// The `mean` value.
+    pub mean: f64,
+    /// The `p50` value.
+    pub p50: u64,
+    /// The `p90` value.
+    pub p90: u64,
+    /// The `p99` value.
+    pub p99: u64,
+    /// The `max` value.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarize a sample set.
+    pub fn of(samples: &[u64]) -> Summary {
+        Summary {
+            count: samples.len(),
+            mean: mean(samples),
+            p50: percentile(samples, 50.0),
+            p90: percentile(samples, 90.0),
+            p99: percentile(samples, 99.0),
+            max: samples.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1, 2, 3, 4]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 90.0), 90);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 1.0), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert_eq!(percentile(&[30, 10, 20], 50.0), 20);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_max() {
+        let v: Vec<u64> = (0..1000).rev().collect();
+        let cdf = cdf_points(&v, 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, 999);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Failure-consistency demo: power-fail the system in the middle of a
+//! deduplication transaction at several different points, recover, and show
+//! that files, FACT reference counts, and free space all come back exact —
+//! Section V-C of the paper, executed live.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+
+use denova_repro::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn main() {
+    // Simulated crashes unwind with a panic; silence the default backtrace
+    // printer so the demo output stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let crash_points = [
+        ("denova::dedup::after_reserve", "after UC += 1 (step 3)"),
+        (
+            "denova::dedup::before_tail_commit",
+            "after appending entries, before the atomic tail commit (step 5)",
+        ),
+        (
+            "denova::dedup::after_tail_commit",
+            "right after the atomic tail commit",
+        ),
+        (
+            "denova::dedup::mid_commit_counts",
+            "halfway through the UC→RFC transfers (step 6)",
+        ),
+        (
+            "denova::dedup::after_complete",
+            "after flags reach dedupe_complete, before page reclaim",
+        ),
+    ];
+
+    let payload = vec![0x5Au8; 4 * 4096]; // four identical pages
+
+    for (point, description) in crash_points {
+        println!("== crashing {description}");
+        println!("   crash point: {point}");
+
+        let dev = Arc::new(PmemDevice::new(64 * 1024 * 1024));
+        let fs = Denova::mkfs(
+            dev.clone(),
+            NovaOptions::default(),
+            DedupMode::Delayed {
+                interval_ms: 60_000, // daemon idle: we drive dedup by hand
+                batch: 1,
+            },
+        )
+        .unwrap();
+        let a = fs.create("a").unwrap();
+        let b = fs.create("b").unwrap();
+        fs.write(a, 0, &payload).unwrap();
+        fs.write(b, 0, &payload).unwrap();
+
+        // Drive one dedup transaction into the armed crash point.
+        let node = fs.dwq().pop_batch(1)[0];
+        dev.crash_points().arm(point, 0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            denova::dedup_entry(fs.nova(), fs.fact(), &node).unwrap();
+        }));
+        let crash = result.expect_err("crash point did not fire");
+        let crash = crash
+            .downcast_ref::<SimulatedCrash>()
+            .expect("panic was not a simulated crash");
+        println!("   power lost at {} (unflushed cache lines dropped)", crash.point);
+        drop(fs);
+
+        // Remount: NOVA log-scan recovery + DeNova Inconsistency Handling
+        // I/II/III + FACT scrub run automatically.
+        let fs = Denova::mount(dev, NovaOptions::default(), DedupMode::Immediate).unwrap();
+        fs.drain();
+        fs.scrub().unwrap();
+
+        // Invariants.
+        let a = fs.open("a").unwrap();
+        let b = fs.open("b").unwrap();
+        assert_eq!(fs.read(a, 0, payload.len()).unwrap(), payload);
+        assert_eq!(fs.read(b, 0, payload.len()).unwrap(), payload);
+        let fp = Fingerprint::of(&payload[..4096]);
+        let (idx, entry) = fs.fact().lookup(&fp).expect("canonical entry must exist");
+        let (rfc, uc) = fs.fact().counters(idx);
+        let expected = fs
+            .nova()
+            .block_reference_counts()
+            .get(&entry.block)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(uc, 0, "no UC residue");
+        assert_eq!(rfc, expected, "RFC must equal the live reference count");
+        println!(
+            "   recovered: both files intact, RFC = {rfc} (exact), UC = 0, \
+             {} pages shared\n",
+            rfc.saturating_sub(1)
+        );
+    }
+    println!("all crash scenarios recovered consistently ✓");
+}

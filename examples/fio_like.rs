@@ -1,0 +1,170 @@
+//! fio-like workload driver: the knobs of the paper's evaluation from the
+//! command line.
+//!
+//! ```text
+//! cargo run --release --example fio_like -- \
+//!     [--mode baseline|inline|immediate|delayed:N:M] \
+//!     [--files N] [--size BYTES] [--dup PCT] [--threads N] [--think]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! # the paper's Fig. 8 small-file point at 50% duplicates
+//! cargo run --release --example fio_like -- --mode immediate --files 5000 --size 4096 --dup 50 --think
+//!
+//! # inline dedup on large files (watch the throughput collapse)
+//! cargo run --release --example fio_like -- --mode inline --files 200 --size 131072 --dup 50
+//! ```
+
+use denova_repro::prelude::*;
+use denova_workload::run_write_job;
+use std::sync::Arc;
+
+struct Args {
+    mode: DedupMode,
+    files: usize,
+    size: usize,
+    dup_pct: f64,
+    threads: usize,
+    think: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: DedupMode::Immediate,
+        files: 2000,
+        size: 4096,
+        dup_pct: 50.0,
+        threads: 1,
+        think: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| die("missing value")).clone()
+        };
+        match argv[i].as_str() {
+            "--mode" => {
+                let v = take(&mut i);
+                args.mode = match v.as_str() {
+                    "baseline" => DedupMode::Baseline,
+                    "inline" => DedupMode::Inline,
+                    "immediate" => DedupMode::Immediate,
+                    other => {
+                        let parts: Vec<&str> = other.split(':').collect();
+                        if parts.len() == 3 && parts[0] == "delayed" {
+                            DedupMode::Delayed {
+                                interval_ms: parts[1].parse().unwrap_or_else(|_| die("bad N")),
+                                batch: parts[2].parse().unwrap_or_else(|_| die("bad M")),
+                            }
+                        } else {
+                            die("mode must be baseline|inline|immediate|delayed:N:M")
+                        }
+                    }
+                };
+            }
+            "--files" => args.files = take(&mut i).parse().unwrap_or_else(|_| die("bad --files")),
+            "--size" => args.size = take(&mut i).parse().unwrap_or_else(|_| die("bad --size")),
+            "--dup" => args.dup_pct = take(&mut i).parse().unwrap_or_else(|_| die("bad --dup")),
+            "--threads" => {
+                args.threads = take(&mut i).parse().unwrap_or_else(|_| die("bad --threads"))
+            }
+            "--think" => args.think = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fio_like: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let logical = args.files * args.size;
+    // Device: logical data + 4x headroom for logs/FACT, min 64 MB.
+    let dev_size = (logical * 4).max(64 * 1024 * 1024).next_power_of_two();
+    let dev = Arc::new(
+        PmemBuilder::new(dev_size)
+            .latency(LatencyProfile::optane())
+            .build(),
+    );
+    let fs = Arc::new(
+        Denova::mkfs(
+            dev,
+            NovaOptions {
+                num_inodes: (args.files + 16).next_power_of_two() as u64,
+                cpus: args.threads.max(1),
+                ..Default::default()
+            },
+            args.mode,
+        )
+        .expect("mkfs"),
+    );
+
+    let spec = JobSpec {
+        name: "job".into(),
+        file_size: args.size,
+        file_count: args.files,
+        dup_ratio: args.dup_pct / 100.0,
+        threads: args.threads,
+        think: if args.think {
+            ThinkTime::paper_cycle()
+        } else {
+            ThinkTime::None
+        },
+        kind: WriteKind::Create,
+        seed: 42,
+    };
+
+    println!(
+        "job: {} files x {} B, dup {}%, {} thread(s), mode {}",
+        args.files, args.size, args.dup_pct, args.threads, args.mode
+    );
+    let report = run_write_job(&fs, &spec).expect("job failed");
+    let lat = report.latency_summary();
+    println!(
+        "  write: {:8.1} MB/s io  ({:.1} MB/s wall)  {} files in {:?}",
+        report.throughput_mbs(),
+        report.wall_throughput_mbs(),
+        report.files,
+        report.elapsed
+    );
+    println!(
+        "  lat/file: mean {:.1} us  p50 {:.1} us  p90 {:.1} us  p99 {:.1} us",
+        lat.mean / 1000.0,
+        lat.p50 as f64 / 1000.0,
+        lat.p90 as f64 / 1000.0,
+        lat.p99 as f64 / 1000.0
+    );
+
+    fs.drain();
+    let s = fs.stats();
+    println!(
+        "  dedup: {} dup pages / {} scanned ({:.1}%), {:.2} MB saved",
+        s.duplicate_pages(),
+        s.pages_scanned(),
+        100.0 * s.duplicate_pages() as f64 / s.pages_scanned().max(1) as f64,
+        s.bytes_saved() as f64 / (1 << 20) as f64
+    );
+    if s.dequeued() > 0 {
+        let lingering = s.lingering_ns();
+        println!(
+            "  DWQ lingering: p50 {:.2} ms  p90 {:.2} ms (over {} nodes)",
+            denova_workload::percentile(&lingering, 50.0) as f64 / 1e6,
+            denova_workload::percentile(&lingering, 90.0) as f64 / 1e6,
+            lingering.len()
+        );
+    }
+    println!(
+        "  FACT: {:.2} PM reads/lookup, {} reorders",
+        s.avg_lookup_reads(),
+        s.reorders()
+    );
+}

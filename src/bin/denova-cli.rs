@@ -1,0 +1,235 @@
+//! `denova-cli` — operate a DeNova file system stored in a device-image
+//! file.
+//!
+//! The emulated PM device persists across invocations as a host file
+//! (`PmemDevice::save_image`/`load_image`), so the CLI behaves like a real
+//! disk tool:
+//!
+//! ```text
+//! denova-cli fs.img mkfs --size 64M
+//! denova-cli fs.img put  report.pdf /tmp/report.pdf
+//! denova-cli fs.img put  copy.pdf   /tmp/report.pdf     # deduplicated
+//! denova-cli fs.img ls
+//! denova-cli fs.img df                                  # space + dedup stats
+//! denova-cli fs.img get  report.pdf /tmp/back.pdf
+//! denova-cli fs.img mv   copy.pdf archive.pdf
+//! denova-cli fs.img rm   archive.pdf
+//! denova-cli fs.img fsck
+//! ```
+
+use denova_repro::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: denova-cli <image> <command> [args]\n\
+         commands:\n\
+         \x20 mkfs --size <N[K|M|G]>        format a new image\n\
+         \x20 put <name> <hostfile>         copy a host file in\n\
+         \x20 get <name> <hostfile>         copy a file out\n\
+         \x20 cat <name>                    print a file to stdout\n\
+         \x20 ls                            list files\n\
+         \x20 rm <name>                     remove a file\n\
+         \x20 mv <from> <to>                rename (clobbers target)\n\
+         \x20 stat <name>                   file metadata\n\
+         \x20 df                            space + dedup statistics\n\
+         \x20 fsck                          consistency check\n\
+         \x20 scrub                         reconcile FACT reference counts"
+    );
+    std::process::exit(2);
+}
+
+fn parse_size(s: &str) -> Option<usize> {
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok().map(|n| n * mult)
+}
+
+fn open_fs(image: &Path) -> Result<Denova, String> {
+    let dev = PmemDevice::load_image(image, LatencyProfile::none())
+        .map_err(|e| format!("cannot read image {}: {e}", image.display()))?;
+    Denova::mount(Arc::new(dev), NovaOptions::default(), DedupMode::Immediate)
+        .map_err(|e| format!("mount failed: {e} (is {} formatted?)", image.display()))
+}
+
+fn close_fs(fs: Denova, image: &Path) -> Result<(), String> {
+    fs.drain();
+    let dev = fs.nova().device().clone();
+    fs.unmount();
+    dev.save_image(image)
+        .map_err(|e| format!("cannot write image: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let image = PathBuf::from(&args[0]);
+    let cmd = args[1].as_str();
+    let rest = &args[2..];
+
+    match (cmd, rest) {
+        ("mkfs", _) => {
+            let size = match rest {
+                [flag, sz] if flag == "--size" => {
+                    parse_size(sz).ok_or_else(|| format!("bad size '{sz}'"))?
+                }
+                [] => 64 * 1024 * 1024,
+                _ => usage(),
+            };
+            let dev = Arc::new(PmemDevice::new(size));
+            let fs = Denova::mkfs(dev, NovaOptions::default(), DedupMode::Immediate)
+                .map_err(|e| format!("mkfs failed: {e}"))?;
+            println!(
+                "formatted {} ({} MB, FACT {} entries, n = {})",
+                image.display(),
+                size / (1 << 20),
+                fs.fact().entries(),
+                fs.fact().prefix_bits()
+            );
+            close_fs(fs, &image)
+        }
+        ("put", [name, host]) => {
+            let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
+            let fs = open_fs(&image)?;
+            let ino = match fs.open(name) {
+                Ok(ino) => {
+                    fs.truncate(ino, 0).map_err(|e| e.to_string())?;
+                    ino
+                }
+                Err(_) => fs.create(name).map_err(|e| e.to_string())?,
+            };
+            fs.write(ino, 0, &data).map_err(|e| e.to_string())?;
+            fs.drain();
+            println!(
+                "{name}: {} bytes ({} saved by dedup so far)",
+                data.len(),
+                fs.bytes_saved()
+            );
+            close_fs(fs, &image)
+        }
+        ("get", [name, host]) => {
+            let fs = open_fs(&image)?;
+            let ino = fs.open(name).map_err(|e| e.to_string())?;
+            let size = fs.file_size(ino).map_err(|e| e.to_string())?;
+            let data = fs.read(ino, 0, size as usize).map_err(|e| e.to_string())?;
+            std::fs::write(host, &data).map_err(|e| format!("write {host}: {e}"))?;
+            println!("{name}: {} bytes -> {host}", data.len());
+            close_fs(fs, &image)
+        }
+        ("cat", [name]) => {
+            let fs = open_fs(&image)?;
+            let ino = fs.open(name).map_err(|e| e.to_string())?;
+            let size = fs.file_size(ino).map_err(|e| e.to_string())?;
+            let data = fs.read(ino, 0, size as usize).map_err(|e| e.to_string())?;
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&data)
+                .map_err(|e| e.to_string())?;
+            close_fs(fs, &image)
+        }
+        ("ls", []) => {
+            let fs = open_fs(&image)?;
+            let mut names = fs.nova().list();
+            names.sort();
+            for name in names {
+                let ino = fs.open(&name).map_err(|e| e.to_string())?;
+                let st = fs.nova().stat(ino).map_err(|e| e.to_string())?;
+                println!("{:>12}  {}", st.size, name);
+            }
+            close_fs(fs, &image)
+        }
+        ("rm", [name]) => {
+            let fs = open_fs(&image)?;
+            fs.unlink(name).map_err(|e| e.to_string())?;
+            println!("removed {name}");
+            close_fs(fs, &image)
+        }
+        ("ln", [existing, new]) => {
+            let fs = open_fs(&image)?;
+            let ino = fs.nova().link(existing, new).map_err(|e| e.to_string())?;
+            println!("{new} => ino {ino} (also {existing})");
+            close_fs(fs, &image)
+        }
+        ("mv", [from, to]) => {
+            let fs = open_fs(&image)?;
+            fs.nova().rename(from, to).map_err(|e| e.to_string())?;
+            println!("{from} -> {to}");
+            close_fs(fs, &image)
+        }
+        ("stat", [name]) => {
+            let fs = open_fs(&image)?;
+            let ino = fs.open(name).map_err(|e| e.to_string())?;
+            let st = fs.nova().stat(ino).map_err(|e| e.to_string())?;
+            println!(
+                "{name}: ino {} size {} B, {} data pages, {} log pages, {} live entries",
+                st.ino, st.size, st.blocks, st.log_pages, st.log_entries_live
+            );
+            close_fs(fs, &image)
+        }
+        ("df", []) => {
+            let fs = open_fs(&image)?;
+            let layout = *fs.nova().layout();
+            let free = fs.nova().free_blocks();
+            let total = layout.data_blocks();
+            println!(
+                "device: {} MB, data area {} blocks, {} free ({:.1}% used)",
+                layout.device_size / (1 << 20),
+                total,
+                free,
+                100.0 * (total - free) as f64 / total as f64
+            );
+            println!(
+                "dedup:  {} FACT entries, {} B saved, FACT overhead {:.2}%, dedup-index DRAM {} B",
+                fs.fact().occupied_count(),
+                fs.persistent_bytes_saved(),
+                layout.fact_overhead() * 100.0,
+                fs.dedup_index_dram_bytes()
+            );
+            close_fs(fs, &image)
+        }
+        ("fsck", []) => {
+            let fs = open_fs(&image)?;
+            let report = denova_repro::nova::fsck(fs.nova(), true).map_err(|e| e.to_string())?;
+            println!(
+                "fsck: {} referenced blocks, {} shared, {} log pages",
+                report.referenced_blocks, report.shared_blocks, report.log_pages
+            );
+            let clean = report.is_clean();
+            for err in &report.errors {
+                println!("  ERROR: {err:?}");
+            }
+            close_fs(fs, &image)?;
+            if clean {
+                println!("clean");
+                Ok(())
+            } else {
+                Err("file system has errors".into())
+            }
+        }
+        ("scrub", []) => {
+            let fs = open_fs(&image)?;
+            let fixed = fs.scrub().map_err(|e| e.to_string())?;
+            println!("scrub: {fixed} FACT entries reconciled");
+            close_fs(fs, &image)
+        }
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("denova-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

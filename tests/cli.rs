@@ -1,0 +1,127 @@
+//! End-to-end tests of the `denova-cli` binary against a device image file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "denova-cli-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cli(image: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_denova-cli"))
+        .arg(image)
+        .args(args)
+        .output()
+        .expect("spawn denova-cli")
+}
+
+fn ok(image: &PathBuf, args: &[&str]) -> String {
+    let out = cli(image, args);
+    assert!(
+        out.status.success(),
+        "denova-cli {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn full_cli_session() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    let host_in = dir.join("input.bin");
+    let host_out = dir.join("output.bin");
+    let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+    std::fs::write(&host_in, &payload).unwrap();
+
+    // mkfs → put → ls → stat → get roundtrip.
+    let out = ok(&image, &["mkfs", "--size", "32M"]);
+    assert!(out.contains("formatted"));
+    ok(&image, &["put", "a.bin", host_in.to_str().unwrap()]);
+    let ls = ok(&image, &["ls"]);
+    assert!(ls.contains("a.bin"));
+    assert!(ls.contains("50000"));
+    let st = ok(&image, &["stat", "a.bin"]);
+    assert!(st.contains("size 50000"));
+    ok(&image, &["get", "a.bin", host_out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&host_out).unwrap(), payload);
+
+    // A second copy deduplicates; df reports the savings.
+    ok(&image, &["put", "b.bin", host_in.to_str().unwrap()]);
+    let df = ok(&image, &["df"]);
+    assert!(df.contains("saved"), "{df}");
+    let saved: u64 = df
+        .split(" B saved")
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(saved >= 12 * 4096, "saved only {saved} bytes");
+
+    // Hard link: both names serve the same bytes; removing one keeps it.
+    ok(&image, &["ln", "a.bin", "hard.bin"]);
+    ok(&image, &["get", "hard.bin", host_out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&host_out).unwrap(), payload);
+    ok(&image, &["rm", "hard.bin"]);
+    ok(&image, &["get", "a.bin", host_out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&host_out).unwrap(), payload);
+
+    // mv + rm + fsck.
+    ok(&image, &["mv", "b.bin", "c.bin"]);
+    let ls = ok(&image, &["ls"]);
+    assert!(ls.contains("c.bin") && !ls.contains("b.bin"));
+    ok(&image, &["rm", "c.bin"]);
+    ok(&image, &["scrub"]);
+    let fsck = ok(&image, &["fsck"]);
+    assert!(fsck.contains("clean"), "{fsck}");
+
+    // Content survives all of the above (each command is a separate
+    // process: the image file is the only shared state).
+    ok(&image, &["get", "a.bin", host_out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&host_out).unwrap(), payload);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    // Operating on a missing image fails without panicking.
+    let out = cli(&image, &["ls"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("denova-cli:"));
+    // Unformatted image fails to mount.
+    std::fs::write(&image, vec![0u8; 1024 * 1024]).unwrap();
+    let out = cli(&image, &["ls"]);
+    assert!(!out.status.success());
+    // Missing file errors.
+    ok(&image, &["mkfs", "--size", "16M"]);
+    let out = cli(&image, &["get", "ghost", "/tmp/x"]);
+    assert!(!out.status.success());
+    let out = cli(&image, &["rm", "ghost"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cat_streams_file_contents() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    let host_in = dir.join("in.txt");
+    std::fs::write(&host_in, b"hello from denova\n").unwrap();
+    ok(&image, &["mkfs", "--size", "16M"]);
+    ok(&image, &["put", "hello.txt", host_in.to_str().unwrap()]);
+    let out = ok(&image, &["cat", "hello.txt"]);
+    assert_eq!(out, "hello from denova\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}

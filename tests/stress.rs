@@ -1,0 +1,159 @@
+//! Concurrency torture test: writers, readers, unlinkers, the dedup daemon,
+//! log GC, and the periodic scrubber all running against one mount, then a
+//! full fsck + FACT-exactness audit and a crash-remount.
+
+use denova_repro::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn everything_at_once_stays_consistent() {
+    let dev = Arc::new(PmemDevice::new(128 * 1024 * 1024));
+    let fs = Arc::new(
+        Denova::mkfs(
+            dev.clone(),
+            NovaOptions {
+                num_inodes: 1024,
+                cpus: 4,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .unwrap(),
+    );
+    fs.set_periodic_scrub(Duration::from_millis(50));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    // Writers: each owns a band of files, overwrites with uniform pages
+    // (torn writes are detectable), 50% duplicate content across writers.
+    for w in 0..3u64 {
+        let fs = fs.clone();
+        let stop = stop.clone();
+        let ops = ops.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let name = format!("w{w}-f{}", i % 20);
+                let ino = match fs.open(&name) {
+                    Ok(ino) => ino,
+                    Err(_) => match fs.create(&name) {
+                        Ok(ino) => ino,
+                        Err(_) => continue, // racing an unlinker
+                    },
+                };
+                // Even i: shared content (dedups across writers); odd:
+                // writer-unique.
+                let val = if i.is_multiple_of(2) {
+                    (i % 7) as u8 + 1
+                } else {
+                    100 + (w * 20 + i % 13) as u8
+                };
+                let pages = 1 + (i % 3) as usize;
+                let _ = fs.write(ino, 0, &vec![val; pages * 4096]);
+                ops.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+
+    // Reader: every page it sees must be uniform.
+    {
+        let fs = fs.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let name = format!("w{}-f{}", i % 3, (i / 3) % 20);
+                if let Ok(ino) = fs.open(&name) {
+                    if let Ok(data) = fs.read(ino, 0, 3 * 4096) {
+                        for (pg, page) in data.chunks(4096).enumerate() {
+                            assert!(
+                                page.iter().all(|&b| b == page[0]),
+                                "torn page {pg} in {name}"
+                            );
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }));
+    }
+
+    // Churner: unlinks and GCs.
+    {
+        let fs = fs.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = fs.unlink(&format!("w{}-f{}", i % 3, (i * 7) % 20));
+                let _ = fs.nova().gc_all_logs();
+                std::thread::sleep(Duration::from_millis(3));
+                i += 1;
+            }
+        }));
+    }
+
+    // Run for a fixed wall-clock budget.
+    let deadline = Instant::now() + Duration::from_millis(1500);
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        ops.load(Ordering::Relaxed) > 100,
+        "stress made too little progress"
+    );
+
+    // Quiesce and audit.
+    fs.drain();
+    fs.scrub().unwrap();
+    let report = denova_repro::nova::fsck(fs.nova(), true).unwrap();
+    assert!(report.is_clean(), "fsck: {:?}", report.errors);
+    let counts = fs.nova().block_reference_counts();
+    fs.fact().for_each_occupied(|idx, e| {
+        let (rfc, uc) = fs.fact().counters(idx);
+        assert_eq!(uc, 0, "UC residue at {idx}");
+        assert_eq!(
+            rfc,
+            counts.get(&e.block).copied().unwrap_or(0),
+            "RFC mismatch at {idx}"
+        );
+    });
+
+    // Crash + remount: page-uniformity holds for every surviving file.
+    let names = fs.nova().list();
+    let crashed = Arc::new(dev.crash_clone(CrashMode::Strict));
+    drop(fs);
+    let fs2 = Denova::mount(
+        crashed,
+        NovaOptions {
+            num_inodes: 1024,
+            ..Default::default()
+        },
+        DedupMode::Immediate,
+    )
+    .unwrap();
+    fs2.drain();
+    fs2.scrub().unwrap();
+    for name in names {
+        let Ok(ino) = fs2.open(&name) else { continue };
+        let size = fs2.file_size(ino).unwrap();
+        let data = fs2.read(ino, 0, size as usize).unwrap();
+        for page in data.chunks(4096) {
+            assert!(
+                page.iter().all(|&b| b == page[0]),
+                "torn page after crash in {name}"
+            );
+        }
+    }
+    let report = denova_repro::nova::fsck(fs2.nova(), true).unwrap();
+    assert!(report.is_clean(), "post-crash fsck: {:?}", report.errors);
+}
