@@ -1,0 +1,27 @@
+# Developer entry points for the denova-rs workspace.
+
+CARGO ?= cargo
+
+.PHONY: verify build test fmt-check clippy figures clean
+
+# The tier-1 gate: what CI runs.
+verify: build test
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Smoke-scale run of every figure/table in the evaluation.
+figures:
+	$(CARGO) run --release -p denova-bench --bin figures -- --smoke
+
+clean:
+	$(CARGO) clean

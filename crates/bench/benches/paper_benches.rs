@@ -98,9 +98,7 @@ fn bench_fig8_write_per_mode(c: &mut Criterion) {
                 // later laps take the CoW-overwrite path).
                 let i = counter.fetch_add(1, Ordering::Relaxed) % 20_000;
                 let name = format!("f{i}");
-                let ino = fs
-                    .open(&name)
-                    .unwrap_or_else(|_| fs.create(&name).unwrap());
+                let ino = fs.open(&name).unwrap_or_else(|_| fs.create(&name).unwrap());
                 fs.write(ino, 0, &data).unwrap();
             });
         });
@@ -223,9 +221,7 @@ fn bench_dedup_transaction(c: &mut Criterion) {
             || {
                 let i = counter.fetch_add(1, Ordering::Relaxed) % 20_000;
                 let name = format!("d{i}");
-                let ino = fs
-                    .open(&name)
-                    .unwrap_or_else(|_| fs.create(&name).unwrap());
+                let ino = fs.open(&name).unwrap_or_else(|_| fs.create(&name).unwrap());
                 fs.write(ino, 0, &data).unwrap();
                 fs.dwq().pop_batch(1)[0]
             },

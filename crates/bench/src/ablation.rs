@@ -42,7 +42,7 @@ fn fp_with_prefix(fact: &Fact, prefix: u64, salt: u16) -> Fingerprint {
     Fingerprint::from_bytes(bytes)
 }
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct ReorderAblation {
     /// The `chain_len` value.
@@ -56,6 +56,13 @@ pub struct ReorderAblation {
     /// The `ns_after` value.
     pub ns_after: u64,
 }
+denova_telemetry::impl_to_json!(ReorderAblation {
+    chain_len,
+    reads_before,
+    ns_before,
+    reads_after,
+    ns_after,
+});
 
 /// Hot entry at the rear of a chain of `chain_len`: lookup cost before and
 /// after reordering.
@@ -96,7 +103,7 @@ pub fn reorder(chain_len: usize, lookups: usize) -> ReorderAblation {
     }
 }
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct DeletePtrAblation {
     /// Delete-pointer reclaim lookup: PM read ops, bytes, ns per op.
@@ -112,6 +119,14 @@ pub struct DeletePtrAblation {
     /// The `naive_ns` value.
     pub naive_ns: u64,
 }
+denova_telemetry::impl_to_json!(DeletePtrAblation {
+    with_ptr_reads,
+    with_ptr_bytes,
+    with_ptr_ns,
+    naive_reads,
+    naive_bytes,
+    naive_ns,
+});
 
 /// Reclaim-path lookup with and without the delete pointer.
 pub fn delete_ptr(ops: usize) -> DeletePtrAblation {
@@ -168,7 +183,7 @@ pub fn delete_ptr(ops: usize) -> DeletePtrAblation {
     }
 }
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct EntrySizeAblation {
     /// ns per 64 B (one-line) entry update + persist.
@@ -176,6 +191,10 @@ pub struct EntrySizeAblation {
     /// ns per simulated 128 B (two-line) entry update + persist.
     pub two_line_ns: u64,
 }
+denova_telemetry::impl_to_json!(EntrySizeAblation {
+    one_line_ns,
+    two_line_ns,
+});
 
 /// Entry-update persist cost: 64 B vs 128 B entries.
 pub fn entry_size(ops: usize) -> EntrySizeAblation {
@@ -275,10 +294,14 @@ mod tests {
     fn delete_pointer_is_exactly_two_reads_and_faster() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let d = delete_ptr(100);
+            let d = delete_ptr(100);
             // Exactly two PM read operations touching < 2 cache lines' worth of
             // data, vs a whole 4 KB page plus the lookup for the naive path.
-            assert!((d.with_ptr_reads - 2.0).abs() < 0.01, "{}", d.with_ptr_reads);
+            assert!(
+                (d.with_ptr_reads - 2.0).abs() < 0.01,
+                "{}",
+                d.with_ptr_reads
+            );
             assert!(d.with_ptr_bytes < 128.0, "ptr bytes {}", d.with_ptr_bytes);
             assert!(d.naive_bytes > 4096.0, "naive bytes {}", d.naive_bytes);
             assert!(
@@ -294,7 +317,7 @@ mod tests {
     fn one_line_entries_persist_cheaper() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let e = entry_size(500);
+            let e = entry_size(500);
             assert!(
                 e.two_line_ns > e.one_line_ns,
                 "two-line {} should exceed one-line {}",

@@ -17,7 +17,11 @@ fn main() {
     std::panic::set_hook(Box::new(|info| {
         // Simulated crashes (crash experiment) unwind with panics; only
         // print real ones.
-        if info.payload().downcast_ref::<denova_pmem::SimulatedCrash>().is_none() {
+        if info
+            .payload()
+            .downcast_ref::<denova_pmem::SimulatedCrash>()
+            .is_none()
+        {
             eprintln!("panic: {info}");
         }
     }));
@@ -40,8 +44,20 @@ fn main() {
         i += 1;
     }
     let all = [
-        "table1", "fig2", "model", "table4", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "space", "crash", "ablation", "endurance", "recovery",
+        "table1",
+        "fig2",
+        "model",
+        "table4",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "space",
+        "crash",
+        "ablation",
+        "endurance",
+        "recovery",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -64,24 +80,29 @@ fn main() {
         scale.small_files,
         scale.large_files
     );
-    println!("# host: {} CPUs", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "# host: {} CPUs",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
-    let mut json = serde_json::Map::new();
+    let mut json = denova_telemetry::json::Value::object();
     if want("table1") {
         let rows = table1::run();
         println!("{}", table1::render(&rows));
-        json.insert("table1".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("table1", &rows);
     }
     if want("fig2") {
         let sizes = [4096, 16384, 65536, 262144, 1048576];
         let rows = model::fig2(&sizes, 20);
         println!("{}", model::render_fig2(&rows));
-        json.insert("fig2".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("fig2", &rows);
     }
     if want("model") {
         let terms = model::measure_terms(200);
         println!("{}", model::render_model(&terms));
-        json.insert("model".into(), serde_json::to_value(&terms).unwrap());
+        json.insert("model", &terms);
     }
     if want("table4") {
         let rows = table4::run(
@@ -89,44 +110,44 @@ fn main() {
             (scale.large_files / 2).max(10),
         );
         println!("{}", table4::render(&rows));
-        json.insert("table4".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("table4", &rows);
     }
     if want("fig8") {
         let res = fig8::run(&scale);
         println!("{}", fig8::render(&res));
-        json.insert("fig8".into(), serde_json::to_value(&res).unwrap());
+        json.insert("fig8", &res);
     }
     if want("fig9") {
         let res = fig9::run(&scale);
         println!("{}", fig9::render(&res, &scale));
-        json.insert("fig9".into(), serde_json::to_value(&res).unwrap());
+        json.insert("fig9", &res);
     }
     if want("fig10") {
         let res = fig10::run(&scale);
         println!("{}", fig10::render(&res));
-        json.insert("fig10".into(), serde_json::to_value(&res).unwrap());
+        json.insert("fig10", &res);
     }
     if want("fig11") {
         let res = fig11::run(&scale);
         println!("{}", fig11::render(&res));
-        json.insert("fig11".into(), serde_json::to_value(&res).unwrap());
+        json.insert("fig11", &res);
     }
     if want("fig12") {
         let res = fig12::run(&scale);
         println!("{}", fig12::render(&res));
-        json.insert("fig12".into(), serde_json::to_value(&res).unwrap());
+        json.insert("fig12", &res);
     }
     if want("space") {
         let geo = space::geometry();
         let sav = space::savings((scale.small_files / 4).max(100));
         println!("{}", space::render(&geo, &sav));
-        json.insert("fact_geometry".into(), serde_json::to_value(&geo).unwrap());
-        json.insert("savings".into(), serde_json::to_value(&sav).unwrap());
+        json.insert("fact_geometry", &geo);
+        json.insert("savings", &sav);
     }
     if want("endurance") {
         let rows = endurance::run((scale.small_files / 2).max(200), 0.5);
         println!("{}", endurance::render(&rows));
-        json.insert("endurance".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("endurance", &rows);
     }
     if want("recovery") {
         let counts = [
@@ -136,24 +157,24 @@ fn main() {
         ];
         let rows = recovery_time::run(&counts);
         println!("{}", recovery_time::render(&rows));
-        json.insert("recovery_time".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("recovery_time", &rows);
     }
     if want("crash") {
         let rows = crashes::run();
         println!("{}", crashes::render(&rows));
-        json.insert("crash_matrix".into(), serde_json::to_value(&rows).unwrap());
+        json.insert("crash_matrix", &rows);
     }
     if want("ablation") {
         let r = ablation::reorder(12, 200);
         let d = ablation::delete_ptr(200);
         let e = ablation::entry_size(1000);
         println!("{}", ablation::render(&r, &d, &e));
-        json.insert("ablation_reorder".into(), serde_json::to_value(&r).unwrap());
-        json.insert("ablation_delete_ptr".into(), serde_json::to_value(&d).unwrap());
-        json.insert("ablation_entry_size".into(), serde_json::to_value(&e).unwrap());
+        json.insert("ablation_reorder", &r);
+        json.insert("ablation_delete_ptr", &d);
+        json.insert("ablation_entry_size", &e);
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
+        std::fs::write(&path, denova_telemetry::json::to_string_pretty(&json))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("# JSON results written to {path}");
     }

@@ -13,7 +13,7 @@ use denova_pmem::PmemDevice;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct CrashRow {
     /// The `point` value.
@@ -27,6 +27,13 @@ pub struct CrashRow {
     /// The `files_intact` value.
     pub files_intact: bool,
 }
+denova_telemetry::impl_to_json!(CrashRow {
+    point,
+    paper_case,
+    recovered,
+    rfc_exact,
+    files_intact,
+});
 
 const POINTS: &[(&str, &str)] = &[
     ("denova::dedup::after_reserve", "Handling II (UC discarded)"),
@@ -153,7 +160,13 @@ pub fn run() -> Vec<CrashRow> {
 pub fn render(rows: &[CrashRow]) -> String {
     report::table(
         "Section V-C — failure-consistency matrix (crash → recover → verify)",
-        &["Crash point", "Paper case", "Recovered", "Files intact", "RFC exact"],
+        &[
+            "Crash point",
+            "Paper case",
+            "Recovered",
+            "Files intact",
+            "RFC exact",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -170,7 +183,11 @@ pub fn render(rows: &[CrashRow]) -> String {
 }
 
 fn tick(ok: bool) -> String {
-    if ok { "ok".into() } else { "FAIL".into() }
+    if ok {
+        "ok".into()
+    } else {
+        "FAIL".into()
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use crate::report;
 use denova_workload::{run_write_job, JobSpec};
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct EnduranceRow {
     /// The `mode` value.
@@ -23,6 +23,12 @@ pub struct EnduranceRow {
     /// DRAM held by dedup index structures at the end of the run.
     pub dedup_index_dram: u64,
 }
+denova_telemetry::impl_to_json!(EnduranceRow {
+    mode,
+    logical_bytes,
+    pm_bytes_written,
+    dedup_index_dram,
+});
 
 impl EnduranceRow {
     /// PM write amplification relative to the logical data (1.0 = wrote
@@ -106,9 +112,7 @@ mod tests {
             inline.pm_bytes_written,
             baseline.pm_bytes_written
         );
-        assert!(
-            adaptive.pm_bytes_written < (baseline.pm_bytes_written as f64 * 0.75) as u64
-        );
+        assert!(adaptive.pm_bytes_written < (baseline.pm_bytes_written as f64 * 0.75) as u64);
         assert!(immediate.pm_bytes_written >= baseline.pm_bytes_written);
         // And the DRAM-index contrast.
         assert_eq!(immediate.dedup_index_dram, 0);

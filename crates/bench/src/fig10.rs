@@ -17,7 +17,7 @@ use crate::Scale;
 use denova::DedupMode;
 use denova_workload::{cdf_points, percentile, run_write_job, JobSpec, ThinkTime};
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig10Series {
     /// Paper-style label, e.g. "DeNova-delayed(250,2000)".
@@ -28,6 +28,11 @@ pub struct Fig10Series {
     /// argument: a longer queue holds more DRAM).
     pub peak_queue: usize,
 }
+denova_telemetry::impl_to_json!(Fig10Series {
+    label,
+    lingering_ns,
+    peak_queue,
+});
 
 impl Fig10Series {
     /// `p90_ms` accessor.
@@ -147,7 +152,7 @@ mod tests {
     fn lingering_grows_with_trigger_interval() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let scale = Scale::smoke();
+            let scale = Scale::smoke();
             let series = run(&scale);
             assert_eq!(series.len(), 4);
             let p90: Vec<f64> = series.iter().map(|s| s.p90_ms()).collect();
@@ -160,7 +165,12 @@ mod tests {
             );
             // ...and the largest n yields the largest p90 among the delayed
             // variants (monotone in n for the paper's settings).
-            assert!(p90[3] >= p90[1], "p90(750) {} < p90(250) {}", p90[3], p90[1]);
+            assert!(
+                p90[3] >= p90[1],
+                "p90(750) {} < p90(250) {}",
+                p90[3],
+                p90[1]
+            );
         });
     }
 
@@ -168,7 +178,7 @@ mod tests {
     fn delayed_queue_grows_longer_than_immediate() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let scale = Scale::smoke();
+            let scale = Scale::smoke();
             let series = run(&scale);
             assert!(
                 series[3].peak_queue > series[0].peak_queue,

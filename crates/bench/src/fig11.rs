@@ -12,7 +12,7 @@ use crate::Scale;
 use denova::DedupMode;
 use denova_workload::{run_write_job, JobSpec, ThinkTime, WriteKind};
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig11Cell {
     /// The `mode` value.
@@ -30,6 +30,14 @@ pub struct Fig11Cell {
     /// (RFC decrement + up to two chain-link updates per reclaimed page).
     pub overwrite_flushes_per_file: f64,
 }
+denova_telemetry::impl_to_json!(Fig11Cell {
+    mode,
+    workload,
+    write_mbs,
+    overwrite_mbs,
+    write_flushes_per_file,
+    overwrite_flushes_per_file,
+});
 
 impl Fig11Cell {
     /// Overwrite throughput normalized to this mode's write throughput.
@@ -119,7 +127,7 @@ mod tests {
     fn denova_overwrite_pays_reclaim_baseline_does_not() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let scale = Scale::smoke();
+            let scale = Scale::smoke();
             let cells = run(&scale);
             for workload in ["small", "large"] {
                 let base = cells

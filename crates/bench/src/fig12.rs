@@ -12,7 +12,7 @@ use denova::{DedupMode, Denova};
 use denova_workload::run_read_job;
 use std::sync::Arc;
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig12Cell {
     /// The `mode` value.
@@ -22,6 +22,11 @@ pub struct Fig12Cell {
     /// Throughput of the thread reading file B.
     pub read_mbs: f64,
 }
+denova_telemetry::impl_to_json!(Fig12Cell {
+    mode,
+    scenario,
+    read_mbs,
+});
 
 fn setup(mode: DedupMode, bytes: usize) -> Arc<Denova> {
     let fs = crate::mount(mode, crate::device_bytes_for(bytes * 3), 8);
@@ -108,7 +113,7 @@ mod tests {
     fn shared_pages_do_not_slow_reads() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let scale = Scale::smoke();
+            let scale = Scale::smoke();
             let cells = run(&scale);
             let single_core = std::thread::available_parallelism()
                 .map(|n| n.get() == 1)

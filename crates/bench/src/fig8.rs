@@ -9,7 +9,7 @@ use crate::report;
 use crate::Scale;
 use denova_workload::{run_write_job, JobSpec, ThinkTime};
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig8Cell {
     /// The `mode` value.
@@ -18,16 +18,31 @@ pub struct Fig8Cell {
     pub dup_pct: u32,
     /// The `mbs` value.
     pub mbs: f64,
+    /// Device cache-line flushes over the run (registry `pmem.flushes`).
+    pub pmem_flushes: u64,
+    /// FACT strong-fingerprint hits over the run (registry `fact.hits`).
+    pub fact_hits: u64,
 }
+denova_telemetry::impl_to_json!(Fig8Cell {
+    mode,
+    dup_pct,
+    mbs,
+    pmem_flushes,
+    fact_hits,
+});
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig8Result {
     /// The `workload` value.
     pub workload: &'static str,
     /// The `cells` value.
     pub cells: Vec<Fig8Cell>,
+    /// Rendered telemetry snapshot of the DeNova-Immediate stack at the
+    /// highest duplicate ratio (text; excluded from JSON).
+    pub telemetry: String,
 }
+denova_telemetry::impl_to_json!(Fig8Result { workload, cells });
 
 impl Fig8Result {
     /// Throughput of `mode` at `dup_pct`.
@@ -64,6 +79,8 @@ pub fn run_workload(
     think: bool,
 ) -> Fig8Result {
     let mut cells = Vec::new();
+    let mut telemetry = String::new();
+    let last_dup = dup_ratios.last().copied();
     for &dup in dup_ratios {
         let spec = job_for(workload, scale, dup, think);
         for mode in crate::paper_modes() {
@@ -73,15 +90,32 @@ pub fn run_workload(
                 spec.file_count,
             );
             let report = run_write_job(&fs, &spec).expect("job failed");
+            fs.drain();
+            // Each mount owns a fresh device registry, so absolute counter
+            // values are per-run.
+            let metrics = fs.nova().device().metrics();
             cells.push(Fig8Cell {
                 mode: mode.to_string(),
                 dup_pct: dup,
                 mbs: report.throughput_mbs(),
+                pmem_flushes: metrics.counter("pmem.flushes").get(),
+                fact_hits: metrics.counter("fact.hits").get(),
             });
-            fs.drain();
+            if mode == denova::DedupMode::Immediate && Some(dup) == last_dup {
+                telemetry = report::telemetry_table(
+                    &format!(
+                        "Fig. 8 stack telemetry — DeNova-Immediate, {dup}% dup ({workload} files)"
+                    ),
+                    &metrics.snapshot(),
+                );
+            }
         }
     }
-    Fig8Result { workload, cells }
+    Fig8Result {
+        workload,
+        cells,
+        telemetry,
+    }
 }
 
 /// The full figure: both workloads, ratios 0–100 %.
@@ -138,6 +172,9 @@ pub fn render(results: &[Fig8Result]) -> String {
             &header_refs,
             &rows,
         ));
+        if !res.telemetry.is_empty() {
+            out.push_str(&res.telemetry);
+        }
     }
     out
 }
@@ -150,7 +187,7 @@ mod tests {
     fn inline_loses_big_offline_stays_close() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        // The paper's Fig. 8 shape at a single ratio, smoke scale, with the
+            // The paper's Fig. 8 shape at a single ratio, smoke scale, with the
             // paper's think-time cycle (which is what gives the background
             // daemon its CPU share — essential on small-core hosts).
             let scale = Scale::smoke();
@@ -169,7 +206,10 @@ mod tests {
                 immediate > 0.60,
                 "immediate should stay near baseline, got {immediate}"
             );
-            assert!(immediate > inline + 0.1, "immediate {immediate} vs inline {inline}");
+            assert!(
+                immediate > inline + 0.1,
+                "immediate {immediate} vs inline {inline}"
+            );
             // Eq. 4/5: the adaptive scheme beats plain inline (weak FPs are
             // cheap) but still cannot reach baseline.
             let adaptive = res.relative_to_baseline("NV-Dedup-Adaptive", 50).unwrap();
@@ -188,7 +228,7 @@ mod tests {
     fn large_files_punish_inline_harder() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let scale = Scale::smoke();
+            let scale = Scale::smoke();
             let small = run_workload("small", &scale, &[50], true);
             let large = run_workload("large", &scale, &[50], true);
             let small_inline = small.relative_to_baseline("DeNova-Inline", 50).unwrap();

@@ -10,7 +10,7 @@ use crate::report;
 use crate::Scale;
 use denova_workload::{run_write_job, JobSpec, ThinkTime};
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig9Cell {
     /// The `mode` value.
@@ -20,8 +20,9 @@ pub struct Fig9Cell {
     /// The `mbs` value.
     pub mbs: f64,
 }
+denova_telemetry::impl_to_json!(Fig9Cell { mode, threads, mbs });
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Fig9Result {
     /// The `workload` value.
@@ -29,6 +30,7 @@ pub struct Fig9Result {
     /// The `cells` value.
     pub cells: Vec<Fig9Cell>,
 }
+denova_telemetry::impl_to_json!(Fig9Result { workload, cells });
 
 impl Fig9Result {
     /// `get` accessor.
@@ -119,7 +121,7 @@ mod tests {
     fn offline_tracks_baseline_at_every_thread_count() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let scale = Scale::smoke();
+            let scale = Scale::smoke();
             let res = run_workload("small", &scale);
             for &t in scale.threads {
                 let base = res.get("Baseline NOVA", t).unwrap();

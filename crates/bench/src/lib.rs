@@ -19,13 +19,13 @@
 pub mod ablation;
 pub mod crashes;
 pub mod endurance;
-pub mod recovery_time;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig8;
 pub mod fig9;
 pub mod model;
+pub mod recovery_time;
 pub mod report;
 pub mod space;
 pub mod table1;
@@ -84,7 +84,6 @@ impl Scale {
             threads: &[1, 2],
         }
     }
-
 }
 
 /// Build an Optane-profile device and mount a [`Denova`] stack on it.

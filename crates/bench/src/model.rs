@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// One Fig. 2 bar: the T_f vs T_w split for a write size.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// The `write_size` value.
     pub write_size: usize,
@@ -27,6 +27,11 @@ pub struct Fig2Row {
     /// The `tw_ns` value.
     pub tw_ns: u64,
 }
+denova_telemetry::impl_to_json!(Fig2Row {
+    write_size,
+    tf_ns,
+    tw_ns
+});
 
 impl Fig2Row {
     /// Fraction of (T_f + T_w) spent fingerprinting — the bar the paper
@@ -79,7 +84,13 @@ pub fn fig2(sizes: &[usize], iters: usize) -> Vec<Fig2Row> {
 pub fn render_fig2(rows: &[Fig2Row]) -> String {
     report::table(
         "Fig. 2 — time share of fingerprinting (T_f) vs device write (T_w) by write size",
-        &["Write size", "T_f (us)", "T_w (us)", "T_f share", "T_w share"],
+        &[
+            "Write size",
+            "T_f (us)",
+            "T_w (us)",
+            "T_f share",
+            "T_w share",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -104,7 +115,7 @@ fn human_size(bytes: usize) -> String {
 }
 
 /// The Eq. 1–5 term measurements.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelTerms {
     /// 4 KB device write + persist (ns).
     pub tw_ns: u64,
@@ -113,6 +124,11 @@ pub struct ModelTerms {
     /// 4 KB weak fingerprint (ns).
     pub tfw_ns: u64,
 }
+denova_telemetry::impl_to_json!(ModelTerms {
+    tw_ns,
+    tf_ns,
+    tfw_ns
+});
 
 impl ModelTerms {
     /// Eq. 3: inline dedup wins only if `α · T_w > T_f` for some α < 1.
@@ -180,12 +196,25 @@ pub fn measure_terms(iters: usize) -> ModelTerms {
 /// `render_model` accessor.
 pub fn render_model(terms: &ModelTerms) -> String {
     let mut rows = vec![
-        vec!["T_w (4 KB write+persist)".to_string(), report::us(terms.tw_ns)],
-        vec!["T_f (chunk+SHA-1+lookup)".to_string(), report::us(terms.tf_ns)],
-        vec!["T_fw (weak fingerprint)".to_string(), report::us(terms.tfw_ns)],
+        vec![
+            "T_w (4 KB write+persist)".to_string(),
+            report::us(terms.tw_ns),
+        ],
+        vec![
+            "T_f (chunk+SHA-1+lookup)".to_string(),
+            report::us(terms.tf_ns),
+        ],
+        vec![
+            "T_fw (weak fingerprint)".to_string(),
+            report::us(terms.tfw_ns),
+        ],
         vec![
             "Eq.1 T_w << T_f".to_string(),
-            format!("{} (T_f/T_w = {:.1}x)", terms.tf_ns > terms.tw_ns, terms.tf_ns as f64 / terms.tw_ns as f64),
+            format!(
+                "{} (T_f/T_w = {:.1}x)",
+                terms.tf_ns > terms.tw_ns,
+                terms.tf_ns as f64 / terms.tw_ns as f64
+            ),
         ],
         vec![
             "Eq.3 breakeven alpha (plain inline)".to_string(),
@@ -217,7 +246,7 @@ mod tests {
     fn eq1_holds_tf_dominates_tw() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        // The paper's core premise on Optane-class latency.
+            // The paper's core premise on Optane-class latency.
             let t = measure_terms(50);
             assert!(
                 t.tf_ns > t.tw_ns,
@@ -232,7 +261,7 @@ mod tests {
     fn inline_can_never_win_eq3() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let t = measure_terms(50);
+            let t = measure_terms(50);
             assert!(
                 t.breakeven_alpha_plain() > 1.0,
                 "breakeven alpha {} should exceed 1",
@@ -247,8 +276,13 @@ mod tests {
     fn weak_fingerprint_is_much_cheaper_than_strong() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let t = measure_terms(50);
-            assert!(t.tfw_ns * 2 < t.tf_ns, "T_fw {} vs T_f {}", t.tfw_ns, t.tf_ns);
+            let t = measure_terms(50);
+            assert!(
+                t.tfw_ns * 2 < t.tf_ns,
+                "T_fw {} vs T_f {}",
+                t.tfw_ns,
+                t.tf_ns
+            );
         });
     }
 
@@ -256,7 +290,7 @@ mod tests {
     fn fig2_tf_share_exceeds_half_everywhere() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        // Fig. 2's visual: the T_f bar dominates at every write size.
+            // Fig. 2's visual: the T_f bar dominates at every write size.
             let rows = fig2(&[4096, 65536], 5);
             for r in &rows {
                 assert!(

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One measurement row.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RecoveryRow {
     /// Files on the file system at crash time.
     pub files: usize,
@@ -28,6 +28,12 @@ pub struct RecoveryRow {
     /// FACT scrub).
     pub denova_ms: f64,
 }
+denova_telemetry::impl_to_json!(RecoveryRow {
+    files,
+    pending_dedup,
+    baseline_ms,
+    denova_ms,
+});
 
 fn opts(files: usize) -> NovaOptions {
     NovaOptions {
@@ -55,8 +61,8 @@ pub fn run(file_counts: &[usize]) -> Vec<RecoveryRow> {
         .map(|&files| {
             let bytes = crate::device_bytes_for(files * 4096 * 2);
             let dev = Arc::new(PmemBuilder::new(bytes).build()); // no latency: isolate scan work
-            // Build state with a Delayed daemon that dedups roughly half the
-            // queue before we stop it.
+                                                                 // Build state with a Delayed daemon that dedups roughly half the
+                                                                 // queue before we stop it.
             let fs = Denova::mkfs(
                 dev.clone(),
                 opts(files),

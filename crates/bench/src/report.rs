@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the figure harness.
 
+use denova_telemetry::TelemetrySnapshot;
+
 /// Render rows as an aligned table with a header.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -52,6 +54,55 @@ pub fn ms(ns: u64) -> String {
     format!("{:.1}", ns as f64 / 1e6)
 }
 
+/// Render a telemetry snapshot as two tables: every counter/gauge, then a
+/// one-line summary per non-empty histogram. Figures that want stack-level
+/// observability (Fig. 8, Table IV) append this to their report.
+pub fn telemetry_table(title: &str, snap: &TelemetrySnapshot) -> String {
+    let mut rows: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .map(|(name, v)| vec![name.clone(), v.to_string()])
+        .collect();
+    rows.extend(
+        snap.gauges
+            .iter()
+            .map(|(name, v)| vec![name.clone(), v.to_string()]),
+    );
+    let mut out = table(title, &["Metric", "Value"], &rows);
+    let hist_rows: Vec<Vec<String>> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(name, h)| {
+            vec![
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.2}", h.mean() / 1000.0),
+                us(h.percentile(0.50)),
+                us(h.percentile(0.90)),
+                us(h.percentile(0.99)),
+                us(h.max),
+            ]
+        })
+        .collect();
+    if !hist_rows.is_empty() {
+        out.push_str(&table(
+            &format!("{title} — histograms"),
+            &[
+                "Histogram",
+                "count",
+                "mean (us)",
+                "p50",
+                "p90",
+                "p99",
+                "max",
+            ],
+            &hist_rows,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +122,18 @@ mod tests {
         // Title, header, rule, two rows.
         assert_eq!(lines.len(), 5);
         assert!(lines[4].contains("333"));
+    }
+
+    #[test]
+    fn telemetry_table_lists_counters_and_histograms() {
+        let reg = denova_telemetry::MetricsRegistry::new();
+        reg.counter("pmem.flushes").add(17);
+        reg.histogram("nova.write").record(2_000);
+        let t = telemetry_table("Stack telemetry", &reg.snapshot());
+        assert!(t.contains("pmem.flushes"));
+        assert!(t.contains("17"));
+        assert!(t.contains("nova.write"));
+        assert!(t.contains("histograms"));
     }
 
     #[test]

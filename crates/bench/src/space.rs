@@ -7,7 +7,7 @@ use denova::DedupMode;
 use denova_nova::Layout;
 use denova_workload::{run_write_job, JobSpec};
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct FactGeometryRow {
     /// The `device_gb` value.
@@ -19,6 +19,12 @@ pub struct FactGeometryRow {
     /// The `overhead` value.
     pub overhead: f64,
 }
+denova_telemetry::impl_to_json!(FactGeometryRow {
+    device_gb,
+    prefix_bits,
+    fact_entries,
+    overhead,
+});
 
 /// FACT geometry across device sizes (pure arithmetic — Layout::compute).
 pub fn geometry() -> Vec<FactGeometryRow> {
@@ -37,7 +43,7 @@ pub fn geometry() -> Vec<FactGeometryRow> {
         .collect()
 }
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct SavingsRow {
     /// The `dup_pct` value.
@@ -47,6 +53,11 @@ pub struct SavingsRow {
     /// The `saved_mb` value.
     pub saved_mb: f64,
 }
+denova_telemetry::impl_to_json!(SavingsRow {
+    dup_pct,
+    logical_mb,
+    saved_mb,
+});
 
 /// Measured savings across duplicate ratios (DeNova-Immediate, small
 /// files).
@@ -75,7 +86,13 @@ pub fn savings(files: usize) -> Vec<SavingsRow> {
 pub fn render(geo: &[FactGeometryRow], sav: &[SavingsRow]) -> String {
     let mut out = report::table(
         "FACT geometry — n = ceil(log2(blocks)), DAA+IAA footprint (Section IV-C)",
-        &["Device", "prefix n", "FACT entries", "PM overhead", "DRAM index"],
+        &[
+            "Device",
+            "prefix n",
+            "FACT entries",
+            "PM overhead",
+            "DRAM index",
+        ],
         &geo.iter()
             .map(|r| {
                 vec![

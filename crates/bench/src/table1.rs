@@ -10,7 +10,7 @@ use denova_pmem::{calibrate_spin, LatencyProfile, PmemBuilder};
 use std::time::Instant;
 
 /// One device row: the Table I model values and what the emulator measures.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceRow {
     /// The `name` value.
     pub name: &'static str,
@@ -23,6 +23,13 @@ pub struct DeviceRow {
     /// The `measured_write_ns` value.
     pub measured_write_ns: u64,
 }
+denova_telemetry::impl_to_json!(DeviceRow {
+    name,
+    model_read_ns,
+    model_write_ns,
+    measured_read_ns,
+    measured_write_ns,
+});
 
 /// Measure every Table I profile.
 pub fn run() -> Vec<DeviceRow> {
@@ -92,7 +99,7 @@ mod tests {
     fn profiles_reproduce_table1_ordering() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let rows = run();
+            let rows = run();
             let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
             let dram = by_name("DRAM");
             let optane = by_name("Optane DC PM");

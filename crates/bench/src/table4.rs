@@ -10,7 +10,7 @@ use denova::DedupMode;
 use denova_workload::DataGenerator;
 use std::time::Instant;
 
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 /// The `struct` value.
 pub struct Table4Row {
     /// The `file_size` value.
@@ -22,7 +22,21 @@ pub struct Table4Row {
     /// Mean other dedup ops per file (chunking, FACT lookups, appends,
     /// counter updates) (ns).
     pub other_ns: u64,
+    /// p50 of the per-call `nova.write` telemetry span (ns). Spans are
+    /// enabled for this experiment only; the histogram is log-bucketed, so
+    /// this is an upper bound within one bucket's width.
+    pub write_p50_ns: u64,
+    /// p99 of the per-call `nova.write` telemetry span (ns).
+    pub write_p99_ns: u64,
 }
+denova_telemetry::impl_to_json!(Table4Row {
+    file_size,
+    write_ns,
+    fp_ns,
+    other_ns,
+    write_p50_ns,
+    write_p99_ns,
+});
 
 impl Table4Row {
     /// `dedup_total_ns` accessor.
@@ -53,11 +67,21 @@ pub fn measure(file_size: usize, files: usize) -> Table4Row {
         .map(|i| fs.create(&format!("f{i}")).unwrap())
         .collect();
     let payloads: Vec<Vec<u8>> = (0..files).map(|_| gen.next_file(file_size)).collect();
+    // Turn span collection on so the write pass also feeds the `nova.write`
+    // telemetry histogram (per-call latency distribution, not just a mean).
+    let metrics = fs.nova().device().metrics().clone();
+    metrics.set_enabled(true);
     let t0 = Instant::now();
     for (ino, data) in inos.iter().zip(&payloads) {
         fs.write(*ino, 0, data).unwrap();
     }
     let write_ns = t0.elapsed().as_nanos() as u64 / files as u64;
+    metrics.set_enabled(false);
+    let snap = metrics.snapshot();
+    let (write_p50_ns, write_p99_ns) = snap
+        .histogram("nova.write")
+        .map(|h| (h.percentile(0.50), h.percentile(0.99)))
+        .unwrap_or((0, 0));
     // Dedup pass (hand-driven so its time is attributable).
     while let Some(node) = fs.dwq().pop_batch(1).first().copied() {
         denova::dedup_entry(fs.nova(), fs.fact(), &node).unwrap();
@@ -68,15 +92,14 @@ pub fn measure(file_size: usize, files: usize) -> Table4Row {
         write_ns,
         fp_ns: s.fingerprint_time().as_nanos() as u64 / files as u64,
         other_ns: s.other_ops_time().as_nanos() as u64 / files as u64,
+        write_p50_ns,
+        write_p99_ns,
     }
 }
 
 /// Run both paper file sizes.
 pub fn run(files_small: usize, files_large: usize) -> Vec<Table4Row> {
-    vec![
-        measure(4096, files_small),
-        measure(128 * 1024, files_large),
-    ]
+    vec![measure(4096, files_small), measure(128 * 1024, files_large)]
 }
 
 /// `render` accessor.
@@ -86,6 +109,8 @@ pub fn render(rows: &[Table4Row]) -> String {
         &[
             "File size",
             "Write (us)",
+            "Write p50 (us)",
+            "Write p99 (us)",
             "Dedupe other ops (us)",
             "Dedupe FP time (us)",
             "Dedupe total / write",
@@ -96,6 +121,8 @@ pub fn render(rows: &[Table4Row]) -> String {
                 vec![
                     format!("{} KB", r.file_size / 1024),
                     report::us(r.write_ns),
+                    report::us(r.write_p50_ns),
+                    report::us(r.write_p99_ns),
                     report::us(r.other_ns),
                     report::us(r.fp_ns),
                     format!("{:.1}x", r.dedup_over_write()),
@@ -113,7 +140,7 @@ mod tests {
     fn dedup_latency_exceeds_write_latency() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        // The paper's Table IV shape: total dedup latency is a multiple of
+            // The paper's Table IV shape: total dedup latency is a multiple of
             // the write latency for both file sizes, and FP time dominates the
             // dedup side.
             for row in run(60, 8) {
@@ -130,6 +157,9 @@ mod tests {
                     row.fp_ns,
                     row.write_ns
                 );
+                // The span-fed histogram saw every write.
+                assert!(row.write_p50_ns > 0, "nova.write span histogram empty");
+                assert!(row.write_p99_ns >= row.write_p50_ns);
             }
         });
     }
@@ -138,7 +168,7 @@ mod tests {
     fn large_files_scale_every_component() {
         let _serial = crate::timing_test_lock();
         crate::retry_timing(3, || {
-        let rows = run(40, 6);
+            let rows = run(40, 6);
             let small = &rows[0];
             let large = &rows[1];
             assert!(large.write_ns > small.write_ns * 4);

@@ -12,7 +12,6 @@ use crate::dedup::dedup_entry;
 use crate::dwq::Dwq;
 use crate::fact::Fact;
 use crate::reorder::reorder_chain;
-use crate::stats::DedupStats;
 use denova_nova::Nova;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,7 +43,6 @@ pub struct Daemon {
     /// against the enqueue counter, so a node is never "lost" between pop
     /// and processing.
     processed: Arc<AtomicU64>,
-    stats: Arc<DedupStats>,
     thread: Option<std::thread::JoinHandle<()>>,
     dwq: Arc<Dwq>,
 }
@@ -55,7 +53,6 @@ impl Daemon {
         let shutdown = Arc::new(AtomicBool::new(false));
         let processed = Arc::new(AtomicU64::new(0));
         let scrub_interval_ms = Arc::new(AtomicU64::new(0));
-        let stats = fact.stats().clone();
         let thread = {
             let shutdown = shutdown.clone();
             let processed = processed.clone();
@@ -70,7 +67,6 @@ impl Daemon {
             shutdown,
             scrub_interval_ms,
             processed,
-            stats,
             thread: Some(thread),
             dwq,
         }
@@ -85,8 +81,7 @@ impl Daemon {
 
     /// True when every enqueued node has been fully processed.
     pub fn idle(&self) -> bool {
-        self.dwq.is_empty()
-            && self.processed.load(Ordering::Acquire) == self.stats.enqueued()
+        self.dwq.is_empty() && self.processed.load(Ordering::Acquire) == self.dwq.total_enqueued()
     }
 
     /// Block until the daemon has fully drained the DWQ. Test/benchmark
@@ -128,6 +123,7 @@ fn run(
     processed: Arc<AtomicU64>,
     scrub_interval_ms: Arc<AtomicU64>,
 ) {
+    let metrics = nova.device().metrics().clone();
     let mut last_scrub = std::time::Instant::now();
     while !shutdown.load(Ordering::Acquire) {
         let batch = match config {
@@ -151,12 +147,18 @@ fn run(
                 dwq.pop_batch(batch)
             }
         };
-        for node in batch {
-            // Dedup failures on one entry (e.g. FACT exhaustion) must not
-            // kill the daemon; the entry keeps its flag and recovery or a
-            // later pass can retry.
-            let _ = dedup_entry(&nova, &fact, &node);
-            processed.fetch_add(1, Ordering::AcqRel);
+        if !batch.is_empty() {
+            let span = metrics.span("denova.daemon.pass");
+            let nodes = batch.len() as u64;
+            for node in batch {
+                // Dedup failures on one entry (e.g. FACT exhaustion) must not
+                // kill the daemon; the entry keeps its flag and recovery or a
+                // later pass can retry.
+                let _ = dedup_entry(&nova, &fact, &node);
+                processed.fetch_add(1, Ordering::AcqRel);
+            }
+            drop(span);
+            metrics.event("daemon.pass", &[("nodes", nodes)]);
         }
         // Secondary duty: reorder chains flagged by recent lookups.
         for prefix in fact.take_reorder_candidates() {
@@ -166,9 +168,7 @@ fn run(
         // monitor). Only when the queue is drained — the scrub compares two
         // scans and must not race the dedup transaction.
         let interval = scrub_interval_ms.load(Ordering::Relaxed);
-        if interval > 0
-            && dwq.is_empty()
-            && last_scrub.elapsed() >= Duration::from_millis(interval)
+        if interval > 0 && dwq.is_empty() && last_scrub.elapsed() >= Duration::from_millis(interval)
         {
             let _ = crate::recovery::scrub(&nova, &fact);
             last_scrub = std::time::Instant::now();
@@ -237,7 +237,10 @@ mod tests {
         // 6 nodes at 2 per 20 ms tick: needs ≥ 3 ticks.
         daemon.drain();
         let took = t0.elapsed();
-        assert!(took >= Duration::from_millis(50), "drained too fast: {took:?}");
+        assert!(
+            took >= Duration::from_millis(50),
+            "drained too fast: {took:?}"
+        );
         assert_eq!(fact.stats().dequeued(), 6);
         daemon.stop();
     }

@@ -54,6 +54,7 @@ pub enum DedupOutcome {
 pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutcome> {
     let stats = fact.stats().clone();
     let dev = nova.device().clone();
+    let _span = dev.metrics().span("denova.dedup");
     let t_start = Instant::now();
     let mut fp_time = std::time::Duration::ZERO;
 
@@ -349,7 +350,13 @@ mod tests {
         let nodes = dwq.pop_batch(10);
         assert_eq!(nodes.len(), 2);
         let out = dedup_entry(&nova, &fact, &nodes[0]).unwrap();
-        assert_eq!(out, DedupOutcome::Done { duplicates: 0, uniques: 0 });
+        assert_eq!(
+            out,
+            DedupOutcome::Done {
+                duplicates: 0,
+                uniques: 0
+            }
+        );
         assert_eq!(fact.stats().stale_pages(), 1);
         // The second (current) entry dedups normally.
         dedup_entry(&nova, &fact, &nodes[1]).unwrap();
@@ -442,12 +449,13 @@ mod tests {
         // Simulate the crash window after step 5: reserve + flag in_process,
         // but no count commit.
         let fp = Fingerprint::of(&vec![3u8; 4096]);
-        let (idx, _) = fact.reserve_or_insert(&fp, {
-            // the block the write allocated
-            nova.with_inode_read(a, |mem| Ok(mem.radix.get(0).unwrap().block))
-                .unwrap()
-        })
-        .unwrap();
+        let (idx, _) = fact
+            .reserve_or_insert(&fp, {
+                // the block the write allocated
+                nova.with_inode_read(a, |mem| Ok(mem.radix.get(0).unwrap().block))
+                    .unwrap()
+            })
+            .unwrap();
         write_dedupe_flag(nova.device(), node.entry_off, DedupeFlag::InProcess);
         assert_eq!(fact.counters(idx), (0, 1));
 

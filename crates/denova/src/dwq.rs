@@ -17,8 +17,10 @@
 use crate::stats::DedupStats;
 use denova_nova::Layout;
 use denova_pmem::PmemDevice;
+use denova_telemetry::MetricsRegistry;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,16 +43,36 @@ pub struct Dwq {
     /// Signalled on enqueue so an Immediate-mode daemon wakes instantly.
     cond: Condvar,
     stats: Arc<DedupStats>,
+    metrics: MetricsRegistry,
+    /// Nodes ever enqueued into *this* queue instance. Unlike the registry
+    /// counter behind [`DedupStats::enqueued`], this resets with the queue
+    /// on remount — it is the daemon's idle/drain baseline, not telemetry.
+    total_enqueued: AtomicU64,
 }
 
 impl Dwq {
-    /// Create a new instance.
+    /// Create a new instance with a private metrics registry.
     pub fn new(stats: Arc<DedupStats>) -> Dwq {
+        Self::with_metrics(stats, MetricsRegistry::new())
+    }
+
+    /// Create a new instance emitting lifecycle events into `metrics`
+    /// (the device registry when assembled by [`crate::Denova`]).
+    pub fn with_metrics(stats: Arc<DedupStats>, metrics: MetricsRegistry) -> Dwq {
         Dwq {
             queue: Mutex::new(VecDeque::new()),
             cond: Condvar::new(),
             stats,
+            metrics,
+            total_enqueued: AtomicU64::new(0),
         }
+    }
+
+    /// Nodes ever enqueued into this queue instance (including restored
+    /// ones). The daemon compares this against its processed count to
+    /// decide idleness.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued.load(Ordering::Acquire)
     }
 
     /// Enqueue a committed write entry (called from the foreground write
@@ -62,7 +84,10 @@ impl Dwq {
             enqueued_at: Instant::now(),
         };
         self.queue.lock().push_back(node);
+        self.total_enqueued.fetch_add(1, Ordering::AcqRel);
         self.stats.record_enqueue();
+        self.metrics
+            .event("dwq.enqueue", &[("ino", ino), ("entry_off", entry_off)]);
         self.cond.notify_one();
     }
 
@@ -76,6 +101,10 @@ impl Dwq {
         for node in &batch {
             self.stats
                 .record_dequeue(now.saturating_duration_since(node.enqueued_at));
+        }
+        if !batch.is_empty() {
+            self.metrics
+                .event("dwq.dequeue", &[("count", batch.len() as u64)]);
         }
         batch
     }
@@ -94,6 +123,10 @@ impl Dwq {
         for node in &batch {
             self.stats
                 .record_dequeue(now.saturating_duration_since(node.enqueued_at));
+        }
+        if !batch.is_empty() {
+            self.metrics
+                .event("dwq.dequeue", &[("count", batch.len() as u64)]);
         }
         batch
     }
@@ -151,6 +184,7 @@ impl Dwq {
                 entry_off: dev.read_u64(off + 8),
                 enqueued_at: now,
             });
+            self.total_enqueued.fetch_add(1, Ordering::AcqRel);
             self.stats.record_enqueue();
         }
         // Consume the save so a crash after restore does not double-restore.
@@ -235,7 +269,10 @@ mod tests {
         assert_eq!(q2.restore(&dev, &layout), 2);
         let batch = q2.pop_batch(10);
         assert_eq!(
-            batch.iter().map(|n| (n.ino, n.entry_off)).collect::<Vec<_>>(),
+            batch
+                .iter()
+                .map(|n| (n.ino, n.entry_off))
+                .collect::<Vec<_>>(),
             vec![(1, 111), (2, 222)]
         );
         // Restore consumed the save.

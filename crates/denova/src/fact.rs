@@ -308,7 +308,11 @@ impl Fact {
         ((v & 0xFFFF_FFFF) as u32, (v >> 32) as u32)
     }
 
-    fn cas_counters(&self, idx: u64, f: impl Fn(u32, u32) -> Option<(u32, u32)>) -> Option<(u32, u32)> {
+    fn cas_counters(
+        &self,
+        idx: u64,
+        f: impl Fn(u32, u32) -> Option<(u32, u32)>,
+    ) -> Option<(u32, u32)> {
         let off = self.counters_off(idx);
         let mut cur = self.dev.atomic_load_u64(off);
         loop {
@@ -349,8 +353,11 @@ impl Fact {
 
     /// Abandon an in-flight transaction (`UC -= 1` without the RFC credit).
     pub fn abort_uc(&self, idx: u64) -> bool {
-        self.cas_counters(idx, |rfc, uc| if uc == 0 { None } else { Some((rfc, uc - 1)) })
-            .is_some()
+        self.cas_counters(
+            idx,
+            |rfc, uc| if uc == 0 { None } else { Some((rfc, uc - 1)) },
+        )
+        .is_some()
     }
 
     /// Recovery: discard a stale update count ("these UCs are set to 0 at
@@ -363,7 +370,10 @@ impl Fact {
     /// decrement, or `None` if RFC was already 0 (left untouched; the
     /// scrubber reconciles such over-decrements).
     pub fn dec_rfc(&self, idx: u64) -> Option<(u32, u32)> {
-        self.cas_counters(idx, |rfc, uc| if rfc == 0 { None } else { Some((rfc - 1, uc)) })
+        self.cas_counters(
+            idx,
+            |rfc, uc| if rfc == 0 { None } else { Some((rfc - 1, uc)) },
+        )
     }
 
     /// Recovery scrubber: force RFC to an exact recomputed value.
@@ -391,11 +401,18 @@ impl Fact {
             let e = self.read_entry(idx);
             reads += 1;
             if e.is_occupied() && e.fp == *fp {
-                self.stats.record_lookup_reads(reads, idx < self.daa_entries());
+                self.stats
+                    .record_lookup_reads(reads, idx < self.daa_entries());
                 // Section IV-E trigger: a hot entry (high RFC) that took a
                 // long chain walk to reach marks its chain for reordering.
-                if reads > self.reorder_walk_threshold.load(std::sync::atomic::Ordering::Relaxed)
-                    && e.rfc >= self.reorder_rfc_threshold.load(std::sync::atomic::Ordering::Relaxed)
+                if reads
+                    > self
+                        .reorder_walk_threshold
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                    && e.rfc
+                        >= self
+                            .reorder_rfc_threshold
+                            .load(std::sync::atomic::Ordering::Relaxed)
                 {
                     self.reorder_candidates.lock().insert(prefix);
                 }
@@ -430,11 +447,18 @@ impl Fact {
         if let Some((idx, e)) = self.lookup(fp) {
             self.inc_uc(idx);
             self.stats.bump_hits();
+            self.dev
+                .metrics()
+                .event("fact.hit", &[("idx", idx), ("block", e.block)]);
             return Ok((idx, e));
         }
         let idx = self.insert_locked(prefix, fp, block)?;
         self.inc_uc(idx);
+        self.stats.bump_misses();
         self.stats.bump_inserts();
+        self.dev
+            .metrics()
+            .event("fact.miss", &[("idx", idx), ("block", block)]);
         Ok((idx, self.read_entry(idx)))
     }
 
@@ -767,7 +791,10 @@ mod tests {
         let delta = dev.stats().snapshot().delta(&before);
         assert_eq!(ridx, idx);
         assert_eq!(e.block, 321);
-        assert_eq!(delta.reads, 2, "delete pointer must resolve in exactly 2 PM reads");
+        assert_eq!(
+            delta.reads, 2,
+            "delete pointer must resolve in exactly 2 PM reads"
+        );
     }
 
     #[test]
@@ -906,8 +933,8 @@ mod tests {
         let fp = Fingerprint::of(b"fa");
         let (idx, _) = fact.reserve_or_insert(&fp, 99).unwrap();
         fact.commit_uc_to_rfc(idx); // (1, 0) persisted
-        // A torn crash right after an unpersisted counter store must revert
-        // to the last persisted pair, never a mix.
+                                    // A torn crash right after an unpersisted counter store must revert
+                                    // to the last persisted pair, never a mix.
         let off = fact.counters_off(idx);
         dev.atomic_store_u64(off, 5 | (7 << 32)); // not persisted
         let after = dev.crash_clone(denova_pmem::CrashMode::Strict);
@@ -967,10 +994,12 @@ mod tests {
         // so DAA + IAA can absorb the worst case (every chunk colliding on
         // one prefix). Verify the arithmetic and the clean error past it.
         let (_dev, fact) = setup();
-        assert!(fact.daa_entries() >= {
-            // total_blocks of the 16 MB test device
-            16 * 1024 * 1024 / 4096
-        });
+        assert!(
+            fact.daa_entries() >= {
+                // total_blocks of the 16 MB test device
+                16 * 1024 * 1024 / 4096
+            }
+        );
         assert_eq!(fact.entries(), 2 * fact.daa_entries());
         // Force synthetic exhaustion by draining the IAA allocator
         // directly: inserting more colliding fps than IAA slots must fail

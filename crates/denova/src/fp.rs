@@ -107,10 +107,7 @@ mod tests {
         }
         let per_fp = t0.elapsed().as_nanos() as u64 / 10;
         // Total cost lands near the paper's 11.78 us (generous CI slack).
-        assert!(
-            (8_000..40_000).contains(&per_fp),
-            "per-fp cost {per_fp} ns"
-        );
+        assert!((8_000..40_000).contains(&per_fp), "per-fp cost {per_fp} ns");
     }
 
     #[test]

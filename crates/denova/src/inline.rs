@@ -139,8 +139,8 @@ pub fn write_inline(nova: &Nova, fact: &Fact, ino: u64, offset: u64, data: &[u8]
 mod tests {
     use super::*;
     use crate::reclaim::DenovaHooks;
-    use denova_fingerprint::Fingerprint;
     use crate::stats::DedupStats;
+    use denova_fingerprint::Fingerprint;
     use denova_nova::NovaOptions;
     use std::sync::Arc;
 

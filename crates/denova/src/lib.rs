@@ -36,12 +36,12 @@ pub mod recovery;
 pub mod reorder;
 pub mod stats;
 
+pub use adaptive::{write_inline_adaptive, NvDedupHooks};
 pub use daemon::{Daemon, DaemonConfig};
 pub use dedup::{dedup_entry, DedupOutcome};
 pub use dwq::{Dwq, DwqNode};
 pub use fact::{Fact, FactEntry, NIL};
 pub use fp::{FpThrottle, PAPER_FP_NS_PER_4K};
-pub use adaptive::{write_inline_adaptive, NvDedupHooks};
 pub use nvdedup::{NvDedupTable, NvOutcome};
 pub use reclaim::DenovaHooks;
 pub use recovery::{recover, scrub, RecoveryReport};
@@ -85,10 +85,9 @@ impl DedupMode {
     fn daemon_config(&self) -> Option<DaemonConfig> {
         match *self {
             DedupMode::Immediate => Some(DaemonConfig::Immediate),
-            DedupMode::Delayed { interval_ms, batch } => Some(DaemonConfig::Delayed {
-                interval_ms,
-                batch,
-            }),
+            DedupMode::Delayed { interval_ms, batch } => {
+                Some(DaemonConfig::Delayed { interval_ms, batch })
+            }
             _ => None,
         }
     }
@@ -126,7 +125,7 @@ impl Denova {
     pub fn mkfs(dev: Arc<PmemDevice>, mut opts: NovaOptions, mode: DedupMode) -> Result<Denova> {
         opts.dedup_enabled = mode.tags_writes();
         let nova = Arc::new(Nova::mkfs(dev.clone(), opts)?);
-        let stats = Arc::new(DedupStats::default());
+        let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::new(dev, *nova.layout(), stats.clone()));
         Ok(Self::assemble(nova, fact, stats, mode))
     }
@@ -135,12 +134,13 @@ impl Denova {
     /// unless the last unmount was clean — the dedup recovery procedure.
     pub fn mount(dev: Arc<PmemDevice>, mut opts: NovaOptions, mode: DedupMode) -> Result<Denova> {
         // Read the clean flag before NOVA mount clears it.
-        let was_clean = superblock::read_superblock(&dev).is_ok() && superblock::was_clean_unmount(&dev);
+        let was_clean =
+            superblock::read_superblock(&dev).is_ok() && superblock::was_clean_unmount(&dev);
         opts.dedup_enabled = mode.tags_writes();
         let nova = Arc::new(Nova::mount(dev.clone(), opts)?);
-        let stats = Arc::new(DedupStats::default());
+        let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::mount(dev.clone(), *nova.layout(), stats.clone()));
-        let dwq = Arc::new(Dwq::new(stats.clone()));
+        let dwq = Arc::new(Dwq::with_metrics(stats.clone(), dev.metrics().clone()));
         if mode != DedupMode::Baseline {
             if was_clean {
                 dwq.restore(&dev, nova.layout());
@@ -151,8 +151,16 @@ impl Denova {
         Ok(Self::assemble_with_dwq(nova, fact, dwq, stats, mode))
     }
 
-    fn assemble(nova: Arc<Nova>, fact: Arc<Fact>, stats: Arc<DedupStats>, mode: DedupMode) -> Denova {
-        let dwq = Arc::new(Dwq::new(stats.clone()));
+    fn assemble(
+        nova: Arc<Nova>,
+        fact: Arc<Fact>,
+        stats: Arc<DedupStats>,
+        mode: DedupMode,
+    ) -> Denova {
+        let dwq = Arc::new(Dwq::with_metrics(
+            stats.clone(),
+            nova.device().metrics().clone(),
+        ));
         Self::assemble_with_dwq(nova, fact, dwq, stats, mode)
     }
 

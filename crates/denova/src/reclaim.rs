@@ -57,6 +57,18 @@ impl NovaHooks for DenovaHooks {
 /// The Section IV-C reclaim flow. Returns what the file system should do
 /// with `block`.
 pub fn reclaim_block(fact: &Fact, block: u64) -> ReclaimDecision {
+    let decision = reclaim_block_inner(fact, block);
+    fact.device().metrics().event(
+        "denova.reclaim",
+        &[
+            ("block", block),
+            ("kept", (decision == ReclaimDecision::Keep) as u64),
+        ],
+    );
+    decision
+}
+
+fn reclaim_block_inner(fact: &Fact, block: u64) -> ReclaimDecision {
     match fact.resolve_block(block) {
         // Not tracked by FACT (never deduplicated, or already removed):
         // plain NOVA reclaim.

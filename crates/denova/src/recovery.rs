@@ -254,14 +254,14 @@ mod tests {
             assert_eq!(e.uc, 0, "{point}: UC residue");
             let counts = s2.nova.block_reference_counts();
             let expected = counts.get(&e.block).copied().unwrap();
-            assert_eq!(
-                s2.fact.counters(idx).0,
-                expected,
-                "{point}: RFC mismatch"
-            );
+            assert_eq!(s2.fact.counters(idx).0, expected, "{point}: RFC mismatch");
             // And nothing got leaked or double-freed: a second scrub finds
             // nothing to fix.
-            assert_eq!(crate::recovery::scrub(&s2.nova, &s2.fact).unwrap(), 0, "{point}");
+            assert_eq!(
+                crate::recovery::scrub(&s2.nova, &s2.fact).unwrap(),
+                0,
+                "{point}"
+            );
         }
     }
 
@@ -356,7 +356,10 @@ mod tests {
             Fingerprint::from_bytes(bytes)
         };
         for salt in 1..=5 {
-            let (idx, _) = s.fact.reserve_or_insert(&mk(salt), 400 + salt as u64).unwrap();
+            let (idx, _) = s
+                .fact
+                .reserve_or_insert(&mk(salt), 400 + salt as u64)
+                .unwrap();
             s.fact.commit_uc_to_rfc(idx);
             s.fact.set_rfc(idx, salt as u32 * 3 % 7 + 1);
         }

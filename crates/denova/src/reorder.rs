@@ -155,7 +155,10 @@ mod tests {
             (layout.fact_blocks * denova_nova::BLOCK_SIZE) as usize,
             0,
         );
-        (dev.clone(), Fact::new(dev, layout, Arc::new(DedupStats::default())))
+        (
+            dev.clone(),
+            Fact::new(dev, layout, Arc::new(DedupStats::default())),
+        )
     }
 
     fn fp_with_prefix(fact: &Fact, prefix: u64, salt: u8) -> Fingerprint {

@@ -4,120 +4,166 @@
 //! fingerprint-time vs other-ops breakdown, Fig. 10's DWQ lingering-time
 //! CDF, the space-savings numbers, and the FACT access-cost claims (DAA
 //! lookups resolve in one PM read; reclaim in two).
+//!
+//! Since the telemetry migration every counter lives in the device's shared
+//! [`MetricsRegistry`] under a `fact.*` / `denova.*` / `dwq.*` name, so the
+//! same numbers surface through `denova-cli stats` and the bench harness.
+//! DWQ lingering times are additionally recorded into the `dwq.linger_ns`
+//! histogram; the raw per-node vector is kept because Fig. 10 needs the
+//! exact CDF, not log-bucket approximations.
 
+use denova_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Shared dedup counters. All atomics are relaxed — statistics, not
-/// synchronization.
-#[derive(Debug, Default)]
+/// Shared dedup counters, backed by a [`MetricsRegistry`]. All counters use
+/// relaxed atomics — statistics, not synchronization.
+#[derive(Debug)]
 pub struct DedupStats {
     // FACT.
-    lookups: AtomicU64,
-    lookup_pm_reads: AtomicU64,
-    daa_direct_hits: AtomicU64,
-    hits: AtomicU64,
-    inserts: AtomicU64,
-    iaa_inserts: AtomicU64,
-    removes: AtomicU64,
-    entry_flushes: AtomicU64,
+    lookups: Counter,
+    lookup_pm_reads: Counter,
+    daa_direct_hits: Counter,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    iaa_inserts: Counter,
+    removes: Counter,
+    entry_flushes: Counter,
     // Dedup outcomes.
-    pages_scanned: AtomicU64,
-    duplicate_pages: AtomicU64,
-    unique_pages: AtomicU64,
-    pages_skipped_stale: AtomicU64,
+    pages_scanned: Counter,
+    duplicate_pages: Counter,
+    unique_pages: Counter,
+    pages_skipped_stale: Counter,
     // Latency breakdown (Table IV).
-    fingerprint_ns: AtomicU64,
-    other_ops_ns: AtomicU64,
+    fingerprint_ns: Counter,
+    other_ops_ns: Counter,
     // DWQ.
-    enqueued: AtomicU64,
-    dequeued: AtomicU64,
+    enqueued: Counter,
+    dequeued: Counter,
+    linger_hist: Histogram,
     /// Lingering time (enqueue → dequeue) per node, for the Fig. 10 CDF.
     lingering_ns: Mutex<Vec<u64>>,
     // Reordering.
-    reorders: AtomicU64,
+    reorders: Counter,
+}
+
+impl Default for DedupStats {
+    /// Stats backed by a fresh private registry (standalone use in tests).
+    fn default() -> Self {
+        Self::new(&MetricsRegistry::new())
+    }
 }
 
 impl DedupStats {
+    /// Registers the dedup counters in `registry` and returns the facade.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        DedupStats {
+            lookups: registry.counter("fact.lookups"),
+            lookup_pm_reads: registry.counter("fact.lookup_pm_reads"),
+            daa_direct_hits: registry.counter("fact.daa_direct_hits"),
+            hits: registry.counter("fact.hits"),
+            misses: registry.counter("fact.misses"),
+            inserts: registry.counter("fact.inserts"),
+            iaa_inserts: registry.counter("fact.iaa_inserts"),
+            removes: registry.counter("fact.removes"),
+            entry_flushes: registry.counter("fact.entry_flushes"),
+            pages_scanned: registry.counter("denova.pages_scanned"),
+            duplicate_pages: registry.counter("denova.duplicate_pages"),
+            unique_pages: registry.counter("denova.unique_pages"),
+            pages_skipped_stale: registry.counter("denova.pages_skipped_stale"),
+            fingerprint_ns: registry.counter("denova.fingerprint_ns"),
+            other_ops_ns: registry.counter("denova.other_ops_ns"),
+            enqueued: registry.counter("dwq.enqueued"),
+            dequeued: registry.counter("dwq.dequeued"),
+            linger_hist: registry.histogram("dwq.linger_ns"),
+            lingering_ns: Mutex::new(Vec::new()),
+            reorders: registry.counter("fact.reorders"),
+        }
+    }
+
     // -- FACT hooks (called by `fact.rs`) --------------------------------
 
     pub(crate) fn bump_lookups(&self) {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lookups.inc();
     }
 
     pub(crate) fn record_lookup_reads(&self, reads: u64, direct: bool) {
-        self.lookup_pm_reads.fetch_add(reads, Ordering::Relaxed);
+        self.lookup_pm_reads.add(reads);
         if direct {
-            self.daa_direct_hits.fetch_add(1, Ordering::Relaxed);
+            self.daa_direct_hits.inc();
         }
     }
 
     pub(crate) fn bump_hits(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
+    }
+
+    pub(crate) fn bump_misses(&self) {
+        self.misses.inc();
     }
 
     pub(crate) fn bump_inserts(&self) {
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.inc();
     }
 
     pub(crate) fn bump_iaa_inserts(&self) {
-        self.iaa_inserts.fetch_add(1, Ordering::Relaxed);
+        self.iaa_inserts.inc();
     }
 
     pub(crate) fn bump_removes(&self) {
-        self.removes.fetch_add(1, Ordering::Relaxed);
+        self.removes.inc();
     }
 
     pub(crate) fn bump_flushes(&self, n: u64) {
-        self.entry_flushes.fetch_add(n, Ordering::Relaxed);
+        self.entry_flushes.add(n);
     }
 
     pub(crate) fn bump_reorders(&self) {
-        self.reorders.fetch_add(1, Ordering::Relaxed);
+        self.reorders.inc();
     }
 
     // -- Dedup outcomes ---------------------------------------------------
 
     pub(crate) fn record_page(&self, duplicate: bool) {
-        self.pages_scanned.fetch_add(1, Ordering::Relaxed);
+        self.pages_scanned.inc();
         if duplicate {
-            self.duplicate_pages.fetch_add(1, Ordering::Relaxed);
+            self.duplicate_pages.inc();
         } else {
-            self.unique_pages.fetch_add(1, Ordering::Relaxed);
+            self.unique_pages.inc();
         }
     }
 
     pub(crate) fn record_stale_page(&self) {
-        self.pages_skipped_stale.fetch_add(1, Ordering::Relaxed);
+        self.pages_skipped_stale.inc();
     }
 
     pub(crate) fn record_fingerprint_time(&self, d: Duration) {
-        self.fingerprint_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.fingerprint_ns.add(d.as_nanos() as u64);
     }
 
     pub(crate) fn record_other_ops_time(&self, d: Duration) {
-        self.other_ops_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.other_ops_ns.add(d.as_nanos() as u64);
     }
 
     // -- DWQ ---------------------------------------------------------------
 
     pub(crate) fn record_enqueue(&self) {
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.enqueued.inc();
     }
 
     pub(crate) fn record_dequeue(&self, lingered: Duration) {
-        self.dequeued.fetch_add(1, Ordering::Relaxed);
-        self.lingering_ns.lock().push(lingered.as_nanos() as u64);
+        self.dequeued.inc();
+        let ns = lingered.as_nanos() as u64;
+        self.linger_hist.record(ns);
+        self.lingering_ns.lock().push(ns);
     }
 
     // -- Readouts -----------------------------------------------------------
 
     /// FACT lookups performed.
     pub fn lookups(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.lookups.get()
     }
 
     /// Average PM reads per FACT lookup — 1.0 means every lookup was a
@@ -127,57 +173,62 @@ impl DedupStats {
         if l == 0 {
             return 0.0;
         }
-        self.lookup_pm_reads.load(Ordering::Relaxed) as f64 / l as f64
+        self.lookup_pm_reads.get() as f64 / l as f64
     }
 
     /// Lookups resolved by the DAA alone.
     pub fn daa_direct_hits(&self) -> u64 {
-        self.daa_direct_hits.load(Ordering::Relaxed)
+        self.daa_direct_hits.get()
     }
 
     /// Lookups that found an existing fingerprint.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
+    }
+
+    /// Lookups that found no existing fingerprint.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// New FACT entries created.
     pub fn inserts(&self) -> u64 {
-        self.inserts.load(Ordering::Relaxed)
+        self.inserts.get()
     }
 
     /// Inserts that landed in the IAA (prefix collisions).
     pub fn iaa_inserts(&self) -> u64 {
-        self.iaa_inserts.load(Ordering::Relaxed)
+        self.iaa_inserts.get()
     }
 
     /// FACT entries removed.
     pub fn removes(&self) -> u64 {
-        self.removes.load(Ordering::Relaxed)
+        self.removes.get()
     }
 
     /// Cache-line flushes spent on FACT entry updates.
     pub fn entry_flushes(&self) -> u64 {
-        self.entry_flushes.load(Ordering::Relaxed)
+        self.entry_flushes.get()
     }
 
     /// Pages fingerprinted by the dedup process.
     pub fn pages_scanned(&self) -> u64 {
-        self.pages_scanned.load(Ordering::Relaxed)
+        self.pages_scanned.get()
     }
 
     /// Duplicate pages found (each saves one 4 KB block).
     pub fn duplicate_pages(&self) -> u64 {
-        self.duplicate_pages.load(Ordering::Relaxed)
+        self.duplicate_pages.get()
     }
 
     /// Unique pages registered in FACT.
     pub fn unique_pages(&self) -> u64 {
-        self.unique_pages.load(Ordering::Relaxed)
+        self.unique_pages.get()
     }
 
     /// Pages skipped because the file overwrote them before dedup ran.
     pub fn stale_pages(&self) -> u64 {
-        self.pages_skipped_stale.load(Ordering::Relaxed)
+        self.pages_skipped_stale.get()
     }
 
     /// Bytes of storage saved by deduplication so far.
@@ -187,23 +238,23 @@ impl DedupStats {
 
     /// Total fingerprinting time (Table IV "FP Time").
     pub fn fingerprint_time(&self) -> Duration {
-        Duration::from_nanos(self.fingerprint_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.fingerprint_ns.get())
     }
 
     /// Total non-fingerprint dedup time (Table IV "Other Ops": chunking,
     /// FACT lookups, entry appends, counter updates).
     pub fn other_ops_time(&self) -> Duration {
-        Duration::from_nanos(self.other_ops_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.other_ops_ns.get())
     }
 
     /// DWQ nodes enqueued.
     pub fn enqueued(&self) -> u64 {
-        self.enqueued.load(Ordering::Relaxed)
+        self.enqueued.get()
     }
 
     /// DWQ nodes dequeued (processed).
     pub fn dequeued(&self) -> u64 {
-        self.dequeued.load(Ordering::Relaxed)
+        self.dequeued.get()
     }
 
     /// Lingering times of every dequeued DWQ node, in nanoseconds
@@ -214,7 +265,7 @@ impl DedupStats {
 
     /// IAA chain reorders performed.
     pub fn reorders(&self) -> u64 {
-        self.reorders.load(Ordering::Relaxed)
+        self.reorders.get()
     }
 }
 
@@ -268,5 +319,22 @@ mod tests {
         s.record_other_ops_time(Duration::from_micros(4));
         assert_eq!(s.fingerprint_time(), Duration::from_micros(20));
         assert_eq!(s.other_ops_time(), Duration::from_micros(4));
+    }
+
+    #[test]
+    fn counters_surface_in_the_shared_registry() {
+        let registry = MetricsRegistry::new();
+        let s = DedupStats::new(&registry);
+        s.bump_lookups();
+        s.bump_hits();
+        s.record_page(true);
+        s.record_dequeue(Duration::from_micros(3));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fact.lookups"), Some(1));
+        assert_eq!(snap.counter("fact.hits"), Some(1));
+        assert_eq!(snap.counter("denova.duplicate_pages"), Some(1));
+        assert_eq!(snap.counter("dwq.dequeued"), Some(1));
+        let h = snap.histogram("dwq.linger_ns").expect("linger histogram");
+        assert_eq!(h.count, 1);
     }
 }

@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn display_is_hex() {
         let fp = Fingerprint::of(b"abc");
-        assert_eq!(
-            fp.to_string(),
-            "a9993e364706816aba3e25717850c26c9cd0d89d"
-        );
+        assert_eq!(fp.to_string(), "a9993e364706816aba3e25717850c26c9cd0d89d");
     }
 
     #[test]

@@ -34,7 +34,13 @@ impl Sha1 {
     /// A fresh hasher with the FIPS initial state.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -158,7 +164,9 @@ mod tests {
     #[test]
     fn fips_vector_448_bits() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -166,10 +174,7 @@ mod tests {
     #[test]
     fn fips_vector_million_a() {
         let m = vec![b'a'; 1_000_000];
-        assert_eq!(
-            hex(&sha1(&m)),
-            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
-        );
+        assert_eq!(hex(&sha1(&m)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
     }
 
     #[test]
@@ -182,10 +187,7 @@ mod tests {
             .cycle()
             .take(640)
             .collect();
-        assert_eq!(
-            hex(&sha1(&m)),
-            "dea356a2cddd90c7a7ecedc5ebb563934f460452"
-        );
+        assert_eq!(hex(&sha1(&m)), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
     }
 
     #[test]

@@ -31,7 +31,11 @@ fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             table[i] = c;
@@ -101,7 +105,10 @@ mod tests {
 
     #[test]
     fn equal_data_equal_weak_fp() {
-        assert_eq!(weak_fingerprint(&[5u8; 4096]), weak_fingerprint(&[5u8; 4096]));
+        assert_eq!(
+            weak_fingerprint(&[5u8; 4096]),
+            weak_fingerprint(&[5u8; 4096])
+        );
     }
 
     #[test]

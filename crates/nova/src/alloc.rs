@@ -131,7 +131,9 @@ impl Allocator {
     /// `[start, start + len)`.
     pub fn new(num_lists: usize, start: u64, len: u64) -> Self {
         let num_lists = num_lists.max(1);
-        let lists: Vec<_> = (0..num_lists).map(|_| Mutex::new(FreeList::default())).collect();
+        let lists: Vec<_> = (0..num_lists)
+            .map(|_| Mutex::new(FreeList::default()))
+            .collect();
         let a = Allocator {
             lists,
             free_blocks: AtomicU64::new(0),
@@ -144,7 +146,11 @@ impl Allocator {
             if cursor >= end {
                 break;
             }
-            let this = if i == num_lists - 1 { end - cursor } else { chunk.min(end - cursor) };
+            let this = if i == num_lists - 1 {
+                end - cursor
+            } else {
+                chunk.min(end - cursor)
+            };
             list.lock().insert(cursor, this);
             cursor += this;
         }
@@ -156,7 +162,9 @@ impl Allocator {
     /// (the recovery path).
     pub fn new_empty(num_lists: usize) -> Self {
         Allocator {
-            lists: (0..num_lists.max(1)).map(|_| Mutex::new(FreeList::default())).collect(),
+            lists: (0..num_lists.max(1))
+                .map(|_| Mutex::new(FreeList::default()))
+                .collect(),
             free_blocks: AtomicU64::new(0),
         }
     }

@@ -61,8 +61,7 @@ mod tests {
             NovaError::NotFormatted,
             NovaError::Corrupt("x"),
         ];
-        let texts: std::collections::HashSet<String> =
-            all.iter().map(|e| e.to_string()).collect();
+        let texts: std::collections::HashSet<String> = all.iter().map(|e| e.to_string()).collect();
         assert_eq!(texts.len(), all.len());
     }
 }

@@ -33,6 +33,7 @@ impl Nova {
         offset
             .checked_add(data.len() as u64)
             .ok_or(NovaError::InvalidRange)?;
+        let _span = self.device().metrics().span("nova.write");
         let flag = self.new_entry_flag();
 
         let committed = self.with_inode_write(ino, |ctx| {
@@ -127,6 +128,7 @@ impl Nova {
         if ino == ROOT_INO {
             return Err(NovaError::BadInode(ino));
         }
+        let _span = self.device().metrics().span("nova.read");
         let out = self.with_inode_read(ino, |mem| {
             if offset >= mem.size {
                 return Ok(Vec::new());
@@ -162,11 +164,7 @@ impl Nova {
         }
         self.with_inode_write(ino, |ctx| {
             let txid = ctx.next_txid();
-            let attr = crate::entry::AttrEntry {
-                new_size,
-                txid,
-            }
-            .encode();
+            let attr = crate::entry::AttrEntry { new_size, txid }.encode();
             ctx.append(&[attr], "nova::truncate")?;
             if new_size < ctx.mem.size {
                 let first_dead_pg = new_size.div_ceil(BLOCK_SIZE);
@@ -396,7 +394,10 @@ mod tests {
         fs.write(ino, 0, &data).unwrap();
         assert_eq!(fs.read(ino, 0, data.len()).unwrap(), data);
         // Random-offset spot checks.
-        assert_eq!(fs.read(ino, 70000, 13).unwrap(), data[70000..70013].to_vec());
+        assert_eq!(
+            fs.read(ino, 70000, 13).unwrap(),
+            data[70000..70013].to_vec()
+        );
     }
 
     #[test]

@@ -80,13 +80,9 @@ impl InodeMem {
         for i in 0..we.num_pages as u64 {
             let pgoff = we.file_pgoff + i;
             let block = we.block + i;
-            let old = self.radix.insert(
-                pgoff,
-                crate::index::EntryRef {
-                    entry_off,
-                    block,
-                },
-            );
+            let old = self
+                .radix
+                .insert(pgoff, crate::index::EntryRef { entry_off, block });
             if let Some(old) = old {
                 self.supersede(&old);
                 if old.block != block {
@@ -147,7 +143,11 @@ impl Nova {
         let layout = Layout::compute(dev.size() as u64, opts.num_inodes, opts.dwq_blocks);
         // Zero all metadata regions: inode table, FACT, DWQ save area.
         let meta_bytes = (layout.data_start - layout.inode_table_start) * BLOCK_SIZE;
-        dev.memset(layout.inode_table_start * BLOCK_SIZE, meta_bytes as usize, 0);
+        dev.memset(
+            layout.inode_table_start * BLOCK_SIZE,
+            meta_bytes as usize,
+            0,
+        );
         dev.persist(layout.inode_table_start * BLOCK_SIZE, meta_bytes as usize);
         superblock::write_superblock(&dev, &layout);
 
@@ -159,7 +159,7 @@ impl Nova {
             txid: AtomicU64::new(1),
             dedup_enabled: AtomicBool::new(opts.dedup_enabled),
             hooks: RwLock::new(Arc::new(NoHooks)),
-            stats: NovaStats::default(),
+            stats: NovaStats::new(dev.metrics()),
             layout,
             dev,
         };
@@ -192,7 +192,7 @@ impl Nova {
             txid: AtomicU64::new(recovered.next_txid),
             dedup_enabled: AtomicBool::new(opts.dedup_enabled),
             hooks: RwLock::new(Arc::new(NoHooks)),
-            stats: NovaStats::default(),
+            stats: NovaStats::new(dev.metrics()),
             layout,
             dev,
         })
@@ -282,7 +282,11 @@ impl Nova {
     }
 
     /// Run `f` with the inode's DRAM state read-locked.
-    pub fn with_inode_read<R>(&self, ino: u64, f: impl FnOnce(&InodeMem) -> Result<R>) -> Result<R> {
+    pub fn with_inode_read<R>(
+        &self,
+        ino: u64,
+        f: impl FnOnce(&InodeMem) -> Result<R>,
+    ) -> Result<R> {
         let arc = self.inode_arc(ino)?;
         let mem = arc.read();
         if mem.dead {
@@ -320,8 +324,7 @@ impl Nova {
     /// turn, so it runs concurrently with foreground I/O.
     pub fn referenced_blocks(&self) -> crate::alloc::BlockBitmap {
         let mut bitmap = crate::alloc::BlockBitmap::new(self.layout.total_blocks);
-        let arcs: Vec<Arc<RwLock<InodeMem>>> =
-            self.inode_map.read().values().cloned().collect();
+        let arcs: Vec<Arc<RwLock<InodeMem>>> = self.inode_map.read().values().cloned().collect();
         for arc in arcs {
             let mem = arc.read();
             mem.radix.for_each(|_, e| bitmap.set(e.block));
@@ -334,11 +337,11 @@ impl Nova {
     /// over-increment cases of Section V-C2.
     pub fn block_reference_counts(&self) -> HashMap<u64, u32> {
         let mut counts: HashMap<u64, u32> = HashMap::new();
-        let arcs: Vec<Arc<RwLock<InodeMem>>> =
-            self.inode_map.read().values().cloned().collect();
+        let arcs: Vec<Arc<RwLock<InodeMem>>> = self.inode_map.read().values().cloned().collect();
         for arc in arcs {
             let mem = arc.read();
-            mem.radix.for_each(|_, e| *counts.entry(e.block).or_insert(0) += 1);
+            mem.radix
+                .for_each(|_, e| *counts.entry(e.block).or_insert(0) += 1);
         }
         counts
     }
@@ -1011,10 +1014,7 @@ mod tests {
     fn default_mount_is_baseline() {
         let fs = mkfs();
         assert!(!fs.dedup_enabled());
-        assert_eq!(
-            fs.new_entry_flag(),
-            crate::entry::DedupeFlag::NotApplicable
-        );
+        assert_eq!(fs.new_entry_flag(), crate::entry::DedupeFlag::NotApplicable);
         fs.set_dedup_enabled(true);
         assert_eq!(fs.new_entry_flag(), crate::entry::DedupeFlag::Needed);
     }

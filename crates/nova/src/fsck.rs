@@ -135,7 +135,9 @@ pub fn check(fs: &Nova, dedup_mounted: bool) -> Result<FsckReport> {
     for (&ino, &names) in &name_counts {
         let nlink = table.read(ino)?.link_count;
         if nlink != names {
-            report.errors.push(FsckError::LinkCountMismatch { ino, nlink, names });
+            report
+                .errors
+                .push(FsckError::LinkCountMismatch { ino, nlink, names });
         }
     }
     inos.push(ROOT_INO);
@@ -160,10 +162,9 @@ pub fn check(fs: &Nova, dedup_mounted: bool) -> Result<FsckReport> {
             for item in LogIter::new(&dev, &layout, pi.log_head, pi.log_tail) {
                 match item {
                     Err(_) => {
-                        report.errors.push(FsckError::CorruptEntry {
-                            ino,
-                            entry_off: 0,
-                        });
+                        report
+                            .errors
+                            .push(FsckError::CorruptEntry { ino, entry_off: 0 });
                         break;
                     }
                     Ok((_, LogEntry::Write(we))) => {
@@ -187,7 +188,9 @@ pub fn check(fs: &Nova, dedup_mounted: bool) -> Result<FsckReport> {
             mem.radix.for_each(|pgoff, e| {
                 live.insert(pgoff);
                 if shadow.get(&pgoff) != Some(&e.block) {
-                    report.errors.push(FsckError::IndexDivergence { ino, pgoff });
+                    report
+                        .errors
+                        .push(FsckError::IndexDivergence { ino, pgoff });
                 }
                 if e.block < layout.data_start || e.block >= layout.total_blocks {
                     report.errors.push(FsckError::BlockOutOfRange {
@@ -201,7 +204,9 @@ pub fn check(fs: &Nova, dedup_mounted: bool) -> Result<FsckReport> {
             });
             for pg in shadow.keys() {
                 if !live.contains(pg) {
-                    report.errors.push(FsckError::IndexDivergence { ino, pgoff: *pg });
+                    report
+                        .errors
+                        .push(FsckError::IndexDivergence { ino, pgoff: *pg });
                 }
             }
             Ok(())

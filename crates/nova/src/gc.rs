@@ -25,6 +25,7 @@ impl Nova {
     pub fn gc_inode_log(&self, ino: u64) -> Result<u64> {
         let hooks = self.current_hooks();
         let dev = self.device().clone();
+        let _span = dev.metrics().span("nova.gc");
         let layout = *self.layout();
         self.with_inode_write(ino, |ctx| {
             let mem = &mut *ctx.mem;
@@ -53,8 +54,7 @@ impl Nova {
                             // Dead head: move the persistent head pointer
                             // first, then free. A crash in between leaks the
                             // page until the next recovery sweep.
-                            crate::inode::InodeTable::new(&dev, &layout)
-                                .set_log_head(ino, next)?;
+                            crate::inode::InodeTable::new(&dev, &layout).set_log_head(ino, next)?;
                             mem.pos.head = next;
                         }
                     }

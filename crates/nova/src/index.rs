@@ -95,9 +95,13 @@ impl RadixTree {
     pub fn insert(&mut self, key: u64, val: EntryRef) -> Option<EntryRef> {
         self.grow_to_fit(key);
         let height = self.height;
-        let root = self
-            .root
-            .get_or_insert_with(|| if height == 1 { Node::new_leaf() } else { Node::new_internal() });
+        let root = self.root.get_or_insert_with(|| {
+            if height == 1 {
+                Node::new_leaf()
+            } else {
+                Node::new_internal()
+            }
+        });
         let mut node = root.as_mut();
         let mut level = height;
         loop {

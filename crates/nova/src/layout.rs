@@ -73,7 +73,10 @@ impl Layout {
     /// `num_inodes` is the inode-table capacity; `dwq_blocks` sizes the DWQ
     /// save area (each saved node is 16 B).
     pub fn compute(device_size: u64, num_inodes: u64, dwq_blocks: u64) -> Layout {
-        assert!(device_size.is_multiple_of(BLOCK_SIZE), "device size must be block-aligned");
+        assert!(
+            device_size.is_multiple_of(BLOCK_SIZE),
+            "device size must be block-aligned"
+        );
         let total_blocks = device_size / BLOCK_SIZE;
         let inode_table_start = 1;
         let inode_blocks = (num_inodes * INODE_SIZE).div_ceil(BLOCK_SIZE);
@@ -125,7 +128,10 @@ impl Layout {
     /// Byte offset of FACT entry `index`.
     #[inline]
     pub fn fact_entry_off(&self, index: u64) -> u64 {
-        debug_assert!(index < self.fact_entries(), "FACT index {index} out of range");
+        debug_assert!(
+            index < self.fact_entries(),
+            "FACT index {index} out of range"
+        );
         self.fact_start * BLOCK_SIZE + index * FACT_ENTRY_SIZE
     }
 

@@ -7,11 +7,11 @@
 //! write appends every entry first and commits once, making the whole
 //! operation atomic.
 
+use crate::alloc::Allocator;
 use crate::entry::{decode, LogEntry};
 use crate::error::{NovaError, Result};
 use crate::inode::InodeTable;
 use crate::layout::{Layout, BLOCK_SIZE, LOG_ENTRY_SIZE, LOG_PAGE_PAYLOAD};
-use crate::alloc::Allocator;
 use denova_pmem::PmemDevice;
 
 /// Byte offset of the next-page link within a log page.
@@ -103,6 +103,9 @@ pub fn append(
     table.commit_log_tail(ino, tail)?;
     dev.crash_point(&format!("{cp}::after_tail_commit"));
     pos.tail = tail;
+    dev.metrics()
+        .counter("nova.log.entries_appended")
+        .add(entries.len() as u64);
     Ok(offs)
 }
 

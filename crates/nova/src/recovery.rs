@@ -48,10 +48,7 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
     };
     for item in LogIter::new(dev, layout, root.log_head, root.log_tail) {
         let (off, entry) = item?;
-        *root_mem
-            .live_per_page
-            .entry(off / BLOCK_SIZE)
-            .or_insert(0) += 1;
+        *root_mem.live_per_page.entry(off / BLOCK_SIZE).or_insert(0) += 1;
         if let LogEntry::Dentry(d) = entry {
             next_txid = next_txid.max(d.txid + 1);
             if d.add {

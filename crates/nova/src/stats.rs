@@ -1,40 +1,67 @@
 //! File-system operation counters.
+//!
+//! Since the telemetry migration each counter is a [`Counter`] handle into
+//! the device's shared [`MetricsRegistry`] under a `nova.*` name, so the
+//! same numbers surface through `denova-cli stats` and the bench harness.
+//! The `add`/`get` helper API is unchanged apart from the handle type.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use denova_telemetry::{Counter, MetricsRegistry};
 
 /// Counters for file-system level operations (device-level counters live in
 /// [`denova_pmem::PmemStats`]).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct NovaStats {
     /// `write()` calls completed.
-    pub writes: AtomicU64,
+    pub writes: Counter,
     /// Bytes written by `write()` calls.
-    pub bytes_written: AtomicU64,
+    pub bytes_written: Counter,
     /// `read()` calls completed.
-    pub reads: AtomicU64,
+    pub reads: Counter,
     /// Bytes returned by `read()` calls.
-    pub bytes_read: AtomicU64,
+    pub bytes_read: Counter,
     /// Files created.
-    pub creates: AtomicU64,
+    pub creates: Counter,
     /// Files unlinked.
-    pub unlinks: AtomicU64,
+    pub unlinks: Counter,
     /// Data blocks freed back to the allocator.
-    pub blocks_freed: AtomicU64,
+    pub blocks_freed: Counter,
     /// Data blocks whose reclaim was refused by the dedup hook (shared).
-    pub blocks_kept_shared: AtomicU64,
+    pub blocks_kept_shared: Counter,
     /// Log pages freed by GC.
-    pub log_pages_gced: AtomicU64,
+    pub log_pages_gced: Counter,
+}
+
+impl Default for NovaStats {
+    /// Stats backed by a fresh private registry (standalone use in tests).
+    fn default() -> Self {
+        Self::new(&MetricsRegistry::new())
+    }
 }
 
 impl NovaStats {
+    /// Registers the `nova.*` counters in `registry` and returns the facade.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        NovaStats {
+            writes: registry.counter("nova.writes"),
+            bytes_written: registry.counter("nova.bytes_written"),
+            reads: registry.counter("nova.reads"),
+            bytes_read: registry.counter("nova.bytes_read"),
+            creates: registry.counter("nova.creates"),
+            unlinks: registry.counter("nova.unlinks"),
+            blocks_freed: registry.counter("nova.blocks_freed"),
+            blocks_kept_shared: registry.counter("nova.blocks_kept_shared"),
+            log_pages_gced: registry.counter("nova.log_pages_gced"),
+        }
+    }
+
     #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn add(counter: &Counter, n: u64) {
+        counter.add(n);
     }
 
     /// Load a counter.
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    pub fn get(counter: &Counter) -> u64 {
+        counter.get()
     }
 }
 
@@ -49,5 +76,16 @@ mod tests {
         NovaStats::add(&s.writes, 3);
         assert_eq!(NovaStats::get(&s.writes), 5);
         assert_eq!(NovaStats::get(&s.reads), 0);
+    }
+
+    #[test]
+    fn counters_surface_in_the_shared_registry() {
+        let registry = MetricsRegistry::new();
+        let s = NovaStats::new(&registry);
+        NovaStats::add(&s.writes, 4);
+        NovaStats::add(&s.log_pages_gced, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("nova.writes"), Some(4));
+        assert_eq!(snap.counter("nova.log_pages_gced"), Some(1));
     }
 }

@@ -17,11 +17,25 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 enum Op {
     Create(u8),
-    Write { file: u8, off_pg: u8, pages: u8, val: u8 },
-    Truncate { file: u8, pages: u8 },
+    Write {
+        file: u8,
+        off_pg: u8,
+        pages: u8,
+        val: u8,
+    },
+    Truncate {
+        file: u8,
+        pages: u8,
+    },
     Unlink(u8),
-    Rename { from: u8, to: u8 },
-    Link { existing: u8, new: u8 },
+    Rename {
+        from: u8,
+        to: u8,
+    },
+    Link {
+        existing: u8,
+        new: u8,
+    },
     Gc(u8),
 }
 

@@ -14,7 +14,11 @@ enum Op {
 
 fn key_strategy() -> impl Strategy<Value = u64> {
     // Mix of dense small keys and sparse huge ones to exercise tree growth.
-    prop_oneof![0u64..200, 0u64..(1 << 30), any::<u64>().prop_map(|k| k >> 8)]
+    prop_oneof![
+        0u64..200,
+        0u64..(1 << 30),
+        any::<u64>().prop_map(|k| k >> 8)
+    ]
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

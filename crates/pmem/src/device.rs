@@ -16,6 +16,7 @@ use crate::crash::{CrashMode, CrashPointRegistry, SimulatedCrash};
 use crate::latency::{inject_ns, LatencyProfile};
 use crate::stats::PmemStats;
 use crate::{lines_spanned, CACHE_LINE, PAGE_SIZE};
+use denova_telemetry::{Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::HashMap;
@@ -67,7 +68,8 @@ struct PageShadow {
 
 impl PageShadow {
     fn capture(current: *const u8) -> PageShadow {
-        let mut persisted: Box<[u8; PAGE_SIZE]> = vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap();
+        let mut persisted: Box<[u8; PAGE_SIZE]> =
+            vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap();
         unsafe {
             std::ptr::copy_nonoverlapping(current, persisted.as_mut_ptr(), PAGE_SIZE);
         }
@@ -118,13 +120,27 @@ impl PmemBuilder {
         for off in (0..size).step_by(4096) {
             unsafe { std::ptr::write_volatile(buf.as_mut_ptr().add(off), 0) };
         }
+        // The device owns the telemetry registry for the whole stack built
+        // on top of it: NOVA and the dedup layer attach their metrics to
+        // this same instance, so one snapshot covers every layer.
+        let metrics = MetricsRegistry::new();
+        let flush_lines = metrics.histogram("pmem.flush.lines");
+        if !self.latency.is_zero() {
+            // Latency injection is in play: surface the spin calibration so
+            // reports can judge how trustworthy the injected delays are.
+            metrics
+                .gauge("pmem.spin_calibration.spins_per_us")
+                .set(crate::latency::calibrated_spins_per_us() as i64);
+        }
         PmemDevice {
             id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
             buf: UnsafeCell::new(buf),
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             latency: Mutex::new(self.latency),
             crash_mode: Mutex::new(self.crash_mode),
-            stats: PmemStats::default(),
+            stats: PmemStats::new(&metrics),
+            metrics,
+            flush_lines,
             crash_points: CrashPointRegistry::new(),
         }
     }
@@ -138,6 +154,10 @@ pub struct PmemDevice {
     latency: Mutex<LatencyProfile>,
     crash_mode: Mutex<CrashMode>,
     stats: PmemStats,
+    metrics: MetricsRegistry,
+    /// Pre-resolved handle for the flush-size histogram so the hot flush
+    /// path never does a name lookup.
+    flush_lines: Histogram,
     crash_points: CrashPointRegistry,
 }
 
@@ -163,6 +183,12 @@ impl PmemDevice {
     #[inline]
     pub fn stats(&self) -> &PmemStats {
         &self.stats
+    }
+
+    /// The telemetry registry shared by every layer mounted on this device.
+    #[inline]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Crash-point registry for failure injection.
@@ -246,7 +272,11 @@ impl PmemDevice {
         self.check_range(off, buf.len());
         self.charge_read(off, buf.len() as u64);
         unsafe {
-            std::ptr::copy_nonoverlapping(self.ptr().add(off as usize), buf.as_mut_ptr(), buf.len());
+            std::ptr::copy_nonoverlapping(
+                self.ptr().add(off as usize),
+                buf.as_mut_ptr(),
+                buf.len(),
+            );
         }
     }
 
@@ -401,13 +431,18 @@ impl PmemDevice {
         let last = (off + len as u64 - 1) / CACHE_LINE as u64;
         let lines = last - first + 1;
         self.stats.record_flush(lines);
+        if self.metrics.enabled() {
+            self.flush_lines.record(lines);
+        }
         PENDING_FLUSHES.with(|p| {
             let mut p = p.borrow_mut();
             let first_page = first / LINES_PER_PAGE as u64;
             let last_page = last / LINES_PER_PAGE as u64;
             for page in first_page..=last_page {
                 let map = self.shard_for(page).lock();
-                let Some(shadow) = map.get(&page) else { continue };
+                let Some(shadow) = map.get(&page) else {
+                    continue;
+                };
                 let lo = first.max(page * LINES_PER_PAGE as u64);
                 let hi = last.min((page + 1) * LINES_PER_PAGE as u64 - 1);
                 // Group the flushed dirty lines of this page by their write
@@ -529,7 +564,9 @@ impl PmemDevice {
     /// a fresh device (clean tracking, same latency profile). The original
     /// device is untouched, so tests can compare pre- and post-crash states.
     pub fn crash_clone(&self, mode: CrashMode) -> PmemDevice {
-        let clone = PmemBuilder::new(self.size()).latency(self.latency()).build();
+        let clone = PmemBuilder::new(self.size())
+            .latency(self.latency())
+            .build();
         // Copy the current (volatile) view...
         unsafe {
             std::ptr::copy_nonoverlapping(self.ptr(), clone.ptr(), self.size());
@@ -619,7 +656,10 @@ impl PmemDevice {
 
     /// Load a device image previously written by [`PmemDevice::save_image`].
     /// The loaded content is considered persisted (clean tracking).
-    pub fn load_image(path: &std::path::Path, latency: LatencyProfile) -> std::io::Result<PmemDevice> {
+    pub fn load_image(
+        path: &std::path::Path,
+        latency: LatencyProfile,
+    ) -> std::io::Result<PmemDevice> {
         let data = std::fs::read(path)?;
         let dev = PmemBuilder::new(data.len()).latency(latency).build();
         unsafe {

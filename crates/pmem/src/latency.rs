@@ -88,12 +88,7 @@ impl LatencyProfile {
 
     /// All Table I rows, for the Table I regeneration harness.
     pub fn table1() -> [LatencyProfile; 4] {
-        [
-            Self::dram(),
-            Self::pcm(),
-            Self::stt_ram(),
-            Self::optane(),
-        ]
+        [Self::dram(), Self::pcm(), Self::stt_ram(), Self::optane()]
     }
 
     /// True when the profile injects no delay at all (fast path).
@@ -155,6 +150,13 @@ fn busy_spin(iters: u64) {
 /// injected delay). Benchmarks call this before timing begins.
 pub fn calibrate_spin() {
     let _ = spins_per_ns();
+}
+
+/// Calibrated spin-loop iterations per microsecond (forces calibration on
+/// first call). Exposed so telemetry can report the injection mechanism's
+/// resolution alongside the latencies it produced.
+pub fn calibrated_spins_per_us() -> u64 {
+    (spins_per_ns() * 1_000.0) as u64
 }
 
 /// Busy-wait for approximately `ns` nanoseconds. Public so higher layers can

@@ -6,33 +6,32 @@
 //! update, and IAA reordering exists to reduce average reads per lookup.
 //! These counters let tests and benchmarks assert those claims directly
 //! instead of inferring them from wall-clock noise.
+//!
+//! Since the telemetry migration the struct is a thin facade: every counter
+//! lives in the device's shared [`MetricsRegistry`] under a `pmem.*` name,
+//! so `denova-cli stats` and the bench harness see the same numbers this
+//! API exposes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use denova_telemetry::{Counter, MetricsRegistry};
 
-/// Monotonic access counters for a [`crate::PmemDevice`]. All counters use
-/// relaxed atomics — they are statistics, not synchronization.
-#[derive(Debug, Default)]
+/// Monotonic access counters for a [`crate::PmemDevice`], backed by the
+/// device's [`MetricsRegistry`]. All counters use relaxed atomics — they are
+/// statistics, not synchronization.
+#[derive(Debug, Clone)]
 pub struct PmemStats {
-    /// Number of read operations issued.
-    pub reads: AtomicU64,
-    /// Total bytes read.
-    pub bytes_read: AtomicU64,
-    /// Number of write (store) operations issued.
-    pub writes: AtomicU64,
-    /// Total bytes written.
-    pub bytes_written: AtomicU64,
-    /// Cache-line flushes issued (`clwb` analogue).
-    pub flushes: AtomicU64,
-    /// Store fences issued (`sfence` analogue).
-    pub fences: AtomicU64,
-    /// 8-byte atomic commits (NOVA log-tail updates and FACT counter ops).
-    pub atomic_stores: AtomicU64,
-    /// Nanoseconds of injected device latency.
-    pub injected_ns: AtomicU64,
+    reads: Counter,
+    bytes_read: Counter,
+    writes: Counter,
+    bytes_written: Counter,
+    flushes: Counter,
+    fences: Counter,
+    atomic_stores: Counter,
+    injected_ns: Counter,
 }
 
 /// A plain snapshot of [`PmemStats`] for before/after deltas.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
 pub struct StatsSnapshot {
     pub reads: u64,
     pub bytes_read: u64,
@@ -60,65 +59,86 @@ impl StatsSnapshot {
     }
 }
 
+impl Default for PmemStats {
+    /// Stats backed by a fresh private registry (standalone use in tests).
+    fn default() -> Self {
+        Self::new(&MetricsRegistry::new())
+    }
+}
+
 impl PmemStats {
+    /// Registers the `pmem.*` counters in `registry` and returns the facade.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        PmemStats {
+            reads: registry.counter("pmem.reads"),
+            bytes_read: registry.counter("pmem.bytes_read"),
+            writes: registry.counter("pmem.writes"),
+            bytes_written: registry.counter("pmem.bytes_written"),
+            flushes: registry.counter("pmem.flushes"),
+            fences: registry.counter("pmem.fences"),
+            atomic_stores: registry.counter("pmem.atomic_stores"),
+            injected_ns: registry.counter("pmem.injected_ns"),
+        }
+    }
+
     #[inline]
     pub(crate) fn record_read(&self, bytes: u64) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.reads.inc();
+        self.bytes_read.add(bytes);
     }
 
     #[inline]
     pub(crate) fn record_write(&self, bytes: u64) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.writes.inc();
+        self.bytes_written.add(bytes);
     }
 
     #[inline]
     pub(crate) fn record_flush(&self, lines: u64) {
-        self.flushes.fetch_add(lines, Ordering::Relaxed);
+        self.flushes.add(lines);
     }
 
     #[inline]
     pub(crate) fn record_fence(&self) {
-        self.fences.fetch_add(1, Ordering::Relaxed);
+        self.fences.inc();
     }
 
     #[inline]
     pub(crate) fn record_atomic(&self) {
-        self.atomic_stores.fetch_add(1, Ordering::Relaxed);
+        self.atomic_stores.inc();
     }
 
     #[inline]
     pub(crate) fn record_injected(&self, ns: u64) {
         if ns > 0 {
-            self.injected_ns.fetch_add(ns, Ordering::Relaxed);
+            self.injected_ns.add(ns);
         }
     }
 
     /// Capture a consistent-enough snapshot for delta accounting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
-            atomic_stores: self.atomic_stores.load(Ordering::Relaxed),
-            injected_ns: self.injected_ns.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            bytes_read: self.bytes_read.get(),
+            writes: self.writes.get(),
+            bytes_written: self.bytes_written.get(),
+            flushes: self.flushes.get(),
+            fences: self.fences.get(),
+            atomic_stores: self.atomic_stores.get(),
+            injected_ns: self.injected_ns.get(),
         }
     }
 
     /// Reset every counter to zero.
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.bytes_written.store(0, Ordering::Relaxed);
-        self.flushes.store(0, Ordering::Relaxed);
-        self.fences.store(0, Ordering::Relaxed);
-        self.atomic_stores.store(0, Ordering::Relaxed);
-        self.injected_ns.store(0, Ordering::Relaxed);
+        self.reads.set(0);
+        self.bytes_read.set(0);
+        self.writes.set(0);
+        self.bytes_written.set(0);
+        self.flushes.set(0);
+        self.fences.set(0);
+        self.atomic_stores.set(0);
+        self.injected_ns.set(0);
     }
 }
 
@@ -155,5 +175,17 @@ mod tests {
         s.record_injected(42);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_surface_in_the_shared_registry() {
+        let registry = MetricsRegistry::new();
+        let s = PmemStats::new(&registry);
+        s.record_flush(3);
+        s.record_read(64);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pmem.flushes"), Some(3));
+        assert_eq!(snap.counter("pmem.reads"), Some(1));
+        assert_eq!(snap.counter("pmem.bytes_read"), Some(64));
     }
 }

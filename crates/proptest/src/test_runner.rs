@@ -1,0 +1,140 @@
+//! Test execution: configuration, per-case RNG, and the case loop.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block (the prelude re-exports this as
+/// `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (not used by this workspace's tests, kept for
+    /// API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any message type.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection from any message type.
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 RNG driving value generation.
+///
+/// Each case gets a fresh state derived from the test name and case index,
+/// so runs are reproducible without any on-disk regression files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG with the given state.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs the generated cases of one property test.
+pub struct TestRunner {
+    config: Config,
+    base_seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    ///
+    /// The base seed is a hash of the test name, overridable via the
+    /// `PROPTEST_SEED` environment variable for replaying a report.
+    pub fn new(config: Config, name: &'static str) -> Self {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        TestRunner {
+            config,
+            base_seed,
+            name,
+        }
+    }
+
+    /// Runs `case` once per configured case count, panicking (to fail the
+    /// enclosing `#[test]`) on the first property violation.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        for i in 0..self.config.cases {
+            let mut rng =
+                TestRng::new(self.base_seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: property failed for {} at case {}/{} \
+                         (replay with PROPTEST_SEED={}): {}",
+                        self.name, i, self.config.cases, self.base_seed, msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,185 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no crates registry, so the workspace vendors the
+//! subset of the rand 0.8 API it uses (seeded [`rngs::StdRng`], `gen_range`
+//! on integer ranges, `gen_bool`) as a local path dependency. The generator
+//! is a splitmix64/xorshift mix — deterministic for a given seed, which is
+//! all the workload generator and examples rely on; it is NOT the ChaCha12
+//! generator of the real crate, so byte streams differ from upstream rand.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core trait for random number generators: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// A type that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Modulo bias is ≤ span/2^64, negligible for the spans used
+                // in this workspace (pool indices, page counts).
+                let v = (rng.next_u64() as u128) % span;
+                (low as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+
+    /// Returns `true` with probability `p` (panics unless `0 ≤ p ≤ 1`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 random bits → uniform f64 in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (splitmix64-initialized xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step so that small seeds still give well-mixed
+            // initial states (seed 0 must not yield the all-zero state).
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: z | 1, // never zero: xorshift has a fixed point at 0
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna): passes BigCrush except MatrixRank; plenty
+            // for synthetic workload data.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let vals: Vec<u64> = (0..4).map(|_| rng.gen_range(0u64..u64::MAX)).collect();
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixed-capacity ring buffer of structured lifecycle events.
+//!
+//! Producers on any thread append [`Event`]s; when the ring is full the
+//! *oldest* event is dropped and a drop counter incremented, so the ring
+//! always holds the most recent window. Intended for dedup-lifecycle
+//! breadcrumbs (DWQ enqueue, FACT hit/miss, daemon pass, reclaim) that tests
+//! can assert on without scraping logs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (1-based, never reused within a registry).
+    pub seq: u64,
+    /// Event kind, e.g. `"fact.hit"` or `"dwq.enqueue"`.
+    pub kind: &'static str,
+    /// Named integer attributes, e.g. `[("ino", 7), ("block", 1042)]`.
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+/// MPSC-style bounded event ring (multi-producer; consumers take snapshots).
+pub struct EventRing {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            next_seq: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest one if the ring is full.
+    pub fn push(&self, kind: &'static str, attrs: &[(&'static str, u64)]) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            kind,
+            attrs: attrs.to_vec(),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Copies out the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the current contents, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_snapshot_preserve_order() {
+        let ring = EventRing::new(8);
+        ring.push("a", &[("x", 1)]);
+        ring.push("b", &[]);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[0].attrs, vec![("x", 1)]);
+        assert_eq!(events[1].kind, "b");
+        assert!(events[0].seq < events[1].seq);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

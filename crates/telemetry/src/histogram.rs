@@ -1,0 +1,287 @@
+//! Log-bucketed (HDR-style) latency histogram with lock-free recording.
+//!
+//! Values (typically nanoseconds) are mapped into geometric buckets: each
+//! power-of-two octave is split into [`SUB_BUCKETS`] linear sub-buckets, so
+//! relative quantization error is bounded by `1/SUB_BUCKETS` (25%) across the
+//! full `u64` range while the whole table stays at [`BUCKETS`] atomics.
+//! Recording is a handful of relaxed `fetch_add`s — no locks, safe from any
+//! thread — and two histograms can be merged bucket-wise without loss.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two octave (must be a power of two).
+pub const SUB_BUCKETS: usize = 4;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 2
+
+/// Total bucket count covering the full `u64` domain.
+// Values 0..SUB_BUCKETS get one exact bucket each; octaves SUB_BITS..=63
+// contribute SUB_BUCKETS buckets each.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros(); // >= SUB_BITS
+    let sub = ((value >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + (msb - SUB_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Returns the `[low, high)` value range covered by bucket `index`.
+///
+/// For the final octave `high` saturates at `u64::MAX` (the true half-open
+/// upper bound would be 2^64).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64 + 1);
+    }
+    let k = index - SUB_BUCKETS;
+    let msb = SUB_BITS + (k / SUB_BUCKETS) as u32;
+    let sub = (k % SUB_BUCKETS) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    let low = (1u64 << msb) + sub * width;
+    let high = low.saturating_add(width);
+    (low, high)
+}
+
+struct Inner {
+    counts: Vec<AtomicU64>, // BUCKETS entries
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64, // u64::MAX when empty
+    max: AtomicU64,
+}
+
+/// A cloneable handle to a shared histogram (clones record into the same
+/// underlying buckets).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(Inner {
+                counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one value (lock-free, callable from any thread).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let i = &self.inner;
+        i.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(value, Ordering::Relaxed);
+        i.min.fetch_min(value, Ordering::Relaxed);
+        i.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records every value in `values` (used by span buffers when draining).
+    pub fn record_all(&self, values: &[u64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Folds another histogram's contents into this one, bucket-wise.
+    pub fn merge_from(&self, other: &Histogram) {
+        let (a, b) = (&self.inner, &other.inner);
+        for (dst, src) in a.counts.iter().zip(b.counts.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        a.count
+            .fetch_add(b.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.sum
+            .fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.min
+            .fetch_min(b.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.max
+            .fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Clears all buckets and statistics.
+    ///
+    /// Not atomic with respect to concurrent `record` calls: a racing record
+    /// may survive partially, which is acceptable for the test/reset paths
+    /// that use it (quiescent by construction).
+    pub fn reset(&self) {
+        let i = &self.inner;
+        for c in &i.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        i.count.store(0, Ordering::Relaxed);
+        i.sum.store(0, Ordering::Relaxed);
+        i.min.store(u64::MAX, Ordering::Relaxed);
+        i.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let i = &self.inner;
+        let counts: Vec<u64> = i.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: i.sum.load(Ordering::Relaxed),
+            min: i.min.load(Ordering::Relaxed),
+            max: i.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket occurrence counts (see [`bucket_bounds`] for ranges).
+    pub counts: Vec<u64>,
+    /// Total recorded values (recomputed from buckets for self-consistency).
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]` (bucket upper bound of
+    /// the bucket containing that rank), 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (low, high) = bucket_bounds(i);
+                // Clamp to observed extremes so p100 == max exactly.
+                return (high - 1).min(self.max).max(low.min(self.max));
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(low, high, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert_eq!((lo, hi), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn every_bucket_contains_its_bounds() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "low bound of bucket {i}");
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi - 1), i, "high bound of bucket {i}");
+                assert_eq!(bucket_index(hi), i + 1, "first value of bucket {}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 100);
+        assert_eq!(s.max, 100_000);
+        let p50 = s.percentile(0.5);
+        // Within one bucket (25%) of the true median 50_000.
+        assert!((37_500..=62_500).contains(&p50), "p50={p50}");
+        assert_eq!(s.percentile(1.0), 100_000);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [3u64, 70, 9_000, 1 << 40] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [1u64, 70, 123_456] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), c.snapshot());
+    }
+}

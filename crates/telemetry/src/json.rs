@@ -1,0 +1,331 @@
+//! Minimal dependency-free JSON values and serialization.
+//!
+//! The build environment cannot pull `serde`/`serde_json`, so this module
+//! provides the small surface the workspace needs: a [`Value`] tree, a
+//! [`ToJson`] conversion trait for primitives and collections, the
+//! [`impl_to_json!`] derive-like macro for plain structs, and (pretty)
+//! printers with correct string escaping. Parsing is out of scope — nothing
+//! in the workspace reads JSON back.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+///
+/// Objects preserve insertion order (they are association lists, not maps),
+/// which keeps exported reports diffable run-to-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point (non-finite values serialize as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object as ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience: an empty object to extend with [`Value::insert`].
+    pub fn object() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (panics if `self` is not an
+    /// object).
+    pub fn insert(&mut self, key: impl Into<String>, value: impl ToJson) {
+        match self {
+            Value::Obj(pairs) => pairs.push((key.into(), value.to_json())),
+            _ => panic!("Value::insert on non-object"),
+        }
+    }
+}
+
+/// Conversion into a JSON [`Value`].
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_to_json_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+///
+/// ```
+/// struct Cell { mode: String, mbs: f64 }
+/// denova_telemetry::impl_to_json!(Cell { mode, mbs });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Value {
+                $crate::json::Value::Obj(vec![
+                    $((
+                        stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    )),+
+                ])
+            }
+        }
+    };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    // `{}` prints integral floats without a fraction ("3"), which is still
+    // valid JSON; keep it for compactness.
+    format!("{f}")
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => out.push_str(&float_repr(*f)),
+        Value::Str(s) => escape_into(out, s),
+        Value::Arr(items) => write_seq(out, items.iter().map(Item::Arr), indent, level, ('[', ']')),
+        Value::Obj(pairs) => write_seq(
+            out,
+            pairs.iter().map(|(k, v)| Item::Obj(k, v)),
+            indent,
+            level,
+            ('{', '}'),
+        ),
+    }
+}
+
+enum Item<'a> {
+    Arr(&'a Value),
+    Obj(&'a str, &'a Value),
+}
+
+fn write_seq<'a>(
+    out: &mut String,
+    items: impl Iterator<Item = Item<'a>>,
+    indent: Option<usize>,
+    level: usize,
+    (open, close): (char, char),
+) {
+    let items: Vec<Item<'a>> = items.collect();
+    if items.is_empty() {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        match item {
+            Item::Arr(v) => write_value(out, v, indent, level + 1),
+            Item::Obj(k, v) => {
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string(value: &impl ToJson) -> String {
+    let v = value.to_json();
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    out
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty(value: &impl ToJson) -> String {
+    let v = value.to_json();
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        name: &'static str,
+        count: u64,
+        ratio: f64,
+        tags: Vec<String>,
+    }
+    crate::impl_to_json!(Probe {
+        name,
+        count,
+        ratio,
+        tags
+    });
+
+    #[test]
+    fn compact_output_is_valid_and_ordered() {
+        let p = Probe {
+            name: "a\"b",
+            count: 3,
+            ratio: 0.5,
+            tags: vec!["x".into()],
+        };
+        assert_eq!(
+            to_string(&p),
+            r#"{"name":"a\"b","count":3,"ratio":0.5,"tags":["x"]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let mut obj = Value::object();
+        obj.insert("k", 1u64);
+        assert_eq!(to_string_pretty(&obj), "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(to_string(&"a\nb\u{1}"), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Arr(vec![])), "[]");
+        assert_eq!(to_string_pretty(&Value::object()), "{}");
+    }
+}

@@ -1,0 +1,414 @@
+//! Unified observability for the DeNova stack.
+//!
+//! One [`MetricsRegistry`] is shared by every layer of a mounted stack (the
+//! emulated pmem device owns it; NOVA and the dedup layer attach to the same
+//! instance), so a single snapshot can attribute one logical write across
+//! device flushes, file-system log appends, and background dedup work.
+//!
+//! Four primitives:
+//!
+//! - **Counters / gauges** ([`Counter`], [`Gauge`]): named atomics, always
+//!   live (they back the legacy per-crate `stats` structs, whose tests
+//!   assert counts without opting into telemetry).
+//! - **Histograms** ([`Histogram`]): log-bucketed HDR-style latency
+//!   recording, lock-free, mergeable.
+//! - **Spans** ([`Span`], [`span!`]): RAII wall-time timers draining through
+//!   per-thread buffers into registry histograms. Disabled cost: one relaxed
+//!   atomic load, no clock read.
+//! - **Events** ([`Event`]): a fixed-capacity ring of structured lifecycle
+//!   breadcrumbs (oldest dropped, drop-counted) for tests and debugging.
+//!
+//! Spans and events are gated by [`MetricsRegistry::set_enabled`] (the
+//! `denova-cli` binary wires this to the `DENOVA_TELEMETRY` environment
+//! variable); counters and gauges are unconditional because the stack's
+//! public stats APIs are built on them.
+//!
+//! [`TelemetrySnapshot`] captures everything at once and renders to
+//! human-readable text or (with the default-on `json` feature) JSON.
+
+#![warn(missing_docs)]
+
+mod event;
+mod histogram;
+mod snapshot;
+mod span;
+
+#[cfg(feature = "json")]
+pub mod json;
+
+pub use event::{Event, EventRing};
+pub use histogram::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS, SUB_BUCKETS,
+};
+pub use snapshot::TelemetrySnapshot;
+pub use span::{flush_thread_spans, Span, SPAN_BUFFER_CAP};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default capacity of the structured event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// A named monotonic counter; clones share the same underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (used by legacy `reset()` APIs).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A named signed gauge; clones share the same underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge starting at zero (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct RegistryInner {
+    /// Process-unique registry identity (see [`MetricsRegistry::id`]).
+    id: usize,
+    enabled: AtomicBool,
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    events: EventRing,
+}
+
+/// Cheaply cloneable handle to a shared metrics registry (all clones observe
+/// and mutate the same state).
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates a registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates a registry whose event ring holds at most `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        // A process-unique id, never reused. Thread-local span buffers are
+        // keyed by (registry id, label); a pointer-derived id could be
+        // recycled by the allocator after a registry drops, silently routing
+        // a new registry's spans into the dead registry's histograms.
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed) as usize,
+                enabled: AtomicBool::new(false),
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+                events: EventRing::new(capacity),
+            }),
+        }
+    }
+
+    /// Whether span and event collection is on (one relaxed load).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns span and event collection on or off. Counters, gauges, and
+    /// direct histogram recording are always live.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Identity of this registry (stable across clones), used to key
+    /// per-thread span buffers.
+    fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// Returns the named counter, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the named gauge, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().unwrap().get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the named histogram, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().unwrap().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Opens a wall-time span feeding the histogram named `label`.
+    ///
+    /// Returns an inert guard when telemetry is disabled — the only cost on
+    /// that path is the `enabled` load.
+    #[inline]
+    pub fn span(&self, label: &'static str) -> Span {
+        if !self.enabled() {
+            return Span::disabled();
+        }
+        Span::start(self.id(), label, self.histogram(label))
+    }
+
+    /// Records a structured event (no-op while telemetry is disabled).
+    #[inline]
+    pub fn event(&self, kind: &'static str, attrs: &[(&'static str, u64)]) {
+        if self.enabled() {
+            self.inner.events.push(kind, attrs);
+        }
+    }
+
+    /// Copies out the event ring, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.snapshot()
+    }
+
+    /// Removes and returns the event ring contents, oldest first.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.inner.events.drain()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.events.dropped()
+    }
+
+    /// Direct access to the event ring (capacity queries, tests).
+    pub fn event_ring(&self) -> &EventRing {
+        &self.inner.events
+    }
+
+    /// Drains the calling thread's buffered span samples into the registry.
+    pub fn flush_spans(&self) {
+        flush_thread_spans();
+    }
+
+    /// Captures every counter, gauge, and histogram (flushing this thread's
+    /// span buffers first).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        flush_thread_spans();
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        TelemetrySnapshot {
+            enabled: self.enabled(),
+            counters,
+            gauges,
+            histograms,
+            events_dropped: self.events_dropped(),
+        }
+    }
+
+    /// Zeroes every counter, gauge, and histogram and empties the event
+    /// ring. Metric registrations (names/handles) survive.
+    pub fn reset(&self) {
+        flush_thread_spans();
+        for c in self.inner.counters.read().unwrap().values() {
+            c.set(0);
+        }
+        for g in self.inner.gauges.read().unwrap().values() {
+            g.set(0);
+        }
+        for h in self.inner.histograms.read().unwrap().values() {
+            h.reset();
+        }
+        self.inner.events.drain();
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 3);
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn spans_are_inert_when_disabled() {
+        let reg = MetricsRegistry::new();
+        {
+            let s = reg.span("op");
+            assert!(!s.is_recording());
+        }
+        reg.flush_spans();
+        assert_eq!(reg.snapshot().histogram("op"), None);
+    }
+
+    #[test]
+    fn spans_record_when_enabled() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        for _ in 0..3 {
+            let _s = reg.span("op");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("op").unwrap().count, 3);
+    }
+
+    #[test]
+    fn span_buffers_do_not_alias_across_registry_lifetimes() {
+        // Regression: registry ids were once derived from the inner Arc's
+        // address. After dropping a registry, the allocator could hand the
+        // same address to the next one, so this thread's buffered (id,
+        // label) entry — still holding the dead registry's histogram —
+        // swallowed the new registry's spans.
+        for _ in 0..8 {
+            let reg = MetricsRegistry::new();
+            reg.set_enabled(true);
+            drop(reg.span("op"));
+            assert_eq!(reg.snapshot().histogram("op").unwrap().count, 1);
+        }
+    }
+
+    #[test]
+    fn events_respect_enable_gate() {
+        let reg = MetricsRegistry::new();
+        reg.event("ignored", &[]);
+        assert!(reg.events().is_empty());
+        reg.set_enabled(true);
+        reg.event("seen", &[("k", 9)]);
+        let evs = reg.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "seen");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter("c").add(5);
+        reg.gauge("g").set(-2);
+        reg.histogram("h").record(100);
+        reg.event("e", &[]);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(0));
+        assert_eq!(snap.gauges, vec![("g".to_string(), 0)]);
+        assert_eq!(snap.histogram("h").unwrap().count, 0);
+        assert!(reg.events().is_empty());
+    }
+}

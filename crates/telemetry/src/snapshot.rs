@@ -1,0 +1,216 @@
+//! Point-in-time captures of a whole registry, renderable as text or JSON.
+
+use crate::histogram::HistogramSnapshot;
+
+/// Everything a [`MetricsRegistry`](crate::MetricsRegistry) held at one
+/// instant.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Whether span/event collection was on when the snapshot was taken.
+    pub enabled: bool,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram contents, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Events evicted from the ring because it was full.
+    pub events_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as an aligned, human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry snapshot (spans/events {})\n",
+            if self.enabled { "enabled" } else { "disabled" }
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            let width = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("\nhistogram {name} (ns):\n"));
+            if h.count == 0 {
+                out.push_str("  (empty)\n");
+                continue;
+            }
+            out.push_str(&format!(
+                "  count {}  mean {:.0}  min {}  p50 {}  p90 {}  p99 {}  max {}\n",
+                h.count,
+                h.mean(),
+                h.min,
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.max,
+            ));
+            let buckets = h.nonzero_buckets();
+            let peak = buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1);
+            // Elide the middle of very tall histograms so reports stay short.
+            const SHOWN: usize = 16;
+            let elide = buckets.len() > SHOWN + 1;
+            let head = if elide { SHOWN / 2 } else { buckets.len() };
+            let tail_start = if elide {
+                buckets.len() - SHOWN / 2
+            } else {
+                buckets.len()
+            };
+            for (i, &(lo, hi, c)) in buckets.iter().enumerate() {
+                if i >= head && i < tail_start {
+                    if i == head {
+                        out.push_str(&format!("  ... {} more buckets ...\n", tail_start - head));
+                    }
+                    continue;
+                }
+                let bar = "#".repeat(((c * 24).div_ceil(peak)) as usize);
+                out.push_str(&format!("  [{lo:>12} .. {hi:>12})  {c:>8}  {bar}\n"));
+            }
+        }
+        if self.events_dropped > 0 {
+            out.push_str(&format!("\nevents dropped: {}\n", self.events_dropped));
+        }
+        out
+    }
+}
+
+#[cfg(feature = "json")]
+mod json_impls {
+    use super::TelemetrySnapshot;
+    use crate::json::{ToJson, Value};
+
+    impl ToJson for crate::histogram::HistogramSnapshot {
+        fn to_json(&self) -> Value {
+            Value::Obj(vec![
+                ("count".into(), self.count.to_json()),
+                ("sum".into(), self.sum.to_json()),
+                (
+                    "min".into(),
+                    if self.count == 0 {
+                        Value::Null
+                    } else {
+                        self.min.to_json()
+                    },
+                ),
+                ("max".into(), self.max.to_json()),
+                ("mean".into(), self.mean().to_json()),
+                ("p50".into(), self.percentile(0.50).to_json()),
+                ("p90".into(), self.percentile(0.90).to_json()),
+                ("p99".into(), self.percentile(0.99).to_json()),
+                (
+                    "buckets".into(),
+                    Value::Arr(
+                        self.nonzero_buckets()
+                            .into_iter()
+                            .map(|(lo, hi, c)| {
+                                Value::Obj(vec![
+                                    ("low".into(), lo.to_json()),
+                                    ("high".into(), hi.to_json()),
+                                    ("count".into(), c.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+    }
+
+    impl ToJson for crate::Event {
+        fn to_json(&self) -> Value {
+            Value::Obj(vec![
+                ("seq".into(), self.seq.to_json()),
+                ("kind".into(), self.kind.to_json()),
+                (
+                    "attrs".into(),
+                    Value::Obj(
+                        self.attrs
+                            .iter()
+                            .map(|&(k, v)| (k.to_string(), v.to_json()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+    }
+
+    impl ToJson for TelemetrySnapshot {
+        fn to_json(&self) -> Value {
+            Value::Obj(vec![
+                ("enabled".into(), self.enabled.to_json()),
+                (
+                    "counters".into(),
+                    Value::Obj(
+                        self.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.to_json()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges".into(),
+                    Value::Obj(
+                        self.gauges
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.to_json()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms".into(),
+                    Value::Obj(
+                        self.histograms
+                            .iter()
+                            .map(|(k, h)| (k.clone(), h.to_json()))
+                            .collect(),
+                    ),
+                ),
+                ("events_dropped".into(), self.events_dropped.to_json()),
+            ])
+        }
+    }
+
+    impl TelemetrySnapshot {
+        /// Renders the snapshot as pretty-printed JSON.
+        pub fn to_json_string(&self) -> String {
+            crate::json::to_string_pretty(&self.to_json())
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Lightweight wall-time spans with per-thread sample buffering.
+//!
+//! A [`Span`] is an RAII guard: creation stamps `Instant::now()`, drop
+//! computes elapsed nanoseconds and pushes the sample into a thread-local
+//! buffer keyed by `(registry, label)`. Buffers drain into the registry's
+//! shared [`Histogram`](crate::Histogram) when they reach
+//! [`SPAN_BUFFER_CAP`] samples, when [`flush_thread_spans`] is called, or
+//! when the thread exits — so the hot path is one `Instant` read on each
+//! side plus a thread-local push, with no shared-memory traffic at all for
+//! most samples.
+//!
+//! When telemetry is disabled the registry hands out an inert span: the cost
+//! of a disabled span is exactly one relaxed atomic load and no clock read.
+
+use crate::histogram::Histogram;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Samples buffered per thread per span label before draining into the
+/// shared histogram.
+pub const SPAN_BUFFER_CAP: usize = 64;
+
+struct SpanBuffers {
+    bufs: HashMap<(usize, &'static str), (Histogram, Vec<u64>)>,
+}
+
+impl SpanBuffers {
+    fn push(&mut self, key: (usize, &'static str), hist: &Histogram, sample: u64) {
+        let entry = self
+            .bufs
+            .entry(key)
+            .or_insert_with(|| (hist.clone(), Vec::with_capacity(SPAN_BUFFER_CAP)));
+        entry.1.push(sample);
+        if entry.1.len() >= SPAN_BUFFER_CAP {
+            entry.0.record_all(&entry.1);
+            entry.1.clear();
+        }
+    }
+
+    fn flush(&mut self) {
+        for (hist, samples) in self.bufs.values_mut() {
+            if !samples.is_empty() {
+                hist.record_all(samples);
+                samples.clear();
+            }
+        }
+    }
+}
+
+impl Drop for SpanBuffers {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static SPAN_BUFFERS: RefCell<SpanBuffers> = RefCell::new(SpanBuffers {
+        bufs: HashMap::new(),
+    });
+}
+
+/// Drains this thread's buffered span samples into their histograms.
+///
+/// Call before taking a snapshot on the same thread that recorded spans;
+/// worker threads flush automatically on exit and every
+/// [`SPAN_BUFFER_CAP`] samples.
+pub fn flush_thread_spans() {
+    // Ignore access errors during thread teardown (the TLS destructor has
+    // already flushed by then).
+    let _ = SPAN_BUFFERS.try_with(|b| {
+        if let Ok(mut b) = b.try_borrow_mut() {
+            b.flush();
+        }
+    });
+}
+
+/// RAII wall-time span; see the module docs.
+///
+/// Inert (no clock read, no buffering) when obtained from a registry with
+/// telemetry disabled.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    hist: Histogram,
+    key: (usize, &'static str),
+    start: Instant,
+}
+
+impl Span {
+    /// An inert span (what disabled registries hand out).
+    pub(crate) fn disabled() -> Span {
+        Span { active: None }
+    }
+
+    pub(crate) fn start(registry_id: usize, label: &'static str, hist: Histogram) -> Span {
+        Span {
+            active: Some(ActiveSpan {
+                hist,
+                key: (registry_id, label),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let pushed = SPAN_BUFFERS
+                .try_with(|b| {
+                    if let Ok(mut b) = b.try_borrow_mut() {
+                        b.push(active.key, &active.hist, ns);
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .unwrap_or(false);
+            if !pushed {
+                // TLS unavailable (thread teardown) — record directly.
+                active.hist.record(ns);
+            }
+        }
+    }
+}
+
+/// Opens a span on a registry: `span!(registry, "nova.write")`.
+///
+/// Expands to `registry.span("nova.write")`; bind the result to a local so
+/// the guard lives for the region being timed.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $label:expr) => {
+        $registry.span($label)
+    };
+}

@@ -1,0 +1,141 @@
+//! Cross-thread and property tests for the telemetry crate.
+//!
+//! Unit tests in `src/` cover single-threaded semantics; these tests pin
+//! down the guarantees the rest of the stack leans on: recording from many
+//! threads loses nothing, the log-bucketed histogram never misfiles a
+//! value, and the event ring degrades by dropping the *oldest* entries.
+
+use denova_telemetry::{bucket_bounds, bucket_index, EventRing, Histogram, MetricsRegistry};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 10_000;
+
+/// Counters, gauges, histograms, and spans recorded concurrently from many
+/// threads must merge to exact totals — the registry is the single shared
+/// sink for the whole file-system stack, where writers, the dedup daemon,
+/// and GC all record at once.
+#[test]
+fn concurrent_recording_merges_exactly() {
+    let reg = MetricsRegistry::new();
+    reg.set_enabled(true);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                let counter = reg.counter("ops");
+                let hist = reg.histogram("latency");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    reg.gauge("depth").add(1);
+                    hist.record(t * PER_THREAD + i + 1);
+                    drop(reg.span("op"));
+                }
+                // Span buffers drain on thread exit; counters and
+                // histograms are shared and need no flush.
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("ops"), Some(THREADS * PER_THREAD));
+    assert_eq!(snap.gauge("depth"), Some((THREADS * PER_THREAD) as i64));
+    let lat = snap.histogram("latency").unwrap();
+    assert_eq!(lat.count, THREADS * PER_THREAD);
+    assert_eq!(lat.min, 1);
+    assert_eq!(lat.max, THREADS * PER_THREAD);
+    // Sum of 1..=N.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(lat.sum, n * (n + 1) / 2);
+    assert_eq!(snap.histogram("op").unwrap().count, THREADS * PER_THREAD);
+}
+
+/// Concurrent pushes into one ring never lose the drop count: survivors
+/// plus dropped must equal pushes, and survivors never exceed capacity.
+#[test]
+fn concurrent_event_pushes_account_for_every_event() {
+    let ring = Arc::new(EventRing::new(64));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..1000u64 {
+                    ring.push("e", &[("i", i)]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = ring.snapshot();
+    assert_eq!(events.len(), 64);
+    assert_eq!(ring.dropped() + events.len() as u64, 4 * 1000);
+    // Snapshot is oldest-first with strictly increasing sequence numbers.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+}
+
+/// Overflowing the ring drops exactly the oldest events and counts them.
+#[test]
+fn event_ring_overflow_drops_oldest() {
+    let ring = EventRing::new(8);
+    for i in 0..20u64 {
+        ring.push("e", &[("i", i)]);
+    }
+    let events = ring.snapshot();
+    assert_eq!(events.len(), 8);
+    assert_eq!(ring.dropped(), 12);
+    // The 12 oldest (seq 1..=12) are gone; seq 13..=20 survive in order.
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (13..=20).collect::<Vec<u64>>());
+    assert_eq!(events[0].attrs, vec![("i", 12)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Every u64 lands in a bucket whose bounds contain it.
+    #[test]
+    fn bucket_contains_value(v in any::<u64>()) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v, "lo={lo} v={v}");
+        prop_assert!(v < hi || hi == u64::MAX && v == u64::MAX, "v={v} hi={hi}");
+    }
+
+    // Bucketing is monotone: a larger value never maps to a smaller bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    // Recording arbitrary values keeps count/sum/min/max exact and the
+    // percentile extremes anchored to the true min/max buckets.
+    #[test]
+    fn histogram_aggregates_are_exact(values in prop::collection::vec(any::<u32>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v as u64);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().map(|&v| v as u64).sum::<u64>());
+        let min = *values.iter().min().unwrap() as u64;
+        let max = *values.iter().max().unwrap() as u64;
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        // percentile(0) rounds down to its bucket's low bound; within the
+        // bucket-relative-error contract both extremes stay inside the
+        // bucket holding the true min/max.
+        let (lo0, hi0) = bucket_bounds(bucket_index(min));
+        let p0 = s.percentile(0.0);
+        prop_assert!(p0 >= lo0 && p0 <= hi0, "p0={} min bucket [{},{})", p0, lo0, hi0);
+        prop_assert_eq!(s.percentile(1.0), max);
+    }
+}

@@ -48,39 +48,48 @@ impl WriteReport {
 /// already exist (run a `Create` pass with the same spec first).
 pub fn run_write_job(fs: &Arc<Denova>, spec: &JobSpec) -> Result<WriteReport> {
     let per_thread = spec.file_count / spec.threads;
+    let latency_hist = fs
+        .nova()
+        .device()
+        .metrics()
+        .histogram("workload.write.latency_ns");
     let start = Instant::now();
     let mut handles = Vec::new();
     for t in 0..spec.threads {
         let fs = fs.clone();
         let spec = spec.clone();
-        handles.push(std::thread::spawn(move || -> Result<(Duration, Vec<u64>)> {
-            let mut gen = DataGenerator::new(spec.seed ^ (t as u64) << 32, spec.dup_ratio);
-            let mut latencies = Vec::with_capacity(per_thread);
-            let mut io_time = Duration::ZERO;
-            let mut io_since_think = Duration::ZERO;
-            for i in 0..per_thread {
-                let name = format!("{}-{t}-{i}", spec.name);
-                let data = gen.next_file(spec.file_size);
-                let t0 = Instant::now();
-                let ino = match spec.kind {
-                    WriteKind::Create => fs.create(&name)?,
-                    WriteKind::Overwrite => fs.open(&name)?,
-                };
-                fs.write(ino, 0, &data)?;
-                let took = t0.elapsed();
-                latencies.push(took.as_nanos() as u64);
-                io_time += took;
-                // Think-time cycle (Fig. 8 setup).
-                if let ThinkTime::Cycle { io, think } = spec.think {
-                    io_since_think += took;
-                    while io_since_think >= io {
-                        io_since_think -= io;
-                        std::thread::sleep(think);
+        let latency_hist = latency_hist.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<(Duration, Vec<u64>)> {
+                let mut gen = DataGenerator::new(spec.seed ^ (t as u64) << 32, spec.dup_ratio);
+                let mut latencies = Vec::with_capacity(per_thread);
+                let mut io_time = Duration::ZERO;
+                let mut io_since_think = Duration::ZERO;
+                for i in 0..per_thread {
+                    let name = format!("{}-{t}-{i}", spec.name);
+                    let data = gen.next_file(spec.file_size);
+                    let t0 = Instant::now();
+                    let ino = match spec.kind {
+                        WriteKind::Create => fs.create(&name)?,
+                        WriteKind::Overwrite => fs.open(&name)?,
+                    };
+                    fs.write(ino, 0, &data)?;
+                    let took = t0.elapsed();
+                    latencies.push(took.as_nanos() as u64);
+                    latency_hist.record(took.as_nanos() as u64);
+                    io_time += took;
+                    // Think-time cycle (Fig. 8 setup).
+                    if let ThinkTime::Cycle { io, think } = spec.think {
+                        io_since_think += took;
+                        while io_since_think >= io {
+                            io_since_think -= io;
+                            std::thread::sleep(think);
+                        }
                     }
                 }
-            }
-            Ok((io_time, latencies))
-        }));
+                Ok((io_time, latencies))
+            },
+        ));
     }
     let mut io_time = Duration::ZERO;
     let mut latencies = Vec::with_capacity(per_thread * spec.threads);
@@ -131,10 +140,13 @@ pub fn run_read_job(fs: &Denova, name: &str, chunk: usize) -> Result<ReadReport>
         bytes += got.len() as u64;
         off += got.len() as u64;
     }
-    Ok(ReadReport {
-        bytes,
-        elapsed: start.elapsed(),
-    })
+    let elapsed = start.elapsed();
+    let metrics = fs.nova().device().metrics();
+    metrics.counter("workload.read_jobs").inc();
+    metrics
+        .histogram("workload.read.job_ns")
+        .record(elapsed.as_nanos() as u64);
+    Ok(ReadReport { bytes, elapsed })
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Measurement helpers: percentiles, CDFs, summaries.
 
+use denova_telemetry::HistogramSnapshot;
+
 /// Mean of a sample set.
 pub fn mean(samples: &[u64]) -> f64 {
     if samples.is_empty() {
@@ -64,6 +66,20 @@ impl Summary {
             p90: percentile(samples, 90.0),
             p99: percentile(samples, 99.0),
             max: samples.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Summarize a telemetry histogram snapshot. Percentiles come from the
+    /// log-bucketed approximation, so they are upper bounds within one
+    /// bucket's width (exact for min/max/count/mean).
+    pub fn from_histogram(h: &HistogramSnapshot) -> Summary {
+        Summary {
+            count: h.count as usize,
+            mean: h.mean(),
+            p50: h.percentile(0.50),
+            p90: h.percentile(0.90),
+            p99: h.percentile(0.99),
+            max: if h.count == 0 { 0 } else { h.max },
         }
     }
 }

@@ -85,9 +85,7 @@ fn main() {
     let logical_pages = logical_bytes / 4096;
     println!();
     println!("logical pages ingested : {logical_pages}");
-    println!(
-        "physical pages retained: {physical_pages} (incl. logs/metadata)"
-    );
+    println!("physical pages retained: {physical_pages} (incl. logs/metadata)");
     println!(
         "space saved by dedup   : {} pages = {:.1} MB",
         fs.stats().duplicate_pages(),

@@ -67,7 +67,10 @@ fn main() {
         let crash = crash
             .downcast_ref::<SimulatedCrash>()
             .expect("panic was not a simulated crash");
-        println!("   power lost at {} (unflushed cache lines dropped)", crash.point);
+        println!(
+            "   power lost at {} (unflushed cache lines dropped)",
+            crash.point
+        );
         drop(fs);
 
         // Remount: NOVA log-scan recovery + DeNova Inconsistency Handling

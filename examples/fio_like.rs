@@ -70,7 +70,9 @@ fn parse_args() -> Args {
             "--size" => args.size = take(&mut i).parse().unwrap_or_else(|_| die("bad --size")),
             "--dup" => args.dup_pct = take(&mut i).parse().unwrap_or_else(|_| die("bad --dup")),
             "--threads" => {
-                args.threads = take(&mut i).parse().unwrap_or_else(|_| die("bad --threads"))
+                args.threads = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --threads"))
             }
             "--think" => args.think = true,
             other => die(&format!("unknown flag {other}")),

@@ -67,9 +67,12 @@ fn main() {
 
     // 6. Clean unmount persists the DWQ; remount restores everything.
     fs.unmount();
-    let fs = Denova::mount(dev, NovaOptions::default(), DedupMode::Immediate)
-        .expect("remount failed");
+    let fs =
+        Denova::mount(dev, NovaOptions::default(), DedupMode::Immediate).expect("remount failed");
     let ino = fs.open("report-3.dat").unwrap();
     assert_eq!(fs.read(ino, 0, payload.len()).unwrap(), payload);
-    println!("remount OK: report-3.dat intact ({} files)", fs.nova().file_count());
+    println!(
+        "remount OK: report-3.dat intact ({} files)",
+        fs.nova().file_count()
+    );
 }

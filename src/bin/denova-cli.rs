@@ -15,7 +15,13 @@
 //! denova-cli fs.img mv   copy.pdf archive.pdf
 //! denova-cli fs.img rm   archive.pdf
 //! denova-cli fs.img fsck
+//! denova-cli fs.img stats                               # telemetry snapshot
 //! ```
+//!
+//! Setting `DENOVA_TELEMETRY=1` turns span/event collection on for any
+//! command and dumps a telemetry snapshot to stderr when it finishes
+//! (counters are always collected; the variable only adds latency
+//! histograms and the event ring).
 
 use denova_repro::prelude::*;
 use std::path::{Path, PathBuf};
@@ -36,7 +42,11 @@ fn usage() -> ! {
          \x20 stat <name>                   file metadata\n\
          \x20 df                            space + dedup statistics\n\
          \x20 fsck                          consistency check\n\
-         \x20 scrub                         reconcile FACT reference counts"
+         \x20 scrub                         reconcile FACT reference counts\n\
+         \x20 stats [--json]                run a telemetry probe, print the snapshot\n\
+         env:\n\
+         \x20 DENOVA_TELEMETRY=1            collect spans/events in any command\n\
+         \x20                               and dump a snapshot to stderr"
     );
     std::process::exit(2);
 }
@@ -51,17 +61,33 @@ fn parse_size(s: &str) -> Option<usize> {
     num.parse::<usize>().ok().map(|n| n * mult)
 }
 
+/// Whether `DENOVA_TELEMETRY` asks for span/event collection (any value but
+/// empty or `0`).
+fn telemetry_env_on() -> bool {
+    std::env::var("DENOVA_TELEMETRY")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 fn open_fs(image: &Path) -> Result<Denova, String> {
     let dev = PmemDevice::load_image(image, LatencyProfile::none())
         .map_err(|e| format!("cannot read image {}: {e}", image.display()))?;
-    Denova::mount(Arc::new(dev), NovaOptions::default(), DedupMode::Immediate)
-        .map_err(|e| format!("mount failed: {e} (is {} formatted?)", image.display()))
+    let fs = Denova::mount(Arc::new(dev), NovaOptions::default(), DedupMode::Immediate)
+        .map_err(|e| format!("mount failed: {e} (is {} formatted?)", image.display()))?;
+    if telemetry_env_on() {
+        fs.nova().device().metrics().set_enabled(true);
+    }
+    Ok(fs)
 }
 
 fn close_fs(fs: Denova, image: &Path) -> Result<(), String> {
     fs.drain();
     let dev = fs.nova().device().clone();
     fs.unmount();
+    if telemetry_env_on() {
+        // Stderr, so piped stdout (`cat`, `get`) stays clean.
+        eprintln!("{}", dev.metrics().snapshot().to_text());
+    }
     dev.save_image(image)
         .map_err(|e| format!("cannot write image: {e}"))
 }
@@ -87,6 +113,9 @@ fn run() -> Result<(), String> {
             let dev = Arc::new(PmemDevice::new(size));
             let fs = Denova::mkfs(dev, NovaOptions::default(), DedupMode::Immediate)
                 .map_err(|e| format!("mkfs failed: {e}"))?;
+            if telemetry_env_on() {
+                fs.nova().device().metrics().set_enabled(true);
+            }
             println!(
                 "formatted {} ({} MB, FACT {} entries, n = {})",
                 image.display(),
@@ -219,6 +248,55 @@ fn run() -> Result<(), String> {
             let fixed = fs.scrub().map_err(|e| e.to_string())?;
             println!("scrub: {fixed} FACT entries reconciled");
             close_fs(fs, &image)
+        }
+        ("stats", rest) => {
+            let json = match rest {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => usage(),
+            };
+            let fs = open_fs(&image)?;
+            let metrics = fs.nova().device().metrics().clone();
+            metrics.set_enabled(true);
+            // Quickstart-style probe: a handful of duplicate files written,
+            // deduplicated, and read back, so every layer records activity.
+            // The image is deliberately NOT saved afterwards — the probe
+            // lives only in this process's memory and the host file is left
+            // exactly as it was.
+            let payload: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
+            let mut inos = Vec::new();
+            for i in 0..8 {
+                let ino = fs
+                    .create(&format!(".denova-stats-probe-{i}"))
+                    .map_err(|e| e.to_string())?;
+                fs.write(ino, 0, &payload).map_err(|e| e.to_string())?;
+                inos.push(ino);
+            }
+            fs.drain();
+            for &ino in &inos {
+                fs.read(ino, 0, payload.len()).map_err(|e| e.to_string())?;
+            }
+            let snap = metrics.snapshot();
+            fs.unmount();
+            if json {
+                println!("{}", snap.to_json_string());
+            } else {
+                let c = |name: &str| snap.counter(name).unwrap_or(0);
+                println!("telemetry after an 8-file duplicate write/read probe (image unchanged):");
+                println!("  pmem flushes:       {}", c("pmem.flushes"));
+                println!(
+                    "  nova writes:        {} calls, {} log entries appended",
+                    c("nova.writes"),
+                    c("nova.log.entries_appended")
+                );
+                println!(
+                    "  FACT hit/miss:      {}/{}",
+                    c("fact.hits"),
+                    c("fact.misses")
+                );
+                println!("{}", snap.to_text());
+            }
+            Ok(())
         }
         _ => usage(),
     }

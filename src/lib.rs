@@ -9,7 +9,9 @@
 //! * [`nova`] — the NOVA-like log-structured file system;
 //! * [`denova`] — FACT, DWQ, daemon, dedup transaction, recovery: the
 //!   paper's contribution;
-//! * [`workload`] — fio-like workload generation and measurement.
+//! * [`workload`] — fio-like workload generation and measurement;
+//! * [`telemetry`] — the shared metrics registry (counters, histograms,
+//!   spans, events) every layer above records into.
 //!
 //! ```
 //! use denova_repro::prelude::*;
@@ -32,18 +34,18 @@ pub use denova;
 pub use denova_fingerprint as fingerprint;
 pub use denova_nova as nova;
 pub use denova_pmem as pmem;
+pub use denova_telemetry as telemetry;
 pub use denova_workload as workload;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use denova::{
-        Daemon, DaemonConfig, DedupMode, DedupStats, Denova, DenovaHooks, Dwq, Fact,
-        FpThrottle, NvDedupTable,
+        Daemon, DaemonConfig, DedupMode, DedupStats, Denova, DenovaHooks, Dwq, Fact, FpThrottle,
+        NvDedupTable,
     };
     pub use denova_fingerprint::{chunk_pages, sha1, weak_fingerprint, Fingerprint};
-    pub use denova_nova::{
-        fsck, DedupeFlag, FileStat, Nova, NovaError, NovaOptions, BLOCK_SIZE,
-    };
+    pub use denova_nova::{fsck, DedupeFlag, FileStat, Nova, NovaError, NovaOptions, BLOCK_SIZE};
     pub use denova_pmem::{CrashMode, LatencyProfile, PmemBuilder, PmemDevice, SimulatedCrash};
+    pub use denova_telemetry::{MetricsRegistry, TelemetrySnapshot};
     pub use denova_workload::{DataGenerator, JobSpec, ThinkTime, WriteKind};
 }

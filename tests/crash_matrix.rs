@@ -190,15 +190,20 @@ fn double_crash_during_recovery_is_safe() {
     // Crash mid-dedup, then crash again immediately after remount (before
     // the daemon drains), then recover a second time.
     let dev = Arc::new(PmemDevice::new(DEV_SIZE));
-    dev.crash_points().arm("denova::dedup::after_tail_commit", 0);
+    dev.crash_points()
+        .arm("denova::dedup::after_tail_commit", 0);
     let r = catch_unwind(AssertUnwindSafe(|| workload(&dev)));
     assert!(r.is_err());
 
     // First recovery mount, then immediate (strict) crash of that state.
-    let fs = Denova::mount(dev.clone(), opts(), DedupMode::Delayed {
-        interval_ms: 600_000,
-        batch: 1,
-    })
+    let fs = Denova::mount(
+        dev.clone(),
+        opts(),
+        DedupMode::Delayed {
+            interval_ms: 600_000,
+            batch: 1,
+        },
+    )
     .unwrap();
     drop(fs);
     let dev2 = Arc::new(dev.crash_clone(CrashMode::Strict));

@@ -11,10 +11,20 @@ use std::sync::Arc;
 enum Op {
     Create(u8),
     /// Write `pages` 4 KB pages of byte `val` at page offset `off_pg`.
-    Write { file: u8, off_pg: u8, pages: u8, val: u8 },
-    Truncate { file: u8, pages: u8 },
+    Write {
+        file: u8,
+        off_pg: u8,
+        pages: u8,
+        val: u8,
+    },
+    Truncate {
+        file: u8,
+        pages: u8,
+    },
     Unlink(u8),
-    Read { file: u8 },
+    Read {
+        file: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -97,7 +97,11 @@ fn dedup_modes_save_space_baseline_does_not() {
     }
     assert_eq!(saved["Baseline NOVA"], 0);
     // 12 pages total, all identical: 11 deduplicated.
-    for mode in ["DeNova-Inline", "DeNova-Immediate", "DeNova-Delayed(5,1000)"] {
+    for mode in [
+        "DeNova-Inline",
+        "DeNova-Immediate",
+        "DeNova-Delayed(5,1000)",
+    ] {
         assert_eq!(saved[mode], 11 * 4096, "{mode}");
     }
 }
@@ -117,7 +121,8 @@ fn offline_and_inline_converge_to_same_physical_state() {
         }
         fs.drain();
         let mut entries: Vec<(Fingerprint, u32)> = Vec::new();
-        fs.fact().for_each_occupied(|_, e| entries.push((e.fp, e.rfc)));
+        fs.fact()
+            .for_each_occupied(|_, e| entries.push((e.fp, e.rfc)));
         entries.sort();
         (entries, fs.bytes_saved())
     };
@@ -168,10 +173,7 @@ fn gc_and_dedup_interoperate() {
     fs.drain();
     let freed = fs.nova().gc_all_logs().unwrap();
     assert!(freed > 0, "expected dead log pages to be collected");
-    assert_eq!(
-        fs.read(ino, 0, 4096).unwrap(),
-        vec![199u8; 4096]
-    );
+    assert_eq!(fs.read(ino, 0, 4096).unwrap(), vec![199u8; 4096]);
     // Remount to prove the GC'd log chain is still sound.
     let dev2 = Arc::new(fs.nova().device().crash_clone(CrashMode::Strict));
     let fs2 = Denova::mount(dev2, opts(), DedupMode::Immediate).unwrap();
