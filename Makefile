@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build test
+verify: build test serve-smoke
 
 build:
 	$(CARGO) build --release
@@ -18,6 +18,11 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# End-to-end service-layer check: TCP server on an ephemeral port, a
+# put/get/stat/rm round-trip via --remote, clean shutdown, fsck.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

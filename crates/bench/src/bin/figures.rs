@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash ablation endurance`. Pass `--json <path>` to also dump every
-//! result as machine-readable JSON (for plotting or diffing runs).
+//! crash ablation endurance recovery svc`. Pass `--json <path>` to also dump
+//! every result as machine-readable JSON (for plotting or diffing runs).
 
 use denova_bench::*;
 
@@ -58,6 +58,7 @@ fn main() {
         "ablation",
         "endurance",
         "recovery",
+        "svc",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -163,6 +164,11 @@ fn main() {
         let rows = crashes::run();
         println!("{}", crashes::render(&rows));
         json.insert("crash_matrix", &rows);
+    }
+    if want("svc") {
+        let res = svc_bench::run(&scale);
+        println!("{}", svc_bench::render(&res));
+        json.insert("svc", &res);
     }
     if want("ablation") {
         let r = ablation::reorder(12, 200);

@@ -28,6 +28,7 @@ pub mod model;
 pub mod recovery_time;
 pub mod report;
 pub mod space;
+pub mod svc_bench;
 pub mod table1;
 pub mod table4;
 

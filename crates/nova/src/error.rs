@@ -23,6 +23,64 @@ pub enum NovaError {
     Corrupt(&'static str),
 }
 
+impl NovaError {
+    /// Stable wire code for this error variant.
+    ///
+    /// These codes are part of the `denova-svc` wire protocol: a server
+    /// replies with `(code, message)` and a remote client reconstructs the
+    /// variant from the code alone, so the values must never be renumbered.
+    /// `0` is reserved for "no error"; codes `>= 100` are reserved for
+    /// service-layer errors that have no `NovaError` equivalent.
+    pub const fn code(&self) -> u16 {
+        match self {
+            NovaError::NoSpace => 1,
+            NovaError::NoInodes => 2,
+            NovaError::NotFound => 3,
+            NovaError::AlreadyExists => 4,
+            NovaError::NameTooLong => 5,
+            NovaError::BadInode(_) => 6,
+            NovaError::InvalidRange => 7,
+            NovaError::NotFormatted => 8,
+            NovaError::Corrupt(_) => 9,
+        }
+    }
+
+    /// Reconstruct the variant for a stable wire code, with `detail`
+    /// carrying the payload of variants that have one (`BadInode`). Variant
+    /// payloads that cannot cross the wire losslessly (`Corrupt`'s static
+    /// string) come back as a generic marker; the human-readable message
+    /// travels separately in the protocol.
+    pub fn from_code(code: u16, detail: u64) -> Option<NovaError> {
+        Some(match code {
+            1 => NovaError::NoSpace,
+            2 => NovaError::NoInodes,
+            3 => NovaError::NotFound,
+            4 => NovaError::AlreadyExists,
+            5 => NovaError::NameTooLong,
+            6 => NovaError::BadInode(detail),
+            7 => NovaError::InvalidRange,
+            8 => NovaError::NotFormatted,
+            9 => NovaError::Corrupt("remote"),
+            _ => return None,
+        })
+    }
+
+    /// Every variant (with representative payloads), for exhaustive tests.
+    pub fn all_variants() -> Vec<NovaError> {
+        vec![
+            NovaError::NoSpace,
+            NovaError::NoInodes,
+            NovaError::NotFound,
+            NovaError::AlreadyExists,
+            NovaError::NameTooLong,
+            NovaError::BadInode(7),
+            NovaError::InvalidRange,
+            NovaError::NotFormatted,
+            NovaError::Corrupt("x"),
+        ]
+    }
+}
+
 impl std::fmt::Display for NovaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -50,18 +108,51 @@ mod tests {
 
     #[test]
     fn errors_display_distinctly() {
-        let all = [
-            NovaError::NoSpace,
-            NovaError::NoInodes,
-            NovaError::NotFound,
-            NovaError::AlreadyExists,
-            NovaError::NameTooLong,
-            NovaError::BadInode(3),
-            NovaError::InvalidRange,
-            NovaError::NotFormatted,
-            NovaError::Corrupt("x"),
-        ];
+        let all = NovaError::all_variants();
         let texts: std::collections::HashSet<String> = all.iter().map(|e| e.to_string()).collect();
         assert_eq!(texts.len(), all.len());
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_unique() {
+        // The exact numbers are protocol ABI: changing any entry here breaks
+        // remote clients, so this table is spelled out rather than derived.
+        let expected = [
+            (NovaError::NoSpace, 1),
+            (NovaError::NoInodes, 2),
+            (NovaError::NotFound, 3),
+            (NovaError::AlreadyExists, 4),
+            (NovaError::NameTooLong, 5),
+            (NovaError::BadInode(7), 6),
+            (NovaError::InvalidRange, 7),
+            (NovaError::NotFormatted, 8),
+            (NovaError::Corrupt("x"), 9),
+        ];
+        assert_eq!(expected.len(), NovaError::all_variants().len());
+        let mut seen = std::collections::HashSet::new();
+        for (err, code) in expected {
+            assert_eq!(err.code(), code, "{err}");
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert_ne!(code, 0, "0 is reserved for success");
+            assert!(code < 100, "codes >= 100 are service-layer");
+        }
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for err in NovaError::all_variants() {
+            let detail = match err {
+                NovaError::BadInode(ino) => ino,
+                _ => 0,
+            };
+            let back = NovaError::from_code(err.code(), detail).unwrap();
+            assert_eq!(back.code(), err.code());
+            // Payload-free variants and BadInode survive exactly.
+            if !matches!(err, NovaError::Corrupt(_)) {
+                assert_eq!(back, err);
+            }
+        }
+        assert_eq!(NovaError::from_code(0, 0), None);
+        assert_eq!(NovaError::from_code(999, 0), None);
     }
 }

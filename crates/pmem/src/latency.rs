@@ -180,6 +180,31 @@ pub fn spin_ns(ns: u64) {
     }
 }
 
+/// Threshold below which blocking injection falls back to spinning: OS sleep
+/// granularity makes shorter sleeps wildly inaccurate.
+const BLOCKING_MIN_NS: u64 = 5_000;
+
+/// Wait approximately `ns` nanoseconds while *yielding the CPU* for waits
+/// long enough that the scheduler can use it (`thread::sleep`), spinning only
+/// below [`BLOCKING_MIN_NS`].
+///
+/// The default spin injection models what a store/flush stall does to the
+/// issuing core — it stays busy — which is faithful per-thread but means a
+/// host with fewer cores than worker threads cannot overlap the stalls of
+/// concurrent requests the way independent memory channels do. Service-layer
+/// scaling experiments (`denova-svc`'s sharded worker pool) opt into this
+/// blocking mode via [`crate::PmemDevice::set_blocking_latency`] so that
+/// concurrent device operations overlap even on small hosts; absolute
+/// latencies become sleep-granularity coarse, so it is never the default.
+#[inline]
+pub fn block_ns(ns: u64) {
+    if ns >= BLOCKING_MIN_NS {
+        std::thread::sleep(std::time::Duration::from_nanos(ns));
+    } else {
+        spin_ns(ns);
+    }
+}
+
 /// Crate-internal alias retained by the device code.
 #[inline]
 pub(crate) fn inject_ns(ns: u64) {

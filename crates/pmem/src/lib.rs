@@ -35,7 +35,7 @@ mod stats;
 
 pub use crash::{CrashMode, CrashPointRegistry, SimulatedCrash};
 pub use device::{PmemBuilder, PmemDevice};
-pub use latency::{calibrate_spin, spin_ns, LatencyProfile};
+pub use latency::{block_ns, calibrate_spin, spin_ns, LatencyProfile};
 pub use stats::PmemStats;
 
 /// Size of a CPU cache line in bytes. FACT entries and NOVA log entries are

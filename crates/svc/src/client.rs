@@ -1,0 +1,270 @@
+//! Synchronous client for the file service.
+//!
+//! [`Client`] works over any [`Stream`] — a real [`TcpStream`] via
+//! [`Client::connect_tcp`] or a loopback pipe via [`Client::from_stream`] —
+//! and exposes one typed method per wire op plus `put`/`get` whole-file
+//! helpers that chunk transfers below the frame limit. All calls are
+//! synchronous: one request, one reply. Transport failures surface as
+//! [`SvcError`] with code [`SvcError::IO`]; remote failures carry the
+//! server's stable code.
+
+use crate::codec::{read_frame, write_frame, FrameRead};
+use crate::proto::{decode_reply, Body, RemoteDedupStats, Request, SvcError};
+use crate::transport::Stream;
+use denova_nova::FileStat;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Per-call reply deadline. Generous: the server may be draining a deep
+/// dedup backlog under injected PM latency when an fsync lands.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Transfer chunk for `put`/`get`, comfortably under
+/// [`MAX_FRAME`](crate::codec::MAX_FRAME) with headers included.
+const CHUNK: usize = 4 << 20;
+
+/// A synchronous connection to a file service.
+pub struct Client {
+    stream: Box<dyn Stream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect over TCP to `addr` (`host:port`).
+    pub fn connect_tcp(addr: &str) -> Result<Client, SvcError> {
+        let sock = TcpStream::connect(addr).map_err(|e| SvcError::io(&e))?;
+        sock.set_nodelay(true).ok();
+        Ok(Client::from_stream(Box::new(sock)))
+    }
+
+    /// Wrap an already-connected stream (e.g. a loopback pipe end).
+    pub fn from_stream(stream: Box<dyn Stream>) -> Client {
+        // Short read timeout + deadline loop, so a dead server surfaces as a
+        // structured timeout error instead of a hang.
+        let _ = stream.set_stream_timeouts(Some(Duration::from_millis(100)), None);
+        Client { stream, next_id: 1 }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Body, SvcError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &req.encode(req_id)).map_err(|e| SvcError::io(&e))?;
+        let deadline = Instant::now() + REPLY_TIMEOUT;
+        loop {
+            match read_frame(&mut self.stream).map_err(|e| SvcError::io(&e))? {
+                FrameRead::Frame(f) => {
+                    let (id, reply) = decode_reply(&f).map_err(|e| {
+                        SvcError::service(SvcError::BAD_REQUEST, format!("bad reply: {e}"))
+                    })?;
+                    if id != req_id {
+                        // A reply to nothing we have pending (e.g. the error
+                        // ack for a frame injected by a test): discard.
+                        continue;
+                    }
+                    return reply;
+                }
+                FrameRead::Idle => {
+                    if Instant::now() >= deadline {
+                        return Err(SvcError::service(
+                            SvcError::IO,
+                            format!("no reply to {} within {REPLY_TIMEOUT:?}", req.op_name()),
+                        ));
+                    }
+                }
+                FrameRead::Eof => {
+                    return Err(SvcError::service(
+                        SvcError::IO,
+                        "server closed the connection",
+                    ));
+                }
+            }
+        }
+    }
+
+    fn expect_empty(&mut self, req: &Request) -> Result<(), SvcError> {
+        match self.call(req)? {
+            Body::Empty => Ok(()),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    fn expect_ino(&mut self, req: &Request) -> Result<u64, SvcError> {
+        match self.call(req)? {
+            Body::Ino(ino) => Ok(ino),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Ping)
+    }
+
+    /// Create an empty file, returning its inode number.
+    pub fn create(&mut self, name: &str) -> Result<u64, SvcError> {
+        self.expect_ino(&Request::Create { name: name.into() })
+    }
+
+    /// Look up a file by name, returning its inode number.
+    pub fn open(&mut self, name: &str) -> Result<u64, SvcError> {
+        self.expect_ino(&Request::Open { name: name.into() })
+    }
+
+    /// Read up to `len` bytes at `offset` (short at EOF). `len` may exceed
+    /// the frame limit; the transfer is chunked.
+    pub fn read_at(&mut self, ino: u64, offset: u64, len: u64) -> Result<Vec<u8>, SvcError> {
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let want = ((end - pos) as usize).min(CHUNK) as u32;
+            let req = Request::Read {
+                ino,
+                offset: pos,
+                len: want,
+            };
+            match self.call(&req)? {
+                Body::Bytes(chunk) => {
+                    let n = chunk.len();
+                    out.extend_from_slice(&chunk);
+                    pos += n as u64;
+                    if n < want as usize {
+                        break; // EOF
+                    }
+                }
+                other => return Err(unexpected(&req, &other)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write `data` at `offset`, chunking below the frame limit. Returns the
+    /// total bytes written.
+    pub fn write_at(&mut self, ino: u64, offset: u64, data: &[u8]) -> Result<u64, SvcError> {
+        let mut written = 0u64;
+        for chunk in data.chunks(CHUNK.max(1)) {
+            let req = Request::Write {
+                ino,
+                offset: offset + written,
+                data: chunk.to_vec(),
+            };
+            match self.call(&req)? {
+                Body::Written(n) => written += n as u64,
+                other => return Err(unexpected(&req, &other)),
+            }
+        }
+        if data.is_empty() {
+            // Zero-length writes still validate the inode server-side.
+            let req = Request::Write {
+                ino,
+                offset,
+                data: Vec::new(),
+            };
+            match self.call(&req)? {
+                Body::Written(_) => {}
+                other => return Err(unexpected(&req, &other)),
+            }
+        }
+        Ok(written)
+    }
+
+    /// Remove a file by name.
+    pub fn unlink(&mut self, name: &str) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Unlink { name: name.into() })
+    }
+
+    /// Hard-link `existing` under `new_name`, returning the shared inode.
+    pub fn link(&mut self, existing: &str, new_name: &str) -> Result<u64, SvcError> {
+        self.expect_ino(&Request::Link {
+            existing: existing.into(),
+            new_name: new_name.into(),
+        })
+    }
+
+    /// Rename a file (clobbers the target).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Rename {
+            from: from.into(),
+            to: to.into(),
+        })
+    }
+
+    /// File metadata by inode.
+    pub fn stat(&mut self, ino: u64) -> Result<FileStat, SvcError> {
+        let req = Request::Stat { ino };
+        match self.call(&req)? {
+            Body::Stat(st) => Ok(st),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// All file names.
+    pub fn list(&mut self) -> Result<Vec<String>, SvcError> {
+        let req = Request::List;
+        match self.call(&req)? {
+            Body::Names(names) => Ok(names),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// Flush: settle the server's dedup pipeline.
+    pub fn fsync(&mut self, ino: u64) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Fsync { ino })
+    }
+
+    /// Truncate a file to `size` bytes.
+    pub fn truncate(&mut self, ino: u64, size: u64) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Truncate { ino, size })
+    }
+
+    /// Dedup and space statistics.
+    pub fn dedup_stats(&mut self) -> Result<RemoteDedupStats, SvcError> {
+        let req = Request::DedupStats;
+        match self.call(&req)? {
+            Body::DedupStats(s) => Ok(s),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// The server's telemetry snapshot, rendered server-side as text or JSON.
+    pub fn telemetry(&mut self, json: bool) -> Result<String, SvcError> {
+        let req = Request::Telemetry { json };
+        match self.call(&req)? {
+            Body::Text(t) => Ok(t),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// Ask the server to drain and shut down. Acknowledged before the server
+    /// exits its accept loop.
+    pub fn shutdown_server(&mut self) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Shutdown)
+    }
+
+    /// Store a whole file: create it if missing, overwrite from offset 0, and
+    /// truncate to the new length so a shorter upload leaves no stale tail.
+    pub fn put(&mut self, name: &str, data: &[u8]) -> Result<u64, SvcError> {
+        let ino = match self.open(name) {
+            Ok(ino) => ino,
+            Err(e) if e.is_not_found() => self.create(name)?,
+            Err(e) => return Err(e),
+        };
+        self.write_at(ino, 0, data)?;
+        self.truncate(ino, data.len() as u64)?;
+        Ok(ino)
+    }
+
+    /// Fetch a whole file by name.
+    pub fn get(&mut self, name: &str) -> Result<Vec<u8>, SvcError> {
+        let ino = self.open(name)?;
+        let size = self.stat(ino)?.size;
+        self.read_at(ino, 0, size)
+    }
+}
+
+fn unexpected(req: &Request, body: &Body) -> SvcError {
+    SvcError::service(
+        SvcError::BAD_REQUEST,
+        format!("unexpected reply body for {}: {body:?}", req.op_name()),
+    )
+}

@@ -1,0 +1,326 @@
+//! Length-prefixed framing and the little-endian field codec shared by every
+//! transport.
+//!
+//! A frame is a 4-byte little-endian payload length followed by the payload.
+//! Frames longer than [`MAX_FRAME`] are rejected before any allocation, so a
+//! corrupt or hostile peer cannot make the server reserve gigabytes.
+//!
+//! Field encoding inside a payload (all integers little-endian):
+//!
+//! | type    | wire form                    |
+//! |---------|------------------------------|
+//! | `u8`    | 1 byte                       |
+//! | `u16`   | 2 bytes                      |
+//! | `u32`   | 4 bytes                      |
+//! | `u64`   | 8 bytes                      |
+//! | `bytes` | `u32` length + raw bytes     |
+//! | `str`   | `bytes`, contents UTF-8      |
+//!
+//! [`Enc`] builds payloads; [`Dec`] walks them, returning
+//! [`DecodeError`] (never panicking) on truncated or malformed input.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (16 MiB). Large file reads/writes must be
+/// chunked below this by the client; [`crate::Client`] does so transparently.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Outcome of a frame-read attempt against a stream with a read timeout.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame arrived.
+    Frame(Vec<u8>),
+    /// The read timed out with *zero* header bytes consumed: the connection
+    /// is idle, not broken. The caller may poll shutdown flags and retry.
+    Idle,
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+}
+
+/// Read one frame. Distinguishes an idle connection (timeout before any
+/// header byte: [`FrameRead::Idle`]) from a peer that stalled mid-frame,
+/// which surfaces as a [`io::ErrorKind::TimedOut`] error — the server treats
+/// the former as normal and the latter as a broken client.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameRead> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(FrameRead::Eof);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && got == 0 => return Ok(FrameRead::Idle),
+            Err(e) if is_timeout(&e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "peer stalled inside frame header",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "peer stalled inside frame body",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// `read`/`recv` timeout errors differ by platform (`WouldBlock` on Unix,
+/// `TimedOut` on Windows); the pipe transport uses `TimedOut`.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Payload builder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty payload.
+    pub fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Finish, returning the payload (chainable off the builder methods;
+    /// leaves this encoder empty).
+    pub fn finish(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Malformed payload (truncated field, bad UTF-8, trailing garbage, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Payload reader.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError("truncated field"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| DecodeError("invalid utf-8"))
+    }
+
+    /// Assert the whole payload was consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enc_dec_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .bytes(b"ab")
+            .str("héllo");
+        let p = e.finish();
+        let mut d = Dec::new(&p);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.bytes().unwrap(), b"ab");
+        assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn dec_rejects_truncation_and_garbage() {
+        let p = Enc::new().u64(9).finish();
+        let mut d = Dec::new(&p[..4]);
+        assert!(d.u64().is_err());
+        let mut d = Dec::new(&p);
+        d.u32().unwrap();
+        assert!(d.finish().is_err());
+        let bad = Enc::new().bytes(&[0xFF, 0xFE]).finish();
+        let mut d = Dec::new(&bad);
+        assert!(d.str().is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"one").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"three").unwrap();
+        let mut r = io::Cursor::new(wire);
+        for expect in [&b"one"[..], b"", b"three"] {
+            match read_frame(&mut r).unwrap() {
+                FrameRead::Frame(p) => assert_eq!(p, expect),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn oversized_frames_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = match read_frame(&mut io::Cursor::new(wire)) {
+            Err(e) => e,
+            other => panic!("expected error, got {other:?}"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn eof_inside_frame_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(6); // header + 2 payload bytes
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,43 @@
+//! Multi-client file service over a mounted DeNova stack.
+//!
+//! This crate turns the single-process [`denova::Denova`] handle into a
+//! served file system that many clients can drive concurrently:
+//!
+//! * [`codec`] — length-prefixed framing and the little-endian field codec,
+//!   shared verbatim by both transports.
+//! * [`proto`] — the wire protocol: opcodes, request/reply encoding, and
+//!   [`SvcError`] with stable numeric codes (`1..=99` mirror
+//!   [`denova_nova::NovaError::code`]).
+//! * [`service`] — [`FileService`]: one request in, one reply out, against
+//!   the mounted stack, instrumented with per-op latency histograms.
+//! * [`pool`] — [`ShardedPool`]: worker threads keyed by
+//!   `shard_key % shards`, so same-inode operations serialize while
+//!   different files proceed in parallel.
+//! * [`transport`] / [`loopback`] — the [`Stream`] abstraction with a real
+//!   TCP implementation and a deterministic in-process pipe for tests.
+//! * [`server`] / [`client`] — the connection machinery ([`Server`]) and the
+//!   synchronous typed [`Client`].
+//!
+//! The intended production shape is `denova-cli serve --listen host:port` on
+//! the machine owning the (emulated) persistent memory, and any number of
+//! `denova-cli --remote host:port` / [`Client`] peers driving it. Tests and
+//! benches use [`Server::connect_loopback`] to exercise the identical code
+//! path without sockets.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod loopback;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod transport;
+
+pub use client::Client;
+pub use pool::ShardedPool;
+pub use proto::{Body, RemoteDedupStats, Reply, Request, SvcError};
+pub use server::{Server, SvcConfig};
+pub use service::FileService;
+pub use transport::Stream;

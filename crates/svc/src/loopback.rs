@@ -1,0 +1,238 @@
+//! Deterministic in-process transport: a pair of connected byte pipes.
+//!
+//! [`pair`] returns two [`PipeEnd`]s wired back-to-back; bytes written to one
+//! end are read from the other, exactly like a connected socket pair but with
+//! no OS networking involved. Unit and stress tests drive the full server —
+//! framing, dispatch, sharded pool, backpressure — through this transport, so
+//! failures reproduce deterministically regardless of the host's network
+//! configuration.
+//!
+//! Semantics mirror TCP closely enough that the server cannot tell the
+//! difference: reads block (honouring the configured read timeout by
+//! returning [`io::ErrorKind::TimedOut`], which the frame layer maps to
+//! `Idle`), writes to a closed peer fail with `BrokenPipe`, dropping the last
+//! clone of an end closes the connection, and reads drain buffered bytes
+//! before reporting EOF.
+
+use crate::transport::Stream;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One direction of the connection.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState::default()),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+        }
+        st.buf.extend(data);
+        self.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, out: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock();
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for b in out.iter_mut().take(n) {
+                    *b = st.buf.pop_front().unwrap();
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0); // EOF after the buffer drains, like a socket.
+            }
+            match timeout {
+                Some(t) => {
+                    if self.readable.wait_for(&mut st, t).timed_out() {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
+                    }
+                }
+                None => self.readable.wait(&mut st),
+            }
+        }
+    }
+}
+
+/// State shared by all clones of one end; closing happens when the last
+/// clone drops (socket semantics — a cloned reader handle keeps the
+/// connection alive).
+struct EndShared {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    read_timeout: Mutex<Option<Duration>>,
+}
+
+impl Drop for EndShared {
+    fn drop(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+/// One end of an in-process connection. Implements [`Stream`].
+pub struct PipeEnd {
+    shared: Arc<EndShared>,
+}
+
+/// A connected pair of pipe ends.
+pub fn pair() -> (PipeEnd, PipeEnd) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    (
+        PipeEnd {
+            shared: Arc::new(EndShared {
+                rx: b_to_a.clone(),
+                tx: a_to_b.clone(),
+                read_timeout: Mutex::new(None),
+            }),
+        },
+        PipeEnd {
+            shared: Arc::new(EndShared {
+                rx: a_to_b,
+                tx: b_to_a,
+                read_timeout: Mutex::new(None),
+            }),
+        },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let timeout = *self.shared.read_timeout.lock();
+        self.shared.rx.read(out, timeout)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.shared.tx.write(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Stream for PipeEnd {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn Stream>> {
+        Ok(Box::new(PipeEnd {
+            shared: self.shared.clone(),
+        }))
+    }
+
+    fn set_stream_timeouts(
+        &self,
+        read: Option<Duration>,
+        _write: Option<Duration>,
+    ) -> io::Result<()> {
+        // Writes into an in-memory buffer never block, so only the read
+        // timeout is meaningful here.
+        *self.shared.read_timeout.lock() = read;
+        Ok(())
+    }
+
+    fn shutdown_stream(&self) {
+        self.shared.rx.close();
+        self.shared.tx.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_frame, write_frame, FrameRead};
+
+    #[test]
+    fn bytes_cross_between_ends() {
+        let (mut a, mut b) = pair();
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        b.write_all(b"yo").unwrap();
+        let mut buf = [0u8; 2];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"yo");
+    }
+
+    #[test]
+    fn frames_cross_and_drop_signals_eof() {
+        let (mut a, mut b) = pair();
+        write_frame(&mut a, b"payload").unwrap();
+        drop(a);
+        match read_frame(&mut b).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"payload"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Eof));
+        // And writing toward the dropped end fails.
+        assert!(b.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn read_timeout_reports_idle_not_eof() {
+        let (a, mut b) = pair();
+        b.set_stream_timeouts(Some(Duration::from_millis(20)), None)
+            .unwrap();
+        assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Idle));
+        drop(a);
+        assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn clones_keep_the_connection_alive() {
+        let (a, mut b) = pair();
+        let clone = a.try_clone_stream().unwrap();
+        drop(a);
+        // `clone` still holds the end open: no EOF yet.
+        b.set_stream_timeouts(Some(Duration::from_millis(20)), None)
+            .unwrap();
+        assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Idle));
+        drop(clone);
+        assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_cross_thread_write() {
+        let (mut a, mut b) = pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            a.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        b.write_all(b"abc").unwrap();
+        assert_eq!(&t.join().unwrap(), b"abc");
+    }
+}

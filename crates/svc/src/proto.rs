@@ -1,0 +1,690 @@
+//! The file-service wire protocol: requests, replies, and error codes.
+//!
+//! Every message is one frame (see [`crate::codec`]). A request payload is
+//!
+//! ```text
+//! req_id:u64 | opcode:u8 | op-specific fields
+//! ```
+//!
+//! and the matching reply is
+//!
+//! ```text
+//! req_id:u64 | code:u16 | ok-body (code = 0)  or  detail:u64 msg:str (code ≠ 0)
+//! ```
+//!
+//! Error codes `1..=99` are the stable [`NovaError::code`] values; `100..`
+//! are service-layer codes ([`SvcError::BAD_REQUEST`] and friends). Replies
+//! are matched to requests by `req_id`, which the client chooses; the server
+//! echoes it verbatim, so pipelined clients can have several requests in
+//! flight (bounded by the server's per-connection inflight cap).
+
+use crate::codec::{Dec, DecodeError, Enc};
+use denova_nova::{FileStat, NovaError};
+
+/// Opcodes. Stable wire ABI — never renumber.
+pub mod op {
+    /// Liveness probe; echoes an empty body.
+    pub const PING: u8 = 1;
+    /// Create an empty file by name → inode number.
+    pub const CREATE: u8 = 2;
+    /// Look up a file by name → inode number.
+    pub const OPEN: u8 = 3;
+    /// Read `len` bytes at `offset` → bytes (short at EOF).
+    pub const READ: u8 = 4;
+    /// Write bytes at `offset` → bytes written.
+    pub const WRITE: u8 = 5;
+    /// Remove a file by name.
+    pub const UNLINK: u8 = 6;
+    /// Hard-link an existing file under a new name → inode number.
+    pub const LINK: u8 = 7;
+    /// Rename (clobbers the target).
+    pub const RENAME: u8 = 8;
+    /// File metadata by inode → stat body.
+    pub const STAT: u8 = 9;
+    /// List all file names.
+    pub const LIST: u8 = 10;
+    /// Flush: drain the dedup daemon so queued work is applied.
+    pub const FSYNC: u8 = 11;
+    /// Truncate a file to a byte size.
+    pub const TRUNCATE: u8 = 12;
+    /// Deduplication and space statistics → dedup-stats body.
+    pub const DEDUP_STATS: u8 = 13;
+    /// Rendered telemetry snapshot (text or JSON) → string body.
+    pub const TELEMETRY: u8 = 14;
+    /// Ask the server to drain and shut down (acknowledged before exit).
+    pub const SHUTDOWN: u8 = 15;
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// See [`op::PING`].
+    Ping,
+    /// See [`op::CREATE`].
+    Create {
+        /// File name.
+        name: String,
+    },
+    /// See [`op::OPEN`].
+    Open {
+        /// File name.
+        name: String,
+    },
+    /// See [`op::READ`].
+    Read {
+        /// Inode number.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes requested.
+        len: u32,
+    },
+    /// See [`op::WRITE`].
+    Write {
+        /// Inode number.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// See [`op::UNLINK`].
+    Unlink {
+        /// File name.
+        name: String,
+    },
+    /// See [`op::LINK`].
+    Link {
+        /// Existing file name.
+        existing: String,
+        /// New name.
+        new_name: String,
+    },
+    /// See [`op::RENAME`].
+    Rename {
+        /// Current name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+    /// See [`op::STAT`].
+    Stat {
+        /// Inode number.
+        ino: u64,
+    },
+    /// See [`op::LIST`].
+    List,
+    /// See [`op::FSYNC`].
+    Fsync {
+        /// Inode the caller is syncing (used for shard routing).
+        ino: u64,
+    },
+    /// See [`op::TRUNCATE`].
+    Truncate {
+        /// Inode number.
+        ino: u64,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// See [`op::DEDUP_STATS`].
+    DedupStats,
+    /// See [`op::TELEMETRY`].
+    Telemetry {
+        /// `true` for JSON, `false` for human-readable text.
+        json: bool,
+    },
+    /// See [`op::SHUTDOWN`].
+    Shutdown,
+}
+
+impl Request {
+    /// This request's opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Ping => op::PING,
+            Request::Create { .. } => op::CREATE,
+            Request::Open { .. } => op::OPEN,
+            Request::Read { .. } => op::READ,
+            Request::Write { .. } => op::WRITE,
+            Request::Unlink { .. } => op::UNLINK,
+            Request::Link { .. } => op::LINK,
+            Request::Rename { .. } => op::RENAME,
+            Request::Stat { .. } => op::STAT,
+            Request::List => op::LIST,
+            Request::Fsync { .. } => op::FSYNC,
+            Request::Truncate { .. } => op::TRUNCATE,
+            Request::DedupStats => op::DEDUP_STATS,
+            Request::Telemetry { .. } => op::TELEMETRY,
+            Request::Shutdown => op::SHUTDOWN,
+        }
+    }
+
+    /// Short name used for per-op telemetry metrics (`svc.op.<name>`).
+    pub fn op_name(&self) -> &'static str {
+        match self.opcode() {
+            op::PING => "ping",
+            op::CREATE => "create",
+            op::OPEN => "open",
+            op::READ => "read",
+            op::WRITE => "write",
+            op::UNLINK => "unlink",
+            op::LINK => "link",
+            op::RENAME => "rename",
+            op::STAT => "stat",
+            op::LIST => "list",
+            op::FSYNC => "fsync",
+            op::TRUNCATE => "truncate",
+            op::DEDUP_STATS => "dedup_stats",
+            op::TELEMETRY => "telemetry",
+            op::SHUTDOWN => "shutdown",
+            _ => unreachable!(),
+        }
+    }
+
+    /// Worker-pool routing key: requests with the same key execute in
+    /// submission order on one shard. Inode ops key by inode; namespace ops
+    /// by a hash of the (primary) name, so two operations on the same name
+    /// serialize even before an inode exists.
+    pub fn shard_key(&self) -> u64 {
+        match self {
+            Request::Read { ino, .. }
+            | Request::Write { ino, .. }
+            | Request::Stat { ino }
+            | Request::Fsync { ino }
+            | Request::Truncate { ino, .. } => *ino,
+            Request::Create { name } | Request::Open { name } | Request::Unlink { name } => {
+                hash_name(name)
+            }
+            Request::Link { existing, .. } => hash_name(existing),
+            Request::Rename { from, .. } => hash_name(from),
+            Request::Ping
+            | Request::List
+            | Request::DedupStats
+            | Request::Telemetry { .. }
+            | Request::Shutdown => 0,
+        }
+    }
+
+    /// Encode as a full request payload.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(req_id).u8(self.opcode());
+        match self {
+            Request::Ping | Request::List | Request::DedupStats | Request::Shutdown => {}
+            Request::Create { name } | Request::Open { name } | Request::Unlink { name } => {
+                e.str(name);
+            }
+            Request::Read { ino, offset, len } => {
+                e.u64(*ino).u64(*offset).u32(*len);
+            }
+            Request::Write { ino, offset, data } => {
+                e.u64(*ino).u64(*offset).bytes(data);
+            }
+            Request::Link { existing, new_name } => {
+                e.str(existing).str(new_name);
+            }
+            Request::Rename { from, to } => {
+                e.str(from).str(to);
+            }
+            Request::Stat { ino } | Request::Fsync { ino } => {
+                e.u64(*ino);
+            }
+            Request::Truncate { ino, size } => {
+                e.u64(*ino).u64(*size);
+            }
+            Request::Telemetry { json } => {
+                e.u8(*json as u8);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode a request payload into `(req_id, request)`.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), DecodeError> {
+        let mut d = Dec::new(payload);
+        let req_id = d.u64()?;
+        let opcode = d.u8()?;
+        let req = match opcode {
+            op::PING => Request::Ping,
+            op::CREATE => Request::Create {
+                name: d.str()?.to_string(),
+            },
+            op::OPEN => Request::Open {
+                name: d.str()?.to_string(),
+            },
+            op::READ => Request::Read {
+                ino: d.u64()?,
+                offset: d.u64()?,
+                len: d.u32()?,
+            },
+            op::WRITE => Request::Write {
+                ino: d.u64()?,
+                offset: d.u64()?,
+                data: d.bytes()?.to_vec(),
+            },
+            op::UNLINK => Request::Unlink {
+                name: d.str()?.to_string(),
+            },
+            op::LINK => Request::Link {
+                existing: d.str()?.to_string(),
+                new_name: d.str()?.to_string(),
+            },
+            op::RENAME => Request::Rename {
+                from: d.str()?.to_string(),
+                to: d.str()?.to_string(),
+            },
+            op::STAT => Request::Stat { ino: d.u64()? },
+            op::LIST => Request::List,
+            op::FSYNC => Request::Fsync { ino: d.u64()? },
+            op::TRUNCATE => Request::Truncate {
+                ino: d.u64()?,
+                size: d.u64()?,
+            },
+            op::DEDUP_STATS => Request::DedupStats,
+            op::TELEMETRY => Request::Telemetry { json: d.u8()? != 0 },
+            op::SHUTDOWN => Request::Shutdown,
+            _ => return Err(DecodeError("unknown opcode")),
+        };
+        d.finish()?;
+        Ok((req_id, req))
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a: stable across processes (no RandomState), cheap, good spread.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Dedup/space statistics carried by [`Body::DedupStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteDedupStats {
+    /// Session bytes saved (resets on remount).
+    pub bytes_saved: u64,
+    /// Bytes saved derived from persistent FACT reference counts.
+    pub persistent_bytes_saved: u64,
+    /// FACT capacity in entries.
+    pub fact_entries: u64,
+    /// Occupied FACT entries.
+    pub fact_occupied: u64,
+    /// Deduplication work-queue backlog.
+    pub dwq_len: u64,
+    /// DRAM consumed by dedup index structures (0 for FACT modes).
+    pub dedup_index_dram_bytes: u64,
+    /// Free data blocks.
+    pub free_blocks: u64,
+    /// Total data blocks.
+    pub data_blocks: u64,
+    /// Live files.
+    pub file_count: u64,
+    /// Device capacity in bytes.
+    pub device_bytes: u64,
+}
+
+/// Body tags inside an OK reply. Stable wire ABI.
+mod body_tag {
+    pub const EMPTY: u8 = 0;
+    pub const INO: u8 = 1;
+    pub const BYTES: u8 = 2;
+    pub const WRITTEN: u8 = 3;
+    pub const STAT: u8 = 4;
+    pub const NAMES: u8 = 5;
+    pub const DEDUP_STATS: u8 = 6;
+    pub const TEXT: u8 = 7;
+}
+
+/// The payload of a successful reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// No payload.
+    Empty,
+    /// An inode number (create/open/link).
+    Ino(u64),
+    /// Raw file bytes (read).
+    Bytes(Vec<u8>),
+    /// Bytes written.
+    Written(u32),
+    /// File metadata.
+    Stat(FileStat),
+    /// File names (list).
+    Names(Vec<String>),
+    /// Dedup/space statistics.
+    DedupStats(RemoteDedupStats),
+    /// Rendered text (telemetry snapshot).
+    Text(String),
+}
+
+/// A structured service error: a stable numeric code, an optional numeric
+/// detail (e.g. the inode for `BadInode`), and a human-readable message.
+///
+/// Codes `1..=99` map 1:1 to [`NovaError`] via [`NovaError::code`]; the
+/// constants below are service-layer conditions with no `NovaError`
+/// equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvcError {
+    /// Stable error code.
+    pub code: u16,
+    /// Variant payload (inode number, byte count, …) or 0.
+    pub detail: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SvcError {
+    /// Malformed request payload.
+    pub const BAD_REQUEST: u16 = 100;
+    /// Valid frame, unknown opcode.
+    pub const UNKNOWN_OP: u16 = 101;
+    /// Request rejected because the server is draining for shutdown.
+    pub const SHUTTING_DOWN: u16 = 103;
+    /// The operation panicked server-side; the connection survives.
+    pub const INTERNAL: u16 = 104;
+    /// Transport-level failure, client-side only (never on the wire).
+    pub const IO: u16 = 110;
+
+    /// Wrap a file-system error.
+    pub fn from_nova(e: &NovaError) -> SvcError {
+        let detail = match e {
+            NovaError::BadInode(ino) => *ino,
+            _ => 0,
+        };
+        SvcError {
+            code: e.code(),
+            detail,
+            message: e.to_string(),
+        }
+    }
+
+    /// The `NovaError` this code maps to, if it is a file-system code.
+    pub fn to_nova(&self) -> Option<NovaError> {
+        NovaError::from_code(self.code, self.detail)
+    }
+
+    /// A service-layer error with `code` and `message`.
+    pub fn service(code: u16, message: impl Into<String>) -> SvcError {
+        SvcError {
+            code,
+            detail: 0,
+            message: message.into(),
+        }
+    }
+
+    /// A client-side transport error (not a wire code).
+    pub fn io(e: &std::io::Error) -> SvcError {
+        SvcError {
+            code: Self::IO,
+            detail: 0,
+            message: format!("transport: {e}"),
+        }
+    }
+
+    /// True when this is the remote equivalent of [`NovaError::NotFound`].
+    pub fn is_not_found(&self) -> bool {
+        self.code == NovaError::NotFound.code()
+    }
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (code {})", self.message, self.code)
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+/// A decoded reply: either an OK body or a structured error.
+pub type Reply = Result<Body, SvcError>;
+
+/// Encode a reply payload for `req_id`.
+pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(req_id);
+    match reply {
+        Ok(body) => {
+            e.u16(0);
+            match body {
+                Body::Empty => {
+                    e.u8(body_tag::EMPTY);
+                }
+                Body::Ino(ino) => {
+                    e.u8(body_tag::INO).u64(*ino);
+                }
+                Body::Bytes(data) => {
+                    e.u8(body_tag::BYTES).bytes(data);
+                }
+                Body::Written(n) => {
+                    e.u8(body_tag::WRITTEN).u32(*n);
+                }
+                Body::Stat(st) => {
+                    e.u8(body_tag::STAT)
+                        .u64(st.ino)
+                        .u64(st.size)
+                        .u64(st.blocks)
+                        .u64(st.nlink)
+                        .u64(st.log_pages)
+                        .u64(st.log_entries_live);
+                }
+                Body::Names(names) => {
+                    e.u8(body_tag::NAMES).u32(names.len() as u32);
+                    for n in names {
+                        e.str(n);
+                    }
+                }
+                Body::DedupStats(s) => {
+                    e.u8(body_tag::DEDUP_STATS)
+                        .u64(s.bytes_saved)
+                        .u64(s.persistent_bytes_saved)
+                        .u64(s.fact_entries)
+                        .u64(s.fact_occupied)
+                        .u64(s.dwq_len)
+                        .u64(s.dedup_index_dram_bytes)
+                        .u64(s.free_blocks)
+                        .u64(s.data_blocks)
+                        .u64(s.file_count)
+                        .u64(s.device_bytes);
+                }
+                Body::Text(t) => {
+                    e.u8(body_tag::TEXT).str(t);
+                }
+            }
+        }
+        Err(err) => {
+            debug_assert_ne!(err.code, 0, "error replies must have nonzero code");
+            e.u16(err.code).u64(err.detail).str(&err.message);
+        }
+    }
+    e.finish()
+}
+
+/// Decode a reply payload into `(req_id, reply)`.
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), DecodeError> {
+    let mut d = Dec::new(payload);
+    let req_id = d.u64()?;
+    let code = d.u16()?;
+    if code != 0 {
+        let detail = d.u64()?;
+        let message = d.str()?.to_string();
+        d.finish()?;
+        return Ok((
+            req_id,
+            Err(SvcError {
+                code,
+                detail,
+                message,
+            }),
+        ));
+    }
+    let body = match d.u8()? {
+        body_tag::EMPTY => Body::Empty,
+        body_tag::INO => Body::Ino(d.u64()?),
+        body_tag::BYTES => Body::Bytes(d.bytes()?.to_vec()),
+        body_tag::WRITTEN => Body::Written(d.u32()?),
+        body_tag::STAT => Body::Stat(FileStat {
+            ino: d.u64()?,
+            size: d.u64()?,
+            blocks: d.u64()?,
+            nlink: d.u64()?,
+            log_pages: d.u64()?,
+            log_entries_live: d.u64()?,
+        }),
+        body_tag::NAMES => {
+            let count = d.u32()? as usize;
+            let mut names = Vec::with_capacity(count.min(65_536));
+            for _ in 0..count {
+                names.push(d.str()?.to_string());
+            }
+            Body::Names(names)
+        }
+        body_tag::DEDUP_STATS => Body::DedupStats(RemoteDedupStats {
+            bytes_saved: d.u64()?,
+            persistent_bytes_saved: d.u64()?,
+            fact_entries: d.u64()?,
+            fact_occupied: d.u64()?,
+            dwq_len: d.u64()?,
+            dedup_index_dram_bytes: d.u64()?,
+            free_blocks: d.u64()?,
+            data_blocks: d.u64()?,
+            file_count: d.u64()?,
+            device_bytes: d.u64()?,
+        }),
+        body_tag::TEXT => Body::Text(d.str()?.to_string()),
+        _ => return Err(DecodeError("unknown body tag")),
+    };
+    d.finish()?;
+    Ok((req_id, Ok(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Create { name: "a".into() },
+            Request::Open { name: "b".into() },
+            Request::Read {
+                ino: 3,
+                offset: 4096,
+                len: 8192,
+            },
+            Request::Write {
+                ino: 3,
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
+            Request::Unlink { name: "c".into() },
+            Request::Link {
+                existing: "a".into(),
+                new_name: "d".into(),
+            },
+            Request::Rename {
+                from: "d".into(),
+                to: "e".into(),
+            },
+            Request::Stat { ino: 7 },
+            Request::List,
+            Request::Fsync { ino: 7 },
+            Request::Truncate { ino: 7, size: 100 },
+            Request::DedupStats,
+            Request::Telemetry { json: true },
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let payload = req.encode(i as u64 + 10);
+            let (id, back) = Request::decode(&payload).unwrap();
+            assert_eq!(id, i as u64 + 10);
+            assert_eq!(back, req, "op {}", req.op_name());
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let bodies = vec![
+            Body::Empty,
+            Body::Ino(42),
+            Body::Bytes(vec![9; 100]),
+            Body::Written(4096),
+            Body::Stat(FileStat {
+                ino: 2,
+                size: 100,
+                blocks: 1,
+                nlink: 1,
+                log_pages: 1,
+                log_entries_live: 1,
+            }),
+            Body::Names(vec!["a".into(), "b".into()]),
+            Body::DedupStats(RemoteDedupStats {
+                bytes_saved: 4096,
+                ..Default::default()
+            }),
+            Body::Text("snapshot".into()),
+        ];
+        for body in bodies {
+            let payload = encode_reply(5, &Ok(body.clone()));
+            let (id, reply) = decode_reply(&payload).unwrap();
+            assert_eq!(id, 5);
+            assert_eq!(reply.unwrap(), body);
+        }
+    }
+
+    #[test]
+    fn errors_cross_the_wire_with_stable_codes() {
+        for nova_err in NovaError::all_variants() {
+            let err = SvcError::from_nova(&nova_err);
+            let payload = encode_reply(1, &Err(err.clone()));
+            let (_, reply) = decode_reply(&payload).unwrap();
+            let back = reply.unwrap_err();
+            assert_eq!(back, err);
+            assert_eq!(back.to_nova().unwrap().code(), nova_err.code());
+        }
+        // BadInode keeps its inode through the round trip.
+        let err = SvcError::from_nova(&NovaError::BadInode(77));
+        let (_, reply) = decode_reply(&encode_reply(1, &Err(err))).unwrap();
+        assert_eq!(
+            reply.unwrap_err().to_nova().unwrap(),
+            NovaError::BadInode(77)
+        );
+    }
+
+    #[test]
+    fn shard_keys_serialize_same_file_ops() {
+        let w1 = Request::Write {
+            ino: 9,
+            offset: 0,
+            data: vec![],
+        };
+        let r1 = Request::Read {
+            ino: 9,
+            offset: 0,
+            len: 1,
+        };
+        assert_eq!(w1.shard_key(), r1.shard_key());
+        let c1 = Request::Create { name: "x".into() };
+        let u1 = Request::Unlink { name: "x".into() };
+        assert_eq!(c1.shard_key(), u1.shard_key());
+        assert_ne!(
+            Request::Create { name: "x".into() }.shard_key(),
+            Request::Create { name: "y".into() }.shard_key()
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_fail_cleanly() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&Enc::new().u64(1).u8(200).finish()).is_err());
+        // Trailing garbage after a valid request.
+        let mut p = Request::Ping.encode(1);
+        p.push(0);
+        assert!(Request::decode(&p).is_err());
+        assert!(decode_reply(&[1, 2]).is_err());
+    }
+}

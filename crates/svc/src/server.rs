@@ -1,0 +1,449 @@
+//! The multi-client server: connection handling over any [`Stream`], the
+//! accept loop for TCP, and loopback connections for tests.
+//!
+//! ## Threading model
+//!
+//! One reader thread per connection decodes frames and submits jobs to the
+//! shared [`ShardedPool`]; one writer thread per connection serializes reply
+//! frames off an mpsc channel (workers never write to sockets, so a slow
+//! client cannot stall a shard). Jobs route to `request.shard_key() % shards`,
+//! which serializes all operations on one inode while letting different files
+//! proceed in parallel.
+//!
+//! ## Robustness
+//!
+//! * **Backpressure** — at most `max_inflight_per_conn` requests of one
+//!   connection may be queued or executing; the reader blocks (stops reading
+//!   the socket) past that, which in turn backpressures the peer's TCP
+//!   window. Waits are counted in `svc.backpressure_waits`.
+//! * **Timeouts** — the per-connection read timeout doubles as the shutdown
+//!   poll tick ([`FrameRead::Idle`]); a peer that stalls *mid-frame* is a
+//!   broken client and the connection is dropped.
+//! * **Structured errors** — malformed frames get a `BAD_REQUEST` reply; a
+//!   panicking operation gets `INTERNAL`; nothing crosses the wire as a
+//!   panic, and the connection survives both.
+//! * **Graceful shutdown** — [`Server::request_shutdown`] (or a `Shutdown`
+//!   request from any client) stops intake; readers finish in-flight work,
+//!   the pool drains, and [`Server::shutdown`] finally settles the dedup
+//!   pipeline with [`Denova::drain`] so the caller can cleanly unmount.
+
+use crate::codec::{read_frame, write_frame, FrameRead};
+use crate::pool::ShardedPool;
+use crate::proto::{encode_reply, Reply, Request, SvcError};
+use crate::service::FileService;
+use crate::transport::Stream;
+use denova::Denova;
+use denova_telemetry::Counter;
+use parking_lot::{Condvar, Mutex};
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Server tunables. The defaults match the paper-evaluation setup: 8 shards,
+/// a 32-request inflight window per connection, and timeouts generous enough
+/// for emulated-PM latency injection.
+#[derive(Debug, Clone, Copy)]
+pub struct SvcConfig {
+    /// Worker shards (same-inode requests serialize within a shard).
+    pub shards: usize,
+    /// Max queued-or-executing requests per connection before the reader
+    /// stops pulling frames off the socket.
+    pub max_inflight_per_conn: usize,
+    /// Idle-poll read timeout; also bounds how long shutdown waits for a
+    /// reader to notice the stop flag.
+    pub read_timeout: Duration,
+    /// Socket write timeout for reply frames.
+    pub write_timeout: Duration,
+}
+
+impl Default for SvcConfig {
+    fn default() -> SvcConfig {
+        SvcConfig {
+            shards: 8,
+            max_inflight_per_conn: 32,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-connection inflight accounting: the reader blocks on `changed` while
+/// `count` is at the cap, and the drain path waits for it to hit zero.
+struct Inflight {
+    count: Mutex<usize>,
+    changed: Condvar,
+}
+
+struct ServerInner {
+    service: Arc<FileService>,
+    pool: ShardedPool,
+    config: SvcConfig,
+    stopping: AtomicBool,
+    conn_seq: AtomicU64,
+    conns: Counter,
+    conns_closed: Counter,
+    bad_requests: Counter,
+    rejected: Counter,
+    backpressure_waits: Counter,
+}
+
+/// A running file service over a mounted [`Denova`] stack.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Build a server (spawning its worker pool) over a mounted stack.
+    pub fn new(fs: Arc<Denova>, config: SvcConfig) -> Server {
+        let service = Arc::new(FileService::new(fs));
+        let metrics = service.metrics().clone();
+        Server {
+            inner: Arc::new(ServerInner {
+                pool: ShardedPool::new(config.shards, &metrics),
+                service,
+                config,
+                stopping: AtomicBool::new(false),
+                conn_seq: AtomicU64::new(0),
+                conns: metrics.counter("svc.conns.opened"),
+                conns_closed: metrics.counter("svc.conns.closed"),
+                bad_requests: metrics.counter("svc.bad_requests"),
+                rejected: metrics.counter("svc.rejected"),
+                backpressure_waits: metrics.counter("svc.backpressure_waits"),
+            }),
+            conn_threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The request executor (and through it, the mounted stack and metrics).
+    pub fn service(&self) -> &Arc<FileService> {
+        &self.inner.service
+    }
+
+    /// True once shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.inner.stopping.load(Ordering::Acquire)
+    }
+
+    /// Stop intake: the accept loop exits, connection readers finish their
+    /// in-flight requests and close. Idempotent; does not block.
+    pub fn request_shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+    }
+
+    /// Attach one already-accepted connection (any transport).
+    pub fn attach(&self, stream: Box<dyn Stream>) {
+        let inner = self.inner.clone();
+        let id = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+        inner.conns.inc();
+        let handle = std::thread::Builder::new()
+            .name(format!("svc-conn-{id}"))
+            .spawn(move || {
+                handle_conn(&inner, stream);
+                inner.conns_closed.inc();
+            })
+            .expect("spawn svc connection thread");
+        self.conn_threads.lock().push(handle);
+    }
+
+    /// Open an in-process loopback connection to this server and return the
+    /// client end. Deterministic — no OS networking involved.
+    pub fn connect_loopback(&self) -> crate::loopback::PipeEnd {
+        let (client_end, server_end) = crate::loopback::pair();
+        self.attach(Box::new(server_end));
+        client_end
+    }
+
+    /// Accept TCP connections until shutdown is requested, then return. The
+    /// listener is polled (non-blocking + sleep) so a quiet port cannot wedge
+    /// shutdown.
+    pub fn serve(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.stopping() {
+            match listener.accept() {
+                Ok((sock, _peer)) => {
+                    sock.set_nonblocking(false)?;
+                    sock.set_stream_timeouts(
+                        Some(self.inner.config.read_timeout),
+                        Some(self.inner.config.write_timeout),
+                    )?;
+                    self.attach(Box::new(sock));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Graceful shutdown: stop intake, join every connection, stop the pool,
+    /// and drain the dedup pipeline. Returns the mounted stack so the caller
+    /// can unmount it cleanly.
+    pub fn shutdown(self) -> Arc<Denova> {
+        self.request_shutdown();
+        for t in self.conn_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        self.inner.pool.stop();
+        let fs = self.inner.service.fs().clone();
+        fs.drain();
+        fs
+    }
+}
+
+fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
+    let _ = stream.set_stream_timeouts(
+        Some(inner.config.read_timeout),
+        Some(inner.config.write_timeout),
+    );
+    let mut reader = stream;
+    let writer = match reader.try_clone_stream() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+
+    // Writer thread: the only place reply frames touch the stream, so reply
+    // bytes from concurrent shards never interleave.
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer_thread = std::thread::spawn(move || {
+        let mut writer = writer;
+        for frame in reply_rx {
+            if write_frame(&mut writer, &frame).is_err() {
+                // Client gone or stalled past the write timeout: tear down
+                // both directions so the reader exits too, then discard the
+                // rest of the backlog.
+                writer.shutdown_stream();
+                break;
+            }
+        }
+    });
+
+    let inflight = Arc::new(Inflight {
+        count: Mutex::new(0),
+        changed: Condvar::new(),
+    });
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(FrameRead::Frame(f)) => f,
+            Ok(FrameRead::Idle) => {
+                if inner.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Ok(FrameRead::Eof) | Err(_) => break,
+        };
+
+        let (req_id, req) = match Request::decode(&frame) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Preserve the req_id when at least that much parsed, so the
+                // client can fail the right pending call.
+                inner.bad_requests.inc();
+                let req_id = frame
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                let reply: Reply = Err(SvcError::service(SvcError::BAD_REQUEST, e.to_string()));
+                if reply_tx.send(encode_reply(req_id, &reply)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        if matches!(req, Request::Shutdown) {
+            inner.stopping.store(true, Ordering::Release);
+        }
+
+        // Backpressure: cap this connection's queued-or-executing requests.
+        {
+            let mut count = inflight.count.lock();
+            if *count >= inner.config.max_inflight_per_conn {
+                inner.backpressure_waits.inc();
+                while *count >= inner.config.max_inflight_per_conn {
+                    inflight.changed.wait(&mut count);
+                }
+            }
+            *count += 1;
+        }
+
+        let service = inner.service.clone();
+        let tx = reply_tx.clone();
+        let job_inflight = inflight.clone();
+        let key = req.shard_key();
+        let submitted = inner.pool.submit(
+            key,
+            Box::new(move || {
+                let reply = service.execute(&req);
+                let _ = tx.send(encode_reply(req_id, &reply));
+                let mut count = job_inflight.count.lock();
+                *count -= 1;
+                job_inflight.changed.notify_all();
+            }),
+        );
+        if !submitted {
+            // Pool already stopped (hard shutdown won the race): refuse
+            // politely rather than dropping the request on the floor.
+            inner.rejected.inc();
+            let reply: Reply = Err(SvcError::service(
+                SvcError::SHUTTING_DOWN,
+                "server is shutting down",
+            ));
+            let _ = reply_tx.send(encode_reply(req_id, &reply));
+            let mut count = inflight.count.lock();
+            *count -= 1;
+            inflight.changed.notify_all();
+            break;
+        }
+    }
+
+    // Drain: wait until every in-flight request for this connection has
+    // replied, so closing the writer cannot drop queued replies.
+    {
+        let mut count = inflight.count.lock();
+        while *count > 0 {
+            inflight.changed.wait(&mut count);
+        }
+    }
+    drop(reply_tx); // writer thread's `for` loop ends once the backlog flushes
+    let _ = writer_thread.join();
+    reader.shutdown_stream();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::proto::Body;
+    use denova::DedupMode;
+    use denova_nova::NovaOptions;
+    use denova_pmem::PmemDevice;
+
+    fn server() -> Server {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        let fs = Denova::mkfs(
+            dev,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .unwrap();
+        Server::new(Arc::new(fs), SvcConfig::default())
+    }
+
+    #[test]
+    fn loopback_round_trip() {
+        let srv = server();
+        let mut client = Client::from_stream(Box::new(srv.connect_loopback()));
+        client.ping().unwrap();
+        let ino = client.create("hello.txt").unwrap();
+        assert_eq!(client.write_at(ino, 0, b"hi there").unwrap(), 8);
+        assert_eq!(client.read_at(ino, 0, 8).unwrap(), b"hi there");
+        let st = client.stat(ino).unwrap();
+        assert_eq!(st.size, 8);
+        assert_eq!(client.list().unwrap(), vec!["hello.txt".to_string()]);
+        client.unlink("hello.txt").unwrap();
+        drop(client);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_bad_request_and_connection_survives() {
+        let srv = server();
+        let mut end = srv.connect_loopback();
+        // A syntactically valid frame whose payload is garbage.
+        crate::codec::write_frame(&mut end, &[1, 2, 3]).unwrap();
+        let mut client = Client::from_stream(Box::new(end));
+        // The error reply for the garbage frame is consumed first; req_id 0
+        // matches nothing the client sent, so it is discarded and the ping
+        // round-trips on the same connection.
+        client.ping().unwrap();
+        let snap = srv.service().metrics().snapshot();
+        assert_eq!(snap.counter("svc.bad_requests"), Some(1));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_stops_server_and_tcp_serve_returns() {
+        let srv = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv2 = srv.clone();
+        let accept = std::thread::spawn(move || srv2.serve(listener).unwrap());
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let ino = client.create("f").unwrap();
+        client.write_at(ino, 0, &[1; 4096]).unwrap();
+        client.shutdown_server().unwrap();
+        accept.join().unwrap();
+        assert!(srv.stopping());
+        let fs = Arc::try_unwrap(srv)
+            .unwrap_or_else(|_| panic!("server still referenced"))
+            .shutdown();
+        assert_eq!(fs.file_size(ino).unwrap(), 4096);
+    }
+
+    #[test]
+    fn inflight_cap_backpressures_rather_than_drops() {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        let fs = Denova::mkfs(
+            dev,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+            DedupMode::Baseline,
+        )
+        .unwrap();
+        let srv = Server::new(
+            Arc::new(fs),
+            SvcConfig {
+                shards: 1,
+                max_inflight_per_conn: 2,
+                ..Default::default()
+            },
+        );
+        let mut end = srv.connect_loopback();
+        let ino = {
+            let mut c = Client::from_stream(Box::new(srv.connect_loopback()));
+            c.create("f").unwrap()
+        };
+        // Fire 64 pipelined writes without reading replies: far beyond the
+        // inflight cap, so the reader must stall rather than queue them all.
+        for i in 0..64u64 {
+            let req = Request::Write {
+                ino,
+                offset: i * 512,
+                data: vec![i as u8; 512],
+            };
+            crate::codec::write_frame(&mut end, &req.encode(i)).unwrap();
+        }
+        // Every reply still arrives, in submission order (single shard).
+        let mut got = 0u64;
+        while got < 64 {
+            match read_frame(&mut end).unwrap() {
+                FrameRead::Frame(f) => {
+                    let (id, reply) = crate::proto::decode_reply(&f).unwrap();
+                    assert_eq!(id, got);
+                    assert_eq!(reply.unwrap(), Body::Written(512));
+                    got += 1;
+                }
+                FrameRead::Idle => {}
+                FrameRead::Eof => panic!("server closed early"),
+            }
+        }
+        let snap = srv.service().metrics().snapshot();
+        assert!(snap.counter("svc.backpressure_waits").unwrap_or(0) > 0);
+        drop(end);
+        let fs = srv.shutdown();
+        assert_eq!(fs.file_size(ino).unwrap(), 64 * 512);
+    }
+}

@@ -1,0 +1,92 @@
+//! The byte-stream abstraction both transports implement.
+//!
+//! The server and client are written against [`Stream`] so the real TCP
+//! transport and the in-process loopback pipe (see [`crate::loopback`]) share
+//! every line of framing, dispatch, and error-handling code. A `Stream` is a
+//! bidirectional byte pipe that can be cloned into independently-owned
+//! read/write halves, carry read/write timeouts, and be shut down from either
+//! half.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A cloneable, timeout-capable, shutdown-capable byte stream.
+pub trait Stream: Read + Write + Send {
+    /// A second handle to the same underlying connection (TCP `try_clone`
+    /// semantics: both handles share one socket, timeouts, and shutdown
+    /// state). Used to give the writer thread its own handle.
+    fn try_clone_stream(&self) -> io::Result<Box<dyn Stream>>;
+
+    /// Set read/write timeouts. `None` blocks forever. A read timeout makes
+    /// [`crate::codec::read_frame`] return [`crate::codec::FrameRead::Idle`]
+    /// when no frame starts in time, which the server uses as its
+    /// shutdown-poll tick.
+    fn set_stream_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()>;
+
+    /// Tear the connection down in both directions, waking any blocked peer
+    /// or clone. Best-effort; errors are ignored.
+    fn shutdown_stream(&self);
+}
+
+impl Stream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn Stream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
+
+    fn shutdown_stream(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_frame, write_frame, FrameRead};
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_stream_frames_and_idle_timeouts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            match read_frame(&mut conn).unwrap() {
+                FrameRead::Frame(p) => write_frame(&mut conn, &p).unwrap(),
+                other => panic!("{other:?}"),
+            }
+            // Hold the connection open, silent, so the client times out idle.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .set_stream_timeouts(Some(Duration::from_millis(50)), None)
+            .unwrap();
+        write_frame(&mut client, b"echo").unwrap();
+        // Reply may take a moment; Idle polls until it lands.
+        let reply = loop {
+            match read_frame(&mut client).unwrap() {
+                FrameRead::Frame(p) => break p,
+                FrameRead::Idle => continue,
+                FrameRead::Eof => panic!("unexpected eof"),
+            }
+        };
+        assert_eq!(reply, b"echo");
+        // Silent server: a read now reports Idle, not an error or hang.
+        assert!(matches!(read_frame(&mut client).unwrap(), FrameRead::Idle));
+        server.join().unwrap();
+    }
+}

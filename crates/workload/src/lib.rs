@@ -11,16 +11,20 @@
 //!   page-level duplicate ratio;
 //! * [`runner`] — executes jobs against a [`denova::Denova`] mount and
 //!   measures throughput and latency;
+//! * [`remote`] — executes the same jobs through the `denova-svc` wire
+//!   protocol, N client threads each on their own connection;
 //! * [`stats`] — CDF/percentile helpers for the Fig. 10 lingering-time plot.
 
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod remote;
 pub mod runner;
 pub mod spec;
 pub mod stats;
 
 pub use data::DataGenerator;
+pub use remote::{run_remote_write_job, run_remote_write_job_tcp, RemoteReport};
 pub use runner::{run_read_job, run_write_job, ReadReport, WriteReport};
 pub use spec::{JobSpec, ThinkTime, WriteKind};
 pub use stats::{cdf_points, mean, percentile, Summary};

@@ -18,6 +18,17 @@
 //! denova-cli fs.img stats                               # telemetry snapshot
 //! ```
 //!
+//! The same image can be **served** to remote clients over TCP, with every
+//! other command able to run against the server instead of a local image:
+//!
+//! ```text
+//! denova-cli fs.img serve --listen 127.0.0.1:7070 &     # prints "listening on ..."
+//! denova-cli --remote 127.0.0.1:7070 put report.pdf /tmp/report.pdf
+//! denova-cli --remote 127.0.0.1:7070 ls
+//! denova-cli --remote 127.0.0.1:7070 stats --json       # server-side telemetry
+//! denova-cli --remote 127.0.0.1:7070 shutdown           # drain + save image
+//! ```
+//!
 //! Setting `DENOVA_TELEMETRY=1` turns span/event collection on for any
 //! command and dumps a telemetry snapshot to stderr when it finishes
 //! (counters are always collected; the variable only adds latency
@@ -31,19 +42,25 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: denova-cli <image> <command> [args]\n\
+         \x20      denova-cli --remote <host:port> <command> [args]\n\
          commands:\n\
-         \x20 mkfs --size <N[K|M|G]>        format a new image\n\
+         \x20 mkfs --size <N[K|M|G]>        format a new image (local only)\n\
          \x20 put <name> <hostfile>         copy a host file in\n\
          \x20 get <name> <hostfile>         copy a file out\n\
          \x20 cat <name>                    print a file to stdout\n\
          \x20 ls                            list files\n\
          \x20 rm <name>                     remove a file\n\
+         \x20 ln <existing> <new>           hard-link under a new name\n\
          \x20 mv <from> <to>                rename (clobbers target)\n\
          \x20 stat <name>                   file metadata\n\
          \x20 df                            space + dedup statistics\n\
-         \x20 fsck                          consistency check\n\
-         \x20 scrub                         reconcile FACT reference counts\n\
-         \x20 stats [--json]                run a telemetry probe, print the snapshot\n\
+         \x20 fsck                          consistency check (local only)\n\
+         \x20 scrub                         reconcile FACT reference counts (local only)\n\
+         \x20 stats [--json]                telemetry snapshot (probe locally,\n\
+         \x20                               fetch live metrics when --remote)\n\
+         \x20 serve [--listen <host:port>] [--shards <n>]\n\
+         \x20                               serve the image over TCP (local only)\n\
+         \x20 shutdown                      drain and stop a served image (remote only)\n\
          env:\n\
          \x20 DENOVA_TELEMETRY=1            collect spans/events in any command\n\
          \x20                               and dump a snapshot to stderr"
@@ -97,6 +114,12 @@ fn run() -> Result<(), String> {
     if args.len() < 2 {
         usage();
     }
+    if args[0] == "--remote" {
+        if args.len() < 3 {
+            usage();
+        }
+        return run_remote(&args[1], args[2].as_str(), &args[3..]);
+    }
     let image = PathBuf::from(&args[0]);
     let cmd = args[1].as_str();
     let rest = &args[2..];
@@ -129,13 +152,16 @@ fn run() -> Result<(), String> {
             let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
             let fs = open_fs(&image)?;
             let ino = match fs.open(name) {
-                Ok(ino) => {
-                    fs.truncate(ino, 0).map_err(|e| e.to_string())?;
-                    ino
-                }
+                Ok(ino) => ino,
                 Err(_) => fs.create(name).map_err(|e| e.to_string())?,
             };
+            // Overwrite in place, then commit the new size: a shorter upload
+            // over a longer file must not leave stale tail bytes, and writing
+            // before truncating means a crash mid-put can never expose a
+            // zero-length file where the old content used to be.
             fs.write(ino, 0, &data).map_err(|e| e.to_string())?;
+            fs.truncate(ino, data.len() as u64)
+                .map_err(|e| e.to_string())?;
             fs.drain();
             println!(
                 "{name}: {} bytes ({} saved by dedup so far)",
@@ -249,6 +275,35 @@ fn run() -> Result<(), String> {
             println!("scrub: {fixed} FACT entries reconciled");
             close_fs(fs, &image)
         }
+        ("serve", rest) => {
+            let mut listen = "127.0.0.1:0".to_string();
+            let mut config = SvcConfig::default();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match (flag.as_str(), it.next()) {
+                    ("--listen", Some(addr)) => listen = addr.clone(),
+                    ("--shards", Some(n)) => {
+                        config.shards = n.parse().map_err(|_| format!("bad --shards '{n}'"))?;
+                    }
+                    _ => usage(),
+                }
+            }
+            let fs = open_fs(&image)?;
+            let listener = std::net::TcpListener::bind(&listen)
+                .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+            let addr = listener.local_addr().map_err(|e| e.to_string())?;
+            // Scraped by scripts driving ephemeral ports — keep the format.
+            println!("listening on {addr}");
+            let server = Server::new(Arc::new(fs), config);
+            server.serve(listener).map_err(|e| format!("serve: {e}"))?;
+            // A client sent `shutdown`: drain in-flight work and the dedup
+            // pipeline, then persist the image like any other command.
+            let fs = server.shutdown();
+            let fs = Arc::try_unwrap(fs)
+                .map_err(|_| "connections still hold the file system".to_string())?;
+            println!("shutting down");
+            close_fs(fs, &image)
+        }
         ("stats", rest) => {
             let json = match rest {
                 [] => false,
@@ -296,6 +351,109 @@ fn run() -> Result<(), String> {
                 );
                 println!("{}", snap.to_text());
             }
+            Ok(())
+        }
+        _ => usage(),
+    }
+}
+
+/// Dispatch one command against a served file system over TCP. The command
+/// surface mirrors the local one; `mkfs`/`fsck`/`scrub`/`serve` stay local
+/// because they operate on the image itself.
+fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
+    let mut client =
+        Client::connect_tcp(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let e = |e: SvcError| e.to_string();
+    match (cmd, rest) {
+        ("put", [name, host]) => {
+            let data = std::fs::read(host).map_err(|err| format!("read {host}: {err}"))?;
+            client.put(name, &data).map_err(e)?;
+            let stats = client.dedup_stats().map_err(e)?;
+            println!(
+                "{name}: {} bytes ({} saved by dedup so far)",
+                data.len(),
+                stats.bytes_saved
+            );
+            Ok(())
+        }
+        ("get", [name, host]) => {
+            let data = client.get(name).map_err(e)?;
+            std::fs::write(host, &data).map_err(|err| format!("write {host}: {err}"))?;
+            println!("{name}: {} bytes -> {host}", data.len());
+            Ok(())
+        }
+        ("cat", [name]) => {
+            let data = client.get(name).map_err(e)?;
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&data)
+                .map_err(|err| err.to_string())
+        }
+        ("ls", []) => {
+            let mut names = client.list().map_err(e)?;
+            names.sort();
+            for name in names {
+                let ino = client.open(&name).map_err(e)?;
+                let st = client.stat(ino).map_err(e)?;
+                println!("{:>12}  {}", st.size, name);
+            }
+            Ok(())
+        }
+        ("rm", [name]) => {
+            client.unlink(name).map_err(e)?;
+            println!("removed {name}");
+            Ok(())
+        }
+        ("ln", [existing, new]) => {
+            let ino = client.link(existing, new).map_err(e)?;
+            println!("{new} => ino {ino} (also {existing})");
+            Ok(())
+        }
+        ("mv", [from, to]) => {
+            client.rename(from, to).map_err(e)?;
+            println!("{from} -> {to}");
+            Ok(())
+        }
+        ("stat", [name]) => {
+            let ino = client.open(name).map_err(e)?;
+            let st = client.stat(ino).map_err(e)?;
+            println!(
+                "{name}: ino {} size {} B, {} data pages, {} log pages, {} live entries",
+                st.ino, st.size, st.blocks, st.log_pages, st.log_entries_live
+            );
+            Ok(())
+        }
+        ("df", []) => {
+            let s = client.dedup_stats().map_err(e)?;
+            println!(
+                "device: {} MB, data area {} blocks, {} free ({:.1}% used)",
+                s.device_bytes / (1 << 20),
+                s.data_blocks,
+                s.free_blocks,
+                100.0 * (s.data_blocks - s.free_blocks) as f64 / s.data_blocks.max(1) as f64
+            );
+            println!(
+                "dedup:  {} FACT entries, {} B saved, dedup-index DRAM {} B",
+                s.fact_occupied, s.persistent_bytes_saved, s.dedup_index_dram_bytes
+            );
+            Ok(())
+        }
+        ("stats", rest) => {
+            let json = match rest {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => usage(),
+            };
+            // Unlike the local probe, this fetches the server's *live*
+            // registry: real request counts and per-op latencies, rendered
+            // server-side.
+            let text = client.telemetry(json).map_err(e)?;
+            println!("{text}");
+            Ok(())
+        }
+        ("shutdown", []) => {
+            client.shutdown_server().map_err(e)?;
+            println!("server at {addr} is shutting down");
             Ok(())
         }
         _ => usage(),

@@ -1,7 +1,9 @@
-//! End-to-end tests of the `denova-cli` binary against a device image file.
+//! End-to-end tests of the `denova-cli` binary against a device image file,
+//! including the served (`serve` / `--remote`) mode.
 
+use std::io::BufRead;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 fn tmpdir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -26,6 +28,21 @@ fn ok(image: &PathBuf, args: &[&str]) -> String {
     assert!(
         out.status.success(),
         "denova-cli {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+/// Run `denova-cli --remote <addr> <args...>`, asserting success.
+fn remote_ok(addr: &str, args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_denova-cli"))
+        .args(["--remote", addr])
+        .args(args)
+        .output()
+        .expect("spawn denova-cli");
+    assert!(
+        out.status.success(),
+        "denova-cli --remote {addr} {args:?} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     String::from_utf8_lossy(&out.stdout).to_string()
@@ -110,6 +127,94 @@ fn cli_errors_are_clean() {
     assert!(!out.status.success());
     let out = cli(&image, &["rm", "ghost"]);
     assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: `put` over an existing *larger* file must leave the file at
+/// exactly the new size — no stale tail bytes from the earlier content, and
+/// the committed inode size (what `ls`/`stat` report) must shrink too.
+#[test]
+fn put_over_larger_file_leaves_no_stale_tail() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    let big = dir.join("big.bin");
+    let small = dir.join("small.bin");
+    let out = dir.join("out.bin");
+    // Non-uniform payloads so any resurrected tail byte is detectable, and
+    // a small size that is NOT page-aligned so the tail of the last page is
+    // exercised as well.
+    let big_payload: Vec<u8> = (0..50_000u32).map(|i| (i % 249) as u8).collect();
+    let small_payload: Vec<u8> = (0..3_000u32).map(|i| 255 - (i % 241) as u8).collect();
+    std::fs::write(&big, &big_payload).unwrap();
+    std::fs::write(&small, &small_payload).unwrap();
+
+    ok(&image, &["mkfs", "--size", "32M"]);
+    ok(&image, &["put", "f.bin", big.to_str().unwrap()]);
+    ok(&image, &["put", "f.bin", small.to_str().unwrap()]);
+
+    let st = ok(&image, &["stat", "f.bin"]);
+    assert!(st.contains("size 3000"), "stale size survived: {st}");
+    ok(&image, &["get", "f.bin", out.to_str().unwrap()]);
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        small_payload,
+        "stale tail bytes survived the shrinking put"
+    );
+    // Growing it again still works (no truncation state left behind).
+    ok(&image, &["put", "f.bin", big.to_str().unwrap()]);
+    ok(&image, &["get", "f.bin", out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&out).unwrap(), big_payload);
+    let fsck = ok(&image, &["fsck"]);
+    assert!(fsck.contains("clean"), "{fsck}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `serve` + `--remote`: a served image handles put/get/stat/rm over TCP,
+/// `stats --remote` returns live server telemetry, and `shutdown` drains and
+/// persists the image so a local fsck afterwards is clean.
+#[test]
+fn serve_and_remote_round_trip() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    let host_in = dir.join("in.bin");
+    let host_out = dir.join("out.bin");
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 253) as u8).collect();
+    std::fs::write(&host_in, &payload).unwrap();
+    ok(&image, &["mkfs", "--size", "32M"]);
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_denova-cli"))
+        .arg(&image)
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut lines = std::io::BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("server exited early").unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    remote_ok(&addr, &["put", "a.bin", host_in.to_str().unwrap()]);
+    let st = remote_ok(&addr, &["stat", "a.bin"]);
+    assert!(st.contains("size 20000"), "{st}");
+    remote_ok(&addr, &["get", "a.bin", host_out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&host_out).unwrap(), payload);
+    let ls = remote_ok(&addr, &["ls"]);
+    assert!(ls.contains("a.bin"));
+    let stats = remote_ok(&addr, &["stats"]);
+    assert!(stats.contains("svc.requests"), "{stats}");
+    let json = remote_ok(&addr, &["stats", "--json"]);
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    remote_ok(&addr, &["rm", "a.bin"]);
+    remote_ok(&addr, &["shutdown"]);
+
+    let status = server.wait().expect("wait serve");
+    assert!(status.success(), "serve exited nonzero");
+    // The image was persisted on shutdown and is consistent.
+    let fsck = ok(&image, &["fsck"]);
+    assert!(fsck.contains("clean"), "{fsck}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

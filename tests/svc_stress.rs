@@ -1,0 +1,230 @@
+//! Server-backed stress: many client threads driving one served DeNova mount
+//! through the wire protocol, then the same fsck + FACT-exactness audit the
+//! in-process stress test applies.
+//!
+//! Two shapes:
+//! * a deterministic loopback run with *mixed* operations (create, write,
+//!   read, stat, link, rename, unlink, fsync, list) from 8 concurrent
+//!   clients under `DedupMode::Immediate`;
+//! * the acceptance run — a 16-thread remote write workload over real TCP
+//!   that must finish with **zero** failed requests.
+
+use denova_repro::prelude::*;
+use denova_repro::svc::{Body, Request, Server, SvcConfig};
+use denova_workload::run_remote_write_job_tcp;
+use std::sync::Arc;
+
+fn serve_fresh(size: usize, inodes: u64, config: SvcConfig) -> Server {
+    let dev = Arc::new(PmemDevice::new(size));
+    let fs = Denova::mkfs(
+        dev,
+        NovaOptions {
+            num_inodes: inodes,
+            cpus: 4,
+            ..Default::default()
+        },
+        DedupMode::Immediate,
+    )
+    .unwrap();
+    Server::new(Arc::new(fs), config)
+}
+
+/// Quiesce the served stack and audit it: fsck must be clean and every FACT
+/// entry's RFC must equal the true cross-file reference count with no UC
+/// residue (the scrub-exactness invariant).
+fn audit(fs: &Denova) {
+    fs.drain();
+    fs.scrub().unwrap();
+    let report = denova_repro::nova::fsck(fs.nova(), true).unwrap();
+    assert!(report.is_clean(), "fsck: {:?}", report.errors);
+    let counts = fs.nova().block_reference_counts();
+    fs.fact().for_each_occupied(|idx, e| {
+        let (rfc, uc) = fs.fact().counters(idx);
+        assert_eq!(uc, 0, "UC residue at {idx}");
+        assert_eq!(
+            rfc,
+            counts.get(&e.block).copied().unwrap_or(0),
+            "RFC mismatch at {idx}"
+        );
+    });
+}
+
+#[test]
+fn loopback_mixed_ops_stress_stays_consistent() {
+    let srv = serve_fresh(128 * 1024 * 1024, 2048, SvcConfig::default());
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let client_end = srv.connect_loopback();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::from_stream(Box::new(client_end));
+            // Each thread owns its name band, so every operation on an owned
+            // name must succeed — failures are bugs, not races. Cross-band
+            // reads may race an unlink and are allowed to miss.
+            for i in 0..60u64 {
+                let name = format!("t{t}-f{}", i % 10);
+                let ino = match client.open(&name) {
+                    Ok(ino) => ino,
+                    Err(e) if e.is_not_found() => client.create(&name).unwrap(),
+                    Err(e) => panic!("open {name}: {e}"),
+                };
+                // Uniform pages (torn writes detectable); even iterations
+                // share content across all threads so dedup fires.
+                let val = if i % 2 == 0 {
+                    (i % 5) as u8 + 1
+                } else {
+                    50 + (t * 13 + i % 11) as u8
+                };
+                let pages = 1 + (i % 3) as usize;
+                client
+                    .write_at(ino, 0, &vec![val; pages * 4096])
+                    .unwrap_or_else(|e| panic!("write {name}: {e}"));
+                match i % 6 {
+                    0 => {
+                        let st = client.stat(ino).unwrap();
+                        assert!(st.size >= 4096, "{name} shrank to {}", st.size);
+                    }
+                    1 => {
+                        // Cross-band read: may miss, must never tear.
+                        let other = format!("t{}-f{}", (t + 1) % 8, i % 10);
+                        if let Ok(oino) = client.open(&other) {
+                            if let Ok(data) = client.read_at(oino, 0, 3 * 4096) {
+                                for (pg, page) in data.chunks(4096).enumerate() {
+                                    assert!(
+                                        page.iter().all(|&b| b == page[0]),
+                                        "torn page {pg} in {other}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    2 => {
+                        let alias = format!("t{t}-link-{}", i % 10);
+                        match client.link(&name, &alias) {
+                            Ok(_) => client.unlink(&alias).unwrap(),
+                            Err(e) => assert!(
+                                e.to_nova() == Some(NovaError::AlreadyExists),
+                                "link {alias}: {e}"
+                            ),
+                        }
+                    }
+                    3 => {
+                        let moved = format!("t{t}-moved-{}", i % 10);
+                        client.rename(&name, &moved).unwrap();
+                        client.rename(&moved, &name).unwrap();
+                    }
+                    4 => {
+                        if i % 12 == 4 {
+                            client.unlink(&name).unwrap();
+                        }
+                    }
+                    _ => {
+                        client.fsync(ino).unwrap();
+                        assert!(!client.list().unwrap().is_empty());
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = {
+        let mut c = Client::from_stream(Box::new(srv.connect_loopback()));
+        c.dedup_stats().unwrap()
+    };
+    assert!(stats.bytes_saved > 0, "dedup never fired under stress");
+    let snap = srv.service().metrics().snapshot();
+    assert_eq!(
+        snap.counter("svc.pool.panics"),
+        Some(0),
+        "service panicked under stress"
+    );
+    let fs = srv.shutdown();
+    audit(&fs);
+}
+
+#[test]
+fn sixteen_thread_tcp_workload_has_zero_failures() {
+    let srv = Arc::new(serve_fresh(128 * 1024 * 1024, 2048, SvcConfig::default()));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let srv2 = srv.clone();
+    let accept = std::thread::spawn(move || srv2.serve(listener).unwrap());
+
+    let spec = JobSpec::small_files(128, 0.5).with_threads(16);
+    let report = run_remote_write_job_tcp(&addr, &spec);
+    assert_eq!(
+        report.failures, 0,
+        "remote workload dropped or failed requests"
+    );
+    assert_eq!(report.files, 128);
+    assert_eq!(report.bytes, 128 * 4096);
+    assert_eq!(report.latency_summary().count, 128);
+
+    // Stop the server over the wire, like a real client would.
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    c.fsync(0).unwrap();
+    let stats = c.dedup_stats().unwrap();
+    assert_eq!(stats.file_count, 128);
+    assert!(stats.bytes_saved > 0, "duplicate ratio never deduplicated");
+    c.shutdown_server().unwrap();
+    drop(c);
+    accept.join().unwrap();
+
+    let srv = Arc::try_unwrap(srv).unwrap_or_else(|_| panic!("server still referenced"));
+    let fs = srv.shutdown();
+    audit(&fs);
+    // Every byte that crossed the wire landed intact: regenerate each
+    // thread's deterministic data stream and compare files exactly.
+    for t in 0..16u64 {
+        let mut gen = DataGenerator::new(spec.seed ^ t << 32, spec.dup_ratio);
+        for i in 0..8 {
+            let expected = gen.next_file(spec.file_size);
+            let ino = fs.open(&format!("{}-{t}-{i}", spec.name)).unwrap();
+            let data = fs.read(ino, 0, spec.file_size).unwrap();
+            assert_eq!(data, expected, "corrupt content in {}-{t}-{i}", spec.name);
+        }
+    }
+}
+
+/// Pipelined requests from one connection interleave with other clients
+/// without reordering within an inode: the reply order and final content
+/// match what a serial execution would produce.
+#[test]
+fn pipelined_writes_serialize_per_inode() {
+    let srv = serve_fresh(64 * 1024 * 1024, 256, SvcConfig::default());
+    let mut setup = Client::from_stream(Box::new(srv.connect_loopback()));
+    let ino = setup.create("f").unwrap();
+
+    // Raw pipelining: 40 writes to the same 4 KB page, replies read later.
+    use denova_repro::svc::codec::{read_frame, write_frame, FrameRead};
+    let mut end = srv.connect_loopback();
+    for i in 0..40u64 {
+        let req = Request::Write {
+            ino,
+            offset: 0,
+            data: vec![i as u8 + 1; 4096],
+        };
+        write_frame(&mut end, &req.encode(i)).unwrap();
+    }
+    let mut seen = 0u64;
+    while seen < 40 {
+        match read_frame(&mut end).unwrap() {
+            FrameRead::Frame(f) => {
+                let (id, reply) = denova_repro::svc::proto::decode_reply(&f).unwrap();
+                assert_eq!(id, seen, "replies reordered");
+                assert_eq!(reply.unwrap(), Body::Written(4096));
+                seen += 1;
+            }
+            FrameRead::Idle => {}
+            FrameRead::Eof => panic!("server closed mid-pipeline"),
+        }
+    }
+    // Last write wins: the page holds value 40.
+    let data = setup.read_at(ino, 0, 4096).unwrap();
+    assert!(data.iter().all(|&b| b == 40), "lost or reordered write");
+    drop(setup);
+    drop(end);
+    let fs = srv.shutdown();
+    audit(&fs);
+}
