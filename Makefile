@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build test serve-smoke
+verify: build test serve-smoke dedup-scale-smoke
 
 build:
 	$(CARGO) build --release
@@ -23,6 +23,11 @@ clippy:
 # put/get/stat/rm round-trip via --remote, clean shutdown, fsck.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
+
+# Parallel-dedup-pipeline check: a tiny 1-vs-4-worker backlog drain that
+# must produce identical dedup ratios and clean fsck/FACT audits.
+dedup-scale-smoke: build
+	bash scripts/dedup_scale_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

@@ -152,6 +152,46 @@ fn bench_fig12_read(c: &mut Criterion) {
     g.finish();
 }
 
+/// SHA-1 page-fingerprint throughput, copied-buffer vs zero-copy: the
+/// daemon's stage-1 fingerprinting reads pages straight from the device's
+/// mapped slice (`PmemDevice::with_slice`), so the old copy into a stack
+/// `page_buf` is pure overhead. This group quantifies what the zero-copy
+/// path saves per 4 KB page.
+fn bench_fingerprint_page(c: &mut Criterion) {
+    use denova_fingerprint::Fingerprint;
+    calibrate_spin();
+    let mut g = quick(c, "fingerprint_page_4k");
+    // Latency off: this measures the SHA-1 + copy cost, not the device
+    // model's injected read latency.
+    let dev = PmemBuilder::new(16 * 1024 * 1024)
+        .latency(LatencyProfile::none())
+        .build();
+    for off in (0..dev.size() as u64).step_by(PAGE_SIZE) {
+        let page: Vec<u8> = (0..PAGE_SIZE).map(|i| (i as u64 ^ off) as u8).collect();
+        dev.write(off, &page);
+    }
+    let pages = (dev.size() / PAGE_SIZE) as u64;
+    g.bench_function("copy_then_sha1", |b| {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut i = 0u64;
+        b.iter(|| {
+            let off = (i % pages) * PAGE_SIZE as u64;
+            i += 1;
+            dev.read_into(off, &mut buf);
+            std::hint::black_box(Fingerprint::of(&buf));
+        });
+    });
+    g.bench_function("zero_copy_sha1", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let off = (i % pages) * PAGE_SIZE as u64;
+            i += 1;
+            std::hint::black_box(dev.with_slice(off, PAGE_SIZE, Fingerprint::of));
+        });
+    });
+    g.finish();
+}
+
 /// FACT microbenchmarks: DAA lookup, delete-pointer resolve, insert.
 fn bench_fact_ops(c: &mut Criterion) {
     use denova::{DedupStats, Fact};
@@ -241,6 +281,7 @@ criterion_group!(
     bench_fig8_write_per_mode,
     bench_fig11_overwrite,
     bench_fig12_read,
+    bench_fingerprint_page,
     bench_fact_ops,
     bench_dedup_transaction,
 );

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash ablation endurance recovery svc`. Pass `--json <path>` to also dump
+//! crash dedup_scaling ablation endurance recovery svc`. Pass `--json
+//! <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
 
 use denova_bench::*;
@@ -55,6 +56,7 @@ fn main() {
         "fig12",
         "space",
         "crash",
+        "dedup_scaling",
         "ablation",
         "endurance",
         "recovery",
@@ -164,6 +166,11 @@ fn main() {
         let rows = crashes::run();
         println!("{}", crashes::render(&rows));
         json.insert("crash_matrix", &rows);
+    }
+    if want("dedup_scaling") {
+        let cells = dedup_scale::run(&scale);
+        println!("{}", dedup_scale::render(&cells, &scale));
+        json.insert("dedup_scaling", &cells);
     }
     if want("svc") {
         let res = svc_bench::run(&scale);

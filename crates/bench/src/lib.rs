@@ -18,6 +18,7 @@
 
 pub mod ablation;
 pub mod crashes;
+pub mod dedup_scale;
 pub mod endurance;
 pub mod fig10;
 pub mod fig11;

@@ -13,11 +13,20 @@
 //! Enqueue cost is one short mutex section — "extremely small as compared to
 //! the time spent accessing NVM" — which is why Fig. 8/9 show < 1 % impact
 //! on foreground writes.
+//!
+//! **Sharding.** The queue is split into `shards` independent FIFOs, one per
+//! dedup worker, and a node is routed by `ino % shards`. Routing by inode
+//! (not round-robin) keeps every entry of one inode in one FIFO, so per-inode
+//! processing order — which the dedupe-flag state machine depends on — is
+//! preserved no matter how many workers drain concurrently, and no two
+//! workers ever contend on the same inode lock. Each shard has its own mutex
+//! and condvar, so enqueuers on different inodes never serialize against
+//! each other, plus depth/throughput gauges under `denova.daemon.shard.<i>`.
 
 use crate::stats::DedupStats;
 use denova_nova::Layout;
 use denova_pmem::PmemDevice;
-use denova_telemetry::MetricsRegistry;
+use denova_telemetry::{Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,11 +46,23 @@ pub struct DwqNode {
     pub enqueued_at: Instant,
 }
 
+/// One independent FIFO of the sharded queue.
+struct Shard {
+    queue: Mutex<VecDeque<DwqNode>>,
+    /// Signalled on enqueue so the worker owning this shard wakes instantly.
+    cond: Condvar,
+    /// Current queue depth (`denova.daemon.shard.<i>.depth`).
+    depth: Gauge,
+    /// Nodes handed to a worker so far (`denova.daemon.shard.<i>.dequeued`).
+    dequeued: Counter,
+    /// Nodes fully deduplicated by the owning worker
+    /// (`denova.daemon.shard.<i>.processed`).
+    processed: Counter,
+}
+
 /// The deduplication work queue.
 pub struct Dwq {
-    queue: Mutex<VecDeque<DwqNode>>,
-    /// Signalled on enqueue so an Immediate-mode daemon wakes instantly.
-    cond: Condvar,
+    shards: Vec<Shard>,
     stats: Arc<DedupStats>,
     metrics: MetricsRegistry,
     /// Nodes ever enqueued into *this* queue instance. Unlike the registry
@@ -51,21 +72,47 @@ pub struct Dwq {
 }
 
 impl Dwq {
-    /// Create a new instance with a private metrics registry.
+    /// Create a new single-shard instance with a private metrics registry.
     pub fn new(stats: Arc<DedupStats>) -> Dwq {
         Self::with_metrics(stats, MetricsRegistry::new())
     }
 
-    /// Create a new instance emitting lifecycle events into `metrics`
-    /// (the device registry when assembled by [`crate::Denova`]).
+    /// Create a new single-shard instance emitting lifecycle events into
+    /// `metrics` (the device registry when assembled by [`crate::Denova`]).
     pub fn with_metrics(stats: Arc<DedupStats>, metrics: MetricsRegistry) -> Dwq {
+        Self::with_shards(stats, metrics, 1)
+    }
+
+    /// Create an instance with `shards` independent FIFOs (one per dedup
+    /// worker; clamped to at least 1).
+    pub fn with_shards(stats: Arc<DedupStats>, metrics: MetricsRegistry, shards: usize) -> Dwq {
+        let n = shards.max(1);
+        let shards = (0..n)
+            .map(|i| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                cond: Condvar::new(),
+                depth: metrics.gauge(&format!("denova.daemon.shard.{i}.depth")),
+                dequeued: metrics.counter(&format!("denova.daemon.shard.{i}.dequeued")),
+                processed: metrics.counter(&format!("denova.daemon.shard.{i}.processed")),
+            })
+            .collect();
         Dwq {
-            queue: Mutex::new(VecDeque::new()),
-            cond: Condvar::new(),
+            shards,
             stats,
             metrics,
             total_enqueued: AtomicU64::new(0),
         }
+    }
+
+    /// Number of independent FIFOs.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a node for `ino` is routed to.
+    #[inline]
+    pub fn shard_of(&self, ino: u64) -> usize {
+        (ino % self.shards.len() as u64) as usize
     }
 
     /// Nodes ever enqueued into this queue instance (including restored
@@ -83,67 +130,117 @@ impl Dwq {
             entry_off,
             enqueued_at: Instant::now(),
         };
-        self.queue.lock().push_back(node);
+        let shard = &self.shards[self.shard_of(ino)];
+        let depth = {
+            let mut q = shard.queue.lock();
+            q.push_back(node);
+            q.len()
+        };
+        shard.depth.set(depth as i64);
         self.total_enqueued.fetch_add(1, Ordering::AcqRel);
         self.stats.record_enqueue();
         self.metrics
             .event("dwq.enqueue", &[("ino", ino), ("entry_off", entry_off)]);
-        self.cond.notify_one();
+        shard.cond.notify_one();
     }
 
-    /// Dequeue up to `max` nodes (FIFO order), recording lingering times.
-    pub fn pop_batch(&self, max: usize) -> Vec<DwqNode> {
-        let mut q = self.queue.lock();
-        let n = max.min(q.len());
-        let now = Instant::now();
-        let batch: Vec<DwqNode> = q.drain(..n).collect();
+    /// Drain up to `max` nodes from one shard, holding its lock only for the
+    /// swap-out (the fairness rule: enqueuers must never wait behind batch
+    /// *processing*, only behind a pointer exchange). Lingering accounting
+    /// happens after the lock is released.
+    fn take_from(&self, shard: &Shard, max: usize) -> Vec<DwqNode> {
+        let mut q = shard.queue.lock();
+        if q.is_empty() {
+            return Vec::new();
+        }
+        let batch: Vec<DwqNode> = if max >= q.len() {
+            std::mem::take(&mut *q).into()
+        } else {
+            q.drain(..max).collect()
+        };
+        let depth = q.len();
         drop(q);
+        shard.depth.set(depth as i64);
+        shard.dequeued.add(batch.len() as u64);
+        let now = Instant::now();
         for node in &batch {
             self.stats
                 .record_dequeue(now.saturating_duration_since(node.enqueued_at));
         }
-        if !batch.is_empty() {
-            self.metrics
-                .event("dwq.dequeue", &[("count", batch.len() as u64)]);
-        }
+        self.metrics
+            .event("dwq.dequeue", &[("count", batch.len() as u64)]);
         batch
+    }
+
+    /// Dequeue up to `max` nodes across all shards (FIFO within each shard,
+    /// shard index order across them), recording lingering times.
+    pub fn pop_batch(&self, max: usize) -> Vec<DwqNode> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            if out.len() >= max {
+                break;
+            }
+            out.extend(self.take_from(shard, max - out.len()));
+        }
+        out
+    }
+
+    /// Dequeue up to `max` nodes from shard `idx` only. The worker-pool
+    /// drain primitive.
+    pub fn pop_shard(&self, idx: usize, max: usize) -> Vec<DwqNode> {
+        self.take_from(&self.shards[idx], max)
+    }
+
+    /// Block until shard `idx` is non-empty or `timeout` elapses, then drain
+    /// up to `max` of its nodes. The per-worker wait primitive.
+    pub fn wait_pop_shard(&self, idx: usize, max: usize, timeout: Duration) -> Vec<DwqNode> {
+        let shard = &self.shards[idx];
+        {
+            let mut q = shard.queue.lock();
+            if q.is_empty() {
+                shard.cond.wait_for(&mut q, timeout);
+            }
+        }
+        self.take_from(shard, max)
     }
 
     /// Block until the queue is non-empty or `timeout` elapses, then drain
-    /// up to `max` nodes. The Immediate daemon's wait primitive.
+    /// up to `max` nodes. The single-worker daemon's wait primitive; with
+    /// multiple shards the wait is on shard 0 (pushes to other shards are
+    /// still drained, at worst after `timeout`).
     pub fn wait_pop(&self, max: usize, timeout: Duration) -> Vec<DwqNode> {
-        let mut q = self.queue.lock();
-        if q.is_empty() {
-            self.cond.wait_for(&mut q, timeout);
+        {
+            let shard = &self.shards[0];
+            let mut q = shard.queue.lock();
+            if q.is_empty() && self.shards[1..].iter().all(|s| s.queue.lock().is_empty()) {
+                shard.cond.wait_for(&mut q, timeout);
+            }
         }
-        let n = max.min(q.len());
-        let now = Instant::now();
-        let batch: Vec<DwqNode> = q.drain(..n).collect();
-        drop(q);
-        for node in &batch {
-            self.stats
-                .record_dequeue(now.saturating_duration_since(node.enqueued_at));
-        }
-        if !batch.is_empty() {
-            self.metrics
-                .event("dwq.dequeue", &[("count", batch.len() as u64)]);
-        }
-        batch
+        self.pop_batch(max)
     }
 
-    /// Nodes currently queued.
+    /// Record that the owning worker finished deduplicating `n` nodes of
+    /// shard `idx` (`denova.daemon.shard.<i>.processed`).
+    pub fn mark_processed(&self, idx: usize, n: u64) {
+        self.shards[idx].processed.add(n);
+    }
+
+    /// Nodes currently queued across all shards.
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.shards.iter().map(|s| s.queue.lock().len()).sum()
     }
 
     /// Whether the container is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        self.shards.iter().all(|s| s.queue.lock().is_empty())
     }
 
-    /// Wake any daemon blocked in [`Dwq::wait_pop`] (used at shutdown).
+    /// Wake any daemon blocked in [`Dwq::wait_pop`] /
+    /// [`Dwq::wait_pop_shard`] (used at shutdown).
     pub fn notify_all(&self) {
-        self.cond.notify_all();
+        for shard in &self.shards {
+            shard.cond.notify_all();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -154,36 +251,50 @@ impl Dwq {
     /// shutdown, the entries in the DWQ are saved to NVM"). Returns how many
     /// nodes were saved; nodes beyond the area's capacity are dropped (they
     /// are rediscovered by the flag scan on the next mount, so nothing is
-    /// lost — only re-queued later).
+    /// lost — only re-queued later). Shards are written in index order; the
+    /// format is shard-count agnostic because restore re-routes by inode.
     pub fn save(&self, dev: &PmemDevice, layout: &Layout) -> u64 {
-        let q = self.queue.lock();
         let capacity = (layout.dwq_bytes() / 16) as usize;
-        let n = q.len().min(capacity);
         let base = layout.dwq_off();
-        for (i, node) in q.iter().take(n).enumerate() {
-            let off = base + (i as u64) * 16;
-            dev.write_u64(off, node.ino);
-            dev.write_u64(off + 8, node.entry_off);
+        let mut i = 0usize;
+        for shard in &self.shards {
+            let q = shard.queue.lock();
+            for node in q.iter() {
+                if i >= capacity {
+                    break;
+                }
+                let off = base + (i as u64) * 16;
+                dev.write_u64(off, node.ino);
+                dev.write_u64(off + 8, node.entry_off);
+                i += 1;
+            }
         }
-        dev.persist(base, n * 16);
-        denova_nova::superblock::set_dwq_saved_count(dev, n as u64);
-        n as u64
+        dev.persist(base, i * 16);
+        denova_nova::superblock::set_dwq_saved_count(dev, i as u64);
+        i as u64
     }
 
     /// Restore nodes saved by [`Dwq::save`] ("restored to DRAM after power
-    /// on").
+    /// on"). Nodes are re-routed by `ino % shards`, so the shard count may
+    /// change across mounts.
     pub fn restore(&self, dev: &PmemDevice, layout: &Layout) -> u64 {
         let n = denova_nova::superblock::dwq_saved_count(dev);
         let base = layout.dwq_off();
         let now = Instant::now();
-        let mut q = self.queue.lock();
         for i in 0..n {
             let off = base + i * 16;
-            q.push_back(DwqNode {
-                ino: dev.read_u64(off),
-                entry_off: dev.read_u64(off + 8),
-                enqueued_at: now,
-            });
+            let (ino, entry_off) = (dev.read_u64(off), dev.read_u64(off + 8));
+            let shard = &self.shards[self.shard_of(ino)];
+            let depth = {
+                let mut q = shard.queue.lock();
+                q.push_back(DwqNode {
+                    ino,
+                    entry_off,
+                    enqueued_at: now,
+                });
+                q.len()
+            };
+            shard.depth.set(depth as i64);
             self.total_enqueued.fetch_add(1, Ordering::AcqRel);
             self.stats.record_enqueue();
         }
@@ -256,6 +367,58 @@ mod tests {
     }
 
     #[test]
+    fn sharded_routing_is_by_ino_mod_shards() {
+        let q = Dwq::with_shards(stats(), MetricsRegistry::new(), 4);
+        assert_eq!(q.num_shards(), 4);
+        for ino in 0..8u64 {
+            q.push(ino, ino * 10);
+        }
+        // Each shard holds exactly its residue class, FIFO within it.
+        for s in 0..4 {
+            let batch = q.pop_shard(s, 10);
+            assert_eq!(
+                batch.iter().map(|n| n.ino).collect::<Vec<_>>(),
+                vec![s as u64, s as u64 + 4],
+                "shard {s}"
+            );
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wait_pop_shard_wakes_only_its_shard() {
+        let q = Arc::new(Dwq::with_shards(stats(), MetricsRegistry::new(), 2));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.wait_pop_shard(1, 10, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(3, 300); // ino 3 % 2 = shard 1
+        let got = t.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ino, 3);
+        // A push to shard 0 is not visible to shard-1 pops.
+        q.push(2, 200);
+        assert!(q.pop_shard(1, 10).is_empty());
+        assert_eq!(q.pop_shard(0, 10).len(), 1);
+    }
+
+    #[test]
+    fn shard_telemetry_tracks_depth_and_throughput() {
+        let metrics = MetricsRegistry::new();
+        let q = Dwq::with_shards(stats(), metrics.clone(), 2);
+        q.push(0, 1);
+        q.push(2, 2);
+        q.push(1, 3);
+        assert_eq!(metrics.gauge("denova.daemon.shard.0.depth").get(), 2);
+        assert_eq!(metrics.gauge("denova.daemon.shard.1.depth").get(), 1);
+        q.pop_shard(0, 10);
+        q.mark_processed(0, 2);
+        assert_eq!(metrics.gauge("denova.daemon.shard.0.depth").get(), 0);
+        assert_eq!(metrics.counter("denova.daemon.shard.0.dequeued").get(), 2);
+        assert_eq!(metrics.counter("denova.daemon.shard.0.processed").get(), 2);
+        assert_eq!(metrics.counter("denova.daemon.shard.1.dequeued").get(), 0);
+    }
+
+    #[test]
     fn save_restore_roundtrip() {
         let dev = PmemDevice::new(16 * 1024 * 1024);
         let layout = Layout::compute(dev.size() as u64, 64, 2);
@@ -278,6 +441,38 @@ mod tests {
         // Restore consumed the save.
         let q3 = Dwq::new(stats());
         assert_eq!(q3.restore(&dev, &layout), 0);
+    }
+
+    #[test]
+    fn save_restore_across_different_shard_counts() {
+        let dev = PmemDevice::new(16 * 1024 * 1024);
+        let layout = Layout::compute(dev.size() as u64, 64, 2);
+        superblock::write_superblock(&dev, &layout);
+        let q = Dwq::with_shards(stats(), MetricsRegistry::new(), 4);
+        for ino in 0..12u64 {
+            q.push(ino, ino * 7);
+        }
+        assert_eq!(q.save(&dev, &layout), 12);
+        // Remount with a different worker count: nodes re-route cleanly.
+        let q2 = Dwq::with_shards(stats(), MetricsRegistry::new(), 2);
+        assert_eq!(q2.restore(&dev, &layout), 12);
+        assert_eq!(q2.len(), 12);
+        let mut inos: Vec<u64> = q2.pop_batch(100).iter().map(|n| n.ino).collect();
+        inos.sort_unstable();
+        assert_eq!(inos, (0..12).collect::<Vec<_>>());
+        // Per-inode order: each shard's residue classes stay FIFO. Verify by
+        // re-pushing per shard and checking entry offsets ascend per inode.
+        let q3 = Dwq::with_shards(stats(), MetricsRegistry::new(), 3);
+        q3.push(5, 1);
+        q3.push(5, 2);
+        assert_eq!(q3.save(&dev, &layout), 2);
+        let q4 = Dwq::with_shards(stats(), MetricsRegistry::new(), 2);
+        q4.restore(&dev, &layout);
+        let b = q4.pop_shard(q4.shard_of(5), 10);
+        assert_eq!(
+            b.iter().map(|n| n.entry_off).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]
@@ -311,5 +506,47 @@ mod tests {
         }
         assert_eq!(q.len(), 400);
         assert_eq!(q.pop_batch(1000).len(), 400);
+    }
+
+    /// The fairness guarantee behind the capped critical section: enqueues
+    /// stay sub-microsecond on average even while a consumer batch-drains
+    /// the queue as fast as it can.
+    #[test]
+    fn enqueue_latency_stays_submicrosecond_under_batch_drains() {
+        let run = || {
+            let q = Arc::new(Dwq::new(stats()));
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let consumer = {
+                let q = q.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut drained = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        drained += q.pop_batch(usize::MAX).len();
+                        std::thread::yield_now();
+                    }
+                    drained + q.pop_batch(usize::MAX).len()
+                })
+            };
+            const PUSHES: u64 = 20_000;
+            let t0 = Instant::now();
+            for i in 0..PUSHES {
+                q.push(i, i);
+            }
+            let mean_ns = t0.elapsed().as_nanos() as u64 / PUSHES;
+            stop.store(true, Ordering::Relaxed);
+            let drained = consumer.join().unwrap();
+            assert_eq!(drained as u64, PUSHES);
+            mean_ns
+        };
+        // Timing-shape assertion: retry to ride out scheduler noise.
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            best = best.min(run());
+            if best < 1_000 {
+                break;
+            }
+        }
+        assert!(best < 1_000, "mean enqueue latency {best} ns >= 1 us");
     }
 }

@@ -15,8 +15,8 @@
 //! [`FpThrottle::none`], which adds nothing.
 
 use denova_fingerprint::Fingerprint;
-use denova_pmem::spin_ns;
-use std::sync::atomic::{AtomicU64, Ordering};
+use denova_pmem::{block_ns, spin_ns};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The paper's measured fingerprint time per 4 KB chunk (Table IV).
@@ -27,6 +27,11 @@ pub const PAPER_FP_NS_PER_4K: u64 = 11_780;
 pub struct FpThrottle {
     /// Extra ns injected per 4 KB fingerprinted; 0 = raw host speed.
     extra_ns_per_4k: AtomicU64,
+    /// When set, padding yields the CPU ([`denova_pmem::block_ns`]) instead
+    /// of spinning, so concurrent fingerprints overlap on hosts with fewer
+    /// cores than dedup workers (same rationale as
+    /// `PmemDevice::set_blocking_latency`).
+    blocking: AtomicBool,
 }
 
 impl FpThrottle {
@@ -72,13 +77,29 @@ impl FpThrottle {
         self.extra_ns_per_4k.load(Ordering::Relaxed)
     }
 
+    /// Switch padding between spinning (default, faithful per-core cost) and
+    /// sleeping (lets concurrent fingerprints overlap on small hosts).
+    pub fn set_blocking(&self, on: bool) {
+        self.blocking.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether padding currently yields the CPU instead of spinning.
+    pub fn blocking(&self) -> bool {
+        self.blocking.load(Ordering::Relaxed)
+    }
+
     /// Fingerprint `data`, injecting the calibrated padding (scaled by the
     /// data length in 4 KB units).
     pub fn fingerprint(&self, data: &[u8]) -> Fingerprint {
         let fp = Fingerprint::of(data);
         let extra = self.extra_ns_per_4k.load(Ordering::Relaxed);
         if extra > 0 {
-            spin_ns(extra * (data.len() as u64).div_ceil(4096).max(1));
+            let pad = extra * (data.len() as u64).div_ceil(4096).max(1);
+            if self.blocking.load(Ordering::Relaxed) {
+                block_ns(pad);
+            } else {
+                spin_ns(pad);
+            }
         }
         fp
     }
@@ -131,6 +152,21 @@ mod tests {
         t.set_target(1_000_000);
         t.clear();
         assert_eq!(t.extra_ns_per_4k(), 0);
+    }
+
+    #[test]
+    fn blocking_mode_keeps_value_and_target() {
+        let t = FpThrottle::none();
+        t.set_target(50_000);
+        t.set_blocking(true);
+        assert!(t.blocking());
+        let data = vec![5u8; 4096];
+        let t0 = Instant::now();
+        assert_eq!(t.fingerprint(&data), Fingerprint::of(&data));
+        // Sleep-granularity coarse, but the pad must still be injected.
+        assert!(t0.elapsed().as_nanos() as u64 >= 20_000);
+        t.set_blocking(false);
+        assert!(!t.blocking());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod reorder;
 pub mod stats;
 
 pub use adaptive::{write_inline_adaptive, NvDedupHooks};
-pub use daemon::{Daemon, DaemonConfig};
+pub use daemon::{Daemon, DaemonConfig, DaemonMode};
 pub use dedup::{dedup_entry, DedupOutcome};
 pub use dwq::{Dwq, DwqNode};
 pub use fact::{Fact, FactEntry, NIL};
@@ -84,9 +84,9 @@ impl DedupMode {
 
     fn daemon_config(&self) -> Option<DaemonConfig> {
         match *self {
-            DedupMode::Immediate => Some(DaemonConfig::Immediate),
+            DedupMode::Immediate => Some(DaemonConfig::immediate()),
             DedupMode::Delayed { interval_ms, batch } => {
-                Some(DaemonConfig::Delayed { interval_ms, batch })
+                Some(DaemonConfig::delayed(interval_ms, batch))
             }
             _ => None,
         }
@@ -118,16 +118,26 @@ pub struct Denova {
     stats: Arc<DedupStats>,
     mode: DedupMode,
     daemon: Option<Daemon>,
+    /// Dedup worker threads (and DWQ shards) this mount was assembled with.
+    dedup_workers: usize,
 }
 
 impl Denova {
     /// Format `dev` and mount in `mode`.
     pub fn mkfs(dev: Arc<PmemDevice>, mut opts: NovaOptions, mode: DedupMode) -> Result<Denova> {
         opts.dedup_enabled = mode.tags_writes();
+        let workers = opts.dedup_workers.max(1);
         let nova = Arc::new(Nova::mkfs(dev.clone(), opts)?);
         let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::new(dev, *nova.layout(), stats.clone()));
-        Ok(Self::assemble(nova, fact, stats, mode))
+        let dwq = Arc::new(Dwq::with_shards(
+            stats.clone(),
+            nova.device().metrics().clone(),
+            workers,
+        ));
+        Ok(Self::assemble_with_dwq(
+            nova, fact, dwq, stats, mode, workers,
+        ))
     }
 
     /// Mount an existing file system in `mode`, running NOVA recovery and —
@@ -137,10 +147,15 @@ impl Denova {
         let was_clean =
             superblock::read_superblock(&dev).is_ok() && superblock::was_clean_unmount(&dev);
         opts.dedup_enabled = mode.tags_writes();
+        let workers = opts.dedup_workers.max(1);
         let nova = Arc::new(Nova::mount(dev.clone(), opts)?);
         let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::mount(dev.clone(), *nova.layout(), stats.clone()));
-        let dwq = Arc::new(Dwq::with_metrics(stats.clone(), dev.metrics().clone()));
+        let dwq = Arc::new(Dwq::with_shards(
+            stats.clone(),
+            dev.metrics().clone(),
+            workers,
+        ));
         if mode != DedupMode::Baseline {
             if was_clean {
                 dwq.restore(&dev, nova.layout());
@@ -148,20 +163,9 @@ impl Denova {
                 recovery::recover(&nova, &fact, &dwq)?;
             }
         }
-        Ok(Self::assemble_with_dwq(nova, fact, dwq, stats, mode))
-    }
-
-    fn assemble(
-        nova: Arc<Nova>,
-        fact: Arc<Fact>,
-        stats: Arc<DedupStats>,
-        mode: DedupMode,
-    ) -> Denova {
-        let dwq = Arc::new(Dwq::with_metrics(
-            stats.clone(),
-            nova.device().metrics().clone(),
-        ));
-        Self::assemble_with_dwq(nova, fact, dwq, stats, mode)
+        Ok(Self::assemble_with_dwq(
+            nova, fact, dwq, stats, mode, workers,
+        ))
     }
 
     fn assemble_with_dwq(
@@ -170,6 +174,7 @@ impl Denova {
         dwq: Arc<Dwq>,
         stats: Arc<DedupStats>,
         mode: DedupMode,
+        workers: usize,
     ) -> Denova {
         let mut nvd = None;
         match mode {
@@ -193,9 +198,14 @@ impl Denova {
                 )));
             }
         }
-        let daemon = mode
-            .daemon_config()
-            .map(|cfg| Daemon::spawn(nova.clone(), fact.clone(), dwq.clone(), cfg));
+        let daemon = mode.daemon_config().map(|cfg| {
+            Daemon::spawn(
+                nova.clone(),
+                fact.clone(),
+                dwq.clone(),
+                cfg.with_workers(workers),
+            )
+        });
         Denova {
             nova,
             fact,
@@ -204,6 +214,7 @@ impl Denova {
             stats,
             mode,
             daemon,
+            dedup_workers: workers,
         }
     }
 
@@ -280,6 +291,11 @@ impl Denova {
     /// The work queue.
     pub fn dwq(&self) -> &Arc<Dwq> {
         &self.dwq
+    }
+
+    /// Dedup worker threads (and DWQ shards) this mount runs with.
+    pub fn dedup_workers(&self) -> usize {
+        self.dedup_workers
     }
 
     /// Dedup statistics.
@@ -502,6 +518,68 @@ mod tests {
         // FACT modes report zero dedup-index DRAM.
         let fs2 = Denova::mkfs(dev(), opts(), DedupMode::Immediate).unwrap();
         assert_eq!(fs2.dedup_index_dram_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_worker_mount_dedups_and_reports_workers() {
+        let fs = Denova::mkfs(
+            dev(),
+            NovaOptions {
+                num_inodes: 128,
+                dedup_workers: 4,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .unwrap();
+        assert_eq!(fs.dedup_workers(), 4);
+        assert_eq!(fs.dwq().num_shards(), 4);
+        let data = vec![0xE1u8; 4096];
+        for i in 0..12 {
+            let ino = fs.create(&format!("f{i}")).unwrap();
+            fs.write(ino, 0, &data).unwrap();
+        }
+        fs.drain();
+        assert_eq!(fs.bytes_saved(), 11 * 4096);
+    }
+
+    #[test]
+    fn worker_count_survives_unmount_remount_changes() {
+        let device = dev();
+        let fs = Denova::mkfs(
+            device.clone(),
+            NovaOptions {
+                num_inodes: 128,
+                dedup_workers: 4,
+                ..Default::default()
+            },
+            DedupMode::Delayed {
+                interval_ms: 60_000, // never fires
+                batch: 1,
+            },
+        )
+        .unwrap();
+        let data = vec![0x31u8; 4096];
+        for i in 0..6 {
+            let ino = fs.create(&format!("f{i}")).unwrap();
+            fs.write(ino, 0, &data).unwrap();
+        }
+        assert_eq!(fs.dwq().len(), 6);
+        fs.unmount();
+        // Remount with a different worker count: the saved DWQ re-routes.
+        let fs2 = Denova::mount(
+            device,
+            NovaOptions {
+                num_inodes: 128,
+                dedup_workers: 2,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .unwrap();
+        assert_eq!(fs2.dedup_workers(), 2);
+        fs2.drain();
+        assert_eq!(fs2.bytes_saved(), 5 * 4096);
     }
 
     #[test]

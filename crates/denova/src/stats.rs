@@ -35,6 +35,11 @@ pub struct DedupStats {
     duplicate_pages: Counter,
     unique_pages: Counter,
     pages_skipped_stale: Counter,
+    // Two-stage lock split (dedup.rs): how often the stage-1 prefingerprint
+    // survived stage-2 revalidation vs had to be redone under the write
+    // lock.
+    prefp_reused_pages: Counter,
+    refingerprinted_pages: Counter,
     // Latency breakdown (Table IV).
     fingerprint_ns: Counter,
     other_ops_ns: Counter,
@@ -72,6 +77,8 @@ impl DedupStats {
             duplicate_pages: registry.counter("denova.duplicate_pages"),
             unique_pages: registry.counter("denova.unique_pages"),
             pages_skipped_stale: registry.counter("denova.pages_skipped_stale"),
+            prefp_reused_pages: registry.counter("denova.prefp_reused_pages"),
+            refingerprinted_pages: registry.counter("denova.refingerprinted_pages"),
             fingerprint_ns: registry.counter("denova.fingerprint_ns"),
             other_ops_ns: registry.counter("denova.other_ops_ns"),
             enqueued: registry.counter("dwq.enqueued"),
@@ -136,6 +143,14 @@ impl DedupStats {
 
     pub(crate) fn record_stale_page(&self) {
         self.pages_skipped_stale.inc();
+    }
+
+    pub(crate) fn record_prefp_reused(&self) {
+        self.prefp_reused_pages.inc();
+    }
+
+    pub(crate) fn record_refingerprinted(&self) {
+        self.refingerprinted_pages.inc();
     }
 
     pub(crate) fn record_fingerprint_time(&self, d: Duration) {
@@ -229,6 +244,18 @@ impl DedupStats {
     /// Pages skipped because the file overwrote them before dedup ran.
     pub fn stale_pages(&self) -> u64 {
         self.pages_skipped_stale.get()
+    }
+
+    /// Pages whose stage-1 fingerprint was reused after stage-2
+    /// revalidation (the lock-split fast path).
+    pub fn prefp_reused_pages(&self) -> u64 {
+        self.prefp_reused_pages.get()
+    }
+
+    /// Pages re-fingerprinted under the write lock because revalidation
+    /// missed the stage-1 snapshot.
+    pub fn refingerprinted_pages(&self) -> u64 {
+        self.refingerprinted_pages.get()
     }
 
     /// Bytes of storage saved by deduplication so far.

@@ -30,6 +30,11 @@ pub struct NovaOptions {
     /// Whether new write entries are dedup candidates (`dedupe_flag =
     /// Needed`). Baseline NOVA mounts with this off.
     pub dedup_enabled: bool,
+    /// Dedup worker threads (and DWQ shards) the dedup layer mounts with.
+    /// NOVA itself ignores the value; it lives here so every mount path
+    /// (CLI, service, benches) configures the pool through one options
+    /// struct.
+    pub dedup_workers: usize,
 }
 
 impl Default for NovaOptions {
@@ -39,6 +44,7 @@ impl Default for NovaOptions {
             dwq_blocks: 64,
             cpus: 4,
             dedup_enabled: false,
+            dedup_workers: 1,
         }
     }
 }

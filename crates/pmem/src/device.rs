@@ -308,6 +308,22 @@ impl PmemDevice {
         }
     }
 
+    /// Run `f` over the device's mapped bytes `[off, off + len)` without
+    /// copying them out. Read latency is charged exactly as for
+    /// [`Self::read_into`]; the borrow is confined to the closure so the
+    /// slice cannot outlive the call. Real PM is load-accessible through the
+    /// DAX mapping, so hashing directly from media is the honest model — a
+    /// bounce buffer would charge an extra copy the hardware never pays.
+    ///
+    /// The caller must not write the same range concurrently (the file
+    /// system's CoW discipline guarantees this for data pages: a block's
+    /// bytes are immutable while any log entry still maps it).
+    pub fn with_slice<R>(&self, off: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.check_range(off, len);
+        self.charge_read(off, len as u64);
+        f(unsafe { std::slice::from_raw_parts(self.ptr().add(off as usize), len) })
+    }
+
     /// Read `len` bytes starting at `off` into a fresh vector.
     pub fn read_vec(&self, off: u64, len: usize) -> Vec<u8> {
         let mut v = vec![0u8; len];
@@ -750,6 +766,26 @@ mod tests {
         assert_eq!(dev.read_u32(16), 0x1234_5678);
         dev.write_u8(20, 0xAB);
         assert_eq!(dev.read_u8(20), 0xAB);
+    }
+
+    #[test]
+    fn with_slice_sees_written_bytes_and_charges_reads() {
+        let dev = PmemDevice::new(4096);
+        dev.write(64, b"zero copy");
+        let before = dev.stats().snapshot().bytes_read;
+        let sum = dev.with_slice(64, 9, |s| {
+            assert_eq!(s, b"zero copy");
+            s.iter().map(|&b| b as u64).sum::<u64>()
+        });
+        assert_eq!(sum, b"zero copy".iter().map(|&b| b as u64).sum::<u64>());
+        assert_eq!(dev.stats().snapshot().bytes_read, before + 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn with_slice_out_of_bounds_panics() {
+        let dev = PmemDevice::new(128);
+        dev.with_slice(120, 16, |_| ());
     }
 
     #[test]

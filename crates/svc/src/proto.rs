@@ -323,6 +323,8 @@ pub struct RemoteDedupStats {
     pub file_count: u64,
     /// Device capacity in bytes.
     pub device_bytes: u64,
+    /// Dedup worker threads the serving mount runs with.
+    pub dedup_workers: u64,
 }
 
 /// Body tags inside an OK reply. Stable wire ABI.
@@ -485,7 +487,8 @@ pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
                         .u64(s.free_blocks)
                         .u64(s.data_blocks)
                         .u64(s.file_count)
-                        .u64(s.device_bytes);
+                        .u64(s.device_bytes)
+                        .u64(s.dedup_workers);
                 }
                 Body::Text(t) => {
                     e.u8(body_tag::TEXT).str(t);
@@ -550,6 +553,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), DecodeError> {
             data_blocks: d.u64()?,
             file_count: d.u64()?,
             device_bytes: d.u64()?,
+            dedup_workers: d.u64()?,
         }),
         body_tag::TEXT => Body::Text(d.str()?.to_string()),
         _ => return Err(DecodeError("unknown body tag")),

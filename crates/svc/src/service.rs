@@ -116,6 +116,7 @@ impl FileService {
                     data_blocks: layout.data_blocks(),
                     file_count: fs.nova().file_count() as u64,
                     device_bytes: layout.device_size,
+                    dedup_workers: fs.dedup_workers() as u64,
                 }))
             }
             Request::Telemetry { json } => {

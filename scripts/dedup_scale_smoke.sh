@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI smoke for the parallel dedup pipeline: run the dedup_scaling experiment
+# at smoke scale (a 1-worker and a 4-worker drain of the same duplicate
+# backlog) and assert that parallelism changed speed, never outcome:
+# identical dedup ratio at both worker counts and a clean audit (fsck,
+# FACT RFC/UC exactness, scrub fixpoint) everywhere.
+#
+# Usage: scripts/dedup_scale_smoke.sh
+# (`make dedup-scale-smoke` builds the release binary first)
+
+set -euo pipefail
+
+OUT=$(cargo run --release -q -p denova-bench --bin figures -- --smoke dedup_scaling)
+echo "$OUT"
+
+# Table rows: Workers  MB/s  Drain  p99  Ratio  Speedup  Audit
+RATIO_1=$(echo "$OUT" | awk 'NF==7 && $1=="1" {print $5}')
+RATIO_4=$(echo "$OUT" | awk 'NF==7 && $1=="4" {print $5}')
+AUDITS=$(echo "$OUT" | awk 'NF==7 && ($1=="1" || $1=="4") {print $7}')
+
+[ -n "$RATIO_1" ] && [ -n "$RATIO_4" ] || {
+    echo "error: dedup_scaling rows missing from output" >&2
+    exit 1
+}
+if [ "$RATIO_1" != "$RATIO_4" ]; then
+    echo "error: dedup ratio differs across worker counts: 1-worker=$RATIO_1 4-worker=$RATIO_4" >&2
+    exit 1
+fi
+if echo "$AUDITS" | grep -qv '^clean$'; then
+    echo "error: audit (fsck / FACT exactness / scrub) failed on some worker count" >&2
+    exit 1
+fi
+echo "dedup-scale-smoke OK (ratio $RATIO_1 at both worker counts, audits clean)"

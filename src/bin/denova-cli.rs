@@ -61,6 +61,8 @@ fn usage() -> ! {
          \x20 serve [--listen <host:port>] [--shards <n>]\n\
          \x20                               serve the image over TCP (local only)\n\
          \x20 shutdown                      drain and stop a served image (remote only)\n\
+         options (any local command, including serve):\n\
+         \x20 --dedup-workers <n>           dedup worker threads for the mount (default 1)\n\
          env:\n\
          \x20 DENOVA_TELEMETRY=1            collect spans/events in any command\n\
          \x20                               and dump a snapshot to stderr"
@@ -86,10 +88,14 @@ fn telemetry_env_on() -> bool {
         .unwrap_or(false)
 }
 
-fn open_fs(image: &Path) -> Result<Denova, String> {
+fn open_fs(image: &Path, dedup_workers: usize) -> Result<Denova, String> {
     let dev = PmemDevice::load_image(image, LatencyProfile::none())
         .map_err(|e| format!("cannot read image {}: {e}", image.display()))?;
-    let fs = Denova::mount(Arc::new(dev), NovaOptions::default(), DedupMode::Immediate)
+    let opts = NovaOptions {
+        dedup_workers,
+        ..Default::default()
+    };
+    let fs = Denova::mount(Arc::new(dev), opts, DedupMode::Immediate)
         .map_err(|e| format!("mount failed: {e} (is {} formatted?)", image.display()))?;
     if telemetry_env_on() {
         fs.nova().device().metrics().set_enabled(true);
@@ -110,7 +116,19 @@ fn close_fs(fs: Denova, image: &Path) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--dedup-workers <n>` may appear anywhere; it configures the local
+    // mount (and thus `serve`) and is stripped before command dispatch.
+    let mut dedup_workers = 1usize;
+    if let Some(i) = args.iter().position(|a| a == "--dedup-workers") {
+        let n = args.get(i + 1).cloned().unwrap_or_default();
+        dedup_workers = n
+            .parse()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad --dedup-workers '{n}'"))?;
+        args.drain(i..i + 2);
+    }
     if args.len() < 2 {
         usage();
     }
@@ -134,7 +152,11 @@ fn run() -> Result<(), String> {
                 _ => usage(),
             };
             let dev = Arc::new(PmemDevice::new(size));
-            let fs = Denova::mkfs(dev, NovaOptions::default(), DedupMode::Immediate)
+            let opts = NovaOptions {
+                dedup_workers,
+                ..Default::default()
+            };
+            let fs = Denova::mkfs(dev, opts, DedupMode::Immediate)
                 .map_err(|e| format!("mkfs failed: {e}"))?;
             if telemetry_env_on() {
                 fs.nova().device().metrics().set_enabled(true);
@@ -150,7 +172,7 @@ fn run() -> Result<(), String> {
         }
         ("put", [name, host]) => {
             let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let ino = match fs.open(name) {
                 Ok(ino) => ino,
                 Err(_) => fs.create(name).map_err(|e| e.to_string())?,
@@ -171,7 +193,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("get", [name, host]) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let ino = fs.open(name).map_err(|e| e.to_string())?;
             let size = fs.file_size(ino).map_err(|e| e.to_string())?;
             let data = fs.read(ino, 0, size as usize).map_err(|e| e.to_string())?;
@@ -180,7 +202,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("cat", [name]) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let ino = fs.open(name).map_err(|e| e.to_string())?;
             let size = fs.file_size(ino).map_err(|e| e.to_string())?;
             let data = fs.read(ino, 0, size as usize).map_err(|e| e.to_string())?;
@@ -191,7 +213,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("ls", []) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let mut names = fs.nova().list();
             names.sort();
             for name in names {
@@ -202,25 +224,25 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("rm", [name]) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             fs.unlink(name).map_err(|e| e.to_string())?;
             println!("removed {name}");
             close_fs(fs, &image)
         }
         ("ln", [existing, new]) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let ino = fs.nova().link(existing, new).map_err(|e| e.to_string())?;
             println!("{new} => ino {ino} (also {existing})");
             close_fs(fs, &image)
         }
         ("mv", [from, to]) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             fs.nova().rename(from, to).map_err(|e| e.to_string())?;
             println!("{from} -> {to}");
             close_fs(fs, &image)
         }
         ("stat", [name]) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let ino = fs.open(name).map_err(|e| e.to_string())?;
             let st = fs.nova().stat(ino).map_err(|e| e.to_string())?;
             println!(
@@ -230,7 +252,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("df", []) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let layout = *fs.nova().layout();
             let free = fs.nova().free_blocks();
             let total = layout.data_blocks();
@@ -242,16 +264,17 @@ fn run() -> Result<(), String> {
                 100.0 * (total - free) as f64 / total as f64
             );
             println!(
-                "dedup:  {} FACT entries, {} B saved, FACT overhead {:.2}%, dedup-index DRAM {} B",
+                "dedup:  {} FACT entries, {} B saved, FACT overhead {:.2}%, dedup-index DRAM {} B, {} worker(s)",
                 fs.fact().occupied_count(),
                 fs.persistent_bytes_saved(),
                 layout.fact_overhead() * 100.0,
-                fs.dedup_index_dram_bytes()
+                fs.dedup_index_dram_bytes(),
+                fs.dedup_workers()
             );
             close_fs(fs, &image)
         }
         ("fsck", []) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let report = denova_repro::nova::fsck(fs.nova(), true).map_err(|e| e.to_string())?;
             println!(
                 "fsck: {} referenced blocks, {} shared, {} log pages",
@@ -270,7 +293,7 @@ fn run() -> Result<(), String> {
             }
         }
         ("scrub", []) => {
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let fixed = fs.scrub().map_err(|e| e.to_string())?;
             println!("scrub: {fixed} FACT entries reconciled");
             close_fs(fs, &image)
@@ -288,7 +311,7 @@ fn run() -> Result<(), String> {
                     _ => usage(),
                 }
             }
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let listener = std::net::TcpListener::bind(&listen)
                 .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
             let addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -310,7 +333,7 @@ fn run() -> Result<(), String> {
                 [flag] if flag == "--json" => true,
                 _ => usage(),
             };
-            let fs = open_fs(&image)?;
+            let fs = open_fs(&image, dedup_workers)?;
             let metrics = fs.nova().device().metrics().clone();
             metrics.set_enabled(true);
             // Quickstart-style probe: a handful of duplicate files written,
@@ -433,8 +456,11 @@ fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
                 100.0 * (s.data_blocks - s.free_blocks) as f64 / s.data_blocks.max(1) as f64
             );
             println!(
-                "dedup:  {} FACT entries, {} B saved, dedup-index DRAM {} B",
-                s.fact_occupied, s.persistent_bytes_saved, s.dedup_index_dram_bytes
+                "dedup:  {} FACT entries, {} B saved, dedup-index DRAM {} B, {} worker(s)",
+                s.fact_occupied,
+                s.persistent_bytes_saved,
+                s.dedup_index_dram_bytes,
+                s.dedup_workers
             );
             Ok(())
         }

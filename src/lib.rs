@@ -43,8 +43,8 @@ pub use denova_workload as workload;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use denova::{
-        Daemon, DaemonConfig, DedupMode, DedupStats, Denova, DenovaHooks, Dwq, Fact, FpThrottle,
-        NvDedupTable,
+        Daemon, DaemonConfig, DaemonMode, DedupMode, DedupStats, Denova, DenovaHooks, Dwq, Fact,
+        FpThrottle, NvDedupTable,
     };
     pub use denova_fingerprint::{chunk_pages, sha1, weak_fingerprint, Fingerprint};
     pub use denova_nova::{fsck, DedupeFlag, FileStat, Nova, NovaError, NovaOptions, BLOCK_SIZE};
