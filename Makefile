@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build test serve-smoke dedup-scale-smoke
+verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke
 
 build:
 	$(CARGO) build --release
@@ -28,6 +28,11 @@ serve-smoke: build
 # must produce identical dedup ratios and clean fsck/FACT audits.
 dedup-scale-smoke: build
 	bash scripts/dedup_scale_smoke.sh
+
+# Failover check: sync-ack primary + standby, SIGKILL the primary, promote
+# the standby over the wire, verify payloads byte-for-byte, fsck the image.
+repl-smoke: build
+	bash scripts/repl_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash dedup_scaling ablation endurance recovery svc`. Pass `--json
+//! crash dedup_scaling ablation endurance recovery svc repl`. Pass `--json
 //! <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
 
@@ -61,6 +61,7 @@ fn main() {
         "endurance",
         "recovery",
         "svc",
+        "repl",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -176,6 +177,11 @@ fn main() {
         let res = svc_bench::run(&scale);
         println!("{}", svc_bench::render(&res));
         json.insert("svc", &res);
+    }
+    if want("repl") {
+        let res = repl_bench::run(&scale);
+        println!("{}", repl_bench::render(&res));
+        json.insert("repl", &res);
     }
     if want("ablation") {
         let r = ablation::reorder(12, 200);

@@ -27,6 +27,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod model;
 pub mod recovery_time;
+pub mod repl_bench;
 pub mod report;
 pub mod space;
 pub mod svc_bench;

@@ -1,0 +1,267 @@
+//! Replication overhead on the primary's write path.
+//!
+//! Three configurations write the same 4 KB-file population single-threaded
+//! and measure each `write` call's latency on the primary:
+//!
+//! * **no replica** — plain mount, no replication engine installed: the
+//!   baseline;
+//! * **async replica** — a standby bootstraps from a snapshot and applies
+//!   the journal stream over loopback; the tap never blocks, so the primary
+//!   pays only the journal append (the standby's distance shows up in
+//!   `repl.lag_ops`, drained after the run);
+//! * **sync-ack replica** — every mutating op blocks until the standby
+//!   acknowledges its sequence number, so the write path pays a full
+//!   loopback round trip plus the standby's apply cost.
+//!
+//! The figure is the paper-style durability-vs-latency trade: async
+//! replication is (near) free at the primary, sync-ack buys zero-loss
+//! failover (`repl.lag_ops == 0` at any kill point) at a measurable p50/p99
+//! premium.
+
+use crate::report;
+use crate::Scale;
+use denova::{DedupMode, Denova};
+use denova_nova::NovaOptions;
+use denova_pmem::PmemDevice;
+use denova_repl::{bootstrap, ReplConfig, ReplPrimary, Standby, StandbyConfig};
+use denova_svc::client::Connector;
+use denova_svc::{Server, SvcConfig};
+use denova_workload::Summary;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ReplCell {
+    /// Configuration label.
+    pub config: String,
+    /// Median primary write latency, microseconds.
+    pub write_p50_us: f64,
+    /// p99 primary write latency, microseconds.
+    pub write_p99_us: f64,
+    /// Mean primary write latency, microseconds.
+    pub write_mean_us: f64,
+    /// Journal entries not yet acknowledged when the last write returned
+    /// (always 0 for sync-ack; the async backlog the standby still owes).
+    pub lag_at_end: u64,
+}
+denova_telemetry::impl_to_json!(ReplCell {
+    config,
+    write_p50_us,
+    write_p99_us,
+    write_mean_us,
+    lag_at_end
+});
+
+/// All configurations for one workload.
+#[derive(Debug, Clone)]
+pub struct ReplBenchResult {
+    /// Files written per configuration.
+    pub files: usize,
+    /// File size in bytes.
+    pub file_bytes: usize,
+    /// The measured cells.
+    pub cells: Vec<ReplCell>,
+}
+denova_telemetry::impl_to_json!(ReplBenchResult {
+    files,
+    file_bytes,
+    cells
+});
+
+impl ReplBenchResult {
+    /// p50 of the configuration labelled `config`.
+    pub fn p50(&self, config: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.config == config)
+            .map(|c| c.write_p50_us)
+    }
+}
+
+const FILE_BYTES: usize = 4096;
+
+fn files_for(scale: &Scale) -> usize {
+    (scale.small_files / 4).max(64)
+}
+
+fn primary_mount(files: usize) -> Arc<Denova> {
+    crate::mount(
+        DedupMode::Immediate,
+        crate::device_bytes_for(files * FILE_BYTES),
+        files,
+    )
+}
+
+/// Write `files` 4 KB files, returning per-write latencies (ns). Content is
+/// unique per file so dedup hit-rate variance doesn't pollute the
+/// comparison.
+fn measure_writes(fs: &Denova, files: usize) -> Vec<u64> {
+    let mut lat = Vec::with_capacity(files);
+    for i in 0..files {
+        let ino = fs.create(&format!("repl-bench-{i}")).expect("create");
+        let mut data = vec![0u8; FILE_BYTES];
+        data[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        let t0 = std::time::Instant::now();
+        fs.write(ino, 0, &data).expect("write");
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    lat
+}
+
+fn cell(config: &str, lat: &[u64], lag_at_end: u64) -> ReplCell {
+    let s = Summary::of(lat);
+    ReplCell {
+        config: config.to_string(),
+        write_p50_us: s.p50 as f64 / 1000.0,
+        write_p99_us: s.p99 as f64 / 1000.0,
+        write_mean_us: s.mean / 1000.0,
+        lag_at_end,
+    }
+}
+
+fn replicated_cell(config: &str, sync_ack: bool, files: usize) -> ReplCell {
+    let fs = primary_mount(files);
+    let server = Arc::new(Server::new(fs.clone(), SvcConfig::default()));
+    let engine = ReplPrimary::install(
+        fs.clone(),
+        Some(&server),
+        ReplConfig {
+            sync_ack,
+            ..Default::default()
+        },
+    );
+
+    // Attach a standby over loopback: snapshot bootstrap, then a background
+    // apply loop. The standby device injects no latency — the figure
+    // isolates shipping cost, not standby hardware.
+    let srv = server.clone();
+    let connector: Connector = Arc::new(move || Ok(Box::new(srv.connect_loopback()) as _));
+    let boot = bootstrap(&connector).expect("snapshot bootstrap");
+    let standby_fs = Arc::new(
+        Denova::mount(
+            Arc::new(PmemDevice::from_bytes(&boot.image, Default::default())),
+            NovaOptions::default(),
+            DedupMode::Immediate,
+        )
+        .expect("standby mount"),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let apply_thread = std::thread::spawn({
+        let mut standby = Standby::new(standby_fs.clone(), boot.upto_seq, StandbyConfig::default());
+        let connector = connector.clone();
+        let stop = stop.clone();
+        move || {
+            standby.run(
+                boot.stream,
+                &connector,
+                || false,
+                move || stop.load(Ordering::Acquire),
+            )
+        }
+    });
+
+    let lat = measure_writes(&fs, files);
+    let lag_at_end = engine.lag_ops();
+
+    // Drain the async backlog before tearing down, so the standby exits
+    // cleanly and the lag figure is an honest point-in-time reading.
+    let head = engine.head();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while engine.acked() < head && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Release);
+    engine.stop();
+    let _ = apply_thread.join();
+    drop(connector);
+    fs.drain();
+    Arc::try_unwrap(server)
+        .unwrap_or_else(|_| panic!("server still referenced"))
+        .shutdown();
+    cell(config, &lat, lag_at_end)
+}
+
+/// Measure all three configurations.
+pub fn run(scale: &Scale) -> ReplBenchResult {
+    let files = files_for(scale);
+
+    let fs = primary_mount(files);
+    let lat = measure_writes(&fs, files);
+    fs.drain();
+    let baseline = cell("no replica", &lat, 0);
+
+    let cells = vec![
+        baseline,
+        replicated_cell("async replica", false, files),
+        replicated_cell("sync-ack replica", true, files),
+    ];
+    ReplBenchResult {
+        files,
+        file_bytes: FILE_BYTES,
+        cells,
+    }
+}
+
+/// Render the result table.
+pub fn render(res: &ReplBenchResult) -> String {
+    let rows: Vec<Vec<String>> = res
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.config.clone(),
+                format!("{:.1}", c.write_p50_us),
+                format!("{:.1}", c.write_p99_us),
+                format!("{:.1}", c.write_mean_us),
+                format!("{}", c.lag_at_end),
+            ]
+        })
+        .collect();
+    report::table(
+        &format!(
+            "Replication overhead — {} x {} KB primary writes (loopback standby)",
+            res.files,
+            res.file_bytes / 1024
+        ),
+        &[
+            "Configuration",
+            "write p50 (us)",
+            "write p99 (us)",
+            "write mean (us)",
+            "lag at end (ops)",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance shape: sync-ack pays a round trip every write, so its
+    /// median sits above async; sync-ack ends with zero lag by
+    /// construction.
+    #[test]
+    fn sync_ack_costs_more_than_async_and_ends_with_zero_lag() {
+        let _serial = crate::timing_test_lock();
+        crate::retry_timing(3, || {
+            let res = run(&Scale::smoke());
+            assert_eq!(res.cells.len(), 3);
+            let sync = res
+                .cells
+                .iter()
+                .find(|c| c.config == "sync-ack replica")
+                .unwrap();
+            assert_eq!(sync.lag_at_end, 0, "sync-ack left unacked entries");
+            let async_p50 = res.p50("async replica").unwrap();
+            let sync_p50 = res.p50("sync-ack replica").unwrap();
+            assert!(
+                sync_p50 > async_p50,
+                "sync-ack p50 {sync_p50:.1}us should exceed async p50 {async_p50:.1}us"
+            );
+            let text = render(&res);
+            assert!(text.contains("no replica") && text.contains("sync-ack replica"));
+        });
+    }
+}

@@ -133,6 +133,8 @@ pub struct Daemon {
     threads: Vec<std::thread::JoinHandle<()>>,
     workers: usize,
     dwq: Arc<Dwq>,
+    /// Pool-wide dedup-vs-exclusive-work lock (see [`Daemon::with_quiesced`]).
+    quiesce: Arc<RwLock<()>>,
 }
 
 impl Daemon {
@@ -172,7 +174,17 @@ impl Daemon {
             threads,
             workers,
             dwq,
+            quiesce,
         }
+    }
+
+    /// Run `f` under the pool-wide exclusive quiesce lock: no dedup batch or
+    /// FACT scrub overlaps it on any worker. Used by the replication layer
+    /// to capture crash-consistent device snapshots with no dedup
+    /// transaction in flight.
+    pub fn with_quiesced<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _excl = self.quiesce.write();
+        f()
     }
 
     /// Worker threads actually running (after clamping to the shard count).

@@ -325,6 +325,17 @@ impl Denova {
         recovery::scrub(&self.nova, &self.fact)
     }
 
+    /// Run `f` with the dedup worker pool quiesced: no dedup batch or scrub
+    /// is in flight anywhere in the pool while `f` runs. The replication
+    /// layer captures crash-consistent device snapshots under this. No-op
+    /// wrapper in modes without a daemon.
+    pub fn quiesce<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.daemon {
+            Some(d) => d.with_quiesced(f),
+            None => f(),
+        }
+    }
+
     /// Bytes of storage the dedup layer has saved so far.
     pub fn bytes_saved(&self) -> u64 {
         self.stats.bytes_saved()

@@ -19,6 +19,7 @@ use crate::error::{NovaError, Result};
 use crate::fs::{InodeCtx, Nova};
 use crate::layout::{BLOCK_SIZE, ROOT_INO};
 use crate::stats::NovaStats;
+use crate::tap::FsOp;
 
 impl Nova {
     /// Write `data` at byte `offset` of file `ino` (copy-on-write, atomic,
@@ -107,6 +108,13 @@ impl Nova {
             for block in obsolete {
                 ctx.reclaim_block(block);
             }
+            // Tap while the inode lock is held: two writes to one file must
+            // reach the replication journal in their commit order.
+            self.emit_op(|| FsOp::Write {
+                ino,
+                offset,
+                data: data.to_vec(),
+            });
             Ok(offs.into_iter().zip(entries).collect::<Vec<_>>())
         })?;
 
@@ -179,6 +187,10 @@ impl Nova {
             }
             ctx.mem.size = new_size;
             ctx.commit_size(new_size)?;
+            self.emit_op(|| FsOp::Truncate {
+                ino,
+                size: new_size,
+            });
             Ok(())
         })
     }

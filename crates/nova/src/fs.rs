@@ -12,6 +12,7 @@ use crate::layout::{Layout, BLOCK_SIZE, ROOT_INO};
 use crate::log::{self, LogPosition};
 use crate::stats::NovaStats;
 use crate::superblock;
+use crate::tap::{FsOp, OpTap};
 use denova_pmem::PmemDevice;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -136,6 +137,8 @@ pub struct Nova {
     txid: AtomicU64,
     dedup_enabled: AtomicBool,
     hooks: RwLock<Arc<dyn NovaHooks>>,
+    /// Post-commit observer for mutating operations (replication tap).
+    op_tap: RwLock<Option<Arc<dyn OpTap>>>,
     stats: NovaStats,
 }
 
@@ -165,6 +168,7 @@ impl Nova {
             txid: AtomicU64::new(1),
             dedup_enabled: AtomicBool::new(opts.dedup_enabled),
             hooks: RwLock::new(Arc::new(NoHooks)),
+            op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
             layout,
             dev,
@@ -198,6 +202,7 @@ impl Nova {
             txid: AtomicU64::new(recovered.next_txid),
             dedup_enabled: AtomicBool::new(opts.dedup_enabled),
             hooks: RwLock::new(Arc::new(NoHooks)),
+            op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
             layout,
             dev,
@@ -213,6 +218,28 @@ impl Nova {
     /// Install the dedup layer's hooks.
     pub fn set_hooks(&self, hooks: Arc<dyn NovaHooks>) {
         *self.hooks.write() = hooks;
+    }
+
+    /// Install a post-commit operation tap (see [`crate::tap`]). Replaces
+    /// any previous tap.
+    pub fn set_op_tap(&self, tap: Arc<dyn OpTap>) {
+        *self.op_tap.write() = Some(tap);
+    }
+
+    /// Remove the operation tap.
+    pub fn clear_op_tap(&self) {
+        *self.op_tap.write() = None;
+    }
+
+    /// Emit a committed op to the installed tap, if any. `make` only runs
+    /// when a tap is installed, so untapped mounts pay no payload clone.
+    /// Public so alternate write paths (e.g. the dedup layer's inline write)
+    /// can report their commits too.
+    pub fn emit_op(&self, make: impl FnOnce() -> FsOp) {
+        let tap = self.op_tap.read().clone();
+        if let Some(t) = tap {
+            t.op_committed(make());
+        }
     }
 
     /// Enable/disable tagging of new write entries as dedup candidates.
@@ -406,6 +433,12 @@ impl Nova {
             .write()
             .insert(ino, Arc::new(RwLock::new(InodeMem::default())));
         ns.insert(name.to_string(), ino);
+        // Tap under the namespace lock: replication must see name operations
+        // in their commit order.
+        self.emit_op(|| FsOp::Create {
+            name: name.to_string(),
+            ino,
+        });
         NovaStats::add(&self.stats.creates, 1);
         Ok(ino)
     }
@@ -458,6 +491,11 @@ impl Nova {
         let nlink = table.read(ino)?.link_count;
         table.set_link_count(ino, nlink + 1)?;
         ns.insert(new_name.to_string(), ino);
+        self.emit_op(|| FsOp::Link {
+            existing: existing.to_string(),
+            new_name: new_name.to_string(),
+            ino,
+        });
         Ok(ino)
     }
 
@@ -480,6 +518,9 @@ impl Nova {
         })?;
         ns.remove(name);
         let remaining = ns.values().filter(|&&i| i == ino).count();
+        self.emit_op(|| FsOp::Unlink {
+            name: name.to_string(),
+        });
         drop(ns);
         self.dev.crash_point("nova::unlink::after_dentry");
 
@@ -551,6 +592,10 @@ impl Nova {
         })?;
         ns.remove(from);
         ns.insert(to.to_string(), ino);
+        self.emit_op(|| FsOp::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
         // The clobbered inode loses one name; it is only released when that
         // was its last (it may have other hard links).
         let clobbered_remaining =

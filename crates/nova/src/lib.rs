@@ -36,6 +36,7 @@ pub mod log;
 pub mod recovery;
 pub mod stats;
 pub mod superblock;
+pub mod tap;
 
 pub use alloc::{Allocator, BlockBitmap};
 pub use entry::{AttrEntry, DedupeFlag, DentryEntry, EntryType, LogEntry, WriteEntry};
@@ -47,3 +48,4 @@ pub use index::{EntryRef, RadixTree};
 pub use layout::{Layout, BLOCK_SIZE, LOG_ENTRY_SIZE, ROOT_INO};
 pub use log::{LogIter, LogPosition};
 pub use stats::NovaStats;
+pub use tap::{FsOp, NoOpTap, OpTap};

@@ -1,0 +1,108 @@
+//! Post-commit operation tap: the hook the replication layer uses to
+//! observe every mutating operation *after* its atomic log-tail commit.
+//!
+//! Unlike [`crate::hooks::NovaHooks`] — which belongs to the dedup layer and
+//! only sees committed *write entries* — the op tap carries the full logical
+//! operation (name, inode, payload) so a standby can replay it against an
+//! independent file system. The tap fires while the committing lock
+//! (namespace lock for namespace ops, the inode lock for data ops) is still
+//! held, so the tap observes operations in exactly their commit order; a
+//! replication journal built from these calls is a faithful serialization of
+//! the primary's history.
+
+use std::sync::Arc;
+
+/// One committed mutating operation, in logical (replayable) form.
+///
+/// Inode numbers are the *primary's*; a standby replaying the stream maps
+/// them to its own (they coincide after a snapshot transfer but may diverge
+/// for files created later under different allocation order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOp {
+    /// `create(name)` committed, yielding inode `ino`.
+    Create {
+        /// File name.
+        name: String,
+        /// Inode the primary allocated.
+        ino: u64,
+    },
+    /// `write(ino, offset, data)` committed.
+    Write {
+        /// Primary inode number.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// The written bytes.
+        data: Vec<u8>,
+    },
+    /// `unlink(name)` committed.
+    Unlink {
+        /// Removed name.
+        name: String,
+    },
+    /// `link(existing, new_name)` committed for inode `ino`.
+    Link {
+        /// Existing file name.
+        existing: String,
+        /// The new hard-link name.
+        new_name: String,
+        /// The shared inode.
+        ino: u64,
+    },
+    /// `rename(from, to)` committed.
+    Rename {
+        /// Old name.
+        from: String,
+        /// New name (clobbered if it existed).
+        to: String,
+    },
+    /// `truncate(ino, size)` committed.
+    Truncate {
+        /// Primary inode number.
+        ino: u64,
+        /// New size in bytes.
+        size: u64,
+    },
+}
+
+impl FsOp {
+    /// Short name for logging/metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsOp::Create { .. } => "create",
+            FsOp::Write { .. } => "write",
+            FsOp::Unlink { .. } => "unlink",
+            FsOp::Link { .. } => "link",
+            FsOp::Rename { .. } => "rename",
+            FsOp::Truncate { .. } => "truncate",
+        }
+    }
+
+    /// Payload bytes carried by the op (write data), for lag accounting.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            FsOp::Write { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Observer of committed operations. Implementations must be cheap and
+/// non-blocking in the common case: the tap runs under the committing lock
+/// (see module docs), so a slow tap serializes behind that lock's other
+/// users. Blocking deliberately (sync-ack replication) is allowed but is a
+/// latency trade the installer opts into.
+pub trait OpTap: Send + Sync {
+    /// `op` has committed and is durable on the primary's device.
+    fn op_committed(&self, op: FsOp);
+}
+
+/// A tap that ignores everything (the default).
+pub struct NoOpTap;
+
+impl OpTap for NoOpTap {
+    fn op_committed(&self, _op: FsOp) {}
+}
+
+/// Shared handle type installed on a file system.
+pub type SharedOpTap = Arc<dyn OpTap>;

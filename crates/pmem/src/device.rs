@@ -706,11 +706,19 @@ impl PmemDevice {
         latency: LatencyProfile,
     ) -> std::io::Result<PmemDevice> {
         let data = std::fs::read(path)?;
+        Ok(Self::from_bytes(&data, latency))
+    }
+
+    /// Build a device from raw image bytes — e.g. a snapshot received over
+    /// the network. As with [`PmemDevice::load_image`], the content is
+    /// considered persisted (clean tracking), matching the semantics of a
+    /// DIMM that held exactly these bytes at power-on.
+    pub fn from_bytes(data: &[u8], latency: LatencyProfile) -> PmemDevice {
         let dev = PmemBuilder::new(data.len()).latency(latency).build();
         unsafe {
             std::ptr::copy_nonoverlapping(data.as_ptr(), dev.ptr(), data.len());
         }
-        Ok(dev)
+        dev
     }
 
     /// A named crash point. When the point is armed (see

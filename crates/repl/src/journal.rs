@@ -1,0 +1,356 @@
+//! The bounded in-memory replication journal.
+//!
+//! Every mutating operation is appended *after* its atomic log-tail commit,
+//! already encoded in its wire form, and tagged with a 1-based sequence
+//! number. The journal is a sliding window: once `cap_ops` or `cap_bytes` is
+//! exceeded, the oldest entries are evicted. A standby whose cursor falls off
+//! the window cannot be caught up by log shipping any more and is told to
+//! re-bootstrap from a full snapshot ([`Journal::entries_from`] returns
+//! [`EntriesFrom::Gone`]).
+//!
+//! The journal also owns the lag instrumentation: `repl.lag_ops` is
+//! `head - acked` and `repl.lag_bytes` is the payload volume appended but not
+//! yet acknowledged by the most advanced standby.
+
+use denova_telemetry::{Gauge, MetricsRegistry};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Journal bounds. Both caps apply; whichever is hit first evicts.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Max retained entries.
+    pub cap_ops: usize,
+    /// Max retained payload bytes.
+    pub cap_bytes: usize,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            cap_ops: 65_536,
+            cap_bytes: 256 << 20,
+        }
+    }
+}
+
+struct State {
+    /// Retained entries; `entries[i]` has sequence `start_seq + i`.
+    entries: VecDeque<Vec<u8>>,
+    /// Sequence number of `entries[0]` (meaningful when non-empty).
+    start_seq: u64,
+    /// Last appended sequence number (0 = nothing appended yet).
+    head: u64,
+    /// Highest acknowledged sequence number (max across standbys).
+    acked: u64,
+    /// Retained payload bytes.
+    bytes: usize,
+    /// Payload bytes appended but not yet acknowledged (includes evicted
+    /// entries' bytes only until they are evicted or acked).
+    unacked_bytes: u64,
+}
+
+/// The bounded replication journal. All methods are thread-safe; appends,
+/// acks, and evictions all wake [`Journal::wait_appended`] /
+/// [`Journal::wait_acked`] waiters.
+pub struct Journal {
+    cfg: JournalConfig,
+    state: Mutex<State>,
+    changed: Condvar,
+    lag_ops: Gauge,
+    lag_bytes: Gauge,
+}
+
+/// Result of asking for entries after a cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntriesFrom {
+    /// Nothing past the cursor yet.
+    UpToDate,
+    /// A contiguous batch starting at `first_seq`.
+    Batch {
+        /// Sequence of `raw[0]`.
+        first_seq: u64,
+        /// Encoded ops in sequence order.
+        raw: Vec<Vec<u8>>,
+    },
+    /// The cursor fell off the bounded window; only a snapshot can help.
+    Gone,
+}
+
+impl Journal {
+    /// An empty journal recording lag gauges into `metrics`.
+    pub fn new(cfg: JournalConfig, metrics: &MetricsRegistry) -> Journal {
+        Journal {
+            cfg,
+            state: Mutex::new(State {
+                entries: VecDeque::new(),
+                start_seq: 1,
+                head: 0,
+                acked: 0,
+                bytes: 0,
+                unacked_bytes: 0,
+            }),
+            changed: Condvar::new(),
+            lag_ops: metrics.gauge("repl.lag_ops"),
+            lag_bytes: metrics.gauge("repl.lag_bytes"),
+        }
+    }
+
+    /// Append one encoded op, returning its sequence number.
+    pub fn append(&self, raw: Vec<u8>) -> u64 {
+        let mut s = self.state.lock();
+        s.head += 1;
+        let seq = s.head;
+        if s.entries.is_empty() {
+            s.start_seq = seq;
+        }
+        s.bytes += raw.len();
+        s.unacked_bytes += raw.len() as u64;
+        s.entries.push_back(raw);
+        while s.entries.len() > self.cfg.cap_ops || s.bytes > self.cfg.cap_bytes {
+            let evicted = s.entries.pop_front().expect("non-empty while over cap");
+            s.bytes -= evicted.len();
+            // An evicted-but-unacked entry leaves the lag accounting: the
+            // standby that needed it will re-bootstrap from a snapshot.
+            if s.start_seq > s.acked {
+                s.unacked_bytes = s.unacked_bytes.saturating_sub(evicted.len() as u64);
+            }
+            s.start_seq += 1;
+        }
+        self.publish_lag(&s);
+        drop(s);
+        self.changed.notify_all();
+        seq
+    }
+
+    /// Record an acknowledgement: everything up to `seq` has been applied by
+    /// some standby.
+    pub fn ack(&self, seq: u64) {
+        let mut s = self.state.lock();
+        if seq <= s.acked {
+            return;
+        }
+        // Subtract the payload of newly-acked entries still in the window;
+        // entries below `start_seq` were already subtracted at eviction.
+        let from = s.acked.max(s.start_seq.saturating_sub(1));
+        for q in (from + 1)..=seq.min(s.head) {
+            if q >= s.start_seq {
+                let len = s.entries[(q - s.start_seq) as usize].len() as u64;
+                s.unacked_bytes = s.unacked_bytes.saturating_sub(len);
+            }
+        }
+        s.acked = seq.min(s.head);
+        self.publish_lag(&s);
+        drop(s);
+        self.changed.notify_all();
+    }
+
+    /// A snapshot at `upto_seq` was shipped: entries at or below it are
+    /// replicated by the image itself, so count them as acknowledged.
+    pub fn snapshot_covers(&self, upto_seq: u64) {
+        self.ack(upto_seq);
+    }
+
+    /// Last appended sequence number (0 = none).
+    pub fn head(&self) -> u64 {
+        self.state.lock().head
+    }
+
+    /// Highest acknowledged sequence number.
+    pub fn acked(&self) -> u64 {
+        self.state.lock().acked
+    }
+
+    /// Unacknowledged payload bytes (the `repl.lag_bytes` gauge's source).
+    pub fn unacked_bytes(&self) -> u64 {
+        self.state.lock().unacked_bytes
+    }
+
+    /// Entries after `cursor`, bounded by `max_ops` and `max_bytes` (at
+    /// least one entry is returned even if it alone exceeds `max_bytes`).
+    pub fn entries_from(&self, cursor: u64, max_ops: usize, max_bytes: usize) -> EntriesFrom {
+        let s = self.state.lock();
+        if cursor >= s.head {
+            return EntriesFrom::UpToDate;
+        }
+        if cursor + 1 < s.start_seq || s.entries.is_empty() {
+            return EntriesFrom::Gone;
+        }
+        let first_seq = cursor + 1;
+        let mut raw = Vec::new();
+        let mut bytes = 0usize;
+        for q in first_seq..=s.head {
+            let entry = &s.entries[(q - s.start_seq) as usize];
+            if !raw.is_empty() && (raw.len() >= max_ops || bytes + entry.len() > max_bytes) {
+                break;
+            }
+            bytes += entry.len();
+            raw.push(entry.clone());
+        }
+        EntriesFrom::Batch { first_seq, raw }
+    }
+
+    /// Block until the head advances past `cursor` or `timeout` elapses.
+    /// Returns `true` when there is something new to ship.
+    pub fn wait_appended(&self, cursor: u64, timeout: Duration) -> bool {
+        let mut s = self.state.lock();
+        if s.head > cursor {
+            return true;
+        }
+        self.changed.wait_for(&mut s, timeout);
+        s.head > cursor
+    }
+
+    /// Block until `seq` is acknowledged or `timeout` elapses. Returns
+    /// `true` on acknowledgement.
+    pub fn wait_acked(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.state.lock();
+        while s.acked < seq {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.changed.wait_for(&mut s, deadline - now);
+        }
+        true
+    }
+
+    /// Wake every waiter (used on shutdown so senders and sync-ack taps
+    /// re-check their stop conditions immediately).
+    pub fn kick(&self) {
+        self.changed.notify_all();
+    }
+
+    fn publish_lag(&self, s: &State) {
+        self.lag_ops.set((s.head - s.acked) as i64);
+        self.lag_bytes.set(s.unacked_bytes as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal(cap_ops: usize, cap_bytes: usize) -> (Journal, MetricsRegistry) {
+        let metrics = MetricsRegistry::new();
+        let j = Journal::new(JournalConfig { cap_ops, cap_bytes }, &metrics);
+        (j, metrics)
+    }
+
+    #[test]
+    fn sequences_are_dense_and_one_based() {
+        let (j, _) = journal(16, 1 << 20);
+        assert_eq!(j.head(), 0);
+        assert_eq!(j.append(vec![1]), 1);
+        assert_eq!(j.append(vec![2]), 2);
+        match j.entries_from(0, 64, 1 << 20) {
+            EntriesFrom::Batch { first_seq, raw } => {
+                assert_eq!(first_seq, 1);
+                assert_eq!(raw, vec![vec![1], vec![2]]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(j.entries_from(2, 64, 1 << 20), EntriesFrom::UpToDate);
+    }
+
+    #[test]
+    fn eviction_bounds_the_window_and_reports_gone() {
+        let (j, _) = journal(4, 1 << 20);
+        for i in 0..10u8 {
+            j.append(vec![i]);
+        }
+        // Only seqs 7..=10 retained.
+        assert_eq!(j.entries_from(5, 64, 1 << 20), EntriesFrom::Gone);
+        match j.entries_from(6, 64, 1 << 20) {
+            EntriesFrom::Batch { first_seq, raw } => {
+                assert_eq!(first_seq, 7);
+                assert_eq!(raw.len(), 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_cap_evicts_too() {
+        let (j, _) = journal(1000, 100);
+        j.append(vec![0; 60]);
+        j.append(vec![1; 60]); // first entry must go
+        assert_eq!(j.entries_from(0, 64, 1 << 20), EntriesFrom::Gone);
+        assert!(matches!(
+            j.entries_from(1, 64, 1 << 20),
+            EntriesFrom::Batch { first_seq: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn lag_accounting_tracks_acks_and_evictions() {
+        let (j, m) = journal(4, 1 << 20);
+        for i in 0..4u8 {
+            j.append(vec![i; 10]);
+        }
+        assert_eq!(j.unacked_bytes(), 40);
+        j.ack(2);
+        assert_eq!(j.unacked_bytes(), 20);
+        assert_eq!(j.acked(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauge("repl.lag_ops"), Some(2));
+        assert_eq!(snap.gauge("repl.lag_bytes"), Some(20));
+        // Re-acking lower or equal seqs is a no-op.
+        j.ack(1);
+        assert_eq!(j.unacked_bytes(), 20);
+        // Evicting unacked entries removes them from the lag bytes.
+        for i in 0..4u8 {
+            j.append(vec![i; 10]); // evicts seqs 3,4 (unacked)
+        }
+        j.ack(8);
+        assert_eq!(j.unacked_bytes(), 0);
+        assert_eq!(m.snapshot().gauge("repl.lag_ops"), Some(0));
+    }
+
+    #[test]
+    fn batch_limits_respected() {
+        let (j, _) = journal(100, 1 << 20);
+        for i in 0..10u8 {
+            j.append(vec![i; 10]);
+        }
+        match j.entries_from(0, 3, 1 << 20) {
+            EntriesFrom::Batch { raw, .. } => assert_eq!(raw.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        match j.entries_from(0, 100, 25) {
+            // 10-byte entries: the byte budget admits two, plus the
+            // always-at-least-one rule doesn't trigger.
+            EntriesFrom::Batch { raw, .. } => assert_eq!(raw.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        // A single oversized entry still ships.
+        let (j, _) = journal(100, 1 << 20);
+        j.append(vec![0; 500]);
+        match j.entries_from(0, 100, 25) {
+            EntriesFrom::Batch { raw, .. } => assert_eq!(raw.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_acked_times_out_then_succeeds() {
+        let (j, _) = journal(16, 1 << 20);
+        let seq = j.append(vec![1]);
+        assert!(!j.wait_acked(seq, Duration::from_millis(20)));
+        j.ack(seq);
+        assert!(j.wait_acked(seq, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn snapshot_covers_acks_prefix() {
+        let (j, _) = journal(16, 1 << 20);
+        for i in 0..5u8 {
+            j.append(vec![i]);
+        }
+        j.snapshot_covers(5);
+        assert_eq!(j.acked(), 5);
+        assert_eq!(j.unacked_bytes(), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! The standby side: snapshot bootstrap, the apply loop, and redial.
+//!
+//! A standby node mounts a crash-consistent image of the primary (received
+//! via snapshot transfer) and then applies journal entries in commit order.
+//! Inode numbers are *not* guaranteed to match across nodes — the standby's
+//! allocator may hand out different inodes, and a snapshot taken mid-stream
+//! can contain ops the journal replays again — so the apply loop keeps a
+//! primary-inode → local-inode map, seeded by `Create`/`Link` replay and
+//! falling back to identity for inodes born inside the snapshot image.
+//! Replay is idempotent: `Create` of an existing name maps the existing
+//! inode, `Write`/`Truncate` rewrite identical bytes, `Unlink`/`Rename` of a
+//! missing name are skipped.
+
+use denova::Denova;
+use denova_nova::FsOp;
+use denova_svc::client::{Backoff, Connector, RetryPolicy};
+use denova_svc::codec::{read_frame, write_frame, FrameRead};
+use denova_svc::repl::ReplMsg;
+use denova_svc::Stream;
+use denova_telemetry::{Counter, Gauge, MetricsRegistry};
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Standby tunables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandbyConfig {
+    /// Redial backoff shape (the standby redials *forever* — `max_attempts`
+    /// is ignored — because surviving primary death awaiting promotion is
+    /// the point of a standby).
+    pub retry: RetryPolicy,
+}
+
+/// Why [`Standby::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandbyExit {
+    /// This node was promoted to primary; stop applying and take over.
+    Promoted,
+    /// The primary evicted entries this standby still needed; re-bootstrap
+    /// from a fresh snapshot.
+    FellBehind,
+    /// The caller's `should_stop` fired (normal shutdown).
+    Stopped,
+}
+
+/// A received snapshot: the covered sequence number and the device image.
+pub struct Bootstrap {
+    /// Journal sequence the image covers.
+    pub upto_seq: u64,
+    /// Crash-consistent device image (mount it via recovery).
+    pub image: Vec<u8>,
+    /// The still-open subscription stream; entries after `upto_seq` follow
+    /// on it. Hand it to [`Standby::run`].
+    pub stream: Box<dyn Stream>,
+}
+
+/// Dial the primary and fetch a full snapshot. The returned stream stays
+/// subscribed: pass it straight to [`Standby::run`].
+pub fn bootstrap(connector: &Connector) -> io::Result<Bootstrap> {
+    let mut stream = connector()?;
+    let _ = stream.set_stream_timeouts(Some(Duration::from_millis(100)), None);
+    let sub = ReplMsg::Subscribe {
+        last_seq: 0,
+        want_snapshot: true,
+    };
+    write_frame(&mut stream, &sub.encode())?;
+    let (upto_seq, total_bytes, chunk_count) = match read_msg(&mut stream)? {
+        ReplMsg::SnapshotBegin {
+            upto_seq,
+            total_bytes,
+            chunk_count,
+        } => (upto_seq, total_bytes, chunk_count),
+        other => return Err(proto_err(&format!("expected SnapshotBegin, got {other:?}"))),
+    };
+    let mut image = Vec::with_capacity((total_bytes as usize).min(1 << 30));
+    for want in 0..chunk_count {
+        match read_msg(&mut stream)? {
+            ReplMsg::SnapshotChunk { index, data } if index == want => {
+                image.extend_from_slice(&data)
+            }
+            other => return Err(proto_err(&format!("expected chunk {want}, got {other:?}"))),
+        }
+    }
+    match read_msg(&mut stream)? {
+        ReplMsg::SnapshotEnd {
+            total_bytes: got_bytes,
+        } if got_bytes == total_bytes && image.len() as u64 == total_bytes => {}
+        other => return Err(proto_err(&format!("bad snapshot end: {other:?}"))),
+    }
+    Ok(Bootstrap {
+        upto_seq,
+        image,
+        stream,
+    })
+}
+
+/// The apply loop over a mounted standby stack.
+pub struct Standby {
+    fs: Arc<Denova>,
+    cfg: StandbyConfig,
+    last_seq: u64,
+    ino_map: HashMap<u64, u64>,
+    applied: Counter,
+    apply_errors: Counter,
+    reconnects: Counter,
+    behind_ops: Gauge,
+}
+
+impl Standby {
+    /// Wrap a mounted standby stack whose state covers the journal up to
+    /// `last_seq` (the `upto_seq` of the snapshot it was mounted from).
+    pub fn new(fs: Arc<Denova>, last_seq: u64, cfg: StandbyConfig) -> Standby {
+        let metrics: MetricsRegistry = fs.nova().device().metrics().clone();
+        Standby {
+            applied: metrics.counter("repl.applied_ops"),
+            apply_errors: metrics.counter("repl.apply_errors"),
+            reconnects: metrics.counter("repl.reconnects"),
+            behind_ops: metrics.gauge("repl.behind_ops"),
+            fs,
+            cfg,
+            last_seq,
+            ino_map: HashMap::new(),
+        }
+    }
+
+    /// Highest applied sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Apply entries from `stream` until promoted, stopped, or told to
+    /// re-bootstrap. On connection loss the standby redials through
+    /// `connector` with capped exponential backoff, forever — a dead
+    /// primary must not kill the standby, which may be promoted any moment.
+    pub fn run(
+        &mut self,
+        stream: Box<dyn Stream>,
+        connector: &Connector,
+        promoted: impl Fn() -> bool,
+        should_stop: impl Fn() -> bool,
+    ) -> StandbyExit {
+        let mut stream = Some(stream);
+        loop {
+            if promoted() {
+                return StandbyExit::Promoted;
+            }
+            if should_stop() {
+                return StandbyExit::Stopped;
+            }
+            let mut conn = match stream.take() {
+                Some(c) => c,
+                None => match self.redial(connector, &promoted, &should_stop) {
+                    Ok(c) => c,
+                    Err(exit) => return exit,
+                },
+            };
+            match self.apply_from(&mut conn, &promoted, &should_stop) {
+                ConnExit::Promoted => {
+                    // Tell the primary (if still there) where we stopped, so
+                    // its lag gauges reflect the handoff point.
+                    let _ = write_frame(&mut conn, &ReplMsg::Ack { seq: self.last_seq }.encode());
+                    conn.shutdown_stream();
+                    return StandbyExit::Promoted;
+                }
+                ConnExit::Stopped => {
+                    conn.shutdown_stream();
+                    return StandbyExit::Stopped;
+                }
+                ConnExit::FellBehind => {
+                    conn.shutdown_stream();
+                    return StandbyExit::FellBehind;
+                }
+                ConnExit::Lost => { /* loop: redial */ }
+            }
+        }
+    }
+
+    fn redial(
+        &mut self,
+        connector: &Connector,
+        promoted: &impl Fn() -> bool,
+        should_stop: &impl Fn() -> bool,
+    ) -> Result<Box<dyn Stream>, StandbyExit> {
+        let mut backoff = Backoff::new(self.cfg.retry);
+        loop {
+            if promoted() {
+                return Err(StandbyExit::Promoted);
+            }
+            if should_stop() {
+                return Err(StandbyExit::Stopped);
+            }
+            if let Ok(mut conn) = connector() {
+                let _ = conn.set_stream_timeouts(Some(Duration::from_millis(100)), None);
+                let sub = ReplMsg::Subscribe {
+                    last_seq: self.last_seq,
+                    want_snapshot: false,
+                };
+                if write_frame(&mut conn, &sub.encode()).is_ok() {
+                    self.reconnects.inc();
+                    return Ok(conn);
+                }
+            }
+            // Sleep in small slices so promotion during an outage is
+            // noticed promptly even at the backoff ceiling.
+            let mut left = backoff.next_delay();
+            while !left.is_zero() && !promoted() && !should_stop() {
+                let slice = left.min(Duration::from_millis(20));
+                std::thread::sleep(slice);
+                left = left.saturating_sub(slice);
+            }
+        }
+    }
+
+    fn apply_from(
+        &mut self,
+        conn: &mut Box<dyn Stream>,
+        promoted: &impl Fn() -> bool,
+        should_stop: &impl Fn() -> bool,
+    ) -> ConnExit {
+        loop {
+            if promoted() {
+                return ConnExit::Promoted;
+            }
+            if should_stop() {
+                return ConnExit::Stopped;
+            }
+            let frame = match read_frame(conn) {
+                Ok(FrameRead::Frame(f)) => f,
+                Ok(FrameRead::Idle) => continue,
+                Ok(FrameRead::Eof) | Err(_) => return ConnExit::Lost,
+            };
+            match ReplMsg::decode(&frame) {
+                Ok(ReplMsg::Entries { first_seq, ops }) => {
+                    for (i, op) in ops.into_iter().enumerate() {
+                        let seq = first_seq + i as u64;
+                        if seq <= self.last_seq {
+                            continue; // duplicate after a reconnect race
+                        }
+                        self.apply(op);
+                        self.last_seq = seq;
+                        self.applied.inc();
+                    }
+                    let ack = ReplMsg::Ack { seq: self.last_seq };
+                    if write_frame(conn, &ack.encode()).is_err() {
+                        return ConnExit::Lost;
+                    }
+                }
+                Ok(ReplMsg::Heartbeat { head_seq }) => {
+                    self.behind_ops
+                        .set(head_seq.saturating_sub(self.last_seq) as i64);
+                    let ack = ReplMsg::Ack { seq: self.last_seq };
+                    if write_frame(conn, &ack.encode()).is_err() {
+                        return ConnExit::Lost;
+                    }
+                }
+                Ok(ReplMsg::FellBehind) => return ConnExit::FellBehind,
+                Ok(_) | Err(_) => return ConnExit::Lost,
+            }
+        }
+    }
+
+    /// Local inode for a primary inode: mapped if replay created it,
+    /// identity otherwise (files born inside the snapshot image keep their
+    /// primary inode numbers — the image is bit-identical to the primary).
+    fn local_ino(&self, primary_ino: u64) -> u64 {
+        self.ino_map
+            .get(&primary_ino)
+            .copied()
+            .unwrap_or(primary_ino)
+    }
+
+    fn apply(&mut self, op: FsOp) {
+        use denova_nova::NovaError;
+        let fs = self.fs.clone();
+        let result: Result<(), NovaError> = match op {
+            FsOp::Create { name, ino } => match fs.create(&name) {
+                Ok(local) => {
+                    self.ino_map.insert(ino, local);
+                    Ok(())
+                }
+                Err(NovaError::AlreadyExists) => {
+                    // Snapshot/journal overlap: the file exists in the image.
+                    fs.open(&name).map(|local| {
+                        self.ino_map.insert(ino, local);
+                    })
+                }
+                Err(e) => Err(e),
+            },
+            FsOp::Write { ino, offset, data } => {
+                fs.write(self.local_ino(ino), offset, &data).map(|_| ())
+            }
+            FsOp::Unlink { name } => match fs.unlink(&name) {
+                Err(NovaError::NotFound) => Ok(()),
+                r => r,
+            },
+            FsOp::Link {
+                existing,
+                new_name,
+                ino,
+            } => match fs.nova().link(&existing, &new_name) {
+                Ok(local) => {
+                    self.ino_map.insert(ino, local);
+                    Ok(())
+                }
+                Err(NovaError::AlreadyExists) => fs.open(&new_name).map(|local| {
+                    self.ino_map.insert(ino, local);
+                }),
+                Err(e) => Err(e),
+            },
+            FsOp::Rename { from, to } => match fs.nova().rename(&from, &to) {
+                Err(NovaError::NotFound) => Ok(()),
+                r => r.map(|_| ()),
+            },
+            FsOp::Truncate { ino, size } => fs.truncate(self.local_ino(ino), size),
+        };
+        if result.is_err() {
+            // Apply errors are counted, not fatal: a failover audit (fsck +
+            // content comparison) decides whether the standby is usable.
+            self.apply_errors.inc();
+        }
+    }
+}
+
+enum ConnExit {
+    Promoted,
+    Stopped,
+    FellBehind,
+    Lost,
+}
+
+fn read_msg(stream: &mut Box<dyn Stream>) -> io::Result<ReplMsg> {
+    loop {
+        match read_frame(stream)? {
+            FrameRead::Frame(f) => {
+                return ReplMsg::decode(&f).map_err(|e| proto_err(&e.to_string()))
+            }
+            FrameRead::Idle => continue,
+            FrameRead::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "primary closed during snapshot",
+                ))
+            }
+        }
+    }
+}
+
+fn proto_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("repl protocol: {msg}"))
+}

@@ -12,8 +12,12 @@ use crate::codec::{read_frame, write_frame, FrameRead};
 use crate::proto::{decode_reply, Body, RemoteDedupStats, Request, SvcError};
 use crate::transport::Stream;
 use denova_nova::FileStat;
+use denova_telemetry::{Counter, MetricsRegistry};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io;
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Per-call reply deadline. Generous: the server may be draining a deep
 /// dedup backlog under injected PM latency when an fsync lands.
@@ -23,29 +27,179 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 /// [`MAX_FRAME`](crate::codec::MAX_FRAME) with headers included.
 const CHUNK: usize = 4 << 20;
 
+/// Re-dials the server, producing a fresh stream. Shared by the client's
+/// automatic reconnect and the replication standby's redial loop.
+pub type Connector = Arc<dyn Fn() -> io::Result<Box<dyn Stream>> + Send + Sync>;
+
+/// Dial `addr` over TCP with the client's socket options applied.
+pub fn dial_tcp(addr: &str) -> io::Result<Box<dyn Stream>> {
+    let sock = TcpStream::connect(addr)?;
+    sock.set_nodelay(true).ok();
+    Ok(Box::new(sock))
+}
+
+/// How hard the client tries to ride out a transport failure.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Capped exponential backoff with jitter: each delay is drawn uniformly
+/// from the upper half of an exponentially growing, capped window, so a herd
+/// of clients reconnecting to a restarted server spreads out instead of
+/// retrying in lockstep.
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Start a backoff sequence (jitter seeded from the wall clock).
+    pub fn new(policy: RetryPolicy) -> Backoff {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
+            .unwrap_or(0x9E37_79B9)
+            | 1;
+        Backoff {
+            policy,
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next delay in the sequence.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .policy
+            .base_delay
+            .saturating_mul(1u32 << self.attempt.min(16));
+        self.attempt = self.attempt.saturating_add(1);
+        let cap_ns = exp.min(self.policy.max_delay).as_nanos() as u64;
+        Duration::from_nanos(cap_ns / 2 + self.rng.gen_range(0..cap_ns / 2 + 1))
+    }
+
+    /// Sleep for the next delay.
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+}
+
 /// A synchronous connection to a file service.
 pub struct Client {
     stream: Box<dyn Stream>,
     next_id: u64,
+    reconnect: Option<Connector>,
+    policy: RetryPolicy,
+    reconnects: u64,
+    reconnects_counter: Option<Counter>,
 }
 
 impl Client {
-    /// Connect over TCP to `addr` (`host:port`).
+    /// Connect over TCP to `addr` (`host:port`). The client remembers the
+    /// address and transparently reconnects (with capped exponential backoff
+    /// and jitter) if the connection later fails: idempotent requests are
+    /// retried, mutating ones surface the failure after the connection is
+    /// re-established so the caller decides whether to re-send.
     pub fn connect_tcp(addr: &str) -> Result<Client, SvcError> {
-        let sock = TcpStream::connect(addr).map_err(|e| SvcError::io(&e))?;
-        sock.set_nodelay(true).ok();
-        Ok(Client::from_stream(Box::new(sock)))
+        let stream = dial_tcp(addr).map_err(|e| SvcError::io(&e))?;
+        let mut client = Client::from_stream(stream);
+        let addr = addr.to_string();
+        client.set_reconnect(Arc::new(move || dial_tcp(&addr)), RetryPolicy::default());
+        Ok(client)
     }
 
-    /// Wrap an already-connected stream (e.g. a loopback pipe end).
+    /// Wrap an already-connected stream (e.g. a loopback pipe end). No
+    /// automatic reconnect unless [`Client::set_reconnect`] is called.
     pub fn from_stream(stream: Box<dyn Stream>) -> Client {
         // Short read timeout + deadline loop, so a dead server surfaces as a
         // structured timeout error instead of a hang.
         let _ = stream.set_stream_timeouts(Some(Duration::from_millis(100)), None);
-        Client { stream, next_id: 1 }
+        Client {
+            stream,
+            next_id: 1,
+            reconnect: None,
+            policy: RetryPolicy::default(),
+            reconnects: 0,
+            reconnects_counter: None,
+        }
+    }
+
+    /// Install a reconnect path: on transport failure the client re-dials
+    /// through `connector` under `policy`.
+    pub fn set_reconnect(&mut self, connector: Connector, policy: RetryPolicy) {
+        self.reconnect = Some(connector);
+        self.policy = policy;
+    }
+
+    /// Record reconnect events into `registry` (`svc.client.reconnects`).
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.reconnects_counter = Some(registry.counter("svc.client.reconnects"));
+    }
+
+    /// How many times this client has re-established its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     fn call(&mut self, req: &Request) -> Result<Body, SvcError> {
+        match self.call_once(req) {
+            Err(e) if e.code == SvcError::IO && self.reconnect.is_some() => {
+                self.retry_after_io(req, e)
+            }
+            other => other,
+        }
+    }
+
+    /// Transport failed mid-call: re-dial with backoff. Idempotent requests
+    /// are re-sent on the fresh connection; mutating and one-shot requests
+    /// surface the original failure (the first send may already have been
+    /// applied server-side) but leave the client reconnected for later calls.
+    fn retry_after_io(&mut self, req: &Request, first: SvcError) -> Result<Body, SvcError> {
+        let connector = self.reconnect.clone().expect("retry without connector");
+        let mut backoff = Backoff::new(self.policy);
+        let mut last = first;
+        for _ in 1..self.policy.max_attempts.max(1) {
+            backoff.sleep();
+            match connector() {
+                Ok(stream) => {
+                    let _ = stream.set_stream_timeouts(Some(Duration::from_millis(100)), None);
+                    self.stream = stream;
+                    self.reconnects += 1;
+                    if let Some(c) = &self.reconnects_counter {
+                        c.inc();
+                    }
+                    if !req.is_idempotent() {
+                        return Err(last);
+                    }
+                    match self.call_once(req) {
+                        Err(e) if e.code == SvcError::IO => last = e,
+                        other => return other,
+                    }
+                }
+                Err(e) => last = SvcError::io(&e),
+            }
+        }
+        Err(last)
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<Body, SvcError> {
         let req_id = self.next_id;
         self.next_id += 1;
         write_frame(&mut self.stream, &req.encode(req_id)).map_err(|e| SvcError::io(&e))?;
@@ -239,6 +393,12 @@ impl Client {
     /// exits its accept loop.
     pub fn shutdown_server(&mut self) -> Result<(), SvcError> {
         self.expect_empty(&Request::Shutdown)
+    }
+
+    /// Promote a standby replica to primary. Idempotent server-side: a node
+    /// that is already primary acknowledges without effect.
+    pub fn promote(&mut self) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Promote)
     }
 
     /// Store a whole file: create it if missing, overwrite from offset 0, and

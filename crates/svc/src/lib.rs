@@ -31,13 +31,15 @@ pub mod codec;
 pub mod loopback;
 pub mod pool;
 pub mod proto;
+pub mod repl;
 pub mod server;
 pub mod service;
 pub mod transport;
 
-pub use client::Client;
+pub use client::{dial_tcp, Backoff, Client, Connector, RetryPolicy};
 pub use pool::ShardedPool;
 pub use proto::{Body, RemoteDedupStats, Reply, Request, SvcError};
-pub use server::{Server, SvcConfig};
-pub use service::FileService;
+pub use repl::{is_repl_frame, ReplMsg, REPL_MAGIC};
+pub use server::{ReplSink, Server, SvcConfig};
+pub use service::{FileService, ReplRole};
 pub use transport::Stream;

@@ -53,6 +53,9 @@ pub mod op {
     pub const TELEMETRY: u8 = 14;
     /// Ask the server to drain and shut down (acknowledged before exit).
     pub const SHUTDOWN: u8 = 15;
+    /// Promote a standby replica to primary (no-op acknowledged on a
+    /// server that is already primary).
+    pub const PROMOTE: u8 = 16;
 }
 
 /// A decoded request.
@@ -135,6 +138,8 @@ pub enum Request {
     },
     /// See [`op::SHUTDOWN`].
     Shutdown,
+    /// See [`op::PROMOTE`].
+    Promote,
 }
 
 impl Request {
@@ -156,7 +161,41 @@ impl Request {
             Request::DedupStats => op::DEDUP_STATS,
             Request::Telemetry { .. } => op::TELEMETRY,
             Request::Shutdown => op::SHUTDOWN,
+            Request::Promote => op::PROMOTE,
         }
+    }
+
+    /// True for requests that modify file-system state. A standby replica
+    /// rejects these with [`SvcError::REPLICA_READ_ONLY`]; everything else
+    /// (reads, stats, fsync, shutdown, promote) is served locally.
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::Create { .. }
+                | Request::Write { .. }
+                | Request::Unlink { .. }
+                | Request::Link { .. }
+                | Request::Rename { .. }
+                | Request::Truncate { .. }
+        )
+    }
+
+    /// True for requests the client may transparently re-send after a
+    /// transport failure: retrying them cannot duplicate an effect. Mutating
+    /// ops and one-shot control ops (shutdown, promote) are excluded — the
+    /// first send may have been applied before the connection died.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Open { .. }
+                | Request::Read { .. }
+                | Request::Stat { .. }
+                | Request::List
+                | Request::Fsync { .. }
+                | Request::DedupStats
+                | Request::Telemetry { .. }
+        )
     }
 
     /// Short name used for per-op telemetry metrics (`svc.op.<name>`).
@@ -177,6 +216,7 @@ impl Request {
             op::DEDUP_STATS => "dedup_stats",
             op::TELEMETRY => "telemetry",
             op::SHUTDOWN => "shutdown",
+            op::PROMOTE => "promote",
             _ => unreachable!(),
         }
     }
@@ -201,7 +241,8 @@ impl Request {
             | Request::List
             | Request::DedupStats
             | Request::Telemetry { .. }
-            | Request::Shutdown => 0,
+            | Request::Shutdown
+            | Request::Promote => 0,
         }
     }
 
@@ -210,7 +251,11 @@ impl Request {
         let mut e = Enc::new();
         e.u64(req_id).u8(self.opcode());
         match self {
-            Request::Ping | Request::List | Request::DedupStats | Request::Shutdown => {}
+            Request::Ping
+            | Request::List
+            | Request::DedupStats
+            | Request::Shutdown
+            | Request::Promote => {}
             Request::Create { name } | Request::Open { name } | Request::Unlink { name } => {
                 e.str(name);
             }
@@ -283,6 +328,7 @@ impl Request {
             op::DEDUP_STATS => Request::DedupStats,
             op::TELEMETRY => Request::Telemetry { json: d.u8()? != 0 },
             op::SHUTDOWN => Request::Shutdown,
+            op::PROMOTE => Request::Promote,
             _ => return Err(DecodeError("unknown opcode")),
         };
         d.finish()?;
@@ -385,6 +431,9 @@ impl SvcError {
     pub const SHUTTING_DOWN: u16 = 103;
     /// The operation panicked server-side; the connection survives.
     pub const INTERNAL: u16 = 104;
+    /// Mutating request sent to a standby replica; retry against the
+    /// primary, or promote this node first.
+    pub const REPLICA_READ_ONLY: u16 = 105;
     /// Transport-level failure, client-side only (never on the wire).
     pub const IO: u16 = 110;
 
@@ -597,6 +646,7 @@ mod tests {
             Request::DedupStats,
             Request::Telemetry { json: true },
             Request::Shutdown,
+            Request::Promote,
         ]
     }
 
@@ -679,6 +729,29 @@ mod tests {
             Request::Create { name: "x".into() }.shard_key(),
             Request::Create { name: "y".into() }.shard_key()
         );
+    }
+
+    #[test]
+    fn mutating_and_idempotent_are_disjoint() {
+        let mutating: Vec<&'static str> = all_requests()
+            .iter()
+            .filter(|r| r.is_mutating())
+            .map(|r| r.op_name())
+            .collect();
+        assert_eq!(
+            mutating,
+            ["create", "write", "unlink", "link", "rename", "truncate"]
+        );
+        for req in all_requests() {
+            assert!(
+                !(req.is_mutating() && req.is_idempotent()),
+                "{} cannot be both mutating and retry-safe",
+                req.op_name()
+            );
+        }
+        // One-shot control ops are neither.
+        assert!(!Request::Shutdown.is_idempotent());
+        assert!(!Request::Promote.is_idempotent());
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! The replication wire protocol: the `ReplMsg` frame family.
+//!
+//! Replication shares the service's transport and framing (see
+//! [`crate::codec`]) but not its request/reply shape: a standby opens an
+//! ordinary connection and sends a [`ReplMsg::Subscribe`] as its first
+//! frame. Every replication frame starts with [`REPL_MAGIC`] — a sentinel
+//! that can never collide with a request payload, whose first eight bytes
+//! are a client-chosen `req_id` (clients count up from 1) — so the server
+//! can recognize the handover and pass the connection to the replication
+//! sink (see [`crate::Server::set_repl_sink`]).
+//!
+//! After the subscribe, the connection speaks only `ReplMsg`:
+//!
+//! * primary → standby: a full-state snapshot
+//!   ([`ReplMsg::SnapshotBegin`]/[`ReplMsg::SnapshotChunk`]/[`ReplMsg::SnapshotEnd`])
+//!   when the standby is fresh or fell out of the journal, then a stream of
+//!   [`ReplMsg::Entries`] batches and idle [`ReplMsg::Heartbeat`]s;
+//! * standby → primary: windowed [`ReplMsg::Ack`]s carrying the highest
+//!   *applied* sequence number.
+//!
+//! Decoders are total: any byte string either decodes or returns a
+//! [`DecodeError`]; trailing garbage is rejected. (Property-tested in
+//! `tests/svc_wire_prop.rs`.)
+
+use crate::codec::{Dec, DecodeError, Enc};
+use denova_nova::FsOp;
+
+/// Sentinel opening every replication frame. Chosen so it cannot be a
+/// plausible `req_id` prefix of a request payload (clients start at 1 and
+/// increment; this is ~0xD5... with all high bytes set).
+pub const REPL_MAGIC: u64 = 0xD5E0_4E4F_5641_5250; // "DENOVA-RP" flavored
+
+/// Frame tags. Stable wire ABI — never renumber.
+mod tag {
+    pub const SUBSCRIBE: u8 = 1;
+    pub const SNAP_BEGIN: u8 = 2;
+    pub const SNAP_CHUNK: u8 = 3;
+    pub const SNAP_END: u8 = 4;
+    pub const ENTRIES: u8 = 5;
+    pub const ACK: u8 = 6;
+    pub const HEARTBEAT: u8 = 7;
+    pub const FELL_BEHIND: u8 = 8;
+}
+
+/// Op tags inside an [`ReplMsg::Entries`] batch. Stable wire ABI.
+mod op_tag {
+    pub const CREATE: u8 = 1;
+    pub const WRITE: u8 = 2;
+    pub const UNLINK: u8 = 3;
+    pub const LINK: u8 = 4;
+    pub const RENAME: u8 = 5;
+    pub const TRUNCATE: u8 = 6;
+}
+
+/// One replication frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Standby → primary, first frame on the connection: start replication.
+    Subscribe {
+        /// Highest sequence number the standby has applied (0 = none).
+        last_seq: u64,
+        /// `true` to force a full snapshot (fresh standby with no state).
+        want_snapshot: bool,
+    },
+    /// Primary → standby: a full-state snapshot transfer begins.
+    SnapshotBegin {
+        /// Journal sequence number the snapshot covers (entries ≤ this are
+        /// in the image; later entries will be streamed).
+        upto_seq: u64,
+        /// Total image size in bytes.
+        total_bytes: u64,
+        /// Number of [`ReplMsg::SnapshotChunk`] frames that follow.
+        chunk_count: u32,
+    },
+    /// One chunk of the snapshot image, in order.
+    SnapshotChunk {
+        /// Chunk index (0-based, sequential).
+        index: u32,
+        /// Image bytes.
+        data: Vec<u8>,
+    },
+    /// Snapshot transfer complete.
+    SnapshotEnd {
+        /// Total bytes sent, for verification.
+        total_bytes: u64,
+    },
+    /// A batch of journal entries with consecutive sequence numbers.
+    Entries {
+        /// Sequence number of `ops[0]`.
+        first_seq: u64,
+        /// The operations, in commit order.
+        ops: Vec<FsOp>,
+    },
+    /// Standby → primary: everything up to `seq` has been applied.
+    Ack {
+        /// Highest applied sequence number.
+        seq: u64,
+    },
+    /// Primary → standby, when idle: liveness + lag visibility.
+    Heartbeat {
+        /// The primary's journal head.
+        head_seq: u64,
+    },
+    /// Primary → standby: your `last_seq` fell out of the bounded journal;
+    /// reconnect with `want_snapshot` to rebuild from a full snapshot.
+    FellBehind,
+}
+
+/// True when a frame payload is a replication frame (starts with
+/// [`REPL_MAGIC`]).
+pub fn is_repl_frame(payload: &[u8]) -> bool {
+    payload.len() >= 8 && payload[..8] == REPL_MAGIC.to_le_bytes()
+}
+
+/// Encode one op in its wire form (used standalone by the journal so
+/// entries are encoded once, at tap time).
+pub fn encode_op(op: &FsOp) -> Vec<u8> {
+    let mut e = Enc::new();
+    match op {
+        FsOp::Create { name, ino } => {
+            e.u8(op_tag::CREATE).str(name).u64(*ino);
+        }
+        FsOp::Write { ino, offset, data } => {
+            e.u8(op_tag::WRITE).u64(*ino).u64(*offset).bytes(data);
+        }
+        FsOp::Unlink { name } => {
+            e.u8(op_tag::UNLINK).str(name);
+        }
+        FsOp::Link {
+            existing,
+            new_name,
+            ino,
+        } => {
+            e.u8(op_tag::LINK).str(existing).str(new_name).u64(*ino);
+        }
+        FsOp::Rename { from, to } => {
+            e.u8(op_tag::RENAME).str(from).str(to);
+        }
+        FsOp::Truncate { ino, size } => {
+            e.u8(op_tag::TRUNCATE).u64(*ino).u64(*size);
+        }
+    }
+    e.finish()
+}
+
+/// Decode one op from its standalone wire form (the payload of one
+/// length-prefixed element inside an Entries frame).
+pub fn decode_op(payload: &[u8]) -> Result<FsOp, DecodeError> {
+    let mut d = Dec::new(payload);
+    let op = decode_op_fields(&mut d)?;
+    d.finish()?;
+    Ok(op)
+}
+
+fn decode_op_fields(d: &mut Dec<'_>) -> Result<FsOp, DecodeError> {
+    Ok(match d.u8()? {
+        op_tag::CREATE => FsOp::Create {
+            name: d.str()?.to_string(),
+            ino: d.u64()?,
+        },
+        op_tag::WRITE => FsOp::Write {
+            ino: d.u64()?,
+            offset: d.u64()?,
+            data: d.bytes()?.to_vec(),
+        },
+        op_tag::UNLINK => FsOp::Unlink {
+            name: d.str()?.to_string(),
+        },
+        op_tag::LINK => FsOp::Link {
+            existing: d.str()?.to_string(),
+            new_name: d.str()?.to_string(),
+            ino: d.u64()?,
+        },
+        op_tag::RENAME => FsOp::Rename {
+            from: d.str()?.to_string(),
+            to: d.str()?.to_string(),
+        },
+        op_tag::TRUNCATE => FsOp::Truncate {
+            ino: d.u64()?,
+            size: d.u64()?,
+        },
+        _ => return Err(DecodeError("unknown repl op tag")),
+    })
+}
+
+/// Build an `Entries` frame directly from pre-encoded ops (what the journal
+/// stores), avoiding a decode/re-encode round trip on the primary.
+pub fn encode_entries_raw(first_seq: u64, raw_ops: &[Vec<u8>]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(REPL_MAGIC)
+        .u8(tag::ENTRIES)
+        .u64(first_seq)
+        .u32(raw_ops.len() as u32);
+    for raw in raw_ops {
+        e.bytes(raw);
+    }
+    e.finish()
+}
+
+impl ReplMsg {
+    /// Encode as a full frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(REPL_MAGIC);
+        match self {
+            ReplMsg::Subscribe {
+                last_seq,
+                want_snapshot,
+            } => {
+                e.u8(tag::SUBSCRIBE).u64(*last_seq).u8(*want_snapshot as u8);
+            }
+            ReplMsg::SnapshotBegin {
+                upto_seq,
+                total_bytes,
+                chunk_count,
+            } => {
+                e.u8(tag::SNAP_BEGIN)
+                    .u64(*upto_seq)
+                    .u64(*total_bytes)
+                    .u32(*chunk_count);
+            }
+            ReplMsg::SnapshotChunk { index, data } => {
+                e.u8(tag::SNAP_CHUNK).u32(*index).bytes(data);
+            }
+            ReplMsg::SnapshotEnd { total_bytes } => {
+                e.u8(tag::SNAP_END).u64(*total_bytes);
+            }
+            ReplMsg::Entries { first_seq, ops } => {
+                e.u8(tag::ENTRIES).u64(*first_seq).u32(ops.len() as u32);
+                for op in ops {
+                    e.bytes(&encode_op(op));
+                }
+            }
+            ReplMsg::Ack { seq } => {
+                e.u8(tag::ACK).u64(*seq);
+            }
+            ReplMsg::Heartbeat { head_seq } => {
+                e.u8(tag::HEARTBEAT).u64(*head_seq);
+            }
+            ReplMsg::FellBehind => {
+                e.u8(tag::FELL_BEHIND);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode a frame payload. Total: never panics, rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<ReplMsg, DecodeError> {
+        let mut d = Dec::new(payload);
+        if d.u64()? != REPL_MAGIC {
+            return Err(DecodeError("not a repl frame"));
+        }
+        let msg = match d.u8()? {
+            tag::SUBSCRIBE => ReplMsg::Subscribe {
+                last_seq: d.u64()?,
+                want_snapshot: d.u8()? != 0,
+            },
+            tag::SNAP_BEGIN => ReplMsg::SnapshotBegin {
+                upto_seq: d.u64()?,
+                total_bytes: d.u64()?,
+                chunk_count: d.u32()?,
+            },
+            tag::SNAP_CHUNK => ReplMsg::SnapshotChunk {
+                index: d.u32()?,
+                data: d.bytes()?.to_vec(),
+            },
+            tag::SNAP_END => ReplMsg::SnapshotEnd {
+                total_bytes: d.u64()?,
+            },
+            tag::ENTRIES => {
+                let first_seq = d.u64()?;
+                let count = d.u32()? as usize;
+                let mut ops = Vec::with_capacity(count.min(65_536));
+                for _ in 0..count {
+                    let raw = d.bytes()?;
+                    ops.push(decode_op(raw)?);
+                }
+                ReplMsg::Entries { first_seq, ops }
+            }
+            tag::ACK => ReplMsg::Ack { seq: d.u64()? },
+            tag::HEARTBEAT => ReplMsg::Heartbeat { head_seq: d.u64()? },
+            tag::FELL_BEHIND => ReplMsg::FellBehind,
+            _ => return Err(DecodeError("unknown repl frame tag")),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<FsOp> {
+        vec![
+            FsOp::Create {
+                name: "a".into(),
+                ino: 2,
+            },
+            FsOp::Write {
+                ino: 2,
+                offset: 4096,
+                data: vec![7; 100],
+            },
+            FsOp::Unlink { name: "a".into() },
+            FsOp::Link {
+                existing: "b".into(),
+                new_name: "c".into(),
+                ino: 3,
+            },
+            FsOp::Rename {
+                from: "c".into(),
+                to: "d".into(),
+            },
+            FsOp::Truncate { ino: 2, size: 50 },
+        ]
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let msgs = vec![
+            ReplMsg::Subscribe {
+                last_seq: 17,
+                want_snapshot: true,
+            },
+            ReplMsg::SnapshotBegin {
+                upto_seq: 17,
+                total_bytes: 1 << 20,
+                chunk_count: 4,
+            },
+            ReplMsg::SnapshotChunk {
+                index: 3,
+                data: vec![1, 2, 3],
+            },
+            ReplMsg::SnapshotEnd {
+                total_bytes: 1 << 20,
+            },
+            ReplMsg::Entries {
+                first_seq: 18,
+                ops: all_ops(),
+            },
+            ReplMsg::Ack { seq: 23 },
+            ReplMsg::Heartbeat { head_seq: 23 },
+            ReplMsg::FellBehind,
+        ];
+        for msg in msgs {
+            let payload = msg.encode();
+            assert!(is_repl_frame(&payload));
+            assert_eq!(ReplMsg::decode(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn raw_entries_encoding_matches_typed() {
+        let ops = all_ops();
+        let raw: Vec<Vec<u8>> = ops.iter().map(encode_op).collect();
+        let frame = encode_entries_raw(9, &raw);
+        assert_eq!(
+            ReplMsg::decode(&frame).unwrap(),
+            ReplMsg::Entries { first_seq: 9, ops }
+        );
+    }
+
+    #[test]
+    fn request_frames_are_not_repl_frames() {
+        let req = crate::proto::Request::Ping.encode(1);
+        assert!(!is_repl_frame(&req));
+        assert!(ReplMsg::decode(&req).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_fail_cleanly() {
+        assert!(ReplMsg::decode(&[]).is_err());
+        assert!(ReplMsg::decode(&REPL_MAGIC.to_le_bytes()).is_err());
+        let mut p = ReplMsg::Ack { seq: 1 }.encode();
+        p.push(0); // trailing garbage
+        assert!(ReplMsg::decode(&p).is_err());
+        assert!(decode_op(&[99]).is_err());
+    }
+}

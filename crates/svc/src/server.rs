@@ -30,16 +30,23 @@
 use crate::codec::{read_frame, write_frame, FrameRead};
 use crate::pool::ShardedPool;
 use crate::proto::{encode_reply, Reply, Request, SvcError};
-use crate::service::FileService;
+use crate::repl::{is_repl_frame, ReplMsg};
+use crate::service::{FileService, ReplRole};
 use crate::transport::Stream;
 use denova::Denova;
 use denova_telemetry::Counter;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
+
+/// Callback that takes over a connection whose first frame was a
+/// [`ReplMsg::Subscribe`]. Receives the stream (reader direction, clonable
+/// for the ack reader), the standby's `last_seq`, and `want_snapshot`. Runs
+/// on the connection's own thread and owns the stream until it returns.
+pub type ReplSink = Arc<dyn Fn(Box<dyn Stream>, u64, bool) + Send + Sync>;
 
 /// Server tunables. The defaults match the paper-evaluation setup: 8 shards,
 /// a 32-request inflight window per connection, and timeouts generous enough
@@ -87,6 +94,7 @@ struct ServerInner {
     bad_requests: Counter,
     rejected: Counter,
     backpressure_waits: Counter,
+    repl_sink: RwLock<Option<ReplSink>>,
 }
 
 /// A running file service over a mounted [`Denova`] stack.
@@ -112,6 +120,7 @@ impl Server {
                 bad_requests: metrics.counter("svc.bad_requests"),
                 rejected: metrics.counter("svc.rejected"),
                 backpressure_waits: metrics.counter("svc.backpressure_waits"),
+                repl_sink: RwLock::new(None),
             }),
             conn_threads: Mutex::new(Vec::new()),
         }
@@ -120,6 +129,19 @@ impl Server {
     /// The request executor (and through it, the mounted stack and metrics).
     pub fn service(&self) -> &Arc<FileService> {
         &self.inner.service
+    }
+
+    /// Install the replication sink: connections whose first frame is a
+    /// [`ReplMsg::Subscribe`] are handed to `sink` instead of the request
+    /// loop. With no sink installed, replication frames get `BAD_REQUEST`.
+    pub fn set_repl_sink(&self, sink: Option<ReplSink>) {
+        *self.inner.repl_sink.write() = sink;
+    }
+
+    /// Install (or clear) the service's replication role — see
+    /// [`FileService::set_role`].
+    pub fn set_role(&self, role: Option<Arc<ReplRole>>) {
+        self.inner.service.set_role(role);
     }
 
     /// True once shutdown has been requested.
@@ -239,6 +261,45 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
             }
             Ok(FrameRead::Eof) | Err(_) => break,
         };
+
+        if is_repl_frame(&frame) {
+            // Replication handover: a standby's Subscribe turns this
+            // connection over to the replication sink. Settle the request
+            // machinery first (any in-flight requests reply, the writer
+            // thread flushes and exits) so the sink owns the stream alone.
+            let sink = inner.repl_sink.read().clone();
+            match (ReplMsg::decode(&frame), sink) {
+                (
+                    Ok(ReplMsg::Subscribe {
+                        last_seq,
+                        want_snapshot,
+                    }),
+                    Some(sink),
+                ) => {
+                    {
+                        let mut count = inflight.count.lock();
+                        while *count > 0 {
+                            inflight.changed.wait(&mut count);
+                        }
+                    }
+                    drop(reply_tx);
+                    let _ = writer_thread.join();
+                    sink(reader, last_seq, want_snapshot);
+                    return;
+                }
+                _ => {
+                    inner.bad_requests.inc();
+                    let reply: Reply = Err(SvcError::service(
+                        SvcError::BAD_REQUEST,
+                        "replication not enabled on this server",
+                    ));
+                    if reply_tx.send(encode_reply(0, &reply)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
 
         let (req_id, req) = match Request::decode(&frame) {
             Ok(pair) => pair,

@@ -10,8 +10,47 @@ use crate::proto::{Body, RemoteDedupStats, Reply, Request, SvcError};
 use denova::Denova;
 use denova_nova::NovaError;
 use denova_telemetry::{Counter, Histogram, MetricsRegistry};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The replication role of a serving node.
+///
+/// While `standby` is set, mutating requests are rejected with
+/// [`SvcError::REPLICA_READ_ONLY`]; a [`Request::Promote`] clears the flag
+/// and fires the registered promotion callback (which tells the standby
+/// loop to stop applying and take over). Promote on a node that is already
+/// primary is an acknowledged no-op, so failover scripts can retry it.
+#[derive(Default)]
+pub struct ReplRole {
+    standby: AtomicBool,
+    on_promote: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl ReplRole {
+    /// A standby role with a promotion callback.
+    pub fn standby(on_promote: impl FnOnce() + Send + 'static) -> Arc<ReplRole> {
+        let role = ReplRole {
+            standby: AtomicBool::new(true),
+            on_promote: Mutex::new(Some(Box::new(on_promote))),
+        };
+        Arc::new(role)
+    }
+
+    /// True while this node is a read-only standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby.load(Ordering::Acquire)
+    }
+
+    /// Flip to primary; runs the callback the first time only.
+    pub fn promote(&self) {
+        self.standby.store(false, Ordering::Release);
+        if let Some(cb) = self.on_promote.lock().take() {
+            cb();
+        }
+    }
+}
 
 /// Executes requests against a mounted file system.
 pub struct FileService {
@@ -20,6 +59,7 @@ pub struct FileService {
     requests: Counter,
     errors: Counter,
     request_ns: Histogram,
+    role: RwLock<Option<Arc<ReplRole>>>,
 }
 
 impl FileService {
@@ -32,12 +72,24 @@ impl FileService {
             request_ns: metrics.histogram("svc.request.ns"),
             metrics,
             fs,
+            role: RwLock::new(None),
         }
     }
 
     /// The mounted stack.
     pub fn fs(&self) -> &Arc<Denova> {
         &self.fs
+    }
+
+    /// Install (or clear) this node's replication role. With no role, or a
+    /// role that has been promoted, the service behaves as a primary.
+    pub fn set_role(&self, role: Option<Arc<ReplRole>>) {
+        *self.role.write() = role;
+    }
+
+    /// The installed replication role, if any.
+    pub fn role(&self) -> Option<Arc<ReplRole>> {
+        self.role.read().clone()
     }
 
     /// The registry this service records into.
@@ -66,6 +118,16 @@ impl FileService {
     }
 
     fn dispatch(&self, req: &Request) -> Reply {
+        if req.is_mutating() {
+            if let Some(role) = self.role() {
+                if role.is_standby() {
+                    return Err(SvcError::service(
+                        SvcError::REPLICA_READ_ONLY,
+                        "standby replica is read-only; promote it or write to the primary",
+                    ));
+                }
+            }
+        }
         let fs = &self.fs;
         match req {
             Request::Ping => Ok(Body::Empty),
@@ -131,6 +193,14 @@ impl FileService {
             // flips the server's stopping flag); executing it directly is a
             // no-op ack so loopback tests can drive it through `execute`.
             Request::Shutdown => Ok(Body::Empty),
+            Request::Promote => {
+                if let Some(role) = self.role() {
+                    role.promote();
+                }
+                // Idempotent: promoting a primary (or a node with no
+                // replication role) acknowledges without effect.
+                Ok(Body::Empty)
+            }
         }
     }
 }
@@ -158,6 +228,7 @@ fn op_hist_name(op: &'static str) -> &'static str {
         "dedup_stats" => "svc.op.dedup_stats.ns",
         "telemetry" => "svc.op.telemetry.ns",
         "shutdown" => "svc.op.shutdown.ns",
+        "promote" => "svc.op.promote.ns",
         other => other,
     }
 }
@@ -287,6 +358,30 @@ mod tests {
         assert_eq!(snap.histogram("svc.op.ping.ns").unwrap().count, 2);
         assert_eq!(snap.histogram("svc.request.ns").unwrap().count, 2);
         assert_eq!(snap.counter("svc.requests"), Some(2));
+    }
+
+    #[test]
+    fn standby_rejects_mutations_until_promoted() {
+        let svc = service();
+        let promoted = Arc::new(AtomicBool::new(false));
+        let flag = promoted.clone();
+        svc.set_role(Some(ReplRole::standby(move || {
+            flag.store(true, Ordering::SeqCst)
+        })));
+
+        let err = svc
+            .execute(&Request::Create { name: "f".into() })
+            .unwrap_err();
+        assert_eq!(err.code, SvcError::REPLICA_READ_ONLY);
+        // Reads still work on a standby.
+        svc.execute(&Request::Ping).unwrap();
+        svc.execute(&Request::List).unwrap();
+
+        svc.execute(&Request::Promote).unwrap();
+        assert!(promoted.load(Ordering::SeqCst));
+        svc.execute(&Request::Create { name: "f".into() }).unwrap();
+        // Promote again: acknowledged, callback not re-run (it was taken).
+        svc.execute(&Request::Promote).unwrap();
     }
 
     #[test]

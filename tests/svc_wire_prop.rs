@@ -1,0 +1,155 @@
+//! Decoder robustness: arbitrary bytes thrown at every wire decoder must
+//! fail cleanly (never panic, never allocate absurdly), and every valid
+//! encoding must round-trip — but reject trailing garbage, because a frame
+//! that decodes while bytes remain means two peers can disagree about where
+//! a message ends.
+
+use denova_repro::nova::FsOp;
+use denova_repro::svc::proto::{decode_reply, Request};
+use denova_repro::svc::repl::ReplMsg;
+use proptest::prelude::*;
+
+/// One request of every wire shape, with proptest-supplied field values.
+fn sample_requests(ino: u64, text: String, data: Vec<u8>) -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Create { name: text.clone() },
+        Request::Open { name: text.clone() },
+        Request::Read {
+            ino,
+            offset: ino ^ 7,
+            len: data.len() as u32,
+        },
+        Request::Write {
+            ino,
+            offset: 0,
+            data: data.clone(),
+        },
+        Request::Unlink { name: text.clone() },
+        Request::Link {
+            existing: text.clone(),
+            new_name: format!("{text}-2"),
+        },
+        Request::Rename {
+            from: text.clone(),
+            to: format!("{text}-3"),
+        },
+        Request::Stat { ino },
+        Request::List,
+        Request::Fsync { ino },
+        Request::Truncate { ino, size: ino },
+        Request::DedupStats,
+        Request::Telemetry {
+            json: ino.is_multiple_of(2),
+        },
+        Request::Shutdown,
+        Request::Promote,
+    ]
+}
+
+/// One replication frame of every shape.
+fn sample_repl_msgs(seq: u64, data: Vec<u8>) -> Vec<ReplMsg> {
+    vec![
+        ReplMsg::Subscribe {
+            last_seq: seq,
+            want_snapshot: seq.is_multiple_of(2),
+        },
+        ReplMsg::SnapshotBegin {
+            upto_seq: seq,
+            total_bytes: data.len() as u64,
+            chunk_count: 1,
+        },
+        ReplMsg::SnapshotChunk {
+            index: (seq % 4) as u32,
+            data: data.clone(),
+        },
+        ReplMsg::SnapshotEnd {
+            total_bytes: data.len() as u64,
+        },
+        ReplMsg::Entries {
+            first_seq: seq,
+            ops: vec![
+                FsOp::Write {
+                    ino: seq,
+                    offset: 0,
+                    data,
+                },
+                FsOp::Unlink {
+                    name: "gone".into(),
+                },
+            ],
+        },
+        ReplMsg::Ack { seq },
+        ReplMsg::Heartbeat { head_seq: seq },
+        ReplMsg::FellBehind,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Random payloads: every decoder returns `Err` or a value — no panics,
+    // regardless of what lengths or tags the bytes claim.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Request::decode(&payload);
+        let _ = decode_reply(&payload);
+        let _ = ReplMsg::decode(&payload);
+    }
+
+    // Flipping one byte of a valid request encoding must never panic the
+    // decoder (it may still decode — some bytes are payload).
+    #[test]
+    fn mutated_valid_requests_never_panic(
+        req_sel in 0usize..16,
+        ino in any::<u64>(),
+        flip_pos in any::<u16>(),
+        flip_bits in 1u8..255,
+    ) {
+        let reqs = sample_requests(ino, "f".into(), vec![3u8; 9]);
+        let mut bytes = reqs[req_sel % reqs.len()].encode(42);
+        let pos = flip_pos as usize % bytes.len();
+        bytes[pos] ^= flip_bits;
+        let _ = Request::decode(&bytes);
+    }
+
+    // Valid request encodings round-trip; with trailing garbage appended
+    // they must be rejected — the codec's `finish()` contract says a
+    // message owns its whole frame.
+    #[test]
+    fn requests_round_trip_and_reject_trailing_garbage(
+        ino in any::<u64>(),
+        text_bytes in prop::collection::vec(0u8..26, 1..12),
+        data in prop::collection::vec(any::<u8>(), 0..64),
+        garbage in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let text: String = text_bytes.iter().map(|b| (b'a' + b) as char).collect();
+        for req in sample_requests(ino, text.clone(), data.clone()) {
+            let bytes = req.encode(7);
+            let (req_id, back) = Request::decode(&bytes).unwrap();
+            prop_assert_eq!(req_id, 7);
+            prop_assert_eq!(&back, &req);
+            let mut tail = bytes;
+            tail.extend_from_slice(&garbage);
+            prop_assert!(Request::decode(&tail).is_err(), "{:?} accepted trailing garbage", req);
+        }
+    }
+
+    // Same contract for the replication frame family.
+    #[test]
+    fn repl_msgs_round_trip_and_reject_trailing_garbage(
+        seq in any::<u64>(),
+        data in prop::collection::vec(any::<u8>(), 0..64),
+        garbage in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        for msg in sample_repl_msgs(seq, data.clone()) {
+            let bytes = msg.encode();
+            prop_assert_eq!(&ReplMsg::decode(&bytes).unwrap(), &msg);
+            let mut tail = bytes;
+            tail.extend_from_slice(&garbage);
+            prop_assert!(ReplMsg::decode(&tail).is_err(), "{:?} accepted trailing garbage", msg);
+        }
+    }
+}
