@@ -7,7 +7,7 @@
 
 use crate::nvdedup::{NvDedupTable, NvOutcome};
 use denova_nova::{
-    DedupeFlag, Nova, NovaError, NovaHooks, ReclaimDecision, Result, WriteEntry, BLOCK_SIZE,
+    DedupeFlag, FsOp, Nova, NovaError, NovaHooks, ReclaimDecision, Result, WriteEntry, BLOCK_SIZE,
     ROOT_INO,
 };
 use std::sync::Arc;
@@ -127,8 +127,16 @@ pub fn write_inline_adaptive(
         for block in obsolete {
             ctx.reclaim_block(block);
         }
-        Ok(())
-    })?;
+        // Replication tap: this alternate commit path must report its
+        // writes too, or a replicated primary in adaptive mode ships only
+        // namespace ops.
+        Ok(nova.emit_op(|| FsOp::Write {
+            ino,
+            offset,
+            data: data.to_vec(),
+        }))
+    })
+    .map(Nova::settle_op)?;
     stats.record_other_ops_time(t_start.elapsed());
     Ok(())
 }

@@ -13,7 +13,7 @@
 //! recovery is shared.
 
 use crate::fact::Fact;
-use denova_nova::{DedupeFlag, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE, ROOT_INO};
+use denova_nova::{DedupeFlag, FsOp, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE, ROOT_INO};
 use std::time::Instant;
 
 /// Write `data` at `offset` of `ino`, deduplicating inline.
@@ -127,12 +127,21 @@ pub fn write_inline(nova: &Nova, fact: &Fact, ino: u64, offset: u64, data: &[u8]
         for block in obsolete {
             ctx.reclaim_block(block);
         }
-        Ok(())
+        // Replication tap: inline dedup is an alternate commit path, so it
+        // must report its writes just like the plain path does — a primary
+        // mounted in Inline mode would otherwise ship no file data.
+        Ok(nova.emit_op(|| FsOp::Write {
+            ino,
+            offset,
+            data: data.to_vec(),
+        }))
     });
 
     stats.record_fingerprint_time(fp_time);
     stats.record_other_ops_time(t_start.elapsed().saturating_sub(fp_time));
-    result
+    let pending = result?;
+    Nova::settle_op(pending);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -109,14 +109,16 @@ impl Nova {
                 ctx.reclaim_block(block);
             }
             // Tap while the inode lock is held: two writes to one file must
-            // reach the replication journal in their commit order.
-            self.emit_op(|| FsOp::Write {
+            // reach the replication journal in their commit order. The
+            // (possibly blocking) settle runs after the lock is released.
+            let pending = self.emit_op(|| FsOp::Write {
                 ino,
                 offset,
                 data: data.to_vec(),
             });
-            Ok(offs.into_iter().zip(entries).collect::<Vec<_>>())
+            Ok((offs.into_iter().zip(entries).collect::<Vec<_>>(), pending))
         })?;
+        let (committed, pending) = committed;
 
         // Notify the dedup layer outside nothing — entry offsets are stable;
         // the DWQ enqueue is "extremely small compared to the time spent
@@ -125,6 +127,7 @@ impl Nova {
         for (off, we) in &committed {
             hooks.on_write_committed(ino, *off, we);
         }
+        Nova::settle_op(pending);
         NovaStats::add(&self.stats().writes, 1);
         NovaStats::add(&self.stats().bytes_written, data.len() as u64);
         Ok(())
@@ -170,7 +173,7 @@ impl Nova {
         if ino == ROOT_INO {
             return Err(NovaError::BadInode(ino));
         }
-        self.with_inode_write(ino, |ctx| {
+        let pending = self.with_inode_write(ino, |ctx| {
             let txid = ctx.next_txid();
             let attr = crate::entry::AttrEntry { new_size, txid }.encode();
             ctx.append(&[attr], "nova::truncate")?;
@@ -187,12 +190,13 @@ impl Nova {
             }
             ctx.mem.size = new_size;
             ctx.commit_size(new_size)?;
-            self.emit_op(|| FsOp::Truncate {
+            Ok(self.emit_op(|| FsOp::Truncate {
                 ino,
                 size: new_size,
-            });
-            Ok(())
-        })
+            }))
+        })?;
+        Nova::settle_op(pending);
+        Ok(())
     }
 }
 

@@ -233,12 +233,24 @@ impl Nova {
 
     /// Emit a committed op to the installed tap, if any. `make` only runs
     /// when a tap is installed, so untapped mounts pay no payload clone.
-    /// Public so alternate write paths (e.g. the dedup layer's inline write)
-    /// can report their commits too.
-    pub fn emit_op(&self, make: impl FnOnce() -> FsOp) {
+    /// Must be called inside the operation's committing critical section;
+    /// the returned [`PendingOp`] (if any) must be settled after the locks
+    /// are released, before returning to the caller. Public so alternate
+    /// write paths (e.g. the dedup layer's inline write) can report their
+    /// commits too.
+    pub fn emit_op(&self, make: impl FnOnce() -> FsOp) -> Option<crate::tap::PendingOp> {
         let tap = self.op_tap.read().clone();
-        if let Some(t) = tap {
-            t.op_committed(make());
+        tap.map(|t| {
+            let ticket = t.op_committed(make());
+            crate::tap::PendingOp::new(t, ticket)
+        })
+    }
+
+    /// Settle an op emitted by [`Nova::emit_op`] — call with every
+    /// committing lock released.
+    pub fn settle_op(pending: Option<crate::tap::PendingOp>) {
+        if let Some(p) = pending {
+            p.settle();
         }
     }
 
@@ -434,11 +446,14 @@ impl Nova {
             .insert(ino, Arc::new(RwLock::new(InodeMem::default())));
         ns.insert(name.to_string(), ino);
         // Tap under the namespace lock: replication must see name operations
-        // in their commit order.
-        self.emit_op(|| FsOp::Create {
+        // in their commit order. Settle (which may block on standby acks)
+        // only after the lock is gone.
+        let pending = self.emit_op(|| FsOp::Create {
             name: name.to_string(),
             ino,
         });
+        drop(ns);
+        Nova::settle_op(pending);
         NovaStats::add(&self.stats.creates, 1);
         Ok(ino)
     }
@@ -491,11 +506,13 @@ impl Nova {
         let nlink = table.read(ino)?.link_count;
         table.set_link_count(ino, nlink + 1)?;
         ns.insert(new_name.to_string(), ino);
-        self.emit_op(|| FsOp::Link {
+        let pending = self.emit_op(|| FsOp::Link {
             existing: existing.to_string(),
             new_name: new_name.to_string(),
             ino,
         });
+        drop(ns);
+        Nova::settle_op(pending);
         Ok(ino)
     }
 
@@ -518,10 +535,11 @@ impl Nova {
         })?;
         ns.remove(name);
         let remaining = ns.values().filter(|&&i| i == ino).count();
-        self.emit_op(|| FsOp::Unlink {
+        let pending = self.emit_op(|| FsOp::Unlink {
             name: name.to_string(),
         });
         drop(ns);
+        Nova::settle_op(pending);
         self.dev.crash_point("nova::unlink::after_dentry");
 
         let table = self.table();
@@ -592,7 +610,7 @@ impl Nova {
         })?;
         ns.remove(from);
         ns.insert(to.to_string(), ino);
-        self.emit_op(|| FsOp::Rename {
+        let pending = self.emit_op(|| FsOp::Rename {
             from: from.to_string(),
             to: to.to_string(),
         });
@@ -601,6 +619,7 @@ impl Nova {
         let clobbered_remaining =
             clobbered.map(|old| (old, ns.values().filter(|&&i| i == old).count()));
         drop(ns);
+        Nova::settle_op(pending);
         if let Some((old, remaining)) = clobbered_remaining {
             let table = self.table();
             let nlink = table.read(old)?.link_count;

@@ -8,13 +8,27 @@
 //! re-bootstrap from a full snapshot ([`Journal::entries_from`] returns
 //! [`EntriesFrom::Gone`]).
 //!
-//! The journal also owns the lag instrumentation: `repl.lag_ops` is
-//! `head - acked` and `repl.lag_bytes` is the payload volume appended but not
-//! yet acknowledged by the most advanced standby.
+//! ## Per-subscriber acknowledgement
+//!
+//! Each streaming standby registers as a *subscriber*
+//! ([`Journal::subscribe`]) and acks on its own cursor
+//! ([`Journal::ack`]). The journal's effective acknowledged sequence — what
+//! [`Journal::acked`] reports, what sync-ack taps gate on via
+//! [`Journal::wait_acked`], and what the lag gauges are computed from — is
+//! the **minimum** across registered subscribers, so with several standbys
+//! sync-ack durability means "on *every* standby", not "on the fastest
+//! one". Each sender flow-controls on its own subscriber's cursor
+//! ([`Journal::sub_acked`] / [`Journal::wait_sub_acked`]), so a slow
+//! standby is throttled even while a fast peer races ahead. When the last
+//! subscriber departs the effective cursor stays where it was (a floor), so
+//! lag over an outage remains visible.
+//!
+//! `repl.lag_ops` is `head - acked` and `repl.lag_bytes` is the payload
+//! volume appended but not yet acknowledged by the least-advanced standby.
 
 use denova_telemetry::{Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// Journal bounds. Both caps apply; whichever is hit first evicts.
@@ -42,18 +56,55 @@ struct State {
     start_seq: u64,
     /// Last appended sequence number (0 = nothing appended yet).
     head: u64,
-    /// Highest acknowledged sequence number (max across standbys).
+    /// Effective acknowledged sequence: min across registered subscribers,
+    /// or the retained floor when none are registered.
     acked: u64,
     /// Retained payload bytes.
     bytes: usize,
     /// Payload bytes appended but not yet acknowledged (includes evicted
     /// entries' bytes only until they are evicted or acked).
     unacked_bytes: u64,
+    /// Registered streaming subscribers: id → highest acked sequence.
+    subs: HashMap<u64, u64>,
+    /// Next subscriber id.
+    next_sub: u64,
+}
+
+impl State {
+    fn entry_len(&self, seq: u64) -> u64 {
+        self.entries[(seq - self.start_seq) as usize].len() as u64
+    }
+
+    /// Move the effective acked cursor, keeping `unacked_bytes` equal to
+    /// the payload of retained entries above it. The cursor moves backward
+    /// only when a subscriber registers behind it (rare).
+    fn move_acked(&mut self, new_acked: u64) {
+        let new_acked = new_acked.min(self.head);
+        if new_acked > self.acked {
+            for q in (self.acked + 1).max(self.start_seq)..=new_acked {
+                let len = self.entry_len(q);
+                self.unacked_bytes = self.unacked_bytes.saturating_sub(len);
+            }
+        } else {
+            for q in (new_acked + 1).max(self.start_seq)..=self.acked {
+                self.unacked_bytes += self.entry_len(q);
+            }
+        }
+        self.acked = new_acked;
+    }
+
+    /// Re-derive the effective cursor from the subscriber minimum (no-op
+    /// when no subscribers are registered — the floor is retained).
+    fn recompute_acked(&mut self) {
+        if let Some(&min) = self.subs.values().min() {
+            self.move_acked(min);
+        }
+    }
 }
 
 /// The bounded replication journal. All methods are thread-safe; appends,
-/// acks, and evictions all wake [`Journal::wait_appended`] /
-/// [`Journal::wait_acked`] waiters.
+/// acks, subscriptions, and evictions all wake [`Journal::wait_appended`] /
+/// [`Journal::wait_acked`] / [`Journal::wait_sub_acked`] waiters.
 pub struct Journal {
     cfg: JournalConfig,
     state: Mutex<State>,
@@ -90,6 +141,8 @@ impl Journal {
                 acked: 0,
                 bytes: 0,
                 unacked_bytes: 0,
+                subs: HashMap::new(),
+                next_sub: 1,
             }),
             changed: Condvar::new(),
             lag_ops: metrics.gauge("repl.lag_ops"),
@@ -124,32 +177,62 @@ impl Journal {
         seq
     }
 
-    /// Record an acknowledgement: everything up to `seq` has been applied by
-    /// some standby.
-    pub fn ack(&self, seq: u64) {
+    /// Register a streaming subscriber whose state already covers
+    /// everything up to `cursor` (snapshot `upto_seq` for a fresh standby,
+    /// the resume `last_seq` for a reconnect). Returns the id used with
+    /// [`Journal::ack`] / [`Journal::sub_acked`] /
+    /// [`Journal::unsubscribe`].
+    pub fn subscribe(&self, cursor: u64) -> u64 {
         let mut s = self.state.lock();
-        if seq <= s.acked {
-            return;
+        let id = s.next_sub;
+        s.next_sub += 1;
+        let cursor = cursor.min(s.head);
+        s.subs.insert(id, cursor);
+        s.recompute_acked();
+        self.publish_lag(&s);
+        drop(s);
+        self.changed.notify_all();
+        id
+    }
+
+    /// Remove a subscriber (its stream ended). Wakes sync-ack waiters so
+    /// they re-check against the remaining subscribers.
+    pub fn unsubscribe(&self, id: u64) {
+        let mut s = self.state.lock();
+        s.subs.remove(&id);
+        s.recompute_acked();
+        self.publish_lag(&s);
+        drop(s);
+        self.changed.notify_all();
+    }
+
+    /// Record subscriber `id`'s acknowledgement: everything up to `seq` has
+    /// been applied by that standby.
+    pub fn ack(&self, id: u64, seq: u64) {
+        let mut s = self.state.lock();
+        let head = s.head;
+        match s.subs.get_mut(&id) {
+            Some(cur) if seq > *cur => *cur = seq.min(head),
+            _ => return,
         }
-        // Subtract the payload of newly-acked entries still in the window;
-        // entries below `start_seq` were already subtracted at eviction.
-        let from = s.acked.max(s.start_seq.saturating_sub(1));
-        for q in (from + 1)..=seq.min(s.head) {
-            if q >= s.start_seq {
-                let len = s.entries[(q - s.start_seq) as usize].len() as u64;
-                s.unacked_bytes = s.unacked_bytes.saturating_sub(len);
-            }
-        }
-        s.acked = seq.min(s.head);
+        s.recompute_acked();
         self.publish_lag(&s);
         drop(s);
         self.changed.notify_all();
     }
 
     /// A snapshot at `upto_seq` was shipped: entries at or below it are
-    /// replicated by the image itself, so count them as acknowledged.
+    /// replicated by the image itself. Raises the floor when no subscriber
+    /// is registered (the receiving standby subscribes at `upto_seq` right
+    /// after); never drags a registered subscriber's cursor.
     pub fn snapshot_covers(&self, upto_seq: u64) {
-        self.ack(upto_seq);
+        let mut s = self.state.lock();
+        if s.subs.is_empty() && upto_seq > s.acked {
+            s.move_acked(upto_seq);
+            self.publish_lag(&s);
+            drop(s);
+            self.changed.notify_all();
+        }
     }
 
     /// Last appended sequence number (0 = none).
@@ -157,9 +240,15 @@ impl Journal {
         self.state.lock().head
     }
 
-    /// Highest acknowledged sequence number.
+    /// Effective acknowledged sequence (min across registered subscribers;
+    /// the last value is retained while none are registered).
     pub fn acked(&self) -> u64 {
         self.state.lock().acked
+    }
+
+    /// Subscriber `id`'s own acknowledged sequence (0 if unknown).
+    pub fn sub_acked(&self, id: u64) -> u64 {
+        self.state.lock().subs.get(&id).copied().unwrap_or(0)
     }
 
     /// Unacknowledged payload bytes (the `repl.lag_bytes` gauge's source).
@@ -202,12 +291,17 @@ impl Journal {
         s.head > cursor
     }
 
-    /// Block until `seq` is acknowledged or `timeout` elapses. Returns
-    /// `true` on acknowledgement.
+    /// Block until *every* registered subscriber has acknowledged `seq` or
+    /// `timeout` elapses. Returns `true` on acknowledgement; returns
+    /// `false` immediately if no subscriber is registered (there is nobody
+    /// left to provide the durability being waited for).
     pub fn wait_acked(&self, seq: u64, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         let mut s = self.state.lock();
         while s.acked < seq {
+            if s.subs.is_empty() {
+                return false;
+            }
             let now = std::time::Instant::now();
             if now >= deadline {
                 return false;
@@ -215,6 +309,25 @@ impl Journal {
             self.changed.wait_for(&mut s, deadline - now);
         }
         true
+    }
+
+    /// Block until subscriber `id` acknowledges `seq` or `timeout` elapses
+    /// (per-sender flow control). Returns `true` on acknowledgement.
+    pub fn wait_sub_acked(&self, id: u64, seq: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.state.lock();
+        loop {
+            match s.subs.get(&id) {
+                Some(&v) if v >= seq => return true,
+                Some(_) => {}
+                None => return false,
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.changed.wait_for(&mut s, deadline - now);
+        }
     }
 
     /// Wake every waiter (used on shutdown so senders and sync-ack taps
@@ -287,24 +400,25 @@ mod tests {
     #[test]
     fn lag_accounting_tracks_acks_and_evictions() {
         let (j, m) = journal(4, 1 << 20);
+        let sub = j.subscribe(0);
         for i in 0..4u8 {
             j.append(vec![i; 10]);
         }
         assert_eq!(j.unacked_bytes(), 40);
-        j.ack(2);
+        j.ack(sub, 2);
         assert_eq!(j.unacked_bytes(), 20);
         assert_eq!(j.acked(), 2);
         let snap = m.snapshot();
         assert_eq!(snap.gauge("repl.lag_ops"), Some(2));
         assert_eq!(snap.gauge("repl.lag_bytes"), Some(20));
         // Re-acking lower or equal seqs is a no-op.
-        j.ack(1);
+        j.ack(sub, 1);
         assert_eq!(j.unacked_bytes(), 20);
         // Evicting unacked entries removes them from the lag bytes.
         for i in 0..4u8 {
             j.append(vec![i; 10]); // evicts seqs 3,4 (unacked)
         }
-        j.ack(8);
+        j.ack(sub, 8);
         assert_eq!(j.unacked_bytes(), 0);
         assert_eq!(m.snapshot().gauge("repl.lag_ops"), Some(0));
     }
@@ -337,14 +451,82 @@ mod tests {
     #[test]
     fn wait_acked_times_out_then_succeeds() {
         let (j, _) = journal(16, 1 << 20);
+        let sub = j.subscribe(0);
         let seq = j.append(vec![1]);
         assert!(!j.wait_acked(seq, Duration::from_millis(20)));
-        j.ack(seq);
+        j.ack(sub, seq);
         assert!(j.wait_acked(seq, Duration::from_millis(20)));
     }
 
     #[test]
-    fn snapshot_covers_acks_prefix() {
+    fn wait_acked_without_subscribers_fails_fast() {
+        let (j, _) = journal(16, 1 << 20);
+        let seq = j.append(vec![1]);
+        let t0 = std::time::Instant::now();
+        assert!(!j.wait_acked(seq, Duration::from_secs(5)));
+        assert!(t0.elapsed() < Duration::from_secs(1), "should not block");
+    }
+
+    #[test]
+    fn sync_ack_gates_on_slowest_subscriber() {
+        let (j, m) = journal(16, 1 << 20);
+        let fast = j.subscribe(0);
+        let slow = j.subscribe(0);
+        let seq = j.append(vec![1; 10]);
+        j.ack(fast, seq);
+        // The fast standby alone must not satisfy the wait.
+        assert!(!j.wait_acked(seq, Duration::from_millis(20)));
+        assert_eq!(j.acked(), 0);
+        assert_eq!(m.snapshot().gauge("repl.lag_ops"), Some(1));
+        j.ack(slow, seq);
+        assert!(j.wait_acked(seq, Duration::from_millis(20)));
+        assert_eq!(j.acked(), seq);
+        // The slow standby departing leaves the floor at the minimum it
+        // reached; the fast one alone now defines it.
+        j.unsubscribe(slow);
+        assert_eq!(j.acked(), seq);
+    }
+
+    #[test]
+    fn per_subscriber_flow_control_cursors() {
+        let (j, _) = journal(16, 1 << 20);
+        let a = j.subscribe(0);
+        let b = j.subscribe(0);
+        for i in 0..4u8 {
+            j.append(vec![i]);
+        }
+        j.ack(a, 4);
+        j.ack(b, 1);
+        assert_eq!(j.sub_acked(a), 4);
+        assert_eq!(j.sub_acked(b), 1);
+        assert!(j.wait_sub_acked(a, 4, Duration::from_millis(10)));
+        assert!(!j.wait_sub_acked(b, 4, Duration::from_millis(10)));
+        // A departed subscriber's wait fails instead of hanging.
+        j.unsubscribe(b);
+        assert!(!j.wait_sub_acked(b, 2, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn late_subscriber_lowers_the_effective_cursor() {
+        let (j, _) = journal(16, 1 << 20);
+        let a = j.subscribe(0);
+        for i in 0..4u8 {
+            j.append(vec![i; 10]);
+        }
+        j.ack(a, 4);
+        assert_eq!(j.acked(), 4);
+        assert_eq!(j.unacked_bytes(), 0);
+        // A reconnecting standby that resumes at seq 2 still needs 3..=4.
+        let b = j.subscribe(2);
+        assert_eq!(j.acked(), 2);
+        assert_eq!(j.unacked_bytes(), 20);
+        j.ack(b, 4);
+        assert_eq!(j.acked(), 4);
+        assert_eq!(j.unacked_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_covers_raises_floor_only_when_unsubscribed() {
         let (j, _) = journal(16, 1 << 20);
         for i in 0..5u8 {
             j.append(vec![i]);
@@ -352,5 +534,13 @@ mod tests {
         j.snapshot_covers(5);
         assert_eq!(j.acked(), 5);
         assert_eq!(j.unacked_bytes(), 0);
+        // With a live subscriber behind, a snapshot for a second standby
+        // must not mask the first one's lag.
+        let slow = j.subscribe(3);
+        assert_eq!(j.acked(), 3);
+        j.snapshot_covers(5);
+        assert_eq!(j.acked(), 3);
+        j.ack(slow, 5);
+        assert_eq!(j.acked(), 5);
     }
 }

@@ -14,8 +14,11 @@
 //!
 //! * **async** (default) — taps never block; `repl.lag_ops`/`repl.lag_bytes`
 //!   gauges expose the standby's distance behind the primary;
-//! * **sync-ack** — each mutating op blocks until the standby acknowledges
-//!   it, so at any kill point the standby has every acknowledged write.
+//! * **sync-ack** — each mutating op blocks until every streaming standby
+//!   acknowledges it, so at any kill point the standby has every
+//!   acknowledged write — provided no wait hit the sync timeout: a timed-out
+//!   op proceeds without standby durability, counted in
+//!   `repl.sync_timeouts` and latched in the `repl.sync_degraded` gauge.
 //!
 //! Failover: `denova-cli serve --replica-of <addr>` runs a standby that
 //! serves reads and rejects writes (`REPLICA_READ_ONLY`); a `promote`
@@ -130,6 +133,87 @@ mod tests {
         Arc::try_unwrap(server)
             .unwrap_or_else(|_| panic!("server still referenced"))
             .shutdown();
+    }
+
+    /// Regression: the inline and adaptive dedup modes commit writes
+    /// through their own critical sections, not `Nova::write` — a primary
+    /// mounted in those modes must still ship file data to the standby
+    /// (these paths once emitted nothing, silently diverging the replica).
+    #[test]
+    fn inline_mode_writes_reach_the_standby() {
+        for mode in [DedupMode::Inline, DedupMode::InlineAdaptive] {
+            let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+            let primary_fs = Arc::new(
+                Denova::mkfs(
+                    dev,
+                    NovaOptions {
+                        num_inodes: 128,
+                        ..Default::default()
+                    },
+                    mode,
+                )
+                .unwrap(),
+            );
+            let server = Arc::new(Server::new(primary_fs.clone(), SvcConfig::default()));
+            let engine =
+                ReplPrimary::install(primary_fs.clone(), Some(&server), ReplConfig::default());
+
+            let srv = server.clone();
+            let connector: Connector = Arc::new(move || Ok(Box::new(srv.connect_loopback()) as _));
+            let boot = bootstrap(&connector).unwrap();
+            let dev = Arc::new(PmemDevice::from_bytes(&boot.image, Default::default()));
+            let standby_fs = Arc::new(Denova::mount(dev, NovaOptions::default(), mode).unwrap());
+
+            let ino = primary_fs.create("f").unwrap();
+            primary_fs.write(ino, 0, &vec![7u8; 8192]).unwrap();
+            primary_fs.write(ino, 4096, &vec![9u8; 4096]).unwrap();
+            primary_fs.truncate(ino, 6000).unwrap();
+            let head = engine.head();
+
+            let mut standby =
+                Standby::new(standby_fs.clone(), boot.upto_seq, StandbyConfig::default());
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let handle = std::thread::spawn({
+                let connector = connector.clone();
+                move || {
+                    standby.run(
+                        boot.stream,
+                        &connector,
+                        || false,
+                        move || stop2.load(Ordering::Acquire),
+                    )
+                }
+            });
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while engine.acked() < head {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "standby never caught up in {mode:?}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            stop.store(true, Ordering::Release);
+            assert_eq!(handle.join().unwrap(), StandbyExit::Stopped);
+
+            let sb = standby_fs.open("f").unwrap();
+            assert_eq!(
+                standby_fs.read(sb, 0, 4096).unwrap(),
+                vec![7u8; 4096],
+                "{mode:?}"
+            );
+            assert_eq!(
+                standby_fs.read(sb, 4096, 1904).unwrap(),
+                vec![9u8; 1904],
+                "{mode:?}"
+            );
+            assert_eq!(standby_fs.file_size(sb).unwrap(), 6000, "{mode:?}");
+            engine.stop();
+            drop(connector);
+            Arc::try_unwrap(server)
+                .unwrap_or_else(|_| panic!("server still referenced"))
+                .shutdown();
+        }
     }
 
     /// Wire-level: a stale subscribe without a snapshot request gets

@@ -3,10 +3,14 @@
 //!
 //! ## Ordering and crash consistency
 //!
-//! The op tap fires inside each operation's committing critical section
-//! (namespace lock for name ops, per-inode write lock for data ops), *after*
-//! the atomic log-tail commit — so journal order equals commit order, and a
-//! journaled op is already durable on the primary's device.
+//! The op tap's *append* phase (`op_committed`) fires inside each
+//! operation's committing critical section (namespace lock for name ops,
+//! per-inode write lock for data ops), *after* the atomic log-tail commit —
+//! so journal order equals commit order, and a journaled op is already
+//! durable on the primary's device. The sync-ack *wait* runs in the tap's
+//! settle phase (`op_settled`), after those locks are released: a stalled
+//! standby delays only the operation being replicated, never unrelated
+//! namespace or inode traffic queued on the same locks.
 //!
 //! That happens-before edge is what makes snapshots cheap: a snapshot is the
 //! pair `(journal.head(), device.persistent_bytes())` captured in that order
@@ -25,7 +29,7 @@ use denova_nova::{FsOp, OpTap};
 use denova_svc::codec::{read_frame, write_frame, FrameRead};
 use denova_svc::repl::{encode_entries_raw, encode_op, ReplMsg};
 use denova_svc::{Server, Stream};
-use denova_telemetry::{Counter, Histogram, MetricsRegistry};
+use denova_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,11 +39,15 @@ use std::time::{Duration, Instant};
 pub struct ReplConfig {
     /// Journal bounds.
     pub journal: JournalConfig,
-    /// `true` = sync-ack mode: every mutating op blocks until the standby
-    /// acknowledges it (or `sync_timeout` passes). `false` = async shipping.
+    /// `true` = sync-ack mode: every mutating op blocks until *every*
+    /// streaming standby acknowledges it (or `sync_timeout` passes).
+    /// `false` = async shipping.
     pub sync_ack: bool,
-    /// Sync-ack wait ceiling; a timeout is counted (`repl.sync_timeouts`)
-    /// and the op proceeds rather than wedging the primary.
+    /// Sync-ack wait ceiling. A timeout means the op returned success
+    /// without standby durability: it is counted (`repl.sync_timeouts`)
+    /// and latches the `repl.sync_degraded` gauge so failover tooling can
+    /// see the guarantee was downgraded, but the op proceeds rather than
+    /// wedging the primary.
     pub sync_timeout: Duration,
     /// Max entries shipped but unacknowledged before the sender waits.
     pub window: usize,
@@ -80,6 +88,9 @@ struct Shared {
     snapshot_ns: Histogram,
     snapshots: Counter,
     sync_timeouts: Counter,
+    /// Latches to 1 on the first sync-ack timeout: at least one op was
+    /// acknowledged to a client without standby durability.
+    sync_degraded: Gauge,
     standbys_served: Counter,
     fell_behind: Counter,
     metrics: MetricsRegistry,
@@ -97,15 +108,26 @@ struct JournalTap {
 }
 
 impl OpTap for JournalTap {
-    fn op_committed(&self, op: FsOp) {
+    /// Append phase: runs inside the committing critical section, so the
+    /// journal serializes ops in commit order. Never blocks.
+    fn op_committed(&self, op: FsOp) -> u64 {
+        self.shared.journal.append(encode_op(&op))
+    }
+
+    /// Settle phase: runs after the committing locks are released. The
+    /// sync-ack wait lives here so a slow standby delays only this op's
+    /// caller, not every operation queued on the namespace/inode locks.
+    fn op_settled(&self, seq: u64) {
         let s = &self.shared;
-        let seq = s.journal.append(encode_op(&op));
         if s.cfg.sync_ack
             && s.active_standbys.load(Ordering::Acquire) > 0
             && !s.stop.load(Ordering::Acquire)
             && !s.journal.wait_acked(seq, s.cfg.sync_timeout)
         {
+            // The op returns success without standby durability: count the
+            // downgrade and latch the degraded flag clients can observe.
             s.sync_timeouts.inc();
+            s.sync_degraded.set(1);
         }
     }
 }
@@ -125,6 +147,7 @@ impl ReplPrimary {
             snapshot_ns: metrics.histogram("repl.snapshot.ns"),
             snapshots: metrics.counter("repl.snapshots"),
             sync_timeouts: metrics.counter("repl.sync_timeouts"),
+            sync_degraded: metrics.gauge("repl.sync_degraded"),
             standbys_served: metrics.counter("repl.standbys_served"),
             fell_behind: metrics.counter("repl.fell_behind"),
             metrics,
@@ -148,7 +171,8 @@ impl ReplPrimary {
         self.shared.journal.head()
     }
 
-    /// The highest standby-acknowledged sequence.
+    /// The effective acknowledged sequence: the minimum across streaming
+    /// standbys, so it only advances once *every* standby has the entry.
     pub fn acked(&self) -> u64 {
         self.shared.journal.acked()
     }
@@ -156,6 +180,14 @@ impl ReplPrimary {
     /// Unacknowledged ops (`repl.lag_ops` at this instant).
     pub fn lag_ops(&self) -> u64 {
         self.shared.journal.head() - self.shared.journal.acked()
+    }
+
+    /// Whether sync-ack durability has been downgraded at least once: some
+    /// op timed out waiting for standby acknowledgement and returned
+    /// success anyway (`repl.sync_timeouts` counts them). A failover after
+    /// this returned `true` may lose those acknowledged writes.
+    pub fn sync_degraded(&self) -> bool {
+        self.shared.sync_degraded.get() != 0
     }
 
     /// Stop shipping: wakes sender loops so they exit, unhooks the tap.
@@ -216,13 +248,23 @@ impl ReplPrimary {
             return;
         }
 
+        // Register this standby's own ack cursor before counting it active:
+        // sync-ack taps gate on the minimum across subscribers, so the
+        // subscriber must exist by the time `active_standbys` says a wait
+        // is worthwhile.
+        let sub = s.journal.subscribe(cursor);
+
         // Ack reader: the standby sends windowed acks on the same
-        // connection; a dedicated thread feeds them into the journal.
+        // connection; a dedicated thread feeds them into the journal under
+        // this subscription's cursor.
         let alive = Arc::new(AtomicBool::new(true));
         let ack_thread = {
             let mut reader = match writer.try_clone_stream() {
                 Ok(r) => r,
-                Err(_) => return,
+                Err(_) => {
+                    s.journal.unsubscribe(sub);
+                    return;
+                }
             };
             let alive = alive.clone();
             let s = s.clone();
@@ -231,7 +273,7 @@ impl ReplPrimary {
                     match read_frame(&mut reader) {
                         Ok(FrameRead::Frame(f)) => {
                             if let Ok(ReplMsg::Ack { seq }) = ReplMsg::decode(&f) {
-                                s.journal.ack(seq);
+                                s.journal.ack(sub, seq);
                             }
                         }
                         Ok(FrameRead::Idle) => {
@@ -250,10 +292,11 @@ impl ReplPrimary {
         let mut last_beat = Instant::now();
         while alive.load(Ordering::Acquire) && !s.stop.load(Ordering::Acquire) {
             // Flow control: don't run more than `window` entries ahead of
-            // the standby's acks.
-            if cursor.saturating_sub(s.journal.acked()) >= s.cfg.window as u64 {
+            // *this* standby's acks — a fast peer's cursor must not mask a
+            // slow one's lag.
+            if cursor.saturating_sub(s.journal.sub_acked(sub)) >= s.cfg.window as u64 {
                 s.journal
-                    .wait_acked(cursor - s.cfg.window as u64 + 1, s.cfg.heartbeat);
+                    .wait_sub_acked(sub, cursor - s.cfg.window as u64 + 1, s.cfg.heartbeat);
                 continue;
             }
             match s
@@ -288,6 +331,7 @@ impl ReplPrimary {
             }
         }
         s.active_standbys.fetch_sub(1, Ordering::AcqRel);
+        s.journal.unsubscribe(sub);
         alive.store(false, Ordering::Release);
         writer.shutdown_stream();
         let _ = ack_thread.join();

@@ -115,8 +115,8 @@ impl Client {
     /// Connect over TCP to `addr` (`host:port`). The client remembers the
     /// address and transparently reconnects (with capped exponential backoff
     /// and jitter) if the connection later fails: idempotent requests are
-    /// retried, mutating ones surface the failure after the connection is
-    /// re-established so the caller decides whether to re-send.
+    /// retried, mutating ones surface the failure immediately (after a
+    /// single delay-free re-dial) so the caller decides whether to re-send.
     pub fn connect_tcp(addr: &str) -> Result<Client, SvcError> {
         let stream = dial_tcp(addr).map_err(|e| SvcError::io(&e))?;
         let mut client = Client::from_stream(stream);
@@ -169,25 +169,25 @@ impl Client {
 
     /// Transport failed mid-call: re-dial with backoff. Idempotent requests
     /// are re-sent on the fresh connection; mutating and one-shot requests
-    /// surface the original failure (the first send may already have been
-    /// applied server-side) but leave the client reconnected for later calls.
+    /// surface the original failure *immediately* (the first send may
+    /// already have been applied server-side, so they are never re-sent and
+    /// must not wait out a backoff that buys them nothing) after one
+    /// sleep-free re-dial attempt so later calls find a live connection.
     fn retry_after_io(&mut self, req: &Request, first: SvcError) -> Result<Body, SvcError> {
         let connector = self.reconnect.clone().expect("retry without connector");
+        if !req.is_idempotent() {
+            if let Ok(stream) = connector() {
+                self.install_stream(stream);
+            }
+            return Err(first);
+        }
         let mut backoff = Backoff::new(self.policy);
         let mut last = first;
         for _ in 1..self.policy.max_attempts.max(1) {
             backoff.sleep();
             match connector() {
                 Ok(stream) => {
-                    let _ = stream.set_stream_timeouts(Some(Duration::from_millis(100)), None);
-                    self.stream = stream;
-                    self.reconnects += 1;
-                    if let Some(c) = &self.reconnects_counter {
-                        c.inc();
-                    }
-                    if !req.is_idempotent() {
-                        return Err(last);
-                    }
+                    self.install_stream(stream);
                     match self.call_once(req) {
                         Err(e) if e.code == SvcError::IO => last = e,
                         other => return other,
@@ -197,6 +197,15 @@ impl Client {
             }
         }
         Err(last)
+    }
+
+    fn install_stream(&mut self, stream: Box<dyn Stream>) {
+        let _ = stream.set_stream_timeouts(Some(Duration::from_millis(100)), None);
+        self.stream = stream;
+        self.reconnects += 1;
+        if let Some(c) = &self.reconnects_counter {
+            c.inc();
+        }
     }
 
     fn call_once(&mut self, req: &Request) -> Result<Body, SvcError> {
