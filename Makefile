@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke
+verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke
 
 build:
 	$(CARGO) build --release
@@ -33,6 +33,12 @@ dedup-scale-smoke: build
 # the standby over the wire, verify payloads byte-for-byte, fsck the image.
 repl-smoke: build
 	bash scripts/repl_smoke.sh
+
+# Foreground fast-path check: steady-state zero-copy writes issue <= 2
+# fences, aligned writes stage nothing, the DRAM FACT presence filter
+# answers absent-fingerprint lookups without PM probes.
+fgpath-smoke: build
+	bash scripts/fgpath_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

@@ -274,6 +274,68 @@ fn bench_dedup_transaction(c: &mut Criterion) {
     g.finish();
 }
 
+/// Foreground fast path: the staged-reference write (bounce buffer, per-extent
+/// flush + fence) vs the zero-copy CoW write (vectored stores, one batched
+/// flush under the log append's fence) at 4 KiB and 64 KiB.
+fn bench_fgpath_write(c: &mut Criterion) {
+    let mut g = quick(c, "fgpath_write");
+    for bytes in [4096usize, 65536] {
+        let fs = mount(DedupMode::Baseline, 512 * 1024 * 1024, 16);
+        let nova = fs.nova();
+        let data = vec![0x5Au8; bytes];
+        let s_ino = fs.create(&format!("s{bytes}")).unwrap();
+        let z_ino = fs.create(&format!("z{bytes}")).unwrap();
+        // First write pays one-off log-head allocation; keep it out of the
+        // timed loop so both paths measure steady-state CoW overwrites.
+        nova.write_staged_reference(s_ino, 0, &data).unwrap();
+        fs.write(z_ino, 0, &data).unwrap();
+        g.bench_function(format!("staged_{bytes}"), |b| {
+            b.iter(|| nova.write_staged_reference(s_ino, 0, &data).unwrap());
+        });
+        g.bench_function(format!("zerocopy_{bytes}"), |b| {
+            b.iter(|| fs.write(z_ino, 0, &data).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// FACT lookups for present vs absent fingerprints with the DRAM presence
+/// filter armed and disarmed: absent+filter should skip the PM probe.
+fn bench_fgpath_fact_lookup(c: &mut Criterion) {
+    use denova::{DedupStats, Fact};
+    use denova_fingerprint::Fingerprint;
+    let mut g = quick(c, "fgpath_fact_lookup");
+    let dev = raw_device(32 * 1024 * 1024);
+    let layout = Layout::compute(dev.size() as u64, 64, 2);
+    let fact = Fact::new(dev, layout, Arc::new(DedupStats::default()));
+    let present: Vec<Fingerprint> = (0..512u64)
+        .map(|i| {
+            let fp = Fingerprint::of(&i.to_le_bytes());
+            let (idx, _) = fact.reserve_or_insert(&fp, layout.data_start + i).unwrap();
+            fact.commit_uc_to_rfc(idx);
+            fp
+        })
+        .collect();
+    let absent: Vec<Fingerprint> = (0..512u64)
+        .map(|i| Fingerprint::of(&(i + 1_000_000).to_le_bytes()))
+        .collect();
+    for filter in [true, false] {
+        fact.set_filter_enabled(filter);
+        let tag = if filter { "filter" } else { "nofilter" };
+        for (case, fps) in [("present", &present), ("absent", &absent)] {
+            g.bench_function(format!("{case}_{tag}"), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    std::hint::black_box(fact.lookup(&fps[i % fps.len()]));
+                });
+            });
+        }
+    }
+    fact.set_filter_enabled(true);
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table1_device_latency,
@@ -284,5 +346,7 @@ criterion_group!(
     bench_fingerprint_page,
     bench_fact_ops,
     bench_dedup_transaction,
+    bench_fgpath_write,
+    bench_fgpath_fact_lookup,
 );
 criterion_main!(benches);

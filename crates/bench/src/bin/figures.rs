@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash dedup_scaling ablation endurance recovery svc repl`. Pass `--json
-//! <path>` to also dump
+//! crash dedup_scaling ablation endurance recovery svc repl fgpath`. Pass
+//! `--json <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
 
 use denova_bench::*;
@@ -62,6 +62,7 @@ fn main() {
         "recovery",
         "svc",
         "repl",
+        "fgpath",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -182,6 +183,11 @@ fn main() {
         let res = repl_bench::run(&scale);
         println!("{}", repl_bench::render(&res));
         json.insert("repl", &res);
+    }
+    if want("fgpath") {
+        let res = fgpath::run(&scale);
+        println!("{}", fgpath::render(&res));
+        json.insert("fgpath", &res);
     }
     if want("ablation") {
         let r = ablation::reorder(12, 200);

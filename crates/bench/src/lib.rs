@@ -20,6 +20,7 @@ pub mod ablation;
 pub mod crashes;
 pub mod dedup_scale;
 pub mod endurance;
+pub mod fgpath;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -42,6 +42,7 @@ use denova_fingerprint::Fingerprint;
 use denova_nova::{Layout, NovaError, Result};
 use denova_pmem::PmemDevice;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Number of chain-lock stripes. Counter updates are lock-free atomics;
@@ -105,6 +106,8 @@ pub struct Fact {
     reorder_rfc_threshold: std::sync::atomic::AtomicU32,
     /// Calibrated fingerprint cost model shared by every dedup path.
     fp: crate::fp::FpThrottle,
+    /// DRAM presence filter so absent-fingerprint lookups skip the PM probe.
+    filter: PresenceFilter,
 }
 
 #[derive(Debug)]
@@ -113,6 +116,91 @@ struct IaaFree {
     stack: Vec<u64>,
     /// Next never-used IAA slot.
     cursor: u64,
+}
+
+/// Hash functions per fingerprint in the presence filter.
+const FILTER_HASHES: usize = 4;
+
+/// Filter counters provisioned per FACT entry. At 8 counters/entry and 4
+/// hashes the false-positive rate is ~2.4% at full table load; typical loads
+/// sit far below that.
+const FILTER_COUNTERS_PER_ENTRY: u64 = 8;
+
+/// Per-stripe DRAM counting Bloom filter over the fingerprints present in
+/// FACT. Like `iaa_free` this is *cache* state, not index state — the
+/// persistent truth stays entirely in PM and the filter is rebuilt by the
+/// mount-time scan — so the paper's DRAM-free-indexing property holds. A
+/// negative answer is authoritative (no false negatives: a fingerprint is
+/// added before its entry becomes visible and cleared only after the entry
+/// is gone), so `lookup` of an absent fingerprint skips the PM probe.
+///
+/// Counters saturate sticky at 255: a saturated counter is never
+/// decremented, trading a permanent (vanishingly rare) false positive for
+/// never underflowing into a false negative.
+struct PresenceFilter {
+    /// `STRIPES` banks of `bank_len` counters each, indexed by FP-prefix
+    /// stripe so concurrent dedup workers touch disjoint cache lines.
+    counters: Box<[AtomicU8]>,
+    /// `bank_len - 1`; bank length is a power of two.
+    bank_mask: u64,
+    enabled: AtomicBool,
+}
+
+impl PresenceFilter {
+    fn new(total_entries: u64) -> PresenceFilter {
+        let bank_len = ((total_entries / STRIPES as u64 + 1) * FILTER_COUNTERS_PER_ENTRY)
+            .next_power_of_two()
+            .max(64);
+        let counters: Box<[AtomicU8]> = (0..bank_len * STRIPES as u64)
+            .map(|_| AtomicU8::new(0))
+            .collect();
+        PresenceFilter {
+            counters,
+            bank_mask: bank_len - 1,
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// The `FILTER_HASHES` counter slots of `fp` in its stripe's bank. The
+    /// hashes are word-sized windows of the SHA-1 fingerprint past the
+    /// prefix bytes — SHA-1 output is uniform, so no rehashing is needed.
+    #[inline]
+    fn slots(&self, prefix: u64, fp: &Fingerprint) -> [usize; FILTER_HASHES] {
+        let b = fp.as_bytes();
+        let base = (prefix % STRIPES as u64) * (self.bank_mask + 1);
+        std::array::from_fn(|k| {
+            let o = 4 + 4 * k;
+            let h = u32::from_le_bytes(b[o..o + 4].try_into().unwrap()) as u64;
+            (base + (h & self.bank_mask)) as usize
+        })
+    }
+
+    fn add(&self, prefix: u64, fp: &Fingerprint) {
+        for slot in self.slots(prefix, fp) {
+            // Saturating: stick at 255 forever rather than wrap.
+            let _ = self.counters[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < u8::MAX).then(|| c + 1)
+            });
+        }
+    }
+
+    fn remove(&self, prefix: u64, fp: &Fingerprint) {
+        for slot in self.slots(prefix, fp) {
+            // Never decrement a saturated or zero counter (sticky / no
+            // underflow).
+            let _ = self.counters[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c > 0 && c < u8::MAX).then(|| c - 1)
+            });
+        }
+    }
+
+    /// False means *definitely absent*; true means "probably present".
+    #[inline]
+    fn maybe_contains(&self, prefix: u64, fp: &Fingerprint) -> bool {
+        self.slots(prefix, fp)
+            .iter()
+            .all(|&slot| self.counters[slot].load(Ordering::Relaxed) > 0)
+    }
 }
 
 impl Fact {
@@ -129,22 +217,27 @@ impl Fact {
             reorder_walk_threshold: std::sync::atomic::AtomicU64::new(3),
             reorder_rfc_threshold: std::sync::atomic::AtomicU32::new(2),
             fp: crate::fp::FpThrottle::none(),
+            filter: PresenceFilter::new(layout.fact_entries()),
             dev,
             layout,
             stats,
         }
     }
 
-    /// Attach to an existing FACT region, rebuilding the IAA free-slot cache
-    /// by scanning the IAA (mount-time cost, like NOVA's log scan).
+    /// Attach to an existing FACT region, rebuilding the DRAM cache state —
+    /// the IAA free-slot stack and the presence filter — in a single table
+    /// scan (mount-time cost, like NOVA's log scan).
     pub fn mount(dev: Arc<PmemDevice>, layout: Layout, stats: Arc<DedupStats>) -> Fact {
         let fact = Fact::new(dev, layout, stats);
         let mut free = IaaFree {
             stack: Vec::new(),
             cursor: fact.entries(),
         };
-        for idx in fact.layout.daa_entries()..fact.entries() {
-            if !fact.read_entry(idx).is_occupied() {
+        for idx in 0..fact.entries() {
+            let e = fact.read_entry(idx);
+            if e.is_occupied() {
+                fact.filter.add(e.fp.prefix(fact.prefix_bits()), &e.fp);
+            } else if idx >= fact.layout.daa_entries() {
                 free.stack.push(idx);
             }
         }
@@ -152,6 +245,17 @@ impl Fact {
         free.stack.reverse();
         *fact.iaa_free.lock() = free;
         fact
+    }
+
+    /// Enable or disable the DRAM presence filter (enabled by default; the
+    /// off switch exists for benchmarks quantifying its effect).
+    pub fn set_filter_enabled(&self, on: bool) {
+        self.filter.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the presence filter currently short-circuits absent lookups.
+    pub fn filter_enabled(&self) -> bool {
+        self.filter.enabled.load(Ordering::Relaxed)
     }
 
     /// Total entries (DAA + IAA).
@@ -395,6 +499,12 @@ impl Fact {
     pub fn lookup(&self, fp: &Fingerprint) -> Option<(u64, FactEntry)> {
         let prefix = fp.prefix(self.prefix_bits());
         self.stats.bump_lookups();
+        let filter_armed = self.filter_enabled();
+        if filter_armed && !self.filter.maybe_contains(prefix, fp) {
+            // Definitely absent: answer from DRAM, zero PM reads.
+            self.stats.bump_filter_skips();
+            return None;
+        }
         let mut idx = prefix;
         let mut reads = 0u64;
         loop {
@@ -421,11 +531,17 @@ impl Fact {
             if !e.is_occupied() && idx == prefix {
                 // Empty DAA slot: nothing with this prefix exists.
                 self.stats.record_lookup_reads(reads, true);
+                if filter_armed {
+                    self.stats.bump_filter_false_positives();
+                }
                 return None;
             }
             match e.next {
                 NIL => {
                     self.stats.record_lookup_reads(reads, false);
+                    if filter_armed {
+                        self.stats.bump_filter_false_positives();
+                    }
                     return None;
                 }
                 next => idx = next as u64,
@@ -467,6 +583,11 @@ impl Fact {
     fn insert_locked(&self, prefix: u64, fp: &Fingerprint, block: u64) -> Result<u64> {
         let daa = self.read_entry(prefix);
         if !daa.is_occupied() {
+            // Publish in the filter BEFORE the entry becomes visible so a
+            // concurrent lock-free lookup never sees a false negative. (A
+            // crash in between leaks one increment — a harmless false
+            // positive; the mount-time rebuild discards it.)
+            self.filter.add(prefix, fp);
             // The DAA slot itself is free: one entry write, one delete-ptr
             // write.
             self.write_metadata(
@@ -500,6 +621,9 @@ impl Fact {
         // "prev field of a normal linked list head is always 0"); deeper
         // nodes point at their IAA predecessor.
         let prev = if tail == prefix { 0 } else { tail as i64 };
+        // Filter first, entry second — same no-false-negative ordering as
+        // the DAA branch above.
+        self.filter.add(prefix, fp);
         // Write the new entry completely before linking it: a crash between
         // the two leaves it unreachable (and the IAA scan reclaims it).
         self.write_metadata(
@@ -604,6 +728,9 @@ impl Fact {
                     self.free_iaa(head);
                 }
             }
+            // Un-publish AFTER the entry is gone (promote keeps the head's
+            // fp alive in the DAA slot; only `e.fp` leaves the table).
+            self.filter.remove(prefix, &e.fp);
             return Ok(());
         }
         // IAA entry: splice prev → next.
@@ -621,6 +748,7 @@ impl Fact {
         self.dev.crash_point("denova::fact::remove::after_unlink");
         self.clear_metadata(idx);
         self.free_iaa(idx);
+        self.filter.remove(prefix, &e.fp);
         Ok(())
     }
 
@@ -1039,5 +1167,133 @@ mod tests {
         fact.for_each_occupied(|_, e| blocks.push(e.block));
         blocks.sort();
         assert_eq!(blocks, (100..110).collect::<Vec<u64>>());
+    }
+
+    // -- Presence filter ---------------------------------------------------
+
+    #[test]
+    fn filter_skips_absent_lookups_without_pm_reads() {
+        let (dev, fact) = setup();
+        fact.reserve_or_insert(&fp_with_prefix(&fact, 7, 1), 100)
+            .unwrap();
+        let reads0 = dev.stats().snapshot().reads;
+        let skips0 = fact.stats().filter_skips();
+        // 64 fingerprints that were never inserted: all answered from DRAM.
+        for salt in 50..114u8 {
+            assert!(fact.lookup(&fp_with_prefix(&fact, 9, salt)).is_none());
+        }
+        assert_eq!(fact.stats().filter_skips() - skips0, 64);
+        assert_eq!(dev.stats().snapshot().reads, reads0, "no PM probe");
+        // Present fingerprints still resolve.
+        assert!(fact.lookup(&fp_with_prefix(&fact, 7, 1)).is_some());
+    }
+
+    #[test]
+    fn filter_disabled_probes_pm() {
+        let (dev, fact) = setup();
+        fact.set_filter_enabled(false);
+        let reads0 = dev.stats().snapshot().reads;
+        assert!(fact.lookup(&fp_with_prefix(&fact, 9, 1)).is_none());
+        assert!(dev.stats().snapshot().reads > reads0);
+        assert_eq!(fact.stats().filter_skips(), 0);
+        assert_eq!(fact.stats().filter_false_positives(), 0);
+    }
+
+    #[test]
+    fn filter_tracks_removal() {
+        let (_dev, fact) = setup();
+        let fp = fp_with_prefix(&fact, 3, 1);
+        let (idx, _) = fact.reserve_or_insert(&fp, 200).unwrap();
+        fact.commit_uc_to_rfc(idx);
+        assert!(fact.lookup(&fp).is_some());
+        fact.dec_rfc(idx);
+        fact.remove(idx).unwrap();
+        let skips0 = fact.stats().filter_skips();
+        assert!(fact.lookup(&fp).is_none());
+        assert_eq!(fact.stats().filter_skips(), skips0 + 1, "skip after remove");
+    }
+
+    #[test]
+    fn filter_remove_keeps_promoted_chain_entries_visible() {
+        let (_dev, fact) = setup();
+        // Two colliding fps: head in the DAA, second chained in the IAA.
+        let a = fp_with_prefix(&fact, 5, 1);
+        let b = fp_with_prefix(&fact, 5, 2);
+        let (ia, _) = fact.reserve_or_insert(&a, 100).unwrap();
+        let (ib, _) = fact.reserve_or_insert(&b, 101).unwrap();
+        fact.commit_uc_to_rfc(ia);
+        fact.commit_uc_to_rfc(ib);
+        // Removing the DAA entry promotes b into the DAA slot; b must stay
+        // findable (both in the filter and in PM).
+        fact.dec_rfc(ia);
+        fact.remove(ia).unwrap();
+        assert!(fact.lookup(&a).is_none());
+        let (idx, e) = fact.lookup(&b).expect("promoted entry still present");
+        assert!(idx < fact.daa_entries(), "b was promoted into the DAA slot");
+        assert_eq!(e.block, 101);
+    }
+
+    #[test]
+    fn filter_rebuilt_on_mount() {
+        let (dev, fact) = setup();
+        let present = fp_with_prefix(&fact, 11, 1);
+        let chained = fp_with_prefix(&fact, 11, 2);
+        let (i1, _) = fact.reserve_or_insert(&present, 100).unwrap();
+        let (i2, _) = fact.reserve_or_insert(&chained, 101).unwrap();
+        fact.commit_uc_to_rfc(i1);
+        fact.commit_uc_to_rfc(i2);
+        let layout = fact.layout;
+        // Remount from the persistent image: the fresh filter must be
+        // rebuilt by the scan — present fps resolve, absent fps skip.
+        let dev2 = Arc::new(dev.crash_clone(denova_pmem::CrashMode::Strict));
+        let fact2 = Fact::mount(dev2, layout, Arc::new(DedupStats::default()));
+        assert!(fact2.lookup(&present).is_some());
+        assert!(fact2.lookup(&chained).is_some());
+        let skips0 = fact2.stats().filter_skips();
+        assert!(fact2.lookup(&fp_with_prefix(&fact, 13, 9)).is_none());
+        assert_eq!(fact2.stats().filter_skips(), skips0 + 1);
+    }
+
+    #[test]
+    fn filter_saturation_is_sticky_never_false_negative() {
+        let f = PresenceFilter::new(64);
+        let fp = Fingerprint::of(b"sticky");
+        // Saturate the fp's counters, then remove more times than added:
+        // the entry must remain "maybe present" (sticky), never flip absent
+        // while a copy is still live.
+        for _ in 0..300 {
+            f.add(0, &fp);
+        }
+        for _ in 0..300 {
+            f.remove(0, &fp);
+        }
+        assert!(f.maybe_contains(0, &fp), "saturated counters are sticky");
+    }
+
+    #[test]
+    fn concurrent_inserts_never_false_negative() {
+        let (_dev, fact) = setup();
+        let fact = Arc::new(fact);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let fact = fact.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let fp = fp_with_prefix(&fact, t * 64 + i, (t * 50 + i) as u8);
+                    fact.reserve_or_insert(&fp, 1000 + t * 50 + i).unwrap();
+                    // Immediately visible to this (and any) thread.
+                    assert!(fact.lookup(&fp).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..50u64 {
+                let fp = fp_with_prefix(&fact, t * 64 + i, (t * 50 + i) as u8);
+                assert!(fact.lookup(&fp).is_some());
+            }
+        }
     }
 }

@@ -24,6 +24,15 @@ use crate::tap::FsOp;
 impl Nova {
     /// Write `data` at byte `offset` of file `ino` (copy-on-write, atomic,
     /// immediately durable).
+    ///
+    /// Zero-copy fast path: page-aligned spans of the caller's buffer are
+    /// stored straight to the allocated extents ([`denova_pmem::PmemDevice::write_v`]);
+    /// only partial head/tail pages pass through a pooled 4 KiB scratch page.
+    /// All data lines are flushed as one batch and ride the log append's
+    /// single pre-tail-commit fence, so a single-extent write issues exactly
+    /// two fences: one covering data + log entry, one persisting the tail.
+    /// The crash-consistency argument is unchanged — every data and log line
+    /// is durable before the one 8-byte tail store commits the write.
     pub fn write(&self, ino: u64, offset: u64, data: &[u8]) -> Result<()> {
         if ino == ROOT_INO {
             return Err(NovaError::BadInode(ino));
@@ -36,6 +45,7 @@ impl Nova {
             .ok_or(NovaError::InvalidRange)?;
         let _span = self.device().metrics().span("nova.write");
         let flag = self.new_entry_flag();
+        let fences_before = self.device().thread_fences();
 
         let committed = self.with_inode_write(ino, |ctx| {
             let first_pg = offset / BLOCK_SIZE;
@@ -43,16 +53,181 @@ impl Nova {
             let num_pages = last_pg - first_pg + 1;
             let new_size = ctx.mem.size.max(offset + data.len() as u64);
 
-            // Step 1: build the CoW page images. Head/tail partial pages
-            // start from the old contents (or zeros for holes/extension).
+            // Step 1: stage ONLY partial head/tail pages, merging the old
+            // contents (or zeros for holes/extension) with the new bytes in
+            // pooled scratch pages. Full pages are never copied.
+            let head_skip = (offset - first_pg * BLOCK_SIZE) as usize;
+            let tail_end = head_skip + data.len();
+            let tail_fill = tail_end % BLOCK_SIZE as usize;
+            let mut head_scratch = None;
+            let mut tail_scratch = None;
+            if head_skip != 0 {
+                let mut pg = self.scratch_acquire();
+                read_old_page(ctx, first_pg, &mut pg[..]);
+                let head_take = (BLOCK_SIZE as usize - head_skip).min(data.len());
+                pg[head_skip..head_skip + head_take].copy_from_slice(&data[..head_take]);
+                head_scratch = Some(pg);
+            }
+            // Partial tail page: start from the old contents. When the write
+            // fits a single page the head scratch above already covers it.
+            if tail_fill != 0 && (num_pages > 1 || head_skip == 0) {
+                let mut pg = self.scratch_acquire();
+                read_old_page(ctx, last_pg, &mut pg[..]);
+                pg[..tail_fill].copy_from_slice(&data[data.len() - tail_fill..]);
+                tail_scratch = Some(pg);
+            }
+            let staged =
+                (head_scratch.is_some() as u64 + tail_scratch.is_some() as u64) * BLOCK_SIZE;
+            // Relative pages below `full_end` (and past the head scratch, if
+            // any) are fully covered by caller bytes.
+            let full_end = num_pages - tail_scratch.is_some() as u64;
+
+            // Allocate extents and build the store spans: at most one scratch
+            // span per edge plus one borrowed sub-slice of `data` per extent.
+            let dev = self.device().clone();
+            // (file_pgoff, start_block, count); capacity for the common
+            // single-extent case plus both scratch edges.
+            let mut extents = Vec::with_capacity(1);
+            let mut spans: Vec<(u64, &[u8])> = Vec::with_capacity(3);
+            let mut ranges: Vec<(u64, usize)> = Vec::with_capacity(1);
+            let mut remaining = num_pages;
+            let mut pg_cursor = first_pg;
+            while remaining > 0 {
+                let (start_block, got) = self
+                    .allocator()
+                    .alloc_extent(remaining)
+                    .ok_or(NovaError::NoSpace)?;
+                let dst = self.layout().block_off(start_block);
+                ranges.push((dst, (got * BLOCK_SIZE) as usize));
+                let lo = pg_cursor - first_pg; // relative page range [lo, hi)
+                let hi = lo + got;
+                let mut i = lo;
+                if i == 0 {
+                    if let Some(pg) = &head_scratch {
+                        spans.push((dst, &pg[..]));
+                        i = 1;
+                    }
+                }
+                let run_hi = hi.min(full_end);
+                if i < run_hi {
+                    let sb = (i * BLOCK_SIZE) as usize - head_skip;
+                    let eb = (run_hi * BLOCK_SIZE) as usize - head_skip;
+                    spans.push((dst + (i - lo) * BLOCK_SIZE, &data[sb..eb]));
+                    i = run_hi;
+                }
+                if i < hi {
+                    if let Some(pg) = &tail_scratch {
+                        spans.push((dst + (i - lo) * BLOCK_SIZE, &pg[..]));
+                    }
+                }
+                extents.push((pg_cursor, start_block, got));
+                pg_cursor += got;
+                remaining -= got;
+            }
+            dev.write_v(&spans);
+            dev.crash_point("nova::write::after_stores");
+            // No flush or fence here: the data ranges are handed to the log
+            // append below, which flushes them together with the entry lines
+            // in one batch under its single pre-tail-commit fence.
+            dev.crash_point("nova::write::after_data_copy");
+            drop(spans);
+            if let Some(pg) = head_scratch.take() {
+                self.scratch_release(pg);
+            }
+            if let Some(pg) = tail_scratch.take() {
+                self.scratch_release(pg);
+            }
+            NovaStats::add(&self.stats().bytes_staged, staged);
+
+            // Step 2 + 3: append one entry per extent; single atomic commit.
+            let txid = ctx.next_txid();
+            let entries: Vec<WriteEntry> = extents
+                .iter()
+                .map(|&(pgoff, block, count)| WriteEntry {
+                    dedupe_flag: flag,
+                    file_pgoff: pgoff,
+                    num_pages: count as u32,
+                    block,
+                    size_after: new_size,
+                    txid,
+                })
+                .collect();
+            let encoded: Vec<[u8; 64]> = entries.iter().map(|e| e.encode()).collect();
+            let offs = ctx.append_with_ranges(&encoded, &ranges, "nova::write")?;
+
+            // Step 4: radix tree update; collect obsolete pages.
+            let mut obsolete = Vec::new();
+            for (off, we) in offs.iter().zip(&entries) {
+                obsolete.extend(ctx.apply_write_entry(*off, we));
+            }
+            ctx.commit_size(new_size)?;
+
+            // Step 5: reclaim obsolete pages (RFC-checked under DeNova).
+            for block in obsolete {
+                ctx.reclaim_block(block);
+            }
+            // Tap while the inode lock is held: two writes to one file must
+            // reach the replication journal in their commit order. The
+            // (possibly blocking) settle runs after the lock is released.
+            let pending = self.emit_op(|| FsOp::Write {
+                ino,
+                offset,
+                data: data.to_vec(),
+            });
+            Ok((offs.into_iter().zip(entries).collect::<Vec<_>>(), pending))
+        })?;
+        let (committed, pending) = committed;
+        // Fences have per-thread semantics, so this delta is exactly the
+        // commit path's fence count even with concurrent writers.
+        NovaStats::add(
+            &self.stats().write_fences,
+            self.device().thread_fences() - fences_before,
+        );
+
+        // Notify the dedup layer outside nothing — entry offsets are stable;
+        // the DWQ enqueue is "extremely small compared to the time spent
+        // accessing NVM" (Section IV-B1).
+        let hooks = self.current_hooks();
+        for (off, we) in &committed {
+            hooks.on_write_committed(ino, *off, we);
+        }
+        Nova::settle_op(pending);
+        NovaStats::add(&self.stats().writes, 1);
+        NovaStats::add(&self.stats().bytes_written, data.len() as u64);
+        Ok(())
+    }
+
+    /// Reference staged-copy write path: the pre-zero-copy implementation,
+    /// kept verbatim (whole payload staged through a heap buffer, one
+    /// flush per extent, durable size commit with its own fence) so
+    /// benchmarks and property tests can compare the fast path against the
+    /// historical behavior. Functionally equivalent to [`Nova::write`].
+    pub fn write_staged_reference(&self, ino: u64, offset: u64, data: &[u8]) -> Result<()> {
+        if ino == ROOT_INO {
+            return Err(NovaError::BadInode(ino));
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        offset
+            .checked_add(data.len() as u64)
+            .ok_or(NovaError::InvalidRange)?;
+        let _span = self.device().metrics().span("nova.write.staged");
+        let flag = self.new_entry_flag();
+
+        let committed = self.with_inode_write(ino, |ctx| {
+            let first_pg = offset / BLOCK_SIZE;
+            let last_pg = (offset + data.len() as u64 - 1) / BLOCK_SIZE;
+            let num_pages = last_pg - first_pg + 1;
+            let new_size = ctx.mem.size.max(offset + data.len() as u64);
+
+            // Build the CoW page images in a full staging buffer.
             let mut pages = vec![0u8; (num_pages * BLOCK_SIZE) as usize];
             let head_skip = (offset - first_pg * BLOCK_SIZE) as usize;
             let tail_end = head_skip + data.len();
             if head_skip != 0 {
                 read_old_page(ctx, first_pg, &mut pages[..BLOCK_SIZE as usize]);
             }
-            // Partial tail page: start from the old contents. When the write
-            // fits a single page the head fill above already loaded it.
             if !tail_end.is_multiple_of(BLOCK_SIZE as usize) && (num_pages > 1 || head_skip == 0) {
                 let start = ((num_pages - 1) * BLOCK_SIZE) as usize;
                 read_old_page(ctx, last_pg, &mut pages[start..start + BLOCK_SIZE as usize]);
@@ -80,8 +255,8 @@ impl Nova {
                 remaining -= got;
             }
             dev.crash_point("nova::write::after_data_copy");
+            NovaStats::add(&self.stats().bytes_staged, num_pages * BLOCK_SIZE);
 
-            // Step 2 + 3: append one entry per extent; single atomic commit.
             let txid = ctx.next_txid();
             let entries: Vec<WriteEntry> = extents
                 .iter()
@@ -97,20 +272,15 @@ impl Nova {
             let encoded: Vec<[u8; 64]> = entries.iter().map(|e| e.encode()).collect();
             let offs = ctx.append(&encoded, "nova::write")?;
 
-            // Step 4: radix tree update; collect obsolete pages.
             let mut obsolete = Vec::new();
             for (off, we) in offs.iter().zip(&entries) {
                 obsolete.extend(ctx.apply_write_entry(*off, we));
             }
-            ctx.commit_size(new_size)?;
+            ctx.commit_size_durable(new_size)?;
 
-            // Step 5: reclaim obsolete pages (RFC-checked under DeNova).
             for block in obsolete {
                 ctx.reclaim_block(block);
             }
-            // Tap while the inode lock is held: two writes to one file must
-            // reach the replication journal in their commit order. The
-            // (possibly blocking) settle runs after the lock is released.
             let pending = self.emit_op(|| FsOp::Write {
                 ino,
                 offset,
@@ -120,9 +290,6 @@ impl Nova {
         })?;
         let (committed, pending) = committed;
 
-        // Notify the dedup layer outside nothing — entry offsets are stable;
-        // the DWQ enqueue is "extremely small compared to the time spent
-        // accessing NVM" (Section IV-B1).
         let hooks = self.current_hooks();
         for (off, we) in &committed {
             hooks.on_write_committed(ino, *off, we);
@@ -145,19 +312,41 @@ impl Nova {
                 return Ok(Vec::new());
             }
             let len = len.min((mem.size - offset) as usize);
-            let mut out = vec![0u8; len];
-            let mut done = 0usize;
-            while done < len {
-                let abs = offset + done as u64;
+            // Fill the buffer incrementally: runs of *physically contiguous*
+            // blocks are read with a single device access, holes are
+            // zero-filled. The buffer is never pre-zeroed wholesale only to
+            // be overwritten by mapped bytes.
+            let mut out: Vec<u8> = Vec::with_capacity(len);
+            while out.len() < len {
+                let abs = offset + out.len() as u64;
                 let pg = abs / BLOCK_SIZE;
                 let in_pg = (abs % BLOCK_SIZE) as usize;
-                let take = (BLOCK_SIZE as usize - in_pg).min(len - done);
-                if let Some(entry) = mem.radix.get(pg) {
-                    let src = self.layout().block_off(entry.block) + in_pg as u64;
-                    self.device().read_into(src, &mut out[done..done + take]);
+                let left = len - out.len();
+                match mem.radix.get(pg) {
+                    Some(entry) => {
+                        let mut take = (BLOCK_SIZE as usize - in_pg).min(left);
+                        let mut next_pg = pg + 1;
+                        let mut next_block = entry.block + 1;
+                        while take < left {
+                            match mem.radix.get(next_pg) {
+                                Some(e) if e.block == next_block => {
+                                    take += (BLOCK_SIZE as usize).min(left - take);
+                                    next_pg += 1;
+                                    next_block += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                        let src = self.layout().block_off(entry.block) + in_pg as u64;
+                        self.device()
+                            .with_slice(src, take, |s| out.extend_from_slice(s));
+                    }
+                    None => {
+                        // Hole: zero exactly this page's range, nothing more.
+                        let take = (BLOCK_SIZE as usize - in_pg).min(left);
+                        out.resize(out.len() + take, 0);
+                    }
                 }
-                // Holes stay zero.
-                done += take;
             }
             Ok(out)
         })?;
@@ -414,6 +603,119 @@ mod tests {
             fs.read(ino, 70000, 13).unwrap(),
             data[70000..70013].to_vec()
         );
+    }
+
+    #[test]
+    fn aligned_write_stages_nothing_and_fences_twice() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        // First write pays one-off log-head allocation fences; measure the
+        // steady state on the second.
+        fs.write(ino, 0, &vec![1u8; 4096]).unwrap();
+        let fences0 = crate::stats::NovaStats::get(&fs.stats().write_fences);
+        let staged0 = crate::stats::NovaStats::get(&fs.stats().bytes_staged);
+        fs.write(ino, 4096, &vec![2u8; 2 * 4096]).unwrap();
+        let fences = crate::stats::NovaStats::get(&fs.stats().write_fences) - fences0;
+        let staged = crate::stats::NovaStats::get(&fs.stats().bytes_staged) - staged0;
+        assert_eq!(staged, 0, "aligned write must not stage any bytes");
+        assert_eq!(fences, 2, "data+log fence, then tail-commit fence");
+    }
+
+    #[test]
+    fn unaligned_write_stages_only_edge_pages() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        fs.write(ino, 0, &vec![1u8; 4 * 4096]).unwrap();
+        let staged0 = crate::stats::NovaStats::get(&fs.stats().bytes_staged);
+        // Spans pages 0..=2 with partial head and tail: exactly two scratch
+        // pages, the full middle page goes zero-copy.
+        fs.write(ino, 100, &vec![2u8; 2 * 4096]).unwrap();
+        let staged = crate::stats::NovaStats::get(&fs.stats().bytes_staged) - staged0;
+        assert_eq!(staged, 2 * 4096);
+        let all = fs.read(ino, 0, 4 * 4096).unwrap();
+        assert!(all[..100].iter().all(|&b| b == 1));
+        assert!(all[100..100 + 2 * 4096].iter().all(|&b| b == 2));
+        assert!(all[100 + 2 * 4096..].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn contiguous_read_coalesces_device_accesses() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        let data: Vec<u8> = (0..8 * BLOCK_SIZE).map(|i| (i % 241) as u8).collect();
+        // One write call → one physically contiguous extent (fresh fs).
+        fs.write(ino, 0, &data).unwrap();
+        let reads0 = fs.device().stats().snapshot().reads;
+        assert_eq!(fs.read(ino, 0, data.len()).unwrap(), data);
+        let reads = fs.device().stats().snapshot().reads - reads0;
+        assert_eq!(reads, 1, "8 contiguous pages must coalesce into one read");
+    }
+
+    #[test]
+    fn fragmented_read_still_correct() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        // Write pages one by one in reverse so consecutive file pages land on
+        // non-consecutive blocks (no coalescible runs).
+        for pg in (0u64..6).rev() {
+            fs.write(ino, pg * BLOCK_SIZE, &vec![pg as u8 + 1; 4096])
+                .unwrap();
+        }
+        let all = fs.read(ino, 0, 6 * 4096).unwrap();
+        for pg in 0..6usize {
+            assert!(all[pg * 4096..(pg + 1) * 4096]
+                .iter()
+                .all(|&b| b == pg as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn hole_spanning_read_zeroes_only_holes() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        fs.write(ino, 0, &vec![5u8; 4096]).unwrap();
+        fs.write(ino, 3 * 4096, &vec![6u8; 4096]).unwrap();
+        let all = fs.read(ino, 2048, 3 * 4096).unwrap();
+        assert!(all[..2048].iter().all(|&b| b == 5));
+        assert!(all[2048..2048 + 2 * 4096].iter().all(|&b| b == 0));
+        assert!(all[2048 + 2 * 4096..].iter().all(|&b| b == 6));
+    }
+
+    #[test]
+    fn staged_reference_path_equivalent() {
+        let fs = mkfs();
+        let a = fs.create("a").unwrap();
+        let b = fs.create("b").unwrap();
+        for &(off, len) in &[(0u64, 4096usize), (5000, 100), (4096, 3 * 4096 + 17)] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+            fs.write(a, off, &data).unwrap();
+            fs.write_staged_reference(b, off, &data).unwrap();
+        }
+        assert_eq!(fs.file_size(a).unwrap(), fs.file_size(b).unwrap());
+        let sz = fs.file_size(a).unwrap() as usize;
+        assert_eq!(fs.read(a, 0, sz).unwrap(), fs.read(b, 0, sz).unwrap());
+    }
+
+    #[test]
+    fn crash_after_stores_drops_unflushed_spans() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        fs.write(ino, 0, &vec![1u8; 4096]).unwrap();
+        let dev = fs.device().clone();
+        dev.crash_points().arm("nova::write::after_stores", 0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fs.write(ino, 0, &vec![2u8; 4096]).unwrap();
+        }))
+        .unwrap_err();
+        assert!(err.downcast_ref::<denova_pmem::SimulatedCrash>().is_some());
+        // The vectored stores were never flushed: remount sees the old data.
+        let fs2 = Nova::mount(
+            Arc::new(dev.crash_clone(denova_pmem::CrashMode::Strict)),
+            NovaOptions::default(),
+        )
+        .unwrap();
+        let ino2 = fs2.open("f").unwrap();
+        assert_eq!(fs2.read(ino2, 0, 4096).unwrap(), vec![1u8; 4096]);
     }
 
     #[test]

@@ -140,7 +140,15 @@ pub struct Nova {
     /// Post-commit observer for mutating operations (replication tap).
     op_tap: RwLock<Option<Arc<dyn OpTap>>>,
     stats: NovaStats,
+    /// Pool of 4 KiB staging pages for partial head/tail CoW merges in the
+    /// zero-copy write path: only unaligned edges are staged, so the pool
+    /// stays tiny and full pages never touch a bounce buffer.
+    scratch: Mutex<Vec<Box<[u8; BLOCK_SIZE as usize]>>>,
 }
+
+/// Upper bound on pooled scratch pages; beyond this, returned pages are
+/// simply dropped (two concurrent unaligned writers need at most two each).
+const SCRATCH_POOL_CAP: usize = 8;
 
 impl Nova {
     // ------------------------------------------------------------------
@@ -170,6 +178,7 @@ impl Nova {
             hooks: RwLock::new(Arc::new(NoHooks)),
             op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
+            scratch: Mutex::new(Vec::new()),
             layout,
             dev,
         };
@@ -204,9 +213,26 @@ impl Nova {
             hooks: RwLock::new(Arc::new(NoHooks)),
             op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
+            scratch: Mutex::new(Vec::new()),
             layout,
             dev,
         })
+    }
+
+    /// Take a 4 KiB scratch page from the pool (or allocate one).
+    pub(crate) fn scratch_acquire(&self) -> Box<[u8; BLOCK_SIZE as usize]> {
+        self.scratch
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Box::new([0u8; BLOCK_SIZE as usize]))
+    }
+
+    /// Return a scratch page to the pool.
+    pub(crate) fn scratch_release(&self, page: Box<[u8; BLOCK_SIZE as usize]>) {
+        let mut pool = self.scratch.lock();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(page);
+        }
     }
 
     /// Cleanly unmount: persist the clean flag. (The DeNova layer saves the
@@ -746,8 +772,20 @@ impl InodeCtx<'_> {
     /// Append pre-encoded entries to this inode's log and commit the tail
     /// atomically. Returns each entry's device offset.
     pub fn append(&mut self, entries: &[[u8; 64]], cp: &str) -> Result<Vec<u64>> {
+        self.append_with_ranges(entries, &[], cp)
+    }
+
+    /// [`Self::append`], additionally flushing the caller's freshly-stored
+    /// `data_ranges` in the same flush batch and fence that persist the log
+    /// entries (see [`log::append_with_ranges`]).
+    pub fn append_with_ranges(
+        &mut self,
+        entries: &[[u8; 64]],
+        data_ranges: &[(u64, usize)],
+        cp: &str,
+    ) -> Result<Vec<u64>> {
         let table = self.fs.table();
-        log::append(
+        log::append_with_ranges(
             &self.fs.dev,
             &self.fs.layout,
             &self.fs.alloc,
@@ -755,6 +793,7 @@ impl InodeCtx<'_> {
             self.ino,
             &mut self.mem.pos,
             entries,
+            data_ranges,
             cp,
         )
     }
@@ -779,8 +818,27 @@ impl InodeCtx<'_> {
         }
     }
 
-    /// Persist the inode's cached size.
+    /// Update the inode's cached size. The persistent copy is written and
+    /// flushed but *not* fenced — it rides the next fence this thread issues
+    /// (see [`crate::inode::InodeTable::cache_size`] for why that is safe),
+    /// keeping the write commit path at a single fence pair.
     pub fn commit_size(&mut self, size: u64) -> Result<()> {
+        if self.mem.size == size {
+            // Overwrites that don't grow the file leave the size line
+            // untouched: the PM size field is advisory (recovery recomputes
+            // it from the log's `size_after`), so skipping the store + flush
+            // is safe and saves a line flush per steady-state overwrite.
+            return Ok(());
+        }
+        self.mem.size = size;
+        self.fs.table().cache_size(self.ino, size)
+    }
+
+    /// Reference (pre-fence-batching) size commit: persists the cached size
+    /// with its own fence. Kept for the staged-copy reference write path so
+    /// benchmarks and equivalence tests can compare against the historical
+    /// behavior.
+    pub fn commit_size_durable(&mut self, size: u64) -> Result<()> {
         self.mem.size = size;
         self.fs.table().set_size(self.ino, size)
     }

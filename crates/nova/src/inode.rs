@@ -146,6 +146,20 @@ impl<'a> InodeTable<'a> {
         Ok(())
     }
 
+    /// Write the cached file size *without* a fence of its own: the store is
+    /// flushed, so it becomes durable with the next fence this thread issues
+    /// (typically the following operation's tail commit). Safe because the
+    /// size field is purely advisory — recovery recomputes the authoritative
+    /// size from the log (`size_after` in write entries, Attr entries), fsck
+    /// never audits it, and live readers (`file_size`, `stat`) serve the
+    /// in-DRAM size. A crash that reverts this store merely loses a cache.
+    pub fn cache_size(&self, ino: u64, size: u64) -> Result<()> {
+        let base = self.base(ino)?;
+        self.dev.write_u64(base + OFF_SIZE, size);
+        self.dev.flush(base + OFF_SIZE, 8);
+        Ok(())
+    }
+
     /// Persist the link count.
     pub fn set_link_count(&self, ino: u64, n: u64) -> Result<()> {
         let base = self.base(ino)?;

@@ -29,6 +29,14 @@ pub struct NovaStats {
     pub blocks_kept_shared: Counter,
     /// Log pages freed by GC.
     pub log_pages_gced: Counter,
+    /// Fences issued inside `write()` commit paths (excludes settle/ship).
+    /// With fence batching this should be ~2 per single-extent write: one
+    /// covering data + log lines before the tail commit, one persisting the
+    /// tail itself.
+    pub write_fences: Counter,
+    /// Bytes that passed through a staging copy in `write()`. The zero-copy
+    /// path stages only partial head/tail pages, so aligned writes add 0.
+    pub bytes_staged: Counter,
 }
 
 impl Default for NovaStats {
@@ -51,6 +59,8 @@ impl NovaStats {
             blocks_freed: registry.counter("nova.blocks_freed"),
             blocks_kept_shared: registry.counter("nova.blocks_kept_shared"),
             log_pages_gced: registry.counter("nova.log_pages_gced"),
+            write_fences: registry.counter("nova.write.fences"),
+            bytes_staged: registry.counter("nova.write.bytes_staged"),
         }
     }
 

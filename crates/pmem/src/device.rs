@@ -25,6 +25,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// Number of lock shards for the dirty-page shadow maps.
 const NSHARDS: usize = 64;
 
+/// Clean page shadows kept per shard after a fence fully persists them.
+/// Keeping the shadow (rather than dropping it) means the next store to the
+/// same page skips the 4 KB `PageShadow::capture` memcpy — hot metadata
+/// pages (inode table, log tails) are re-dirtied on every operation. The cap
+/// bounds DRAM overhead to `NSHARDS × cap × ~4 KB` ≈ 64 MB worst case.
+const SHADOW_CACHE_PER_SHARD: usize = 256;
+
 /// Cache lines per tracked page.
 const LINES_PER_PAGE: usize = PAGE_SIZE / CACHE_LINE;
 
@@ -49,6 +56,13 @@ thread_local! {
     /// Per-thread queue of flushed-but-not-fenced line groups — the clwb
     /// write-pending queue.
     static PENDING_FLUSHES: RefCell<Vec<PendingFlush>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread, per-device fence counter. Fences have per-thread
+    /// semantics, so this lets a caller measure the exact number of fences a
+    /// code path issues regardless of what other threads are doing. A flat
+    /// vec beats a HashMap here: a thread touches one or two devices, and
+    /// the counter sits on the foreground write path's fence.
+    static THREAD_FENCES: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Shadow state of a 4 KB page containing at least one dirty line. Tracking
@@ -275,13 +289,18 @@ impl PmemDevice {
             let shadow = map.entry(page).or_insert_with(|| {
                 PageShadow::capture(unsafe { self.ptr().add((page * PAGE_SIZE as u64) as usize) })
             });
-            let lo = first.max(page * LINES_PER_PAGE as u64) % LINES_PER_PAGE as u64;
-            let hi = last.min((page + 1) * LINES_PER_PAGE as u64 - 1) % LINES_PER_PAGE as u64;
+            let lo = (first.max(page * LINES_PER_PAGE as u64) % LINES_PER_PAGE as u64) as usize;
+            let hi =
+                (last.min((page + 1) * LINES_PER_PAGE as u64 - 1) % LINES_PER_PAGE as u64) as usize;
             let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
-            for li in lo..=hi {
-                shadow.dirty_mask |= 1 << li;
-                shadow.epochs[li as usize] = epoch;
-            }
+            let span = hi - lo + 1;
+            let mask = if span == LINES_PER_PAGE {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << lo
+            };
+            shadow.dirty_mask |= mask;
+            shadow.epochs[lo..=hi].fill(epoch);
         }
     }
 
@@ -393,6 +412,35 @@ impl PmemDevice {
         }
     }
 
+    /// Vectored store: land every `(off, data)` span in the simulated cache
+    /// with one stats-visible store operation. This is the zero-copy write
+    /// primitive — the file system passes page-aligned sub-slices of the
+    /// caller's buffer directly, so no staging copy ever happens. Durability
+    /// semantics are identical to issuing the stores one by one.
+    pub fn write_v(&self, spans: &[(u64, &[u8])]) {
+        let mut total = 0u64;
+        for &(off, data) in spans {
+            if data.is_empty() {
+                continue;
+            }
+            self.check_range(off, data.len());
+            let first = off / CACHE_LINE as u64;
+            let last = (off + data.len() as u64 - 1) / CACHE_LINE as u64;
+            self.mark_dirty(first, last);
+            total += data.len() as u64;
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    data.as_ptr(),
+                    self.ptr().add(off as usize),
+                    data.len(),
+                );
+            }
+        }
+        if total > 0 {
+            self.stats.record_write(total);
+        }
+    }
+
     /// Store a little-endian u64 at `off` (non-atomic).
     pub fn write_u64(&self, off: u64, v: u64) {
         self.write(off, &v.to_le_bytes());
@@ -478,6 +526,52 @@ impl PmemDevice {
         if self.metrics.enabled() {
             self.flush_lines.record(lines);
         }
+        self.queue_flush(first, last);
+        let profile = *self.latency.lock();
+        if !profile.is_zero() {
+            let ns = profile.write_cost_ns(lines);
+            self.stats.record_injected(ns);
+            self.inject(ns);
+        }
+    }
+
+    /// Flush every cache line of every `(off, len)` range, charged as ONE
+    /// flush operation: a clwb stream has no per-instruction issue overhead
+    /// beyond the lines themselves, so the injected cost is the per-operation
+    /// write latency once plus the per-line cost of the combined total —
+    /// unlike N separate [`Self::flush`] calls, which each pay the
+    /// per-operation latency. The lines become durable at the next
+    /// [`PmemDevice::fence`] from this thread.
+    pub fn flush_ranges(&self, ranges: &[(u64, usize)]) {
+        let mut total_lines = 0u64;
+        for &(off, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            self.check_range(off, len);
+            let first = off / CACHE_LINE as u64;
+            let last = (off + len as u64 - 1) / CACHE_LINE as u64;
+            total_lines += last - first + 1;
+            self.queue_flush(first, last);
+        }
+        if total_lines == 0 {
+            return;
+        }
+        self.stats.record_flush(total_lines);
+        if self.metrics.enabled() {
+            self.flush_lines.record(total_lines);
+        }
+        let profile = *self.latency.lock();
+        if !profile.is_zero() {
+            let ns = profile.write_cost_ns(total_lines);
+            self.stats.record_injected(ns);
+            self.inject(ns);
+        }
+    }
+
+    /// Queue the dirty lines in `[first, last]` (global line indices) on this
+    /// thread's clwb write-pending queue.
+    fn queue_flush(&self, first: u64, last: u64) {
         PENDING_FLUSHES.with(|p| {
             let mut p = p.borrow_mut();
             let first_page = first / LINES_PER_PAGE as u64;
@@ -487,19 +581,39 @@ impl PmemDevice {
                 let Some(shadow) = map.get(&page) else {
                     continue;
                 };
-                let lo = first.max(page * LINES_PER_PAGE as u64);
-                let hi = last.min((page + 1) * LINES_PER_PAGE as u64 - 1);
-                // Group the flushed dirty lines of this page by their write
-                // epoch in one pass (one group in the common whole-write
-                // case).
+                let lo = (first.max(page * LINES_PER_PAGE as u64) % LINES_PER_PAGE as u64) as usize;
+                let hi = (last.min((page + 1) * LINES_PER_PAGE as u64 - 1) % LINES_PER_PAGE as u64)
+                    as usize;
+                let span = hi - lo + 1;
+                let range_mask = if span == LINES_PER_PAGE {
+                    !0u64
+                } else {
+                    ((1u64 << span) - 1) << lo
+                };
+                let dirty = shadow.dirty_mask & range_mask;
+                if dirty == 0 {
+                    continue;
+                }
+                // Fast path: every flushed line carries one write epoch (a
+                // whole write flushed at once) — a single queue entry.
+                let e0 = shadow.epochs[lo];
+                if shadow.epochs[lo..=hi].iter().all(|&e| e == e0) {
+                    p.push(PendingFlush {
+                        dev: self.id,
+                        page,
+                        mask: dirty,
+                        epoch: e0,
+                    });
+                    continue;
+                }
+                // Slow path: group the flushed dirty lines by write epoch.
                 let mut groups: [(u64, u64); 4] = [(0, 0); 4];
                 let mut extra: Vec<(u64, u64)> = Vec::new();
                 let mut used = 0usize;
-                for line in lo..=hi {
-                    let i = (line % LINES_PER_PAGE as u64) as usize;
-                    if shadow.dirty_mask & (1 << i) == 0 {
-                        continue;
-                    }
+                let mut rem = dirty;
+                while rem != 0 {
+                    let i = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
                     let epoch = shadow.epochs[i];
                     let bit = 1u64 << i;
                     if let Some(g) = groups[..used].iter_mut().find(|g| g.0 == epoch) {
@@ -523,18 +637,20 @@ impl PmemDevice {
                 }
             }
         });
-        let profile = *self.latency.lock();
-        if !profile.is_zero() {
-            let ns = profile.write_cost_ns(lines);
-            self.stats.record_injected(ns);
-            self.inject(ns);
-        }
     }
 
     /// Store fence (sfence): every line this thread flushed since its last
     /// fence becomes durable.
     pub fn fence(&self) {
         self.stats.record_fence();
+        THREAD_FENCES.with(|m| {
+            let mut m = m.borrow_mut();
+            match m.iter_mut().find(|(id, _)| *id == self.id) {
+                Some((_, n)) => *n += 1,
+                None => m.push((self.id, 1)),
+            }
+        });
+        let mut drained = false;
         PENDING_FLUSHES.with(|p| {
             let mut p = p.borrow_mut();
             let mut kept = Vec::new();
@@ -543,35 +659,69 @@ impl PmemDevice {
                     kept.push(pf);
                     continue;
                 }
+                drained = true;
                 let mut map = self.shard_for(pf.page).lock();
                 if let Some(shadow) = map.get_mut(&pf.page) {
                     let mut remaining = pf.mask & shadow.dirty_mask;
                     while remaining != 0 {
                         let li = remaining.trailing_zeros() as usize;
-                        remaining &= remaining - 1;
                         if shadow.epochs[li] != pf.epoch {
                             // A newer store invalidated this flush.
+                            remaining &= !(1u64 << li);
                             continue;
                         }
-                        // Persist: fold current content into the shadow and
-                        // clear the dirty bit.
+                        // Extend to the longest run of contiguous lines that
+                        // share this flush's epoch, then persist the run with
+                        // one copy: fold current content into the shadow and
+                        // clear the dirty bits.
+                        let mut run = 1usize;
+                        while li + run < LINES_PER_PAGE
+                            && remaining & (1u64 << (li + run)) != 0
+                            && shadow.epochs[li + run] == pf.epoch
+                        {
+                            run += 1;
+                        }
                         let src = (pf.page * PAGE_SIZE as u64) as usize + li * CACHE_LINE;
                         unsafe {
                             std::ptr::copy_nonoverlapping(
                                 self.ptr().add(src),
                                 shadow.persisted.as_mut_ptr().add(li * CACHE_LINE),
-                                CACHE_LINE,
+                                run * CACHE_LINE,
                             );
                         }
-                        shadow.dirty_mask &= !(1 << li);
+                        let run_mask = if run == LINES_PER_PAGE {
+                            !0u64
+                        } else {
+                            ((1u64 << run) - 1) << li
+                        };
+                        shadow.dirty_mask &= !run_mask;
+                        remaining &= !run_mask;
                     }
-                    if shadow.dirty_mask == 0 {
+                    if shadow.dirty_mask == 0 && map.len() > SHADOW_CACHE_PER_SHARD {
+                        // Fully persisted and the shard is over its cache
+                        // budget. Below the budget the clean shadow is
+                        // kept: its `persisted` copy equals the live
+                        // content, so the next store to this page skips the
+                        // 4 KB capture — the dominant bookkeeping cost on
+                        // hot pages (inode table, log tails, rewritten
+                        // blocks).
                         map.remove(&pf.page);
                     }
                 }
             }
             *p = kept;
         });
+        // The persist barrier: sfence stalls until the WPQ acknowledges
+        // every outstanding clwb. Only charged when this fence actually had
+        // queued flushes to drain — a redundant fence is (nearly) free.
+        if drained {
+            let profile = *self.latency.lock();
+            if profile.fence_ns > 0 {
+                let ns = profile.fence_ns as u64;
+                self.stats.record_injected(ns);
+                self.inject(ns);
+            }
+        }
     }
 
     /// Flush + fence the range: the `persist()` helper every PM file system
@@ -585,6 +735,20 @@ impl PmemDevice {
     pub fn write_persist(&self, off: u64, data: &[u8]) {
         self.write(off, data);
         self.persist(off, data.len());
+    }
+
+    /// Number of fences the *calling thread* has issued on this device.
+    /// Because fences have per-thread semantics, the delta across a code
+    /// path is exact even with concurrent threads fencing the same device —
+    /// this is how `nova.write.fences` proves the fence-batching claim.
+    pub fn thread_fences(&self) -> u64 {
+        THREAD_FENCES.with(|m| {
+            m.borrow()
+                .iter()
+                .find(|(id, _)| *id == self.id)
+                .map(|&(_, n)| n)
+                .unwrap_or(0)
+        })
     }
 
     /// Number of cache lines currently dirty (stored but not yet durable).
@@ -927,6 +1091,121 @@ mod tests {
         dev.fence();
         let after = dev.crash_clone(CrashMode::Strict);
         assert_eq!(after.read_vec(0, 8), b"thread-a".to_vec());
+    }
+
+    #[test]
+    fn write_v_spans_not_durable_until_fenced() {
+        let dev = PmemDevice::new(16 * 1024);
+        dev.write_v(&[
+            (0, b"span-a" as &[u8]),
+            (4096, b"span-b"),
+            (8192, b"span-c"),
+        ]);
+        assert_eq!(dev.read_vec(4096, 6), b"span-b".to_vec());
+        // Unflushed vectored stores vanish on a strict crash.
+        let after = dev.crash_clone(CrashMode::Strict);
+        assert_eq!(after.read_vec(0, 6), vec![0u8; 6]);
+        assert_eq!(after.read_vec(4096, 6), vec![0u8; 6]);
+        // flush_ranges alone (no fence) is still not durable.
+        dev.flush_ranges(&[(0, 6), (4096, 6), (8192, 6)]);
+        let after = dev.crash_clone(CrashMode::Strict);
+        assert_eq!(after.read_vec(8192, 6), vec![0u8; 6]);
+        // One fence commits all three ranges.
+        dev.fence();
+        let after = dev.crash_clone(CrashMode::Strict);
+        assert_eq!(after.read_vec(0, 6), b"span-a".to_vec());
+        assert_eq!(after.read_vec(4096, 6), b"span-b".to_vec());
+        assert_eq!(after.read_vec(8192, 6), b"span-c".to_vec());
+    }
+
+    #[test]
+    fn write_v_counts_one_store_operation() {
+        let dev = PmemDevice::new(16 * 1024);
+        dev.write_v(&[(0, &[1u8; 128] as &[u8]), (4096, &[2u8; 64]), (8192, &[])]);
+        let s = dev.stats().snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 192);
+    }
+
+    #[test]
+    fn flush_ranges_charges_one_flush_operation() {
+        let dev = PmemBuilder::new(16 * 1024)
+            .latency(crate::LatencyProfile::optane())
+            .build();
+        dev.set_latency(crate::LatencyProfile::none());
+        dev.write(0, &[1u8; 128]);
+        dev.write(4096, &[2u8; 128]);
+        dev.set_latency(crate::LatencyProfile::optane());
+        dev.flush_ranges(&[(0, 128), (4096, 128)]);
+        let s = dev.stats().snapshot();
+        // Both ranges' lines are accounted...
+        assert_eq!(s.flushes, 4); // 2 × 128 bytes = 4 lines
+                                  // ...but the injected cost is ONE flush operation over 4 lines, not
+                                  // two operations of 2 lines each (which would pay the per-op latency
+                                  // twice).
+        let one_op = crate::LatencyProfile::optane().write_cost_ns(4);
+        assert_eq!(s.injected_ns, one_op);
+    }
+
+    #[test]
+    fn fence_charges_barrier_cost_only_when_draining() {
+        let dev = PmemBuilder::new(16 * 1024)
+            .latency(crate::LatencyProfile::optane())
+            .build();
+        let fence_ns = crate::LatencyProfile::optane().fence_ns as u64;
+        assert!(fence_ns > 0);
+        // A fence with nothing queued models an sfence over an empty WPQ:
+        // free.
+        let before = dev.stats().snapshot().injected_ns;
+        dev.fence();
+        assert_eq!(dev.stats().snapshot().injected_ns, before);
+        // A fence that drains a queued flush pays the barrier cost once.
+        dev.set_latency(crate::LatencyProfile::none());
+        dev.write(0, &[7u8; 64]);
+        dev.set_latency(crate::LatencyProfile::optane());
+        dev.flush(0, 64);
+        let mid = dev.stats().snapshot().injected_ns;
+        dev.fence();
+        assert_eq!(dev.stats().snapshot().injected_ns, mid + fence_ns);
+        // Redundant follow-up fence: queue already drained, free again.
+        dev.fence();
+        assert_eq!(dev.stats().snapshot().injected_ns, mid + fence_ns);
+    }
+
+    #[test]
+    fn clean_shadow_cache_preserves_crash_semantics() {
+        // After a fence fully persists a page its shadow may stay cached;
+        // the next store must still expose pre-store content to a crash.
+        let dev = PmemDevice::new(16 * 1024);
+        dev.write(128, b"old-value");
+        dev.persist(128, 9);
+        // Page is clean now (shadow possibly cached). Overwrite without
+        // flushing: a strict crash must roll back to the persisted value.
+        dev.write(128, b"NEW-VALUE");
+        let crashed = dev.crash_clone(CrashMode::Strict);
+        assert_eq!(crashed.read_vec(128, 9), b"old-value".to_vec());
+        // And persisting the new store makes it stick.
+        dev.persist(128, 9);
+        let crashed = dev.crash_clone(CrashMode::Strict);
+        assert_eq!(crashed.read_vec(128, 9), b"NEW-VALUE".to_vec());
+    }
+
+    #[test]
+    fn thread_fences_counts_only_this_thread() {
+        let dev = std::sync::Arc::new(PmemDevice::new(4096));
+        let before = dev.thread_fences();
+        dev.fence();
+        dev.fence();
+        assert_eq!(dev.thread_fences(), before + 2);
+        let d2 = dev.clone();
+        std::thread::spawn(move || {
+            d2.fence();
+            assert_eq!(d2.thread_fences(), 1);
+        })
+        .join()
+        .unwrap();
+        // The other thread's fence is invisible here.
+        assert_eq!(dev.thread_fences(), before + 2);
     }
 
     #[test]

@@ -25,6 +25,14 @@ pub struct LatencyProfile {
     pub write_latency_ns: u32,
     /// Additional write cost per 64 B cache line flushed.
     pub write_per_line_ns: u32,
+    /// Persist-barrier cost charged once per fence that drained at least
+    /// one queued flush. On real hardware `sfence` stalls until the WPQ
+    /// acknowledges every outstanding `clwb`; empirical Optane studies put
+    /// the full `clwb + sfence` round trip at ~400 ns, far above the media
+    /// write latency alone. A fence with nothing queued is ~free, so
+    /// redundant fences are not charged — which is exactly why batching
+    /// flushes under a single fence is worth measuring.
+    pub fence_ns: u32,
 }
 
 impl LatencyProfile {
@@ -37,6 +45,7 @@ impl LatencyProfile {
             read_per_line_ns: 0,
             write_latency_ns: 0,
             write_per_line_ns: 0,
+            fence_ns: 0,
         }
     }
 
@@ -49,6 +58,7 @@ impl LatencyProfile {
             read_per_line_ns: 4,
             write_latency_ns: 35,
             write_per_line_ns: 4,
+            fence_ns: 20,
         }
     }
 
@@ -61,6 +71,7 @@ impl LatencyProfile {
             read_per_line_ns: 15,
             write_latency_ns: 80,
             write_per_line_ns: 40,
+            fence_ns: 400,
         }
     }
 
@@ -72,6 +83,7 @@ impl LatencyProfile {
             read_per_line_ns: 20,
             write_latency_ns: 575,
             write_per_line_ns: 120,
+            fence_ns: 400,
         }
     }
 
@@ -83,6 +95,7 @@ impl LatencyProfile {
             read_per_line_ns: 3,
             write_latency_ns: 55,
             write_per_line_ns: 8,
+            fence_ns: 100,
         }
     }
 
@@ -98,6 +111,7 @@ impl LatencyProfile {
             && self.read_per_line_ns == 0
             && self.write_latency_ns == 0
             && self.write_per_line_ns == 0
+            && self.fence_ns == 0
     }
 
     /// Total injected cost of a read touching `lines` cache lines.

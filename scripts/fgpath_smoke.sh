@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI smoke for the foreground I/O fast path: run the fgpath experiment at
+# smoke scale and assert the structural claims that must hold on any host,
+# regardless of timing noise:
+#
+#   * a steady-state single-extent zero-copy write issues at most 2 fences
+#     (one covering data + log entry, one for the atomic tail commit);
+#   * aligned writes bounce zero bytes through staging scratch;
+#   * absent-fingerprint FACT lookups are answered by the DRAM presence
+#     filter (skip rate > 0, in practice ~1.0) without touching PM.
+#
+# The latency claim (aligned 4 KiB p50 ≥ 15% faster than the staged
+# reference path) is recorded in BENCH_fgpath.json and asserted by the
+# `fgpath` unit tests; a shared CI runner's timing is too noisy to gate a
+# shell smoke on it.
+#
+# Usage: scripts/fgpath_smoke.sh
+# (`make fgpath-smoke` builds the release binary first)
+
+set -euo pipefail
+
+OUT=$(cargo run --release -q -p denova-bench --bin figures -- --smoke fgpath)
+echo "$OUT"
+
+# fgpath-summary: aligned-4k fences_per_write=N speedup_pct=X staged_bytes=B
+FENCES=$(echo "$OUT" | sed -n 's/^fgpath-summary: aligned-4k fences_per_write=\([0-9]*\).*/\1/p')
+STAGED_BYTES=$(echo "$OUT" | sed -n 's/.*aligned-4k.*staged_bytes=\([0-9]*\)$/\1/p')
+SKIP_RATE=$(echo "$OUT" | sed -n 's/^fgpath-summary: absent-fp filter_skip_rate=\([0-9.]*\)$/\1/p')
+
+[ -n "$FENCES" ] && [ -n "$SKIP_RATE" ] || {
+    echo "error: fgpath-summary lines missing from output" >&2
+    exit 1
+}
+if [ "$FENCES" -gt 2 ]; then
+    echo "error: $FENCES fences per aligned 4 KiB write (want <= 2)" >&2
+    exit 1
+fi
+if [ "${STAGED_BYTES:-0}" -ne 0 ]; then
+    echo "error: aligned write staged $STAGED_BYTES bytes (want 0)" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($SKIP_RATE > 0) }"; then
+    echo "error: absent-fingerprint filter skip rate is $SKIP_RATE (want > 0)" >&2
+    exit 1
+fi
+echo "fgpath-smoke OK ($FENCES fences/write, filter skip rate $SKIP_RATE)"
