@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke
+verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke
 
 build:
 	$(CARGO) build --release
@@ -39,6 +39,12 @@ repl-smoke: build
 # answers absent-fingerprint lookups without PM probes.
 fgpath-smoke: build
 	bash scripts/fgpath_smoke.sh
+
+# Sharded-cluster check: a 2-shard TCP cluster driven through the routing
+# client — hash placement, merged ls, a two-phase cross-shard rename,
+# SIGKILL failover with promotion + map rebalance, clean fsck on every image.
+cluster-smoke: build
+	bash scripts/cluster_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

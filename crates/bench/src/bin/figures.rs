@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash dedup_scaling ablation endurance recovery svc repl fgpath`. Pass
+//! crash dedup_scaling ablation endurance recovery svc repl fgpath cluster`.
+//! Pass
 //! `--json <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
 
@@ -63,6 +64,7 @@ fn main() {
         "svc",
         "repl",
         "fgpath",
+        "cluster",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -188,6 +190,11 @@ fn main() {
         let res = fgpath::run(&scale);
         println!("{}", fgpath::render(&res));
         json.insert("fgpath", &res);
+    }
+    if want("cluster") {
+        let res = cluster_scale::run(&scale);
+        println!("{}", cluster_scale::render(&res));
+        json.insert("cluster_scale", &res);
     }
     if want("ablation") {
         let r = ablation::reorder(12, 200);

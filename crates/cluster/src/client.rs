@@ -1,0 +1,274 @@
+//! The cluster-aware client: owner-direct routing with map self-healing.
+//!
+//! A [`ClusterClient`] bootstraps its [`ClusterMap`] from any node
+//! (`MapGet` — every node serves the map), keeps one lazy connection per
+//! node address, and dispatches each operation straight to the owner its
+//! map names. Staleness heals on contact:
+//!
+//! * [`SvcError::WRONG_SHARD`] — the node no longer owns the target. The
+//!   reply names the owner's address; the client refreshes its map from
+//!   that owner, gossips its view back (`MapPush`), and re-dials once. The
+//!   bounced request was never executed, so the single retry is safe even
+//!   for mutations.
+//! * [`SvcError::REPLICA_READ_ONLY`] — the mapped node is (still) a
+//!   standby: the promotion window of a failover or rebalance. The standby
+//!   never executed the request, so the client briefly backs off, refreshes
+//!   the map, and retries — bounded, then the error surfaces.
+//! * Transport errors on idempotent ops retry within [`Client`]; on
+//!   mutations they surface after one reconnect attempt (see the svc-layer
+//!   retry rules), and this layer additionally refreshes the map so a
+//!   *dead* primary (vs. a slow one) fails over to its promoted standby on
+//!   the caller's retry.
+
+use crate::map::ClusterMap;
+use crate::node::Dialer;
+use denova_nova::FileStat;
+use denova_svc::{Body, Client, Request, SvcError};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How long a client rides out a promotion window before surfacing
+/// `REPLICA_READ_ONLY` / connection failures to the caller.
+const ROUTE_RETRY_WINDOW: Duration = Duration::from_secs(5);
+/// Backoff between routed retries inside the window.
+const ROUTE_RETRY_PAUSE: Duration = Duration::from_millis(25);
+
+/// See the module docs.
+pub struct ClusterClient {
+    map: ClusterMap,
+    dial: Dialer,
+    conns: HashMap<String, Client>,
+}
+
+impl ClusterClient {
+    /// Bootstrap from any cluster node: dial `seed`, fetch its map.
+    pub fn connect(seed: &str, dial: Dialer) -> Result<ClusterClient, SvcError> {
+        let mut client = ClusterClient {
+            map: ClusterMap::new(&[seed.to_string()]),
+            dial,
+            conns: HashMap::new(),
+        };
+        client.map = client.fetch_map(seed)?;
+        Ok(client)
+    }
+
+    /// The client's current map snapshot.
+    pub fn map(&self) -> &ClusterMap {
+        &self.map
+    }
+
+    /// Re-fetch the map from the first reachable node and adopt it if
+    /// newer. Returns the epoch now held.
+    pub fn refresh_map(&mut self) -> u64 {
+        for addr in self.known_addrs() {
+            if let Ok(m) = self.fetch_map(&addr) {
+                if m.epoch > self.map.epoch {
+                    self.map = m;
+                }
+                break;
+            }
+        }
+        self.map.epoch
+    }
+
+    /// Push this client's map to every node it knows (post-rebalance
+    /// convergence; nodes adopt only strictly newer epochs and reply with
+    /// their own, which we adopt back if newer).
+    pub fn gossip_map(&mut self) {
+        let push = Request::MapPush {
+            map: self.map.encode(),
+        };
+        for addr in self.known_addrs() {
+            if let Ok(Body::Bytes(bytes)) = self.conn(&addr).and_then(|c| c.request(&push)) {
+                if let Ok(m) = ClusterMap::decode(&bytes) {
+                    if m.epoch > self.map.epoch {
+                        self.map = m;
+                    }
+                }
+            }
+        }
+    }
+
+    fn known_addrs(&self) -> Vec<String> {
+        self.map
+            .shards
+            .iter()
+            .map(|s| s.primary.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    fn fetch_map(&mut self, addr: &str) -> Result<ClusterMap, SvcError> {
+        match self.conn(addr)?.request(&Request::MapGet)? {
+            Body::Bytes(bytes) => ClusterMap::decode(&bytes)
+                .map_err(|e| SvcError::service(SvcError::BAD_REQUEST, format!("bad map: {e}"))),
+            other => Err(SvcError::service(
+                SvcError::BAD_REQUEST,
+                format!("unexpected MapGet reply: {other:?}"),
+            )),
+        }
+    }
+
+    fn conn(&mut self, addr: &str) -> Result<&mut Client, SvcError> {
+        if !self.conns.contains_key(addr) {
+            let client = (self.dial)(addr)?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).unwrap())
+    }
+
+    /// Run `f` against the primary of `shard`, healing the route on
+    /// `WRONG_SHARD`, riding out promotion windows on
+    /// `REPLICA_READ_ONLY`, and failing over on dead connections.
+    fn with_shard<R>(
+        &mut self,
+        shard: u32,
+        f: impl Fn(&mut Client) -> Result<R, SvcError>,
+    ) -> Result<R, SvcError> {
+        let deadline = Instant::now() + ROUTE_RETRY_WINDOW;
+        let mut bounced = false;
+        loop {
+            let addr = self.map.primary(shard).to_string();
+            let err = match self.conn(&addr).and_then(&f) {
+                Ok(r) => return Ok(r),
+                Err(e) => e,
+            };
+            match err.code {
+                SvcError::WRONG_SHARD if !bounced => {
+                    // The reply names the owner; learn its map, tell it
+                    // ours, retry exactly once.
+                    bounced = true;
+                    let owner_addr = err.message.clone();
+                    if let Ok(m) = self.fetch_map(&owner_addr) {
+                        if m.epoch > self.map.epoch {
+                            self.map = m;
+                        }
+                    }
+                    if self.map.primary(shard) == addr && self.map.primary(shard) != owner_addr {
+                        // Our refresh didn't move the route (e.g. the owner
+                        // was unreachable); trust the hint directly.
+                        self.map.shards[shard as usize].primary = owner_addr;
+                    }
+                }
+                SvcError::REPLICA_READ_ONLY | SvcError::IO if Instant::now() < deadline => {
+                    // Promotion window (standby not yet primary) or a dead
+                    // node (failover in progress): pause, re-learn the map,
+                    // go again.
+                    if err.code == SvcError::IO {
+                        self.conns.remove(&addr);
+                    }
+                    std::thread::sleep(ROUTE_RETRY_PAUSE);
+                    self.refresh_map();
+                }
+                _ => return Err(err),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The file API, cluster-routed. Inodes are global (ginos).
+    // ------------------------------------------------------------------
+
+    /// Create an empty file → global inode.
+    pub fn create(&mut self, name: &str) -> Result<u64, SvcError> {
+        let shard = self.map.shard_of_name(name);
+        self.with_shard(shard, |c| c.create(name))
+    }
+
+    /// Look up a file → global inode.
+    pub fn open(&mut self, name: &str) -> Result<u64, SvcError> {
+        let shard = self.map.shard_of_name(name);
+        self.with_shard(shard, |c| c.open(name))
+    }
+
+    /// Remove a file.
+    pub fn unlink(&mut self, name: &str) -> Result<(), SvcError> {
+        let shard = self.map.shard_of_name(name);
+        self.with_shard(shard, |c| c.unlink(name))
+    }
+
+    /// Rename; routed to the source's owner, which coordinates a cross-
+    /// shard transaction when the destination hashes elsewhere.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), SvcError> {
+        let shard = self.map.shard_of_name(from);
+        self.with_shard(shard, |c| c.rename(from, to))
+    }
+
+    /// Hard link (same shard) or content copy (cross-shard) → global inode
+    /// of the new name.
+    pub fn link(&mut self, existing: &str, new_name: &str) -> Result<u64, SvcError> {
+        let shard = self.map.shard_of_name(existing);
+        self.with_shard(shard, |c| c.link(existing, new_name))
+    }
+
+    /// Read by global inode.
+    pub fn read_at(&mut self, gino: u64, offset: u64, len: u64) -> Result<Vec<u8>, SvcError> {
+        let shard = self.map.shard_of_gino(gino);
+        self.with_shard(shard, |c| c.read_at(gino, offset, len))
+    }
+
+    /// Write by global inode.
+    pub fn write_at(&mut self, gino: u64, offset: u64, data: &[u8]) -> Result<u64, SvcError> {
+        let shard = self.map.shard_of_gino(gino);
+        self.with_shard(shard, |c| c.write_at(gino, offset, data))
+    }
+
+    /// Truncate by global inode.
+    pub fn truncate(&mut self, gino: u64, size: u64) -> Result<(), SvcError> {
+        let shard = self.map.shard_of_gino(gino);
+        self.with_shard(shard, |c| c.truncate(gino, size))
+    }
+
+    /// Stat by global inode (the returned stat carries the gino).
+    pub fn stat(&mut self, gino: u64) -> Result<FileStat, SvcError> {
+        let shard = self.map.shard_of_gino(gino);
+        self.with_shard(shard, |c| c.stat(gino))
+    }
+
+    /// Settle the owning shard's dedup pipeline.
+    pub fn fsync(&mut self, gino: u64) -> Result<(), SvcError> {
+        let shard = self.map.shard_of_gino(gino);
+        self.with_shard(shard, |c| c.fsync(gino))
+    }
+
+    /// List the whole namespace: fan out to every shard, merge sorted.
+    pub fn list(&mut self) -> Result<Vec<String>, SvcError> {
+        let mut all = Vec::new();
+        for shard in 0..self.map.num_shards() {
+            all.extend(self.with_shard(shard, |c| c.list())?);
+        }
+        all.sort();
+        Ok(all)
+    }
+
+    /// Create-and-write convenience.
+    pub fn put(&mut self, name: &str, data: &[u8]) -> Result<u64, SvcError> {
+        let gino = self.create(name)?;
+        if !data.is_empty() {
+            self.write_at(gino, 0, data)?;
+        }
+        Ok(gino)
+    }
+
+    /// Open-and-read-everything convenience.
+    pub fn get(&mut self, name: &str) -> Result<Vec<u8>, SvcError> {
+        let gino = self.open(name)?;
+        let size = self.stat(gino)?.size;
+        self.read_at(gino, 0, size)
+    }
+}
+
+impl denova_workload::RemoteStore for ClusterClient {
+    fn create(&mut self, name: &str) -> Result<u64, SvcError> {
+        ClusterClient::create(self, name)
+    }
+
+    fn open(&mut self, name: &str) -> Result<u64, SvcError> {
+        ClusterClient::open(self, name)
+    }
+
+    fn write_at(&mut self, ino: u64, offset: u64, data: &[u8]) -> Result<u64, SvcError> {
+        ClusterClient::write_at(self, ino, offset, data)
+    }
+}

@@ -1,0 +1,267 @@
+//! The versioned cluster map: which node owns each namespace shard.
+//!
+//! A [`ClusterMap`] is a tiny epoch-numbered table — shard → primary address
+//! plus standby addresses, with optional path-prefix overrides — that every
+//! node serves ([`denova_svc::Request::MapGet`]) and gossips
+//! ([`denova_svc::Request::MapPush`]): a node offered a map adopts it if its
+//! epoch is higher and always replies with whichever map it now holds, so
+//! stale maps heal on contact. Epochs only move forward, bumped by failover
+//! (promotion) and rebalancing (ownership flip); ties keep the local map, so
+//! a bump must happen before a push.
+//!
+//! ## Name and inode routing
+//!
+//! Names route by longest matching prefix override, else
+//! `hash(name) % shards` with the same FNV hash both sides of the wire use
+//! for worker-pool keys ([`denova_svc::hash_name`]). Inodes on the wire are
+//! *global*: `gino = local_ino * shards + shard`, so the owning shard of any
+//! gino is recoverable without a lookup ([`ClusterMap::shard_of_gino`]) and
+//! local inode allocators never need coordination. The shard *count* is
+//! fixed at cluster creation — rebalancing reassigns a shard to a different
+//! node, it never renumbers shards — so gino arithmetic is stable for the
+//! life of the cluster.
+
+use denova_svc::codec::{Dec, DecodeError, Enc};
+use denova_svc::hash_name;
+use parking_lot::RwLock;
+
+/// One shard's placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Address of the node currently serving this shard's writes.
+    pub primary: String,
+    /// Addresses of replicas streaming this shard's journal (failover
+    /// candidates; informational for routing).
+    pub standbys: Vec<String>,
+}
+
+/// The versioned shard → node table. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// Version: higher epoch wins on gossip. Bumped by promotion and
+    /// rebalancing.
+    pub epoch: u64,
+    /// Placement per shard; `shards.len()` is the fixed shard count.
+    pub shards: Vec<ShardEntry>,
+    /// Path-prefix overrides, checked before the hash: the longest matching
+    /// prefix pins a name to a shard (e.g. route `logs/` to shard 0).
+    pub overrides: Vec<(String, u32)>,
+}
+
+impl ClusterMap {
+    /// A fresh epoch-1 map with one primary address per shard and no
+    /// overrides.
+    pub fn new(primaries: &[String]) -> ClusterMap {
+        ClusterMap {
+            epoch: 1,
+            shards: primaries
+                .iter()
+                .map(|p| ShardEntry {
+                    primary: p.clone(),
+                    standbys: Vec::new(),
+                })
+                .collect(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Fixed shard count.
+    pub fn num_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard owning `name`: longest matching prefix override, else
+    /// `hash(name) % shards`.
+    pub fn shard_of_name(&self, name: &str) -> u32 {
+        let mut best: Option<(usize, u32)> = None;
+        for (prefix, shard) in &self.overrides {
+            if name.starts_with(prefix.as_str())
+                && best.map(|(len, _)| prefix.len() > len).unwrap_or(true)
+            {
+                best = Some((prefix.len(), *shard));
+            }
+        }
+        match best {
+            Some((_, shard)) => shard % self.num_shards().max(1),
+            None => (hash_name(name) % self.num_shards().max(1) as u64) as u32,
+        }
+    }
+
+    /// The shard owning a global inode.
+    pub fn shard_of_gino(&self, gino: u64) -> u32 {
+        (gino % self.num_shards().max(1) as u64) as u32
+    }
+
+    /// Global inode for a shard-local inode.
+    pub fn gino(&self, shard: u32, local_ino: u64) -> u64 {
+        local_ino * self.num_shards().max(1) as u64 + shard as u64
+    }
+
+    /// Shard-local inode of a global inode.
+    pub fn local_ino(&self, gino: u64) -> u64 {
+        gino / self.num_shards().max(1) as u64
+    }
+
+    /// The primary address serving `shard`.
+    pub fn primary(&self, shard: u32) -> &str {
+        &self.shards[shard as usize].primary
+    }
+
+    /// Wire encoding (the opaque bytes carried by `MapGet`/`MapPush`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.epoch).u32(self.shards.len() as u32);
+        for s in &self.shards {
+            e.str(&s.primary).u32(s.standbys.len() as u32);
+            for sb in &s.standbys {
+                e.str(sb);
+            }
+        }
+        e.u32(self.overrides.len() as u32);
+        for (prefix, shard) in &self.overrides {
+            e.str(prefix).u32(*shard);
+        }
+        e.finish()
+    }
+
+    /// Decode a wire-encoded map.
+    pub fn decode(bytes: &[u8]) -> Result<ClusterMap, DecodeError> {
+        let mut d = Dec::new(bytes);
+        let epoch = d.u64()?;
+        let nshards = d.u32()? as usize;
+        if nshards == 0 || nshards > 4096 {
+            return Err(DecodeError("implausible shard count"));
+        }
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let primary = d.str()?.to_string();
+            let nsb = d.u32()? as usize;
+            if nsb > 256 {
+                return Err(DecodeError("implausible standby count"));
+            }
+            let mut standbys = Vec::with_capacity(nsb);
+            for _ in 0..nsb {
+                standbys.push(d.str()?.to_string());
+            }
+            shards.push(ShardEntry { primary, standbys });
+        }
+        let nov = d.u32()? as usize;
+        if nov > 4096 {
+            return Err(DecodeError("implausible override count"));
+        }
+        let mut overrides = Vec::with_capacity(nov);
+        for _ in 0..nov {
+            let prefix = d.str()?.to_string();
+            overrides.push((prefix, d.u32()?));
+        }
+        d.finish()?;
+        Ok(ClusterMap {
+            epoch,
+            shards,
+            overrides,
+        })
+    }
+}
+
+/// A node's live map: shared between the interceptor (every request checks
+/// ownership against it) and the gossip handlers that replace it.
+pub struct SharedMap {
+    map: RwLock<ClusterMap>,
+}
+
+impl SharedMap {
+    /// Wrap an initial map.
+    pub fn new(map: ClusterMap) -> SharedMap {
+        SharedMap {
+            map: RwLock::new(map),
+        }
+    }
+
+    /// Snapshot the current map.
+    pub fn get(&self) -> ClusterMap {
+        self.map.read().clone()
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.map.read().epoch
+    }
+
+    /// Adopt `offered` if its epoch is strictly higher (same shard count
+    /// required — the count is fixed for the cluster's life). Returns `true`
+    /// when adopted.
+    pub fn adopt_if_newer(&self, offered: &ClusterMap) -> bool {
+        let mut cur = self.map.write();
+        if offered.epoch > cur.epoch && offered.num_shards() == cur.num_shards() {
+            *cur = offered.clone();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map2() -> ClusterMap {
+        ClusterMap::new(&["a:1".into(), "b:2".into()])
+    }
+
+    #[test]
+    fn maps_round_trip_on_the_wire() {
+        let mut m = map2();
+        m.epoch = 9;
+        m.shards[1].standbys.push("c:3".into());
+        m.overrides.push(("logs/".into(), 0));
+        m.overrides.push(("logs/hot/".into(), 1));
+        let back = ClusterMap::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert!(ClusterMap::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn names_route_by_hash_and_prefix_overrides_win_longest_first() {
+        let mut m = map2();
+        for name in ["a", "b", "x/y", "zzz"] {
+            assert_eq!(
+                m.shard_of_name(name),
+                (hash_name(name) % 2) as u32,
+                "{name}"
+            );
+        }
+        m.overrides.push(("logs/".into(), 0));
+        m.overrides.push(("logs/hot/".into(), 1));
+        assert_eq!(m.shard_of_name("logs/app.log"), 0);
+        assert_eq!(m.shard_of_name("logs/hot/now.log"), 1);
+    }
+
+    #[test]
+    fn gino_arithmetic_is_a_bijection_per_shard() {
+        let m = ClusterMap::new(&["a".into(), "b".into(), "c".into()]);
+        for shard in 0..3 {
+            for local in [0u64, 1, 2, 77, 1 << 40] {
+                let g = m.gino(shard, local);
+                assert_eq!(m.shard_of_gino(g), shard);
+                assert_eq!(m.local_ino(g), local);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_map_adopts_only_strictly_newer() {
+        let shared = SharedMap::new(map2());
+        let mut newer = map2();
+        newer.epoch = 2;
+        newer.shards[0].primary = "moved:9".into();
+        assert!(shared.adopt_if_newer(&newer));
+        assert_eq!(shared.get().primary(0), "moved:9");
+        // Same epoch: keep local. Different shard count: reject.
+        assert!(!shared.adopt_if_newer(&newer));
+        let mut resized = ClusterMap::new(&["only:1".into()]);
+        resized.epoch = 99;
+        assert!(!shared.adopt_if_newer(&resized));
+        assert_eq!(shared.epoch(), 2);
+    }
+}

@@ -144,7 +144,19 @@ pub struct Nova {
     /// zero-copy write path: only unaligned edges are staged, so the pool
     /// stays tiny and full pages never touch a bounce buffer.
     scratch: Mutex<Vec<Box<[u8; BLOCK_SIZE as usize]>>>,
+    /// Names of two-phase-commit prepare/staging records
+    /// ([`PREPARE_PREFIX`]) found in the namespace by mount-time recovery.
+    /// A crashed cross-shard transaction leaves these behind; the cluster
+    /// layer resolves each against its peer before serving. Empty after
+    /// `mkfs` and after a mount that found none.
+    orphan_prepares: Vec<String>,
 }
+
+/// Name prefix reserved for cluster two-phase-commit records. The cluster
+/// layer stores prepare decisions and staged content as ordinary files under
+/// this prefix, which buys them NOVA's crash consistency for free; recovery
+/// surfaces any that survive a crash via [`Nova::orphan_prepares`].
+pub const PREPARE_PREFIX: &str = ".2pc.";
 
 /// Upper bound on pooled scratch pages; beyond this, returned pages are
 /// simply dropped (two concurrent unaligned writers need at most two each).
@@ -179,6 +191,7 @@ impl Nova {
             op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
             scratch: Mutex::new(Vec::new()),
+            orphan_prepares: Vec::new(),
             layout,
             dev,
         };
@@ -197,6 +210,11 @@ impl Nova {
         let layout = superblock::read_superblock(&dev)?;
         let recovered = crate::recovery::recover(&dev, &layout, opts.cpus)?;
         superblock::set_clean_unmount(&dev, false);
+        if !recovered.orphan_prepares.is_empty() {
+            dev.metrics()
+                .counter("nova.recovery.orphan_prepares")
+                .add(recovered.orphan_prepares.len() as u64);
+        }
         Ok(Nova {
             alloc: recovered.alloc,
             namespace: Mutex::new(recovered.namespace),
@@ -214,9 +232,19 @@ impl Nova {
             op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
             scratch: Mutex::new(Vec::new()),
+            orphan_prepares: recovered.orphan_prepares,
             layout,
             dev,
         })
+    }
+
+    /// Two-phase-commit records ([`PREPARE_PREFIX`] names) that mount-time
+    /// recovery found in the namespace — the debris of a cross-shard
+    /// transaction interrupted by a crash. The cluster layer must resolve
+    /// every one (commit forward or roll back against the peer) before the
+    /// node serves requests; a standalone mount may ignore them.
+    pub fn orphan_prepares(&self) -> &[String] {
+        &self.orphan_prepares
     }
 
     /// Take a 4 KiB scratch page from the pool (or allocate one).

@@ -28,6 +28,11 @@ pub struct Recovered {
     pub alloc: Allocator,
     /// One past the largest transaction id seen in any log.
     pub next_txid: u64,
+    /// Names beginning with [`crate::fs::PREPARE_PREFIX`] that survived the
+    /// crash: two-phase-commit records of in-flight cross-shard transactions.
+    /// The cluster layer resolves them; a standalone mount treats them as
+    /// ordinary files.
+    pub orphan_prepares: Vec<String>,
 }
 
 /// Run full log-scan recovery.
@@ -61,6 +66,12 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
     for page in log_pages(dev, layout, root.log_head) {
         occupied.set(page);
     }
+    let mut orphan_prepares: Vec<String> = namespace
+        .keys()
+        .filter(|n| n.starts_with(crate::fs::PREPARE_PREFIX))
+        .cloned()
+        .collect();
+    orphan_prepares.sort();
 
     // Phase 2: rebuild each live file's radix tree from its log; mark its
     // log pages and currently-referenced data pages occupied. Hard links
@@ -136,6 +147,7 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
         inodes,
         alloc,
         next_txid,
+        orphan_prepares,
     })
 }
 
@@ -289,6 +301,24 @@ mod tests {
         assert_eq!(fs2.file_size(a2).unwrap(), 5000);
         assert_eq!(fs2.read(a2, 0, 4096).unwrap(), vec![5u8; 4096]);
         assert_eq!(fs2.read(a2, 4096, 5000).unwrap(), vec![5u8; 904]);
+    }
+
+    #[test]
+    fn orphan_prepare_records_are_surfaced_after_mount() {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        let fs = Nova::mkfs(dev, opts()).unwrap();
+        fs.create("normal").unwrap();
+        let t = fs.create(".2pc.42").unwrap();
+        fs.write(t, 0, b"prepare record").unwrap();
+        fs.create(".2pc.stage.42").unwrap();
+        let fs2 = crash_and_mount(&fs);
+        assert_eq!(fs2.orphan_prepares(), [".2pc.42", ".2pc.stage.42"]);
+        // A resolved (unlinked) record no longer shows up.
+        fs2.unlink(".2pc.42").unwrap();
+        fs2.unlink(".2pc.stage.42").unwrap();
+        let fs3 = crash_and_mount(&fs2);
+        assert!(fs3.orphan_prepares().is_empty());
+        assert!(fs3.exists("normal"));
     }
 
     #[test]

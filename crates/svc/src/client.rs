@@ -70,13 +70,33 @@ pub struct Backoff {
 }
 
 impl Backoff {
-    /// Start a backoff sequence (jitter seeded from the wall clock).
+    /// Start a backoff sequence. The jitter seed mixes the wall clock with
+    /// the calling thread's id and a process-wide counter: after a primary
+    /// restart, every stranded client starts reconnecting *in the same
+    /// instant*, so a clock-only seed would hand the whole herd identical
+    /// jitter and they would re-dial in lockstep anyway. The counter makes
+    /// seeds distinct within a process, the thread id across threads racing
+    /// the same counter value, and the clock across processes.
     pub fn new(policy: RetryPolicy) -> Backoff {
-        let seed = SystemTime::now()
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let clock = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
-            .unwrap_or(0x9E37_79B9)
-            | 1;
+            .unwrap_or(0x9E37_79B9);
+        let tid = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish()
+        };
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seed = (clock ^ tid ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        Backoff::with_seed(policy, seed)
+    }
+
+    /// Start a backoff sequence with an explicit jitter seed (deterministic,
+    /// for tests).
+    pub fn with_seed(policy: RetryPolicy, seed: u64) -> Backoff {
         Backoff {
             policy,
             attempt: 0,
@@ -258,6 +278,16 @@ impl Client {
         }
     }
 
+    /// Send an arbitrary request and return the raw body. The typed methods
+    /// below cover the file API; this is for layered protocols (the cluster
+    /// layer's map exchange and two-phase-commit ops) that extend the wire
+    /// protocol without teaching this client their semantics. The usual
+    /// retry rules apply: only idempotent requests are re-sent after a
+    /// transport failure.
+    pub fn request(&mut self, req: &Request) -> Result<Body, SvcError> {
+        self.call(req)
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), SvcError> {
         self.expect_empty(&Request::Ping)
@@ -436,4 +466,47 @@ fn unexpected(req: &Request, body: &Body) -> SvcError {
         SvcError::BAD_REQUEST,
         format!("unexpected reply body for {}: {body:?}", req.op_name()),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_grow_within_the_jitter_window() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        };
+        let mut b = Backoff::with_seed(policy, 42);
+        let mut cap = policy.base_delay;
+        for _ in 0..8 {
+            let d = b.next_delay();
+            let window = cap.min(policy.max_delay);
+            assert!(d >= window / 2 && d <= window, "{d:?} outside {window:?}");
+            cap = cap.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn simultaneously_created_backoffs_jitter_differently() {
+        // The thundering-herd case: a batch of clients all hit a dead
+        // primary in the same instant and every one starts a backoff
+        // sequence at once. The wall clock is (near-)identical for all of
+        // them; the mixed-in per-process counter must still produce
+        // distinct jitter.
+        let policy = RetryPolicy::default();
+        let seqs: Vec<Vec<Duration>> = (0..4)
+            .map(|_| {
+                let mut b = Backoff::new(policy);
+                (0..12).map(|_| b.next_delay()).collect()
+            })
+            .collect();
+        for i in 0..seqs.len() {
+            for j in i + 1..seqs.len() {
+                assert_ne!(seqs[i], seqs[j], "backoffs {i} and {j} are in lockstep");
+            }
+        }
+    }
 }

@@ -37,9 +37,10 @@ pub mod service;
 pub mod transport;
 
 pub use client::{dial_tcp, Backoff, Client, Connector, RetryPolicy};
+pub use loopback::Hub;
 pub use pool::ShardedPool;
-pub use proto::{Body, RemoteDedupStats, Reply, Request, SvcError};
+pub use proto::{hash_name, Body, RemoteDedupStats, Reply, Request, SvcError, TxState};
 pub use repl::{is_repl_frame, ReplMsg, REPL_MAGIC};
 pub use server::{ReplSink, Server, SvcConfig};
-pub use service::{FileService, ReplRole};
+pub use service::{FileService, Intercept, Interceptor, ReplRole};
 pub use transport::Stream;

@@ -105,6 +105,12 @@ pub struct PipeEnd {
     shared: Arc<EndShared>,
 }
 
+impl std::fmt::Debug for PipeEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeEnd").finish_non_exhaustive()
+    }
+}
+
 /// A connected pair of pipe ends.
 pub fn pair() -> (PipeEnd, PipeEnd) {
     let a_to_b = Pipe::new();
@@ -168,6 +174,73 @@ impl Stream for PipeEnd {
     }
 }
 
+/// An in-process "network": a registry of named listeners, so one process
+/// can host many servers (one per cluster shard) and dial them by address
+/// exactly like TCP — but deterministically, with no OS networking.
+///
+/// A listener is any closure that accepts the server-side [`PipeEnd`] of a
+/// fresh connection (typically `Server::attach`). [`Hub::connect`] builds a
+/// new pipe pair, hands one end to the listener, and returns the other;
+/// dialing an unregistered address fails with `ConnectionRefused`, which is
+/// how cluster tests simulate a dead node.
+#[derive(Default)]
+pub struct Hub {
+    listeners: Mutex<std::collections::HashMap<String, Acceptor>>,
+}
+
+/// Server-side accept callback registered with [`Hub::register`].
+type Acceptor = Arc<dyn Fn(PipeEnd) + Send + Sync>;
+
+impl Hub {
+    /// An empty hub.
+    pub fn new() -> Arc<Hub> {
+        Arc::new(Hub::default())
+    }
+
+    /// Register (or replace) the listener for `addr`.
+    pub fn register(&self, addr: &str, accept: impl Fn(PipeEnd) + Send + Sync + 'static) {
+        self.listeners
+            .lock()
+            .insert(addr.to_string(), Arc::new(accept));
+    }
+
+    /// Remove `addr`'s listener; later dials get `ConnectionRefused`. Used
+    /// to simulate killing a node.
+    pub fn unregister(&self, addr: &str) {
+        self.listeners.lock().remove(addr);
+    }
+
+    /// Registered addresses (unordered).
+    pub fn addrs(&self) -> Vec<String> {
+        self.listeners.lock().keys().cloned().collect()
+    }
+
+    /// Dial `addr`: create a pipe pair, hand the server end to the
+    /// listener, return the client end.
+    pub fn connect(&self, addr: &str) -> io::Result<PipeEnd> {
+        let accept = self.listeners.lock().get(addr).cloned();
+        match accept {
+            Some(accept) => {
+                let (client_end, server_end) = pair();
+                accept(server_end);
+                Ok(client_end)
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("no loopback listener at {addr}"),
+            )),
+        }
+    }
+
+    /// A [`crate::client::Connector`] that re-dials `addr` through this hub,
+    /// for clients and standbys that reconnect after a simulated crash.
+    pub fn connector(self: &Arc<Self>, addr: &str) -> crate::client::Connector {
+        let hub = self.clone();
+        let addr = addr.to_string();
+        Arc::new(move || Ok(Box::new(hub.connect(&addr)?) as Box<dyn crate::transport::Stream>))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +294,38 @@ mod tests {
         assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Idle));
         drop(clone);
         assert!(matches!(read_frame(&mut b).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn hub_routes_by_address_and_refuses_unknown() {
+        let hub = Hub::new();
+        let (tx, rx) = std::sync::mpsc::channel::<(String, PipeEnd)>();
+        for name in ["shard0", "shard1"] {
+            let tx = tx.clone();
+            let name = name.to_string();
+            hub.register(&name.clone(), move |end| {
+                tx.send((name.clone(), end)).unwrap();
+            });
+        }
+        let mut c1 = hub.connect("shard1").unwrap();
+        c1.write_all(b"hi").unwrap();
+        let (who, mut server_end) = rx.recv().unwrap();
+        assert_eq!(who, "shard1");
+        let mut buf = [0u8; 2];
+        server_end.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        assert_eq!(
+            hub.connect("shard9").unwrap_err().kind(),
+            io::ErrorKind::ConnectionRefused
+        );
+        hub.unregister("shard1");
+        assert_eq!(
+            hub.connect("shard1").unwrap_err().kind(),
+            io::ErrorKind::ConnectionRefused
+        );
+        let mut addrs = hub.addrs();
+        addrs.sort();
+        assert_eq!(addrs, ["shard0"]);
     }
 
     #[test]

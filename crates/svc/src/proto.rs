@@ -56,6 +56,22 @@ pub mod op {
     /// Promote a standby replica to primary (no-op acknowledged on a
     /// server that is already primary).
     pub const PROMOTE: u8 = 16;
+    /// Fetch the serving node's cluster map → bytes body (cluster-encoded).
+    pub const MAP_GET: u8 = 17;
+    /// Offer a cluster map; the node adopts it if newer and always replies
+    /// with its (possibly merged) current map → bytes body.
+    pub const MAP_PUSH: u8 = 18;
+    /// Two-phase-commit participant: durably stage a cross-shard operation
+    /// under `txid` → inode of the staged target.
+    pub const TX_PREPARE: u8 = 19;
+    /// Two-phase-commit participant: apply a prepared transaction
+    /// (idempotent — re-committing an already-applied txid acknowledges).
+    pub const TX_COMMIT: u8 = 20;
+    /// Two-phase-commit participant: discard a prepared transaction
+    /// (idempotent — aborting an unknown txid acknowledges).
+    pub const TX_ABORT: u8 = 21;
+    /// Query a coordinator's durable decision for `txid` → tx-state body.
+    pub const TX_STATUS: u8 = 22;
 }
 
 /// A decoded request.
@@ -140,6 +156,37 @@ pub enum Request {
     Shutdown,
     /// See [`op::PROMOTE`].
     Promote,
+    /// See [`op::MAP_GET`].
+    MapGet,
+    /// See [`op::MAP_PUSH`].
+    MapPush {
+        /// Cluster-map bytes (opaque to this layer; `crates/cluster` defines
+        /// the encoding so the wire protocol stays map-version agnostic).
+        map: Vec<u8>,
+    },
+    /// See [`op::TX_PREPARE`].
+    TxPrepare {
+        /// Cluster-wide transaction id (unique per coordinator decision).
+        txid: u64,
+        /// Opaque prepare payload defined by `crates/cluster` (operation
+        /// kind, target name, staged content chunk).
+        data: Vec<u8>,
+    },
+    /// See [`op::TX_COMMIT`].
+    TxCommit {
+        /// Transaction id to apply.
+        txid: u64,
+    },
+    /// See [`op::TX_ABORT`].
+    TxAbort {
+        /// Transaction id to discard.
+        txid: u64,
+    },
+    /// See [`op::TX_STATUS`].
+    TxStatus {
+        /// Transaction id to query.
+        txid: u64,
+    },
 }
 
 impl Request {
@@ -162,6 +209,12 @@ impl Request {
             Request::Telemetry { .. } => op::TELEMETRY,
             Request::Shutdown => op::SHUTDOWN,
             Request::Promote => op::PROMOTE,
+            Request::MapGet => op::MAP_GET,
+            Request::MapPush { .. } => op::MAP_PUSH,
+            Request::TxPrepare { .. } => op::TX_PREPARE,
+            Request::TxCommit { .. } => op::TX_COMMIT,
+            Request::TxAbort { .. } => op::TX_ABORT,
+            Request::TxStatus { .. } => op::TX_STATUS,
         }
     }
 
@@ -177,6 +230,9 @@ impl Request {
                 | Request::Link { .. }
                 | Request::Rename { .. }
                 | Request::Truncate { .. }
+                | Request::TxPrepare { .. }
+                | Request::TxCommit { .. }
+                | Request::TxAbort { .. }
         )
     }
 
@@ -195,6 +251,9 @@ impl Request {
                 | Request::Fsync { .. }
                 | Request::DedupStats
                 | Request::Telemetry { .. }
+                | Request::MapGet
+                | Request::MapPush { .. }
+                | Request::TxStatus { .. }
         )
     }
 
@@ -217,6 +276,12 @@ impl Request {
             op::TELEMETRY => "telemetry",
             op::SHUTDOWN => "shutdown",
             op::PROMOTE => "promote",
+            op::MAP_GET => "map_get",
+            op::MAP_PUSH => "map_push",
+            op::TX_PREPARE => "tx_prepare",
+            op::TX_COMMIT => "tx_commit",
+            op::TX_ABORT => "tx_abort",
+            op::TX_STATUS => "tx_status",
             _ => unreachable!(),
         }
     }
@@ -237,12 +302,20 @@ impl Request {
             }
             Request::Link { existing, .. } => hash_name(existing),
             Request::Rename { from, .. } => hash_name(from),
+            // All phases of one transaction serialize on one worker shard,
+            // so a commit can never race its own prepare.
+            Request::TxPrepare { txid, .. }
+            | Request::TxCommit { txid }
+            | Request::TxAbort { txid }
+            | Request::TxStatus { txid } => *txid,
             Request::Ping
             | Request::List
             | Request::DedupStats
             | Request::Telemetry { .. }
             | Request::Shutdown
-            | Request::Promote => 0,
+            | Request::Promote
+            | Request::MapGet
+            | Request::MapPush { .. } => 0,
         }
     }
 
@@ -255,7 +328,8 @@ impl Request {
             | Request::List
             | Request::DedupStats
             | Request::Shutdown
-            | Request::Promote => {}
+            | Request::Promote
+            | Request::MapGet => {}
             Request::Create { name } | Request::Open { name } | Request::Unlink { name } => {
                 e.str(name);
             }
@@ -279,6 +353,15 @@ impl Request {
             }
             Request::Telemetry { json } => {
                 e.u8(*json as u8);
+            }
+            Request::MapPush { map } => {
+                e.bytes(map);
+            }
+            Request::TxPrepare { txid, data } => {
+                e.u64(*txid).bytes(data);
+            }
+            Request::TxCommit { txid } | Request::TxAbort { txid } | Request::TxStatus { txid } => {
+                e.u64(*txid);
             }
         }
         e.finish()
@@ -329,6 +412,17 @@ impl Request {
             op::TELEMETRY => Request::Telemetry { json: d.u8()? != 0 },
             op::SHUTDOWN => Request::Shutdown,
             op::PROMOTE => Request::Promote,
+            op::MAP_GET => Request::MapGet,
+            op::MAP_PUSH => Request::MapPush {
+                map: d.bytes()?.to_vec(),
+            },
+            op::TX_PREPARE => Request::TxPrepare {
+                txid: d.u64()?,
+                data: d.bytes()?.to_vec(),
+            },
+            op::TX_COMMIT => Request::TxCommit { txid: d.u64()? },
+            op::TX_ABORT => Request::TxAbort { txid: d.u64()? },
+            op::TX_STATUS => Request::TxStatus { txid: d.u64()? },
             _ => return Err(DecodeError("unknown opcode")),
         };
         d.finish()?;
@@ -336,7 +430,10 @@ impl Request {
     }
 }
 
-fn hash_name(name: &str) -> u64 {
+/// Stable cross-process name hash, shared by worker-pool routing and the
+/// cluster layer's `hash(name) % shards` namespace partitioning (both sides
+/// of the wire must agree on it, so it is part of the protocol).
+pub fn hash_name(name: &str) -> u64 {
     // FNV-1a: stable across processes (no RandomState), cheap, good spread.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in name.as_bytes() {
@@ -383,6 +480,46 @@ mod body_tag {
     pub const NAMES: u8 = 5;
     pub const DEDUP_STATS: u8 = 6;
     pub const TEXT: u8 = 7;
+    pub const TX_STATE: u8 = 8;
+}
+
+/// Durable two-phase-commit state of a transaction, as answered by
+/// [`Request::TxStatus`]. `None` is the presumed-abort default: a coordinator
+/// that crashed before its durable commit point leaves no record, and the
+/// participant must roll back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxState {
+    /// No durable record — presumed abort.
+    None,
+    /// Prepared but not yet decided.
+    Prepared,
+    /// Durably decided: commit.
+    Committed,
+    /// Durably decided: abort.
+    Aborted,
+}
+
+impl TxState {
+    /// Stable wire value.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            TxState::None => 0,
+            TxState::Prepared => 1,
+            TxState::Committed => 2,
+            TxState::Aborted => 3,
+        }
+    }
+
+    /// Decode a wire value.
+    pub fn from_wire(v: u8) -> Result<TxState, DecodeError> {
+        Ok(match v {
+            0 => TxState::None,
+            1 => TxState::Prepared,
+            2 => TxState::Committed,
+            3 => TxState::Aborted,
+            _ => return Err(DecodeError("unknown tx state")),
+        })
+    }
 }
 
 /// The payload of a successful reply.
@@ -404,6 +541,8 @@ pub enum Body {
     DedupStats(RemoteDedupStats),
     /// Rendered text (telemetry snapshot).
     Text(String),
+    /// Two-phase-commit state ([`Request::TxStatus`]).
+    TxState(TxState),
 }
 
 /// A structured service error: a stable numeric code, an optional numeric
@@ -434,6 +573,12 @@ impl SvcError {
     /// Mutating request sent to a standby replica; retry against the
     /// primary, or promote this node first.
     pub const REPLICA_READ_ONLY: u16 = 105;
+    /// Request routed to a node that does not own the target's shard.
+    /// `detail` packs the owning shard in the low 32 bits and the rejecting
+    /// node's map epoch in the high 32 bits; `message` names the owner's
+    /// address. The client should refresh its cluster map and re-dial —
+    /// the request was never executed, so a single retry is always safe.
+    pub const WRONG_SHARD: u16 = 106;
     /// Transport-level failure, client-side only (never on the wire).
     pub const IO: u16 = 110;
 
@@ -462,6 +607,29 @@ impl SvcError {
             detail: 0,
             message: message.into(),
         }
+    }
+
+    /// A [`SvcError::WRONG_SHARD`] rejection: the target belongs to
+    /// `owner_shard`, served at `owner_addr`, per the rejecting node's map
+    /// at `epoch` (truncated to 32 bits for the wire — epochs are bumped by
+    /// failovers and rebalances, far below 2³²).
+    pub fn wrong_shard(owner_shard: u32, epoch: u64, owner_addr: &str) -> SvcError {
+        SvcError {
+            code: Self::WRONG_SHARD,
+            detail: ((epoch & 0xFFFF_FFFF) << 32) | owner_shard as u64,
+            message: owner_addr.to_string(),
+        }
+    }
+
+    /// The owning shard carried by a [`SvcError::WRONG_SHARD`] reply.
+    pub fn wrong_shard_owner(&self) -> u32 {
+        self.detail as u32
+    }
+
+    /// The rejecting node's map epoch carried by a
+    /// [`SvcError::WRONG_SHARD`] reply.
+    pub fn wrong_shard_epoch(&self) -> u32 {
+        (self.detail >> 32) as u32
     }
 
     /// A client-side transport error (not a wire code).
@@ -542,6 +710,9 @@ pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
                 Body::Text(t) => {
                     e.u8(body_tag::TEXT).str(t);
                 }
+                Body::TxState(st) => {
+                    e.u8(body_tag::TX_STATE).u8(st.to_wire());
+                }
             }
         }
         Err(err) => {
@@ -605,6 +776,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), DecodeError> {
             dedup_workers: d.u64()?,
         }),
         body_tag::TEXT => Body::Text(d.str()?.to_string()),
+        body_tag::TX_STATE => Body::TxState(TxState::from_wire(d.u8()?)?),
         _ => return Err(DecodeError("unknown body tag")),
     };
     d.finish()?;
@@ -647,6 +819,17 @@ mod tests {
             Request::Telemetry { json: true },
             Request::Shutdown,
             Request::Promote,
+            Request::MapGet,
+            Request::MapPush {
+                map: vec![1, 2, 3, 4],
+            },
+            Request::TxPrepare {
+                txid: 99,
+                data: vec![5; 64],
+            },
+            Request::TxCommit { txid: 99 },
+            Request::TxAbort { txid: 99 },
+            Request::TxStatus { txid: 99 },
         ]
     }
 
@@ -740,7 +923,17 @@ mod tests {
             .collect();
         assert_eq!(
             mutating,
-            ["create", "write", "unlink", "link", "rename", "truncate"]
+            [
+                "create",
+                "write",
+                "unlink",
+                "link",
+                "rename",
+                "truncate",
+                "tx_prepare",
+                "tx_commit",
+                "tx_abort"
+            ]
         );
         for req in all_requests() {
             assert!(
@@ -752,6 +945,42 @@ mod tests {
         // One-shot control ops are neither.
         assert!(!Request::Shutdown.is_idempotent());
         assert!(!Request::Promote.is_idempotent());
+    }
+
+    #[test]
+    fn wrong_shard_packs_owner_and_epoch() {
+        let err = SvcError::wrong_shard(3, 17, "10.0.0.3:7070");
+        assert_eq!(err.code, SvcError::WRONG_SHARD);
+        assert_eq!(err.wrong_shard_owner(), 3);
+        assert_eq!(err.wrong_shard_epoch(), 17);
+        assert_eq!(err.message, "10.0.0.3:7070");
+        let (_, reply) = decode_reply(&encode_reply(1, &Err(err.clone()))).unwrap();
+        assert_eq!(reply.unwrap_err(), err);
+    }
+
+    #[test]
+    fn tx_state_bodies_round_trip() {
+        for st in [
+            TxState::None,
+            TxState::Prepared,
+            TxState::Committed,
+            TxState::Aborted,
+        ] {
+            let (_, reply) = decode_reply(&encode_reply(2, &Ok(Body::TxState(st)))).unwrap();
+            assert_eq!(reply.unwrap(), Body::TxState(st));
+        }
+        assert!(TxState::from_wire(9).is_err());
+    }
+
+    #[test]
+    fn tx_phases_share_a_shard_key() {
+        let p = Request::TxPrepare {
+            txid: 7,
+            data: vec![],
+        };
+        assert_eq!(p.shard_key(), Request::TxCommit { txid: 7 }.shard_key());
+        assert_eq!(p.shard_key(), Request::TxAbort { txid: 7 }.shard_key());
+        assert_ne!(p.shard_key(), Request::TxCommit { txid: 8 }.shard_key());
     }
 
     #[test]

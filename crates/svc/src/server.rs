@@ -170,6 +170,19 @@ impl Server {
         self.conn_threads.lock().push(handle);
     }
 
+    /// Register this server on an in-process [`crate::loopback::Hub`] under
+    /// `addr`, so cluster harnesses can dial it by address like a TCP
+    /// endpoint. Only a weak reference is held: after the server is dropped
+    /// a dial yields a pipe that reads EOF, just like a dead peer.
+    pub fn register_loopback(self: &Arc<Self>, hub: &crate::loopback::Hub, addr: &str) {
+        let srv = Arc::downgrade(self);
+        hub.register(addr, move |end| {
+            if let Some(s) = srv.upgrade() {
+                s.attach(Box::new(end));
+            }
+        });
+    }
+
     /// Open an in-process loopback connection to this server and return the
     /// client end. Deterministic — no OS networking involved.
     pub fn connect_loopback(&self) -> crate::loopback::PipeEnd {
@@ -342,7 +355,18 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
         let submitted = inner.pool.submit(
             key,
             Box::new(move || {
-                let reply = service.execute(&req);
+                // A panicking operation must still reply (INTERNAL) and
+                // release its inflight slot, or the connection's drain
+                // would wait forever on shutdown.
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.execute(&req)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(SvcError::service(
+                        SvcError::INTERNAL,
+                        "operation panicked server-side",
+                    ))
+                });
                 let _ = tx.send(encode_reply(req_id, &reply));
                 let mut count = job_inflight.count.lock();
                 *count -= 1;

@@ -52,6 +52,35 @@ impl ReplRole {
     }
 }
 
+/// What an [`Interceptor`] decided about a request before dispatch.
+pub enum Intercept {
+    /// Dispatch normally — with the rewritten request when `Some` (e.g. a
+    /// cluster node translating global inode numbers to local ones).
+    Forward(Option<Request>),
+    /// Short-circuit with this reply; the request never reaches the file
+    /// system (ownership rejections, cluster control ops, 2PC participant
+    /// ops).
+    Reply(Reply),
+}
+
+/// An around-dispatch hook. A cluster node installs one to enforce shard
+/// ownership, translate inode numbers, and serve cluster control operations,
+/// without the dispatch logic knowing anything about clustering.
+pub trait Interceptor: Send + Sync {
+    /// Inspect `req` before dispatch. `standby` reports whether this node is
+    /// currently a read-only replica, so interceptor-handled mutating ops can
+    /// apply the same rejection dispatch would.
+    fn before(&self, req: &Request, standby: bool) -> Intercept;
+
+    /// Rewrite the reply of a forwarded request (e.g. local → global inode
+    /// translation). Called only when `before` returned
+    /// [`Intercept::Forward`].
+    fn after(&self, req: &Request, reply: Reply) -> Reply {
+        let _ = req;
+        reply
+    }
+}
+
 /// Executes requests against a mounted file system.
 pub struct FileService {
     fs: Arc<Denova>,
@@ -60,6 +89,7 @@ pub struct FileService {
     errors: Counter,
     request_ns: Histogram,
     role: RwLock<Option<Arc<ReplRole>>>,
+    interceptor: RwLock<Option<Arc<dyn Interceptor>>>,
 }
 
 impl FileService {
@@ -73,6 +103,7 @@ impl FileService {
             metrics,
             fs,
             role: RwLock::new(None),
+            interceptor: RwLock::new(None),
         }
     }
 
@@ -92,6 +123,11 @@ impl FileService {
         self.role.read().clone()
     }
 
+    /// Install (or clear) the around-dispatch [`Interceptor`].
+    pub fn set_interceptor(&self, interceptor: Option<Arc<dyn Interceptor>>) {
+        *self.interceptor.write() = interceptor;
+    }
+
     /// The registry this service records into.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -105,7 +141,18 @@ impl FileService {
         let _span = self.metrics.span("svc.request");
         let t0 = Instant::now();
         self.requests.inc();
-        let reply = self.dispatch(req);
+        let interceptor = self.interceptor.read().clone();
+        let reply = match interceptor {
+            Some(ic) => {
+                let standby = self.role().map(|r| r.is_standby()).unwrap_or(false);
+                match ic.before(req, standby) {
+                    Intercept::Reply(reply) => reply,
+                    Intercept::Forward(Some(rewritten)) => ic.after(req, self.dispatch(&rewritten)),
+                    Intercept::Forward(None) => ic.after(req, self.dispatch(req)),
+                }
+            }
+            None => self.dispatch(req),
+        };
         let ns = t0.elapsed().as_nanos() as u64;
         self.request_ns.record(ns);
         self.metrics
@@ -201,6 +248,18 @@ impl FileService {
                 // replication role) acknowledges without effect.
                 Ok(Body::Empty)
             }
+            // Cluster control and 2PC participant ops are served by the
+            // installed Interceptor (crates/cluster); a plain server has no
+            // map and no transaction log to answer from.
+            Request::MapGet
+            | Request::MapPush { .. }
+            | Request::TxPrepare { .. }
+            | Request::TxCommit { .. }
+            | Request::TxAbort { .. }
+            | Request::TxStatus { .. } => Err(SvcError::service(
+                SvcError::UNKNOWN_OP,
+                "cluster operations require a cluster node",
+            )),
         }
     }
 }
@@ -229,6 +288,12 @@ fn op_hist_name(op: &'static str) -> &'static str {
         "telemetry" => "svc.op.telemetry.ns",
         "shutdown" => "svc.op.shutdown.ns",
         "promote" => "svc.op.promote.ns",
+        "map_get" => "svc.op.map_get.ns",
+        "map_push" => "svc.op.map_push.ns",
+        "tx_prepare" => "svc.op.tx_prepare.ns",
+        "tx_commit" => "svc.op.tx_commit.ns",
+        "tx_abort" => "svc.op.tx_abort.ns",
+        "tx_status" => "svc.op.tx_status.ns",
         other => other,
     }
 }
@@ -382,6 +447,65 @@ mod tests {
         svc.execute(&Request::Create { name: "f".into() }).unwrap();
         // Promote again: acknowledged, callback not re-run (it was taken).
         svc.execute(&Request::Promote).unwrap();
+    }
+
+    #[test]
+    fn cluster_ops_without_interceptor_are_unknown() {
+        let svc = service();
+        for req in [
+            Request::MapGet,
+            Request::MapPush { map: vec![] },
+            Request::TxStatus { txid: 1 },
+        ] {
+            let err = svc.execute(&req).unwrap_err();
+            assert_eq!(err.code, SvcError::UNKNOWN_OP);
+        }
+    }
+
+    #[test]
+    fn interceptor_can_rewrite_short_circuit_and_post_process() {
+        struct Doubler;
+        impl Interceptor for Doubler {
+            fn before(&self, req: &Request, standby: bool) -> Intercept {
+                assert!(!standby);
+                match req {
+                    // Short-circuit: answer MapGet without touching the fs.
+                    Request::MapGet => Intercept::Reply(Ok(Body::Bytes(vec![0xAB]))),
+                    // Rewrite: halve the wire ino to the local one.
+                    Request::Stat { ino } => {
+                        Intercept::Forward(Some(Request::Stat { ino: ino / 2 }))
+                    }
+                    _ => Intercept::Forward(None),
+                }
+            }
+            fn after(&self, _req: &Request, reply: Reply) -> Reply {
+                // Translate local inos back to wire inos.
+                match reply {
+                    Ok(Body::Ino(ino)) => Ok(Body::Ino(ino * 2)),
+                    Ok(Body::Stat(mut st)) => {
+                        st.ino *= 2;
+                        Ok(Body::Stat(st))
+                    }
+                    other => other,
+                }
+            }
+        }
+        let svc = service();
+        svc.set_interceptor(Some(Arc::new(Doubler)));
+        match svc.execute(&Request::MapGet).unwrap() {
+            Body::Bytes(b) => assert_eq!(b, vec![0xAB]),
+            other => panic!("{other:?}"),
+        }
+        let wire_ino = ino_of(svc.execute(&Request::Create { name: "f".into() }));
+        assert_eq!(wire_ino % 2, 0);
+        match svc.execute(&Request::Stat { ino: wire_ino }).unwrap() {
+            Body::Stat(st) => assert_eq!(st.ino, wire_ino),
+            other => panic!("{other:?}"),
+        }
+        // Clearing the interceptor restores plain dispatch.
+        svc.set_interceptor(None);
+        let err = svc.execute(&Request::MapGet).unwrap_err();
+        assert_eq!(err.code, SvcError::UNKNOWN_OP);
     }
 
     #[test]

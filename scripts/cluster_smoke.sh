@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# End-to-end sharded-cluster smoke test: a 2-shard multi-primary cluster
+# over TCP, exercised through the routing client built into `--remote`
+# data commands:
+#
+#   * writes land on the shard the name hashes to (asserted against the
+#     scraped `-> shard N` output, so a hash change fails loudly here);
+#   * `ls` merges both shards' namespaces;
+#   * a cross-shard rename (two-phase, journaled on both owners) moves the
+#     payload byte-for-byte and leaves no source behind;
+#   * SIGKILL of one shard's primary, wire promotion of its standby, and
+#     `cluster rebalance` repointing the map (epoch bump, pushed to every
+#     primary) restore full service with the pre-crash payload intact;
+#   * clean shutdown persists every image and all of them fsck clean.
+#
+# Name placement is pinned by `denova_svc::hash_name`: gamma/omega/kappa
+# hash to shard 0; alpha/beta/theta/zeta to shard 1.
+#
+# Usage: scripts/cluster_smoke.sh [path-to-denova-cli]
+# (defaults to target/release/denova-cli; `make cluster-smoke` builds it)
+
+set -euo pipefail
+
+CLI=${1:-target/release/denova-cli}
+if [ ! -x "$CLI" ]; then
+    echo "error: $CLI not built (run: cargo build --release)" >&2
+    exit 1
+fi
+
+WORK=$(mktemp -d)
+P0=
+P1=
+PSB=
+cleanup() {
+    [ -n "$P0" ] && kill "$P0" 2>/dev/null || true
+    [ -n "$P1" ] && kill "$P1" 2>/dev/null || true
+    [ -n "$PSB" ] && kill "$PSB" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The map names addresses up front, so the usual ephemeral-port trick does
+# not apply; randomize the base instead so parallel CI jobs don't collide.
+BASE=$((20000 + RANDOM % 20000))
+A0="127.0.0.1:$BASE"
+A1="127.0.0.1:$((BASE + 1))"
+ASB="127.0.0.1:$((BASE + 2))"
+CLUSTER="$A0,$A1"
+
+wait_for() { # pattern log pid what
+    for _ in $(seq 1 100); do
+        grep -q "$1" "$2" && return 0
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "error: $4 exited early:" >&2
+            cat "$2" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    echo "error: $4 never logged '$1':" >&2
+    cat "$2" >&2
+    return 1
+}
+
+"$CLI" "$WORK/s0.img" mkfs --size 64M >/dev/null
+"$CLI" "$WORK/s1.img" mkfs --size 64M >/dev/null
+
+"$CLI" "$WORK/s0.img" serve --shard 0 --cluster "$CLUSTER" --listen "$A0" \
+    >"$WORK/s0.log" 2>&1 &
+P0=$!
+"$CLI" "$WORK/s1.img" serve --shard 1 --cluster "$CLUSTER" --listen "$A1" \
+    >"$WORK/s1.log" 2>&1 &
+P1=$!
+wait_for "listening on" "$WORK/s0.log" "$P0" "shard 0"
+wait_for "listening on" "$WORK/s1.log" "$P1" "shard 1"
+
+# A standby replicating shard 1, advertising its own address for the day
+# the map names it primary.
+"$CLI" "$WORK/sb.img" serve --shard 1 --cluster "$CLUSTER" --advertise "$ASB" \
+    --replica-of "$A1" --listen "$ASB" >"$WORK/sb.log" 2>&1 &
+PSB=$!
+wait_for "snapshot mounted" "$WORK/sb.log" "$PSB" "standby"
+echo "cluster up: shard 0 at $A0, shard 1 at $A1 (standby $ASB)"
+
+# Routed writes land on the shard the name hashes to, regardless of which
+# node the client dials.
+head -c 120000 /dev/urandom >"$WORK/payload"
+head -c 60000 /dev/urandom >"$WORK/bystander"
+OUT=$("$CLI" --remote "$A0" put gamma "$WORK/payload")
+echo "$OUT"
+case "$OUT" in *"-> shard 0"*) ;; *)
+    echo "error: gamma did not land on shard 0" >&2
+    exit 1
+esac
+OUT=$("$CLI" --remote "$A0" put beta "$WORK/bystander")
+case "$OUT" in *"-> shard 1"*) ;; *)
+    echo "error: beta did not land on shard 1" >&2
+    exit 1
+esac
+
+# ls merges the namespaces of both shards.
+LS=$("$CLI" --remote "$A1" ls)
+echo "$LS" | grep -q gamma && echo "$LS" | grep -q beta || {
+    echo "error: merged ls is missing a file: $LS" >&2
+    exit 1
+}
+
+# Cross-shard rename: gamma (shard 0) -> theta (shard 1). Two-phase,
+# journaled on both owners; the payload must move byte-for-byte and the
+# source must be gone.
+"$CLI" --remote "$A0" mv gamma theta
+"$CLI" --remote "$A1" get theta "$WORK/back"
+cmp "$WORK/payload" "$WORK/back" || {
+    echo "error: payload corrupted across cross-shard rename" >&2
+    exit 1
+}
+if "$CLI" --remote "$A0" stat gamma 2>/dev/null; then
+    echo "error: rename left the source name behind" >&2
+    exit 1
+fi
+echo "cross-shard rename OK"
+
+STATUS=$("$CLI" --remote "$A0" cluster status)
+case "$STATUS" in *"epoch 1"*) ;; *)
+    echo "error: expected a fresh epoch-1 map: $STATUS" >&2
+    exit 1
+esac
+
+# Kill shard 1's primary hard, promote its standby over the wire, and
+# repoint the map at it.
+kill -9 "$P1"
+wait "$P1" 2>/dev/null || true
+P1=
+echo "shard 1 primary killed"
+"$CLI" --remote "$ASB" promote
+"$CLI" --remote "$A0" cluster rebalance 1 "$ASB"
+STATUS=$("$CLI" --remote "$A0" cluster status)
+echo "$STATUS"
+case "$STATUS" in *"epoch 2"*"$ASB"*) ;; *)
+    echo "error: rebalanced map does not name the promoted standby: $STATUS" >&2
+    exit 1
+esac
+
+# The renamed payload survived the failover, and shard 1 is writable again.
+"$CLI" --remote "$A0" get theta "$WORK/back2"
+cmp "$WORK/payload" "$WORK/back2" || {
+    echo "error: payload lost across failover" >&2
+    exit 1
+}
+OUT=$("$CLI" --remote "$A0" put zeta "$WORK/bystander")
+case "$OUT" in *"-> shard 1"*) ;; *)
+    echo "error: post-failover write did not route to shard 1" >&2
+    exit 1
+esac
+echo "failover + rebalance OK"
+
+# Clean shutdown persists both images; they must fsck clean.
+"$CLI" --remote "$A0" shutdown
+"$CLI" --remote "$ASB" shutdown
+for _ in $(seq 1 100); do
+    kill -0 "$P0" 2>/dev/null || kill -0 "$PSB" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$P0" 2>/dev/null || kill -0 "$PSB" 2>/dev/null; then
+    echo "error: a node is still running after shutdown" >&2
+    exit 1
+fi
+P0=
+PSB=
+"$CLI" "$WORK/s0.img" fsck
+"$CLI" "$WORK/sb.img" fsck
+
+echo "cluster-smoke OK"
