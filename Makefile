@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke
+verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke
 
 build:
 	$(CARGO) build --release
@@ -45,6 +45,13 @@ fgpath-smoke: build
 # SIGKILL failover with promotion + map rebalance, clean fsck on every image.
 cluster-smoke: build
 	bash scripts/cluster_smoke.sh
+
+# Chaos/SLO harness check: the standard scenario library (fixed seed,
+# smoke scale) — multi-tenant workloads under composed fault schedules,
+# clean end-of-run audits, the noisy-neighbor SLO gate, and byte-identical
+# fault plans across two same-seed runs. Journals land in target/chaos/.
+chaos-smoke: build
+	bash scripts/chaos_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

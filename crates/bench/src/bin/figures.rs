@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash dedup_scaling ablation endurance recovery svc repl fgpath cluster`.
+//! crash dedup_scaling ablation endurance recovery svc repl fgpath cluster
+//! chaos`.
 //! Pass
 //! `--json <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
@@ -65,6 +66,7 @@ fn main() {
         "repl",
         "fgpath",
         "cluster",
+        "chaos",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -195,6 +197,15 @@ fn main() {
         let res = cluster_scale::run(&scale);
         println!("{}", cluster_scale::render(&res));
         json.insert("cluster_scale", &res);
+    }
+    if want("chaos") {
+        let res = chaos_bench::run(&scale);
+        println!("{}", chaos_bench::render(&res));
+        json.insert("chaos", &res);
+        if res.iter().any(|c| !c.passed) {
+            eprintln!("# chaos suite had failing scenarios");
+            std::process::exit(1);
+        }
     }
     if want("ablation") {
         let r = ablation::reorder(12, 200);

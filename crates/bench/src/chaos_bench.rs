@@ -1,0 +1,145 @@
+//! Chaos suite as an experiment: run the standard scenario library,
+//! record per-scenario verdicts, and persist every journal.
+//!
+//! Unlike the paper-figure experiments, the interesting output here is
+//! pass/fail plus the SLO numbers: did every composed scenario end with
+//! a clean fsck/scrub/FACT audit, did every captured crash image recover,
+//! and did the noisy-neighbor gate hold. Journals land in
+//! `target/chaos/<scenario>.journal` so a failing CI run can upload them
+//! and anyone can re-execute the exact fault schedule with
+//! `denova_chaos::replay`.
+
+use crate::Scale;
+use denova_chaos::{scenarios, ScenarioResult};
+
+/// Fixed suite seed: one value pins every scenario's fault plan (scenario
+/// `i` runs with `CHAOS_SEED + i`), which is what makes the smoke-test
+/// journal comparable across runs and machines.
+pub const CHAOS_SEED: u64 = 0xDE_0A;
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed its plan was expanded from.
+    pub seed: u64,
+    /// Faults the planner scheduled.
+    pub planned_events: usize,
+    /// Faults that actually fired before the workload finished.
+    pub injected_events: usize,
+    /// Requests completed across all tenants.
+    pub total_ops: u64,
+    /// Worst per-tenant request p99, microseconds.
+    pub worst_p99_us: f64,
+    /// Worst victim `contended/solo` p99 ratio (0 when no gate ran).
+    pub slo_worst_ratio: f64,
+    /// Crash images captured and audited.
+    pub crash_images: u64,
+    /// fsck + scrub + FACT + crash-image audits all clean.
+    pub audit_clean: bool,
+    /// Every assertion held (audits, gates, expected degradation).
+    pub passed: bool,
+}
+denova_telemetry::impl_to_json!(ChaosCell {
+    scenario,
+    seed,
+    planned_events,
+    injected_events,
+    total_ops,
+    worst_p99_us,
+    slo_worst_ratio,
+    crash_images,
+    audit_clean,
+    passed
+});
+
+fn cell(r: &ScenarioResult) -> ChaosCell {
+    let injected = r.journal.lines().filter(|l| l.starts_with("ran ")).count();
+    let a = &r.audit;
+    ChaosCell {
+        scenario: r.name.clone(),
+        seed: r.seed,
+        planned_events: r.plan.len(),
+        injected_events: injected,
+        total_ops: r.tenants.iter().map(|t| t.ops).sum(),
+        worst_p99_us: r.tenants.iter().map(|t| t.p99_ns).max().unwrap_or(0) as f64 / 1e3,
+        slo_worst_ratio: r.slo.iter().map(|v| v.ratio).fold(0.0, f64::max),
+        crash_images: a.crash_images as u64,
+        audit_clean: a.fsck_clean
+            && a.scrub_fixes == 0
+            && a.fact_exact
+            && a.crash_images_clean == a.crash_images,
+        passed: r.passed(),
+    }
+}
+
+/// Run the standard suite (scaled down at smoke scale) and persist each
+/// journal under `target/chaos/`.
+pub fn run(scale: &Scale) -> Vec<ChaosCell> {
+    let frac = if scale.small_files <= 300 { 0.4 } else { 1.0 };
+    let _ = std::fs::create_dir_all("target/chaos");
+    scenarios::standard(CHAOS_SEED)
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone().scaled(frac);
+            let mut r = denova_chaos::run(&spec);
+            // SLO gates compare measured latency ratios; like the bench
+            // crate's retry_timing shape tests, accept any of a few runs
+            // passing — a shared/throttled host can perturb one run.
+            // Audit or injection failures are deterministic and never
+            // retried.
+            for _ in 0..2 {
+                let only_slo =
+                    !r.failures.is_empty() && r.failures.iter().all(|f| f.starts_with("slo gate:"));
+                if !only_slo {
+                    break;
+                }
+                eprintln!("# chaos {}: slo gate missed, retrying", r.name);
+                r = denova_chaos::run(&spec);
+            }
+            let path = format!("target/chaos/{}.journal", r.name);
+            if let Err(e) = std::fs::write(&path, &r.journal) {
+                eprintln!("# warning: cannot write {path}: {e}");
+            }
+            if !r.passed() {
+                for f in &r.failures {
+                    eprintln!("# chaos {}: FAILED: {f}", r.name);
+                }
+            }
+            cell(&r)
+        })
+        .collect()
+}
+
+/// Render the suite as a table.
+pub fn render(cells: &[ChaosCell]) -> String {
+    let mut s = String::new();
+    s.push_str("## Chaos suite (deterministic fault schedules + SLO gates)\n\n");
+    s.push_str(&format!("seed {CHAOS_SEED}; journals in target/chaos/\n\n"));
+    s.push_str(
+        "| scenario | events planned/fired | ops | worst p99 (us) | slo ratio | crashes | audit | pass |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|\n");
+    for c in cells {
+        s.push_str(&format!(
+            "| {} | {}/{} | {} | {:.0} | {} | {} | {} | {} |\n",
+            c.scenario,
+            c.planned_events,
+            c.injected_events,
+            c.total_ops,
+            c.worst_p99_us,
+            if c.slo_worst_ratio > 0.0 {
+                format!("{:.2}", c.slo_worst_ratio)
+            } else {
+                "-".to_string()
+            },
+            c.crash_images,
+            if c.audit_clean { "clean" } else { "DIRTY" },
+            if c.passed { "yes" } else { "NO" },
+        ));
+    }
+    let failed = cells.iter().filter(|c| !c.passed).count();
+    s.push_str(&format!("\n{} scenarios, {} failed\n", cells.len(), failed));
+    s
+}

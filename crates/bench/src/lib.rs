@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos_bench;
 pub mod cluster_scale;
 pub mod crashes;
 pub mod dedup_scale;

@@ -1,0 +1,795 @@
+//! The scenario engine: build a live stack, drive tenant workloads,
+//! inject the planned faults, and audit the wreckage.
+//!
+//! One [`ScenarioSpec`] describes a full experiment: a set of tenant
+//! workload mixes (name, weight, file count, dup ratio, pacing), a fault
+//! mix the planner draws from, and optional extras — a replication
+//! standby (for sync-degradation scenarios) and an SLO gate (for
+//! scheduling-isolation scenarios). [`run`] expands the seed into a
+//! fault plan, stands up a fresh `PmemDevice → Denova → Server` stack,
+//! runs every tenant concurrently over loopback connections (each tenant
+//! introduces itself with the wire-protocol hello, so per-tenant
+//! accounting and weighted-fair scheduling engage), fires the plan on a
+//! wall-clock timeline, and finishes with the workspace's canonical
+//! audit: fsck, scrub, FACT exactness, plus a recovery-mount audit of
+//! every crash image the plan captured.
+//!
+//! Scenarios with an [`SloGate`] run twice: first a *solo* phase with the
+//! greedy tenant excluded (establishing each victim's baseline p99 on an
+//! otherwise-identical stack), then the contended phase with everyone.
+//! The gate asserts `contended_p99 <= max_p99_ratio * solo_p99` per
+//! victim — the isolation claim the weighted-fair scheduler makes.
+//!
+//! Determinism: the fault plan and hence the journal's deterministic
+//! section depend only on `(spec, seed)`. Execution timing does not feed
+//! back into the plan, so [`replay`] of a recorded journal re-runs the
+//! exact same schedule.
+
+use crate::faults::{self, Fault, FaultKind, PlannedFault};
+use crate::journal::{self, Journal};
+use crate::stall::StallStream;
+use denova::{DedupMode, Denova};
+use denova_nova::NovaOptions;
+use denova_pmem::{CrashMode, LatencyProfile, PmemDevice};
+use denova_repl::{bootstrap, ReplConfig, ReplPrimary, Standby, StandbyConfig, StandbyExit};
+use denova_svc::{Client, Connector, Server, Stream, SvcConfig};
+use denova_workload::{JobSpec, ThinkTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One tenant's workload mix within a scenario.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name (sent in the hello; becomes the metric label).
+    pub name: String,
+    /// Scheduling weight (ops per fair-scheduler round).
+    pub weight: u32,
+    /// Files this tenant writes (4 KB pages each, spread over threads).
+    pub files: usize,
+    /// Bytes per file.
+    pub file_size: usize,
+    /// Fraction of pages duplicating earlier pages.
+    pub dup_ratio: f64,
+    /// Client connections driving this tenant concurrently.
+    pub threads: usize,
+    /// Pacing between requests (stretches the run across the fault
+    /// window; `None` saturates).
+    pub think: ThinkTime,
+    /// A greedy tenant is excluded from the SLO solo phase and is never a
+    /// gate victim — it is the noisy neighbor the gate defends against.
+    pub greedy: bool,
+}
+
+impl TenantSpec {
+    /// A paced tenant writing `files` 4 KB files at `weight`.
+    pub fn new(name: &str, weight: u32, files: usize) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            files,
+            file_size: 4096,
+            dup_ratio: 0.25,
+            threads: 2,
+            think: ThinkTime::Cycle {
+                io: Duration::from_micros(100),
+                think: Duration::from_micros(800),
+            },
+            greedy: false,
+        }
+    }
+
+    /// Builder-style override of the duplicate ratio.
+    pub fn with_dup(mut self, dup_ratio: f64) -> TenantSpec {
+        self.dup_ratio = dup_ratio;
+        self
+    }
+
+    /// Builder-style override of the client thread count.
+    pub fn with_threads(mut self, threads: usize) -> TenantSpec {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style override of the pacing.
+    pub fn with_think(mut self, think: ThinkTime) -> TenantSpec {
+        self.think = think;
+        self
+    }
+
+    /// Mark this tenant as the greedy noisy neighbor.
+    pub fn greedy(mut self) -> TenantSpec {
+        self.greedy = true;
+        self
+    }
+}
+
+/// Which faults the planner may schedule, and how many.
+#[derive(Debug, Clone)]
+pub struct FaultMix {
+    /// Allowed fault families (empty = fault-free scenario).
+    pub kinds: Vec<FaultKind>,
+    /// Minimum planned events.
+    pub min_events: usize,
+    /// Maximum planned events.
+    pub max_events: usize,
+}
+
+impl FaultMix {
+    /// No faults at all (pure scheduling scenarios).
+    pub fn none() -> FaultMix {
+        FaultMix {
+            kinds: Vec::new(),
+            min_events: 0,
+            max_events: 0,
+        }
+    }
+}
+
+/// The noisy-neighbor isolation gate.
+#[derive(Debug, Clone)]
+pub struct SloGate {
+    /// Max allowed `contended_p99 / solo_p99` per victim tenant.
+    pub max_p99_ratio: f64,
+}
+
+/// A full scenario description. See the module docs for how the pieces
+/// interact.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (journal header; `scenarios::by_name` key).
+    pub name: String,
+    /// Seed for the fault planner and the tenant data generators.
+    pub seed: u64,
+    /// Virtual timeline length the planner schedules within, ms.
+    pub duration_ms: u64,
+    /// Tenant workload mixes run concurrently.
+    pub tenants: Vec<TenantSpec>,
+    /// Fault families the planner draws from.
+    pub faults: FaultMix,
+    /// Device latency profile applied for the whole run (both SLO phases),
+    /// by name (`dram`/`optane`/`pcm`). `None` = zero-latency device.
+    pub base_latency: Option<String>,
+    /// Attach a sync-ack replication standby (its stream is stallable).
+    pub with_standby: bool,
+    /// Primary's sync-ack wait ceiling when `with_standby`, ms.
+    pub sync_timeout_ms: u64,
+    /// Fail the scenario unless `repl.sync_degraded` latched during it.
+    pub expect_sync_degraded: bool,
+    /// Run the two-phase noisy-neighbor gate.
+    pub slo_gate: Option<SloGate>,
+}
+
+impl ScenarioSpec {
+    /// Shrink the scenario for unit tests: scale file counts and the
+    /// timeline by `f` (floors keep it meaningful).
+    pub fn scaled(mut self, f: f64) -> ScenarioSpec {
+        for t in &mut self.tenants {
+            t.files = ((t.files as f64 * f) as usize).max(8);
+        }
+        self.duration_ms = ((self.duration_ms as f64 * f) as u64).max(80);
+        self
+    }
+}
+
+/// Per-tenant outcome pulled from the stack's telemetry registry.
+#[derive(Debug, Clone)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Scheduling weight it ran with.
+    pub weight: u32,
+    /// Requests the server completed for it.
+    pub ops: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Median request latency (queue wait included), ns.
+    pub p50_ns: u64,
+    /// Tail request latency, ns.
+    pub p99_ns: u64,
+}
+
+/// The end-of-scenario integrity verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// NOVA fsck found no errors.
+    pub fsck_clean: bool,
+    /// Entries the FACT scrub had to repair (must be 0).
+    pub scrub_fixes: u64,
+    /// FACT refcounts exactly match the filesystem's block references.
+    pub fact_exact: bool,
+    /// Crash images captured by the plan.
+    pub crash_images: usize,
+    /// Crash images that recovered to a fully clean audit.
+    pub crash_images_clean: usize,
+    /// Whether `repl.sync_degraded` latched during the run.
+    pub sync_degraded: bool,
+}
+
+/// One victim's noisy-neighbor gate measurement.
+#[derive(Debug, Clone)]
+pub struct SloOutcome {
+    /// The victim tenant.
+    pub victim: String,
+    /// Its p99 with the greedy tenant absent, ns.
+    pub solo_p99_ns: u64,
+    /// Its p99 with the greedy tenant present, ns.
+    pub contended_p99_ns: u64,
+    /// `contended / solo`.
+    pub ratio: f64,
+    /// Ratio within the gate.
+    pub pass: bool,
+}
+
+/// Everything a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Seed it ran with.
+    pub seed: u64,
+    /// The expanded fault plan.
+    pub plan: Vec<PlannedFault>,
+    /// Full journal text (deterministic section + execution record).
+    pub journal: String,
+    /// Just the deterministic section (replay-comparable).
+    pub deterministic_journal: String,
+    /// Per-tenant outcomes of the (contended) run.
+    pub tenants: Vec<TenantSummary>,
+    /// Integrity verdicts of the (contended) run.
+    pub audit: AuditReport,
+    /// Noisy-neighbor measurements (empty without a gate).
+    pub slo: Vec<SloOutcome>,
+    /// Every assertion that failed; empty means the scenario passed.
+    pub failures: Vec<String>,
+}
+
+impl ScenarioResult {
+    /// Did every audit and gate hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Expand the seed into a fault plan and run the scenario.
+pub fn run(spec: &ScenarioSpec) -> ScenarioResult {
+    let plan = faults::plan(
+        spec.seed,
+        spec.duration_ms,
+        &spec.faults.kinds,
+        spec.faults.min_events,
+        spec.faults.max_events,
+    );
+    run_with_plan(spec, plan)
+}
+
+/// Re-run a recorded journal: parse its plan and execute exactly that
+/// schedule (no RNG involved). Errors if the journal is malformed or
+/// names a different scenario than `spec`.
+pub fn replay(spec: &ScenarioSpec, journal_text: &str) -> Result<ScenarioResult, String> {
+    let (name, seed, plan) =
+        journal::parse_plan(journal_text).ok_or_else(|| "malformed journal".to_string())?;
+    if name != spec.name {
+        return Err(format!("journal is for {name:?}, spec is {:?}", spec.name));
+    }
+    let mut spec = spec.clone();
+    spec.seed = seed;
+    Ok(run_with_plan(&spec, plan))
+}
+
+fn run_with_plan(spec: &ScenarioSpec, plan: Vec<PlannedFault>) -> ScenarioResult {
+    let mut journal = Journal::new(&spec.name, spec.seed);
+    for ev in &plan {
+        journal.event(ev);
+    }
+    journal.end_plan();
+    let mut failures = Vec::new();
+
+    // Solo phase: victims only, fault-free, otherwise identical stack.
+    let solo = spec.slo_gate.as_ref().map(|_| {
+        journal.note("phase solo");
+        let out = run_phase(spec, &[], false);
+        append_phase(&mut journal, &out);
+        out
+    });
+    if solo.is_some() {
+        journal.note("phase main");
+    }
+    let main = run_phase(spec, &plan, true);
+    append_phase(&mut journal, &main);
+
+    check_phase(&main, spec, &mut failures);
+    if let Some(solo) = &solo {
+        // A dirty baseline would make the gate meaningless.
+        check_phase(solo, spec, &mut failures);
+    }
+
+    let mut slo = Vec::new();
+    if let (Some(gate), Some(solo)) = (&spec.slo_gate, &solo) {
+        for t in spec.tenants.iter().filter(|t| !t.greedy) {
+            let solo_p99 = phase_p99(solo, &t.name);
+            let contended_p99 = phase_p99(&main, &t.name);
+            let ratio = contended_p99 as f64 / solo_p99.max(1) as f64;
+            let pass = ratio <= gate.max_p99_ratio;
+            journal.note(&format!(
+                "slo {} solo={} contended={} ratio={:.2} pass={}",
+                t.name, solo_p99, contended_p99, ratio, pass
+            ));
+            if !pass {
+                failures.push(format!(
+                    "slo gate: {} p99 {}x solo (limit {}x)",
+                    t.name, ratio, gate.max_p99_ratio
+                ));
+            }
+            slo.push(SloOutcome {
+                victim: t.name.clone(),
+                solo_p99_ns: solo_p99,
+                contended_p99_ns: contended_p99,
+                ratio,
+                pass,
+            });
+        }
+    }
+    journal.note(&format!("result pass={}", failures.is_empty()));
+
+    ScenarioResult {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        plan,
+        journal: journal.render(),
+        deterministic_journal: journal.deterministic_section(),
+        tenants: main.tenants.clone(),
+        audit: main.audit.clone(),
+        slo,
+        failures,
+    }
+}
+
+/// One stack's worth of execution record.
+struct PhaseOutcome {
+    ran: Vec<(u64, Fault)>,
+    tenants: Vec<TenantSummary>,
+    audit: AuditReport,
+}
+
+fn append_phase(journal: &mut Journal, out: &PhaseOutcome) {
+    for (wall_ms, fault) in &out.ran {
+        journal.ran(*wall_ms, fault);
+    }
+    for t in &out.tenants {
+        journal.note(&format!(
+            "tenant {} weight={} ops={} errors={} p50={} p99={}",
+            t.name, t.weight, t.ops, t.errors, t.p50_ns, t.p99_ns
+        ));
+    }
+    let a = &out.audit;
+    journal.note(&format!(
+        "audit fsck={} scrub_fixes={} fact_exact={} crash={}/{} sync_degraded={}",
+        a.fsck_clean,
+        a.scrub_fixes,
+        a.fact_exact,
+        a.crash_images_clean,
+        a.crash_images,
+        a.sync_degraded
+    ));
+}
+
+fn check_phase(out: &PhaseOutcome, spec: &ScenarioSpec, failures: &mut Vec<String>) {
+    let a = &out.audit;
+    if !a.fsck_clean {
+        failures.push("fsck found errors".to_string());
+    }
+    if a.scrub_fixes != 0 {
+        failures.push(format!("scrub repaired {} entries", a.scrub_fixes));
+    }
+    if !a.fact_exact {
+        failures.push("FACT counters diverged from block references".to_string());
+    }
+    if a.crash_images_clean != a.crash_images {
+        failures.push(format!(
+            "{}/{} crash images recovered clean",
+            a.crash_images_clean, a.crash_images
+        ));
+    }
+    for t in &out.tenants {
+        if t.ops == 0 {
+            failures.push(format!("tenant {} completed no requests", t.name));
+        }
+        if t.errors > 0 {
+            failures.push(format!("tenant {} saw {} request errors", t.name, t.errors));
+        }
+    }
+    if spec.expect_sync_degraded && !a.sync_degraded {
+        failures.push("expected repl.sync_degraded to latch; it did not".to_string());
+    }
+}
+
+fn phase_p99(out: &PhaseOutcome, tenant: &str) -> u64 {
+    out.tenants
+        .iter()
+        .find(|t| t.name == tenant)
+        .map_or(0, |t| t.p99_ns)
+}
+
+/// The standby side of a `with_standby` phase, for orderly teardown.
+struct StandbyHarness {
+    repl: Arc<ReplPrimary>,
+    stall: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    fs: Arc<Denova>,
+    handle: JoinHandle<StandbyExit>,
+    connector: Connector,
+}
+
+fn run_phase(spec: &ScenarioSpec, plan: &[PlannedFault], include_greedy: bool) -> PhaseOutcome {
+    let tenants: Vec<&TenantSpec> = spec
+        .tenants
+        .iter()
+        .filter(|t| include_greedy || !t.greedy)
+        .collect();
+    let total_files: usize = tenants.iter().map(|t| t.files).sum();
+    let logical: usize = tenants.iter().map(|t| t.files * t.file_size).sum();
+
+    let dev = Arc::new(PmemDevice::new((logical * 3).max(64 << 20)));
+    if let Some(p) = &spec.base_latency {
+        dev.set_latency(profile_by_name(p));
+        dev.set_blocking_latency(true);
+    }
+    let fs = Arc::new(
+        Denova::mkfs(
+            dev.clone(),
+            NovaOptions {
+                num_inodes: (total_files * 2 + 64) as u64,
+                dedup_workers: 2,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .expect("chaos mkfs"),
+    );
+    let server = Arc::new(Server::new(fs.clone(), SvcConfig::default()));
+
+    let mut standby = spec.with_standby.then(|| {
+        let repl = ReplPrimary::install(
+            fs.clone(),
+            Some(&server),
+            ReplConfig {
+                sync_ack: true,
+                sync_timeout: Duration::from_millis(spec.sync_timeout_ms.max(1)),
+                ..Default::default()
+            },
+        );
+        let stall = Arc::new(AtomicBool::new(false));
+        let connector: Connector = {
+            let server = server.clone();
+            let stall = stall.clone();
+            Arc::new(move || {
+                Ok(Box::new(StallStream::new(
+                    Box::new(server.connect_loopback()),
+                    stall.clone(),
+                )) as Box<dyn Stream>)
+            })
+        };
+        let boot = bootstrap(&connector).expect("standby bootstrap");
+        let sfs = Arc::new(
+            Denova::mount(
+                Arc::new(PmemDevice::from_bytes(&boot.image, LatencyProfile::none())),
+                NovaOptions {
+                    dedup_workers: 1,
+                    ..Default::default()
+                },
+                DedupMode::Immediate,
+            )
+            .expect("standby mount"),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let sfs = sfs.clone();
+            let stop = stop.clone();
+            let connector = connector.clone();
+            let upto = boot.upto_seq;
+            let stream = boot.stream;
+            std::thread::spawn(move || {
+                Standby::new(sfs, upto, StandbyConfig::default()).run(
+                    stream,
+                    &connector,
+                    || false,
+                    || stop.load(Ordering::Relaxed),
+                )
+            })
+        };
+        StandbyHarness {
+            repl,
+            stall,
+            stop,
+            fs: sfs,
+            handle,
+            connector,
+        }
+    });
+
+    // Fault injector: walks the plan on a wall-clock timeline. Spikes run
+    // inline (set, dwell, restore), which serializes overlapping events —
+    // fine, because the *plan* is what determinism is defined over.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ran: Arc<Mutex<Vec<(u64, Fault)>>> = Arc::new(Mutex::new(Vec::new()));
+    let crashes: Arc<Mutex<Vec<PmemDevice>>> = Arc::new(Mutex::new(Vec::new()));
+    let injector = {
+        let dev = dev.clone();
+        let fs = fs.clone();
+        let stop = stop.clone();
+        let ran = ran.clone();
+        let crashes = crashes.clone();
+        let stall_flag = standby.as_ref().map(|s| s.stall.clone());
+        let base = spec.base_latency.clone();
+        let plan = plan.to_vec();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            for ev in plan {
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let now = start.elapsed().as_millis() as u64;
+                    if now >= ev.at_ms {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis((ev.at_ms - now).min(5)));
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                ran.lock()
+                    .push((start.elapsed().as_millis() as u64, ev.fault.clone()));
+                match &ev.fault {
+                    Fault::LatencySpike { profile, dur_ms } => {
+                        dev.set_latency(profile_by_name(profile));
+                        dev.set_blocking_latency(true);
+                        sleep_chunked(*dur_ms, &stop);
+                        match &base {
+                            Some(p) => dev.set_latency(profile_by_name(p)),
+                            None => {
+                                dev.set_latency(LatencyProfile::none());
+                                dev.set_blocking_latency(false);
+                            }
+                        }
+                    }
+                    Fault::FpSpike { ns_per_4k, dur_ms } => {
+                        let fp = fs.fact().fp();
+                        let prev = fp.extra_ns_per_4k();
+                        fp.set_extra_ns_per_4k(*ns_per_4k);
+                        fp.set_blocking(true);
+                        sleep_chunked(*dur_ms, &stop);
+                        fp.set_extra_ns_per_4k(prev);
+                        fp.set_blocking(false);
+                    }
+                    Fault::DedupStall { dur_ms } => {
+                        let d = *dur_ms;
+                        fs.quiesce(|| sleep_chunked(d, &stop));
+                    }
+                    Fault::CrashSnapshot => {
+                        let img = fs.quiesce(|| dev.crash_clone(CrashMode::Strict));
+                        crashes.lock().push(img);
+                    }
+                    Fault::StandbyStall { dur_ms } => {
+                        if let Some(flag) = &stall_flag {
+                            flag.store(true, Ordering::Relaxed);
+                            sleep_chunked(*dur_ms, &stop);
+                            flag.store(false, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        })
+    };
+
+    // Pacer (standby phases only): a steady trickle of sync-acked writes
+    // across the whole plan window. Tenant jobs size their own runtime by
+    // file count, so at small scales they can finish before a planned
+    // stall fires; the pacer keeps the replicated write stream alive so a
+    // standby stall always overlaps a sync-acked write and the
+    // degradation latch is exercised by the plan, not by workload-length
+    // luck.
+    let pacer = spec.with_standby.then(|| {
+        let server = server.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::from_stream(Box::new(server.connect_loopback()));
+            if c.hello("pacer", 1).is_err() {
+                return;
+            }
+            let mut i = 0u64;
+            let mut page = [0u8; 4096];
+            while !stop.load(Ordering::Relaxed) {
+                page[..8].copy_from_slice(&i.to_le_bytes());
+                let _ = c.put(&format!("pacer-{}", i % 8), &page);
+                i += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    });
+
+    // Tenant workloads: one job per tenant, each connection introducing
+    // itself via hello so fair scheduling and accounting engage.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|t| {
+                let server = server.clone();
+                let seed = mix(spec.seed, &t.name);
+                scope.spawn(move || {
+                    let mut job = JobSpec::small_files(t.files, t.dup_ratio)
+                        .with_threads(t.threads)
+                        .with_seed(seed)
+                        .with_name(&t.name)
+                        .with_think(t.think);
+                    job.file_size = t.file_size;
+                    denova_workload::run_remote_write_job(
+                        |_conn| {
+                            let mut c = Client::from_stream(Box::new(server.connect_loopback()));
+                            c.hello(&t.name, t.weight)?;
+                            Ok(c)
+                        },
+                        &job,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    // Let the planned schedule run to completion even if every tenant
+    // finished early: late faults still exercise real states (crash
+    // snapshots capture the mid-drain device, standby stalls must
+    // overlap the pacer's writes), and the fired-event count stays
+    // deterministic instead of depending on workload wall time.
+    injector.join().expect("fault injector panicked");
+    stop.store(true, Ordering::Relaxed);
+    if let Some(p) = pacer {
+        let _ = p.join();
+    }
+
+    // Standby teardown (repl test order: stop engine, then drop the
+    // connector before unwrapping the server).
+    let mut sync_degraded = false;
+    if let Some(h) = standby.take() {
+        h.stall.store(false, Ordering::Relaxed);
+        sync_degraded = dev.metrics().gauge("repl.sync_degraded").get() != 0;
+        h.repl.stop();
+        h.stop.store(true, Ordering::Relaxed);
+        let _ = h.handle.join();
+        drop(h.connector);
+        drop(h.repl);
+        if let Ok(sfs) = Arc::try_unwrap(h.fs) {
+            sfs.unmount();
+        }
+    }
+
+    let server =
+        Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still referenced at teardown"));
+    drop(server.shutdown());
+
+    // Audits run with injection off (they are not the measurement).
+    dev.set_latency(LatencyProfile::none());
+    dev.set_blocking_latency(false);
+    fs.fact().fp().clear();
+    fs.drain();
+    let (fsck_clean, scrub_fixes, fact_exact) = audit_stack(&fs);
+
+    let images: Vec<PmemDevice> = std::mem::take(&mut *crashes.lock());
+    let crash_images = images.len();
+    let mut crash_images_clean = 0;
+    for img in images {
+        if audit_crash_image(img) {
+            crash_images_clean += 1;
+        }
+    }
+
+    let snap = dev.metrics().snapshot();
+    let tenants = tenants
+        .iter()
+        .map(|t| TenantSummary {
+            name: t.name.clone(),
+            weight: t.weight,
+            ops: snap
+                .counter(&format!("svc.tenant.{}.ops", t.name))
+                .unwrap_or(0),
+            errors: snap
+                .counter(&format!("svc.tenant.{}.errors", t.name))
+                .unwrap_or(0),
+            p50_ns: snap
+                .histogram(&format!("svc.tenant.{}.request.ns", t.name))
+                .map_or(0, |h| h.percentile(0.50)),
+            p99_ns: snap
+                .histogram(&format!("svc.tenant.{}.request.ns", t.name))
+                .map_or(0, |h| h.percentile(0.99)),
+        })
+        .collect();
+
+    if let Ok(fs) = Arc::try_unwrap(fs) {
+        fs.unmount();
+    }
+
+    let ran = std::mem::take(&mut *ran.lock());
+    PhaseOutcome {
+        ran,
+        tenants,
+        audit: AuditReport {
+            fsck_clean,
+            scrub_fixes,
+            fact_exact,
+            crash_images,
+            crash_images_clean,
+            sync_degraded,
+        },
+    }
+}
+
+/// The workspace's canonical integrity audit: `(fsck clean, scrub fixes,
+/// FACT exactness)`.
+fn audit_stack(fs: &Denova) -> (bool, u64, bool) {
+    let fsck_clean = denova_nova::fsck(fs.nova(), true)
+        .map(|r| r.errors.is_empty())
+        .unwrap_or(false);
+    let scrub_fixes = denova::recovery::scrub(fs.nova(), fs.fact()).unwrap_or(u64::MAX);
+    let counts = fs.nova().block_reference_counts();
+    let mut fact_exact = true;
+    fs.fact().for_each_occupied(|idx, e| {
+        let (rfc, uc) = fs.fact().counters(idx);
+        if uc != 0 || rfc != counts.get(&e.block).copied().unwrap_or(0) {
+            fact_exact = false;
+        }
+    });
+    (fsck_clean, scrub_fixes, fact_exact)
+}
+
+/// Recovery-mount a crash image and require a fully clean audit.
+fn audit_crash_image(img: PmemDevice) -> bool {
+    let Ok(fs) = Denova::mount(
+        Arc::new(img),
+        NovaOptions {
+            dedup_workers: 1,
+            ..Default::default()
+        },
+        DedupMode::Immediate,
+    ) else {
+        return false;
+    };
+    fs.drain();
+    let (fsck_clean, scrub_fixes, fact_exact) = audit_stack(&fs);
+    fs.unmount();
+    fsck_clean && scrub_fixes == 0 && fact_exact
+}
+
+fn profile_by_name(name: &str) -> LatencyProfile {
+    match name {
+        "dram" => LatencyProfile::dram(),
+        "optane" => LatencyProfile::optane(),
+        "pcm" => LatencyProfile::pcm(),
+        "stt_ram" => LatencyProfile::stt_ram(),
+        _ => LatencyProfile::none(),
+    }
+}
+
+/// Derive a per-tenant data seed from the scenario seed (FNV-1a mix).
+fn mix(seed: u64, name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn sleep_chunked(ms: u64, stop: &AtomicBool) {
+    let t0 = Instant::now();
+    while (t0.elapsed().as_millis() as u64) < ms {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,222 @@
+//! Fault vocabulary and the seeded fault planner.
+//!
+//! A [`Fault`] is one injectable disturbance drawn from the failure modes
+//! the rest of the workspace already models: device latency spikes
+//! ([`denova_pmem::LatencyProfile`]), fingerprint-cost spikes
+//! (`FpThrottle`), dedup-daemon stalls (`Denova::quiesce`), crash
+//! snapshots (`PmemDevice::crash_clone`), and standby ack stalls (the
+//! [`crate::stall::StallStream`] wrapper that starves `repl` sync acks).
+//!
+//! [`plan`] turns `(seed, spec shape)` into a sorted schedule of
+//! [`PlannedFault`]s using only the vendored deterministic
+//! [`rand::rngs::StdRng`], so the same seed always produces the same
+//! schedule — the property the journal/replay machinery is built on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which fault families the planner may draw from for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Swap the device latency profile for a while.
+    LatencySpike,
+    /// Inflate the fingerprint cost for a while.
+    FpSpike,
+    /// Pause the dedup daemon for a while (backlog builds).
+    DedupStall,
+    /// Capture a crash-consistent device image mid-run (audited later).
+    CrashSnapshot,
+    /// Starve the standby's replication stream (sync-ack timeouts).
+    StandbyStall,
+}
+
+/// One concrete injectable fault with its parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Run the device at `profile` latency for `dur_ms`.
+    LatencySpike {
+        /// Profile name: `dram`, `optane`, or `pcm`.
+        profile: String,
+        /// Spike duration in virtual-timeline milliseconds.
+        dur_ms: u64,
+    },
+    /// Pad fingerprints by `ns_per_4k` for `dur_ms`.
+    FpSpike {
+        /// Extra nanoseconds per 4 KB fingerprinted.
+        ns_per_4k: u64,
+        /// Spike duration in milliseconds.
+        dur_ms: u64,
+    },
+    /// Hold the dedup daemon quiesced for `dur_ms`.
+    DedupStall {
+        /// Stall duration in milliseconds.
+        dur_ms: u64,
+    },
+    /// Take a crash-consistent snapshot of the device.
+    CrashSnapshot,
+    /// Freeze the standby's stream (reads and writes stall) for `dur_ms`.
+    StandbyStall {
+        /// Stall duration in milliseconds.
+        dur_ms: u64,
+    },
+}
+
+impl Fault {
+    /// One-line journal serialization (space-separated, no escaping
+    /// needed: profiles and numbers only).
+    pub fn serialize(&self) -> String {
+        match self {
+            Fault::LatencySpike { profile, dur_ms } => {
+                format!("latency_spike {profile} {dur_ms}")
+            }
+            Fault::FpSpike { ns_per_4k, dur_ms } => format!("fp_spike {ns_per_4k} {dur_ms}"),
+            Fault::DedupStall { dur_ms } => format!("dedup_stall {dur_ms}"),
+            Fault::CrashSnapshot => "crash_snapshot".to_string(),
+            Fault::StandbyStall { dur_ms } => format!("standby_stall {dur_ms}"),
+        }
+    }
+
+    /// Parse the [`Fault::serialize`] form back. `None` on malformed input.
+    pub fn parse(s: &str) -> Option<Fault> {
+        let mut it = s.split_whitespace();
+        let fault = match it.next()? {
+            "latency_spike" => Fault::LatencySpike {
+                profile: it.next()?.to_string(),
+                dur_ms: it.next()?.parse().ok()?,
+            },
+            "fp_spike" => Fault::FpSpike {
+                ns_per_4k: it.next()?.parse().ok()?,
+                dur_ms: it.next()?.parse().ok()?,
+            },
+            "dedup_stall" => Fault::DedupStall {
+                dur_ms: it.next()?.parse().ok()?,
+            },
+            "crash_snapshot" => Fault::CrashSnapshot,
+            "standby_stall" => Fault::StandbyStall {
+                dur_ms: it.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(fault)
+    }
+}
+
+/// A fault pinned to a point on the scenario's virtual timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// When to inject, milliseconds after the workload starts.
+    pub at_ms: u64,
+    /// What to inject.
+    pub fault: Fault,
+}
+
+/// Deterministically expand `(seed, duration, kinds, count range)` into a
+/// schedule sorted by injection time. Pure: same inputs, same plan.
+pub fn plan(
+    seed: u64,
+    duration_ms: u64,
+    kinds: &[FaultKind],
+    min_events: usize,
+    max_events: usize,
+) -> Vec<PlannedFault> {
+    if kinds.is_empty() || max_events == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = if min_events >= max_events {
+        min_events
+    } else {
+        rng.gen_range(min_events..max_events + 1)
+    };
+    // Spikes live inside the run: start no earlier than 5% in, no later
+    // than 75% in, and last between 1/8 and 1/3 of the scenario.
+    let lo = (duration_ms / 20).max(1);
+    let hi = (duration_ms * 3 / 4).max(lo + 1);
+    let dur_lo = (duration_ms / 8).max(1);
+    let dur_hi = (duration_ms / 3).max(dur_lo + 1);
+    let mut events: Vec<PlannedFault> = (0..n)
+        .map(|_| {
+            let at_ms = rng.gen_range(lo..hi);
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let fault = match kind {
+                FaultKind::LatencySpike => Fault::LatencySpike {
+                    profile: ["dram", "optane", "pcm"][rng.gen_range(0..3usize)].to_string(),
+                    dur_ms: rng.gen_range(dur_lo..dur_hi),
+                },
+                FaultKind::FpSpike => Fault::FpSpike {
+                    ns_per_4k: rng.gen_range(20_000u64..80_000),
+                    dur_ms: rng.gen_range(dur_lo..dur_hi),
+                },
+                FaultKind::DedupStall => Fault::DedupStall {
+                    dur_ms: rng.gen_range(dur_lo..dur_hi),
+                },
+                FaultKind::CrashSnapshot => Fault::CrashSnapshot,
+                FaultKind::StandbyStall => Fault::StandbyStall {
+                    dur_ms: rng.gen_range(dur_lo..dur_hi),
+                },
+            };
+            PlannedFault { at_ms, fault }
+        })
+        .collect();
+    // Stable sort: equal timestamps keep generation order, so the plan is
+    // a pure function of (seed, inputs).
+    events.sort_by_key(|e| e.at_ms);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: &[FaultKind] = &[
+        FaultKind::LatencySpike,
+        FaultKind::FpSpike,
+        FaultKind::DedupStall,
+        FaultKind::CrashSnapshot,
+        FaultKind::StandbyStall,
+    ];
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = plan(42, 500, KINDS, 2, 6);
+        let b = plan(42, 500, KINDS, 2, 6);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let plans: Vec<_> = (0..8u64).map(|s| plan(s, 500, KINDS, 3, 6)).collect();
+        assert!(
+            plans.windows(2).any(|w| w[0] != w[1]),
+            "eight seeds produced identical plans"
+        );
+    }
+
+    #[test]
+    fn plan_is_sorted_and_bounded() {
+        let p = plan(7, 400, KINDS, 4, 8);
+        assert!(p.len() >= 4 && p.len() <= 8);
+        assert!(p.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(p.iter().all(|e| e.at_ms < 300), "event past 75% of run");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        for e in plan(9, 600, KINDS, 10, 20) {
+            let s = e.fault.serialize();
+            assert_eq!(Fault::parse(&s), Some(e.fault), "round trip of {s:?}");
+        }
+        assert_eq!(Fault::parse("bogus 1 2"), None);
+        assert_eq!(Fault::parse("fp_spike 1"), None);
+        assert_eq!(Fault::parse("crash_snapshot extra"), None);
+    }
+
+    #[test]
+    fn empty_kind_list_plans_nothing() {
+        assert!(plan(1, 500, &[], 2, 4).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The scenario journal: a line-oriented record of what was planned and
+//! what happened.
+//!
+//! The journal splits into two sections. Everything up to and including
+//! the `end-plan` marker — scenario name, seed, and the full planned
+//! fault schedule — is the **deterministic section**: a pure function of
+//! `(scenario, seed)`, byte-identical across runs and replays. Lines
+//! after the marker record execution (when faults actually fired, audit
+//! verdicts, SLO measurements) and carry wall-clock noise, so replay
+//! comparison ignores them.
+//!
+//! The format is text on purpose: the smoke harness uploads it as a CI
+//! artifact on failure and a human should be able to read it.
+
+use crate::faults::{Fault, PlannedFault};
+
+/// An append-only scenario journal (see module docs for the format).
+#[derive(Debug, Clone)]
+pub struct Journal {
+    lines: Vec<String>,
+    /// Index one past the `end-plan` marker once it is written.
+    plan_end: Option<usize>,
+}
+
+impl Journal {
+    /// Start a journal for `scenario` with `seed`.
+    pub fn new(scenario: &str, seed: u64) -> Journal {
+        Journal {
+            lines: vec![format!("scenario {scenario}"), format!("seed {seed}")],
+            plan_end: None,
+        }
+    }
+
+    /// Record one planned fault (deterministic section).
+    pub fn event(&mut self, ev: &PlannedFault) {
+        debug_assert!(self.plan_end.is_none(), "event after end-plan");
+        self.lines
+            .push(format!("event {} {}", ev.at_ms, ev.fault.serialize()));
+    }
+
+    /// Close the deterministic section.
+    pub fn end_plan(&mut self) {
+        self.lines.push("end-plan".to_string());
+        self.plan_end = Some(self.lines.len());
+    }
+
+    /// Append a free-form execution line (non-deterministic section).
+    pub fn note(&mut self, line: &str) {
+        self.lines.push(line.to_string());
+    }
+
+    /// Record that a fault actually fired `wall_ms` into the run.
+    pub fn ran(&mut self, wall_ms: u64, fault: &Fault) {
+        self.lines
+            .push(format!("ran {} {}", wall_ms, fault.serialize()));
+    }
+
+    /// The deterministic section: all lines through `end-plan`, newline
+    /// terminated. Two runs of the same `(scenario, seed)` must agree here.
+    pub fn deterministic_section(&self) -> String {
+        let end = self.plan_end.unwrap_or(self.lines.len());
+        let mut s = self.lines[..end].join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// The whole journal as text.
+    pub fn render(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+/// Parse `(scenario, seed, plan)` back out of journal text (either the
+/// deterministic section alone or a full rendered journal). `None` if the
+/// header or any event line is malformed.
+pub fn parse_plan(text: &str) -> Option<(String, u64, Vec<PlannedFault>)> {
+    let mut lines = text.lines();
+    let scenario = lines.next()?.strip_prefix("scenario ")?.to_string();
+    let seed: u64 = lines.next()?.strip_prefix("seed ")?.parse().ok()?;
+    let mut plan = Vec::new();
+    for line in lines {
+        if line == "end-plan" {
+            return Some((scenario, seed, plan));
+        }
+        let rest = line.strip_prefix("event ")?;
+        let (at, fault) = rest.split_once(' ')?;
+        plan.push(PlannedFault {
+            at_ms: at.parse().ok()?,
+            fault: Fault::parse(fault)?,
+        });
+    }
+    // Missing end-plan: accept a bare header + events (hand-written input).
+    Some((scenario, seed, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> Vec<PlannedFault> {
+        vec![
+            PlannedFault {
+                at_ms: 40,
+                fault: Fault::LatencySpike {
+                    profile: "pcm".to_string(),
+                    dur_ms: 80,
+                },
+            },
+            PlannedFault {
+                at_ms: 120,
+                fault: Fault::CrashSnapshot,
+            },
+            PlannedFault {
+                at_ms: 200,
+                fault: Fault::FpSpike {
+                    ns_per_4k: 30_000,
+                    dur_ms: 60,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut j = Journal::new("demo", 99);
+        for ev in &sample_plan() {
+            j.event(ev);
+        }
+        j.end_plan();
+        j.ran(41, &sample_plan()[0].fault);
+        j.note("audit fsck=true");
+        let (name, seed, plan) = parse_plan(&j.render()).unwrap();
+        assert_eq!(name, "demo");
+        assert_eq!(seed, 99);
+        assert_eq!(plan, sample_plan());
+        // Parsing just the deterministic section gives the same answer.
+        let (n2, s2, p2) = parse_plan(&j.deterministic_section()).unwrap();
+        assert_eq!((n2, s2, p2), (name, seed, plan));
+    }
+
+    #[test]
+    fn deterministic_section_excludes_execution_lines() {
+        let mut j = Journal::new("demo", 1);
+        j.end_plan();
+        j.note("ran 10 crash_snapshot");
+        assert!(!j.deterministic_section().contains("ran"));
+        assert!(j.render().contains("ran 10 crash_snapshot"));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(parse_plan("nope").is_none());
+        assert!(parse_plan("scenario x\nseed abc\n").is_none());
+        assert!(parse_plan("scenario x\nseed 3\nevent 5 bogus\n").is_none());
+    }
+}

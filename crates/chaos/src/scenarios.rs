@@ -1,0 +1,226 @@
+//! The standard scenario library.
+//!
+//! Six composed scenarios, each exercising a different seam of the
+//! stack. [`standard`] builds all of them from one base seed (scenario
+//! `i` gets `seed + i`, so one CLI seed pins the whole suite);
+//! [`by_name`] rebuilds a single spec for journal replay.
+
+use crate::engine::{FaultMix, ScenarioSpec, SloGate, TenantSpec};
+use crate::faults::FaultKind;
+use denova_workload::ThinkTime;
+use std::time::Duration;
+
+/// Pacing for the degraded-sync scenario: one write every ~5 ms keeps the
+/// write stream alive across the whole scenario window, so any standby
+/// stall of >= (think + sync timeout) necessarily catches a sync-acked
+/// write with a full timeout's worth of stall still ahead of it — the
+/// latch does not depend on where the seeded planner happened to place
+/// the stall.
+fn paced_5ms() -> ThinkTime {
+    ThinkTime::Cycle {
+        io: Duration::from_micros(100),
+        think: Duration::from_millis(5),
+    }
+}
+
+/// Mixed steady-state load with mild latency and fingerprint spikes: the
+/// "nothing special happens" baseline every other scenario deviates from.
+pub fn steady_multi_tenant(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "steady_multi_tenant".to_string(),
+        seed,
+        duration_ms: 400,
+        tenants: vec![
+            TenantSpec::new("alpha", 2, 160),
+            TenantSpec::new("beta", 2, 160),
+            TenantSpec::new("gamma", 1, 80).with_dup(0.5),
+        ],
+        faults: FaultMix {
+            kinds: vec![FaultKind::LatencySpike, FaultKind::FpSpike],
+            min_events: 2,
+            max_events: 4,
+        },
+        base_latency: None,
+        with_standby: false,
+        sync_timeout_ms: 0,
+        expect_sync_degraded: false,
+        slo_gate: None,
+    }
+}
+
+/// A greedy tenant floods the server while two weighted victims keep
+/// working; the SLO gate asserts the weighted-fair scheduler holds each
+/// victim's p99 within 2x of its solo baseline. Fault-free by design —
+/// the noisy neighbor *is* the fault. The optane base latency gives
+/// requests a real service floor so the ratio measures scheduling, not
+/// scheduler-independent dispatch noise.
+pub fn greedy_tenant(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "greedy_tenant".to_string(),
+        seed,
+        duration_ms: 400,
+        tenants: vec![
+            TenantSpec::new("alpha", 4, 200).with_think(ThinkTime::None),
+            TenantSpec::new("beta", 4, 200).with_think(ThinkTime::None),
+            TenantSpec::new("hog", 1, 600)
+                .with_threads(4)
+                .with_think(ThinkTime::None)
+                .greedy(),
+        ],
+        faults: FaultMix::none(),
+        base_latency: Some("optane".to_string()),
+        with_standby: false,
+        sync_timeout_ms: 0,
+        expect_sync_degraded: false,
+        slo_gate: Some(SloGate { max_p99_ratio: 2.0 }),
+    }
+}
+
+/// Back-to-back device latency spikes across every profile: the write
+/// path and the dedup daemon both ride out media slowdowns.
+pub fn latency_storm(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "latency_storm".to_string(),
+        seed,
+        duration_ms: 500,
+        tenants: vec![
+            TenantSpec::new("alpha", 2, 200),
+            TenantSpec::new("beta", 1, 120).with_dup(0.5),
+        ],
+        faults: FaultMix {
+            kinds: vec![FaultKind::LatencySpike],
+            min_events: 3,
+            max_events: 6,
+        },
+        base_latency: None,
+        with_standby: false,
+        sync_timeout_ms: 0,
+        expect_sync_degraded: false,
+        slo_gate: None,
+    }
+}
+
+/// Fingerprint-cost spikes plus daemon stalls pile up a DWQ backlog under
+/// duplicate-heavy load; the drain + FACT-exactness audit proves the
+/// backlog clears without losing or double-counting a page.
+pub fn dedup_backlog(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "dedup_backlog".to_string(),
+        seed,
+        duration_ms: 500,
+        tenants: vec![
+            TenantSpec::new("alpha", 2, 200).with_dup(0.6),
+            TenantSpec::new("beta", 2, 160).with_dup(0.6),
+        ],
+        faults: FaultMix {
+            kinds: vec![FaultKind::FpSpike, FaultKind::DedupStall],
+            min_events: 2,
+            max_events: 4,
+        },
+        base_latency: None,
+        with_standby: false,
+        sync_timeout_ms: 0,
+        expect_sync_degraded: false,
+        slo_gate: None,
+    }
+}
+
+/// Crash-consistent snapshots taken mid-run; each image must
+/// recovery-mount to a fully clean fsck/scrub/FACT audit.
+pub fn crash_midrun(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "crash_midrun".to_string(),
+        seed,
+        duration_ms: 300,
+        tenants: vec![
+            TenantSpec::new("alpha", 2, 160),
+            TenantSpec::new("beta", 1, 120).with_dup(0.4),
+        ],
+        faults: FaultMix {
+            kinds: vec![FaultKind::CrashSnapshot],
+            min_events: 1,
+            max_events: 2,
+        },
+        base_latency: None,
+        with_standby: false,
+        sync_timeout_ms: 0,
+        expect_sync_degraded: false,
+        slo_gate: None,
+    }
+}
+
+/// A sync-ack standby whose stream freezes mid-run: the primary must ride
+/// through (ops keep succeeding), latch `repl.sync_degraded`, and the
+/// standby must catch back up once the stall lifts.
+pub fn degraded_sync(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "degraded_sync".to_string(),
+        seed,
+        duration_ms: 400,
+        tenants: vec![
+            TenantSpec::new("alpha", 2, 120).with_think(paced_5ms()),
+            TenantSpec::new("beta", 1, 60).with_think(paced_5ms()),
+        ],
+        faults: FaultMix {
+            kinds: vec![FaultKind::StandbyStall],
+            min_events: 1,
+            max_events: 2,
+        },
+        base_latency: None,
+        with_standby: true,
+        sync_timeout_ms: 10,
+        expect_sync_degraded: true,
+        slo_gate: None,
+    }
+}
+
+/// The whole suite, seeded so scenario `i` runs with `seed + i`.
+pub fn standard(seed: u64) -> Vec<ScenarioSpec> {
+    vec![
+        steady_multi_tenant(seed),
+        greedy_tenant(seed + 1),
+        latency_storm(seed + 2),
+        dedup_backlog(seed + 3),
+        crash_midrun(seed + 4),
+        degraded_sync(seed + 5),
+    ]
+}
+
+/// Rebuild one spec by journal name (replay entry point). The seed is
+/// taken from the journal during replay, so any value works here.
+pub fn by_name(name: &str, seed: u64) -> Option<ScenarioSpec> {
+    standard(seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_at_least_five_distinct_scenarios() {
+        let suite = standard(1);
+        assert!(suite.len() >= 5, "smoke needs >= 5 composed scenarios");
+        let mut names: Vec<_> = suite.iter().map(|s| s.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+        for s in &suite {
+            assert_eq!(by_name(&s.name, 1).map(|x| x.name), Some(s.name.clone()));
+        }
+    }
+
+    #[test]
+    fn standby_faults_only_in_standby_scenarios() {
+        for s in standard(3) {
+            if s.faults
+                .kinds
+                .contains(&crate::faults::FaultKind::StandbyStall)
+            {
+                assert!(
+                    s.with_standby,
+                    "{} stalls a standby it never starts",
+                    s.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! A [`Stream`] wrapper that can be frozen from outside.
+//!
+//! The `degraded_sync` scenario needs the replication standby to stop
+//! acknowledging entries for a while — long enough that the primary's
+//! sync-ack wait times out and latches `repl.sync_degraded` — and then
+//! recover. Rather than teaching the standby about faults, the chaos
+//! engine wraps every stream the standby's connector hands out in a
+//! [`StallStream`]: while the shared flag is set, reads and writes park
+//! in short sleeps instead of touching the inner stream, so subscribe
+//! traffic, entry frames, and acks all freeze together.
+
+use denova_svc::Stream;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A byte stream that stalls (both directions) while a shared flag is set.
+pub struct StallStream {
+    inner: Box<dyn Stream>,
+    stalled: Arc<AtomicBool>,
+}
+
+impl StallStream {
+    /// Wrap `inner`; all clones share `stalled`.
+    pub fn new(inner: Box<dyn Stream>, stalled: Arc<AtomicBool>) -> StallStream {
+        StallStream { inner, stalled }
+    }
+
+    fn park_while_stalled(&self) {
+        while self.stalled.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Read for StallStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.park_while_stalled();
+        self.inner.read(buf)
+    }
+}
+
+impl Write for StallStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.park_while_stalled();
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Stream for StallStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn Stream>> {
+        Ok(Box::new(StallStream {
+            inner: self.inner.try_clone_stream()?,
+            stalled: self.stalled.clone(),
+        }))
+    }
+
+    fn set_stream_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.inner.set_stream_timeouts(read, write)
+    }
+
+    fn shutdown_stream(&self) {
+        self.inner.shutdown_stream()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::time::Instant;
+
+    /// Minimal in-memory [`Stream`]: reads pop from a shared byte queue.
+    struct QueueStream(Arc<Mutex<VecDeque<u8>>>);
+
+    impl Read for QueueStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let mut q = self.0.lock();
+            let n = q.len().min(buf.len());
+            for b in buf.iter_mut().take(n) {
+                *b = q.pop_front().unwrap();
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for QueueStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().extend(buf.iter().copied());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Stream for QueueStream {
+        fn try_clone_stream(&self) -> io::Result<Box<dyn Stream>> {
+            Ok(Box::new(QueueStream(self.0.clone())))
+        }
+        fn set_stream_timeouts(&self, _: Option<Duration>, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+        fn shutdown_stream(&self) {}
+    }
+
+    #[test]
+    fn stall_blocks_io_until_flag_clears() {
+        let q = Arc::new(Mutex::new(VecDeque::from(vec![1u8, 2, 3])));
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut s = StallStream::new(Box::new(QueueStream(q)), flag.clone());
+        let unstaller = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(40));
+                flag.store(false, Ordering::Relaxed);
+            })
+        };
+        let t0 = Instant::now();
+        let mut buf = [0u8; 3];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "read returned before the stall lifted"
+        );
+        unstaller.join().unwrap();
+        // With the flag clear, writes pass straight through.
+        let t0 = Instant::now();
+        s.write_all(&[9]).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn clones_share_the_stall_flag() {
+        let q = Arc::new(Mutex::new(VecDeque::from(vec![7u8])));
+        let flag = Arc::new(AtomicBool::new(false));
+        let s = StallStream::new(Box::new(QueueStream(q)), flag.clone());
+        let mut clone = s.try_clone_stream().unwrap();
+        flag.store(true, Ordering::Relaxed);
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            let t0 = Instant::now();
+            clone.read_exact(&mut buf).unwrap();
+            t0.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        flag.store(false, Ordering::Relaxed);
+        assert!(reader.join().unwrap() >= Duration::from_millis(20));
+    }
+}

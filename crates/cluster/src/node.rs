@@ -551,6 +551,7 @@ impl Interceptor for ClusterNode {
             | Request::DedupStats
             | Request::Telemetry { .. }
             | Request::Shutdown
+            | Request::Hello { .. }
             | Request::Promote => Intercept::Forward(None),
         }
     }

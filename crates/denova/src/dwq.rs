@@ -22,16 +22,45 @@
 //! workers ever contend on the same inode lock. Each shard has its own mutex
 //! and condvar, so enqueuers on different inodes never serialize against
 //! each other, plus depth/throughput gauges under `denova.daemon.shard.<i>`.
+//!
+//! **Tenant lanes.** Within a shard, nodes are grouped into per-tenant FIFO
+//! lanes (the tenant id is a DRAM-only tag read from a thread-local set via
+//! [`set_thread_tenant`]; it is never persisted). Draining round-robins one
+//! node per lane per visit, so a tenant flooding the queue cannot starve the
+//! backlog of a quiet one. An inode is *sticky* to the lane its first queued
+//! node landed in until the shard has drained all of that inode's nodes —
+//! this keeps every in-flight entry of one inode in one FIFO even when
+//! different tenants write the same file, preserving the per-inode order
+//! guarantee above. With a single tenant there is one lane and behavior is
+//! exactly the historical per-shard FIFO.
 
 use crate::stats::DedupStats;
 use denova_nova::Layout;
 use denova_pmem::PmemDevice;
 use denova_telemetry::{Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    static CURRENT_TENANT: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Tag every subsequent [`Dwq::push`] from this thread with `tenant` (a
+/// dense id from the service layer's tenant registry; 0 is the default
+/// tenant). Worker threads call this once per job before touching the file
+/// system so deferred dedup work inherits the requesting tenant's lane.
+pub fn set_thread_tenant(tenant: u32) {
+    CURRENT_TENANT.with(|c| c.set(tenant));
+}
+
+/// The tenant id pushes from this thread are currently tagged with.
+pub fn thread_tenant() -> u32 {
+    CURRENT_TENANT.with(|c| c.get())
+}
 
 /// One queued dedup candidate: a committed write entry, identified by its
 /// inode and device offset.
@@ -46,9 +75,70 @@ pub struct DwqNode {
     pub enqueued_at: Instant,
 }
 
+/// One shard's lanes: per-tenant FIFOs drained round-robin, with per-inode
+/// lane stickiness (see the module docs). All fields are guarded by the
+/// shard mutex; `len` mirrors the sum of lane lengths so depth checks stay
+/// O(1).
+#[derive(Default)]
+struct ShardLanes {
+    /// `(tenant id, FIFO)`; lanes persist once created so the round-robin
+    /// cursor stays meaningful across drains.
+    lanes: Vec<(u32, VecDeque<DwqNode>)>,
+    /// `ino -> (lane index, queued node count)`: while an inode has nodes in
+    /// flight, later pushes for it follow the same lane regardless of the
+    /// pushing thread's tenant.
+    sticky: HashMap<u64, (usize, usize)>,
+    /// Next lane the round-robin pop visits.
+    cursor: usize,
+    /// Total nodes across all lanes.
+    len: usize,
+}
+
+impl ShardLanes {
+    fn push(&mut self, node: DwqNode, tenant: u32) {
+        let lane = if let Some(&(lane, _)) = self.sticky.get(&node.ino) {
+            lane
+        } else if let Some(i) = self.lanes.iter().position(|(t, _)| *t == tenant) {
+            i
+        } else {
+            self.lanes.push((tenant, VecDeque::new()));
+            self.lanes.len() - 1
+        };
+        self.sticky.entry(node.ino).or_insert((lane, 0)).1 += 1;
+        self.lanes[lane].1.push_back(node);
+        self.len += 1;
+    }
+
+    /// Pop one node, visiting lanes round-robin (one node per visit).
+    fn pop_rr(&mut self) -> Option<DwqNode> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        for _ in 0..n {
+            if self.cursor >= n {
+                self.cursor = 0;
+            }
+            let i = self.cursor;
+            self.cursor += 1;
+            if let Some(node) = self.lanes[i].1.pop_front() {
+                self.len -= 1;
+                if let Some(e) = self.sticky.get_mut(&node.ino) {
+                    e.1 -= 1;
+                    if e.1 == 0 {
+                        self.sticky.remove(&node.ino);
+                    }
+                }
+                return Some(node);
+            }
+        }
+        None
+    }
+}
+
 /// One independent FIFO of the sharded queue.
 struct Shard {
-    queue: Mutex<VecDeque<DwqNode>>,
+    queue: Mutex<ShardLanes>,
     /// Signalled on enqueue so the worker owning this shard wakes instantly.
     cond: Condvar,
     /// Current queue depth (`denova.daemon.shard.<i>.depth`).
@@ -89,7 +179,7 @@ impl Dwq {
         let n = shards.max(1);
         let shards = (0..n)
             .map(|i| Shard {
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new(ShardLanes::default()),
                 cond: Condvar::new(),
                 depth: metrics.gauge(&format!("denova.daemon.shard.{i}.depth")),
                 dequeued: metrics.counter(&format!("denova.daemon.shard.{i}.dequeued")),
@@ -123,18 +213,20 @@ impl Dwq {
     }
 
     /// Enqueue a committed write entry (called from the foreground write
-    /// path).
+    /// path). The node lands in the lane of the calling thread's tenant
+    /// ([`set_thread_tenant`]), unless its inode is sticky to another lane.
     pub fn push(&self, ino: u64, entry_off: u64) {
         let node = DwqNode {
             ino,
             entry_off,
             enqueued_at: Instant::now(),
         };
+        let tenant = thread_tenant();
         let shard = &self.shards[self.shard_of(ino)];
         let depth = {
             let mut q = shard.queue.lock();
-            q.push_back(node);
-            q.len()
+            q.push(node, tenant);
+            q.len
         };
         shard.depth.set(depth as i64);
         self.total_enqueued.fetch_add(1, Ordering::AcqRel);
@@ -144,21 +236,29 @@ impl Dwq {
         shard.cond.notify_one();
     }
 
-    /// Drain up to `max` nodes from one shard, holding its lock only for the
-    /// swap-out (the fairness rule: enqueuers must never wait behind batch
-    /// *processing*, only behind a pointer exchange). Lingering accounting
-    /// happens after the lock is released.
+    /// Drain up to `max` nodes from one shard, round-robin across its tenant
+    /// lanes. With a single lane (the single-tenant case) a full drain is a
+    /// pointer exchange, so enqueuers never wait behind batch *processing* —
+    /// the historical fairness rule. Lingering accounting happens after the
+    /// lock is released.
     fn take_from(&self, shard: &Shard, max: usize) -> Vec<DwqNode> {
         let mut q = shard.queue.lock();
-        if q.is_empty() {
+        if q.len == 0 {
             return Vec::new();
         }
-        let batch: Vec<DwqNode> = if max >= q.len() {
-            std::mem::take(&mut *q).into()
+        let batch: Vec<DwqNode> = if q.lanes.len() == 1 && max >= q.len {
+            q.len = 0;
+            q.sticky.clear();
+            std::mem::take(&mut q.lanes[0].1).into()
         } else {
-            q.drain(..max).collect()
+            let take = max.min(q.len);
+            let mut b = Vec::with_capacity(take);
+            while b.len() < take {
+                b.push(q.pop_rr().expect("len tracks lane contents"));
+            }
+            b
         };
-        let depth = q.len();
+        let depth = q.len;
         drop(q);
         shard.depth.set(depth as i64);
         shard.dequeued.add(batch.len() as u64);
@@ -197,7 +297,7 @@ impl Dwq {
         let shard = &self.shards[idx];
         {
             let mut q = shard.queue.lock();
-            if q.is_empty() {
+            if q.len == 0 {
                 shard.cond.wait_for(&mut q, timeout);
             }
         }
@@ -212,7 +312,7 @@ impl Dwq {
         {
             let shard = &self.shards[0];
             let mut q = shard.queue.lock();
-            if q.is_empty() && self.shards[1..].iter().all(|s| s.queue.lock().is_empty()) {
+            if q.len == 0 && self.shards[1..].iter().all(|s| s.queue.lock().len == 0) {
                 shard.cond.wait_for(&mut q, timeout);
             }
         }
@@ -227,12 +327,12 @@ impl Dwq {
 
     /// Nodes currently queued across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.queue.lock().len()).sum()
+        self.shards.iter().map(|s| s.queue.lock().len).sum()
     }
 
     /// Whether the container is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.queue.lock().is_empty())
+        self.shards.iter().all(|s| s.queue.lock().len == 0)
     }
 
     /// Wake any daemon blocked in [`Dwq::wait_pop`] /
@@ -259,14 +359,18 @@ impl Dwq {
         let mut i = 0usize;
         for shard in &self.shards {
             let q = shard.queue.lock();
-            for node in q.iter() {
-                if i >= capacity {
-                    break;
+            // Lane by lane: an inode lives in exactly one lane, so each
+            // inode's nodes are written in FIFO order (which restore keeps).
+            for (_, lane) in q.lanes.iter() {
+                for node in lane.iter() {
+                    if i >= capacity {
+                        break;
+                    }
+                    let off = base + (i as u64) * 16;
+                    dev.write_u64(off, node.ino);
+                    dev.write_u64(off + 8, node.entry_off);
+                    i += 1;
                 }
-                let off = base + (i as u64) * 16;
-                dev.write_u64(off, node.ino);
-                dev.write_u64(off + 8, node.entry_off);
-                i += 1;
             }
         }
         dev.persist(base, i * 16);
@@ -276,7 +380,8 @@ impl Dwq {
 
     /// Restore nodes saved by [`Dwq::save`] ("restored to DRAM after power
     /// on"). Nodes are re-routed by `ino % shards`, so the shard count may
-    /// change across mounts.
+    /// change across mounts. Tenant tags are DRAM-only and not saved, so
+    /// restored nodes land in the default tenant's lane.
     pub fn restore(&self, dev: &PmemDevice, layout: &Layout) -> u64 {
         let n = denova_nova::superblock::dwq_saved_count(dev);
         let base = layout.dwq_off();
@@ -287,12 +392,15 @@ impl Dwq {
             let shard = &self.shards[self.shard_of(ino)];
             let depth = {
                 let mut q = shard.queue.lock();
-                q.push_back(DwqNode {
-                    ino,
-                    entry_off,
-                    enqueued_at: now,
-                });
-                q.len()
+                q.push(
+                    DwqNode {
+                        ino,
+                        entry_off,
+                        enqueued_at: now,
+                    },
+                    0,
+                );
+                q.len
             };
             shard.depth.set(depth as i64);
             self.total_enqueued.fetch_add(1, Ordering::AcqRel);
@@ -416,6 +524,67 @@ mod tests {
         assert_eq!(metrics.counter("denova.daemon.shard.0.dequeued").get(), 2);
         assert_eq!(metrics.counter("denova.daemon.shard.0.processed").get(), 2);
         assert_eq!(metrics.counter("denova.daemon.shard.1.dequeued").get(), 0);
+    }
+
+    #[test]
+    fn tenant_lanes_drain_round_robin() {
+        // One greedy tenant floods the shard before a quiet one enqueues a
+        // little; the drain must interleave, not serve the flood first.
+        let q = Dwq::new(stats());
+        set_thread_tenant(1);
+        for i in 0..8u64 {
+            q.push(10, i); // ino 10 -> tenant 1's lane
+        }
+        set_thread_tenant(2);
+        for i in 0..3u64 {
+            q.push(11, 100 + i); // ino 11 -> tenant 2's lane
+        }
+        set_thread_tenant(0);
+        let batch = q.pop_batch(100);
+        let inos: Vec<u64> = batch.iter().map(|n| n.ino).collect();
+        assert_eq!(
+            inos,
+            vec![10, 11, 10, 11, 10, 11, 10, 10, 10, 10, 10],
+            "round-robin across lanes, FIFO within each"
+        );
+        // FIFO within each lane.
+        let offs_t2: Vec<u64> = batch
+            .iter()
+            .filter(|n| n.ino == 11)
+            .map(|n| n.entry_off)
+            .collect();
+        assert_eq!(offs_t2, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn inode_stays_sticky_to_its_first_lane() {
+        // Two tenants writing the same inode: all of its in-flight nodes
+        // must stay in one FIFO so per-inode order is preserved.
+        let q = Dwq::new(stats());
+        set_thread_tenant(1);
+        q.push(7, 1);
+        set_thread_tenant(2);
+        q.push(7, 2); // sticky: follows ino 7 into tenant 1's lane
+        q.push(8, 3); // new ino: tenant 2's own lane
+        set_thread_tenant(0);
+        let batch = q.pop_batch(100);
+        let per_ino_7: Vec<u64> = batch
+            .iter()
+            .filter(|n| n.ino == 7)
+            .map(|n| n.entry_off)
+            .collect();
+        assert_eq!(per_ino_7, vec![1, 2], "ino 7 order preserved");
+        // Stickiness expires once drained: ino 7 now lands in tenant 2's lane
+        // and drains interleaved with tenant 1's fresh backlog.
+        set_thread_tenant(1);
+        q.push(9, 10);
+        q.push(9, 11);
+        set_thread_tenant(2);
+        q.push(7, 12);
+        set_thread_tenant(0);
+        let batch = q.pop_batch(100);
+        assert_eq!(batch.len(), 3);
+        assert!(batch[..2].iter().any(|n| n.ino == 7), "no starvation");
     }
 
     #[test]

@@ -72,6 +72,12 @@ impl FpThrottle {
         self.extra_ns_per_4k.store(0, Ordering::Relaxed);
     }
 
+    /// Set the padding directly, without re-measuring the host (the QoS
+    /// controller's knob: it scales a previously calibrated value).
+    pub fn set_extra_ns_per_4k(&self, extra: u64) {
+        self.extra_ns_per_4k.store(extra, Ordering::Relaxed);
+    }
+
     /// Current padding per 4 KB.
     pub fn extra_ns_per_4k(&self) -> u64 {
         self.extra_ns_per_4k.load(Ordering::Relaxed)

@@ -31,6 +31,7 @@ pub mod fact;
 pub mod fp;
 pub mod inline;
 pub mod nvdedup;
+pub mod qos;
 pub mod reclaim;
 pub mod recovery;
 pub mod reorder;
@@ -43,6 +44,7 @@ pub use dwq::{Dwq, DwqNode};
 pub use fact::{Fact, FactEntry, NIL};
 pub use fp::{FpThrottle, PAPER_FP_NS_PER_4K};
 pub use nvdedup::{NvDedupTable, NvOutcome};
+pub use qos::{QosMode, SloConfig, SloController, SloDriver};
 pub use reclaim::DenovaHooks;
 pub use recovery::{recover, scrub, RecoveryReport};
 pub use reorder::{recover_reorder, reorder_chain};
@@ -120,6 +122,8 @@ pub struct Denova {
     daemon: Option<Daemon>,
     /// Dedup worker threads (and DWQ shards) this mount was assembled with.
     dedup_workers: usize,
+    /// Closed-loop SLO controller thread, when `slo_write_p99_ns` is set.
+    slo: Option<qos::SloDriver>,
 }
 
 impl Denova {
@@ -127,6 +131,7 @@ impl Denova {
     pub fn mkfs(dev: Arc<PmemDevice>, mut opts: NovaOptions, mode: DedupMode) -> Result<Denova> {
         opts.dedup_enabled = mode.tags_writes();
         let workers = opts.dedup_workers.max(1);
+        let slo_target = opts.slo_write_p99_ns;
         let nova = Arc::new(Nova::mkfs(dev.clone(), opts)?);
         let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::new(dev, *nova.layout(), stats.clone()));
@@ -136,7 +141,7 @@ impl Denova {
             workers,
         ));
         Ok(Self::assemble_with_dwq(
-            nova, fact, dwq, stats, mode, workers,
+            nova, fact, dwq, stats, mode, workers, slo_target,
         ))
     }
 
@@ -148,6 +153,7 @@ impl Denova {
             superblock::read_superblock(&dev).is_ok() && superblock::was_clean_unmount(&dev);
         opts.dedup_enabled = mode.tags_writes();
         let workers = opts.dedup_workers.max(1);
+        let slo_target = opts.slo_write_p99_ns;
         let nova = Arc::new(Nova::mount(dev.clone(), opts)?);
         let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::mount(dev.clone(), *nova.layout(), stats.clone()));
@@ -164,7 +170,7 @@ impl Denova {
             }
         }
         Ok(Self::assemble_with_dwq(
-            nova, fact, dwq, stats, mode, workers,
+            nova, fact, dwq, stats, mode, workers, slo_target,
         ))
     }
 
@@ -175,6 +181,7 @@ impl Denova {
         stats: Arc<DedupStats>,
         mode: DedupMode,
         workers: usize,
+        slo_target: u64,
     ) -> Denova {
         let mut nvd = None;
         match mode {
@@ -206,6 +213,15 @@ impl Denova {
                 cfg.with_workers(workers),
             )
         });
+        let slo = (slo_target > 0).then(|| {
+            qos::SloDriver::spawn(
+                qos::SloConfig::new(slo_target),
+                nova.device().metrics(),
+                fact.clone(),
+                std::time::Duration::from_millis(100),
+                8,
+            )
+        });
         Denova {
             nova,
             fact,
@@ -215,6 +231,7 @@ impl Denova {
             mode,
             daemon,
             dedup_workers: workers,
+            slo,
         }
     }
 
@@ -303,6 +320,12 @@ impl Denova {
         &self.stats
     }
 
+    /// The closed-loop SLO controller, when this mount runs with
+    /// `NovaOptions::slo_write_p99_ns` set.
+    pub fn slo_controller(&self) -> Option<&Arc<SloController>> {
+        self.slo.as_ref().map(|d| d.controller())
+    }
+
     /// Block until the daemon has processed every queued node (no-op in
     /// Baseline/Inline modes).
     pub fn drain(&self) {
@@ -362,6 +385,9 @@ impl Denova {
     /// Cleanly unmount: stop the daemon, save the DWQ to PM, persist the
     /// clean flag. Consumes the handle.
     pub fn unmount(mut self) {
+        if let Some(mut s) = self.slo.take() {
+            s.stop();
+        }
         if let Some(d) = self.daemon.take() {
             d.stop();
         }
@@ -606,6 +632,45 @@ mod tests {
             .to_string(),
             "DeNova-Delayed(750,20000)"
         );
+    }
+
+    #[test]
+    fn slo_driver_relaxes_and_restores_throttle() {
+        use std::time::{Duration, Instant};
+        let device = dev();
+        let fs = Denova::mkfs(
+            device.clone(),
+            NovaOptions {
+                num_inodes: 128,
+                slo_write_p99_ns: 1_000_000,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .unwrap();
+        fs.fact().fp().set_extra_ns_per_4k(10_000); // late calibration
+        let hist = device.metrics().histogram("nova.write");
+        // Feed a breaching p99 until the closed loop sheds all padding.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while fs.fact().fp().extra_ns_per_4k() != 0 {
+            for _ in 0..16 {
+                hist.record(5_000_000);
+            }
+            assert!(Instant::now() < deadline, "controller never reached Bypass");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(fs.slo_controller().unwrap().mode(), QosMode::Bypass);
+        // Feed a healthy p99; the calibrated padding must come back.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while fs.fact().fp().extra_ns_per_4k() != 10_000 {
+            for _ in 0..16 {
+                hist.record(100_000);
+            }
+            assert!(Instant::now() < deadline, "controller never recovered");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(fs.slo_controller().unwrap().mode(), QosMode::Full);
+        fs.unmount();
     }
 
     #[test]

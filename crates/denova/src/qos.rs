@@ -1,0 +1,384 @@
+//! Closed-loop QoS: adapt dedup aggressiveness to a foreground write SLO.
+//!
+//! The static [`crate::fp::FpThrottle`] targets model a *fixed* fingerprint
+//! cost; this module closes the loop instead. A [`SloController`] watches
+//! the live `nova.write` p99 (computed over a sliding window of the shared
+//! telemetry histogram) and walks a three-step ladder:
+//!
+//! * **Full** — dedup runs at its calibrated fingerprint cost;
+//! * **Degraded** — fingerprint padding halved, shedding half the modeled
+//!   dedup CPU cost;
+//! * **Bypass** — padding cleared entirely, so fingerprints run at raw host
+//!   speed and dedup stays out of the foreground's way.
+//!
+//! Transitions are hysteretic in both directions: escalation needs
+//! [`SloConfig::escalate_after`] *consecutive* breach observations,
+//! recovery needs [`SloConfig::recover_after`] consecutive observations
+//! below [`SloConfig::recover_frac`]`· target`. Observations between the
+//! recovery threshold and the target reset both streaks, forming a dead
+//! band that prevents flapping when the p99 hovers near the SLO.
+//!
+//! [`SloDriver`] runs the loop on a background thread against a mounted
+//! stack; [`crate::Denova`] starts one when
+//! `NovaOptions::slo_write_p99_ns` is nonzero.
+
+use crate::fp::FpThrottle;
+use denova_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The controller's position on the dedup-aggressiveness ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QosMode {
+    /// Calibrated fingerprint cost; the SLO is being met.
+    Full = 0,
+    /// Fingerprint padding halved; the SLO was breached.
+    Degraded = 1,
+    /// Padding cleared; the SLO stayed breached through Degraded.
+    Bypass = 2,
+}
+
+impl QosMode {
+    fn from_level(level: u8) -> QosMode {
+        match level {
+            0 => QosMode::Full,
+            1 => QosMode::Degraded,
+            _ => QosMode::Bypass,
+        }
+    }
+}
+
+/// Tuning for one [`SloController`].
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// The foreground write SLO: `nova.write` p99 target in nanoseconds.
+    pub target_p99_ns: u64,
+    /// Consecutive breach observations before stepping one mode up.
+    pub escalate_after: u32,
+    /// Consecutive clear observations before stepping one mode down.
+    pub recover_after: u32,
+    /// Recovery threshold as a fraction of the target: observations must
+    /// fall below `recover_frac * target_p99_ns` to count toward recovery.
+    pub recover_frac: f64,
+}
+
+impl SloConfig {
+    /// Defaults: escalate after 2 breaches, recover after 4 clears below
+    /// 70 % of target.
+    pub fn new(target_p99_ns: u64) -> SloConfig {
+        SloConfig {
+            target_p99_ns,
+            escalate_after: 2,
+            recover_after: 4,
+            recover_frac: 0.7,
+        }
+    }
+}
+
+struct SloState {
+    level: u8,
+    breach_streak: u32,
+    clear_streak: u32,
+}
+
+/// Hysteretic SLO ladder; see the module docs. Pure with respect to time —
+/// it only moves when fed an observation — so tests ramp synthetic signals
+/// through it deterministically.
+pub struct SloController {
+    cfg: SloConfig,
+    state: Mutex<SloState>,
+    /// Current mode as `denova.qos.mode` (0 = Full, 1 = Degraded,
+    /// 2 = Bypass).
+    mode_gauge: Gauge,
+    /// Ladder transitions so far (`denova.qos.transitions`).
+    transitions: Counter,
+}
+
+impl SloController {
+    /// Create a controller in `Full` mode, publishing its state into
+    /// `metrics`.
+    pub fn new(cfg: SloConfig, metrics: &MetricsRegistry) -> SloController {
+        SloController {
+            cfg,
+            state: Mutex::new(SloState {
+                level: 0,
+                breach_streak: 0,
+                clear_streak: 0,
+            }),
+            mode_gauge: metrics.gauge("denova.qos.mode"),
+            transitions: metrics.counter("denova.qos.transitions"),
+        }
+    }
+
+    /// The configuration this controller runs with.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Current ladder position.
+    pub fn mode(&self) -> QosMode {
+        QosMode::from_level(self.state.lock().level)
+    }
+
+    /// Feed one p99 observation and return the (possibly new) mode. At most
+    /// one step per observation, in either direction.
+    pub fn observe_p99(&self, p99_ns: u64) -> QosMode {
+        let mut s = self.state.lock();
+        let breach = p99_ns > self.cfg.target_p99_ns;
+        let clear = (p99_ns as f64) < self.cfg.recover_frac * self.cfg.target_p99_ns as f64;
+        if breach {
+            s.breach_streak += 1;
+            s.clear_streak = 0;
+        } else if clear {
+            s.clear_streak += 1;
+            s.breach_streak = 0;
+        } else {
+            // Dead band: neither breaching nor recovered. Hold position.
+            s.breach_streak = 0;
+            s.clear_streak = 0;
+        }
+        if s.breach_streak >= self.cfg.escalate_after && s.level < 2 {
+            s.level += 1;
+            s.breach_streak = 0;
+            self.transitions.inc();
+            self.mode_gauge.set(s.level as i64);
+        } else if s.clear_streak >= self.cfg.recover_after && s.level > 0 {
+            s.level -= 1;
+            s.clear_streak = 0;
+            self.transitions.inc();
+            self.mode_gauge.set(s.level as i64);
+        }
+        QosMode::from_level(s.level)
+    }
+
+    /// Apply `mode` to a fingerprint throttle whose calibrated (Full-mode)
+    /// padding is `base_extra_ns`.
+    pub fn apply(&self, fp: &FpThrottle, base_extra_ns: u64, mode: QosMode) {
+        fp.set_extra_ns_per_4k(match mode {
+            QosMode::Full => base_extra_ns,
+            QosMode::Degraded => base_extra_ns / 2,
+            QosMode::Bypass => 0,
+        });
+    }
+
+    /// One closed-loop step: observe, then drive the throttle.
+    pub fn drive(&self, fp: &FpThrottle, base_extra_ns: u64, p99_ns: u64) -> QosMode {
+        let mode = self.observe_p99(p99_ns);
+        self.apply(fp, base_extra_ns, mode);
+        mode
+    }
+}
+
+/// Sample count and p99 of the histogram values recorded since
+/// `prev_counts` was taken (p99 is 0 for an empty window). Returns the new
+/// cumulative counts to carry into the next window.
+pub fn windowed_p99(cur: &HistogramSnapshot, prev_counts: &[u64]) -> (u64, u64, Vec<u64>) {
+    let delta: Vec<u64> = cur
+        .counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c.saturating_sub(prev_counts.get(i).copied().unwrap_or(0)))
+        .collect();
+    let count: u64 = delta.iter().sum();
+    if count == 0 {
+        return (0, 0, cur.counts.clone());
+    }
+    let window = HistogramSnapshot {
+        counts: delta,
+        count,
+        sum: 0,
+        min: cur.min,
+        max: cur.max,
+    };
+    (count, window.percentile(0.99), cur.counts.clone())
+}
+
+/// Background thread running a [`SloController`] against the live
+/// `nova.write` histogram. Stopped (and joined) by [`SloDriver::stop`] or
+/// drop.
+pub struct SloDriver {
+    ctl: Arc<SloController>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SloDriver {
+    /// Spawn the loop: every `interval`, compute the windowed `nova.write`
+    /// p99 from `metrics` and drive `fact`'s fingerprint throttle, whose
+    /// padding at spawn time is captured as the Full-mode baseline. Windows
+    /// with fewer than `min_samples` writes are skipped — an idle system
+    /// holds its position.
+    pub fn spawn(
+        cfg: SloConfig,
+        metrics: &MetricsRegistry,
+        fact: Arc<crate::fact::Fact>,
+        interval: Duration,
+        min_samples: u64,
+    ) -> SloDriver {
+        let ctl = Arc::new(SloController::new(cfg, metrics));
+        let stop = Arc::new(AtomicBool::new(false));
+        let hist: Histogram = metrics.histogram("nova.write");
+        let handle = {
+            let ctl = ctl.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("denova-slo".into())
+                .spawn(move || {
+                    let mut prev = hist.snapshot().counts;
+                    let mut base = fact.fp().extra_ns_per_4k();
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        // While in Full mode the throttle is externally
+                        // owned; re-read it so a late calibration (e.g.
+                        // `set_paper_target` after mount) becomes the
+                        // baseline we degrade from.
+                        if ctl.mode() == QosMode::Full {
+                            base = fact.fp().extra_ns_per_4k();
+                        }
+                        let (count, p99, counts) = windowed_p99(&hist.snapshot(), &prev);
+                        prev = counts;
+                        if count >= min_samples.max(1) {
+                            ctl.drive(fact.fp(), base, p99);
+                        }
+                    }
+                })
+                .expect("spawn denova-slo")
+        };
+        SloDriver {
+            ctl,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The controller, for introspection (mode, config).
+    pub fn controller(&self) -> &Arc<SloController> {
+        &self.ctl
+    }
+
+    /// Stop and join the loop thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SloDriver {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGET: u64 = 100_000;
+
+    fn ctl() -> SloController {
+        SloController::new(SloConfig::new(TARGET), &MetricsRegistry::new())
+    }
+
+    #[test]
+    fn ramp_walks_the_ladder_monotonically() {
+        let c = ctl();
+        // p99 ramps 0.5x .. 3x target; the mode must never step down and
+        // must end in Bypass.
+        let mut prev = QosMode::Full;
+        for step in 0..30u64 {
+            let p99 = TARGET / 2 + step * TARGET / 10;
+            let mode = c.observe_p99(p99);
+            assert!(
+                mode >= prev,
+                "stepped down during ramp: {prev:?} -> {mode:?}"
+            );
+            prev = mode;
+        }
+        assert_eq!(prev, QosMode::Bypass);
+    }
+
+    #[test]
+    fn single_breach_does_not_escalate() {
+        let c = ctl();
+        assert_eq!(c.observe_p99(TARGET * 3), QosMode::Full);
+        // A clear observation resets the streak.
+        assert_eq!(c.observe_p99(TARGET / 2), QosMode::Full);
+        assert_eq!(c.observe_p99(TARGET * 3), QosMode::Full);
+        // Only the second consecutive breach escalates.
+        assert_eq!(c.observe_p99(TARGET * 3), QosMode::Degraded);
+    }
+
+    #[test]
+    fn recovers_one_step_at_a_time_without_flapping() {
+        let metrics = MetricsRegistry::new();
+        let c = SloController::new(SloConfig::new(TARGET), &metrics);
+        for _ in 0..4 {
+            c.observe_p99(TARGET * 4);
+        }
+        assert_eq!(c.mode(), QosMode::Bypass);
+        // Dead band (between recover threshold and target): hold position.
+        for _ in 0..20 {
+            assert_eq!(c.observe_p99(TARGET * 9 / 10), QosMode::Bypass);
+        }
+        // Sustained clear signal steps down one level per recover_after.
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.push(c.observe_p99(TARGET / 10));
+        }
+        assert_eq!(c.mode(), QosMode::Full);
+        // Monotone descent: Bypass..Degraded..Full, no re-ascent.
+        for w in seen.windows(2) {
+            assert!(w[1] <= w[0], "flapped upward during recovery: {seen:?}");
+        }
+        // Exactly 2 up + 2 down transitions in total.
+        assert_eq!(
+            metrics.snapshot().counter("denova.qos.transitions"),
+            Some(4)
+        );
+        // Noise around the target (alternating breach/clear) never moves the
+        // mode: consecutive-streak hysteresis filters it.
+        for i in 0..20 {
+            let p99 = if i % 2 == 0 { TARGET * 2 } else { TARGET / 2 };
+            assert_eq!(c.observe_p99(p99), QosMode::Full);
+        }
+    }
+
+    #[test]
+    fn apply_scales_the_throttle_by_mode() {
+        let c = ctl();
+        let fp = FpThrottle::none();
+        fp.set_extra_ns_per_4k(10_000);
+        c.apply(&fp, 10_000, QosMode::Degraded);
+        assert_eq!(fp.extra_ns_per_4k(), 5_000);
+        c.apply(&fp, 10_000, QosMode::Bypass);
+        assert_eq!(fp.extra_ns_per_4k(), 0);
+        c.apply(&fp, 10_000, QosMode::Full);
+        assert_eq!(fp.extra_ns_per_4k(), 10_000);
+    }
+
+    #[test]
+    fn windowed_p99_sees_only_new_samples() {
+        let h = Histogram::new();
+        h.record(1_000);
+        h.record(1_000);
+        let (n0, _, prev) = windowed_p99(&h.snapshot(), &[]);
+        assert_eq!(n0, 2);
+        // New window: two slow samples dominate its p99 even though the
+        // cumulative histogram is majority-fast.
+        h.record(4_000_000);
+        h.record(4_000_000);
+        let (n1, p99, _) = windowed_p99(&h.snapshot(), &prev);
+        assert_eq!(n1, 2);
+        assert!(
+            p99 >= 2_000_000,
+            "windowed p99 {p99} ns ignores old samples"
+        );
+        // Empty window.
+        let (n2, p, _) = windowed_p99(&h.snapshot(), &h.snapshot().counts);
+        assert_eq!((n2, p), (0, 0));
+    }
+}

@@ -36,6 +36,12 @@ pub struct NovaOptions {
     /// (CLI, service, benches) configures the pool through one options
     /// struct.
     pub dedup_workers: usize,
+    /// Foreground write SLO: target `nova.write` p99 in nanoseconds. When
+    /// nonzero the dedup layer runs a closed-loop controller that backs
+    /// fingerprint cost off while the live p99 breaches this target. NOVA
+    /// itself ignores the value (same rationale as `dedup_workers`). 0
+    /// disables the loop.
+    pub slo_write_p99_ns: u64,
 }
 
 impl Default for NovaOptions {
@@ -46,6 +52,7 @@ impl Default for NovaOptions {
             cpus: 4,
             dedup_enabled: false,
             dedup_workers: 1,
+            slo_write_p99_ns: 0,
         }
     }
 }

@@ -293,6 +293,17 @@ impl Client {
         self.expect_empty(&Request::Ping)
     }
 
+    /// Declare this connection's tenant for QoS accounting and weighted-fair
+    /// scheduling. `weight` 0 keeps the server's current weight for the
+    /// tenant. Safe to re-send (e.g. after a reconnect); connections that
+    /// never call it run as the default tenant.
+    pub fn hello(&mut self, tenant: &str, weight: u32) -> Result<(), SvcError> {
+        self.expect_empty(&Request::Hello {
+            tenant: tenant.into(),
+            weight,
+        })
+    }
+
     /// Create an empty file, returning its inode number.
     pub fn create(&mut self, name: &str) -> Result<u64, SvcError> {
         self.expect_ino(&Request::Create { name: name.into() })

@@ -34,6 +34,7 @@ pub mod proto;
 pub mod repl;
 pub mod server;
 pub mod service;
+pub mod tenant;
 pub mod transport;
 
 pub use client::{dial_tcp, Backoff, Client, Connector, RetryPolicy};
@@ -43,4 +44,5 @@ pub use proto::{hash_name, Body, RemoteDedupStats, Reply, Request, SvcError, TxS
 pub use repl::{is_repl_frame, ReplMsg, REPL_MAGIC};
 pub use server::{ReplSink, Server, SvcConfig};
 pub use service::{FileService, Intercept, Interceptor, ReplRole};
+pub use tenant::{Tenant, TenantRegistry, DEFAULT_TENANT};
 pub use transport::Stream;

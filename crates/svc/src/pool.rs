@@ -1,4 +1,4 @@
-//! The sharded worker pool.
+//! The sharded, tenant-fair worker pool.
 //!
 //! Requests are routed to a shard by key (`key % shards`): everything with
 //! the same key executes in submission order on one dedicated worker thread,
@@ -7,25 +7,100 @@
 //! the Kuco-style "client enqueues, dedicated thread executes" split, with
 //! the inode number as the partitioning function.
 //!
+//! Within a shard, jobs queue in per-tenant **lanes** and the worker pops
+//! them weighted-fair: a round-robin cursor visits non-empty lanes in turn,
+//! taking up to `weight` jobs per visit ([`crate::tenant::Tenant::weight`]).
+//! A greedy tenant with ten thousand queued writes therefore adds at most
+//! one quantum — not ten thousand jobs — of delay ahead of another tenant's
+//! next request. FIFO order is preserved *per (key, tenant)*, which is the
+//! ordering the protocol promises: one connection belongs to one tenant, so
+//! one client's same-file operations still never reorder.
+//!
 //! Each shard exports its queue depth as gauge `svc.pool.shard<i>.depth`;
 //! jobs executed and panics caught are counted under `svc.pool.*`.
 
+use crate::tenant::Tenant;
 use denova_telemetry::{Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One tenant's FIFO within a shard.
+struct Lane {
+    tenant: Arc<Tenant>,
+    jobs: VecDeque<Job>,
+}
+
+/// A shard's scheduling state: per-tenant lanes plus the weighted
+/// round-robin cursor. Lanes persist once created (tenant counts are small
+/// and bounded by the registry); empty lanes are skipped in O(lanes).
+struct ShardQueue {
+    lanes: Vec<Lane>,
+    by_tenant: HashMap<u32, usize>,
+    cursor: usize,
+    /// Jobs taken from the cursor's lane in the current visit.
+    quantum_used: u32,
+    len: usize,
+}
+
+impl ShardQueue {
+    fn push(&mut self, tenant: &Arc<Tenant>, job: Job) {
+        let idx = *self.by_tenant.entry(tenant.id()).or_insert_with(|| {
+            self.lanes.push(Lane {
+                tenant: tenant.clone(),
+                jobs: VecDeque::new(),
+            });
+            self.lanes.len() - 1
+        });
+        self.lanes[idx].jobs.push_back(job);
+        self.len += 1;
+    }
+
+    /// Weighted-fair pop: continue the current lane up to its weight, then
+    /// rotate to the next non-empty lane.
+    fn pop(&mut self) -> Option<Job> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.cursor >= self.lanes.len() {
+                self.cursor = 0;
+                self.quantum_used = 0;
+            }
+            let lane = &mut self.lanes[self.cursor];
+            if lane.jobs.is_empty() {
+                self.advance();
+                continue;
+            }
+            let job = lane.jobs.pop_front().expect("non-empty lane");
+            self.len -= 1;
+            self.quantum_used += 1;
+            if self.quantum_used >= lane.tenant.weight() || lane.jobs.is_empty() {
+                self.advance();
+            }
+            return Some(job);
+        }
+    }
+
+    fn advance(&mut self) {
+        self.cursor += 1;
+        self.quantum_used = 0;
+    }
+}
+
 struct Shard {
-    queue: Mutex<std::collections::VecDeque<Job>>,
+    queue: Mutex<ShardQueue>,
     available: Condvar,
     depth: Gauge,
 }
 
 struct PoolInner {
     shards: Vec<Shard>,
+    default_tenant: Arc<Tenant>,
     stopping: AtomicBool,
     /// Jobs currently executing (all shards).
     active: AtomicUsize,
@@ -35,7 +110,7 @@ struct PoolInner {
 
 impl PoolInner {
     fn queued(&self) -> usize {
-        self.shards.iter().map(|s| s.queue.lock().len()).sum()
+        self.shards.iter().map(|s| s.queue.lock().len).sum()
     }
 }
 
@@ -47,17 +122,38 @@ pub struct ShardedPool {
 
 impl ShardedPool {
     /// Spawn `shards` workers (clamped to at least 1) recording into
-    /// `metrics`.
+    /// `metrics`. Untagged submissions run under a private default tenant.
     pub fn new(shards: usize, metrics: &MetricsRegistry) -> ShardedPool {
+        let default = crate::tenant::TenantRegistry::new(metrics)
+            .default_tenant()
+            .clone();
+        Self::with_default_tenant(shards, metrics, default)
+    }
+
+    /// Spawn the pool with an explicit default tenant for untagged
+    /// submissions (the server passes its registry's default so accounting
+    /// and scheduling agree on tenant identity).
+    pub fn with_default_tenant(
+        shards: usize,
+        metrics: &MetricsRegistry,
+        default_tenant: Arc<Tenant>,
+    ) -> ShardedPool {
         let shards = shards.max(1);
         let inner = Arc::new(PoolInner {
             shards: (0..shards)
                 .map(|i| Shard {
-                    queue: Mutex::new(std::collections::VecDeque::new()),
+                    queue: Mutex::new(ShardQueue {
+                        lanes: Vec::new(),
+                        by_tenant: HashMap::new(),
+                        cursor: 0,
+                        quantum_used: 0,
+                        len: 0,
+                    }),
                     available: Condvar::new(),
                     depth: metrics.gauge(&format!("svc.pool.shard{i}.depth")),
                 })
                 .collect(),
+            default_tenant,
             stopping: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             jobs: metrics.counter("svc.pool.jobs"),
@@ -83,14 +179,21 @@ impl ShardedPool {
         self.inner.shards.len()
     }
 
-    /// Queue `job` on the shard for `key`. Returns `false` (dropping the
-    /// job) if the pool is stopping.
+    /// Queue `job` on the shard for `key` under the default tenant. Returns
+    /// `false` (dropping the job) if the pool is stopping.
     pub fn submit(&self, key: u64, job: Job) -> bool {
+        let tenant = self.inner.default_tenant.clone();
+        self.submit_for(key, &tenant, job)
+    }
+
+    /// Queue `job` on the shard for `key` under `tenant`'s lane. Returns
+    /// `false` (dropping the job) if the pool is stopping.
+    pub fn submit_for(&self, key: u64, tenant: &Arc<Tenant>, job: Job) -> bool {
         if self.inner.stopping.load(Ordering::Acquire) {
             return false;
         }
         let shard = &self.inner.shards[(key % self.shards() as u64) as usize];
-        shard.queue.lock().push_back(job);
+        shard.queue.lock().push(tenant, job);
         shard.depth.add(1);
         shard.available.notify_one();
         true
@@ -145,7 +248,7 @@ fn worker_loop(inner: &PoolInner, shard_idx: usize) {
         let job = {
             let mut q = shard.queue.lock();
             loop {
-                if let Some(job) = q.pop_front() {
+                if let Some(job) = q.pop() {
                     break job;
                 }
                 if inner.stopping.load(Ordering::Acquire) {
@@ -172,6 +275,7 @@ fn worker_loop(inner: &PoolInner, shard_idx: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::TenantRegistry;
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -248,6 +352,96 @@ mod tests {
         // Depth gauges settle at zero.
         for i in 0..2 {
             assert_eq!(metrics.gauge(&format!("svc.pool.shard{i}.depth")).get(), 0);
+        }
+    }
+
+    /// Set up one blocked shard, queue jobs for two tenants while it is
+    /// blocked, then release and record completion order.
+    fn fairness_run(
+        greedy_weight: u32,
+        victim_weight: u32,
+        greedy_jobs: usize,
+        victim_jobs: usize,
+    ) -> Vec<&'static str> {
+        let metrics = MetricsRegistry::new();
+        let reg = TenantRegistry::new(&metrics);
+        let pool = ShardedPool::with_default_tenant(1, &metrics, reg.default_tenant().clone());
+        let greedy = reg.get_with_weight("greedy", greedy_weight);
+        let victim = reg.get_with_weight("victim", victim_weight);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        pool.submit(
+            0,
+            Box::new(move || {
+                let _ = release_rx.recv_timeout(Duration::from_secs(10));
+            }),
+        );
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // The greedy tenant floods first; the victim queues behind it.
+        for _ in 0..greedy_jobs {
+            let order = order.clone();
+            pool.submit_for(1, &greedy, Box::new(move || order.lock().push("g")));
+        }
+        for _ in 0..victim_jobs {
+            let order = order.clone();
+            pool.submit_for(2, &victim, Box::new(move || order.lock().push("v")));
+        }
+        release_tx.send(()).unwrap();
+        pool.stop();
+        let got = order.lock().clone();
+        assert_eq!(got.len(), greedy_jobs + victim_jobs);
+        got
+    }
+
+    #[test]
+    fn fair_pop_interleaves_tenants_instead_of_fifo() {
+        // 40 greedy jobs queued ahead of 4 victim jobs: strict FIFO would
+        // run the victim last; the fair scheduler interleaves one victim
+        // job per round, so all victim work lands in the first 8 slots.
+        let order = fairness_run(1, 1, 40, 4);
+        let last_victim = order.iter().rposition(|&s| s == "v").unwrap();
+        assert!(
+            last_victim < 8,
+            "victim finished at position {last_victim}: {order:?}"
+        );
+    }
+
+    #[test]
+    fn weights_scale_the_share_per_round() {
+        // Victim weight 3 vs greedy weight 1: each round pops 3 victim jobs
+        // per greedy job until the victim lane drains.
+        let order = fairness_run(1, 3, 40, 9);
+        let last_victim = order.iter().rposition(|&s| s == "v").unwrap();
+        // 9 victim jobs at 3 per round = 3 rounds, 1 greedy job between
+        // each: the victim must be done by position 12.
+        assert!(
+            last_victim < 12,
+            "weighted victim finished at position {last_victim}: {order:?}"
+        );
+    }
+
+    #[test]
+    fn per_tenant_fifo_is_preserved() {
+        let metrics = MetricsRegistry::new();
+        let reg = TenantRegistry::new(&metrics);
+        let pool = ShardedPool::with_default_tenant(1, &metrics, reg.default_tenant().clone());
+        let a = reg.get("a");
+        let b = reg.get("b");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..50u64 {
+            let oa = order.clone();
+            pool.submit_for(0, &a, Box::new(move || oa.lock().push(("a", i))));
+            let ob = order.clone();
+            pool.submit_for(0, &b, Box::new(move || ob.lock().push(("b", i))));
+        }
+        pool.stop();
+        let got = order.lock().clone();
+        for t in ["a", "b"] {
+            let seq: Vec<u64> = got
+                .iter()
+                .filter(|(n, _)| *n == t)
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(seq, (0..50).collect::<Vec<_>>(), "tenant {t} reordered");
         }
     }
 }

@@ -72,6 +72,10 @@ pub mod op {
     pub const TX_ABORT: u8 = 21;
     /// Query a coordinator's durable decision for `txid` → tx-state body.
     pub const TX_STATUS: u8 = 22;
+    /// Declare the connection's tenant for QoS accounting and weighted-fair
+    /// scheduling. Connections that never send it run as the default tenant,
+    /// so pre-tenant clients keep working unchanged.
+    pub const HELLO: u8 = 23;
 }
 
 /// A decoded request.
@@ -187,6 +191,15 @@ pub enum Request {
         /// Transaction id to query.
         txid: u64,
     },
+    /// See [`op::HELLO`].
+    Hello {
+        /// Tenant name this connection's requests are accounted to. The
+        /// server interns the name; an empty string selects the default
+        /// tenant.
+        tenant: String,
+        /// Scheduling weight hint (0 = keep the server's current weight).
+        weight: u32,
+    },
 }
 
 impl Request {
@@ -215,6 +228,7 @@ impl Request {
             Request::TxCommit { .. } => op::TX_COMMIT,
             Request::TxAbort { .. } => op::TX_ABORT,
             Request::TxStatus { .. } => op::TX_STATUS,
+            Request::Hello { .. } => op::HELLO,
         }
     }
 
@@ -254,6 +268,7 @@ impl Request {
                 | Request::MapGet
                 | Request::MapPush { .. }
                 | Request::TxStatus { .. }
+                | Request::Hello { .. }
         )
     }
 
@@ -282,6 +297,7 @@ impl Request {
             op::TX_COMMIT => "tx_commit",
             op::TX_ABORT => "tx_abort",
             op::TX_STATUS => "tx_status",
+            op::HELLO => "hello",
             _ => unreachable!(),
         }
     }
@@ -315,7 +331,8 @@ impl Request {
             | Request::Shutdown
             | Request::Promote
             | Request::MapGet
-            | Request::MapPush { .. } => 0,
+            | Request::MapPush { .. }
+            | Request::Hello { .. } => 0,
         }
     }
 
@@ -362,6 +379,9 @@ impl Request {
             }
             Request::TxCommit { txid } | Request::TxAbort { txid } | Request::TxStatus { txid } => {
                 e.u64(*txid);
+            }
+            Request::Hello { tenant, weight } => {
+                e.str(tenant).u32(*weight);
             }
         }
         e.finish()
@@ -423,6 +443,10 @@ impl Request {
             op::TX_COMMIT => Request::TxCommit { txid: d.u64()? },
             op::TX_ABORT => Request::TxAbort { txid: d.u64()? },
             op::TX_STATUS => Request::TxStatus { txid: d.u64()? },
+            op::HELLO => Request::Hello {
+                tenant: d.str()?.to_string(),
+                weight: d.u32()?,
+            },
             _ => return Err(DecodeError("unknown opcode")),
         };
         d.finish()?;
@@ -468,6 +492,11 @@ pub struct RemoteDedupStats {
     pub device_bytes: u64,
     /// Dedup worker threads the serving mount runs with.
     pub dedup_workers: u64,
+    /// Nonzero when the serving node's sync-ack replication has been
+    /// degraded at least once (`repl.sync_degraded` latched): some op was
+    /// acknowledged without standby durability. Always 0 without
+    /// replication.
+    pub sync_degraded: u64,
 }
 
 /// Body tags inside an OK reply. Stable wire ABI.
@@ -705,7 +734,8 @@ pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
                         .u64(s.data_blocks)
                         .u64(s.file_count)
                         .u64(s.device_bytes)
-                        .u64(s.dedup_workers);
+                        .u64(s.dedup_workers)
+                        .u64(s.sync_degraded);
                 }
                 Body::Text(t) => {
                     e.u8(body_tag::TEXT).str(t);
@@ -774,6 +804,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), DecodeError> {
             file_count: d.u64()?,
             device_bytes: d.u64()?,
             dedup_workers: d.u64()?,
+            sync_degraded: d.u64()?,
         }),
         body_tag::TEXT => Body::Text(d.str()?.to_string()),
         body_tag::TX_STATE => Body::TxState(TxState::from_wire(d.u8()?)?),
@@ -830,6 +861,10 @@ mod tests {
             Request::TxCommit { txid: 99 },
             Request::TxAbort { txid: 99 },
             Request::TxStatus { txid: 99 },
+            Request::Hello {
+                tenant: "acme".into(),
+                weight: 4,
+            },
         ]
     }
 

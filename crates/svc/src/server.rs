@@ -29,9 +29,10 @@
 
 use crate::codec::{read_frame, write_frame, FrameRead};
 use crate::pool::ShardedPool;
-use crate::proto::{encode_reply, Reply, Request, SvcError};
+use crate::proto::{encode_reply, Body, Reply, Request, SvcError};
 use crate::repl::{is_repl_frame, ReplMsg};
 use crate::service::{FileService, ReplRole};
+use crate::tenant::{Tenant, TenantRegistry};
 use crate::transport::Stream;
 use denova::Denova;
 use denova_telemetry::Counter;
@@ -40,7 +41,7 @@ use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Callback that takes over a connection whose first frame was a
 /// [`ReplMsg::Subscribe`]. Receives the stream (reader direction, clonable
@@ -86,6 +87,7 @@ struct Inflight {
 struct ServerInner {
     service: Arc<FileService>,
     pool: ShardedPool,
+    tenants: Arc<TenantRegistry>,
     config: SvcConfig,
     stopping: AtomicBool,
     conn_seq: AtomicU64,
@@ -108,9 +110,15 @@ impl Server {
     pub fn new(fs: Arc<Denova>, config: SvcConfig) -> Server {
         let service = Arc::new(FileService::new(fs));
         let metrics = service.metrics().clone();
+        let tenants = Arc::new(TenantRegistry::new(&metrics));
         Server {
             inner: Arc::new(ServerInner {
-                pool: ShardedPool::new(config.shards, &metrics),
+                pool: ShardedPool::with_default_tenant(
+                    config.shards,
+                    &metrics,
+                    tenants.default_tenant().clone(),
+                ),
+                tenants,
                 service,
                 config,
                 stopping: AtomicBool::new(false),
@@ -129,6 +137,11 @@ impl Server {
     /// The request executor (and through it, the mounted stack and metrics).
     pub fn service(&self) -> &Arc<FileService> {
         &self.inner.service
+    }
+
+    /// The tenant registry: per-tenant accounting handles and weights.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.inner.tenants
     }
 
     /// Install the replication sink: connections whose first frame is a
@@ -263,6 +276,11 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
         changed: Condvar::new(),
     });
 
+    // The connection's tenant: default until a Hello says otherwise. Every
+    // request is accounted to (and scheduled under) the tenant in effect
+    // when its frame was read.
+    let mut tenant: Arc<Tenant> = inner.tenants.default_tenant().clone();
+
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(FrameRead::Frame(f)) => f,
@@ -336,6 +354,25 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
             inner.stopping.store(true, Ordering::Release);
         }
 
+        if let Request::Hello {
+            tenant: ref name,
+            weight,
+        } = req
+        {
+            // Connection-scoped control op: swap the tenant and acknowledge
+            // inline. No pool round-trip — the hello affects how *later*
+            // frames are scheduled, and req_id matching lets the reply
+            // overtake any still-executing pipelined requests.
+            tenant = inner.tenants.get_with_weight(name, weight);
+            if reply_tx
+                .send(encode_reply(req_id, &Ok(Body::Empty)))
+                .is_err()
+            {
+                break;
+            }
+            continue;
+        }
+
         // Backpressure: cap this connection's queued-or-executing requests.
         {
             let mut count = inflight.count.lock();
@@ -352,9 +389,16 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
         let tx = reply_tx.clone();
         let job_inflight = inflight.clone();
         let key = req.shard_key();
-        let submitted = inner.pool.submit(
+        let job_tenant = tenant.clone();
+        let req_bytes = frame.len() as u64;
+        let submitted = inner.pool.submit_for(
             key,
+            &tenant,
             Box::new(move || {
+                // Tag deferred dedup work spawned by this request with the
+                // tenant, so the DWQ drains fairly across tenants too.
+                denova::dwq::set_thread_tenant(job_tenant.id());
+                let t0 = Instant::now();
                 // A panicking operation must still reply (INTERNAL) and
                 // release its inflight slot, or the connection's drain
                 // would wait forever on shutdown.
@@ -367,7 +411,14 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
                         "operation panicked server-side",
                     ))
                 });
-                let _ = tx.send(encode_reply(req_id, &reply));
+                let frame = encode_reply(req_id, &reply);
+                job_tenant.record(
+                    req_bytes,
+                    frame.len() as u64,
+                    t0.elapsed().as_nanos() as u64,
+                    reply.is_ok(),
+                );
+                let _ = tx.send(frame);
                 let mut count = job_inflight.count.lock();
                 *count -= 1;
                 job_inflight.changed.notify_all();
@@ -438,6 +489,26 @@ mod tests {
         assert_eq!(client.list().unwrap(), vec!["hello.txt".to_string()]);
         client.unlink("hello.txt").unwrap();
         drop(client);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn hello_switches_tenant_accounting() {
+        let srv = server();
+        let mut client = Client::from_stream(Box::new(srv.connect_loopback()));
+        client.hello("acme", 2).unwrap();
+        assert_eq!(srv.tenants().get("acme").weight(), 2);
+        let ino = client.create("f").unwrap();
+        client.write_at(ino, 0, &[7u8; 4096]).unwrap();
+        let snap = srv.service().metrics().snapshot();
+        assert!(snap.counter("svc.tenant.acme.ops").unwrap_or(0) >= 2);
+        assert!(snap.counter("svc.tenant.acme.bytes_in").unwrap_or(0) >= 4096);
+        assert!(snap.histogram("svc.tenant.acme.request.ns").unwrap().count >= 2);
+        // Untenanted connections account to the default tenant.
+        let mut plain = Client::from_stream(Box::new(srv.connect_loopback()));
+        plain.ping().unwrap();
+        let snap = srv.service().metrics().snapshot();
+        assert!(snap.counter("svc.tenant.default.ops").unwrap_or(0) >= 1);
         srv.shutdown();
     }
 

@@ -226,6 +226,10 @@ impl FileService {
                     file_count: fs.nova().file_count() as u64,
                     device_bytes: layout.device_size,
                     dedup_workers: fs.dedup_workers() as u64,
+                    // Latched by the replication engine on the first
+                    // sync-ack timeout; read through the shared registry so
+                    // this layer stays decoupled from crates/repl.
+                    sync_degraded: self.metrics.gauge("repl.sync_degraded").get() as u64,
                 }))
             }
             Request::Telemetry { json } => {
@@ -260,6 +264,10 @@ impl FileService {
                 SvcError::UNKNOWN_OP,
                 "cluster operations require a cluster node",
             )),
+            // Hello is connection-scoped and answered by the server's
+            // reader thread; executing it directly (e.g. in loopback tests)
+            // is a no-op ack.
+            Request::Hello { .. } => Ok(Body::Empty),
         }
     }
 }
@@ -294,6 +302,7 @@ fn op_hist_name(op: &'static str) -> &'static str {
         "tx_commit" => "svc.op.tx_commit.ns",
         "tx_abort" => "svc.op.tx_abort.ns",
         "tx_status" => "svc.op.tx_status.ns",
+        "hello" => "svc.op.hello.ns",
         other => other,
     }
 }

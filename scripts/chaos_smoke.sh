@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# CI smoke for the chaos/SLO harness: run the standard scenario library at
+# smoke scale with the suite's fixed seed and assert:
+#
+#   * at least 5 composed scenarios ran and every one passed — each ends
+#     with a clean fsck / FACT-exactness / scrub audit, every captured
+#     crash image recovers clean, and the greedy-tenant SLO gate holds;
+#   * every scenario persisted its fault/event journal under target/chaos/
+#     (uploaded as a CI artifact on failure, replayable via
+#     `denova_chaos::replay`);
+#   * the suite is deterministic: a second run with the same seed produces
+#     byte-identical plan sections (everything up to `end-plan`) in every
+#     journal.
+#
+# Also refreshes BENCH_chaos.json with the machine-readable results.
+#
+# Usage: scripts/chaos_smoke.sh
+# (`make chaos-smoke` builds the release binary first)
+
+. "$(dirname "$0")/lib.sh"
+smoke_workdir
+
+rm -f target/chaos/*.journal 2>/dev/null || true
+
+# run_figures exits non-zero if any scenario fails its gates, which aborts
+# the script here via set -e.
+OUT=$(run_figures chaos --json BENCH_chaos.json)
+echo "$OUT"
+
+COUNT=$(echo "$OUT" | sed -n 's/^\([0-9][0-9]*\) scenarios, \([0-9][0-9]*\) failed$/\1/p')
+FAILED=$(echo "$OUT" | sed -n 's/^\([0-9][0-9]*\) scenarios, \([0-9][0-9]*\) failed$/\2/p')
+[ -n "$COUNT" ] && [ -n "$FAILED" ] || fail "chaos suite summary line missing from output"
+[ "$COUNT" -ge 5 ] || fail "only $COUNT chaos scenarios ran (want >= 5)"
+[ "$FAILED" -eq 0 ] || fail "$FAILED chaos scenarios failed"
+
+# Every scenario left a replayable journal with a complete plan section.
+SCENARIOS="steady_multi_tenant greedy_tenant latency_storm dedup_backlog crash_midrun degraded_sync"
+for s in $SCENARIOS; do
+    J="target/chaos/$s.journal"
+    [ -s "$J" ] || fail "missing journal $J"
+    grep -q "^end-plan$" "$J" || fail "$J has no end-plan marker"
+    sed -n '1,/^end-plan$/p' "$J" >"$WORK/$s.plan1"
+done
+
+# The SLO-gated scenario must actually have measured a victim ratio.
+grep -q "^slo " target/chaos/greedy_tenant.journal \
+    || fail "greedy_tenant journal records no SLO outcome"
+
+# Same seed, second run: the deterministic journal sections must match
+# byte for byte.
+run_figures chaos >/dev/null
+for s in $SCENARIOS; do
+    sed -n '1,/^end-plan$/p' "target/chaos/$s.journal" >"$WORK/$s.plan2"
+    cmp -s "$WORK/$s.plan1" "$WORK/$s.plan2" \
+        || fail "fault plan for $s changed across same-seed runs"
+done
+
+echo "chaos-smoke OK ($COUNT scenarios, deterministic plans, BENCH_chaos.json refreshed)"

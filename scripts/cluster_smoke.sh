@@ -19,25 +19,8 @@
 # Usage: scripts/cluster_smoke.sh [path-to-denova-cli]
 # (defaults to target/release/denova-cli; `make cluster-smoke` builds it)
 
-set -euo pipefail
-
-CLI=${1:-target/release/denova-cli}
-if [ ! -x "$CLI" ]; then
-    echo "error: $CLI not built (run: cargo build --release)" >&2
-    exit 1
-fi
-
-WORK=$(mktemp -d)
-P0=
-P1=
-PSB=
-cleanup() {
-    [ -n "$P0" ] && kill "$P0" 2>/dev/null || true
-    [ -n "$P1" ] && kill "$P1" 2>/dev/null || true
-    [ -n "$PSB" ] && kill "$PSB" 2>/dev/null || true
-    rm -rf "$WORK"
-}
-trap cleanup EXIT
+. "$(dirname "$0")/lib.sh"
+smoke_init "${1:-}"
 
 # The map names addresses up front, so the usual ephemeral-port trick does
 # not apply; randomize the base instead so parallel CI jobs don't collide.
@@ -47,39 +30,24 @@ A1="127.0.0.1:$((BASE + 1))"
 ASB="127.0.0.1:$((BASE + 2))"
 CLUSTER="$A0,$A1"
 
-wait_for() { # pattern log pid what
-    for _ in $(seq 1 100); do
-        grep -q "$1" "$2" && return 0
-        if ! kill -0 "$3" 2>/dev/null; then
-            echo "error: $4 exited early:" >&2
-            cat "$2" >&2
-            return 1
-        fi
-        sleep 0.1
-    done
-    echo "error: $4 never logged '$1':" >&2
-    cat "$2" >&2
-    return 1
-}
-
 "$CLI" "$WORK/s0.img" mkfs --size 64M >/dev/null
 "$CLI" "$WORK/s1.img" mkfs --size 64M >/dev/null
 
-"$CLI" "$WORK/s0.img" serve --shard 0 --cluster "$CLUSTER" --listen "$A0" \
-    >"$WORK/s0.log" 2>&1 &
-P0=$!
-"$CLI" "$WORK/s1.img" serve --shard 1 --cluster "$CLUSTER" --listen "$A1" \
-    >"$WORK/s1.log" 2>&1 &
-P1=$!
-wait_for "listening on" "$WORK/s0.log" "$P0" "shard 0"
-wait_for "listening on" "$WORK/s1.log" "$P1" "shard 1"
+start_server "$WORK/s0.log" "$WORK/s0.img" serve --shard 0 --cluster "$CLUSTER" \
+    --listen "$A0"
+P0=$SERVER_PID
+start_server "$WORK/s1.log" "$WORK/s1.img" serve --shard 1 --cluster "$CLUSTER" \
+    --listen "$A1"
+P1=$SERVER_PID
+wait_log "listening on" "$WORK/s0.log" "$P0" "shard 0"
+wait_log "listening on" "$WORK/s1.log" "$P1" "shard 1"
 
 # A standby replicating shard 1, advertising its own address for the day
 # the map names it primary.
-"$CLI" "$WORK/sb.img" serve --shard 1 --cluster "$CLUSTER" --advertise "$ASB" \
-    --replica-of "$A1" --listen "$ASB" >"$WORK/sb.log" 2>&1 &
-PSB=$!
-wait_for "snapshot mounted" "$WORK/sb.log" "$PSB" "standby"
+start_server "$WORK/sb.log" "$WORK/sb.img" serve --shard 1 --cluster "$CLUSTER" \
+    --advertise "$ASB" --replica-of "$A1" --listen "$ASB"
+PSB=$SERVER_PID
+wait_log "snapshot mounted" "$WORK/sb.log" "$PSB" "standby"
 echo "cluster up: shard 0 at $A0, shard 1 at $A1 (standby $ASB)"
 
 # Routed writes land on the shard the name hashes to, regardless of which
@@ -89,20 +57,17 @@ head -c 60000 /dev/urandom >"$WORK/bystander"
 OUT=$("$CLI" --remote "$A0" put gamma "$WORK/payload")
 echo "$OUT"
 case "$OUT" in *"-> shard 0"*) ;; *)
-    echo "error: gamma did not land on shard 0" >&2
-    exit 1
+    fail "gamma did not land on shard 0"
 esac
 OUT=$("$CLI" --remote "$A0" put beta "$WORK/bystander")
 case "$OUT" in *"-> shard 1"*) ;; *)
-    echo "error: beta did not land on shard 1" >&2
-    exit 1
+    fail "beta did not land on shard 1"
 esac
 
 # ls merges the namespaces of both shards.
 LS=$("$CLI" --remote "$A1" ls)
 echo "$LS" | grep -q gamma && echo "$LS" | grep -q beta || {
-    echo "error: merged ls is missing a file: $LS" >&2
-    exit 1
+    fail "merged ls is missing a file: $LS"
 }
 
 # Cross-shard rename: gamma (shard 0) -> theta (shard 1). Two-phase,
@@ -110,64 +75,48 @@ echo "$LS" | grep -q gamma && echo "$LS" | grep -q beta || {
 # source must be gone.
 "$CLI" --remote "$A0" mv gamma theta
 "$CLI" --remote "$A1" get theta "$WORK/back"
-cmp "$WORK/payload" "$WORK/back" || {
-    echo "error: payload corrupted across cross-shard rename" >&2
-    exit 1
-}
+cmp "$WORK/payload" "$WORK/back" || fail "payload corrupted across cross-shard rename"
 if "$CLI" --remote "$A0" stat gamma 2>/dev/null; then
-    echo "error: rename left the source name behind" >&2
-    exit 1
+    fail "rename left the source name behind"
 fi
 echo "cross-shard rename OK"
 
 STATUS=$("$CLI" --remote "$A0" cluster status)
 case "$STATUS" in *"epoch 1"*) ;; *)
-    echo "error: expected a fresh epoch-1 map: $STATUS" >&2
-    exit 1
+    fail "expected a fresh epoch-1 map: $STATUS"
+esac
+# A healthy cluster shows no degraded-durability marker.
+case "$STATUS" in *"SYNC-DEGRADED"*)
+    fail "healthy cluster reports SYNC-DEGRADED: $STATUS" ;;
 esac
 
 # Kill shard 1's primary hard, promote its standby over the wire, and
 # repoint the map at it.
-kill -9 "$P1"
-wait "$P1" 2>/dev/null || true
-P1=
+kill_hard "$P1"
 echo "shard 1 primary killed"
 "$CLI" --remote "$ASB" promote
 "$CLI" --remote "$A0" cluster rebalance 1 "$ASB"
 STATUS=$("$CLI" --remote "$A0" cluster status)
 echo "$STATUS"
 case "$STATUS" in *"epoch 2"*"$ASB"*) ;; *)
-    echo "error: rebalanced map does not name the promoted standby: $STATUS" >&2
-    exit 1
+    fail "rebalanced map does not name the promoted standby: $STATUS"
 esac
 
 # The renamed payload survived the failover, and shard 1 is writable again.
 "$CLI" --remote "$A0" get theta "$WORK/back2"
-cmp "$WORK/payload" "$WORK/back2" || {
-    echo "error: payload lost across failover" >&2
-    exit 1
-}
+cmp "$WORK/payload" "$WORK/back2" || fail "payload lost across failover"
 OUT=$("$CLI" --remote "$A0" put zeta "$WORK/bystander")
 case "$OUT" in *"-> shard 1"*) ;; *)
-    echo "error: post-failover write did not route to shard 1" >&2
-    exit 1
+    fail "post-failover write did not route to shard 1"
 esac
 echo "failover + rebalance OK"
 
 # Clean shutdown persists both images; they must fsck clean.
 "$CLI" --remote "$A0" shutdown
 "$CLI" --remote "$ASB" shutdown
-for _ in $(seq 1 100); do
-    kill -0 "$P0" 2>/dev/null || kill -0 "$PSB" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$P0" 2>/dev/null || kill -0 "$PSB" 2>/dev/null; then
-    echo "error: a node is still running after shutdown" >&2
-    exit 1
-fi
-P0=
-PSB=
-"$CLI" "$WORK/s0.img" fsck
-"$CLI" "$WORK/sb.img" fsck
+wait_exit "$P0" "shard 0"
+wait_exit "$PSB" "promoted standby"
+fsck_image "$WORK/s0.img"
+fsck_image "$WORK/sb.img"
 
 echo "cluster-smoke OK"

@@ -8,9 +8,9 @@
 # Usage: scripts/dedup_scale_smoke.sh
 # (`make dedup-scale-smoke` builds the release binary first)
 
-set -euo pipefail
+. "$(dirname "$0")/lib.sh"
 
-OUT=$(cargo run --release -q -p denova-bench --bin figures -- --smoke dedup_scaling)
+OUT=$(run_figures dedup_scaling)
 echo "$OUT"
 
 # Table rows: Workers  MB/s  Drain  p99  Ratio  Speedup  Audit
@@ -18,16 +18,11 @@ RATIO_1=$(echo "$OUT" | awk 'NF==7 && $1=="1" {print $5}')
 RATIO_4=$(echo "$OUT" | awk 'NF==7 && $1=="4" {print $5}')
 AUDITS=$(echo "$OUT" | awk 'NF==7 && ($1=="1" || $1=="4") {print $7}')
 
-[ -n "$RATIO_1" ] && [ -n "$RATIO_4" ] || {
-    echo "error: dedup_scaling rows missing from output" >&2
-    exit 1
-}
+[ -n "$RATIO_1" ] && [ -n "$RATIO_4" ] || fail "dedup_scaling rows missing from output"
 if [ "$RATIO_1" != "$RATIO_4" ]; then
-    echo "error: dedup ratio differs across worker counts: 1-worker=$RATIO_1 4-worker=$RATIO_4" >&2
-    exit 1
+    fail "dedup ratio differs across worker counts: 1-worker=$RATIO_1 4-worker=$RATIO_4"
 fi
 if echo "$AUDITS" | grep -qv '^clean$'; then
-    echo "error: audit (fsck / FACT exactness / scrub) failed on some worker count" >&2
-    exit 1
+    fail "audit (fsck / FACT exactness / scrub) failed on some worker count"
 fi
 echo "dedup-scale-smoke OK (ratio $RATIO_1 at both worker counts, audits clean)"

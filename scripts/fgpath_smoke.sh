@@ -17,9 +17,9 @@
 # Usage: scripts/fgpath_smoke.sh
 # (`make fgpath-smoke` builds the release binary first)
 
-set -euo pipefail
+. "$(dirname "$0")/lib.sh"
 
-OUT=$(cargo run --release -q -p denova-bench --bin figures -- --smoke fgpath)
+OUT=$(run_figures fgpath)
 echo "$OUT"
 
 # fgpath-summary: aligned-4k fences_per_write=N speedup_pct=X staged_bytes=B
@@ -27,20 +27,14 @@ FENCES=$(echo "$OUT" | sed -n 's/^fgpath-summary: aligned-4k fences_per_write=\(
 STAGED_BYTES=$(echo "$OUT" | sed -n 's/.*aligned-4k.*staged_bytes=\([0-9]*\)$/\1/p')
 SKIP_RATE=$(echo "$OUT" | sed -n 's/^fgpath-summary: absent-fp filter_skip_rate=\([0-9.]*\)$/\1/p')
 
-[ -n "$FENCES" ] && [ -n "$SKIP_RATE" ] || {
-    echo "error: fgpath-summary lines missing from output" >&2
-    exit 1
-}
+[ -n "$FENCES" ] && [ -n "$SKIP_RATE" ] || fail "fgpath-summary lines missing from output"
 if [ "$FENCES" -gt 2 ]; then
-    echo "error: $FENCES fences per aligned 4 KiB write (want <= 2)" >&2
-    exit 1
+    fail "$FENCES fences per aligned 4 KiB write (want <= 2)"
 fi
 if [ "${STAGED_BYTES:-0}" -ne 0 ]; then
-    echo "error: aligned write staged $STAGED_BYTES bytes (want 0)" >&2
-    exit 1
+    fail "aligned write staged $STAGED_BYTES bytes (want 0)"
 fi
 if ! awk "BEGIN { exit !($SKIP_RATE > 0) }"; then
-    echo "error: absent-fingerprint filter skip rate is $SKIP_RATE (want > 0)" >&2
-    exit 1
+    fail "absent-fingerprint filter skip rate is $SKIP_RATE (want > 0)"
 fi
 echo "fgpath-smoke OK ($FENCES fences/write, filter skip rate $SKIP_RATE)"

@@ -8,40 +8,8 @@
 # Usage: scripts/repl_smoke.sh [path-to-denova-cli]
 # (defaults to target/release/denova-cli; `make repl-smoke` builds it first)
 
-set -euo pipefail
-
-CLI=${1:-target/release/denova-cli}
-if [ ! -x "$CLI" ]; then
-    echo "error: $CLI not built (run: cargo build --release)" >&2
-    exit 1
-fi
-
-WORK=$(mktemp -d)
-PRIMARY_PID=
-STANDBY_PID=
-cleanup() {
-    [ -n "$PRIMARY_PID" ] && kill "$PRIMARY_PID" 2>/dev/null || true
-    [ -n "$STANDBY_PID" ] && kill "$STANDBY_PID" 2>/dev/null || true
-    rm -rf "$WORK"
-}
-trap cleanup EXIT
-
-# Scrape "listening on <addr>..." from a server log, waiting for startup.
-wait_addr() { # log pid
-    local addr=
-    for _ in $(seq 1 100); do
-        addr=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$1")
-        [ -n "$addr" ] && { echo "$addr"; return 0; }
-        if ! kill -0 "$2" 2>/dev/null; then
-            echo "error: server exited before listening:" >&2
-            cat "$1" >&2
-            return 1
-        fi
-        sleep 0.1
-    done
-    echo "error: server never printed its address" >&2
-    return 1
-}
+. "$(dirname "$0")/lib.sh"
+smoke_init "${1:-}"
 
 PRIMARY_IMG="$WORK/primary.img"
 STANDBY_IMG="$WORK/standby.img"
@@ -49,50 +17,40 @@ STANDBY_IMG="$WORK/standby.img"
 
 # Sync-ack primary: once the standby attaches, every acknowledged write is
 # on the standby — so a SIGKILL at any point loses nothing acknowledged.
-"$CLI" "$PRIMARY_IMG" serve --listen 127.0.0.1:0 --repl-sync \
-    >"$WORK/primary.log" 2>&1 &
-PRIMARY_PID=$!
+start_server "$WORK/primary.log" "$PRIMARY_IMG" serve --listen 127.0.0.1:0 --repl-sync
+PRIMARY_PID=$SERVER_PID
 PRIMARY_ADDR=$(wait_addr "$WORK/primary.log" "$PRIMARY_PID")
 echo "primary up at $PRIMARY_ADDR (pid $PRIMARY_PID)"
 
-"$CLI" "$STANDBY_IMG" serve --listen 127.0.0.1:0 --replica-of "$PRIMARY_ADDR" \
-    >"$WORK/standby.log" 2>&1 &
-STANDBY_PID=$!
+start_server "$WORK/standby.log" "$STANDBY_IMG" serve --listen 127.0.0.1:0 \
+    --replica-of "$PRIMARY_ADDR"
+STANDBY_PID=$SERVER_PID
 STANDBY_ADDR=$(wait_addr "$WORK/standby.log" "$STANDBY_PID")
 
 # Wait for the snapshot bootstrap so writes are sync-acked from here on.
-for _ in $(seq 1 100); do
-    grep -q "snapshot mounted" "$WORK/standby.log" && break
-    sleep 0.1
-done
-grep -q "snapshot mounted" "$WORK/standby.log" || {
-    echo "error: standby never bootstrapped:" >&2
-    cat "$WORK/standby.log" >&2
-    exit 1
-}
+wait_log "snapshot mounted" "$WORK/standby.log" "$STANDBY_PID" "standby"
 echo "standby up at $STANDBY_ADDR (pid $STANDBY_PID), bootstrapped"
 
 # Write through the primary; reads work on the standby, writes must bounce.
 head -c 150000 /dev/urandom >"$WORK/payload"
 "$CLI" --remote "$PRIMARY_ADDR" put repl.bin "$WORK/payload"
 if "$CLI" --remote "$STANDBY_ADDR" put nope.bin "$WORK/payload" 2>/dev/null; then
-    echo "error: standby accepted a write before promotion" >&2
-    exit 1
+    fail "standby accepted a write before promotion"
+fi
+
+# A healthy sync-ack pair must not report degraded durability.
+if "$CLI" --remote "$PRIMARY_ADDR" df | grep -q "sync-ack degraded"; then
+    fail "df reports sync-ack degraded on a healthy pair"
 fi
 
 # Kill the primary hard — no drain, no image save, mid-life SIGKILL.
-kill -9 "$PRIMARY_PID"
-wait "$PRIMARY_PID" 2>/dev/null || true
-PRIMARY_PID=
+kill_hard "$PRIMARY_PID"
 echo "primary killed"
 
 # Promote the standby and verify the payload survived byte-for-byte.
 "$CLI" --remote "$STANDBY_ADDR" promote
 "$CLI" --remote "$STANDBY_ADDR" get repl.bin "$WORK/back"
-cmp "$WORK/payload" "$WORK/back" || {
-    echo "error: payload corrupted across failover" >&2
-    exit 1
-}
+cmp "$WORK/payload" "$WORK/back" || fail "payload corrupted across failover"
 
 # The promoted standby is a real primary: writable, round-trips data.
 head -c 80000 /dev/urandom >"$WORK/payload2"
@@ -103,20 +61,12 @@ cmp "$WORK/payload2" "$WORK/back2"
 
 # Clean shutdown persists the standby's image; it must fsck clean.
 "$CLI" --remote "$STANDBY_ADDR" shutdown
-for _ in $(seq 1 100); do
-    kill -0 "$STANDBY_PID" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$STANDBY_PID" 2>/dev/null; then
-    echo "error: standby still running after shutdown" >&2
-    exit 1
-fi
-STANDBY_PID=
+wait_exit "$STANDBY_PID" "standby"
 grep -q "promoted to primary" "$WORK/standby.log" || {
     echo "error: standby never logged its promotion:" >&2
     cat "$WORK/standby.log" >&2
     exit 1
 }
-"$CLI" "$STANDBY_IMG" fsck
+fsck_image "$STANDBY_IMG"
 
 echo "repl-smoke OK"

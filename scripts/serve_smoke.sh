@@ -1,69 +1,39 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the service layer: start `denova-cli serve` on an
-# ephemeral TCP port, drive a put/get/stat/rm round-trip through `--remote`,
-# shut the server down cleanly over the wire, and fsck the image afterwards.
+# ephemeral TCP port, drive a put/get/stat/rm round-trip through `--remote`
+# (tagged with a --tenant so the hello/accounting path is exercised over
+# real TCP), shut the server down cleanly over the wire, and fsck the image
+# afterwards.
 #
 # Usage: scripts/serve_smoke.sh [path-to-denova-cli]
 # (defaults to target/release/denova-cli; `make serve-smoke` builds it first)
 
-set -euo pipefail
-
-CLI=${1:-target/release/denova-cli}
-if [ ! -x "$CLI" ]; then
-    echo "error: $CLI not built (run: cargo build --release)" >&2
-    exit 1
-fi
-
-WORK=$(mktemp -d)
-SERVER_PID=
-cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
-    rm -rf "$WORK"
-}
-trap cleanup EXIT
+. "$(dirname "$0")/lib.sh"
+smoke_init "${1:-}"
 
 IMG="$WORK/fs.img"
 "$CLI" "$IMG" mkfs --size 64M >/dev/null
 
 # Start the server on an ephemeral port and scrape the bound address from
 # its "listening on <addr>" banner.
-"$CLI" "$IMG" serve --listen 127.0.0.1:0 >"$WORK/serve.log" 2>&1 &
-SERVER_PID=$!
-ADDR=
-for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/^listening on //p' "$WORK/serve.log")
-    [ -n "$ADDR" ] && break
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-        echo "error: server exited before listening:" >&2
-        cat "$WORK/serve.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "error: server never printed its address" >&2; exit 1; }
-echo "server up at $ADDR (pid $SERVER_PID)"
+start_server "$WORK/serve.log" "$IMG" serve --listen 127.0.0.1:0
+SRV=$SERVER_PID
+ADDR=$(wait_addr "$WORK/serve.log" "$SRV")
+echo "server up at $ADDR (pid $SRV)"
 
-# Round-trip a payload through the wire protocol.
+# Round-trip a payload through the wire protocol, as a named tenant.
 head -c 200000 /dev/urandom >"$WORK/payload"
-"$CLI" --remote "$ADDR" put smoke.bin "$WORK/payload"
-"$CLI" --remote "$ADDR" stat smoke.bin
-"$CLI" --remote "$ADDR" get smoke.bin "$WORK/back"
-cmp "$WORK/payload" "$WORK/back" || { echo "error: payload corrupted over the wire" >&2; exit 1; }
+"$CLI" --remote "$ADDR" --tenant smoke put smoke.bin "$WORK/payload"
+"$CLI" --remote "$ADDR" --tenant smoke stat smoke.bin
+"$CLI" --remote "$ADDR" --tenant smoke get smoke.bin "$WORK/back"
+cmp "$WORK/payload" "$WORK/back" || fail "payload corrupted over the wire"
 "$CLI" --remote "$ADDR" ls | grep -q smoke.bin
 "$CLI" --remote "$ADDR" stats >/dev/null
 "$CLI" --remote "$ADDR" rm smoke.bin
 
 # Clean shutdown over the wire; the server must exit on its own.
 "$CLI" --remote "$ADDR" shutdown
-for _ in $(seq 1 100); do
-    kill -0 "$SERVER_PID" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "error: server still running after shutdown" >&2
-    exit 1
-fi
-SERVER_PID=
+wait_exit "$SRV" "server"
 grep -q "shutting down" "$WORK/serve.log" || {
     echo "error: server did not log a clean shutdown:" >&2
     cat "$WORK/serve.log" >&2
@@ -71,6 +41,6 @@ grep -q "shutting down" "$WORK/serve.log" || {
 }
 
 # The image the server unmounted must be consistent.
-"$CLI" "$IMG" fsck
+fsck_image "$IMG"
 
 echo "serve-smoke OK"

@@ -80,6 +80,12 @@ fn usage() -> ! {
          \x20                               target first if it was a standby)\n\
          options (any local command, including serve):\n\
          \x20 --dedup-workers <n>           dedup worker threads for the mount (default 1)\n\
+         \x20 --slo-p99-us <n>              closed-loop QoS: back fingerprint cost off\n\
+         \x20                               while the live write p99 exceeds n microseconds\n\
+         \x20                               (0 = off, the default)\n\
+         options (any remote command):\n\
+         \x20 --tenant <name>               account + fair-schedule this client's\n\
+         \x20                               requests under the named tenant\n\
          env:\n\
          \x20 DENOVA_TELEMETRY=1            collect spans/events in any command\n\
          \x20                               and dump a snapshot to stderr"
@@ -105,11 +111,12 @@ fn telemetry_env_on() -> bool {
         .unwrap_or(false)
 }
 
-fn open_fs(image: &Path, dedup_workers: usize) -> Result<Denova, String> {
+fn open_fs(image: &Path, dedup_workers: usize, slo_write_p99_ns: u64) -> Result<Denova, String> {
     let dev = PmemDevice::load_image(image, LatencyProfile::none())
         .map_err(|e| format!("cannot read image {}: {e}", image.display()))?;
     let opts = NovaOptions {
         dedup_workers,
+        slo_write_p99_ns,
         ..Default::default()
     };
     let fs = Denova::mount(Arc::new(dev), opts, DedupMode::Immediate)
@@ -146,6 +153,32 @@ fn run() -> Result<(), String> {
             .ok_or_else(|| format!("bad --dedup-workers '{n}'"))?;
         args.drain(i..i + 2);
     }
+    // `--slo-p99-us <n>` arms the closed-loop QoS controller on the local
+    // mount: fingerprint cost backs off while the live write p99 breaches
+    // the target. 0 (the default) disables it.
+    let mut slo_p99_ns = 0u64;
+    if let Some(i) = args.iter().position(|a| a == "--slo-p99-us") {
+        let n = args.get(i + 1).cloned().unwrap_or_default();
+        slo_p99_ns = n
+            .parse::<u64>()
+            .ok()
+            .map(|us| us * 1_000)
+            .ok_or_else(|| format!("bad --slo-p99-us '{n}'"))?;
+        args.drain(i..i + 2);
+    }
+    // `--tenant <name>` tags every remote connection via the wire hello,
+    // so the server accounts and fair-schedules this client's requests
+    // under that tenant.
+    let mut tenant: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--tenant") {
+        tenant = Some(
+            args.get(i + 1)
+                .cloned()
+                .filter(|t| !t.is_empty())
+                .ok_or("--tenant needs a name")?,
+        );
+        args.drain(i..i + 2);
+    }
     if args.len() < 2 {
         usage();
     }
@@ -153,7 +186,7 @@ fn run() -> Result<(), String> {
         if args.len() < 3 {
             usage();
         }
-        return run_remote(&args[1], args[2].as_str(), &args[3..]);
+        return run_remote(&args[1], args[2].as_str(), &args[3..], tenant.as_deref());
     }
     let image = PathBuf::from(&args[0]);
     let cmd = args[1].as_str();
@@ -171,6 +204,7 @@ fn run() -> Result<(), String> {
             let dev = Arc::new(PmemDevice::new(size));
             let opts = NovaOptions {
                 dedup_workers,
+                slo_write_p99_ns: slo_p99_ns,
                 ..Default::default()
             };
             let fs = Denova::mkfs(dev, opts, DedupMode::Immediate)
@@ -189,7 +223,7 @@ fn run() -> Result<(), String> {
         }
         ("put", [name, host]) => {
             let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let ino = match fs.open(name) {
                 Ok(ino) => ino,
                 Err(_) => fs.create(name).map_err(|e| e.to_string())?,
@@ -210,7 +244,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("get", [name, host]) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let ino = fs.open(name).map_err(|e| e.to_string())?;
             let size = fs.file_size(ino).map_err(|e| e.to_string())?;
             let data = fs.read(ino, 0, size as usize).map_err(|e| e.to_string())?;
@@ -219,7 +253,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("cat", [name]) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let ino = fs.open(name).map_err(|e| e.to_string())?;
             let size = fs.file_size(ino).map_err(|e| e.to_string())?;
             let data = fs.read(ino, 0, size as usize).map_err(|e| e.to_string())?;
@@ -230,7 +264,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("ls", []) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let mut names = fs.nova().list();
             names.sort();
             for name in names {
@@ -241,25 +275,25 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("rm", [name]) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             fs.unlink(name).map_err(|e| e.to_string())?;
             println!("removed {name}");
             close_fs(fs, &image)
         }
         ("ln", [existing, new]) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let ino = fs.nova().link(existing, new).map_err(|e| e.to_string())?;
             println!("{new} => ino {ino} (also {existing})");
             close_fs(fs, &image)
         }
         ("mv", [from, to]) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             fs.nova().rename(from, to).map_err(|e| e.to_string())?;
             println!("{from} -> {to}");
             close_fs(fs, &image)
         }
         ("stat", [name]) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let ino = fs.open(name).map_err(|e| e.to_string())?;
             let st = fs.nova().stat(ino).map_err(|e| e.to_string())?;
             println!(
@@ -269,7 +303,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("df", []) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let layout = *fs.nova().layout();
             let free = fs.nova().free_blocks();
             let total = layout.data_blocks();
@@ -291,7 +325,7 @@ fn run() -> Result<(), String> {
             close_fs(fs, &image)
         }
         ("fsck", []) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let report = denova_repro::nova::fsck(fs.nova(), true).map_err(|e| e.to_string())?;
             println!(
                 "fsck: {} referenced blocks, {} shared, {} log pages",
@@ -310,7 +344,7 @@ fn run() -> Result<(), String> {
             }
         }
         ("scrub", []) => {
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let fixed = fs.scrub().map_err(|e| e.to_string())?;
             println!("scrub: {fixed} FACT entries reconciled");
             close_fs(fs, &image)
@@ -383,7 +417,7 @@ fn run() -> Result<(), String> {
                     &advertise,
                 );
             }
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             // Scraped by scripts driving ephemeral ports — keep the format.
             println!("listening on {addr}");
             let server = Server::new(Arc::new(fs), config);
@@ -418,7 +452,7 @@ fn run() -> Result<(), String> {
                 [flag] if flag == "--json" => true,
                 _ => usage(),
             };
-            let fs = open_fs(&image, dedup_workers)?;
+            let fs = open_fs(&image, dedup_workers, slo_p99_ns)?;
             let metrics = fs.nova().device().metrics().clone();
             metrics.set_enabled(true);
             // Quickstart-style probe: a handful of duplicate files written,
@@ -667,10 +701,14 @@ fn serve_replica(
 /// Dispatch one command against a served file system over TCP. The command
 /// surface mirrors the local one; `mkfs`/`fsck`/`scrub`/`serve` stay local
 /// because they operate on the image itself.
-fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
+fn run_remote(addr: &str, cmd: &str, rest: &[String], tenant: Option<&str>) -> Result<(), String> {
     let mut client =
         Client::connect_tcp(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let e = |e: SvcError| e.to_string();
+    if let Some(t) = tenant {
+        // Weight 0 = keep the tenant's current weight (1 if new).
+        client.hello(t, 0).map_err(e)?;
+    }
     // Against a cluster node, data commands route to the owning shard: a
     // successful `MapGet` probe means the server is cluster-enabled, and a
     // plain single-node connection would bounce `WRONG_SHARD` for every
@@ -683,7 +721,7 @@ fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
     ) {
         if let Ok(denova_repro::svc::Body::Bytes(_)) = client.request(&Request::MapGet) {
             drop(client);
-            return run_remote_routed(addr, cmd, rest);
+            return run_remote_routed(addr, cmd, rest, tenant);
         }
     }
     match (cmd, rest) {
@@ -761,6 +799,12 @@ fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
                 s.dedup_index_dram_bytes,
                 s.dedup_workers
             );
+            if s.sync_degraded != 0 {
+                println!(
+                    "repl:   WARNING: sync-ack degraded — a standby missed the \
+                     sync window and writes proceeded without standby durability"
+                );
+            }
             Ok(())
         }
         ("stats", rest) => {
@@ -791,11 +835,18 @@ fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
                 let map = fetch_cluster_map(&mut client)?;
                 println!("cluster map, epoch {}", map.epoch);
                 for (k, s) in map.shards.iter().enumerate() {
+                    // Probe each primary for a latched sync-ack downgrade;
+                    // unreachable nodes just print without the marker.
+                    let degraded = Client::connect_tcp(&s.primary)
+                        .and_then(|mut c| c.dedup_stats())
+                        .map(|d| d.sync_degraded != 0)
+                        .unwrap_or(false);
+                    let mark = if degraded { "  [SYNC-DEGRADED]" } else { "" };
                     if s.standbys.is_empty() {
-                        println!("  shard {k}: {}", s.primary);
+                        println!("  shard {k}: {}{mark}", s.primary);
                     } else {
                         println!(
-                            "  shard {k}: {} (standbys: {})",
+                            "  shard {k}: {} (standbys: {}){mark}",
                             s.primary,
                             s.standbys.join(", ")
                         );
@@ -854,8 +905,20 @@ fn run_remote(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
 /// Data commands against a sharded cluster, dispatched through the routing
 /// [`ClusterClient`]: each name goes straight to its owner, `WRONG_SHARD`
 /// bounces self-heal, and `ls` merges every shard's namespace.
-fn run_remote_routed(addr: &str, cmd: &str, rest: &[String]) -> Result<(), String> {
-    let dial: denova_repro::cluster::Dialer = Arc::new(|a: &str| Client::connect_tcp(a));
+fn run_remote_routed(
+    addr: &str,
+    cmd: &str,
+    rest: &[String],
+    tenant: Option<&str>,
+) -> Result<(), String> {
+    let tenant = tenant.map(|t| t.to_string());
+    let dial: denova_repro::cluster::Dialer = Arc::new(move |a: &str| {
+        let mut c = Client::connect_tcp(a)?;
+        if let Some(t) = &tenant {
+            c.hello(t, 0)?;
+        }
+        Ok(c)
+    });
     let mut client = ClusterClient::connect(addr, dial)
         .map_err(|e| format!("cannot reach the cluster via {addr}: {e}"))?;
     let e = |e: SvcError| e.to_string();
