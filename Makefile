@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke
+verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke
 
 build:
 	$(CARGO) build --release
@@ -52,6 +52,13 @@ cluster-smoke: build
 # fault plans across two same-seed runs. Journals land in target/chaos/.
 chaos-smoke: build
 	bash scripts/chaos_smoke.sh
+
+# Lock-free read path check: the contention experiment with a live writer
+# + 4 dedup workers must show >= 2x read throughput at 8 reader threads,
+# >= 95% of reads on the optimistic (no-inode-lock) seqlock path, and the
+# RCU/wait-free FACT read side actually serving lookups.
+contention-smoke: build
+	bash scripts/contention_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

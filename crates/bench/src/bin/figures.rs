@@ -9,7 +9,7 @@
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
 //! crash dedup_scaling ablation endurance recovery svc repl fgpath cluster
-//! chaos`.
+//! chaos contention`.
 //! Pass
 //! `--json <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
@@ -67,6 +67,7 @@ fn main() {
         "fgpath",
         "cluster",
         "chaos",
+        "contention",
     ];
     let run_all = wanted.is_empty();
     let want = |name: &str| run_all || wanted.iter().any(|w| w == name);
@@ -192,6 +193,11 @@ fn main() {
         let res = fgpath::run(&scale);
         println!("{}", fgpath::render(&res));
         json.insert("fgpath", &res);
+    }
+    if want("contention") {
+        let res = contention::run(&scale);
+        println!("{}", contention::render(&res));
+        json.insert("contention", &res);
     }
     if want("cluster") {
         let res = cluster_scale::run(&scale);

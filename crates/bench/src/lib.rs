@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod chaos_bench;
 pub mod cluster_scale;
+pub mod contention;
 pub mod crashes;
 pub mod dedup_scale;
 pub mod endurance;

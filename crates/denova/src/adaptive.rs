@@ -65,7 +65,7 @@ pub fn write_inline_adaptive(
         let first_pg = offset / BLOCK_SIZE;
         let last_pg = (offset + data.len() as u64 - 1) / BLOCK_SIZE;
         let num_pages = last_pg - first_pg + 1;
-        let new_size = ctx.mem.size.max(offset + data.len() as u64);
+        let new_size = ctx.mem.size().max(offset + data.len() as u64);
 
         // CoW page images (same fill logic as every write path).
         let mut pages = vec![0u8; (num_pages * BLOCK_SIZE) as usize];

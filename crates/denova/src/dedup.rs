@@ -175,7 +175,7 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
 
         // Step ④: append a write entry per duplicate page, pointing at the
         // canonical data page, flag in_process.
-        let size_after = ctx.mem.size;
+        let size_after = ctx.mem.size();
         let txid = ctx.next_txid();
         let new_entries: Vec<WriteEntry> = duplicates
             .iter()

@@ -41,7 +41,9 @@ use crate::stats::DedupStats;
 use denova_fingerprint::Fingerprint;
 use denova_nova::{Layout, NovaError, Result};
 use denova_pmem::PmemDevice;
+use denova_sync::RcuCell;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
@@ -108,7 +110,33 @@ pub struct Fact {
     fp: crate::fp::FpThrottle,
     /// DRAM presence filter so absent-fingerprint lookups skip the PM probe.
     filter: PresenceFilter,
+    /// RCU-published per-stripe lookup tables (see [`StripeTable`]). Like
+    /// `iaa_free` and `filter` this is rebuildable *cache* state — the
+    /// persistent truth stays entirely in PM — so the paper's
+    /// DRAM-free-indexing property holds. Writers republish under the
+    /// stripe lock; readers pin an epoch and dereference without blocking.
+    stripe_tables: Vec<RcuCell<StripeTable>>,
+    /// Read-side toggle for the RCU fast path (on by default; the off
+    /// switch exists for benchmarks quantifying its effect).
+    rcu: AtomicBool,
 }
+
+/// One cached chain position: where `fp` lives in FACT and how many PM
+/// reads a chain walk would have spent reaching it (for the reorder
+/// trigger).
+#[derive(Debug, Clone, Copy)]
+struct StripeCacheEnt {
+    idx: u64,
+    walk_reads: u32,
+}
+
+/// DRAM snapshot of every fingerprint chained under one lock stripe,
+/// published wholesale through an [`RcuCell`] after each chain mutation.
+/// Readers resolve a fingerprint to its entry index with zero locks and
+/// verify the hit with a single PM entry read; a published table that lacks
+/// the fingerprint is authoritative for absence (every mutation republishes
+/// before releasing the stripe lock, and mount rebuilds all tables).
+type StripeTable = HashMap<Fingerprint, StripeCacheEnt>;
 
 #[derive(Debug)]
 struct IaaFree {
@@ -120,6 +148,11 @@ struct IaaFree {
 
 /// Hash functions per fingerprint in the presence filter.
 const FILTER_HASHES: usize = 4;
+
+/// Sticky saturation threshold for filter counters. Counters at or above
+/// this never move again; the headroom up to `u8::MAX` absorbs racy
+/// overshoot from the wait-free increment (see [`PresenceFilter`]).
+const FILTER_SAT: u8 = 192;
 
 /// Filter counters provisioned per FACT entry. At 8 counters/entry and 4
 /// hashes the false-positive rate is ~2.4% at full table load; typical loads
@@ -134,9 +167,19 @@ const FILTER_COUNTERS_PER_ENTRY: u64 = 8;
 /// added before its entry becomes visible and cleared only after the entry
 /// is gone), so `lookup` of an absent fingerprint skips the PM probe.
 ///
-/// Counters saturate sticky at 255: a saturated counter is never
+/// Counters saturate sticky at [`FILTER_SAT`]: a saturated counter is never
 /// decremented, trading a permanent (vanishingly rare) false positive for
 /// never underflowing into a false negative.
+///
+/// Every operation is **wait-free**: one relaxed load plus at most one
+/// unconditional `fetch_add`/`fetch_sub` per slot — no CAS retry loop, so
+/// an update finishes in a bounded number of steps regardless of
+/// contention. The check-then-add race can overshoot `FILTER_SAT` by at
+/// most one per concurrently racing thread; the `255 - FILTER_SAT`
+/// headroom absorbs that without wrapping. A check-then-sub race can
+/// underflow a counter two removers both saw at 1 — the wrap lands at 255,
+/// i.e. *above* saturation, which reads as sticky-present: the error is
+/// always in the safe (false-positive) direction, never a false negative.
 struct PresenceFilter {
     /// `STRIPES` banks of `bank_len` counters each, indexed by FP-prefix
     /// stripe so concurrent dedup workers touch disjoint cache lines.
@@ -177,20 +220,24 @@ impl PresenceFilter {
 
     fn add(&self, prefix: u64, fp: &Fingerprint) {
         for slot in self.slots(prefix, fp) {
-            // Saturating: stick at 255 forever rather than wrap.
-            let _ = self.counters[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
-                (c < u8::MAX).then(|| c + 1)
-            });
+            // Wait-free saturating increment: stick at FILTER_SAT rather
+            // than wrap (racy overshoot lands in the 255 - FILTER_SAT
+            // headroom and stays sticky).
+            if self.counters[slot].load(Ordering::Relaxed) < FILTER_SAT {
+                self.counters[slot].fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     fn remove(&self, prefix: u64, fp: &Fingerprint) {
         for slot in self.slots(prefix, fp) {
             // Never decrement a saturated or zero counter (sticky / no
-            // underflow).
-            let _ = self.counters[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
-                (c > 0 && c < u8::MAX).then(|| c - 1)
-            });
+            // underflow). A racy double-decrement at 1 wraps to 255 —
+            // above saturation, i.e. sticky-present, never falsely absent.
+            let c = self.counters[slot].load(Ordering::Relaxed);
+            if c > 0 && c < FILTER_SAT {
+                self.counters[slot].fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -218,6 +265,12 @@ impl Fact {
             reorder_rfc_threshold: std::sync::atomic::AtomicU32::new(2),
             fp: crate::fp::FpThrottle::none(),
             filter: PresenceFilter::new(layout.fact_entries()),
+            // Publish empty tables up front so an entry missing from a
+            // stripe's table authoritatively means "absent" from the start.
+            stripe_tables: (0..STRIPES)
+                .map(|_| RcuCell::new(StripeTable::new()))
+                .collect(),
+            rcu: AtomicBool::new(true),
             dev,
             layout,
             stats,
@@ -233,10 +286,14 @@ impl Fact {
             stack: Vec::new(),
             cursor: fact.entries(),
         };
+        let mut live_prefixes = Vec::new();
         for idx in 0..fact.entries() {
             let e = fact.read_entry(idx);
             if e.is_occupied() {
                 fact.filter.add(e.fp.prefix(fact.prefix_bits()), &e.fp);
+                if idx < fact.layout.daa_entries() {
+                    live_prefixes.push(idx);
+                }
             } else if idx >= fact.layout.daa_entries() {
                 free.stack.push(idx);
             }
@@ -244,7 +301,39 @@ impl Fact {
         // Serve recycled slots in ascending order for determinism.
         free.stack.reverse();
         *fact.iaa_free.lock() = free;
+        // Rebuild the RCU stripe tables by walking each live chain (mount
+        // is single-threaded, so each table is built whole and published
+        // once).
+        let mut tables: Vec<StripeTable> = (0..STRIPES).map(|_| StripeTable::new()).collect();
+        for prefix in live_prefixes {
+            let bank = &mut tables[(prefix as usize) % STRIPES];
+            for (pos, (idx, e)) in fact.chain(prefix).into_iter().enumerate() {
+                bank.insert(
+                    e.fp,
+                    StripeCacheEnt {
+                        idx,
+                        walk_reads: pos as u32 + 1,
+                    },
+                );
+            }
+        }
+        for (sid, table) in tables.into_iter().enumerate() {
+            fact.stripe_tables[sid].publish(table);
+        }
         fact
+    }
+
+    /// Enable or disable the RCU stripe-table read path (enabled by
+    /// default; the off switch exists for benchmarks quantifying its
+    /// effect). Writers keep republishing either way, so re-enabling is
+    /// always safe.
+    pub fn set_rcu_enabled(&self, on: bool) {
+        self.rcu.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether lookups currently take the RCU stripe-table fast path.
+    pub fn rcu_enabled(&self) -> bool {
+        self.rcu.load(Ordering::Relaxed)
     }
 
     /// Enable or disable the DRAM presence filter (enabled by default; the
@@ -494,16 +583,79 @@ impl Fact {
     // Lookup / insert / remove
     // ------------------------------------------------------------------
 
-    /// Look up `fp`: read the DAA entry at its prefix, then walk the IAA
-    /// chain. Returns the entry's index and decoded contents. Lock-free.
+    /// Look up `fp`. Lock-free: the RCU stripe table resolves the entry
+    /// index with one DRAM map probe plus a single verifying PM read; a
+    /// stale table entry (or disabled RCU path) falls back to reading the
+    /// DAA entry at the prefix and walking the IAA chain in PM.
     pub fn lookup(&self, fp: &Fingerprint) -> Option<(u64, FactEntry)> {
+        self.lookup_impl(fp, true)
+    }
+
+    /// `lookup` without the stats bumps — for locked re-checks that would
+    /// otherwise double-count a lookup the fast path already recorded.
+    fn lookup_quiet(&self, fp: &Fingerprint) -> Option<(u64, FactEntry)> {
+        self.lookup_impl(fp, false)
+    }
+
+    fn lookup_impl(&self, fp: &Fingerprint, record: bool) -> Option<(u64, FactEntry)> {
         let prefix = fp.prefix(self.prefix_bits());
-        self.stats.bump_lookups();
+        if record {
+            self.stats.bump_lookups();
+        }
         let filter_armed = self.filter_enabled();
         if filter_armed && !self.filter.maybe_contains(prefix, fp) {
             // Definitely absent: answer from DRAM, zero PM reads.
-            self.stats.bump_filter_skips();
+            if record {
+                self.stats.bump_filter_skips();
+            }
             return None;
+        }
+        if self.rcu_enabled() {
+            let guard = denova_sync::pin();
+            if let Some(table) = self.stripe_tables[(prefix as usize) % STRIPES].load(&guard) {
+                match table.get(fp) {
+                    Some(ent) => {
+                        // One PM read verifies the cached position is
+                        // current; a concurrent remove/promote makes it
+                        // stale, in which case the PM walk below is
+                        // authoritative.
+                        let e = self.read_entry(ent.idx);
+                        if e.is_occupied() && e.fp == *fp {
+                            if record {
+                                self.stats.bump_rcu_reads();
+                                self.stats
+                                    .record_lookup_reads(1, ent.idx < self.daa_entries());
+                                // Section IV-E trigger, fed by the cached
+                                // walk depth the entry would have cost.
+                                if (ent.walk_reads as u64)
+                                    > self
+                                        .reorder_walk_threshold
+                                        .load(std::sync::atomic::Ordering::Relaxed)
+                                    && e.rfc
+                                        >= self
+                                            .reorder_rfc_threshold
+                                            .load(std::sync::atomic::Ordering::Relaxed)
+                                {
+                                    self.mark_reorder_candidate(prefix);
+                                }
+                            }
+                            return Some((ent.idx, e));
+                        }
+                    }
+                    None => {
+                        // A published table is authoritative for absence
+                        // in its stripe: every chain mutation republishes
+                        // before releasing the stripe lock.
+                        if record {
+                            self.stats.bump_rcu_reads();
+                            if filter_armed {
+                                self.stats.bump_filter_false_positives();
+                            }
+                        }
+                        return None;
+                    }
+                }
+            }
         }
         let mut idx = prefix;
         let mut reads = 0u64;
@@ -511,41 +663,57 @@ impl Fact {
             let e = self.read_entry(idx);
             reads += 1;
             if e.is_occupied() && e.fp == *fp {
-                self.stats
-                    .record_lookup_reads(reads, idx < self.daa_entries());
-                // Section IV-E trigger: a hot entry (high RFC) that took a
-                // long chain walk to reach marks its chain for reordering.
-                if reads
-                    > self
-                        .reorder_walk_threshold
-                        .load(std::sync::atomic::Ordering::Relaxed)
-                    && e.rfc
-                        >= self
-                            .reorder_rfc_threshold
+                if record {
+                    self.stats
+                        .record_lookup_reads(reads, idx < self.daa_entries());
+                    // Section IV-E trigger: a hot entry (high RFC) that took
+                    // a long chain walk to reach marks its chain for
+                    // reordering.
+                    if reads
+                        > self
+                            .reorder_walk_threshold
                             .load(std::sync::atomic::Ordering::Relaxed)
-                {
-                    self.reorder_candidates.lock().insert(prefix);
+                        && e.rfc
+                            >= self
+                                .reorder_rfc_threshold
+                                .load(std::sync::atomic::Ordering::Relaxed)
+                    {
+                        self.mark_reorder_candidate(prefix);
+                    }
                 }
                 return Some((idx, e));
             }
             if !e.is_occupied() && idx == prefix {
                 // Empty DAA slot: nothing with this prefix exists.
-                self.stats.record_lookup_reads(reads, true);
-                if filter_armed {
-                    self.stats.bump_filter_false_positives();
+                if record {
+                    self.stats.record_lookup_reads(reads, true);
+                    if filter_armed {
+                        self.stats.bump_filter_false_positives();
+                    }
                 }
                 return None;
             }
             match e.next {
                 NIL => {
-                    self.stats.record_lookup_reads(reads, false);
-                    if filter_armed {
-                        self.stats.bump_filter_false_positives();
+                    if record {
+                        self.stats.record_lookup_reads(reads, false);
+                        if filter_armed {
+                            self.stats.bump_filter_false_positives();
+                        }
                     }
                     return None;
                 }
                 next => idx = next as u64,
             }
+        }
+    }
+
+    /// Flag `prefix`'s chain for reordering without ever blocking the
+    /// lookup that noticed it: if the candidate set is busy, skip — a hot
+    /// chain will trip the trigger again on the next lookup.
+    fn mark_reorder_candidate(&self, prefix: u64) {
+        if let Some(mut set) = self.reorder_candidates.try_lock() {
+            set.insert(prefix);
         }
     }
 
@@ -555,12 +723,30 @@ impl Fact {
     /// a duplicate of the entry's canonical block — unless it *is* the
     /// canonical block, which callers detect via the returned entry).
     ///
-    /// The chain stripe lock is held across the lookup-or-insert so two
-    /// threads cannot insert the same fingerprint twice.
+    /// The duplicate path (fingerprint already present) reserves without
+    /// the stripe lock: resolve through the lock-free lookup, take the UC
+    /// reservation, then re-read the entry to verify the slot still holds
+    /// this fingerprint — a lost race (concurrent removal or slot reuse)
+    /// gives the reservation back with `abort_uc` and retries under the
+    /// lock. Only the insert path (and a fast-path miss) takes the chain
+    /// stripe lock, so two threads cannot insert the same fingerprint
+    /// twice.
     pub fn reserve_or_insert(&self, fp: &Fingerprint, block: u64) -> Result<(u64, FactEntry)> {
         let prefix = fp.prefix(self.prefix_bits());
+        let fast_tried = self.rcu_enabled();
+        if fast_tried {
+            if let Some(hit) = self.try_reserve_existing(fp) {
+                return Ok(hit);
+            }
+        }
         let _guard = self.lock_chain(prefix);
-        if let Some((idx, e)) = self.lookup(fp) {
+        // Quiet re-check when the fast path already recorded this lookup.
+        let locked_hit = if fast_tried {
+            self.lookup_quiet(fp)
+        } else {
+            self.lookup(fp)
+        };
+        if let Some((idx, e)) = locked_hit {
             self.inc_uc(idx);
             self.stats.bump_hits();
             self.dev
@@ -570,12 +756,55 @@ impl Fact {
         }
         let idx = self.insert_locked(prefix, fp, block)?;
         self.inc_uc(idx);
+        self.publish_prefix(prefix);
         self.stats.bump_misses();
         self.stats.bump_inserts();
         self.dev
             .metrics()
             .event("fact.miss", &[("idx", idx), ("block", block)]);
         Ok((idx, self.read_entry(idx)))
+    }
+
+    /// Lock-free duplicate reservation: lookup, `UC += 1`, verify. The
+    /// verify read closes the race with a concurrent removal; the
+    /// remaining ABA window (the slot cleared *and* re-occupied by a
+    /// different fingerprint between the reservation and the verify, so
+    /// the abort returns a unit that was not ours) only perturbs counters
+    /// by one, in the direction the RFC scrubber already reconciles.
+    fn try_reserve_existing(&self, fp: &Fingerprint) -> Option<(u64, FactEntry)> {
+        let (idx, _) = self.lookup(fp)?;
+        self.inc_uc(idx);
+        let e = self.read_entry(idx);
+        if e.is_occupied() && e.fp == *fp {
+            self.stats.bump_hits();
+            self.dev
+                .metrics()
+                .event("fact.hit", &[("idx", idx), ("block", e.block)]);
+            return Some((idx, e));
+        }
+        self.abort_uc(idx);
+        None
+    }
+
+    /// Rebuild and republish the RCU stripe-table entries for `prefix`
+    /// from the authoritative PM chain. Must be called with `prefix`'s
+    /// stripe lock held (publishes are serialized per cell).
+    pub(crate) fn publish_prefix(&self, prefix: u64) {
+        let cell = &self.stripe_tables[(prefix as usize) % STRIPES];
+        let guard = denova_sync::pin();
+        let mut table = cell.load(&guard).cloned().unwrap_or_default();
+        let bits = self.prefix_bits();
+        table.retain(|fp, _| fp.prefix(bits) != prefix);
+        for (pos, (idx, e)) in self.chain(prefix).into_iter().enumerate() {
+            table.insert(
+                e.fp,
+                StripeCacheEnt {
+                    idx,
+                    walk_reads: pos as u32 + 1,
+                },
+            );
+        }
+        cell.publish(table);
     }
 
     /// Insert `(fp, block)` assuming the chain lock for `prefix` is held and
@@ -731,6 +960,7 @@ impl Fact {
             // Un-publish AFTER the entry is gone (promote keeps the head's
             // fp alive in the DAA slot; only `e.fp` leaves the table).
             self.filter.remove(prefix, &e.fp);
+            self.publish_prefix(prefix);
             return Ok(());
         }
         // IAA entry: splice prev → next.
@@ -749,6 +979,7 @@ impl Fact {
         self.clear_metadata(idx);
         self.free_iaa(idx);
         self.filter.remove(prefix, &e.fp);
+        self.publish_prefix(prefix);
         Ok(())
     }
 
@@ -1192,6 +1423,9 @@ mod tests {
     fn filter_disabled_probes_pm() {
         let (dev, fact) = setup();
         fact.set_filter_enabled(false);
+        // With the RCU stripe table also off, an absent lookup must fall
+        // back to the authoritative PM probe.
+        fact.set_rcu_enabled(false);
         let reads0 = dev.stats().snapshot().reads;
         assert!(fact.lookup(&fp_with_prefix(&fact, 9, 1)).is_none());
         assert!(dev.stats().snapshot().reads > reads0);

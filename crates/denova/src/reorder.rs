@@ -77,6 +77,9 @@ pub fn reorder_chain(fact: &Fact, prefix: u64) -> Result<bool> {
     // Finish: commit flag back to the head sentinel.
     fact.write_prev(head, 0);
     dev.crash_point("denova::reorder::done");
+    // Refresh the RCU stripe table: indices are unchanged but the cached
+    // walk depths now reflect the new order.
+    fact.publish_prefix(prefix);
     fact.stats().bump_reorders();
     Ok(true)
 }
@@ -112,6 +115,7 @@ pub fn recover_reorder(fact: &Fact, prefix: u64) -> Result<bool> {
             fact.write_prev(w[1], w[0] as i64);
         }
         fact.write_prev(head, 0);
+        fact.publish_prefix(prefix);
         return Ok(true);
     }
     // Phase-2 crash: prev fields encode the complete new order and the flag
@@ -135,6 +139,7 @@ pub fn recover_reorder(fact: &Fact, prefix: u64) -> Result<bool> {
     }
     fact.write_next(last, NIL);
     fact.write_prev(head, 0);
+    fact.publish_prefix(prefix);
     Ok(true)
 }
 

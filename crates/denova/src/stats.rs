@@ -26,6 +26,7 @@ pub struct DedupStats {
     daa_direct_hits: Counter,
     filter_skips: Counter,
     filter_false_positives: Counter,
+    rcu_reads: Counter,
     hits: Counter,
     misses: Counter,
     inserts: Counter,
@@ -71,6 +72,7 @@ impl DedupStats {
             daa_direct_hits: registry.counter("fact.daa_direct_hits"),
             filter_skips: registry.counter("denova.fact.filter.skips"),
             filter_false_positives: registry.counter("denova.fact.filter.false_positives"),
+            rcu_reads: registry.counter("denova.fact.rcu_reads"),
             hits: registry.counter("fact.hits"),
             misses: registry.counter("fact.misses"),
             inserts: registry.counter("fact.inserts"),
@@ -112,6 +114,10 @@ impl DedupStats {
 
     pub(crate) fn bump_filter_false_positives(&self) {
         self.filter_false_positives.inc();
+    }
+
+    pub(crate) fn bump_rcu_reads(&self) {
+        self.rcu_reads.inc();
     }
 
     pub(crate) fn bump_hits(&self) {
@@ -220,6 +226,12 @@ impl DedupStats {
     /// positives; bounded by the filter's sizing, ~2% at full load).
     pub fn filter_false_positives(&self) -> u64 {
         self.filter_false_positives.get()
+    }
+
+    /// Lookups answered by an RCU-published stripe table (at most one PM
+    /// read to verify the hit, no stripe lock, no chain walk).
+    pub fn rcu_reads(&self) -> u64 {
+        self.rcu_reads.get()
     }
 
     /// Lookups that found an existing fingerprint.

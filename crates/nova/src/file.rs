@@ -51,7 +51,7 @@ impl Nova {
             let first_pg = offset / BLOCK_SIZE;
             let last_pg = (offset + data.len() as u64 - 1) / BLOCK_SIZE;
             let num_pages = last_pg - first_pg + 1;
-            let new_size = ctx.mem.size.max(offset + data.len() as u64);
+            let new_size = ctx.mem.size().max(offset + data.len() as u64);
 
             // Step 1: stage ONLY partial head/tail pages, merging the old
             // contents (or zeros for holes/extension) with the new bytes in
@@ -219,7 +219,7 @@ impl Nova {
             let first_pg = offset / BLOCK_SIZE;
             let last_pg = (offset + data.len() as u64 - 1) / BLOCK_SIZE;
             let num_pages = last_pg - first_pg + 1;
-            let new_size = ctx.mem.size.max(offset + data.len() as u64);
+            let new_size = ctx.mem.size().max(offset + data.len() as u64);
 
             // Build the CoW page images in a full staging buffer.
             let mut pages = vec![0u8; (num_pages * BLOCK_SIZE) as usize];
@@ -307,11 +307,19 @@ impl Nova {
             return Err(NovaError::BadInode(ino));
         }
         let _span = self.device().metrics().span("nova.read");
-        let out = self.with_inode_read(ino, |mem| {
-            if offset >= mem.size {
+        // Lock-free fast path: the closure runs against an optimistic
+        // seqlock snapshot, so a racing writer can expose torn extents.
+        // Every block number is therefore bounds-checked before touching
+        // the device; a violation surfaces as `Corrupt` only if the seq
+        // validates (a genuinely corrupt index), otherwise the attempt is
+        // discarded and retried or re-run under the inode read lock.
+        let total_blocks = self.layout().total_blocks;
+        let out = self.with_inode_read_optimistic(ino, |mem| {
+            let size = mem.size();
+            if offset >= size {
                 return Ok(Vec::new());
             }
-            let len = len.min((mem.size - offset) as usize);
+            let len = len.min((size - offset) as usize);
             // Fill the buffer incrementally: runs of *physically contiguous*
             // blocks are read with a single device access, holes are
             // zero-filled. The buffer is never pre-zeroed wholesale only to
@@ -324,10 +332,13 @@ impl Nova {
                 let left = len - out.len();
                 match mem.radix.get(pg) {
                     Some(entry) => {
+                        if entry.block >= total_blocks {
+                            return Err(NovaError::Corrupt("extent block out of range"));
+                        }
                         let mut take = (BLOCK_SIZE as usize - in_pg).min(left);
                         let mut next_pg = pg + 1;
                         let mut next_block = entry.block + 1;
-                        while take < left {
+                        while take < left && next_block < total_blocks {
                             match mem.radix.get(next_pg) {
                                 Some(e) if e.block == next_block => {
                                     take += (BLOCK_SIZE as usize).min(left - take);
@@ -366,7 +377,7 @@ impl Nova {
             let txid = ctx.next_txid();
             let attr = crate::entry::AttrEntry { new_size, txid }.encode();
             ctx.append(&[attr], "nova::truncate")?;
-            if new_size < ctx.mem.size {
+            if new_size < ctx.mem.size() {
                 let first_dead_pg = new_size.div_ceil(BLOCK_SIZE);
                 let removed = ctx.mem.radix.remove_from(first_dead_pg);
                 for (_, e) in &removed {
@@ -377,7 +388,7 @@ impl Nova {
                     ctx.reclaim_block(b);
                 }
             }
-            ctx.mem.size = new_size;
+            ctx.mem.set_size(new_size);
             ctx.commit_size(new_size)?;
             Ok(self.emit_op(|| FsOp::Truncate {
                 ino,

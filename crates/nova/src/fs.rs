@@ -59,14 +59,28 @@ impl Default for NovaOptions {
 
 /// Per-inode DRAM state: the radix tree index plus log bookkeeping. Rebuilt
 /// from the persistent log on recovery.
+///
+/// ## Optimistic-reader contract
+///
+/// Since the lock-free read path landed, `Nova::read`/`stat`/`file_size`
+/// may observe an `&InodeMem` *without* holding the inode read lock,
+/// racing a writer that holds the write lock (the race is bracketed by the
+/// inode's seqlock, so torn results are discarded). Closures running on
+/// that optimistic path must therefore touch **only** the torn-tolerant
+/// fields: `radix` (internally atomic), `size()`, `is_dead()`, and the
+/// `*_hint()` accessors. The `entry_live`/`live_per_page` hash maps and
+/// `pos` are plain data — reading them while a writer runs is a data race,
+/// which is why the quantities the read path needs from them are mirrored
+/// into atomic hints by [`InodeMem::refresh_hints`].
 #[derive(Debug, Default)]
 pub struct InodeMem {
     /// File page offset → backing (entry, block).
     pub radix: RadixTree,
-    /// Log head/tail mirror.
+    /// Log head/tail mirror. Lock-holders only (see the contract above).
     pub pos: LogPosition,
-    /// Current file size in bytes.
-    pub size: u64,
+    /// Current file size in bytes (atomic so the lock-free read path can
+    /// load it). Use [`InodeMem::size`]/[`InodeMem::set_size`].
+    size: AtomicU64,
     /// Live (non-superseded) pages remaining per write entry, keyed by entry
     /// device offset. An entry with zero live pages is dead.
     pub entry_live: HashMap<u64, u32>,
@@ -77,10 +91,53 @@ pub struct InodeMem {
     /// Late lockers — e.g. a dedup daemon that cloned the inode's `Arc`
     /// moments before an unlink — must observe this and back off instead of
     /// touching freed pages.
-    pub dead: bool,
+    dead: AtomicBool,
+    /// Atomic mirror of `entry_live.len()` for the lock-free `stat` path.
+    live_entries_hint: AtomicU64,
+    /// Atomic mirror of `pos.head` for the lock-free `stat` path.
+    log_head_hint: AtomicU64,
 }
 
 impl InodeMem {
+    /// Current file size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size.load(Ordering::Acquire)
+    }
+
+    /// Set the cached file size (callers hold the inode write lock).
+    pub fn set_size(&mut self, size: u64) {
+        self.size.store(size, Ordering::Release);
+    }
+
+    /// Whether this inode has been released (tombstoned).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Tombstone the inode (callers hold the inode write lock).
+    pub fn mark_dead(&mut self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Live write-entry count mirror (lock-free `stat`; may lag the maps by
+    /// an in-flight write, which the seqlock retry resolves).
+    pub fn live_entries_hint(&self) -> u64 {
+        self.live_entries_hint.load(Ordering::Acquire)
+    }
+
+    /// Log-head mirror for the lock-free `stat` log-chain walk.
+    pub fn log_head_hint(&self) -> u64 {
+        self.log_head_hint.load(Ordering::Acquire)
+    }
+
+    /// Re-mirror the plain bookkeeping fields into their atomic hints.
+    /// Called after every write-locked mutation section and after recovery
+    /// rebuilds an inode.
+    pub fn refresh_hints(&mut self) {
+        self.live_entries_hint
+            .store(self.entry_live.len() as u64, Ordering::Release);
+        self.log_head_hint.store(self.pos.head, Ordering::Release);
+    }
     /// Register a freshly-appended write entry and fold it into the radix
     /// tree. Returns the data blocks this entry superseded (to reclaim) —
     /// never including blocks the new entry itself references.
@@ -104,7 +161,7 @@ impl InodeMem {
                 }
             }
         }
-        self.size = self.size.max(we.size_after);
+        self.set_size(self.size().max(we.size_after));
         superseded
     }
 
@@ -128,6 +185,121 @@ impl InodeMem {
     }
 }
 
+/// One inode's concurrency envelope: the seqlock + RwLock pair guarding
+/// its DRAM state.
+///
+/// * Writers take `lock.write()` and bump `seq` odd → mutate → even (via
+///   [`denova_sync::SeqCount::write_scope`]).
+/// * Locked readers take `lock.read()` (seq is necessarily even and stable
+///   while they hold it).
+/// * Optimistic readers take **no lock**: snapshot `seq`, read the
+///   torn-tolerant fields of `mem` (see [`InodeMem`]'s contract), and keep
+///   the result only if `seq` validates — otherwise fall back to the lock.
+///
+/// The `InodeMem` lives in an `UnsafeCell` beside the lock (rather than
+/// inside `RwLock<InodeMem>`) so the optimistic path can form a shared
+/// reference without touching the lock word at all.
+pub(crate) struct InodeSlot {
+    seq: denova_sync::SeqCount,
+    lock: RwLock<()>,
+    mem: std::cell::UnsafeCell<InodeMem>,
+}
+
+// SAFETY: access to `mem` follows the seqlock/RwLock discipline above:
+// `&mut` only under the write lock, `&` under the read lock or (optimistic
+// path) restricted to atomic fields with results gated on seq validation.
+unsafe impl Send for InodeSlot {}
+unsafe impl Sync for InodeSlot {}
+
+impl InodeSlot {
+    fn new(mem: InodeMem) -> Arc<InodeSlot> {
+        Arc::new(InodeSlot {
+            seq: denova_sync::SeqCount::new(),
+            lock: RwLock::new(()),
+            mem: std::cell::UnsafeCell::new(mem),
+        })
+    }
+}
+
+/// Number of shards in the inode map. Inode numbers are allocated
+/// sequentially, so modulo sharding spreads hot inodes evenly.
+const MAP_SHARDS: usize = 32;
+
+/// Sharded, epoch-protected inode map: lookups never take any lock — they
+/// pin the epoch, load the shard's published `HashMap` snapshot, and clone
+/// the target `Arc`. Mutations (create/unlink — rare next to lookups)
+/// serialize on a per-shard mutex, clone-modify the shard's map, publish
+/// the new snapshot, and retire the old one through the epoch collector.
+struct ShardedInodeMap {
+    shards: Vec<MapShard>,
+}
+
+struct MapShard {
+    current: denova_sync::RcuCell<HashMap<u64, Arc<InodeSlot>>>,
+    write: Mutex<()>,
+}
+
+impl ShardedInodeMap {
+    fn new() -> ShardedInodeMap {
+        ShardedInodeMap {
+            shards: (0..MAP_SHARDS)
+                .map(|_| MapShard {
+                    current: denova_sync::RcuCell::new(HashMap::new()),
+                    write: Mutex::new(()),
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, ino: u64) -> &MapShard {
+        &self.shards[(ino as usize) % MAP_SHARDS]
+    }
+
+    /// Lock-free lookup: one epoch pin, one atomic load, one `Arc` clone.
+    fn get(&self, ino: u64) -> Option<Arc<InodeSlot>> {
+        let guard = denova_sync::pin();
+        self.shard(ino)
+            .current
+            .load(&guard)
+            .and_then(|m| m.get(&ino).cloned())
+    }
+
+    fn insert(&self, ino: u64, slot: Arc<InodeSlot>) {
+        let shard = self.shard(ino);
+        let _w = shard.write.lock();
+        let guard = denova_sync::pin();
+        let mut next = shard.current.load(&guard).cloned().unwrap_or_default();
+        drop(guard);
+        next.insert(ino, slot);
+        shard.current.publish(next);
+    }
+
+    fn remove(&self, ino: u64) {
+        let shard = self.shard(ino);
+        let _w = shard.write.lock();
+        let guard = denova_sync::pin();
+        let mut next = shard.current.load(&guard).cloned().unwrap_or_default();
+        drop(guard);
+        next.remove(&ino);
+        shard.current.publish(next);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Clone one shard's slots into `out` (cleared first). Scans use this
+    /// to visit inodes shard-by-shard without materializing a global
+    /// snapshot or holding any map-wide lock.
+    fn collect_shard(&self, idx: usize, out: &mut Vec<(u64, Arc<InodeSlot>)>) {
+        out.clear();
+        let guard = denova_sync::pin();
+        if let Some(m) = self.shards[idx].current.load(&guard) {
+            out.extend(m.iter().map(|(ino, slot)| (*ino, slot.clone())));
+        }
+    }
+}
+
 /// The NOVA-like log-structured file system.
 pub struct Nova {
     dev: Arc<PmemDevice>,
@@ -137,8 +309,9 @@ pub struct Nova {
     /// truth is the root directory inode's dentry log.
     namespace: Mutex<HashMap<String, u64>>,
     /// Per-inode DRAM state. `Arc` so callers can hold an inode lock without
-    /// holding the map lock.
-    inode_map: RwLock<HashMap<u64, Arc<RwLock<InodeMem>>>>,
+    /// holding any map-level lock; the map itself is sharded and
+    /// epoch-protected so lookups are lock-free.
+    inode_map: ShardedInodeMap,
     /// Next inode slot to probe when allocating.
     inode_cursor: Mutex<u64>,
     txid: AtomicU64,
@@ -149,8 +322,9 @@ pub struct Nova {
     stats: NovaStats,
     /// Pool of 4 KiB staging pages for partial head/tail CoW merges in the
     /// zero-copy write path: only unaligned edges are staged, so the pool
-    /// stays tiny and full pages never touch a bounce buffer.
-    scratch: Mutex<Vec<Box<[u8; BLOCK_SIZE as usize]>>>,
+    /// stays tiny and full pages never touch a bounce buffer. A lock-free
+    /// Treiber stack so concurrent unaligned writers never contend on it.
+    scratch: denova_sync::Stack<Box<[u8; BLOCK_SIZE as usize]>>,
     /// Names of two-phase-commit prepare/staging records
     /// ([`PREPARE_PREFIX`]) found in the namespace by mount-time recovery.
     /// A crashed cross-shard transaction leaves these behind; the cluster
@@ -190,14 +364,14 @@ impl Nova {
         let fs = Nova {
             alloc: Allocator::new(opts.cpus, layout.data_start, layout.data_blocks()),
             namespace: Mutex::new(HashMap::new()),
-            inode_map: RwLock::new(HashMap::new()),
+            inode_map: ShardedInodeMap::new(),
             inode_cursor: Mutex::new(1),
             txid: AtomicU64::new(1),
             dedup_enabled: AtomicBool::new(opts.dedup_enabled),
             hooks: RwLock::new(Arc::new(NoHooks)),
             op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
-            scratch: Mutex::new(Vec::new()),
+            scratch: denova_sync::Stack::new(),
             orphan_prepares: Vec::new(),
             layout,
             dev,
@@ -205,8 +379,7 @@ impl Nova {
         // Root directory inode.
         fs.table().init(ROOT_INO, true)?;
         fs.inode_map
-            .write()
-            .insert(ROOT_INO, Arc::new(RwLock::new(InodeMem::default())));
+            .insert(ROOT_INO, InodeSlot::new(InodeMem::default()));
         Ok(fs)
     }
 
@@ -222,23 +395,22 @@ impl Nova {
                 .counter("nova.recovery.orphan_prepares")
                 .add(recovered.orphan_prepares.len() as u64);
         }
+        let inode_map = ShardedInodeMap::new();
+        for (ino, mut mem) in recovered.inodes {
+            mem.refresh_hints();
+            inode_map.insert(ino, InodeSlot::new(mem));
+        }
         Ok(Nova {
             alloc: recovered.alloc,
             namespace: Mutex::new(recovered.namespace),
-            inode_map: RwLock::new(
-                recovered
-                    .inodes
-                    .into_iter()
-                    .map(|(ino, mem)| (ino, Arc::new(RwLock::new(mem))))
-                    .collect(),
-            ),
+            inode_map,
             inode_cursor: Mutex::new(1),
             txid: AtomicU64::new(recovered.next_txid),
             dedup_enabled: AtomicBool::new(opts.dedup_enabled),
             hooks: RwLock::new(Arc::new(NoHooks)),
             op_tap: RwLock::new(None),
             stats: NovaStats::new(dev.metrics()),
-            scratch: Mutex::new(Vec::new()),
+            scratch: denova_sync::Stack::new(),
             orphan_prepares: recovered.orphan_prepares,
             layout,
             dev,
@@ -254,19 +426,19 @@ impl Nova {
         &self.orphan_prepares
     }
 
-    /// Take a 4 KiB scratch page from the pool (or allocate one).
+    /// Take a 4 KiB scratch page from the pool (or allocate one). Lock-free.
     pub(crate) fn scratch_acquire(&self) -> Box<[u8; BLOCK_SIZE as usize]> {
         self.scratch
-            .lock()
             .pop()
             .unwrap_or_else(|| Box::new([0u8; BLOCK_SIZE as usize]))
     }
 
-    /// Return a scratch page to the pool.
+    /// Return a scratch page to the pool (dropped if the pool is full; the
+    /// length check is racy, so the cap is approximate — that only means a
+    /// rare extra pooled page or an extra allocation, never contention).
     pub(crate) fn scratch_release(&self, page: Box<[u8; BLOCK_SIZE as usize]>) {
-        let mut pool = self.scratch.lock();
-        if pool.len() < SCRATCH_POOL_CAP {
-            pool.push(page);
+        if self.scratch.approx_len() < SCRATCH_POOL_CAP {
+            self.scratch.push(page);
         }
     }
 
@@ -379,12 +551,8 @@ impl Nova {
     // Inode access
     // ------------------------------------------------------------------
 
-    fn inode_arc(&self, ino: u64) -> Result<Arc<RwLock<InodeMem>>> {
-        self.inode_map
-            .read()
-            .get(&ino)
-            .cloned()
-            .ok_or(NovaError::BadInode(ino))
+    fn inode_slot(&self, ino: u64) -> Result<Arc<InodeSlot>> {
+        self.inode_map.get(ino).ok_or(NovaError::BadInode(ino))
     }
 
     /// Run `f` with the inode's DRAM state read-locked.
@@ -393,34 +561,96 @@ impl Nova {
         ino: u64,
         f: impl FnOnce(&InodeMem) -> Result<R>,
     ) -> Result<R> {
-        let arc = self.inode_arc(ino)?;
-        let mem = arc.read();
-        if mem.dead {
+        let slot = self.inode_slot(ino)?;
+        let _r = slot.lock.read();
+        // SAFETY: holding the read lock excludes every `&mut` (writers take
+        // the write lock).
+        let mem = unsafe { &*slot.mem.get() };
+        if mem.is_dead() {
             return Err(NovaError::BadInode(ino));
         }
-        f(&mem)
+        f(mem)
+    }
+
+    /// Optimistic attempts before falling back to the read lock: one retry
+    /// absorbs the common "writer finished an instant ago" conflict.
+    const OPTIMISTIC_ATTEMPTS: usize = 2;
+
+    /// Run `f` against the inode's DRAM state **without taking any lock**,
+    /// validating via the inode's seqlock; falls back to the read lock
+    /// after [`Self::OPTIMISTIC_ATTEMPTS`] conflicts or while a writer is
+    /// mid-mutation.
+    ///
+    /// `f` must honor [`InodeMem`]'s optimistic-reader contract (touch only
+    /// torn-tolerant fields) and must tolerate torn *values* — anything it
+    /// computes from a snapshot that fails validation is discarded, but it
+    /// must not panic or index out of bounds on garbage in the meantime
+    /// (return an error instead; errors from invalidated snapshots are
+    /// discarded too).
+    pub fn with_inode_read_optimistic<R>(
+        &self,
+        ino: u64,
+        f: impl Fn(&InodeMem) -> Result<R>,
+    ) -> Result<R> {
+        let slot = self.inode_slot(ino)?;
+        for _ in 0..Self::OPTIMISTIC_ATTEMPTS {
+            // Pin before the seq snapshot: a concurrent release_inode may
+            // replace the radix tree; the pin keeps the retired subtree
+            // alive until we are done walking it.
+            let _g = denova_sync::pin();
+            let Some(s1) = slot.seq.read_begin() else {
+                break; // writer active: go straight to the lock
+            };
+            // SAFETY: no `&mut` aliasing UB — the whole InodeMem sits in an
+            // UnsafeCell, and `f` only reads atomic fields (the contract
+            // above), so a racing writer constitutes no data race.
+            let mem = unsafe { &*slot.mem.get() };
+            if mem.is_dead() {
+                if slot.seq.validate(s1) {
+                    return Err(NovaError::BadInode(ino));
+                }
+                NovaStats::add(&self.stats.read_seq_retries, 1);
+                continue;
+            }
+            let r = f(mem);
+            if slot.seq.validate(s1) {
+                NovaStats::add(&self.stats.read_optimistic_hits, 1);
+                return r;
+            }
+            NovaStats::add(&self.stats.read_seq_retries, 1);
+        }
+        self.with_inode_read(ino, f)
     }
 
     /// Run `f` with the inode write-locked, in a context that can append log
     /// entries, update the index, and reclaim blocks. This is the "holds an
     /// inode lock" critical section the paper describes for both foreground
-    /// writes and the deduplication process.
+    /// writes and the deduplication process. The inode's seqlock is held
+    /// odd for the duration, diverting optimistic readers to the lock.
     pub fn with_inode_write<R>(
         &self,
         ino: u64,
         f: impl FnOnce(&mut InodeCtx<'_>) -> Result<R>,
     ) -> Result<R> {
-        let arc = self.inode_arc(ino)?;
-        let mut mem = arc.write();
-        if mem.dead {
+        let slot = self.inode_slot(ino)?;
+        let _w = slot.lock.write();
+        // SAFETY: the write lock grants exclusive access among lockers;
+        // optimistic readers only touch atomic fields and discard on seq
+        // conflict.
+        let mem = unsafe { &mut *slot.mem.get() };
+        if mem.is_dead() {
             return Err(NovaError::BadInode(ino));
         }
-        let mut ctx = InodeCtx {
-            fs: self,
-            ino,
-            mem: &mut mem,
+        let _seq = slot.seq.write_scope();
+        let r = {
+            let mut ctx = InodeCtx { fs: self, ino, mem };
+            f(&mut ctx)
         };
-        f(&mut ctx)
+        // Re-mirror the hash-map-derived hints for the lock-free stat path
+        // before the seq goes even again.
+        // SAFETY: still under the write lock.
+        unsafe { &mut *slot.mem.get() }.refresh_hints();
+        r
     }
 
     /// Bitmap of data blocks currently referenced by any file's radix tree.
@@ -430,10 +660,17 @@ impl Nova {
     /// turn, so it runs concurrently with foreground I/O.
     pub fn referenced_blocks(&self) -> crate::alloc::BlockBitmap {
         let mut bitmap = crate::alloc::BlockBitmap::new(self.layout.total_blocks);
-        let arcs: Vec<Arc<RwLock<InodeMem>>> = self.inode_map.read().values().cloned().collect();
-        for arc in arcs {
-            let mem = arc.read();
-            mem.radix.for_each(|_, e| bitmap.set(e.block));
+        // Shard-by-shard: no global-map lock, no all-inodes snapshot
+        // allocation — at most one shard's Arcs are cloned at a time.
+        let mut slots = Vec::new();
+        for si in 0..self.inode_map.shard_count() {
+            self.inode_map.collect_shard(si, &mut slots);
+            for (_ino, slot) in &slots {
+                let _r = slot.lock.read();
+                // SAFETY: read lock held (see with_inode_read).
+                let mem = unsafe { &*slot.mem.get() };
+                mem.radix.for_each(|_, e| bitmap.set(e.block));
+            }
         }
         bitmap
     }
@@ -443,24 +680,28 @@ impl Nova {
     /// over-increment cases of Section V-C2.
     pub fn block_reference_counts(&self) -> HashMap<u64, u32> {
         let mut counts: HashMap<u64, u32> = HashMap::new();
-        let arcs: Vec<Arc<RwLock<InodeMem>>> = self.inode_map.read().values().cloned().collect();
-        for arc in arcs {
-            let mem = arc.read();
-            mem.radix
-                .for_each(|_, e| *counts.entry(e.block).or_insert(0) += 1);
+        let mut slots = Vec::new();
+        for si in 0..self.inode_map.shard_count() {
+            self.inode_map.collect_shard(si, &mut slots);
+            for (_ino, slot) in &slots {
+                let _r = slot.lock.read();
+                // SAFETY: read lock held (see with_inode_read).
+                let mem = unsafe { &*slot.mem.get() };
+                mem.radix
+                    .for_each(|_, e| *counts.entry(e.block).or_insert(0) += 1);
+            }
         }
         counts
     }
 
     /// Inode numbers currently live (excluding the root directory).
     pub fn live_inodes(&self) -> Vec<u64> {
-        let mut inos: Vec<u64> = self
-            .inode_map
-            .read()
-            .keys()
-            .copied()
-            .filter(|&i| i != ROOT_INO)
-            .collect();
+        let mut inos = Vec::new();
+        let mut slots = Vec::new();
+        for si in 0..self.inode_map.shard_count() {
+            self.inode_map.collect_shard(si, &mut slots);
+            inos.extend(slots.iter().map(|(ino, _)| *ino).filter(|&i| i != ROOT_INO));
+        }
         inos.sort();
         inos
     }
@@ -503,8 +744,7 @@ impl Nova {
             Ok(())
         })?;
         self.inode_map
-            .write()
-            .insert(ino, Arc::new(RwLock::new(InodeMem::default())));
+            .insert(ino, InodeSlot::new(InodeMem::default()));
         ns.insert(name.to_string(), ino);
         // Tap under the namespace lock: replication must see name operations
         // in their commit order. Settle (which may block on standby acks)
@@ -616,9 +856,9 @@ impl Nova {
         Ok(())
     }
 
-    /// Current size of the file at `ino`.
+    /// Current size of the file at `ino` (lock-free on the happy path).
     pub fn file_size(&self, ino: u64) -> Result<u64> {
-        self.with_inode_read(ino, |mem| Ok(mem.size))
+        self.with_inode_read_optimistic(ino, |mem| Ok(mem.size()))
     }
 
     /// Rename `from` to `to`, atomically replacing `to` if it exists.
@@ -692,22 +932,24 @@ impl Nova {
         Ok(())
     }
 
-    /// File metadata snapshot.
+    /// File metadata snapshot (lock-free on the happy path: every field it
+    /// reads is an atomic mirror, and the log-chain walk is bounded by the
+    /// device size so a torn head value cannot loop it forever — the
+    /// seqlock discards the result in that case).
     pub fn stat(&self, ino: u64) -> Result<FileStat> {
         let pi = self.table().read(ino)?;
         if !pi.valid {
             return Err(NovaError::BadInode(ino));
         }
-        self.with_inode_read(ino, |mem| {
-            let mut blocks = 0u64;
-            mem.radix.for_each(|_, _| blocks += 1);
+        self.with_inode_read_optimistic(ino, |mem| {
             Ok(FileStat {
                 ino,
-                size: mem.size,
-                blocks,
+                size: mem.size(),
+                blocks: mem.radix.len() as u64,
                 nlink: pi.link_count,
-                log_pages: log::log_pages(&self.dev, &self.layout, mem.pos.head).len() as u64,
-                log_entries_live: mem.entry_live.len() as u64,
+                log_pages: log::log_pages(&self.dev, &self.layout, mem.log_head_hint()).len()
+                    as u64,
+                log_entries_live: mem.live_entries_hint(),
             })
         })
     }
@@ -715,17 +957,21 @@ impl Nova {
     /// Release an inode's data pages, log chain, and slot (unlink/rename
     /// clobber path; the dentry removal must already be committed).
     fn release_inode(&self, ino: u64) -> Result<()> {
-        let arc = self.inode_arc(ino)?;
+        let slot = self.inode_slot(ino)?;
         {
-            let mut mem = arc.write();
-            if mem.dead {
+            let _w = slot.lock.write();
+            // SAFETY: write lock held (see with_inode_write).
+            let mem = unsafe { &mut *slot.mem.get() };
+            if mem.is_dead() {
                 return Ok(()); // already released by a racing caller
             }
-            let mut ctx = InodeCtx {
-                fs: self,
-                ino,
-                mem: &mut mem,
-            };
+            // Seq odd for the whole release: optimistic readers racing the
+            // block frees below always land on the fallback lock, where
+            // they observe the tombstone. The replaced radix tree is
+            // retired through the epoch collector (see RadixTree::drop),
+            // so a reader already mid-walk stays memory-safe too.
+            let _seq = slot.seq.write_scope();
+            let mut ctx = InodeCtx { fs: self, ino, mem };
             let blocks: Vec<u64> = {
                 let mut v = Vec::new();
                 ctx.mem.radix.for_each(|_, e| v.push(e.block));
@@ -741,13 +987,12 @@ impl Nova {
             }
             // Tombstone before the lock drops: anyone queued on this lock
             // must not touch the pages we just freed.
-            *ctx.mem = InodeMem {
-                dead: true,
-                ..Default::default()
-            };
+            let mut dead = InodeMem::default();
+            dead.mark_dead();
+            *ctx.mem = dead;
         }
         self.table().clear(ino)?;
-        self.inode_map.write().remove(&ino);
+        self.inode_map.remove(ino);
         Ok(())
     }
 }
@@ -858,14 +1103,14 @@ impl InodeCtx<'_> {
     /// (see [`crate::inode::InodeTable::cache_size`] for why that is safe),
     /// keeping the write commit path at a single fence pair.
     pub fn commit_size(&mut self, size: u64) -> Result<()> {
-        if self.mem.size == size {
+        if self.mem.size() == size {
             // Overwrites that don't grow the file leave the size line
             // untouched: the PM size field is advisory (recovery recomputes
             // it from the log's `size_after`), so skipping the store + flush
             // is safe and saves a line flush per steady-state overwrite.
             return Ok(());
         }
-        self.mem.size = size;
+        self.mem.set_size(size);
         self.fs.table().cache_size(self.ino, size)
     }
 
@@ -874,7 +1119,7 @@ impl InodeCtx<'_> {
     /// benchmarks and equivalence tests can compare against the historical
     /// behavior.
     pub fn commit_size_durable(&mut self, size: u64) -> Result<()> {
-        self.mem.size = size;
+        self.mem.set_size(size);
         self.fs.table().set_size(self.ino, size)
     }
 

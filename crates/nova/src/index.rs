@@ -9,6 +9,25 @@
 //!
 //! The tree uses 6-bit fanout (64 children) with dynamic height, so small
 //! files pay one node and 64 GB files pay five levels.
+//!
+//! ## Concurrency
+//!
+//! Since the lock-free read path landed, the tree is *optimistic-reader
+//! safe*: every slot and child pointer is an atomic, so `get`/`for_each`
+//! may run concurrently with a mutator without undefined behavior. The
+//! results of such a racing read can still be **torn** (e.g. an `EntryRef`
+//! whose `entry_off` and `block` come from different versions) — callers
+//! on the optimistic path must discard them unless the inode's seqlock
+//! validates. Mutating methods keep `&mut self`, preserving the
+//! single-writer discipline the inode write lock already provides.
+//!
+//! Memory reclamation: interior nodes are never freed while the tree is
+//! live (emptied nodes are left in place, as before); when the tree itself
+//! drops — release_inode replaces the whole `InodeMem` — the subtree is
+//! retired through `denova_sync::epoch`, so an optimistic reader still
+//! walking the old tree under a pin never touches freed memory.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// What a file page resolves to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,29 +41,77 @@ pub struct EntryRef {
 const BITS: u32 = 6;
 const FANOUT: usize = 1 << BITS;
 
+/// Sentinel in a leaf's `entry_off` slot meaning "unmapped". Log entries
+/// live at device byte offsets, which never reach `u64::MAX`.
+const EMPTY_OFF: u64 = u64::MAX;
+
+struct Leaf {
+    /// `EMPTY_OFF` = slot unmapped; any other value = the entry offset.
+    off: [AtomicU64; FANOUT],
+    block: [AtomicU64; FANOUT],
+}
+
+struct Internal {
+    children: [AtomicPtr<Node>; FANOUT],
+}
+
+// Nodes are always individually boxed, so the variant size gap only makes
+// internal nodes as large as leaves — irrelevant next to pointer-chasing
+// cost, and boxing the leaf arrays would add an indirection to every read.
+#[allow(clippy::large_enum_variant)]
 enum Node {
-    Internal(Box<[Option<Box<Node>>; FANOUT]>),
-    Leaf(Box<[Option<EntryRef>; FANOUT]>),
+    Internal(Internal),
+    Leaf(Leaf),
 }
 
 impl Node {
-    fn new_internal() -> Box<Node> {
-        Box::new(Node::Internal(Box::new(std::array::from_fn(|_| None))))
+    fn new_internal() -> *mut Node {
+        Box::into_raw(Box::new(Node::Internal(Internal {
+            children: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        })))
     }
 
-    fn new_leaf() -> Box<Node> {
-        Box::new(Node::Leaf(Box::new([None; FANOUT])))
+    fn new_leaf() -> *mut Node {
+        Box::into_raw(Box::new(Node::Leaf(Leaf {
+            off: std::array::from_fn(|_| AtomicU64::new(EMPTY_OFF)),
+            block: std::array::from_fn(|_| AtomicU64::new(0)),
+        })))
     }
 }
+
+/// Free a subtree. Caller must have exclusive access to the memory (either
+/// `&mut` ownership or a matured epoch grace period).
+unsafe fn free_subtree(p: *mut Node) {
+    if p.is_null() {
+        return;
+    }
+    let node = Box::from_raw(p);
+    if let Node::Internal(ref internal) = *node {
+        for child in &internal.children {
+            free_subtree(child.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// Send wrapper so the deferred free closure can carry the root pointer.
+struct RawNode(*mut Node);
+// SAFETY: the subtree is unreachable once retired; only the collector
+// thread that runs the deferred closure touches it.
+unsafe impl Send for RawNode {}
 
 /// Radix tree over `u64` page offsets.
 pub struct RadixTree {
-    root: Option<Box<Node>>,
+    root: AtomicPtr<Node>,
     /// Number of levels; a height-1 tree is a single leaf indexing keys
     /// `0..64`, height 2 indexes `0..4096`, etc.
-    height: u32,
-    len: usize,
+    height: AtomicU32,
+    len: AtomicUsize,
 }
+
+// SAFETY: all interior state is atomic; mutation is `&mut self` and reads
+// tolerate racing mutators (see module docs).
+unsafe impl Send for RadixTree {}
+unsafe impl Sync for RadixTree {}
 
 impl Default for RadixTree {
     fn default() -> Self {
@@ -52,79 +119,111 @@ impl Default for RadixTree {
     }
 }
 
+fn capacity_at(height: u32) -> u64 {
+    1u64.checked_shl(BITS * height).unwrap_or(u64::MAX)
+}
+
 impl RadixTree {
     /// Create a new instance.
     pub fn new() -> Self {
         RadixTree {
-            root: None,
-            height: 1,
-            len: 0,
+            root: AtomicPtr::new(std::ptr::null_mut()),
+            height: AtomicU32::new(1),
+            len: AtomicUsize::new(0),
         }
     }
 
     /// Number of mapped pages.
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Acquire)
     }
 
     /// Whether the container is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Keys representable at the current height.
     fn capacity(&self) -> u64 {
-        1u64.checked_shl(BITS * self.height).unwrap_or(u64::MAX)
+        capacity_at(self.height.load(Ordering::Acquire))
     }
 
     fn grow_to_fit(&mut self, key: u64) {
         while key >= self.capacity() {
-            let old = self.root.take();
-            if let Some(old) = old {
-                let mut internal = Node::new_internal();
-                if let Node::Internal(children) = internal.as_mut() {
-                    children[0] = Some(old);
+            let old = self.root.load(Ordering::Relaxed);
+            if !old.is_null() {
+                let internal = Node::new_internal();
+                // SAFETY: freshly allocated above, exclusively ours until
+                // the store publishes it.
+                if let Node::Internal(ref i) = unsafe { &*internal } {
+                    i.children[0].store(old, Ordering::Relaxed);
                 }
-                self.root = Some(internal);
+                // Publish the taller root before the height: a racing
+                // optimistic reader that sees (new root, old height)
+                // bottoms out early and returns None, which the seqlock
+                // validation then discards.
+                self.root.store(internal, Ordering::Release);
             }
-            self.height += 1;
+            self.height.fetch_add(1, Ordering::Release);
         }
     }
 
     /// Insert `key → val`, returning the previous mapping if any.
     pub fn insert(&mut self, key: u64, val: EntryRef) -> Option<EntryRef> {
+        debug_assert_ne!(val.entry_off, EMPTY_OFF, "entry_off collides with sentinel");
         self.grow_to_fit(key);
-        let height = self.height;
-        let root = self.root.get_or_insert_with(|| {
-            if height == 1 {
-                Node::new_leaf()
+        let height = self.height.load(Ordering::Relaxed);
+        let mut node = {
+            let p = self.root.load(Ordering::Relaxed);
+            if p.is_null() {
+                let fresh = if height == 1 {
+                    Node::new_leaf()
+                } else {
+                    Node::new_internal()
+                };
+                self.root.store(fresh, Ordering::Release);
+                fresh
             } else {
-                Node::new_internal()
+                p
             }
-        });
-        let mut node = root.as_mut();
+        };
         let mut level = height;
         loop {
             let shift = BITS * (level - 1);
             let idx = ((key >> shift) as usize) & (FANOUT - 1);
-            match node {
-                Node::Leaf(slots) => {
+            // SAFETY: nodes reachable from the root are never freed while
+            // the tree is live, and we hold `&mut self`.
+            match unsafe { &*node } {
+                Node::Leaf(leaf) => {
                     debug_assert_eq!(level, 1);
-                    let old = slots[idx].replace(val);
-                    if old.is_none() {
-                        self.len += 1;
+                    let old_off = leaf.off[idx].load(Ordering::Relaxed);
+                    let old_block = leaf.block[idx].load(Ordering::Relaxed);
+                    // Block first, then offset: a slot becomes visible to
+                    // readers only once `off != EMPTY_OFF`. (A racing
+                    // reader can still pair old/new values — the seqlock
+                    // catches that.)
+                    leaf.block[idx].store(val.block, Ordering::Release);
+                    leaf.off[idx].store(val.entry_off, Ordering::Release);
+                    if old_off == EMPTY_OFF {
+                        self.len.fetch_add(1, Ordering::Release);
+                        return None;
                     }
-                    return old;
+                    return Some(EntryRef {
+                        entry_off: old_off,
+                        block: old_block,
+                    });
                 }
-                Node::Internal(children) => {
-                    let child = children[idx].get_or_insert_with(|| {
-                        if level == 2 {
+                Node::Internal(internal) => {
+                    let mut child = internal.children[idx].load(Ordering::Relaxed);
+                    if child.is_null() {
+                        child = if level == 2 {
                             Node::new_leaf()
                         } else {
                             Node::new_internal()
-                        }
-                    });
-                    node = child.as_mut();
+                        };
+                        internal.children[idx].store(child, Ordering::Release);
+                    }
+                    node = child;
                     level -= 1;
                 }
             }
@@ -132,19 +231,42 @@ impl RadixTree {
     }
 
     /// Look up `key`.
+    ///
+    /// Safe to call concurrently with a mutator; the result may then be
+    /// stale or torn and must be discarded unless the caller's seqlock
+    /// validates (see module docs).
     pub fn get(&self, key: u64) -> Option<EntryRef> {
-        if key >= self.capacity() {
+        let height = self.height.load(Ordering::Acquire);
+        if key >= capacity_at(height) {
             return None;
         }
-        let mut node = self.root.as_deref()?;
-        let mut level = self.height;
+        let mut node = self.root.load(Ordering::Acquire);
+        let mut level = height;
         loop {
+            if node.is_null() || level == 0 {
+                // level == 0 only under a torn (root, height) pair seen by
+                // an optimistic reader; report absent, let seqlock retry.
+                return None;
+            }
             let shift = BITS * (level - 1);
             let idx = ((key >> shift) as usize) & (FANOUT - 1);
-            match node {
-                Node::Leaf(slots) => return slots[idx],
-                Node::Internal(children) => {
-                    node = children[idx].as_deref()?;
+            // SAFETY: child pointers are published with Release and nodes
+            // are not freed while the tree is live; optimistic readers
+            // additionally hold an epoch pin spanning the tree's retirement.
+            match unsafe { &*node } {
+                Node::Leaf(leaf) => {
+                    let off = leaf.off[idx].load(Ordering::Acquire);
+                    if off == EMPTY_OFF {
+                        return None;
+                    }
+                    let block = leaf.block[idx].load(Ordering::Acquire);
+                    return Some(EntryRef {
+                        entry_off: off,
+                        block,
+                    });
+                }
+                Node::Internal(internal) => {
+                    node = internal.children[idx].load(Ordering::Acquire);
                     level -= 1;
                 }
             }
@@ -152,26 +274,35 @@ impl RadixTree {
     }
 
     /// Remove `key`, returning its mapping. Empty nodes are left in place
-    /// (freed when the tree drops — fine for per-inode lifetimes).
+    /// (retired when the tree drops — fine for per-inode lifetimes).
     pub fn remove(&mut self, key: u64) -> Option<EntryRef> {
         if key >= self.capacity() {
             return None;
         }
-        let mut node = self.root.as_deref_mut()?;
-        let mut level = self.height;
+        let mut node = self.root.load(Ordering::Relaxed);
+        let mut level = self.height.load(Ordering::Relaxed);
         loop {
+            if node.is_null() {
+                return None;
+            }
             let shift = BITS * (level - 1);
             let idx = ((key >> shift) as usize) & (FANOUT - 1);
-            match node {
-                Node::Leaf(slots) => {
-                    let old = slots[idx].take();
-                    if old.is_some() {
-                        self.len -= 1;
+            // SAFETY: as in `insert`.
+            match unsafe { &*node } {
+                Node::Leaf(leaf) => {
+                    let old_off = leaf.off[idx].swap(EMPTY_OFF, Ordering::AcqRel);
+                    if old_off == EMPTY_OFF {
+                        return None;
                     }
-                    return old;
+                    let old_block = leaf.block[idx].load(Ordering::Relaxed);
+                    self.len.fetch_sub(1, Ordering::Release);
+                    return Some(EntryRef {
+                        entry_off: old_off,
+                        block: old_block,
+                    });
                 }
-                Node::Internal(children) => {
-                    node = children[idx].as_deref_mut()?;
+                Node::Internal(internal) => {
+                    node = internal.children[idx].load(Ordering::Relaxed);
                     level -= 1;
                 }
             }
@@ -179,34 +310,47 @@ impl RadixTree {
     }
 
     /// Visit every `(key, value)` pair in ascending key order.
-    #[allow(clippy::only_used_in_recursion)]
+    ///
+    /// Like `get`, tolerant of concurrent mutation (optimistic readers
+    /// validate afterwards); under the inode lock it is exact.
     pub fn for_each<F: FnMut(u64, EntryRef)>(&self, mut f: F) {
-        fn walk<F: FnMut(u64, EntryRef)>(node: &Node, prefix: u64, level: u32, f: &mut F) {
-            match node {
-                Node::Leaf(slots) => {
-                    for (i, slot) in slots.iter().enumerate() {
-                        if let Some(v) = slot {
-                            f((prefix << BITS) | i as u64, *v);
+        fn walk<F: FnMut(u64, EntryRef)>(node: *const Node, prefix: u64, f: &mut F) {
+            if node.is_null() {
+                return;
+            }
+            // SAFETY: see `get`.
+            match unsafe { &*node } {
+                Node::Leaf(leaf) => {
+                    for i in 0..FANOUT {
+                        let off = leaf.off[i].load(Ordering::Acquire);
+                        if off != EMPTY_OFF {
+                            let block = leaf.block[i].load(Ordering::Acquire);
+                            f(
+                                (prefix << BITS) | i as u64,
+                                EntryRef {
+                                    entry_off: off,
+                                    block,
+                                },
+                            );
                         }
                     }
                 }
-                Node::Internal(children) => {
-                    for (i, child) in children.iter().enumerate() {
-                        if let Some(c) = child {
-                            walk(c, (prefix << BITS) | i as u64, level - 1, f);
+                Node::Internal(internal) => {
+                    for i in 0..FANOUT {
+                        let child = internal.children[i].load(Ordering::Acquire);
+                        if !child.is_null() {
+                            walk(child, (prefix << BITS) | i as u64, f);
                         }
                     }
                 }
             }
         }
-        if let Some(root) = &self.root {
-            walk(root, 0, self.height, &mut f);
-        }
+        walk(self.root.load(Ordering::Acquire), 0, &mut f);
     }
 
     /// Collect every pair as a vector (test/recovery convenience).
     pub fn entries(&self) -> Vec<(u64, EntryRef)> {
-        let mut v = Vec::with_capacity(self.len);
+        let mut v = Vec::with_capacity(self.len());
         self.for_each(|k, e| v.push((k, e)));
         v
     }
@@ -237,11 +381,31 @@ impl RadixTree {
     }
 }
 
+impl Drop for RadixTree {
+    fn drop(&mut self) {
+        let root = self.root.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if root.is_null() {
+            return;
+        }
+        // An optimistic reader may still be walking this tree under an
+        // epoch pin (release_inode replaces the InodeMem while the seqlock
+        // is odd, but the reader only notices at validate time) — retire
+        // the subtree instead of freeing it inline.
+        let root = RawNode(root);
+        denova_sync::defer(move || {
+            let r = root;
+            // SAFETY: the grace period guarantees no pinned reader that
+            // could have observed the old root remains.
+            unsafe { free_subtree(r.0) };
+        });
+    }
+}
+
 impl std::fmt::Debug for RadixTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RadixTree")
-            .field("len", &self.len)
-            .field("height", &self.height)
+            .field("len", &self.len())
+            .field("height", &self.height.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -350,5 +514,63 @@ mod tests {
             assert_eq!(t.get(pg).unwrap().block, pg + 1000);
         }
         assert_eq!(t.len(), 32);
+    }
+
+    #[test]
+    fn concurrent_get_during_mutation_is_memory_safe() {
+        // Readers hammer get()/for_each() while the single writer inserts
+        // and removes — the exact aliasing pattern the optimistic inode
+        // read path produces (shared reads racing a &mut mutator through
+        // an UnsafeCell). Individual results may be stale or torn (callers
+        // discard those via seqlock validation); this test asserts memory
+        // safety under the race and exactness once quiescent.
+        use std::cell::UnsafeCell;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        struct Racy(UnsafeCell<RadixTree>);
+        // SAFETY (test): one mutator thread, reader threads tolerate torn
+        // results — the production contract from the module docs.
+        unsafe impl Send for Racy {}
+        unsafe impl Sync for Racy {}
+
+        let t = Arc::new(Racy(UnsafeCell::new(RadixTree::new())));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let t = t.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let tree = unsafe { &*t.0.get() };
+                        for k in 0..256u64 {
+                            let _ = tree.get(k);
+                        }
+                        tree.for_each(|_, _| {});
+                        let _ = tree.max_key();
+                    }
+                })
+            })
+            .collect();
+        for round in 0..400u64 {
+            let tree = unsafe { &mut *t.0.get() };
+            for k in 0..64u64 {
+                tree.insert(k, e(round * 64 + k + 1));
+            }
+            for k in (0..64u64).step_by(2) {
+                tree.remove(k);
+            }
+            // Grow across heights too: far keys force root replacement.
+            tree.insert(4096 + round, e(round + 1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        let tree = unsafe { &*t.0.get() };
+        assert_eq!(tree.len(), 32 + 400);
+        for k in (1..64u64).step_by(2) {
+            assert_eq!(tree.get(k), Some(e(399 * 64 + k + 1)));
+        }
     }
 }

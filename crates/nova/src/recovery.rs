@@ -44,12 +44,10 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
     // Phase 1: replay the root directory log to learn the namespace.
     let root = table.read(ROOT_INO)?;
     let mut namespace: HashMap<String, u64> = HashMap::new();
-    let mut root_mem = InodeMem {
-        pos: LogPosition {
-            head: root.log_head,
-            tail: root.log_tail,
-        },
-        ..Default::default()
+    let mut root_mem = InodeMem::default();
+    root_mem.pos = LogPosition {
+        head: root.log_head,
+        tail: root.log_tail,
     };
     for item in LogIter::new(dev, layout, root.log_head, root.log_tail) {
         let (off, entry) = item?;
@@ -87,12 +85,10 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
             table.set_link_count(ino, nlink)?;
         }
         let pi = table.read(ino)?;
-        let mut mem = InodeMem {
-            pos: LogPosition {
-                head: pi.log_head,
-                tail: pi.log_tail,
-            },
-            ..Default::default()
+        let mut mem = InodeMem::default();
+        mem.pos = LogPosition {
+            head: pi.log_head,
+            tail: pi.log_tail,
         };
         for item in LogIter::new(dev, layout, pi.log_head, pi.log_tail) {
             let (off, entry) = item?;
@@ -104,14 +100,14 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
                 }
                 LogEntry::Attr(attr) => {
                     next_txid = next_txid.max(attr.txid + 1);
-                    if attr.new_size < mem.size {
+                    if attr.new_size < mem.size() {
                         let first_dead = attr.new_size.div_ceil(BLOCK_SIZE);
                         let removed = mem.radix.remove_from(first_dead);
                         for (_, e) in &removed {
                             mem.supersede(e);
                         }
                     }
-                    mem.size = attr.new_size;
+                    mem.set_size(attr.new_size);
                 }
                 LogEntry::Dentry(_) => {
                     // Dentries only appear in directory logs; ignore if a

@@ -37,6 +37,12 @@ pub struct NovaStats {
     /// Bytes that passed through a staging copy in `write()`. The zero-copy
     /// path stages only partial head/tail pages, so aligned writes add 0.
     pub bytes_staged: Counter,
+    /// Optimistic (no-lock) inode reads whose seqlock validated — the
+    /// lock-free read path's hit counter.
+    pub read_optimistic_hits: Counter,
+    /// Optimistic inode reads discarded by a seqlock conflict (each retry
+    /// or fallback-to-lock adds one).
+    pub read_seq_retries: Counter,
 }
 
 impl Default for NovaStats {
@@ -61,6 +67,8 @@ impl NovaStats {
             log_pages_gced: registry.counter("nova.log_pages_gced"),
             write_fences: registry.counter("nova.write.fences"),
             bytes_staged: registry.counter("nova.write.bytes_staged"),
+            read_optimistic_hits: registry.counter("nova.read.optimistic_hits"),
+            read_seq_retries: registry.counter("nova.read.seq_retries"),
         }
     }
 

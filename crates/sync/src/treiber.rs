@@ -1,0 +1,203 @@
+//! Treiber stack: a lock-free LIFO used as a freelist.
+//!
+//! Push allocates a node and CASes it onto the head; pop CASes the head to
+//! its successor. The classic ABA/use-after-free hazard (a racing pop
+//! reads `head.next` from a node another thread just popped and freed) is
+//! prevented by the epoch collector: pop runs under a pin and popped nodes
+//! are retired, not freed, so a contemporary racer can still safely read
+//! the (stale) node.
+
+use crate::epoch;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+struct Node<T> {
+    next: *mut Node<T>,
+    value: std::mem::ManuallyDrop<T>,
+}
+
+/// A lock-free stack of `T`.
+pub struct Stack<T: Send + 'static> {
+    head: AtomicPtr<Node<T>>,
+    /// Approximate length (maintained with relaxed increments around the
+    /// CAS; callers use it only for capacity heuristics).
+    len: AtomicUsize,
+}
+
+// SAFETY: values are moved in/out whole; internal pointers are managed by
+// the CAS protocol + epoch reclamation.
+unsafe impl<T: Send + 'static> Send for Stack<T> {}
+unsafe impl<T: Send + 'static> Sync for Stack<T> {}
+
+impl<T: Send + 'static> Stack<T> {
+    pub fn new() -> Stack<T> {
+        Stack {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Approximate number of elements (racy, for capacity caps only).
+    pub fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            next: ptr::null_mut(),
+            value: std::mem::ManuallyDrop::new(value),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // SAFETY: `node` is exclusively ours until the CAS publishes it.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let _guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: `head` was reachable while we are pinned, so even if
+            // a racing pop unlinks it, the node is only retired (not
+            // freed) until our pin ends.
+            let next = unsafe { (*head).next };
+            if self
+                .head
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: the CAS made us the unique owner of `head`; the
+                // value moves out and the node shell is retired. The
+                // deferred drop frees the shell only (ManuallyDrop keeps
+                // it from double-dropping the moved-out value).
+                let value = unsafe { ptr::read(&*(*head).value) };
+                let head = RawNode(head);
+                epoch::defer(move || {
+                    // Bind the whole wrapper so the closure captures the
+                    // `Send` RawNode, not the raw pointer field.
+                    let node = head;
+                    drop(unsafe { Box::from_raw(node.0) });
+                });
+                return Some(value);
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Default for Stack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> Drop for Stack<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free remaining nodes (and their values) directly.
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: exclusive owner; each node is freed exactly once.
+            unsafe {
+                let mut node = Box::from_raw(p);
+                std::mem::ManuallyDrop::drop(&mut node.value);
+                p = node.next;
+            }
+        }
+    }
+}
+
+struct RawNode<T>(*mut Node<T>);
+// SAFETY: only the pointer moves between threads; the pointee's value has
+// already been moved out and the shell is freed exactly once.
+unsafe impl<T: Send> Send for RawNode<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_lifo_single_thread() {
+        let s = Stack::new();
+        assert!(s.pop().is_none());
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.approx_len(), 2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn drop_frees_remaining_values() {
+        let v = Arc::new(());
+        let s = Stack::new();
+        s.push(v.clone());
+        s.push(v.clone());
+        drop(s);
+        assert_eq!(Arc::strong_count(&v), 1, "stack drop leaked values");
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        // 4 producers push disjoint ranges, 4 consumers pop until they have
+        // collectively seen every value exactly once.
+        const PER: usize = 5_000;
+        let s = Arc::new(Stack::new());
+        let producers: Vec<_> = (0..4usize)
+            .map(|p| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        s.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4usize)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut idle = 0;
+                    while idle < 1_000 {
+                        match s.pop() {
+                            Some(v) => {
+                                got.push(v);
+                                idle = 0;
+                            }
+                            None => {
+                                idle += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen = HashSet::new();
+        for c in consumers {
+            for v in c.join().unwrap() {
+                assert!(seen.insert(v), "value {v} popped twice");
+            }
+        }
+        assert_eq!(seen.len(), 4 * PER, "values lost");
+    }
+}
