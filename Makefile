@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke svcconn-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build fmt-check clippy test serve-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke
+verify: build fmt-check clippy test serve-smoke svcconn-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke
 
 build:
 	$(CARGO) build --release
@@ -23,6 +23,12 @@ clippy:
 # put/get/stat/rm round-trip via --remote, clean shutdown, fsck.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
+
+# Reactor runtime check: >= 1k idle TCP connections parked on a bounded
+# thread population, request p99 parity with the thread-per-conn baseline
+# at 16 clients, and aligned writes taking the zero-copy wire-to-PM path.
+svcconn-smoke: build
+	bash scripts/svcconn_smoke.sh
 
 # Parallel-dedup-pipeline check: a tiny 1-vs-4-worker backlog drain that
 # must produce identical dedup ratios and clean fsck/FACT audits.

@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash dedup_scaling ablation endurance recovery svc repl fgpath cluster
-//! chaos contention`.
+//! crash dedup_scaling ablation endurance recovery svc svcconn repl fgpath
+//! cluster chaos contention`.
 //! Pass
 //! `--json <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
@@ -63,6 +63,7 @@ fn main() {
         "endurance",
         "recovery",
         "svc",
+        "svcconn",
         "repl",
         "fgpath",
         "cluster",
@@ -183,6 +184,11 @@ fn main() {
         let res = svc_bench::run(&scale);
         println!("{}", svc_bench::render(&res));
         json.insert("svc", &res);
+    }
+    if want("svcconn") {
+        let res = svcconn::run(&scale);
+        println!("{}", svcconn::render(&res));
+        json.insert("svcconn", &res);
     }
     if want("repl") {
         let res = repl_bench::run(&scale);

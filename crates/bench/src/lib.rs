@@ -35,6 +35,7 @@ pub mod repl_bench;
 pub mod report;
 pub mod space;
 pub mod svc_bench;
+pub mod svcconn;
 pub mod table1;
 pub mod table4;
 

@@ -151,11 +151,13 @@ impl ClusterClient {
                         self.map.shards[shard as usize].primary = owner_addr;
                     }
                 }
-                SvcError::REPLICA_READ_ONLY | SvcError::IO if Instant::now() < deadline => {
+                SvcError::REPLICA_READ_ONLY | SvcError::IO | SvcError::TIMEOUT
+                    if Instant::now() < deadline =>
+                {
                     // Promotion window (standby not yet primary) or a dead
                     // node (failover in progress): pause, re-learn the map,
                     // go again.
-                    if err.code == SvcError::IO {
+                    if err.code != SvcError::REPLICA_READ_ONLY {
                         self.conns.remove(&addr);
                     }
                     std::thread::sleep(ROUTE_RETRY_PAUSE);

@@ -1,0 +1,276 @@
+//! Per-connection frame state machines for the 4-byte length-prefixed wire
+//! format: an incremental decoder that accepts bytes in whatever fragments a
+//! nonblocking socket delivers, and a send queue that tracks partial-write
+//! progress for write-readiness-driven flushing.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Decode error: the peer announced a frame larger than the configured cap.
+/// The connection is broken by contract and should be dropped.
+#[derive(Debug)]
+pub struct FrameTooBig {
+    pub announced: usize,
+    pub max: usize,
+}
+
+impl std::fmt::Display for FrameTooBig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame of {} bytes exceeds cap of {}",
+            self.announced, self.max
+        )
+    }
+}
+
+impl std::error::Error for FrameTooBig {}
+
+/// Incremental length-prefix frame decoder.
+///
+/// Bytes are `push`ed as they arrive; complete frames are popped one at a
+/// time with [`FrameDecoder::next_frame`] so a consumer can stop mid-buffer
+/// (e.g. on a connection handover) and reclaim the untouched remainder with
+/// [`FrameDecoder::take_residue`].
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: VecDeque::new(),
+            max_frame,
+        }
+    }
+
+    /// Append newly-read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when a partial frame (or unexamined bytes) sit in the buffer —
+    /// the peer owes us more bytes, so a stall is a broken client rather
+    /// than an idle one.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Pop the next complete frame payload (length prefix stripped), or
+    /// `None` if the buffer holds less than one whole frame.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooBig> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        for (i, b) in len_bytes.iter_mut().enumerate() {
+            *b = self.buf[i];
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > self.max_frame {
+            return Err(FrameTooBig {
+                announced: len,
+                max: self.max_frame,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let mut payload = Vec::with_capacity(len);
+        payload.extend(self.buf.drain(..len));
+        Ok(Some(payload))
+    }
+
+    /// Surrender all undecoded bytes (raw, prefixes included) — used when a
+    /// connection is detached from the reactor and handed to another owner,
+    /// which must see exactly the byte stream the socket would have shown.
+    pub fn take_residue(&mut self) -> Vec<u8> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Outcome of a flush attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flush {
+    /// Everything queued has hit the socket.
+    Done,
+    /// The socket would block; re-arm write interest and come back.
+    Blocked,
+}
+
+/// Outbound frame queue with partial-write tracking. Frames are stored as
+/// (payload, cursor) with the 4-byte prefix synthesized at the front, so an
+/// enqueue never copies or reallocates the payload.
+pub struct SendQueue {
+    frames: VecDeque<(Vec<u8>, usize)>, // cursor counts prefix + payload bytes sent
+    queued_bytes: usize,
+}
+
+impl Default for SendQueue {
+    fn default() -> SendQueue {
+        SendQueue::new()
+    }
+}
+
+impl SendQueue {
+    pub fn new() -> SendQueue {
+        SendQueue {
+            frames: VecDeque::new(),
+            queued_bytes: 0,
+        }
+    }
+
+    /// Queue one frame payload (the length prefix is added on the wire).
+    pub fn push(&mut self, payload: Vec<u8>) {
+        self.queued_bytes += 4 + payload.len();
+        self.frames.push_back((payload, 0));
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Bytes still to be written, prefixes included.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Write as much as the socket will take. Returns `Blocked` on
+    /// `WouldBlock`, `Done` when the queue empties, and the error on any
+    /// real failure (the connection should be closed).
+    pub fn flush<W: Write>(&mut self, w: &mut W) -> io::Result<Flush> {
+        while let Some((payload, cursor)) = self.frames.front_mut() {
+            let prefix = (payload.len() as u32).to_le_bytes();
+            let res = if *cursor < 4 {
+                // Vectored write: prefix remainder + payload in one syscall.
+                let slices = [
+                    io::IoSlice::new(&prefix[*cursor..]),
+                    io::IoSlice::new(payload),
+                ];
+                w.write_vectored(&slices)
+            } else {
+                w.write(&payload[*cursor - 4..])
+            };
+            match res {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket wrote zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    *cursor += n;
+                    self.queued_bytes -= n;
+                    if *cursor == 4 + payload.len() {
+                        self.frames.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(Flush::Blocked),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Flush::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(payload);
+        f
+    }
+
+    #[test]
+    fn decodes_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        wire.extend(frame(b"alpha"));
+        wire.extend(frame(b""));
+        wire.extend(frame(&[9u8; 300]));
+        for split in 1..wire.len() {
+            let mut dec = FrameDecoder::new(1 << 20);
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for chunk in wire.chunks(split) {
+                dec.push(chunk);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got.len(), 3, "split={split}");
+            assert_eq!(got[0], b"alpha");
+            assert_eq!(got[1], b"");
+            assert_eq!(got[2], vec![9u8; 300]);
+            assert!(!dec.mid_frame());
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut dec = FrameDecoder::new(16);
+        dec.push(&100u32.to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn residue_returns_partial_bytes_verbatim() {
+        let mut dec = FrameDecoder::new(1 << 20);
+        let f1 = frame(b"first");
+        let f2 = frame(b"second-partial");
+        dec.push(&f1);
+        dec.push(&f2[..7]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"first");
+        assert!(dec.mid_frame());
+        assert_eq!(dec.take_residue(), f2[..7].to_vec());
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn send_queue_flushes_through_a_stingy_writer() {
+        // A writer that accepts one byte per call, blocking every third.
+        struct Stingy {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for Stingy {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(3) {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+                }
+                self.out.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut q = SendQueue::new();
+        q.push(b"hello".to_vec());
+        q.push(vec![3u8; 64]);
+        let mut w = Stingy {
+            out: Vec::new(),
+            calls: 0,
+        };
+        loop {
+            match q.flush(&mut w).unwrap() {
+                Flush::Done => break,
+                Flush::Blocked => continue,
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
+        let mut expect = frame(b"hello");
+        expect.extend(frame(&[3u8; 64]));
+        assert_eq!(w.out, expect);
+    }
+}

@@ -5,11 +5,17 @@
 //! and exposes one typed method per wire op plus `put`/`get` whole-file
 //! helpers that chunk transfers below the frame limit. All calls are
 //! synchronous: one request, one reply. Transport failures surface as
-//! [`SvcError`] with code [`SvcError::IO`]; remote failures carry the
-//! server's stable code.
+//! [`SvcError`] with code [`SvcError::IO`], a missed reply deadline as
+//! [`SvcError::TIMEOUT`]; remote failures carry the server's stable code.
+//!
+//! For pipelined traffic there is a bounded send window:
+//! [`Client::pipeline_send`] fires without waiting and returns
+//! [`SvcError::BUSY`] — a structured, never-sent refusal — once
+//! `pipeline_window` requests are outstanding, instead of blocking or
+//! surfacing a raw io error. [`Client::pipeline_recv`] drains replies.
 
 use crate::codec::{read_frame, write_frame, FrameRead};
-use crate::proto::{decode_reply, Body, RemoteDedupStats, Request, SvcError};
+use crate::proto::{decode_reply, Body, RemoteDedupStats, Reply, Request, SvcError};
 use crate::transport::Stream;
 use denova_nova::FileStat;
 use denova_telemetry::{Counter, MetricsRegistry};
@@ -19,9 +25,14 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-/// Per-call reply deadline. Generous: the server may be draining a deep
-/// dedup backlog under injected PM latency when an fsync lands.
+/// Default per-call reply deadline. Generous: the server may be draining a
+/// deep dedup backlog under injected PM latency when an fsync lands.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default cap on outstanding pipelined requests — matches the server's
+/// default `max_inflight_per_conn`, so a full client window is what the
+/// server would have paused reads over anyway.
+const PIPELINE_WINDOW: usize = 32;
 
 /// Transfer chunk for `put`/`get`, comfortably under
 /// [`MAX_FRAME`](crate::codec::MAX_FRAME) with headers included.
@@ -129,6 +140,12 @@ pub struct Client {
     policy: RetryPolicy,
     reconnects: u64,
     reconnects_counter: Option<Counter>,
+    reply_timeout: Duration,
+    pipeline_window: usize,
+    pending: std::collections::HashSet<u64>,
+    // Pipelined replies consumed while waiting for a synchronous call's
+    // reply, buffered for the next pipeline_recv.
+    overtaken: Vec<(u64, Reply)>,
 }
 
 impl Client {
@@ -158,7 +175,24 @@ impl Client {
             policy: RetryPolicy::default(),
             reconnects: 0,
             reconnects_counter: None,
+            reply_timeout: REPLY_TIMEOUT,
+            pipeline_window: PIPELINE_WINDOW,
+            pending: std::collections::HashSet::new(),
+            overtaken: Vec::new(),
         }
+    }
+
+    /// Change the per-call reply deadline (default 60s). On expiry a call
+    /// fails with [`SvcError::TIMEOUT`] — the request may still execute
+    /// server-side, so only idempotent requests are transparently retried.
+    pub fn set_reply_timeout(&mut self, timeout: Duration) {
+        self.reply_timeout = timeout;
+    }
+
+    /// Change the pipelined-send window (default 32). A `pipeline_send`
+    /// past the window returns [`SvcError::BUSY`] without sending.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.pipeline_window = window.max(1);
     }
 
     /// Install a reconnect path: on transport failure the client re-dials
@@ -178,9 +212,16 @@ impl Client {
         self.reconnects
     }
 
+    /// True for errors that mean "the transport failed you", as opposed to a
+    /// structured refusal from the server: worth a reconnect-and-retry for
+    /// idempotent requests.
+    fn is_transport_failure(e: &SvcError) -> bool {
+        e.code == SvcError::IO || e.code == SvcError::TIMEOUT
+    }
+
     fn call(&mut self, req: &Request) -> Result<Body, SvcError> {
         match self.call_once(req) {
-            Err(e) if e.code == SvcError::IO && self.reconnect.is_some() => {
+            Err(e) if Self::is_transport_failure(&e) && self.reconnect.is_some() => {
                 self.retry_after_io(req, e)
             }
             other => other,
@@ -209,7 +250,7 @@ impl Client {
                 Ok(stream) => {
                     self.install_stream(stream);
                     match self.call_once(req) {
-                        Err(e) if e.code == SvcError::IO => last = e,
+                        Err(e) if Self::is_transport_failure(&e) => last = e,
                         other => return other,
                     }
                 }
@@ -232,7 +273,7 @@ impl Client {
         let req_id = self.next_id;
         self.next_id += 1;
         write_frame(&mut self.stream, &req.encode(req_id)).map_err(|e| SvcError::io(&e))?;
-        let deadline = Instant::now() + REPLY_TIMEOUT;
+        let deadline = Instant::now() + self.reply_timeout;
         loop {
             match read_frame(&mut self.stream).map_err(|e| SvcError::io(&e))? {
                 FrameRead::Frame(f) => {
@@ -240,8 +281,13 @@ impl Client {
                         SvcError::service(SvcError::BAD_REQUEST, format!("bad reply: {e}"))
                     })?;
                     if id != req_id {
-                        // A reply to nothing we have pending (e.g. the error
-                        // ack for a frame injected by a test): discard.
+                        // A reply to a pipelined request overtaken by this
+                        // call: note it so pipeline_recv still sees it. Any
+                        // other stray id (e.g. the error ack for a frame
+                        // injected by a test) is discarded.
+                        if self.pending.remove(&id) {
+                            self.overtaken.push((id, reply));
+                        }
                         continue;
                     }
                     return reply;
@@ -249,8 +295,88 @@ impl Client {
                 FrameRead::Idle => {
                     if Instant::now() >= deadline {
                         return Err(SvcError::service(
-                            SvcError::IO,
-                            format!("no reply to {} within {REPLY_TIMEOUT:?}", req.op_name()),
+                            SvcError::TIMEOUT,
+                            format!(
+                                "no reply to {} within {:?}",
+                                req.op_name(),
+                                self.reply_timeout
+                            ),
+                        ));
+                    }
+                }
+                FrameRead::Eof => {
+                    return Err(SvcError::service(
+                        SvcError::IO,
+                        "server closed the connection",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// How many pipelined requests are awaiting replies.
+    pub fn pipeline_pending(&self) -> usize {
+        self.pending.len() + self.overtaken.len()
+    }
+
+    /// Fire a request without waiting for its reply; returns the request id
+    /// to match against [`Client::pipeline_recv`]. With `pipeline_window`
+    /// requests already outstanding this refuses with [`SvcError::BUSY`] —
+    /// the request was *not* sent, so the caller can safely drain replies
+    /// and re-send. Pipelined requests are never retried on reconnect.
+    pub fn pipeline_send(&mut self, req: &Request) -> Result<u64, SvcError> {
+        if self.pipeline_pending() >= self.pipeline_window {
+            return Err(SvcError::service(
+                SvcError::BUSY,
+                format!(
+                    "pipeline window of {} outstanding requests is exhausted",
+                    self.pipeline_window
+                ),
+            ));
+        }
+        let req_id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &req.encode(req_id)).map_err(|e| SvcError::io(&e))?;
+        self.pending.insert(req_id);
+        Ok(req_id)
+    }
+
+    /// Receive one pipelined reply: `(req_id, reply)`. Replies may arrive
+    /// out of submission order (requests on different inodes run on
+    /// different shards). The outer error is transport-level ([`SvcError::IO`]
+    /// or [`SvcError::TIMEOUT`]); per-request failures come back in the
+    /// inner [`Reply`].
+    pub fn pipeline_recv(&mut self) -> Result<(u64, Reply), SvcError> {
+        if let Some(hit) = self.overtaken.pop() {
+            return Ok(hit);
+        }
+        if self.pending.is_empty() {
+            return Err(SvcError::service(
+                SvcError::BAD_REQUEST,
+                "no pipelined requests outstanding",
+            ));
+        }
+        let deadline = Instant::now() + self.reply_timeout;
+        loop {
+            match read_frame(&mut self.stream).map_err(|e| SvcError::io(&e))? {
+                FrameRead::Frame(f) => {
+                    let (id, reply) = decode_reply(&f).map_err(|e| {
+                        SvcError::service(SvcError::BAD_REQUEST, format!("bad reply: {e}"))
+                    })?;
+                    if self.pending.remove(&id) {
+                        return Ok((id, reply));
+                    }
+                    // Stray id: discard, keep waiting.
+                }
+                FrameRead::Idle => {
+                    if Instant::now() >= deadline {
+                        return Err(SvcError::service(
+                            SvcError::TIMEOUT,
+                            format!(
+                                "no pipelined reply within {:?} ({} outstanding)",
+                                self.reply_timeout,
+                                self.pending.len()
+                            ),
                         ));
                     }
                 }
@@ -482,6 +608,88 @@ fn unexpected(req: &Request, body: &Body) -> SvcError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::{Server, SvcConfig};
+    use denova::{DedupMode, Denova};
+    use denova_nova::NovaOptions;
+    use denova_pmem::PmemDevice;
+
+    fn server() -> Server {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        let fs = Denova::mkfs(
+            dev,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+            DedupMode::Immediate,
+        )
+        .unwrap();
+        Server::new(Arc::new(fs), SvcConfig::default())
+    }
+
+    #[test]
+    fn pipeline_window_exhaustion_returns_busy_not_io_error() {
+        let srv = server();
+        let mut client = Client::from_stream(Box::new(srv.connect_loopback()));
+        client.set_pipeline_window(2);
+        let a = client.pipeline_send(&Request::Ping).unwrap();
+        let b = client.pipeline_send(&Request::Ping).unwrap();
+        // Window exhausted: a structured, never-sent refusal — not a raw io
+        // error, not a block.
+        let err = client.pipeline_send(&Request::Ping).unwrap_err();
+        assert_eq!(err.code, SvcError::BUSY);
+        assert_eq!(client.pipeline_pending(), 2);
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..2 {
+            let (id, reply) = client.pipeline_recv().unwrap();
+            assert_eq!(reply.unwrap(), Body::Empty);
+            ids.insert(id);
+        }
+        assert_eq!(ids, [a, b].into_iter().collect());
+        // Draining freed the window: sends work again.
+        let c = client.pipeline_send(&Request::Ping).unwrap();
+        let (id, reply) = client.pipeline_recv().unwrap();
+        assert_eq!(id, c);
+        reply.unwrap();
+        assert_eq!(client.pipeline_pending(), 0);
+        // Empty pipeline: recv refuses instead of hanging.
+        assert_eq!(
+            client.pipeline_recv().unwrap_err().code,
+            SvcError::BAD_REQUEST
+        );
+        drop(client);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn synchronous_calls_interleave_with_pipelined_requests() {
+        let srv = server();
+        let mut client = Client::from_stream(Box::new(srv.connect_loopback()));
+        let a = client.pipeline_send(&Request::Ping).unwrap();
+        // The sync call's reply may land after the pipelined one; the
+        // pipelined reply must not be lost either way.
+        client.ping().unwrap();
+        let (id, reply) = client.pipeline_recv().unwrap();
+        assert_eq!(id, a);
+        reply.unwrap();
+        drop(client);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn silent_server_yields_structured_timeout() {
+        // A peer that accepts the connection but never replies: the call
+        // must fail with TIMEOUT (not IO, not a hang).
+        let (client_end, server_end) = crate::loopback::pair();
+        let mut client = Client::from_stream(Box::new(client_end));
+        client.set_reply_timeout(Duration::from_millis(250));
+        let t0 = Instant::now();
+        let err = client.ping().unwrap_err();
+        assert_eq!(err.code, SvcError::TIMEOUT);
+        assert!(t0.elapsed() >= Duration::from_millis(250));
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        drop(server_end);
+    }
 
     #[test]
     fn backoff_delays_grow_within_the_jitter_window() {

@@ -454,6 +454,50 @@ impl Request {
     }
 }
 
+/// A borrowed view of a [`op::WRITE`] request inside its undecoded frame
+/// payload: header fields parsed, data left in place. The zero-copy write
+/// path uses it to hand `&frame[data_off..]` straight to the file system's
+/// vectored write, so page-aligned payloads go socket buffer → PM extent
+/// without an intermediate staging copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRef {
+    /// Request id to echo in the reply.
+    pub req_id: u64,
+    /// Target inode.
+    pub ino: u64,
+    /// Byte offset of the write.
+    pub offset: u64,
+    /// Offset of the data bytes inside the frame payload.
+    pub data_off: usize,
+    /// Length of the data run (extends to the end of the payload).
+    pub data_len: usize,
+}
+
+/// Fixed prefix of a WRITE payload: req_id(8) + opcode(1) + ino(8) +
+/// offset(8) + data length(4).
+const WRITE_HEADER: usize = 29;
+
+/// Parse `payload` as a [`op::WRITE`] request without copying the data.
+/// Returns `None` for anything that is not a well-formed write — the caller
+/// falls back to [`Request::decode`], which produces the proper error reply.
+pub fn decode_write_ref(payload: &[u8]) -> Option<WriteRef> {
+    if payload.len() < WRITE_HEADER || payload[8] != op::WRITE {
+        return None;
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().unwrap());
+    let data_len = u32::from_le_bytes(payload[25..29].try_into().unwrap()) as usize;
+    if payload.len() != WRITE_HEADER + data_len {
+        return None;
+    }
+    Some(WriteRef {
+        req_id: u64_at(0),
+        ino: u64_at(9),
+        offset: u64_at(17),
+        data_off: WRITE_HEADER,
+        data_len,
+    })
+}
+
 /// Stable cross-process name hash, shared by worker-pool routing and the
 /// cluster layer's `hash(name) % shards` namespace partitioning (both sides
 /// of the wire must agree on it, so it is part of the protocol).
@@ -610,6 +654,14 @@ impl SvcError {
     pub const WRONG_SHARD: u16 = 106;
     /// Transport-level failure, client-side only (never on the wire).
     pub const IO: u16 = 110;
+    /// No reply within the client's deadline, client-side only. The request
+    /// may or may not have executed server-side — like `IO`, only idempotent
+    /// requests are transparently retried after it.
+    pub const TIMEOUT: u16 = 111;
+    /// The client's pipeline window is exhausted, client-side only: the call
+    /// was never sent. Drain replies with
+    /// [`crate::Client::pipeline_recv`] and re-send.
+    pub const BUSY: u16 = 112;
 
     /// Wrap a file-system error.
     pub fn from_nova(e: &NovaError) -> SvcError {
@@ -1016,6 +1068,39 @@ mod tests {
         assert_eq!(p.shard_key(), Request::TxCommit { txid: 7 }.shard_key());
         assert_eq!(p.shard_key(), Request::TxAbort { txid: 7 }.shard_key());
         assert_ne!(p.shard_key(), Request::TxCommit { txid: 8 }.shard_key());
+    }
+
+    #[test]
+    fn write_ref_matches_full_decode() {
+        let req = Request::Write {
+            ino: 42,
+            offset: 8192,
+            data: vec![7u8; 4096],
+        };
+        let payload = req.encode(99);
+        let wr = decode_write_ref(&payload).expect("well-formed write");
+        assert_eq!(wr.req_id, 99);
+        assert_eq!(wr.ino, 42);
+        assert_eq!(wr.offset, 8192);
+        assert_eq!(wr.data_len, 4096);
+        assert_eq!(
+            &payload[wr.data_off..wr.data_off + wr.data_len],
+            &[7u8; 4096][..]
+        );
+        // Empty writes parse too (the caller decides eligibility).
+        let empty = Request::Write {
+            ino: 1,
+            offset: 0,
+            data: vec![],
+        }
+        .encode(1);
+        assert_eq!(decode_write_ref(&empty).unwrap().data_len, 0);
+        // Non-writes and malformed writes fall through to full decode.
+        assert!(decode_write_ref(&Request::Ping.encode(1)).is_none());
+        let mut trailing = req.encode(99);
+        trailing.push(0);
+        assert!(decode_write_ref(&trailing).is_none());
+        assert!(decode_write_ref(&trailing[..20]).is_none());
     }
 
     #[test]

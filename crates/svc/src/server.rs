@@ -1,52 +1,68 @@
 //! The multi-client server: connection handling over any [`Stream`], the
-//! accept loop for TCP, and loopback connections for tests.
+//! reactor-backed TCP accept path, and loopback connections for tests.
 //!
 //! ## Threading model
 //!
-//! One reader thread per connection decodes frames and submits jobs to the
-//! shared [`ShardedPool`]; one writer thread per connection serializes reply
-//! frames off an mpsc channel (workers never write to sockets, so a slow
-//! client cannot stall a shard). Jobs route to `request.shard_key() % shards`,
-//! which serializes all operations on one inode while letting different files
-//! proceed in parallel.
+//! TCP connections are served by a [`denova_reactor::Reactor`]: N event loops
+//! (one per core by default) own every socket, decode frames as readiness
+//! allows, and submit jobs to the shared [`ShardedPool`]. Workers hand each
+//! reply back to the connection's owning loop through a
+//! [`denova_reactor::ReplyHandle`]; the loop flushes it when the socket is
+//! write-ready. A connection therefore costs per-loop state, not threads —
+//! 10k mostly-idle clients are O(cores) threads, not 20k.
+//!
+//! Loopback connections (in-process [`crate::loopback`] pipes, which have no
+//! file descriptor) and benchmark baselines (`thread_per_conn`) use the
+//! legacy model: one reader thread per connection plus one writer thread
+//! serializing replies off an mpsc channel. Both paths share [`classify`],
+//! so a frame means exactly the same thing on either.
+//!
+//! ## Zero-copy writes
+//!
+//! Block-aligned whole-block `Write` frames skip `Request::decode` (which
+//! copies the payload into a fresh `Vec`): [`decode_write_ref`] borrows the
+//! offsets out of the wire frame and the job slices the frame buffer straight
+//! into the filesystem write path, which carries it to the device as iovecs.
+//! Counted by `svc.zero_copy_writes` vs `svc.staged_writes`.
 //!
 //! ## Robustness
 //!
 //! * **Backpressure** — at most `max_inflight_per_conn` requests of one
-//!   connection may be queued or executing; the reader blocks (stops reading
-//!   the socket) past that, which in turn backpressures the peer's TCP
-//!   window. Waits are counted in `svc.backpressure_waits`.
-//! * **Timeouts** — the per-connection read timeout doubles as the shutdown
-//!   poll tick ([`FrameRead::Idle`]); a peer that stalls *mid-frame* is a
-//!   broken client and the connection is dropped.
+//!   connection may be queued or executing; past that the reactor pauses
+//!   reads (the threaded path blocks the reader), which in turn backpressures
+//!   the peer's TCP window. Counted in `svc.backpressure_waits`.
 //! * **Structured errors** — malformed frames get a `BAD_REQUEST` reply; a
 //!   panicking operation gets `INTERNAL`; nothing crosses the wire as a
 //!   panic, and the connection survives both.
 //! * **Graceful shutdown** — [`Server::request_shutdown`] (or a `Shutdown`
-//!   request from any client) stops intake; readers finish in-flight work,
-//!   the pool drains, and [`Server::shutdown`] finally settles the dedup
-//!   pipeline with [`Denova::drain`] so the caller can cleanly unmount.
+//!   request from any client) stops intake and wakes the accept path via
+//!   condvar/eventfd — no sleep-polling. In-flight work replies, the pool
+//!   drains, and [`Server::shutdown`] finally settles the dedup pipeline
+//!   with [`Denova::drain`] so the caller can cleanly unmount.
 
-use crate::codec::{read_frame, write_frame, FrameRead};
+use crate::codec::{read_frame, write_frame, FrameRead, MAX_FRAME};
 use crate::pool::ShardedPool;
-use crate::proto::{encode_reply, Body, Reply, Request, SvcError};
+use crate::proto::{decode_write_ref, encode_reply, Body, Reply, Request, SvcError};
 use crate::repl::{is_repl_frame, ReplMsg};
 use crate::service::{FileService, ReplRole};
 use crate::tenant::{Tenant, TenantRegistry};
 use crate::transport::Stream;
 use denova::Denova;
+use denova_reactor::sys::{Epoll, EpollEvent, EventFd, EPOLLIN};
+use denova_reactor::{ConnHandler, ConnIo, FrameOutcome, HandlerFactory, Reactor, ReactorConfig};
 use denova_telemetry::Counter;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::io;
-use std::net::TcpListener;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Callback that takes over a connection whose first frame was a
 /// [`ReplMsg::Subscribe`]. Receives the stream (reader direction, clonable
-/// for the ack reader), the standby's `last_seq`, and `want_snapshot`. Runs
-/// on the connection's own thread and owns the stream until it returns.
+/// for the ack reader), the standby's `last_seq`, and `want_snapshot`. Owns
+/// the stream until it returns.
 pub type ReplSink = Arc<dyn Fn(Box<dyn Stream>, u64, bool) + Send + Sync>;
 
 /// Server tunables. The defaults match the paper-evaluation setup: 8 shards,
@@ -56,14 +72,22 @@ pub type ReplSink = Arc<dyn Fn(Box<dyn Stream>, u64, bool) + Send + Sync>;
 pub struct SvcConfig {
     /// Worker shards (same-inode requests serialize within a shard).
     pub shards: usize,
-    /// Max queued-or-executing requests per connection before the reader
+    /// Max queued-or-executing requests per connection before the server
     /// stops pulling frames off the socket.
     pub max_inflight_per_conn: usize,
-    /// Idle-poll read timeout; also bounds how long shutdown waits for a
-    /// reader to notice the stop flag.
+    /// Threaded path: idle-poll read timeout (also bounds how long shutdown
+    /// waits for a reader to notice the stop flag). Reactor path: the event
+    /// loop tick that paces stall checks.
     pub read_timeout: Duration,
-    /// Socket write timeout for reply frames.
+    /// Threaded path: socket write timeout for reply frames. Reactor path:
+    /// how long a peer may stall mid-frame or refuse replies before it is
+    /// dropped.
     pub write_timeout: Duration,
+    /// Reactor event loops for TCP serving; 0 means one per core.
+    pub event_loops: usize,
+    /// Serve TCP with the legacy two-threads-per-connection model instead of
+    /// the reactor. Kept as the baseline for connection-scaling benchmarks.
+    pub thread_per_conn: bool,
 }
 
 impl Default for SvcConfig {
@@ -73,12 +97,15 @@ impl Default for SvcConfig {
             max_inflight_per_conn: 32,
             read_timeout: Duration::from_millis(100),
             write_timeout: Duration::from_secs(10),
+            event_loops: 0,
+            thread_per_conn: false,
         }
     }
 }
 
-/// Per-connection inflight accounting: the reader blocks on `changed` while
-/// `count` is at the cap, and the drain path waits for it to hit zero.
+/// Per-connection inflight accounting for the threaded path: the reader
+/// blocks on `changed` while `count` is at the cap, and the drain path waits
+/// for it to hit zero.
 struct Inflight {
     count: Mutex<usize>,
     changed: Condvar,
@@ -97,12 +124,40 @@ struct ServerInner {
     rejected: Counter,
     backpressure_waits: Counter,
     repl_sink: RwLock<Option<ReplSink>>,
+    // Threads serving loopback connections and replication handovers; the
+    // reactor's connections live in its event loops instead.
+    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    // Shutdown wakeups: `serve` blocks on the condvar (reactor path) or on
+    // epoll over the eventfd (threaded path) — never a sleep loop.
+    stop_mx: Mutex<()>,
+    stop_cv: Condvar,
+    stop_efd: RwLock<Option<Arc<EventFd>>>,
+    reactor: RwLock<Option<Reactor>>,
+}
+
+impl ServerInner {
+    /// Stop intake and wake everything that might be waiting to notice:
+    /// the condvar a reactor-backed `serve` blocks on, the accept loop's
+    /// eventfd doorbell, and the reactor's drain machinery. Idempotent and
+    /// non-blocking, so it is safe from event-loop threads.
+    fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::Release);
+        {
+            let _guard = self.stop_mx.lock();
+            self.stop_cv.notify_all();
+        }
+        if let Some(efd) = self.stop_efd.read().clone() {
+            efd.wake();
+        }
+        if let Some(r) = self.reactor.read().as_ref() {
+            r.drain();
+        }
+    }
 }
 
 /// A running file service over a mounted [`Denova`] stack.
 pub struct Server {
     inner: Arc<ServerInner>,
-    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Server {
@@ -129,8 +184,12 @@ impl Server {
                 rejected: metrics.counter("svc.rejected"),
                 backpressure_waits: metrics.counter("svc.backpressure_waits"),
                 repl_sink: RwLock::new(None),
+                conn_threads: Mutex::new(Vec::new()),
+                stop_mx: Mutex::new(()),
+                stop_cv: Condvar::new(),
+                stop_efd: RwLock::new(None),
+                reactor: RwLock::new(None),
             }),
-            conn_threads: Mutex::new(Vec::new()),
         }
     }
 
@@ -162,13 +221,15 @@ impl Server {
         self.inner.stopping.load(Ordering::Acquire)
     }
 
-    /// Stop intake: the accept loop exits, connection readers finish their
-    /// in-flight requests and close. Idempotent; does not block.
+    /// Stop intake: the accept path wakes and exits, connections finish
+    /// their in-flight requests and close. Idempotent; does not block.
     pub fn request_shutdown(&self) {
-        self.inner.stopping.store(true, Ordering::Release);
+        self.inner.begin_shutdown();
     }
 
-    /// Attach one already-accepted connection (any transport).
+    /// Attach one already-accepted connection (any transport) on its own
+    /// reader thread. Loopback pipes must use this path — they have no file
+    /// descriptor for the reactor to poll.
     pub fn attach(&self, stream: Box<dyn Stream>) {
         let inner = self.inner.clone();
         let id = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
@@ -180,7 +241,7 @@ impl Server {
                 inner.conns_closed.inc();
             })
             .expect("spawn svc connection thread");
-        self.conn_threads.lock().push(handle);
+        self.inner.conn_threads.lock().push(handle);
     }
 
     /// Register this server on an in-process [`crate::loopback::Hub`] under
@@ -204,12 +265,75 @@ impl Server {
         client_end
     }
 
-    /// Accept TCP connections until shutdown is requested, then return. The
-    /// listener is polled (non-blocking + sleep) so a quiet port cannot wedge
-    /// shutdown.
+    /// Accept TCP connections until shutdown is requested, then return.
+    ///
+    /// Default mode hands the listener to the reactor: accepted sockets are
+    /// distributed round-robin across the event loops, and this thread just
+    /// blocks on the shutdown condvar. With `thread_per_conn` set, the
+    /// legacy accept loop runs here instead, parked on epoll over the
+    /// listener and a shutdown eventfd. A server serves one listener at a
+    /// time.
     pub fn serve(&self, listener: TcpListener) -> io::Result<()> {
-        listener.set_nonblocking(true)?;
+        if self.inner.config.thread_per_conn {
+            return self.serve_threaded(listener);
+        }
+        let factory = self.handler_factory();
+        {
+            let mut guard = self.inner.reactor.write();
+            if guard.is_none() {
+                *guard = Some(Reactor::start(ReactorConfig {
+                    loops: self.inner.config.event_loops,
+                    max_frame: MAX_FRAME,
+                    stall_timeout: self.inner.config.write_timeout,
+                    tick: self.inner.config.read_timeout,
+                    ..Default::default()
+                })?);
+            }
+            guard.as_ref().unwrap().add_listener(listener, factory);
+        }
+        // A shutdown that raced ahead of the reactor being published must
+        // still drain it.
+        if self.stopping() {
+            if let Some(r) = self.inner.reactor.read().as_ref() {
+                r.drain();
+            }
+        }
+        let mut guard = self.inner.stop_mx.lock();
         while !self.stopping() {
+            self.inner.stop_cv.wait(&mut guard);
+        }
+        Ok(())
+    }
+
+    fn handler_factory(&self) -> HandlerFactory {
+        let inner = self.inner.clone();
+        Arc::new(move || {
+            inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+            inner.conns.inc();
+            Box::new(RConn {
+                inner: inner.clone(),
+                tenant: inner.tenants.default_tenant().clone(),
+                inflight: 0,
+                pending_repl: None,
+            }) as Box<dyn ConnHandler>
+        })
+    }
+
+    /// The legacy accept loop: nonblocking listener, two threads per
+    /// connection. Blocks on epoll over {listener, shutdown eventfd} while
+    /// the port is quiet — a wakeup, not a poll, ends the wait.
+    fn serve_threaded(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let efd = Arc::new(EventFd::new()?);
+        *self.inner.stop_efd.write() = Some(efd.clone());
+        let epoll = Epoll::new()?;
+        epoll.add(efd.raw_fd(), EPOLLIN, 0)?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, 1)?;
+        let mut events = [EpollEvent::zeroed(); 4];
+        let result = loop {
+            if self.stopping() {
+                break Ok(());
+            }
             match listener.accept() {
                 Ok((sock, _peer)) => {
                     sock.set_nonblocking(false)?;
@@ -220,22 +344,45 @@ impl Server {
                     self.attach(Box::new(sock));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+                    // Sleep until the listener is readable or shutdown rings
+                    // the doorbell. The eventfd counter persists, so a ring
+                    // that lands before this wait still wakes it.
+                    epoll.wait(&mut events, -1)?;
+                    efd.drain();
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
-        }
-        Ok(())
+        };
+        *self.inner.stop_efd.write() = None;
+        result
     }
 
-    /// Graceful shutdown: stop intake, join every connection, stop the pool,
-    /// and drain the dedup pipeline. Returns the mounted stack so the caller
-    /// can unmount it cleanly.
+    /// Graceful shutdown: stop intake, settle every connection, stop the
+    /// pool, and drain the dedup pipeline. Returns the mounted stack so the
+    /// caller can unmount it cleanly.
     pub fn shutdown(self) -> Arc<Denova> {
-        self.request_shutdown();
-        for t in self.conn_threads.lock().drain(..) {
-            let _ = t.join();
+        self.inner.begin_shutdown();
+        let reactor = self.inner.reactor.write().take();
+        // Threaded connections (loopback, replication handovers) finish
+        // their in-flight work first — the pool must still be alive for
+        // their jobs to reply. Handovers can append while we join, so loop.
+        loop {
+            let threads: Vec<_> = self.inner.conn_threads.lock().drain(..).collect();
+            if threads.is_empty() {
+                break;
+            }
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+        // Settle the event loops while the pool is still alive: a loop may
+        // be mid-frame (the Shutdown request itself), and its job must
+        // still be accepted and its reply flushed before the socket closes.
+        // Only then drain the pool of anything that remains.
+        if let Some(r) = reactor {
+            r.drain();
+            r.join();
         }
         self.inner.pool.stop();
         let fs = self.inner.service.fs().clone();
@@ -244,6 +391,330 @@ impl Server {
     }
 }
 
+/// What one decoded frame asks of the server. Produced by [`classify`],
+/// consumed by both the reactor handler and the threaded reader, so the two
+/// paths cannot drift.
+enum Action {
+    /// Connection-scoped control traffic: reply now, no pool round-trip.
+    Inline(Vec<u8>),
+    /// Ship to the worker pool; `run` produces the encoded reply frame.
+    Job {
+        req_id: u64,
+        key: u64,
+        run: Box<dyn FnOnce() -> Vec<u8> + Send>,
+    },
+    /// Replication handover: the sink takes the stream.
+    Repl {
+        sink: ReplSink,
+        last_seq: u64,
+        want_snapshot: bool,
+    },
+}
+
+/// Decode one frame into an [`Action`]. `tenant` is the connection's current
+/// tenant and is swapped in place by `Hello`.
+fn classify(inner: &Arc<ServerInner>, tenant: &mut Arc<Tenant>, frame: Vec<u8>) -> Action {
+    if is_repl_frame(&frame) {
+        let sink = inner.repl_sink.read().clone();
+        return match (ReplMsg::decode(&frame), sink) {
+            (
+                Ok(ReplMsg::Subscribe {
+                    last_seq,
+                    want_snapshot,
+                }),
+                Some(sink),
+            ) => Action::Repl {
+                sink,
+                last_seq,
+                want_snapshot,
+            },
+            _ => {
+                inner.bad_requests.inc();
+                let reply: Reply = Err(SvcError::service(
+                    SvcError::BAD_REQUEST,
+                    "replication not enabled on this server",
+                ));
+                Action::Inline(encode_reply(0, &reply))
+            }
+        };
+    }
+
+    // Zero-copy fast path: block-aligned whole-block writes skip
+    // `Request::decode` (which copies the payload out of the frame) — the
+    // job slices the wire buffer directly into the filesystem.
+    if let Some(wr) = decode_write_ref(&frame) {
+        if inner.service.zero_copy_eligible(&wr) {
+            let service = inner.service.clone();
+            let job_tenant = tenant.clone();
+            let req_id = wr.req_id;
+            let key = wr.ino;
+            let run = Box::new(move || {
+                denova::dwq::set_thread_tenant(job_tenant.id());
+                let t0 = Instant::now();
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.execute_write_ref(&wr, &frame)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(SvcError::service(
+                        SvcError::INTERNAL,
+                        "operation panicked server-side",
+                    ))
+                });
+                let out = encode_reply(req_id, &reply);
+                job_tenant.record(
+                    frame.len() as u64,
+                    out.len() as u64,
+                    t0.elapsed().as_nanos() as u64,
+                    reply.is_ok(),
+                );
+                out
+            });
+            return Action::Job { req_id, key, run };
+        }
+    }
+
+    let (req_id, req) = match Request::decode(&frame) {
+        Ok(pair) => pair,
+        Err(e) => {
+            // Preserve the req_id when at least that much parsed, so the
+            // client can fail the right pending call.
+            inner.bad_requests.inc();
+            let req_id = frame
+                .get(..8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .unwrap_or(0);
+            let reply: Reply = Err(SvcError::service(SvcError::BAD_REQUEST, e.to_string()));
+            return Action::Inline(encode_reply(req_id, &reply));
+        }
+    };
+
+    if matches!(req, Request::Shutdown) {
+        inner.begin_shutdown();
+    }
+
+    if let Request::Hello {
+        tenant: ref name,
+        weight,
+    } = req
+    {
+        // Connection-scoped control op: swap the tenant and acknowledge
+        // inline. No pool round-trip — the hello affects how *later* frames
+        // are scheduled, and req_id matching lets the reply overtake any
+        // still-executing pipelined requests.
+        *tenant = inner.tenants.get_with_weight(name, weight);
+        return Action::Inline(encode_reply(req_id, &Ok(Body::Empty)));
+    }
+
+    let service = inner.service.clone();
+    let key = req.shard_key();
+    let job_tenant = tenant.clone();
+    let req_bytes = frame.len() as u64;
+    let run = Box::new(move || {
+        // Tag deferred dedup work spawned by this request with the tenant,
+        // so the DWQ drains fairly across tenants too.
+        denova::dwq::set_thread_tenant(job_tenant.id());
+        let t0 = Instant::now();
+        // A panicking operation must still reply (INTERNAL) and release its
+        // inflight slot, or the connection's drain would wait forever.
+        let reply =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.execute(&req)))
+                .unwrap_or_else(|_| {
+                    Err(SvcError::service(
+                        SvcError::INTERNAL,
+                        "operation panicked server-side",
+                    ))
+                });
+        let out = encode_reply(req_id, &reply);
+        job_tenant.record(
+            req_bytes,
+            out.len() as u64,
+            t0.elapsed().as_nanos() as u64,
+            reply.is_ok(),
+        );
+        out
+    });
+    Action::Job { req_id, key, run }
+}
+
+/// The reactor-side connection handler: all state lives on the owning event
+/// loop thread, so no field needs a lock.
+struct RConn {
+    inner: Arc<ServerInner>,
+    tenant: Arc<Tenant>,
+    inflight: usize,
+    pending_repl: Option<(ReplSink, u64, bool)>,
+}
+
+impl ConnHandler for RConn {
+    fn on_frame(&mut self, io: &mut ConnIo<'_>, frame: Vec<u8>) -> FrameOutcome {
+        match classify(&self.inner, &mut self.tenant, frame) {
+            Action::Inline(reply) => {
+                io.send(reply);
+                FrameOutcome::Continue
+            }
+            Action::Repl {
+                sink,
+                last_seq,
+                want_snapshot,
+            } => {
+                if self.inflight != 0 {
+                    // The handover would strand in-flight replies; a sane
+                    // standby subscribes as its first act on a fresh
+                    // connection, so this is a protocol violation.
+                    self.inner.bad_requests.inc();
+                    let reply: Reply = Err(SvcError::service(
+                        SvcError::BAD_REQUEST,
+                        "Subscribe must be the first frame on a connection",
+                    ));
+                    io.send(encode_reply(0, &reply));
+                    return FrameOutcome::Continue;
+                }
+                self.pending_repl = Some((sink, last_seq, want_snapshot));
+                FrameOutcome::Detach
+            }
+            Action::Job { req_id, key, run } => {
+                self.inflight += 1;
+                if self.inflight >= self.inner.config.max_inflight_per_conn {
+                    // Backpressure: stop decoding this connection until a
+                    // reply frees a slot; the peer's TCP window absorbs the
+                    // rest.
+                    self.inner.backpressure_waits.inc();
+                    io.pause_reads();
+                }
+                let handle = io.reply_handle();
+                let submitted = self.inner.pool.submit_for(
+                    key,
+                    &self.tenant,
+                    Box::new(move || handle.send(run())),
+                );
+                if !submitted {
+                    // Pool already stopped (hard shutdown won the race):
+                    // refuse politely rather than dropping the request.
+                    self.inflight -= 1;
+                    self.inner.rejected.inc();
+                    let reply: Reply = Err(SvcError::service(
+                        SvcError::SHUTTING_DOWN,
+                        "server is shutting down",
+                    ));
+                    io.send(encode_reply(req_id, &reply));
+                    return FrameOutcome::Close;
+                }
+                FrameOutcome::Continue
+            }
+        }
+    }
+
+    fn on_reply(&mut self, io: &mut ConnIo<'_>, frame: Vec<u8>) {
+        self.inflight = self.inflight.saturating_sub(1);
+        io.send(frame);
+        if self.inflight < self.inner.config.max_inflight_per_conn {
+            io.resume_reads();
+        }
+    }
+
+    fn on_detach(&mut self, stream: TcpStream, residue: Vec<u8>) {
+        let Some((sink, last_seq, want_snapshot)) = self.pending_repl.take() else {
+            return;
+        };
+        let _ = stream.set_stream_timeouts(
+            Some(self.inner.config.read_timeout),
+            Some(self.inner.config.write_timeout),
+        );
+        // Any bytes the reactor read past the Subscribe frame must reach the
+        // sink before fresh socket reads do.
+        let boxed: Box<dyn Stream> = if residue.is_empty() {
+            Box::new(stream)
+        } else {
+            Box::new(PrefixedStream::new(residue, stream))
+        };
+        let inner = self.inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("svc-repl-conn".into())
+            .spawn(move || {
+                sink(boxed, last_seq, want_snapshot);
+                inner.conns_closed.inc();
+            })
+            .expect("spawn svc replication connection thread");
+        self.inner.conn_threads.lock().push(handle);
+    }
+
+    fn on_close(&mut self) {
+        self.inner.conns_closed.inc();
+    }
+
+    fn drained(&self) -> bool {
+        self.inflight == 0
+    }
+}
+
+/// A [`Stream`] that replays a byte prefix before reading the socket — used
+/// to hand a detached connection (plus the reactor's unconsumed read buffer)
+/// to the replication sink without losing bytes. The prefix cursor is shared
+/// across clones, mirroring TCP `try_clone` semantics.
+struct PrefixedStream {
+    prefix: Arc<Mutex<(Vec<u8>, usize)>>,
+    sock: TcpStream,
+}
+
+impl PrefixedStream {
+    fn new(prefix: Vec<u8>, sock: TcpStream) -> PrefixedStream {
+        PrefixedStream {
+            prefix: Arc::new(Mutex::new((prefix, 0))),
+            sock,
+        }
+    }
+}
+
+impl Read for PrefixedStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        {
+            let mut guard = self.prefix.lock();
+            let (bytes, cursor) = &mut *guard;
+            if *cursor < bytes.len() {
+                let n = (bytes.len() - *cursor).min(buf.len());
+                buf[..n].copy_from_slice(&bytes[*cursor..*cursor + n]);
+                *cursor += n;
+                return Ok(n);
+            }
+        }
+        self.sock.read(buf)
+    }
+}
+
+impl Write for PrefixedStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.sock.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.sock.flush()
+    }
+}
+
+impl Stream for PrefixedStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn Stream>> {
+        Ok(Box::new(PrefixedStream {
+            prefix: self.prefix.clone(),
+            sock: self.sock.try_clone()?,
+        }))
+    }
+
+    fn set_stream_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.sock.set_stream_timeouts(read, write)
+    }
+
+    fn shutdown_stream(&self) {
+        self.sock.shutdown_stream();
+    }
+}
+
+/// The threaded connection loop: a blocking reader plus a writer thread
+/// serializing replies off an mpsc channel. Shares [`classify`] with the
+/// reactor path.
 fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
     let _ = stream.set_stream_timeouts(
         Some(inner.config.read_timeout),
@@ -293,150 +764,69 @@ fn handle_conn(inner: &Arc<ServerInner>, stream: Box<dyn Stream>) {
             Ok(FrameRead::Eof) | Err(_) => break,
         };
 
-        if is_repl_frame(&frame) {
-            // Replication handover: a standby's Subscribe turns this
-            // connection over to the replication sink. Settle the request
-            // machinery first (any in-flight requests reply, the writer
-            // thread flushes and exits) so the sink owns the stream alone.
-            let sink = inner.repl_sink.read().clone();
-            match (ReplMsg::decode(&frame), sink) {
-                (
-                    Ok(ReplMsg::Subscribe {
-                        last_seq,
-                        want_snapshot,
-                    }),
-                    Some(sink),
-                ) => {
-                    {
-                        let mut count = inflight.count.lock();
-                        while *count > 0 {
+        match classify(inner, &mut tenant, frame) {
+            Action::Inline(reply) => {
+                if reply_tx.send(reply).is_err() {
+                    break;
+                }
+            }
+            Action::Repl {
+                sink,
+                last_seq,
+                want_snapshot,
+            } => {
+                // Replication handover: settle the request machinery first
+                // (in-flight requests reply, the writer thread flushes and
+                // exits) so the sink owns the stream alone.
+                {
+                    let mut count = inflight.count.lock();
+                    while *count > 0 {
+                        inflight.changed.wait(&mut count);
+                    }
+                }
+                drop(reply_tx);
+                let _ = writer_thread.join();
+                sink(reader, last_seq, want_snapshot);
+                return;
+            }
+            Action::Job { req_id, key, run } => {
+                // Backpressure: cap this connection's queued-or-executing
+                // requests.
+                {
+                    let mut count = inflight.count.lock();
+                    if *count >= inner.config.max_inflight_per_conn {
+                        inner.backpressure_waits.inc();
+                        while *count >= inner.config.max_inflight_per_conn {
                             inflight.changed.wait(&mut count);
                         }
                     }
-                    drop(reply_tx);
-                    let _ = writer_thread.join();
-                    sink(reader, last_seq, want_snapshot);
-                    return;
+                    *count += 1;
                 }
-                _ => {
-                    inner.bad_requests.inc();
+                let tx = reply_tx.clone();
+                let job_inflight = inflight.clone();
+                let submitted = inner.pool.submit_for(
+                    key,
+                    &tenant,
+                    Box::new(move || {
+                        let _ = tx.send(run());
+                        let mut count = job_inflight.count.lock();
+                        *count -= 1;
+                        job_inflight.changed.notify_all();
+                    }),
+                );
+                if !submitted {
+                    inner.rejected.inc();
                     let reply: Reply = Err(SvcError::service(
-                        SvcError::BAD_REQUEST,
-                        "replication not enabled on this server",
+                        SvcError::SHUTTING_DOWN,
+                        "server is shutting down",
                     ));
-                    if reply_tx.send(encode_reply(0, &reply)).is_err() {
-                        break;
-                    }
-                    continue;
-                }
-            }
-        }
-
-        let (req_id, req) = match Request::decode(&frame) {
-            Ok(pair) => pair,
-            Err(e) => {
-                // Preserve the req_id when at least that much parsed, so the
-                // client can fail the right pending call.
-                inner.bad_requests.inc();
-                let req_id = frame
-                    .get(..8)
-                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-                    .unwrap_or(0);
-                let reply: Reply = Err(SvcError::service(SvcError::BAD_REQUEST, e.to_string()));
-                if reply_tx.send(encode_reply(req_id, &reply)).is_err() {
+                    let _ = reply_tx.send(encode_reply(req_id, &reply));
+                    let mut count = inflight.count.lock();
+                    *count -= 1;
+                    inflight.changed.notify_all();
                     break;
                 }
-                continue;
             }
-        };
-
-        if matches!(req, Request::Shutdown) {
-            inner.stopping.store(true, Ordering::Release);
-        }
-
-        if let Request::Hello {
-            tenant: ref name,
-            weight,
-        } = req
-        {
-            // Connection-scoped control op: swap the tenant and acknowledge
-            // inline. No pool round-trip — the hello affects how *later*
-            // frames are scheduled, and req_id matching lets the reply
-            // overtake any still-executing pipelined requests.
-            tenant = inner.tenants.get_with_weight(name, weight);
-            if reply_tx
-                .send(encode_reply(req_id, &Ok(Body::Empty)))
-                .is_err()
-            {
-                break;
-            }
-            continue;
-        }
-
-        // Backpressure: cap this connection's queued-or-executing requests.
-        {
-            let mut count = inflight.count.lock();
-            if *count >= inner.config.max_inflight_per_conn {
-                inner.backpressure_waits.inc();
-                while *count >= inner.config.max_inflight_per_conn {
-                    inflight.changed.wait(&mut count);
-                }
-            }
-            *count += 1;
-        }
-
-        let service = inner.service.clone();
-        let tx = reply_tx.clone();
-        let job_inflight = inflight.clone();
-        let key = req.shard_key();
-        let job_tenant = tenant.clone();
-        let req_bytes = frame.len() as u64;
-        let submitted = inner.pool.submit_for(
-            key,
-            &tenant,
-            Box::new(move || {
-                // Tag deferred dedup work spawned by this request with the
-                // tenant, so the DWQ drains fairly across tenants too.
-                denova::dwq::set_thread_tenant(job_tenant.id());
-                let t0 = Instant::now();
-                // A panicking operation must still reply (INTERNAL) and
-                // release its inflight slot, or the connection's drain
-                // would wait forever on shutdown.
-                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    service.execute(&req)
-                }))
-                .unwrap_or_else(|_| {
-                    Err(SvcError::service(
-                        SvcError::INTERNAL,
-                        "operation panicked server-side",
-                    ))
-                });
-                let frame = encode_reply(req_id, &reply);
-                job_tenant.record(
-                    req_bytes,
-                    frame.len() as u64,
-                    t0.elapsed().as_nanos() as u64,
-                    reply.is_ok(),
-                );
-                let _ = tx.send(frame);
-                let mut count = job_inflight.count.lock();
-                *count -= 1;
-                job_inflight.changed.notify_all();
-            }),
-        );
-        if !submitted {
-            // Pool already stopped (hard shutdown won the race): refuse
-            // politely rather than dropping the request on the floor.
-            inner.rejected.inc();
-            let reply: Reply = Err(SvcError::service(
-                SvcError::SHUTTING_DOWN,
-                "server is shutting down",
-            ));
-            let _ = reply_tx.send(encode_reply(req_id, &reply));
-            let mut count = inflight.count.lock();
-            *count -= 1;
-            inflight.changed.notify_all();
-            break;
         }
     }
 
@@ -545,6 +935,130 @@ mod tests {
             .unwrap_or_else(|_| panic!("server still referenced"))
             .shutdown();
         assert_eq!(fs.file_size(ino).unwrap(), 4096);
+    }
+
+    #[test]
+    fn threaded_serve_shutdown_wakes_without_polling() {
+        let srv = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv2 = srv.clone();
+        let accept = std::thread::spawn(move || srv2.serve_threaded(listener).unwrap());
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        client.ping().unwrap();
+        // request_shutdown from outside any connection must ring the accept
+        // loop's doorbell even though the port is quiet.
+        srv.request_shutdown();
+        accept.join().unwrap();
+        drop(client);
+        Arc::try_unwrap(srv)
+            .unwrap_or_else(|_| panic!("server still referenced"))
+            .shutdown();
+    }
+
+    #[test]
+    fn reactor_serve_zero_copy_writes_and_idle_conns() {
+        let srv = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv2 = srv.clone();
+        let accept = std::thread::spawn(move || srv2.serve(listener).unwrap());
+        // Idle connections cost no threads: park a handful while working.
+        let idle: Vec<Client> = (0..8)
+            .map(|_| {
+                let mut c = Client::connect_tcp(&addr.to_string()).unwrap();
+                c.ping().unwrap();
+                c
+            })
+            .collect();
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let ino = client.create("zc").unwrap();
+        // Block-aligned whole-block write: the zero-copy path.
+        let block = vec![0xA5u8; 4096];
+        assert_eq!(client.write_at(ino, 0, &block).unwrap(), 4096);
+        // Unaligned write: staged through Request::decode.
+        assert_eq!(client.write_at(ino, 4096, b"tail").unwrap(), 4);
+        assert_eq!(client.read_at(ino, 0, 4096).unwrap(), block);
+        assert_eq!(client.read_at(ino, 4096, 4).unwrap(), b"tail");
+        let snap = srv.service().metrics().snapshot();
+        assert!(snap.counter("svc.zero_copy_writes").unwrap_or(0) >= 1);
+        assert!(snap.counter("svc.staged_writes").unwrap_or(0) >= 1);
+        assert!(snap.counter("svc.conns.opened").unwrap_or(0) >= 9);
+        client.shutdown_server().unwrap();
+        accept.join().unwrap();
+        drop(idle);
+        drop(client);
+        let fs = Arc::try_unwrap(srv)
+            .unwrap_or_else(|_| panic!("server still referenced"))
+            .shutdown();
+        assert_eq!(fs.file_size(ino).unwrap(), 4100);
+    }
+
+    #[test]
+    fn reactor_backpressures_pipelined_writes() {
+        let dev = Arc::new(PmemDevice::new(32 * 1024 * 1024));
+        let fs = Denova::mkfs(
+            dev,
+            NovaOptions {
+                num_inodes: 128,
+                ..Default::default()
+            },
+            DedupMode::Baseline,
+        )
+        .unwrap();
+        let srv = Arc::new(Server::new(
+            Arc::new(fs),
+            SvcConfig {
+                shards: 1,
+                max_inflight_per_conn: 2,
+                event_loops: 1,
+                ..Default::default()
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv2 = srv.clone();
+        let accept = std::thread::spawn(move || srv2.serve(listener).unwrap());
+        let mut end = TcpStream::connect(addr).unwrap();
+        let ino = {
+            let mut c = Client::connect_tcp(&addr.to_string()).unwrap();
+            c.create("f").unwrap()
+        };
+        // Fire 64 pipelined writes without reading replies: far beyond the
+        // inflight cap, so the loop must pause reads rather than queue all.
+        for i in 0..64u64 {
+            let req = Request::Write {
+                ino,
+                offset: i * 512,
+                data: vec![i as u8; 512],
+            };
+            crate::codec::write_frame(&mut end, &req.encode(i)).unwrap();
+        }
+        // Every reply still arrives, in submission order (single shard).
+        end.set_stream_timeouts(Some(Duration::from_millis(100)), None)
+            .unwrap();
+        let mut got = 0u64;
+        while got < 64 {
+            match read_frame(&mut end).unwrap() {
+                FrameRead::Frame(f) => {
+                    let (id, reply) = crate::proto::decode_reply(&f).unwrap();
+                    assert_eq!(id, got);
+                    assert_eq!(reply.unwrap(), Body::Written(512));
+                    got += 1;
+                }
+                FrameRead::Idle => {}
+                FrameRead::Eof => panic!("server closed early"),
+            }
+        }
+        let snap = srv.service().metrics().snapshot();
+        assert!(snap.counter("svc.backpressure_waits").unwrap_or(0) > 0);
+        drop(end);
+        srv.request_shutdown();
+        accept.join().unwrap();
+        let fs = Arc::try_unwrap(srv)
+            .unwrap_or_else(|_| panic!("server still referenced"))
+            .shutdown();
+        assert_eq!(fs.file_size(ino).unwrap(), 64 * 512);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! registry. It holds no threads and no queues — the sharded worker pool
 //! decides *where* `execute` runs, this type decides *what* it does.
 
-use crate::proto::{Body, RemoteDedupStats, Reply, Request, SvcError};
+use crate::proto::{Body, RemoteDedupStats, Reply, Request, SvcError, WriteRef};
 use denova::Denova;
 use denova_nova::NovaError;
 use denova_telemetry::{Counter, Histogram, MetricsRegistry};
@@ -88,6 +88,8 @@ pub struct FileService {
     requests: Counter,
     errors: Counter,
     request_ns: Histogram,
+    zero_copy_writes: Counter,
+    staged_writes: Counter,
     role: RwLock<Option<Arc<ReplRole>>>,
     interceptor: RwLock<Option<Arc<dyn Interceptor>>>,
 }
@@ -100,6 +102,8 @@ impl FileService {
             requests: metrics.counter("svc.requests"),
             errors: metrics.counter("svc.errors"),
             request_ns: metrics.histogram("svc.request.ns"),
+            zero_copy_writes: metrics.counter("svc.zero_copy_writes"),
+            staged_writes: metrics.counter("svc.staged_writes"),
             metrics,
             fs,
             role: RwLock::new(None),
@@ -164,6 +168,52 @@ impl FileService {
         reply
     }
 
+    /// True when a [`WriteRef`] at `offset`/`data_len` may bypass
+    /// [`Request::decode`]'s payload copy and write straight from the wire
+    /// frame. Requires whole aligned blocks (so the vectored write stages
+    /// nothing) and no installed interceptor (a cluster node rewrites inode
+    /// numbers, which needs the decoded form).
+    pub fn zero_copy_eligible(&self, wr: &WriteRef) -> bool {
+        const BLOCK: u64 = denova_nova::BLOCK_SIZE;
+        wr.data_len > 0
+            && wr.offset.is_multiple_of(BLOCK)
+            && (wr.data_len as u64).is_multiple_of(BLOCK)
+            && self.interceptor.read().is_none()
+    }
+
+    /// Execute a write directly from its wire frame: the data slice
+    /// `&frame[wr.data_off..]` flows into the file system's vectored write
+    /// (and from there into `PmemDevice::write_v`) without an intermediate
+    /// staging copy. Instrumented identically to [`FileService::execute`],
+    /// plus `svc.zero_copy_writes`. The caller must have checked
+    /// [`FileService::zero_copy_eligible`].
+    pub fn execute_write_ref(&self, wr: &WriteRef, frame: &[u8]) -> Reply {
+        let _span = self.metrics.span("svc.request");
+        let t0 = Instant::now();
+        self.requests.inc();
+        let reply = (|| {
+            if let Some(role) = self.role() {
+                if role.is_standby() {
+                    return Err(SvcError::service(
+                        SvcError::REPLICA_READ_ONLY,
+                        "standby replica is read-only; promote it or write to the primary",
+                    ));
+                }
+            }
+            let data = &frame[wr.data_off..wr.data_off + wr.data_len];
+            self.fs.write(wr.ino, wr.offset, data).map_err(wire)?;
+            self.zero_copy_writes.inc();
+            Ok(Body::Written(wr.data_len as u32))
+        })();
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.request_ns.record(ns);
+        self.metrics.histogram("svc.op.write.ns").record(ns);
+        if reply.is_err() {
+            self.errors.inc();
+        }
+        reply
+    }
+
     fn dispatch(&self, req: &Request) -> Reply {
         if req.is_mutating() {
             if let Some(role) = self.role() {
@@ -184,6 +234,10 @@ impl FileService {
                 fs.read(*ino, *offset, *len as usize).map_err(wire)?,
             )),
             Request::Write { ino, offset, data } => {
+                // Decoding copied this payload out of its wire frame; the
+                // zero-copy path ([`FileService::execute_write_ref`]) avoids
+                // that for aligned whole-block writes.
+                self.staged_writes.inc();
                 fs.write(*ino, *offset, data).map_err(wire)?;
                 Ok(Body::Written(data.len() as u32))
             }
@@ -376,6 +430,66 @@ mod tests {
             .execute(&Request::Open { name: "f".into() })
             .unwrap_err();
         assert!(err.is_not_found());
+    }
+
+    #[test]
+    fn write_ref_path_writes_without_staging_and_counts() {
+        use crate::proto::decode_write_ref;
+        let svc = service();
+        let ino = ino_of(svc.execute(&Request::Create { name: "f".into() }));
+        let aligned = Request::Write {
+            ino,
+            offset: 4096,
+            data: vec![0x5Au8; 8192],
+        }
+        .encode(7);
+        let wr = decode_write_ref(&aligned).unwrap();
+        assert!(svc.zero_copy_eligible(&wr));
+        assert_eq!(
+            svc.execute_write_ref(&wr, &aligned).unwrap(),
+            Body::Written(8192)
+        );
+        match svc
+            .execute(&Request::Read {
+                ino,
+                offset: 4096,
+                len: 8192,
+            })
+            .unwrap()
+        {
+            Body::Bytes(b) => assert_eq!(b, vec![0x5Au8; 8192]),
+            other => panic!("{other:?}"),
+        }
+        // Unaligned or partial-block writes are not eligible.
+        for (offset, len) in [(1u64, 4096usize), (0, 100), (0, 0)] {
+            let p = Request::Write {
+                ino,
+                offset,
+                data: vec![1; len],
+            }
+            .encode(8);
+            let wr = decode_write_ref(&p).unwrap();
+            assert!(!svc.zero_copy_eligible(&wr), "offset={offset} len={len}");
+        }
+        // Staged path still works and counts separately.
+        svc.execute(&Request::Write {
+            ino,
+            offset: 0,
+            data: vec![2u8; 100],
+        })
+        .unwrap();
+        let snap = svc.metrics().snapshot();
+        assert_eq!(snap.counter("svc.zero_copy_writes"), Some(1));
+        assert_eq!(snap.counter("svc.staged_writes"), Some(1));
+        // Both paths record into the same latency histograms.
+        assert!(snap.histogram("svc.op.write.ns").unwrap().count >= 2);
+        // A standby rejects the zero-copy path like the staged one.
+        svc.set_role(Some(ReplRole::standby(|| {})));
+        let wr = decode_write_ref(&aligned).unwrap();
+        assert_eq!(
+            svc.execute_write_ref(&wr, &aligned).unwrap_err().code,
+            SvcError::REPLICA_READ_ONLY
+        );
     }
 
     #[test]

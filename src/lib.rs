@@ -12,6 +12,8 @@
 //! * [`workload`] — fio-like workload generation and measurement;
 //! * [`svc`] — the multi-client file service: wire protocol, sharded worker
 //!   pool, TCP and loopback transports;
+//! * [`reactor`] — the event-driven I/O runtime under the TCP service:
+//!   epoll event loops, eventfd wakeups, per-connection frame machines;
 //! * [`repl`] — crash-consistent snapshots and log-shipping replication
 //!   with standby failover;
 //! * [`cluster`] — sharded multi-primary namespace service: versioned
@@ -42,6 +44,7 @@ pub use denova_cluster as cluster;
 pub use denova_fingerprint as fingerprint;
 pub use denova_nova as nova;
 pub use denova_pmem as pmem;
+pub use denova_reactor as reactor;
 pub use denova_repl as repl;
 pub use denova_svc as svc;
 pub use denova_telemetry as telemetry;
