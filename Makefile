@@ -2,10 +2,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt-check clippy figures serve-smoke svcconn-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke clean
+.PHONY: verify build test fmt-check clippy figures serve-smoke svcconn-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke extent-smoke clean
 
 # The tier-1 gate: what CI runs.
-verify: build fmt-check clippy test serve-smoke svcconn-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke
+verify: build fmt-check clippy test serve-smoke svcconn-smoke dedup-scale-smoke repl-smoke fgpath-smoke cluster-smoke chaos-smoke contention-smoke extent-smoke
 
 build:
 	$(CARGO) build --release
@@ -65,6 +65,13 @@ chaos-smoke: build
 # RCU/wait-free FACT read side actually serving lookups.
 contention-smoke: build
 	bash scripts/contention_smoke.sh
+
+# Extent-granular dedup check: the extent experiment (VM-image clones +
+# backup stream) must cut FACT entries >= 30% vs per-block at the same
+# dedup ratio, cut sequential-read fragmentation >= 30% vs the paper's
+# fixed-ratio workload, promote runs, elide zero pages, and audit clean.
+extent-smoke: build
+	bash scripts/extent_smoke.sh
 
 # Smoke-scale run of every figure/table in the evaluation.
 figures:

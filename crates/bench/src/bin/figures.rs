@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig2 model table4 fig8 fig9 fig10 fig11 fig12 space
-//! crash dedup_scaling ablation endurance recovery svc svcconn repl fgpath
-//! cluster chaos contention`.
+//! crash dedup_scaling extent ablation endurance recovery svc svcconn repl
+//! fgpath cluster chaos contention`.
 //! Pass
 //! `--json <path>` to also dump
 //! every result as machine-readable JSON (for plotting or diffing runs).
@@ -59,6 +59,7 @@ fn main() {
         "space",
         "crash",
         "dedup_scaling",
+        "extent",
         "ablation",
         "endurance",
         "recovery",
@@ -179,6 +180,11 @@ fn main() {
         let cells = dedup_scale::run(&scale);
         println!("{}", dedup_scale::render(&cells, &scale));
         json.insert("dedup_scaling", &cells);
+    }
+    if want("extent") {
+        let cells = extent::run(&scale);
+        println!("{}", extent::render(&cells, &scale));
+        json.insert("extent", &cells);
     }
     if want("svc") {
         let res = svc_bench::run(&scale);

@@ -98,12 +98,13 @@ pub fn run_one(workers: usize, scale: &Scale) -> ScaleCell {
 
     // Fill the backlog with latency off: the daemon is not running yet, so
     // every committed entry queues up. Page contents cycle through a small
-    // set so the duplicate ratio is high and exactly deterministic.
+    // set (never zero: all-zero pages elide into holes and would never
+    // reach the queue) so the duplicate ratio is high and deterministic.
     let mut page = vec![0u8; 4096];
     for i in 0..files {
         let ino = nova.create(&format!("f{i}")).unwrap();
         for p in 0..PAGES_PER_FILE {
-            let tag = ((i as u64 * PAGES_PER_FILE + p) % DISTINCT_CONTENTS) as u8;
+            let tag = ((i as u64 * PAGES_PER_FILE + p) % DISTINCT_CONTENTS) as u8 + 1;
             page.fill(tag);
             nova.write(ino, p * 4096, &page).unwrap();
         }

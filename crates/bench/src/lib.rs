@@ -23,6 +23,7 @@ pub mod contention;
 pub mod crashes;
 pub mod dedup_scale;
 pub mod endurance;
+pub mod extent;
 pub mod fgpath;
 pub mod fig10;
 pub mod fig11;

@@ -6,9 +6,10 @@
 //! reach baseline NOVA on Optane-class latency (Section III, Eq. 5).
 
 use crate::nvdedup::{NvDedupTable, NvOutcome};
+use denova_fingerprint::is_zero_page;
 use denova_nova::{
     DedupeFlag, FsOp, Nova, NovaError, NovaHooks, ReclaimDecision, Result, WriteEntry, BLOCK_SIZE,
-    ROOT_INO,
+    HOLE_BLOCK, ROOT_INO,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -71,12 +72,11 @@ pub fn write_inline_adaptive(
         let mut pages = vec![0u8; (num_pages * BLOCK_SIZE) as usize];
         let head_skip = (offset - first_pg * BLOCK_SIZE) as usize;
         let tail_end = head_skip + data.len();
-        let read_old = |pg: u64, buf: &mut [u8]| {
-            if let Some(e) = ctx.mem.radix.get(pg) {
+        let read_old = |pg: u64, buf: &mut [u8]| match ctx.mem.radix.get(pg) {
+            Some(e) if e.block != HOLE_BLOCK => {
                 dev.read_into(layout.block_off(e.block), buf);
-            } else {
-                buf.fill(0);
             }
+            _ => buf.fill(0),
         };
         if head_skip != 0 {
             read_old(first_pg, &mut pages[..BLOCK_SIZE as usize]);
@@ -91,6 +91,27 @@ pub fn write_inline_adaptive(
         let mut entries: Vec<WriteEntry> = Vec::with_capacity(num_pages as usize);
         for i in 0..num_pages {
             let image = &pages[(i * BLOCK_SIZE) as usize..((i + 1) * BLOCK_SIZE) as usize];
+            // Zero-block elision, same as the plain and inline paths.
+            if is_zero_page(image) {
+                nova.stats().zero_holes.add(1);
+                match entries.last_mut() {
+                    Some(prev)
+                        if prev.hole && prev.file_pgoff + prev.num_pages as u64 == first_pg + i =>
+                    {
+                        prev.num_pages += 1;
+                    }
+                    _ => entries.push(WriteEntry {
+                        dedupe_flag: DedupeFlag::NotApplicable,
+                        file_pgoff: first_pg + i,
+                        num_pages: 1,
+                        block: 0,
+                        size_after: new_size,
+                        txid,
+                        hole: true,
+                    }),
+                }
+                continue;
+            }
             let read_block = |b: u64| dev.read_vec(layout.block_off(b), BLOCK_SIZE as usize);
             let block = match table.lookup_adaptive(image, read_block) {
                 (NvOutcome::Duplicate { block }, _) => block,
@@ -114,6 +135,7 @@ pub fn write_inline_adaptive(
                 block,
                 size_after: new_size,
                 txid,
+                hole: false,
             });
         }
 

@@ -444,7 +444,8 @@ mod tests {
         let t0 = Instant::now();
         for i in 0..6 {
             let ino = nova.create(&format!("f{i}")).unwrap();
-            nova.write(ino, 0, &vec![i as u8; 4096]).unwrap();
+            // i + 1: an all-zero page would become a hole and skip the DWQ.
+            nova.write(ino, 0, &vec![i as u8 + 1; 4096]).unwrap();
         }
         assert_eq!(dwq.len() + fact.stats().dequeued() as usize, 6);
         // 6 nodes at 2 per 20 ms tick: needs ≥ 3 ticks.

@@ -39,15 +39,74 @@
 //!
 //! Correctness does not depend on stage 1 at all: stage 2 alone is the old
 //! single-stage algorithm with a fingerprint cache in front.
+//!
+//! **Extent growth.** SHA-1 dominates (Table IV), so once one page of a
+//! write matches a canonical block the daemon *grows* the match along the
+//! run instead of hashing every page: the next candidate page is compared
+//! to the next canonical block with a plain `memcmp` (stage 1 predicts the
+//! canonical from the previous hit; stage 2 re-verifies under the write
+//! lock after pinning the record with `UC += 1`). Growth is forward-greedy;
+//! a backward probe would be redundant because pages are classified in file
+//! order and fingerprint lookup is content-exact — an earlier page whose
+//! bytes matched `canonical - 1` would already have hit it by fingerprint.
+//!
+//! Consecutive duplicate pages whose canonical blocks are also consecutive
+//! collapse into **one** shared-extent write entry (`num_pages = N`), and
+//! once a run reaches `Fact::extent_threshold_pages` the canonical per-page
+//! FACT records are promoted into a single extent-run record
+//! ([`Fact::merge_run`]). A candidate that matches a run *anchor* shares the
+//! prefix it matches (memcmp-verified page by page); a divergence inside
+//! the run splits it there ([`Fact::split_run`]) — head and tail stay
+//! extent-granular, each with its own owner count, exactly like a partial
+//! overwrite in an extent store. Interior pages of a run have no FACT
+//! records of their own, so a candidate aligned to the *middle* of an
+//! existing run is not deduplicated — the classic extent-granularity
+//! trade-off the threshold knob balances (0 disables growth entirely:
+//! per-block baseline).
 
 use crate::dwq::DwqNode;
 use crate::fact::Fact;
 use denova_fingerprint::Fingerprint;
 use denova_nova::{
     entry::{read_dedupe_flag, read_entry, write_dedupe_flag},
-    DedupeFlag, LogEntry, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE,
+    DedupeFlag, Layout, LogEntry, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE,
 };
+use denova_pmem::PmemDevice;
 use std::time::Instant;
+
+/// Byte-compare two data blocks straight from the mapped device (no copy).
+/// ~40× cheaper than fingerprinting a page, which is what makes extent
+/// growth pay.
+fn blocks_equal(dev: &PmemDevice, layout: &Layout, a: u64, b: u64) -> bool {
+    dev.with_slice(layout.block_off(a), BLOCK_SIZE as usize, |pa| {
+        dev.with_slice(layout.block_off(b), BLOCK_SIZE as usize, |pb| pa == pb)
+    })
+}
+
+/// Stage-1 result for one live page.
+#[derive(Clone, Copy)]
+enum Prep {
+    /// Fingerprinted; stage 2 takes the fingerprint path.
+    Fp(Fingerprint),
+    /// Predicted duplicate of `canonical` by memcmp growth — no hash
+    /// computed. Stage 2 re-verifies and falls back to hashing on any
+    /// mismatch.
+    Grown {
+        /// Canonical block this page's bytes matched in stage 1.
+        canonical: u64,
+    },
+    /// Covered by a whole-run anchor match starting at an earlier page —
+    /// no hash computed; stage 2's run verification re-checks the bytes.
+    RunCovered,
+}
+
+/// One coalesced duplicate run: `len` candidate pages starting at `pgoff`
+/// now share canonical blocks `canonical..canonical + len`.
+struct DupRun {
+    pgoff: u64,
+    canonical: u64,
+    len: u64,
+}
 
 /// What happened to one DWQ node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,10 +139,14 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
     let layout = *nova.layout();
 
     // Stage 1 (read lock): snapshot the target and prefingerprint its live
-    // pages, hashing straight from the mapped PM bytes. No stale-page
-    // accounting here — stage 2 is the single point of truth for that, so a
-    // page superseded before stage 2 is never double-counted.
-    let prefps: Vec<(u64, u64, Fingerprint)> = match nova.with_inode_read(node.ino, |mem| {
+    // pages, hashing straight from the mapped PM bytes. When the previous
+    // page matched a canonical block, the next page is first probed against
+    // the *next* canonical block with a memcmp — on a match the SHA-1 is
+    // skipped entirely (extent growth). No stale-page accounting here —
+    // stage 2 is the single point of truth for that, so a page superseded
+    // before stage 2 is never double-counted.
+    let threshold = fact.extent_threshold_pages();
+    let prefps: Vec<(u64, u64, Prep)> = match nova.with_inode_read(node.ino, |mem| {
         let target = match read_entry(&dev, node.entry_off)? {
             LogEntry::Write(we) => we,
             _ => return Err(NovaError::Corrupt("DWQ node is not a write entry")),
@@ -91,20 +154,80 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
         if target.dedupe_flag != DedupeFlag::Needed {
             return Ok(None);
         }
-        let mut fps = Vec::with_capacity(target.num_pages as usize);
-        for i in 0..target.num_pages as u64 {
+        let n = target.num_pages as u64;
+        let mut fps = Vec::with_capacity(n as usize);
+        // Canonical block predicted for the next page, when the previous
+        // page matched the preceding one. A stale page breaks the run.
+        let mut pred: Option<u64> = None;
+        let mut i = 0u64;
+        while i < n {
             let pgoff = target.file_pgoff + i;
             let block = target.block + i;
             match mem.radix.get(pgoff) {
                 Some(er) if er.entry_off == node.entry_off => {}
-                _ => continue,
+                _ => {
+                    pred = None;
+                    i += 1;
+                    continue;
+                }
             }
+            // Growth fast path: memcmp against the predicted canonical.
+            if threshold > 0 {
+                if let Some(c) = pred {
+                    let per_page = fact
+                        .resolve_block(c)
+                        .is_some_and(|(_, ce)| ce.run_pages == 1 && ce.block == c);
+                    if per_page && blocks_equal(&dev, &layout, block, c) {
+                        fps.push((pgoff, block, Prep::Grown { canonical: c }));
+                        pred = Some(c + 1);
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            pred = None;
             let t_fp = Instant::now();
             let fp = dev.with_slice(layout.block_off(block), BLOCK_SIZE as usize, |page| {
                 fact.fingerprint(page)
             });
             fp_time += t_fp.elapsed();
-            fps.push((pgoff, block, fp));
+            if let Some((_, e)) = fact.lookup(&fp) {
+                if e.block != block {
+                    let run = e.run_pages as u64;
+                    if threshold > 0 && run > 1 {
+                        // Anchor hit: probe the whole run. Pages the run
+                        // covers skip hashing; stage 2 re-verifies them.
+                        let mut covered = 1u64;
+                        while covered < run && i + covered < n {
+                            let k = i + covered;
+                            let live = matches!(
+                                mem.radix.get(target.file_pgoff + k),
+                                Some(er) if er.entry_off == node.entry_off
+                            );
+                            if !live
+                                || !blocks_equal(&dev, &layout, target.block + k, e.block + covered)
+                            {
+                                break;
+                            }
+                            covered += 1;
+                        }
+                        if covered == run {
+                            fps.push((pgoff, block, Prep::Fp(fp)));
+                            for k in 1..run {
+                                fps.push((pgoff + k, block + k, Prep::RunCovered));
+                            }
+                            pred = Some(e.block + run);
+                            i += run;
+                            continue;
+                        }
+                        // Partial anchor match: stage 2 demotes the run.
+                    } else if run == 1 {
+                        pred = Some(e.block + 1);
+                    }
+                }
+            }
+            fps.push((pgoff, block, Prep::Fp(fp)));
+            i += 1;
         }
         Ok(Some(fps))
     }) {
@@ -127,12 +250,30 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
         }
 
         // Steps ②③: revalidate each page, reusing the stage-1 fingerprint
-        // when its (pgoff, block) mapping still holds, then reserve the
-        // transaction with UC += 1 (insert with UC = 1 for unique chunks).
-        let mut reservations: Vec<u64> = Vec::new(); // FACT indices, one per page
-        let mut duplicates: Vec<(u64, u64, u64)> = Vec::new(); // (pgoff, old block, canonical block)
+        // (or growth prediction) when its (pgoff, block) mapping still
+        // holds, then reserve the transaction with UC += 1 (insert with
+        // UC = 1 for unique chunks). Adjacent duplicates of adjacent
+        // canonical blocks coalesce into runs as they are found.
+        let mut reservations: Vec<u64> = Vec::new(); // FACT indices, one per reserved record
+        let mut duplicates: Vec<DupRun> = Vec::new();
         let mut uniques = 0u32;
-        for i in 0..target.num_pages as u64 {
+        let mut dup_pages = 0u32;
+        let push_dup = |dups: &mut Vec<DupRun>, pgoff: u64, c: u64, len: u64| {
+            if let Some(last) = dups.last_mut() {
+                if last.pgoff + last.len == pgoff && last.canonical + last.len == c {
+                    last.len += len;
+                    return;
+                }
+            }
+            dups.push(DupRun {
+                pgoff,
+                canonical: c,
+                len,
+            });
+        };
+        let n_pages = target.num_pages as u64;
+        let mut i = 0u64;
+        while i < n_pages {
             let pgoff = target.file_pgoff + i;
             let block = target.block + i;
             // Page superseded by a newer write since enqueue? Skip it.
@@ -140,17 +281,61 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
                 Some(er) if er.entry_off == node.entry_off && er.block == block => {}
                 _ => {
                     stats.record_stale_page();
+                    i += 1;
                     continue;
                 }
             }
-            let fp = match prefps.iter().find(|&&(p, b, _)| p == pgoff && b == block) {
-                Some(&(_, _, fp)) => {
+            let prep = prefps
+                .iter()
+                .find(|&&(p, b, _)| p == pgoff && b == block)
+                .map(|&(_, _, prep)| prep);
+
+            // Growth fast path: the stage-1 memcmp predicted this page
+            // duplicates `canonical`. Pin the owning record with UC += 1,
+            // re-verify it under the lock (still per-page, still that
+            // block), and re-compare the bytes — the record could have been
+            // removed and a different chunk re-registered at the same block
+            // in the window. Any mismatch falls back to the fingerprint
+            // path below.
+            if let Some(Prep::Grown { canonical }) = prep {
+                let shared = fact.resolve_block(canonical).is_some_and(|(cidx, ce)| {
+                    if ce.run_pages != 1 || ce.block != canonical {
+                        return false;
+                    }
+                    fact.inc_uc(cidx);
+                    let ver = fact.read_entry(cidx);
+                    if ver.is_occupied()
+                        && ver.block == canonical
+                        && ver.run_pages == 1
+                        && blocks_equal(&dev, &layout, block, canonical)
+                    {
+                        reservations.push(cidx);
+                        true
+                    } else {
+                        fact.abort_uc(cidx);
+                        false
+                    }
+                });
+                if shared {
+                    stats.record_prefp_reused();
+                    stats.record_page(true);
+                    dup_pages += 1;
+                    push_dup(&mut duplicates, pgoff, canonical, 1);
+                    i += 1;
+                    continue;
+                }
+            }
+
+            // Fingerprint path.
+            let fp = match prep {
+                Some(Prep::Fp(fp)) => {
                     stats.record_prefp_reused();
                     fp
                 }
-                None => {
-                    // Not prefingerprinted (revalidation miss): hash under
-                    // the write lock, as the single-stage algorithm did.
+                _ => {
+                    // Not prefingerprinted (revalidation miss, or a growth
+                    // prediction that fell through): hash under the write
+                    // lock, as the single-stage algorithm did.
                     let t_fp = Instant::now();
                     let fp = dev.with_slice(layout.block_off(block), BLOCK_SIZE as usize, |page| {
                         fact.fingerprint(page)
@@ -162,30 +347,87 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
             };
 
             let (idx, existing) = fact.reserve_or_insert(&fp, block)?;
-            reservations.push(idx);
-            if existing.is_occupied() && existing.block != block {
-                duplicates.push((pgoff, block, existing.block));
-                stats.record_page(true);
-            } else {
+            if !existing.is_occupied() || existing.block == block {
+                reservations.push(idx);
                 uniques += 1;
                 stats.record_page(false);
+                i += 1;
+                continue;
             }
+
+            // Duplicate. A run anchor stands for its whole run; the entry
+            // matches some prefix of it (the fingerprint hit is on the
+            // anchor, so the match starts at the run's first block). Verify
+            // how far the match extends; a divergence inside the run splits
+            // it there — the head (which the reservation taken on the
+            // anchor then covers exactly) stays shared, the divergent block
+            // goes per-page, and the rest re-forms as its own run so the
+            // pages beyond the divergence still share wholesale on the next
+            // iterations of this loop.
+            let mut len = 1u64;
+            let run = existing.run_pages as u64;
+            if run > 1 {
+                let matched = 1 + (1..run)
+                    .take_while(|&k| {
+                        i + k < n_pages
+                            && matches!(
+                                ctx.mem.radix.get(pgoff + k),
+                                Some(er) if er.entry_off == node.entry_off && er.block == block + k
+                            )
+                            && blocks_equal(&dev, &layout, block + k, existing.block + k)
+                    })
+                    .count() as u64;
+                if matched == run {
+                    // One reservation on the anchor: committing UC → RFC
+                    // adds exactly one owner to every covered block.
+                    len = run;
+                } else if fact.split_run(idx, matched as u32).is_ok() {
+                    len = matched;
+                    // Peel the first divergent block off the tail run so
+                    // its interior — which this entry *does* duplicate —
+                    // is anchored at a fingerprint the entry's next pages
+                    // will hit. Only worth it while the entry has pages
+                    // left; best effort — on failure the tail merely stays
+                    // opaque to this entry.
+                    if run - matched >= 2 && i + matched < n_pages {
+                        if let Some((tidx, te)) = fact.resolve_block(existing.block + matched) {
+                            if te.block == existing.block + matched && te.run_pages > 1 {
+                                let _ = fact.split_run(tidx, 1);
+                            }
+                        }
+                    }
+                } else {
+                    // Could not split (e.g. FACT full): give this page up
+                    // rather than share a misaligned run.
+                    fact.abort_uc(idx);
+                    i += 1;
+                    continue;
+                }
+            }
+            reservations.push(idx);
+            for _ in 0..len {
+                stats.record_page(true);
+            }
+            dup_pages += len as u32;
+            push_dup(&mut duplicates, pgoff, existing.block, len);
+            i += len;
         }
         dev.crash_point("denova::dedup::after_reserve");
 
-        // Step ④: append a write entry per duplicate page, pointing at the
-        // canonical data page, flag in_process.
+        // Step ④: append one write entry per duplicate *run*, pointing at
+        // the canonical pages, flag in_process.
         let size_after = ctx.mem.size();
         let txid = ctx.next_txid();
         let new_entries: Vec<WriteEntry> = duplicates
             .iter()
-            .map(|&(pgoff, _, canonical)| WriteEntry {
+            .map(|d| WriteEntry {
                 dedupe_flag: DedupeFlag::InProcess,
-                file_pgoff: pgoff,
-                num_pages: 1,
-                block: canonical,
+                file_pgoff: d.pgoff,
+                num_pages: d.len as u32,
+                block: d.canonical,
                 size_after,
                 txid,
+                hole: false,
             })
             .collect();
         let encoded: Vec<[u8; 64]> = new_entries.iter().map(|e| e.encode()).collect();
@@ -225,8 +467,49 @@ pub fn dedup_entry(nova: &Nova, fact: &Fact, node: &DwqNode) -> Result<DedupOutc
         for block in obsolete {
             ctx.reclaim_block(block);
         }
+
+        // Extent promotion: a duplicate run long enough collapses its
+        // canonical per-page FACT records into one extent-run record. Best
+        // effort — `merge_run` re-checks its preconditions (equal RFC, no
+        // in-flight UC, still per-page, still consecutive) under the stripe
+        // locks and declines if anything moved; the run stays per-page and
+        // a later pass may promote it.
+        let threshold = fact.extent_threshold_pages() as u64;
+        if threshold > 0 {
+            for d in duplicates.iter().filter(|d| d.len >= threshold) {
+                // merge_run needs one uniform reference count across the
+                // whole run, and overwrite history legitimately leaves
+                // neighbouring canonical blocks with different owner
+                // counts. Promote every maximal equal-RFC stretch that
+                // still clears the threshold instead of insisting on the
+                // full duplicate run — otherwise one historically mutated
+                // block starves the segment forever.
+                let mut seg: Vec<(u64, crate::fact::FactEntry)> = Vec::new();
+                for k in 0..=d.len {
+                    let m = (k < d.len)
+                        .then(|| {
+                            fact.resolve_block(d.canonical + k).filter(|(_, e)| {
+                                e.run_pages == 1 && e.block == d.canonical + k && e.uc == 0
+                            })
+                        })
+                        .flatten();
+                    match m {
+                        Some(m) if seg.last().is_none_or(|(_, prev)| prev.rfc == m.1.rfc) => {
+                            seg.push(m);
+                        }
+                        _ => {
+                            if seg.len() as u64 >= threshold {
+                                fact.merge_run(&seg);
+                            }
+                            seg.clear();
+                            seg.extend(m);
+                        }
+                    }
+                }
+            }
+        }
         Ok(DedupOutcome::Done {
-            duplicates: duplicates.len() as u32,
+            duplicates: dup_pages,
             uniques,
         })
     });
@@ -255,13 +538,29 @@ pub fn resume_in_process(nova: &Nova, fact: &Fact, ino: u64, entry_off: u64) -> 
             return Ok(());
         }
         let layout = *nova.layout();
-        for i in 0..we.num_pages as u64 {
+        let mut i = 0u64;
+        while i < we.num_pages as u64 {
             let pgoff = we.file_pgoff + i;
             let block = we.block + i;
             // Only pages this entry still backs participate.
             match ctx.mem.radix.get(pgoff) {
                 Some(er) if er.entry_off == entry_off => {}
-                _ => continue,
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            // A whole-run share reserved exactly one UC on the run anchor
+            // (interior blocks have no fingerprints of their own), so a run
+            // commits once and skips the pages it covers.
+            if let Some((idx, e)) = fact.resolve_block(block) {
+                if e.run_pages > 1 {
+                    if block == e.block {
+                        fact.commit_uc_to_rfc(idx);
+                    }
+                    i += (e.run_pages as u64 - (block - e.block)).max(1);
+                    continue;
+                }
             }
             let fp = dev.with_slice(
                 layout.block_off(block),
@@ -273,6 +572,7 @@ pub fn resume_in_process(nova: &Nova, fact: &Fact, ino: u64, entry_off: u64) -> 
                 // means the commit already happened before the crash.
                 fact.commit_uc_to_rfc(idx);
             }
+            i += 1;
         }
         write_dedupe_flag(&dev, entry_off, DedupeFlag::Complete);
         Ok(())
@@ -539,6 +839,233 @@ mod tests {
         // Resuming again is harmless.
         resume_in_process(&nova, &fact, a, node.entry_off).unwrap();
         assert_eq!(fact.counters(idx), (1, 0));
+    }
+
+    /// 8 pages of distinct, non-zero content (zero pages would become
+    /// holes and never reach the DWQ).
+    fn run_data() -> Vec<u8> {
+        let mut data = vec![0u8; 8 * 4096];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i / 4096 + 1) as u8;
+        }
+        data
+    }
+
+    #[test]
+    fn long_duplicate_run_promotes_to_extent_record() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        let a = nova.create("a").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        drain(&nova, &fact, &dwq);
+        assert_eq!(fact.occupied_count(), 8);
+        let b = nova.create("b").unwrap();
+        nova.write(b, 0, &data).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        // All 8 of b's pages deduplicated...
+        assert_eq!(nova.free_blocks(), free_before + 8);
+        // ...and the canonical per-page records collapsed into one run.
+        assert_eq!(fact.occupied_count(), 1);
+        assert_eq!(fact.stats().promoted_runs(), 1);
+        assert_eq!(fact.stats().promoted_run_pages(), 8);
+        let (idx, e) = fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(e.run_pages, 8);
+        assert_eq!(fact.counters(idx), (2, 0));
+        assert_eq!(nova.read(a, 0, data.len()).unwrap(), data);
+        assert_eq!(nova.read(b, 0, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn run_below_threshold_stays_per_page() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(16);
+        let data = run_data(); // 8 pages < 16
+        let a = nova.create("a").unwrap();
+        let b = nova.create("b").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        nova.write(b, 0, &data).unwrap();
+        drain(&nova, &fact, &dwq);
+        assert_eq!(fact.occupied_count(), 8);
+        assert_eq!(fact.stats().promoted_runs(), 0);
+    }
+
+    #[test]
+    fn threshold_zero_is_per_block_baseline() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(0);
+        let data = run_data();
+        let a = nova.create("a").unwrap();
+        let b = nova.create("b").unwrap();
+        nova.write(a, 0, &data).unwrap();
+        nova.write(b, 0, &data).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        // Same dedup ratio, no runs.
+        assert_eq!(nova.free_blocks(), free_before + 8);
+        assert_eq!(fact.occupied_count(), 8);
+        assert_eq!(fact.stats().promoted_runs(), 0);
+    }
+
+    #[test]
+    fn third_copy_shares_the_whole_run_via_the_anchor() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        for name in ["a", "b"] {
+            let ino = nova.create(name).unwrap();
+            nova.write(ino, 0, &data).unwrap();
+        }
+        drain(&nova, &fact, &dwq);
+        assert_eq!(fact.occupied_count(), 1);
+        // c matches the run anchor: one reservation covers the whole run.
+        let c = nova.create("c").unwrap();
+        nova.write(c, 0, &data).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        assert_eq!(nova.free_blocks(), free_before + 8);
+        assert_eq!(fact.occupied_count(), 1);
+        let (idx, e) = fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(e.run_pages, 8);
+        assert_eq!(fact.counters(idx), (3, 0));
+        assert_eq!(nova.read(c, 0, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn partial_anchor_match_splits_the_run() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        for name in ["a", "b"] {
+            let ino = nova.create(name).unwrap();
+            nova.write(ino, 0, &data).unwrap();
+        }
+        drain(&nova, &fact, &dwq);
+        assert_eq!(fact.occupied_count(), 1);
+        // d holds only the first 3 pages: the run splits at the divergence.
+        // The head gains d as an owner; the tail re-forms as its own run
+        // keeping a and b only.
+        let d = nova.create("d").unwrap();
+        nova.write(d, 0, &data[..3 * 4096]).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        assert_eq!(nova.free_blocks(), free_before + 3);
+        assert_eq!(fact.occupied_count(), 2);
+        let (hidx, he) = fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(he.run_pages, 3);
+        assert_eq!(fact.counters(hidx), (3, 0));
+        let (tidx, te) = fact
+            .lookup(&Fingerprint::of(&data[3 * 4096..][..4096]))
+            .unwrap();
+        assert_eq!(te.run_pages, 5);
+        assert_eq!(fact.counters(tidx), (2, 0));
+        // Every block resolves through its half's anchor; interior
+        // fingerprints stay absent.
+        for k in 0..8u64 {
+            let (idx, _) = fact.resolve_block(he.block + k).unwrap();
+            assert_eq!(idx, if k < 3 { hidx } else { tidx }, "block {k}");
+        }
+        assert!(fact
+            .lookup(&Fingerprint::of(&data[4096..][..4096]))
+            .is_none());
+        assert_eq!(nova.read(d, 0, 3 * 4096).unwrap(), &data[..3 * 4096]);
+        for name in ["a", "b"] {
+            let ino = nova.open(name).unwrap();
+            assert_eq!(nova.read(ino, 0, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn divergent_interior_page_peels_and_shares_the_tail() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        for name in ["a", "b"] {
+            let ino = nova.create(name).unwrap();
+            nova.write(ino, 0, &data).unwrap();
+        }
+        drain(&nova, &fact, &dwq);
+        assert_eq!(fact.occupied_count(), 1);
+        // e duplicates the whole run except page 2: the run splits into
+        // head [0..2), the peeled divergent block 2, and tail [3..8) — and
+        // e shares head AND tail, storing only its one unique page.
+        let mut edited = data.clone();
+        edited[2 * 4096..3 * 4096].fill(0xEE);
+        let e = nova.create("e").unwrap();
+        nova.write(e, 0, &edited).unwrap();
+        let free_before = nova.free_blocks();
+        drain(&nova, &fact, &dwq);
+        assert_eq!(nova.free_blocks(), free_before + 7);
+        let (hidx, he) = fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(he.run_pages, 2);
+        assert_eq!(fact.counters(hidx), (3, 0));
+        let (midx, me) = fact
+            .lookup(&Fingerprint::of(&data[2 * 4096..][..4096]))
+            .unwrap();
+        assert_eq!(me.run_pages, 1);
+        assert_eq!(fact.counters(midx), (2, 0));
+        let (tidx, te) = fact
+            .lookup(&Fingerprint::of(&data[3 * 4096..][..4096]))
+            .unwrap();
+        assert_eq!(te.run_pages, 5);
+        assert_eq!(fact.counters(tidx), (3, 0));
+        assert_eq!(nova.read(e, 0, data.len()).unwrap(), edited);
+        for name in ["a", "b"] {
+            let ino = nova.open(name).unwrap();
+            assert_eq!(nova.read(ino, 0, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn interior_fingerprints_stay_absent_after_promotion() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        for name in ["a", "b"] {
+            let ino = nova.create(name).unwrap();
+            nova.write(ino, 0, &data).unwrap();
+        }
+        drain(&nova, &fact, &dwq);
+        for k in 1..8usize {
+            assert!(
+                fact.lookup(&Fingerprint::of(&data[k * 4096..][..4096]))
+                    .is_none(),
+                "interior fp {k} must answer absent after promotion"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_commits_a_whole_run_share_exactly_once() {
+        let (nova, fact, dwq) = setup();
+        fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        for name in ["a", "b", "c"] {
+            let ino = nova.create(name).unwrap();
+            nova.write(ino, 0, &data).unwrap();
+        }
+        drain(&nova, &fact, &dwq);
+        let (idx, _) = fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(fact.counters(idx), (3, 0));
+        // Rewind c's shared-extent entry to the in_process window: UC
+        // reserved on the anchor, counts not yet committed.
+        let c = nova.open("c").unwrap();
+        let off = nova
+            .with_inode_read(c, |mem| Ok(mem.radix.get(0).unwrap().entry_off))
+            .unwrap();
+        write_dedupe_flag(nova.device(), off, DedupeFlag::InProcess);
+        fact.inc_uc(idx);
+        resume_in_process(&nova, &fact, c, off).unwrap();
+        // One commit for the run, not one per page.
+        assert_eq!(fact.counters(idx), (4, 0));
+        assert_eq!(
+            read_dedupe_flag(nova.device(), off).unwrap(),
+            DedupeFlag::Complete
+        );
+        // Resuming again is harmless.
+        resume_in_process(&nova, &fact, c, off).unwrap();
+        assert_eq!(fact.counters(idx), (4, 0));
     }
 
     #[test]

@@ -30,12 +30,26 @@
 //! 0..4    RFC  (u32)     reference count
 //! 4..8    UC   (u32)     update count (in-flight dedup transactions)
 //! 8..28   FP   (20 B)    SHA-1 fingerprint
-//! 28..36  block (u64)    canonical data block
+//! 28..36  block (u64)    canonical data block (first block of a run)
 //! 36..44  prev (i64)     IAA chain predecessor (0 = chain head sentinel)
 //! 44..52  next (i64)     IAA chain successor (-1 = none)
 //! 52..60  delete pointer (i64, -1 = none)
-//! 60..64  padding
+//! 60..64  run_pages (u32, 0 or 1 = per-page record)
 //! ```
+//!
+//! **Extent runs.** A record with `run_pages = N > 1` is a *run anchor*: it
+//! stands for the `N` physically consecutive canonical blocks
+//! `block .. block + N`, all sharing one reference count — `RFC = R` means
+//! *each* block of the run has exactly `R` owners. The delete pointers of
+//! every covered block point at the anchor, so reclaim still resolves any
+//! run block in two PM reads. The anchor's fingerprint is that of the
+//! *first* block; the interior per-page records are removed at promotion
+//! ([`Fact::merge_run`]) and recreated — re-fingerprinted from the
+//! canonical bytes — when per-block granularity is needed again
+//! ([`Fact::demote_run`]). `run_pages` is written with its own 4-byte
+//! persist and serves as the commit point for both directions;
+//! [`Fact::repair_runs`] finishes a half-done promotion after a crash by
+//! absorbing leftover per-page records into the range their anchor claims.
 
 use crate::stats::DedupStats;
 use denova_fingerprint::Fingerprint;
@@ -44,7 +58,7 @@ use denova_pmem::PmemDevice;
 use denova_sync::RcuCell;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Number of chain-lock stripes. Counter updates are lock-free atomics;
@@ -56,9 +70,14 @@ const OFF_COUNTERS: u64 = 0;
 const OFF_PREV: u64 = 36;
 const OFF_NEXT: u64 = 44;
 const OFF_DELETE_PTR: u64 = 52;
+const OFF_RUN_PAGES: u64 = 60;
 
 /// Chain-terminator / empty-field sentinel for `prev`, `next`, `delete_ptr`.
 pub const NIL: i64 = -1;
+
+/// Default extent promotion threshold: 16 pages = 64 KiB of consecutive
+/// duplicate data.
+pub const DEFAULT_EXTENT_THRESHOLD_PAGES: u32 = 16;
 
 /// A decoded FACT entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +96,10 @@ pub struct FactEntry {
     pub next: i64,
     /// The `delete_ptr` value.
     pub delete_ptr: i64,
+    /// Pages covered by this record: 1 for a per-page record, `N > 1` for a
+    /// run anchor standing for blocks `block .. block + N` (a stored 0 —
+    /// pre-extent images — decodes as 1).
+    pub run_pages: u32,
 }
 
 impl FactEntry {
@@ -119,6 +142,14 @@ pub struct Fact {
     /// Read-side toggle for the RCU fast path (on by default; the off
     /// switch exists for benchmarks quantifying its effect).
     rcu: AtomicBool,
+    /// Duplicate runs at least this many pages long are promoted into one
+    /// extent-run record ([`Fact::merge_run`]). 0 disables promotion — the
+    /// per-block baseline the bench harness compares against.
+    extent_threshold_pages: AtomicU32,
+    /// Serializes run-granularity transitions ([`Fact::merge_run`] /
+    /// [`Fact::demote_run`]): two overlapping transitions on the same range
+    /// would double-cover blocks. Always taken *before* any stripe lock.
+    run_lock: Mutex<()>,
 }
 
 /// One cached chain position: where `fp` lives in FACT and how many PM
@@ -271,6 +302,8 @@ impl Fact {
                 .map(|_| RcuCell::new(StripeTable::new()))
                 .collect(),
             rcu: AtomicBool::new(true),
+            extent_threshold_pages: AtomicU32::new(DEFAULT_EXTENT_THRESHOLD_PAGES),
+            run_lock: Mutex::new(()),
             dev,
             layout,
             stats,
@@ -347,6 +380,17 @@ impl Fact {
         self.filter.enabled.load(Ordering::Relaxed)
     }
 
+    /// Set the extent promotion threshold in pages (0 disables promotion).
+    pub fn set_extent_threshold_pages(&self, pages: u32) {
+        self.extent_threshold_pages.store(pages, Ordering::Relaxed);
+    }
+
+    /// Duplicate-run length (pages) at which the dedup daemon promotes the
+    /// run's per-page records into one extent record; 0 = never.
+    pub fn extent_threshold_pages(&self) -> u32 {
+        self.extent_threshold_pages.load(Ordering::Relaxed)
+    }
+
     /// Total entries (DAA + IAA).
     pub fn entries(&self) -> u64 {
         self.layout.fact_entries()
@@ -413,12 +457,13 @@ impl Fact {
             prev: i64::from_le_bytes(b[36..44].try_into().unwrap()),
             next: i64::from_le_bytes(b[44..52].try_into().unwrap()),
             delete_ptr: i64::from_le_bytes(b[52..60].try_into().unwrap()),
+            run_pages: u32::from_le_bytes(b[60..64].try_into().unwrap()).max(1),
         }
     }
 
-    /// Write the dedup-metadata fields (counters, FP, block, prev, next) of
-    /// slot `idx`, *preserving* its delete-pointer field, and persist with a
-    /// single flush (one cache line).
+    /// Write the dedup-metadata fields (counters, FP, block, prev, next,
+    /// run_pages) of slot `idx`, *preserving* its delete-pointer field, and
+    /// persist with a single flush (one cache line).
     fn write_metadata(&self, idx: u64, e: &FactEntry) {
         let base = self.off(idx);
         let mut head = [0u8; 52];
@@ -429,6 +474,8 @@ impl Fact {
         head[36..44].copy_from_slice(&e.prev.to_le_bytes());
         head[44..52].copy_from_slice(&e.next.to_le_bytes());
         self.dev.write(base, &head);
+        self.dev
+            .write(base + OFF_RUN_PAGES, &e.run_pages.max(1).to_le_bytes());
         self.dev.persist(base, 64);
         self.stats.bump_flushes(1);
     }
@@ -447,6 +494,7 @@ impl Fact {
                 prev: NIL,
                 next: NIL,
                 delete_ptr: NIL, // ignored by write_metadata
+                run_pages: 1,
             },
         );
     }
@@ -486,6 +534,29 @@ impl Fact {
         self.dev.write(off, &fact_idx.to_le_bytes());
         self.dev.persist(off, 8);
         self.stats.bump_flushes(1);
+    }
+
+    /// The delete pointer stored in slot `block` (the reverse index cell).
+    fn read_delete_ptr(&self, block: u64) -> i64 {
+        let mut b = [0u8; 8];
+        self.dev.read_into(self.off(block) + OFF_DELETE_PTR, &mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Persist `run_pages` of slot `idx` with one 4-byte flush — the commit
+    /// point for run promotion (`1 → N`) and demotion (`N → 1`).
+    fn write_run_pages(&self, idx: u64, n: u32) {
+        let off = self.off(idx) + OFF_RUN_PAGES;
+        self.dev.write(off, &n.max(1).to_le_bytes());
+        self.dev.persist(off, 4);
+        self.stats.bump_flushes(1);
+    }
+
+    /// Pages covered by the record at `idx` (1 = per-page record).
+    pub fn run_pages(&self, idx: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.dev.read_into(self.off(idx) + OFF_RUN_PAGES, &mut b);
+        u32::from_le_bytes(b).max(1)
     }
 
     // ------------------------------------------------------------------
@@ -754,7 +825,7 @@ impl Fact {
                 .event("fact.hit", &[("idx", idx), ("block", e.block)]);
             return Ok((idx, e));
         }
-        let idx = self.insert_locked(prefix, fp, block)?;
+        let idx = self.insert_locked(prefix, fp, block, 0)?;
         self.inc_uc(idx);
         self.publish_prefix(prefix);
         self.stats.bump_misses();
@@ -807,9 +878,11 @@ impl Fact {
         cell.publish(table);
     }
 
-    /// Insert `(fp, block)` assuming the chain lock for `prefix` is held and
-    /// the fingerprint is absent.
-    fn insert_locked(&self, prefix: u64, fp: &Fingerprint, block: u64) -> Result<u64> {
+    /// Insert `(fp, block)` with an initial `rfc`, assuming the chain lock
+    /// for `prefix` is held and the fingerprint is absent. (The demote path
+    /// passes a non-zero `rfc` — the run's count carries over; everyone else
+    /// passes 0 and reserves through UC.)
+    fn insert_locked(&self, prefix: u64, fp: &Fingerprint, block: u64, rfc: u32) -> Result<u64> {
         let daa = self.read_entry(prefix);
         if !daa.is_occupied() {
             // Publish in the filter BEFORE the entry becomes visible so a
@@ -822,13 +895,14 @@ impl Fact {
             self.write_metadata(
                 prefix,
                 &FactEntry {
-                    rfc: 0,
+                    rfc,
                     uc: 0,
                     fp: *fp,
                     block,
                     prev: NIL,
                     next: NIL,
                     delete_ptr: NIL,
+                    run_pages: 1,
                 },
             );
             self.set_delete_ptr(block, prefix as i64);
@@ -858,13 +932,14 @@ impl Fact {
         self.write_metadata(
             idx,
             &FactEntry {
-                rfc: 0,
+                rfc,
                 uc: 0,
                 fp: *fp,
                 block,
                 prev,
                 next: NIL,
                 delete_ptr: NIL,
+                run_pages: 1,
             },
         );
         self.set_delete_ptr(block, idx as i64);
@@ -889,26 +964,352 @@ impl Fact {
 
     /// Resolve a data block to its FACT entry via the delete pointer — the
     /// reclaim-path lookup that costs exactly two PM reads (Section IV-C
-    /// steps 1–3).
+    /// steps 1–3). A block covered by an extent run resolves to the run's
+    /// anchor record (still two reads: `run_pages` rides in the same cache
+    /// line as the rest of the entry).
     pub fn resolve_block(&self, block: u64) -> Option<(u64, FactEntry)> {
         if block >= self.entries() {
             return None;
         }
         // Read 1: the delete pointer stored at index `block`.
-        let mut b = [0u8; 8];
-        self.dev.read_into(self.off(block) + OFF_DELETE_PTR, &mut b);
-        let ptr = i64::from_le_bytes(b);
+        let ptr = self.read_delete_ptr(block);
         if ptr < 0 || ptr as u64 >= self.entries() {
             return None;
         }
         // Read 2: the entry it points at. Stale pointers (left behind by
-        // removals) are detected by the block-address check.
+        // removals) are detected by the block-range check.
         let e = self.read_entry(ptr as u64);
-        if e.is_occupied() && e.block == block {
+        if e.is_occupied() && block >= e.block && block - e.block < e.run_pages as u64 {
             Some((ptr as u64, e))
         } else {
             None
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Extent runs (promotion / demotion / crash repair)
+    // ------------------------------------------------------------------
+
+    /// Promote `members` — the per-page records of physically consecutive
+    /// canonical blocks, in block order — into one extent-run record
+    /// anchored at `members[0]`. Requires (and re-verifies) that every
+    /// member still covers its block with the same reference count and no
+    /// in-flight reservations; returns `false` without touching the table
+    /// if the precondition no longer holds, `true` once the run is live.
+    ///
+    /// Protocol (each step one cache-line persist, repairable forward by
+    /// [`Fact::repair_runs`] from the `run_pages` commit on):
+    ///
+    /// 1. persist `run_pages = N` on the anchor — the commit point;
+    /// 2. per interior block, left to right: point its reverse index at
+    ///    the anchor (resolve_block never misses: before the store it
+    ///    finds the per-page record, after it the anchor), then gate with
+    ///    a counter CAS `(R, 0) → (0, 0)` — a racing reservation makes the
+    ///    CAS fail and rolls the promotion back — and remove the absorbed
+    ///    per-page record (its fingerprint leaves the filter and the RCU
+    ///    tables: interior fps answer *absent* after promotion).
+    ///
+    /// The reference-count meaning is unchanged throughout: before, each
+    /// of the N records held `RFC = R` for its block; after, the single
+    /// anchor holds `RFC = R` *for each* covered block.
+    pub fn merge_run(&self, members: &[(u64, FactEntry)]) -> bool {
+        // One granularity transition at a time: a demotion overlapping this
+        // promotion would re-insert per-page records the absorb loop is
+        // removing, double-covering blocks.
+        let _run = self.run_lock.lock();
+        self.merge_run_locked(members)
+    }
+
+    /// [`Fact::merge_run`] body, for callers ([`Fact::split_run`]) already
+    /// holding `run_lock`.
+    fn merge_run_locked(&self, members: &[(u64, FactEntry)]) -> bool {
+        let n = members.len();
+        if n < 2 {
+            return false;
+        }
+        let (anchor, a) = members[0];
+        let b0 = a.block;
+        // Records can be *relocated* between slots while keeping their
+        // identity: removing a DAA entry promotes its IAA chain head into
+        // the freed slot (see `remove`). Every such move happens under the
+        // stripe lock of the record's prefix, so holding every member's
+        // stripe for the whole protocol pins the member indices the caller
+        // captured. Acquired in sorted order and this is the only
+        // multi-stripe taker, so lock order is consistent.
+        let mut stripe_ids: Vec<usize> = members
+            .iter()
+            .map(|(_, e)| (e.fp.prefix(self.prefix_bits()) as usize) % STRIPES)
+            .collect();
+        stripe_ids.sort_unstable();
+        stripe_ids.dedup();
+        let _guards: Vec<_> = stripe_ids.iter().map(|&s| self.stripes[s].lock()).collect();
+        let (rfc, _) = self.load_counters(anchor);
+        if rfc == 0 {
+            return false; // mid-reclaim; not worth anchoring a run on
+        }
+        // Precondition sweep: occupied, same fp, consecutive blocks, all
+        // per-page, still named by the reverse index (a stale index from
+        // before a relocation fails here), counters exactly (rfc, 0).
+        for (k, &(idx, ref snap)) in members.iter().enumerate() {
+            let cur = self.read_entry(idx);
+            if !cur.is_occupied()
+                || cur.fp != snap.fp
+                || cur.block != b0 + k as u64
+                || cur.run_pages != 1
+                || self.read_delete_ptr(b0 + k as u64) != idx as i64
+                || self.load_counters(idx) != (rfc, 0)
+            {
+                return false;
+            }
+        }
+        // Commit point: the anchor now claims the whole range.
+        self.write_run_pages(anchor, n as u32);
+        self.dev
+            .crash_point("denova::fact::merge::after_run_commit");
+        for (k, _) in members.iter().enumerate().skip(1) {
+            let block = b0 + k as u64;
+            // Re-resolve the slot through the reverse index: removing an
+            // earlier member may have promoted this one's record into a
+            // freed DAA chain-head slot (the promotion re-points the cell,
+            // and the held stripe locks exclude every other mover).
+            let ptr = self.read_delete_ptr(block);
+            let idx = ptr as u64;
+            // Reverse index first: any reclaim arriving now resolves the
+            // anchor (whose range already covers `block`).
+            self.set_delete_ptr(block, anchor as i64);
+            self.dev.crash_point("denova::fact::merge::mid_absorb");
+            // Gate: zero the counters by CAS. A reservation that slipped in
+            // since the sweep makes this fail — roll back rather than drop
+            // the reserver's reference on the floor.
+            if self
+                .cas_counters(idx, |r, u| {
+                    if (r, u) == (rfc, 0) {
+                        Some((0, 0))
+                    } else {
+                        None
+                    }
+                })
+                .is_none()
+            {
+                self.set_delete_ptr(block, ptr);
+                self.unwind_merge(anchor, members, k, rfc);
+                return false;
+            }
+            let _ = self.remove_locked(idx);
+        }
+        self.stats.record_promoted_run(n as u64);
+        true
+    }
+
+    /// Roll a half-done [`Fact::merge_run`] back: re-create the per-page
+    /// records already absorbed (blocks `b0+1 .. b0+upto`) and reset the
+    /// anchor to per-page granularity. `members` still holds their
+    /// fingerprints, so no data needs re-hashing. Runs with the caller
+    /// (`merge_run`) already holding every member's stripe lock, hence the
+    /// direct `insert_locked` calls.
+    fn unwind_merge(&self, anchor: u64, members: &[(u64, FactEntry)], upto: usize, rfc: u32) {
+        let b0 = members[0].1.block;
+        for (k, (_, snap)) in members.iter().enumerate().take(upto).skip(1) {
+            let prefix = snap.fp.prefix(self.prefix_bits());
+            if self
+                .insert_locked(prefix, &snap.fp, b0 + k as u64, rfc)
+                .is_ok()
+            {
+                self.publish_prefix(prefix);
+                self.stats.bump_inserts();
+            }
+        }
+        self.write_run_pages(anchor, 1);
+    }
+
+    /// Split the extent run anchored at `anchor` back into per-page records
+    /// — the inverse of [`Fact::merge_run`], needed before per-block
+    /// reclaim or partial sharing. Each interior block is re-fingerprinted
+    /// from its canonical bytes in PM and gets a fresh record carrying the
+    /// run's reference count; the final `run_pages = 1` store commits the
+    /// demotion (a crash before it re-merges cleanly on recovery). Returns
+    /// the number of pages the run covered (1 if there was nothing to do).
+    pub fn demote_run(&self, anchor: u64) -> Result<u32> {
+        // Serialize against merge_run (see `run_lock`): splitting a run
+        // that a concurrent promotion is still absorbing would re-create
+        // per-page records under the anchor's claimed range.
+        let _run = self.run_lock.lock();
+        let a = self.read_entry(anchor);
+        if !a.is_occupied() || a.run_pages <= 1 {
+            return Ok(1);
+        }
+        let n = a.run_pages;
+        let (rfc, _) = self.load_counters(anchor);
+        for k in 1..n as u64 {
+            let block = a.block + k;
+            let fp = self.dev.with_slice(
+                self.layout.block_off(block),
+                denova_nova::BLOCK_SIZE as usize,
+                |page| self.fingerprint(page),
+            );
+            self.insert_with_rfc(&fp, block, rfc)?;
+            self.dev.crash_point("denova::fact::demote::mid_split");
+        }
+        // Commit point: back to per-page granularity.
+        self.commit_run_pages(anchor, &a, 1);
+        self.stats.record_demoted_run();
+        Ok(n)
+    }
+
+    /// Persist a new `run_pages` on the record last seen as `a` at `anchor`.
+    /// The record may have been relocated (DAA chain-head promotion in
+    /// `remove`) since the caller read it; its reverse cell tracks the
+    /// move, so resolve the current slot under the stripe lock that
+    /// serializes relocation and commit there.
+    fn commit_run_pages(&self, anchor: u64, a: &FactEntry, n: u32) {
+        let prefix = a.fp.prefix(self.prefix_bits());
+        let _guard = self.lock_chain(prefix);
+        self.write_run_pages(self.current_slot(anchor, a), n);
+    }
+
+    /// The slot currently holding the record last seen as `a` at `anchor`,
+    /// following its reverse cell through a possible relocation.
+    fn current_slot(&self, anchor: u64, a: &FactEntry) -> u64 {
+        let ptr = self.read_delete_ptr(a.block);
+        if ptr >= 0 && (ptr as u64) < self.entries() && ptr as u64 != anchor {
+            let cur = self.read_entry(ptr as u64);
+            if cur.is_occupied() && cur.fp == a.fp && cur.block == a.block {
+                return ptr as u64;
+            }
+        }
+        anchor
+    }
+
+    /// Split the extent run anchored at `anchor` at relative page `at`
+    /// (`1 ≤ at < run_pages`): the anchor keeps the first `at` pages, and
+    /// the tail becomes its own record — a run again if it spans several
+    /// pages — carrying the same per-block reference count. This is the
+    /// partial-overwrite path of extent sharing: a writer that diverges
+    /// inside a run splits it there instead of dissolving the whole run to
+    /// per-page records.
+    ///
+    /// Built from the existing repairable protocols: the tail blocks are
+    /// first re-created per-page (exactly the demote protocol — a crash
+    /// rolls the half-split back into the full run), the anchor's claim
+    /// then shrinks (the commit), and the tail re-merges into a run (the
+    /// merge protocol, rolled forward by [`Fact::repair_runs`]).
+    pub fn split_run(&self, anchor: u64, at: u32) -> Result<()> {
+        let _run = self.run_lock.lock();
+        let a = self.read_entry(anchor);
+        if !a.is_occupied() || at == 0 || a.run_pages <= at {
+            return Ok(()); // caller's view was stale; nothing to split
+        }
+        let n = a.run_pages;
+        let (rfc, _) = self.load_counters(anchor);
+        // Tail blocks become per-page records first; each insert re-points
+        // the block's reverse cell, so every block stays resolvable
+        // throughout.
+        let mut members: Vec<(u64, FactEntry)> = Vec::new();
+        for k in at as u64..n as u64 {
+            let block = a.block + k;
+            let fp = self.dev.with_slice(
+                self.layout.block_off(block),
+                denova_nova::BLOCK_SIZE as usize,
+                |page| self.fingerprint(page),
+            );
+            let idx = match self.insert_with_rfc(&fp, block, rfc) {
+                Ok(idx) => idx,
+                Err(e) => {
+                    // Roll the half-built tail back into the run: re-point
+                    // each cell at the anchor, then drop the per-page
+                    // record (the mount-time repair does the same).
+                    let cur = self.current_slot(anchor, &a);
+                    for &(m, ref me) in &members {
+                        self.set_delete_ptr(me.block, cur as i64);
+                        self.cas_counters(m, |_, _| Some((0, 0)));
+                        let _ = self.remove(m);
+                    }
+                    return Err(e);
+                }
+            };
+            members.push((idx, self.read_entry(idx)));
+            self.dev.crash_point("denova::fact::split::mid_tail");
+        }
+        // Commit point: the anchor's claim shrinks to the head.
+        self.commit_run_pages(anchor, &a, at);
+        // Re-form the tail as its own run (a single-page tail stays
+        // per-page). Best effort: if a racing reservation declines the
+        // merge, the tail simply stays per-page.
+        if members.len() >= 2 {
+            self.merge_run_locked(&members);
+        }
+        Ok(())
+    }
+
+    /// Insert a per-page record for `(fp, block)` with a preset reference
+    /// count — the demotion path. The fingerprint may already exist in the
+    /// table (the same content stored again under a different canonical
+    /// block since the run formed): the new record is appended to the chain
+    /// anyway — lookups keep resolving the earlier entry, while this one is
+    /// reachable through `block`'s reverse index, which is all reclaim
+    /// needs.
+    fn insert_with_rfc(&self, fp: &Fingerprint, block: u64, rfc: u32) -> Result<u64> {
+        let prefix = fp.prefix(self.prefix_bits());
+        let _guard = self.lock_chain(prefix);
+        let idx = self.insert_locked(prefix, fp, block, rfc)?;
+        self.publish_prefix(prefix);
+        self.stats.bump_inserts();
+        Ok(idx)
+    }
+
+    /// Recovery: finish half-done run promotions. For every anchor claiming
+    /// `run_pages > 1`, point each covered block's reverse index at the
+    /// anchor and absorb leftover per-page records inside the claimed range
+    /// (their counts are already represented by the anchor). Idempotent;
+    /// returns the number of repairs applied.
+    pub fn repair_runs(&self) -> u64 {
+        let mut runs: Vec<(u64, u64, u32)> = Vec::new();
+        self.for_each_occupied(|idx, e| {
+            if e.run_pages > 1 {
+                runs.push((idx, e.block, e.run_pages));
+            }
+        });
+        let mut repairs = 0u64;
+        for &(anchor, b0, n) in &runs {
+            for k in 1..n as u64 {
+                let block = b0 + k;
+                let ptr = self.read_delete_ptr(block);
+                if ptr == anchor as i64 {
+                    continue;
+                }
+                // Absorb the leftover per-page record the pointer still
+                // names (reverse index first, as in merge_run).
+                self.set_delete_ptr(block, anchor as i64);
+                repairs += 1;
+                if ptr >= 0 && (ptr as u64) < self.entries() && ptr as u64 != anchor {
+                    let left = self.read_entry(ptr as u64);
+                    if left.is_occupied() && left.block == block && left.run_pages == 1 {
+                        self.cas_counters(ptr as u64, |_, _| Some((0, 0)));
+                        let _ = self.remove(ptr as u64);
+                    }
+                }
+            }
+        }
+        // Orphans: per-page records covering a run's interior block whose
+        // reverse index no longer names them (crash after the delete-ptr
+        // store but before the removal).
+        let mut orphans = Vec::new();
+        self.for_each_occupied(|idx, e| {
+            if e.run_pages == 1
+                && runs.iter().any(|&(anchor, b0, n)| {
+                    idx != anchor && e.block > b0 && e.block - b0 < n as u64
+                })
+                && self.read_delete_ptr(e.block) != idx as i64
+            {
+                orphans.push(idx);
+            }
+        });
+        for idx in orphans {
+            self.cas_counters(idx, |_, _| Some((0, 0)));
+            let _ = self.remove(idx);
+            repairs += 1;
+        }
+        repairs
     }
 
     /// Remove the entry at `idx` (its RFC reached 0), unlinking it from its
@@ -922,11 +1323,18 @@ impl Fact {
         }
         let prefix = e.fp.prefix(self.prefix_bits());
         let _guard = self.lock_chain(prefix);
+        self.remove_locked(idx)
+    }
+
+    /// [`Fact::remove`] body, for callers (merge promotion) that already
+    /// hold the stripe lock of the entry's prefix.
+    fn remove_locked(&self, idx: u64) -> Result<()> {
         // Re-read under the lock.
         let e = self.read_entry(idx);
         if !e.is_occupied() {
             return Ok(());
         }
+        let prefix = e.fp.prefix(self.prefix_bits());
         self.stats.bump_removes();
         if idx < self.daa_entries() {
             // DAA entry. If a chain hangs off it, promote the IAA head into
@@ -947,7 +1355,11 @@ impl Fact {
                             ..h
                         },
                     );
-                    self.set_delete_ptr(h.block, idx as i64);
+                    // A promoted run anchor carries its whole range's
+                    // reverse index along, not just its first block.
+                    for k in 0..h.run_pages as u64 {
+                        self.set_delete_ptr(h.block + k, idx as i64);
+                    }
                     if h.next != NIL {
                         // The new IAA head's prev becomes the sentinel 0.
                         self.write_prev(h.next as u64, 0);
@@ -1398,6 +1810,222 @@ mod tests {
         fact.for_each_occupied(|_, e| blocks.push(e.block));
         blocks.sort();
         assert_eq!(blocks, (100..110).collect::<Vec<u64>>());
+    }
+
+    // -- Extent runs -------------------------------------------------------
+
+    /// Store distinct page contents at consecutive blocks `b0..b0+n`, insert
+    /// per-page records with `RFC = rfc`, and return `(idx, entry)` members
+    /// in block order (as `merge_run` wants them).
+    fn build_members(
+        dev: &Arc<PmemDevice>,
+        fact: &Fact,
+        b0: u64,
+        n: u64,
+        rfc: u32,
+    ) -> Vec<(u64, FactEntry)> {
+        let layout = Layout::compute(dev.size() as u64, 64, 2);
+        (0..n)
+            .map(|k| {
+                let block = b0 + k;
+                let mut page = vec![0u8; denova_nova::BLOCK_SIZE as usize];
+                page[..8].copy_from_slice(&(0xABCD_0000 + block).to_le_bytes());
+                dev.write(layout.block_off(block), &page);
+                let fp = Fingerprint::of(&page);
+                let (idx, _) = fact.reserve_or_insert(&fp, block).unwrap();
+                fact.commit_uc_to_rfc(idx);
+                for _ in 1..rfc {
+                    fact.inc_uc(idx);
+                    fact.commit_uc_to_rfc(idx);
+                }
+                (idx, fact.read_entry(idx))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_run_resolves_every_block_to_the_anchor() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 600, 8, 3);
+        let anchor = members[0].0;
+        let before = fact.occupied_count();
+        assert!(fact.merge_run(&members));
+        // 7 interior records absorbed.
+        assert_eq!(fact.occupied_count(), before - 7);
+        assert_eq!(fact.run_pages(anchor), 8);
+        for k in 0..8u64 {
+            let (idx, e) = fact.resolve_block(600 + k).expect("run block resolves");
+            assert_eq!(idx, anchor);
+            assert_eq!(e.block, 600);
+            assert_eq!(e.run_pages, 8);
+        }
+        // The run's count is unchanged: R per covered block.
+        assert_eq!(fact.counters(anchor), (3, 0));
+        // Outside the run: no resolution.
+        assert!(fact.resolve_block(608).is_none());
+        assert_eq!(fact.stats().promoted_runs(), 1);
+        assert_eq!(fact.stats().promoted_run_pages(), 8);
+    }
+
+    #[test]
+    fn run_block_still_resolves_in_two_pm_reads() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 640, 4, 1);
+        assert!(fact.merge_run(&members));
+        let before = dev.stats().snapshot();
+        fact.resolve_block(642).unwrap();
+        let delta = dev.stats().snapshot().delta(&before);
+        assert_eq!(delta.reads, 2, "run resolution must stay two PM reads");
+    }
+
+    /// Regression: a merge whose captured member indices went stale (the
+    /// record moved slots — e.g. a concurrent remove promoted a chain head
+    /// into the freed DAA slot) must decline instead of absorbing through
+    /// the wrong slot. The precondition sweep cross-checks every member
+    /// against the reverse index, which always names the current slot.
+    #[test]
+    fn merge_declines_stale_member_slots() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 660, 4, 2);
+        // Swap two members' slot indices: both records are live and match
+        // every other precondition, but the reverse cells disagree.
+        let mut stale = members.clone();
+        let tmp = stale[1].0;
+        stale[1].0 = stale[2].0;
+        stale[2].0 = tmp;
+        assert!(!fact.merge_run(&stale), "stale member slots must decline");
+        // Nothing was absorbed or relocated: all records stay per-page and
+        // resolvable through the reverse index.
+        for (idx, e) in &members {
+            assert_eq!(fact.run_pages(*idx), 1);
+            let (ridx, re) = fact.resolve_block(e.block).unwrap();
+            assert_eq!(ridx, *idx);
+            assert_eq!(re.fp, e.fp);
+        }
+        // The genuine member list still merges cleanly afterwards.
+        assert!(fact.merge_run(&members));
+    }
+
+    #[test]
+    fn merge_removes_interior_fingerprints_from_lookup_and_filter() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 700, 4, 2);
+        let interior_fps: Vec<Fingerprint> = members[1..].iter().map(|(_, e)| e.fp).collect();
+        assert!(fact.merge_run(&members));
+        // Interior fps answer authoritatively absent — from DRAM when the
+        // filter can prove it.
+        for fp in &interior_fps {
+            assert!(fact.lookup(fp).is_none(), "interior fp must be absent");
+        }
+        // The anchor fp still resolves.
+        assert!(fact.lookup(&members[0].1.fp).is_some());
+    }
+
+    #[test]
+    fn merge_refuses_unequal_rfcs_and_inflight_uc() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 720, 4, 2);
+        // Unequal RFC on one member.
+        fact.inc_uc(members[2].0);
+        assert!(!fact.merge_run(&members), "UC reservation must block merge");
+        fact.abort_uc(members[2].0);
+        fact.inc_uc(members[2].0);
+        fact.commit_uc_to_rfc(members[2].0); // RFC now 3 ≠ 2
+        assert!(!fact.merge_run(&members), "unequal RFC must block merge");
+        // Table untouched: everything still per-page.
+        for &(idx, _) in &members {
+            assert_eq!(fact.run_pages(idx), 1);
+        }
+    }
+
+    #[test]
+    fn demote_run_recreates_per_page_records_with_the_runs_count() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 760, 6, 4);
+        let fps: Vec<Fingerprint> = members.iter().map(|(_, e)| e.fp).collect();
+        let anchor = members[0].0;
+        assert!(fact.merge_run(&members));
+        assert_eq!(fact.demote_run(anchor).unwrap(), 6);
+        assert_eq!(fact.run_pages(anchor), 1);
+        // Every block resolves again to a per-page record carrying RFC 4,
+        // and the re-fingerprinted interior fps are findable again.
+        for (k, fp) in fps.iter().enumerate() {
+            let (idx, e) = fact.resolve_block(760 + k as u64).unwrap();
+            assert_eq!(e.block, 760 + k as u64);
+            assert_eq!(e.run_pages, 1);
+            assert_eq!(fact.counters(idx).0, 4);
+            assert_eq!(fact.lookup(fp).unwrap().0, idx);
+        }
+        // Demoting a per-page record is a no-op.
+        assert_eq!(fact.demote_run(anchor).unwrap(), 1);
+        assert_eq!(fact.stats().demoted_runs(), 1);
+    }
+
+    #[test]
+    fn repair_runs_completes_interrupted_merge() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 800, 5, 2);
+        let anchor = members[0].0;
+        // Crash after the run committed but mid-absorption of the interior
+        // records (second mid_absorb hit: one block already absorbed).
+        dev.crash_points().arm("denova::fact::merge::mid_absorb", 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fact.merge_run(&members);
+        }));
+        assert!(r.is_err());
+        let dev2 = Arc::new(dev.crash_clone(denova_pmem::CrashMode::Strict));
+        let layout = Layout::compute(dev2.size() as u64, 64, 2);
+        let fact2 = Fact::mount(dev2, layout, Arc::new(DedupStats::default()));
+        assert!(fact2.repair_runs() > 0);
+        // The run is whole: every block resolves to the anchor with RFC 2,
+        // and no leftover per-page record survives inside the range.
+        for k in 0..5u64 {
+            let (idx, e) = fact2.resolve_block(800 + k).unwrap();
+            assert_eq!(idx, anchor);
+            assert_eq!(e.run_pages, 5);
+        }
+        assert_eq!(fact2.counters(anchor), (2, 0));
+        for (_, e) in &members[1..] {
+            assert!(fact2.lookup(&e.fp).is_none(), "absorbed fp resolvable");
+        }
+        // Idempotent.
+        assert_eq!(fact2.repair_runs(), 0);
+    }
+
+    #[test]
+    fn repair_runs_is_noop_on_clean_table() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 840, 4, 1);
+        assert!(fact.merge_run(&members));
+        assert_eq!(fact.repair_runs(), 0);
+    }
+
+    #[test]
+    fn runs_survive_remount() {
+        let (dev, fact) = setup();
+        let members = build_members(&dev, &fact, 860, 4, 2);
+        let anchor = members[0].0;
+        assert!(fact.merge_run(&members));
+        let dev2 = Arc::new(dev.crash_clone(denova_pmem::CrashMode::Strict));
+        let layout = Layout::compute(dev2.size() as u64, 64, 2);
+        let fact2 = Fact::mount(dev2, layout, Arc::new(DedupStats::default()));
+        for k in 0..4u64 {
+            let (idx, e) = fact2.resolve_block(860 + k).unwrap();
+            assert_eq!(idx, anchor);
+            assert_eq!(e.run_pages, 4);
+        }
+        assert_eq!(fact2.lookup(&members[0].1.fp).unwrap().0, anchor);
+    }
+
+    #[test]
+    fn extent_threshold_knob_defaults_and_sets() {
+        let (_dev, fact) = setup();
+        assert_eq!(
+            fact.extent_threshold_pages(),
+            DEFAULT_EXTENT_THRESHOLD_PAGES
+        );
+        fact.set_extent_threshold_pages(0);
+        assert_eq!(fact.extent_threshold_pages(), 0);
     }
 
     // -- Presence filter ---------------------------------------------------

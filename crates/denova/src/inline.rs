@@ -13,7 +13,10 @@
 //! recovery is shared.
 
 use crate::fact::Fact;
-use denova_nova::{DedupeFlag, FsOp, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE, ROOT_INO};
+use denova_fingerprint::is_zero_page;
+use denova_nova::{
+    DedupeFlag, FsOp, Nova, NovaError, Result, WriteEntry, BLOCK_SIZE, HOLE_BLOCK, ROOT_INO,
+};
 use std::time::Instant;
 
 /// Write `data` at `offset` of `ino`, deduplicating inline.
@@ -43,12 +46,11 @@ pub fn write_inline(nova: &Nova, fact: &Fact, ino: u64, offset: u64, data: &[u8]
         let mut pages = vec![0u8; (num_pages * BLOCK_SIZE) as usize];
         let head_skip = (offset - first_pg * BLOCK_SIZE) as usize;
         let tail_end = head_skip + data.len();
-        let read_old = |pg: u64, buf: &mut [u8]| {
-            if let Some(e) = ctx.mem.radix.get(pg) {
+        let read_old = |pg: u64, buf: &mut [u8]| match ctx.mem.radix.get(pg) {
+            Some(e) if e.block != HOLE_BLOCK => {
                 dev.read_into(layout.block_off(e.block), buf);
-            } else {
-                buf.fill(0);
             }
+            _ => buf.fill(0),
         };
         if head_skip != 0 {
             read_old(first_pg, &mut pages[..BLOCK_SIZE as usize]);
@@ -67,6 +69,29 @@ pub fn write_inline(nova: &Nova, fact: &Fact, ino: u64, offset: u64, data: &[u8]
         let mut reservations: Vec<u64> = Vec::with_capacity(num_pages as usize);
         for i in 0..num_pages {
             let image = &pages[(i * BLOCK_SIZE) as usize..((i + 1) * BLOCK_SIZE) as usize];
+            // Zero-block elision: an all-zero page image maps as a hole —
+            // no fingerprint, no FACT traffic, no allocation. Consecutive
+            // holes fold into the previous hole entry's run.
+            if is_zero_page(image) {
+                nova.stats().zero_holes.add(1);
+                match entries.last_mut() {
+                    Some(prev)
+                        if prev.hole && prev.file_pgoff + prev.num_pages as u64 == first_pg + i =>
+                    {
+                        prev.num_pages += 1;
+                    }
+                    _ => entries.push(WriteEntry {
+                        dedupe_flag: DedupeFlag::NotApplicable,
+                        file_pgoff: first_pg + i,
+                        num_pages: 1,
+                        block: 0,
+                        size_after: new_size,
+                        txid,
+                        hole: true,
+                    }),
+                }
+                continue;
+            }
             let t_fp = Instant::now();
             let fp = fact.fingerprint(image);
             fp_time += t_fp.elapsed();
@@ -74,6 +99,13 @@ pub fn write_inline(nova: &Nova, fact: &Fact, ino: u64, offset: u64, data: &[u8]
             // Peek first so we only allocate for unique chunks.
             let (idx, block, duplicate) = match fact.lookup(&fp) {
                 Some((idx, e)) => {
+                    // A run anchor stands for its whole run, but inline
+                    // writes share one page at a time: split the run back
+                    // to per-page records before taking a reference, so the
+                    // count moves on this block only.
+                    if e.run_pages > 1 {
+                        fact.demote_run(idx)?;
+                    }
                     fact.inc_uc(idx);
                     stats.bump_hits();
                     (idx, e.block, true)
@@ -108,6 +140,7 @@ pub fn write_inline(nova: &Nova, fact: &Fact, ino: u64, offset: u64, data: &[u8]
                 block,
                 size_after: new_size,
                 txid,
+                hole: false,
             });
         }
 

@@ -29,6 +29,7 @@ pub mod dedup;
 pub mod dwq;
 pub mod fact;
 pub mod fp;
+pub mod fsck;
 pub mod inline;
 pub mod nvdedup;
 pub mod qos;
@@ -41,7 +42,7 @@ pub use adaptive::{write_inline_adaptive, NvDedupHooks};
 pub use daemon::{Daemon, DaemonConfig, DaemonMode};
 pub use dedup::{dedup_entry, DedupOutcome};
 pub use dwq::{Dwq, DwqNode};
-pub use fact::{Fact, FactEntry, NIL};
+pub use fact::{Fact, FactEntry, DEFAULT_EXTENT_THRESHOLD_PAGES, NIL};
 pub use fp::{FpThrottle, PAPER_FP_NS_PER_4K};
 pub use nvdedup::{NvDedupTable, NvOutcome};
 pub use qos::{QosMode, SloConfig, SloController, SloDriver};
@@ -132,9 +133,11 @@ impl Denova {
         opts.dedup_enabled = mode.tags_writes();
         let workers = opts.dedup_workers.max(1);
         let slo_target = opts.slo_write_p99_ns;
+        let extent_threshold = opts.extent_threshold_pages;
         let nova = Arc::new(Nova::mkfs(dev.clone(), opts)?);
         let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::new(dev, *nova.layout(), stats.clone()));
+        fact.set_extent_threshold_pages(extent_threshold);
         let dwq = Arc::new(Dwq::with_shards(
             stats.clone(),
             nova.device().metrics().clone(),
@@ -154,9 +157,11 @@ impl Denova {
         opts.dedup_enabled = mode.tags_writes();
         let workers = opts.dedup_workers.max(1);
         let slo_target = opts.slo_write_p99_ns;
+        let extent_threshold = opts.extent_threshold_pages;
         let nova = Arc::new(Nova::mount(dev.clone(), opts)?);
         let stats = Arc::new(DedupStats::new(dev.metrics()));
         let fact = Arc::new(Fact::mount(dev.clone(), *nova.layout(), stats.clone()));
+        fact.set_extent_threshold_pages(extent_threshold);
         let dwq = Arc::new(Dwq::with_shards(
             stats.clone(),
             dev.metrics().clone(),

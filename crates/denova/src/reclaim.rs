@@ -73,7 +73,24 @@ fn reclaim_block_inner(fact: &Fact, block: u64) -> ReclaimDecision {
         // Not tracked by FACT (never deduplicated, or already removed):
         // plain NOVA reclaim.
         None => ReclaimDecision::Free,
-        Some((idx, _)) => {
+        Some((idx, e)) => {
+            // The block belongs to an extent run, whose single RFC counts
+            // owners of *every* covered block. Releasing one block must
+            // move one block's count only, so split the run back into
+            // per-page records first, then re-resolve. If the split cannot
+            // register records (FACT full), keep the page — leaking a
+            // block beats corrupting shared counts.
+            let idx = if e.run_pages > 1 {
+                if fact.demote_run(idx).is_err() {
+                    return ReclaimDecision::Keep;
+                }
+                match fact.resolve_block(block) {
+                    Some((idx, _)) => idx,
+                    None => return ReclaimDecision::Free,
+                }
+            } else {
+                idx
+            };
             match fact.dec_rfc(idx) {
                 // RFC was already 0 — an in-flight transaction (UC > 0) may
                 // still be about to reference it, or the scrubber owes us a
@@ -162,6 +179,41 @@ mod tests {
     }
 
     #[test]
+    fn reclaiming_inside_a_run_demotes_and_frees_only_that_block() {
+        let fact = setup();
+        let dev = fact.device().clone();
+        let layout = Layout::compute(dev.size() as u64, 64, 2);
+        let mut members = Vec::new();
+        for k in 0..4u64 {
+            let block = 300 + k;
+            let mut page = vec![0u8; denova_nova::BLOCK_SIZE as usize];
+            page[..8].copy_from_slice(&block.to_le_bytes());
+            dev.write(layout.block_off(block), &page);
+            let (idx, _) = fact
+                .reserve_or_insert(&Fingerprint::of(&page), block)
+                .unwrap();
+            fact.commit_uc_to_rfc(idx);
+            fact.inc_uc(idx);
+            fact.commit_uc_to_rfc(idx); // RFC = 2: two owners per block
+            members.push((idx, fact.read_entry(idx)));
+        }
+        assert!(fact.merge_run(&members));
+        // One owner releases the run's third block: the run splits and only
+        // that block's count moves.
+        assert_eq!(reclaim_block(&fact, 302), ReclaimDecision::Keep);
+        for k in 0..4u64 {
+            let (idx, e) = fact.resolve_block(300 + k).unwrap();
+            assert_eq!(e.run_pages, 1);
+            let want = if k == 2 { 1 } else { 2 };
+            assert_eq!(fact.counters(idx).0, want, "block {}", 300 + k);
+        }
+        // The last owner's release frees the page and drops the record.
+        assert_eq!(reclaim_block(&fact, 302), ReclaimDecision::Free);
+        assert!(fact.resolve_block(302).is_none());
+        assert!(fact.resolve_block(301).is_some());
+    }
+
+    #[test]
     fn hooks_queue_committed_dedup_candidates_only() {
         let fact = setup();
         let stats = Arc::new(DedupStats::default());
@@ -174,6 +226,7 @@ mod tests {
             block: 3,
             size_after: 4096,
             txid: 1,
+            hole: false,
         };
         hooks.on_write_committed(7, 4096, &e);
         e.dedupe_flag = DedupeFlag::NotApplicable;
@@ -195,6 +248,7 @@ mod tests {
             block: 3,
             size_after: 4096,
             txid: 1,
+            hole: false,
         };
         hooks.on_write_committed(7, 4096, &e);
         assert!(dwq.is_empty());
@@ -212,6 +266,7 @@ mod tests {
             block: 3,
             size_after: 4096,
             txid: 1,
+            hole: false,
         };
         assert!(!hooks.may_gc_entry(&e));
         e.dedupe_flag = DedupeFlag::InProcess;

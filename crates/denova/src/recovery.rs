@@ -38,6 +38,9 @@ pub struct RecoveryReport {
     pub stale_ucs_discarded: u64,
     /// Chains whose interrupted reorder was repaired.
     pub reorders_repaired: u64,
+    /// Extent-run records completed forward after an interrupted merge or
+    /// demote (delete pointers re-aimed, leftover per-page records absorbed).
+    pub runs_repaired: u64,
     /// FACT entries dropped or RFC-corrected by the scrubber.
     pub scrubbed: u64,
 }
@@ -47,6 +50,11 @@ pub fn recover(nova: &Nova, fact: &Fact, dwq: &Dwq) -> Result<RecoveryReport> {
     let mut report = RecoveryReport::default();
     let dev = nova.device().clone();
     let layout = *nova.layout();
+
+    // Phase A0: complete interrupted extent-run merges/demotes forward,
+    // toward whatever each anchor's committed `run_pages` says. Runs first
+    // so everything below (resume, scrub) sees a consistent reverse index.
+    report.runs_repaired = fact.repair_runs();
 
     // Phase A: fast scan of every live inode's write entries.
     let mut in_process: Vec<(u64, u64)> = Vec::new();
@@ -115,10 +123,21 @@ pub fn scrub(nova: &Nova, fact: &Fact) -> Result<u64> {
     let mut fixed = 0;
     let mut doomed: Vec<u64> = Vec::new();
     let mut adjust: Vec<(u64, u32)> = Vec::new();
+    let mut bad_runs: Vec<(u64, u64, u64)> = Vec::new(); // (idx, block, pages)
     fact.for_each_occupied(|idx, e| {
         if e.uc > 0 {
             // In-flight transaction (only possible in a non-quiescent call);
             // leave it alone.
+            return;
+        }
+        if e.run_pages > 1 {
+            // A run's single RFC claims every covered block has exactly
+            // that many owners; verify per block.
+            let n = e.run_pages as u64;
+            let uniform = (0..n).all(|k| counts.get(&(e.block + k)).copied().unwrap_or(0) == e.rfc);
+            if !uniform {
+                bad_runs.push((idx, e.block, n));
+            }
             return;
         }
         let actual = counts.get(&e.block).copied().unwrap_or(0);
@@ -128,6 +147,30 @@ pub fn scrub(nova: &Nova, fact: &Fact) -> Result<u64> {
             adjust.push((idx, actual));
         }
     });
+    // Run anchors whose per-block ownership diverged (a crash between a run
+    // share and its count commit, or a partial release): split the run and
+    // reconcile each block independently.
+    for (idx, block, n) in bad_runs {
+        if fact.demote_run(idx).is_err() {
+            // FACT full — leave the run for a later sweep rather than lose
+            // shared state.
+            continue;
+        }
+        for k in 0..n {
+            let Some((pidx, _)) = fact.resolve_block(block + k) else {
+                continue;
+            };
+            let actual = counts.get(&(block + k)).copied().unwrap_or(0);
+            let (rfc, _) = fact.counters(pidx);
+            if actual == 0 {
+                fact.remove(pidx)?;
+                fixed += 1;
+            } else if rfc != actual {
+                fact.set_rfc(pidx, actual);
+                fixed += 1;
+            }
+        }
+    }
     for idx in doomed {
         fact.remove(idx)?;
         fixed += 1;
@@ -263,6 +306,173 @@ mod tests {
                 "{point}"
             );
         }
+    }
+
+    /// 8 pages of distinct, non-zero content.
+    fn run_data() -> Vec<u8> {
+        let mut data = vec![0u8; 8 * 4096];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i / 4096 + 1) as u8;
+        }
+        data
+    }
+
+    /// Verify both files read back and FACT agrees exactly with the live
+    /// write entries (scrub finds nothing).
+    fn assert_consistent(s: &Stack, data: &[u8], point: &str) {
+        for name in ["a", "b"] {
+            let ino = s.nova.open(name).unwrap();
+            assert_eq!(s.nova.read(ino, 0, data.len()).unwrap(), data, "{point}");
+        }
+        let mut uc_residue = 0;
+        s.fact.for_each_occupied(|_, e| {
+            if e.uc != 0 {
+                uc_residue += 1;
+            }
+        });
+        assert_eq!(uc_residue, 0, "{point}: UC residue");
+        assert_eq!(scrub(&s.nova, &s.fact).unwrap(), 0, "{point}");
+    }
+
+    #[test]
+    fn crash_matrix_over_extent_merge_points() {
+        // Kill a worker mid-run-rewrite: the run commit and each absorption
+        // step. Recovery's repair pass must complete the merge forward and
+        // leave counts exact.
+        let data = run_data();
+        for point in [
+            "denova::fact::merge::after_run_commit",
+            "denova::fact::merge::mid_absorb",
+        ] {
+            let s = mkfs();
+            s.fact.set_extent_threshold_pages(4);
+            let a = s.nova.create("a").unwrap();
+            let b = s.nova.create("b").unwrap();
+            s.nova.write(a, 0, &data).unwrap();
+            s.nova.write(b, 0, &data).unwrap();
+            let nodes = s.dwq.pop_batch(2);
+            dedup_entry(&s.nova, &s.fact, &nodes[0]).unwrap();
+            // The second node's transaction promotes the run; crash inside.
+            s.nova.device().crash_points().arm(point, 0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dedup_entry(&s.nova, &s.fact, &nodes[1]).unwrap();
+            }));
+            assert!(r.is_err(), "{point} did not fire");
+
+            let (s2, report) = crash_and_recover(&s);
+            drain(&s2);
+            if point == "denova::fact::merge::mid_absorb" {
+                assert!(report.runs_repaired > 0, "{point}: nothing repaired");
+            }
+            // The run is whole: every canonical block resolves through the
+            // anchor, with the committed owner count.
+            let (anchor, e) = s2.fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+            assert_eq!(e.run_pages, 8, "{point}");
+            for k in 0..8u64 {
+                let (idx, _) = s2.fact.resolve_block(e.block + k).expect(point);
+                assert_eq!(idx, anchor, "{point}: block {k} off-anchor");
+            }
+            assert_eq!(s2.fact.counters(anchor), (2, 0), "{point}");
+            assert_consistent(&s2, &data, point);
+        }
+    }
+
+    #[test]
+    fn crash_matrix_over_demote_point() {
+        // Kill a demotion mid-split. repair_runs re-absorbs the
+        // half-inserted per-page records back into the whole run, with
+        // counts exact.
+        let data = run_data();
+        let point = "denova::fact::demote::mid_split";
+        let s = mkfs();
+        s.fact.set_extent_threshold_pages(4);
+        let a = s.nova.create("a").unwrap();
+        let b = s.nova.create("b").unwrap();
+        s.nova.write(a, 0, &data).unwrap();
+        s.nova.write(b, 0, &data).unwrap();
+        drain(&s);
+        assert_eq!(s.fact.occupied_count(), 1);
+        let (anchor, _) = s.fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        s.nova.device().crash_points().arm(point, 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.fact.demote_run(anchor).unwrap();
+        }));
+        assert!(r.is_err(), "{point} did not fire");
+
+        let (s2, report) = crash_and_recover(&s);
+        assert!(report.runs_repaired > 0, "{point}: nothing repaired");
+        let (anchor2, e2) = s2.fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(e2.run_pages, 8, "{point}");
+        assert_eq!(s2.fact.counters(anchor2), (2, 0), "{point}");
+        assert_consistent(&s2, &data, point);
+    }
+
+    #[test]
+    fn crash_matrix_over_split_point() {
+        // Kill a worker mid-run-rewrite: a partial anchor match splitting
+        // the run. repair_runs re-absorbs the half-built tail into the
+        // whole run, and the re-queued transaction completes the split.
+        let data = run_data();
+        let point = "denova::fact::split::mid_tail";
+        let s = mkfs();
+        s.fact.set_extent_threshold_pages(4);
+        let a = s.nova.create("a").unwrap();
+        let b = s.nova.create("b").unwrap();
+        s.nova.write(a, 0, &data).unwrap();
+        s.nova.write(b, 0, &data).unwrap();
+        drain(&s);
+        assert_eq!(s.fact.occupied_count(), 1);
+        // d overlaps only the run's head: its transaction must split.
+        let d = s.nova.create("d").unwrap();
+        s.nova.write(d, 0, &data[..3 * 4096]).unwrap();
+        let node = s.dwq.pop_batch(1)[0];
+        s.nova.device().crash_points().arm(point, 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dedup_entry(&s.nova, &s.fact, &node).unwrap();
+        }));
+        assert!(r.is_err(), "{point} did not fire");
+
+        let (s2, report) = crash_and_recover(&s);
+        assert!(report.runs_repaired > 0, "{point}: nothing repaired");
+        s2.fact.set_extent_threshold_pages(4);
+        drain(&s2);
+        // d's re-queued transaction split the run again and shares its 3
+        // pages through the head.
+        let d2 = s2.nova.open("d").unwrap();
+        assert_eq!(
+            s2.nova.read(d2, 0, 3 * 4096).unwrap(),
+            &data[..3 * 4096],
+            "{point}"
+        );
+        let (_, he) = s2.fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(he.run_pages, 3, "{point}");
+        assert_consistent(&s2, &data, point);
+    }
+
+    #[test]
+    fn scrubber_splits_runs_with_diverged_ownership() {
+        let s = mkfs();
+        s.fact.set_extent_threshold_pages(4);
+        let data = run_data();
+        let a = s.nova.create("a").unwrap();
+        let b = s.nova.create("b").unwrap();
+        s.nova.write(a, 0, &data).unwrap();
+        s.nova.write(b, 0, &data).unwrap();
+        drain(&s);
+        let (idx, e) = s.fact.lookup(&Fingerprint::of(&data[..4096])).unwrap();
+        assert_eq!(e.run_pages, 8);
+        // Simulate a crash-induced over-increment on the run's single RFC:
+        // it now claims 3 owners per block while files hold 2.
+        s.fact.set_rfc(idx, 3);
+        let fixed = scrub(&s.nova, &s.fact).unwrap();
+        assert!(fixed >= 8);
+        // Split and corrected per block.
+        for k in 0..8u64 {
+            let (pidx, pe) = s.fact.resolve_block(e.block + k).unwrap();
+            assert_eq!(pe.run_pages, 1);
+            assert_eq!(s.fact.counters(pidx), (2, 0), "block {k}");
+        }
+        assert_eq!(scrub(&s.nova, &s.fact).unwrap(), 0);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 mod chunk;
 mod sha1;
 mod weak;
+mod zero;
 
 pub use chunk::{chunk_pages, Chunk, CHUNK_SIZE};
 pub use sha1::{sha1, Sha1};
 pub use weak::{weak_fingerprint, WeakFp};
+pub use zero::{is_zero_page, zero_runs};
 
 /// A 160-bit (20-byte) strong fingerprint — the SHA-1 digest of a 4 KB data
 /// chunk, as stored in the third field of a FACT entry.

@@ -96,6 +96,10 @@ pub struct WriteEntry {
     /// Monotonic transaction id; orders entries across log pages during
     /// recovery debugging.
     pub txid: u64,
+    /// Hole entry: the covered pages are all-zero and own no data blocks.
+    /// `block` is meaningless (encoded as 0) and the index maps the pages to
+    /// the `HOLE_BLOCK` sentinel, which reads zero-fill.
+    pub hole: bool,
 }
 
 /// A directory entry: adds or removes `name → ino` in the parent directory.
@@ -154,9 +158,10 @@ impl WriteEntry {
         let mut b = [0u8; 64];
         b[0] = EntryType::Write as u8;
         b[1] = self.dedupe_flag as u8;
+        b[2] = self.hole as u8;
         b[4..8].copy_from_slice(&self.num_pages.to_le_bytes());
         b[8..16].copy_from_slice(&self.file_pgoff.to_le_bytes());
-        b[16..24].copy_from_slice(&self.block.to_le_bytes());
+        b[16..24].copy_from_slice(&if self.hole { 0 } else { self.block }.to_le_bytes());
         b[24..32].copy_from_slice(&self.size_after.to_le_bytes());
         b[40..48].copy_from_slice(&self.txid.to_le_bytes());
         finish(&mut b);
@@ -215,6 +220,7 @@ pub fn decode(b: &[u8; 64]) -> Result<LogEntry> {
             block: u64::from_le_bytes(b[16..24].try_into().unwrap()),
             size_after: u64::from_le_bytes(b[24..32].try_into().unwrap()),
             txid: u64::from_le_bytes(b[40..48].try_into().unwrap()),
+            hole: b[2] & 1 == 1,
         })),
         EntryType::Dentry => {
             let len = b[3] as usize;
@@ -281,6 +287,27 @@ mod tests {
             block: 777,
             size_after: 16384,
             txid: 42,
+            hole: false,
+        }
+    }
+
+    #[test]
+    fn hole_entry_roundtrip() {
+        let e = WriteEntry {
+            hole: true,
+            block: 0,
+            ..we()
+        };
+        assert_eq!(decode(&e.encode()).unwrap(), LogEntry::Write(e));
+        // A hole never encodes a block number, whatever the caller left in
+        // the field.
+        let sloppy = WriteEntry { block: 777, ..e };
+        match decode(&sloppy.encode()).unwrap() {
+            LogEntry::Write(w) => {
+                assert!(w.hole);
+                assert_eq!(w.block, 0);
+            }
+            other => panic!("unexpected entry {other:?}"),
         }
     }
 

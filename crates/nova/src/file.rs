@@ -17,9 +17,10 @@
 use crate::entry::WriteEntry;
 use crate::error::{NovaError, Result};
 use crate::fs::{InodeCtx, Nova};
-use crate::layout::{BLOCK_SIZE, ROOT_INO};
+use crate::layout::{BLOCK_SIZE, HOLE_BLOCK, ROOT_INO};
 use crate::stats::NovaStats;
 use crate::tap::FsOp;
+use denova_fingerprint::is_zero_page;
 
 impl Nova {
     /// Write `data` at byte `offset` of file `ino` (copy-on-write, atomic,
@@ -82,47 +83,83 @@ impl Nova {
             // any) are fully covered by caller bytes.
             let full_end = num_pages - tail_scratch.is_some() as u64;
 
+            // Zero-block elision: full caller-covered pages (relative pages
+            // in `[full_lo, full_end)`) that scan all-zero are mapped as
+            // holes — no allocation, no data stores, no fingerprinting
+            // downstream. Partial edge pages always allocate: they merge old
+            // bytes, and the merge result is rarely zero anyway.
+            let full_lo = head_scratch.is_some() as u64;
+            let page_is_zero = |p: u64| {
+                (full_lo..full_end).contains(&p) && {
+                    let sb = (p * BLOCK_SIZE) as usize - head_skip;
+                    is_zero_page(&data[sb..sb + BLOCK_SIZE as usize])
+                }
+            };
+            // Carve `0..num_pages` into maximal (rel_pg, count, is_hole)
+            // segments so each hole run costs one log entry.
+            let mut segs: Vec<(u64, u64, bool)> = Vec::with_capacity(1);
+            {
+                let mut i = 0u64;
+                while i < num_pages {
+                    let hole = page_is_zero(i);
+                    let start = i;
+                    i += 1;
+                    while i < num_pages && page_is_zero(i) == hole {
+                        i += 1;
+                    }
+                    segs.push((start, i - start, hole));
+                }
+            }
+
             // Allocate extents and build the store spans: at most one scratch
             // span per edge plus one borrowed sub-slice of `data` per extent.
             let dev = self.device().clone();
-            // (file_pgoff, start_block, count); capacity for the common
-            // single-extent case plus both scratch edges.
-            let mut extents = Vec::with_capacity(1);
+            // (file_pgoff, start_block, count, hole); capacity for the
+            // common single-extent case plus both scratch edges.
+            let mut extents: Vec<(u64, u64, u64, bool)> = Vec::with_capacity(1);
             let mut spans: Vec<(u64, &[u8])> = Vec::with_capacity(3);
             let mut ranges: Vec<(u64, usize)> = Vec::with_capacity(1);
-            let mut remaining = num_pages;
-            let mut pg_cursor = first_pg;
-            while remaining > 0 {
-                let (start_block, got) = self
-                    .allocator()
-                    .alloc_extent(remaining)
-                    .ok_or(NovaError::NoSpace)?;
-                let dst = self.layout().block_off(start_block);
-                ranges.push((dst, (got * BLOCK_SIZE) as usize));
-                let lo = pg_cursor - first_pg; // relative page range [lo, hi)
-                let hi = lo + got;
-                let mut i = lo;
-                if i == 0 {
-                    if let Some(pg) = &head_scratch {
-                        spans.push((dst, &pg[..]));
-                        i = 1;
+            let mut hole_pages = 0u64;
+            for &(rel_start, count, is_hole) in &segs {
+                if is_hole {
+                    extents.push((first_pg + rel_start, HOLE_BLOCK, count, true));
+                    hole_pages += count;
+                    continue;
+                }
+                let mut remaining = count;
+                let mut pg_cursor = first_pg + rel_start;
+                while remaining > 0 {
+                    let (start_block, got) = self
+                        .allocator()
+                        .alloc_extent(remaining)
+                        .ok_or(NovaError::NoSpace)?;
+                    let dst = self.layout().block_off(start_block);
+                    ranges.push((dst, (got * BLOCK_SIZE) as usize));
+                    let lo = pg_cursor - first_pg; // relative page range [lo, hi)
+                    let hi = lo + got;
+                    let mut i = lo;
+                    if i == 0 {
+                        if let Some(pg) = &head_scratch {
+                            spans.push((dst, &pg[..]));
+                            i = 1;
+                        }
                     }
-                }
-                let run_hi = hi.min(full_end);
-                if i < run_hi {
-                    let sb = (i * BLOCK_SIZE) as usize - head_skip;
-                    let eb = (run_hi * BLOCK_SIZE) as usize - head_skip;
-                    spans.push((dst + (i - lo) * BLOCK_SIZE, &data[sb..eb]));
-                    i = run_hi;
-                }
-                if i < hi {
-                    if let Some(pg) = &tail_scratch {
-                        spans.push((dst + (i - lo) * BLOCK_SIZE, &pg[..]));
+                    let run_hi = hi.min(full_end);
+                    if i < run_hi {
+                        let sb = (i * BLOCK_SIZE) as usize - head_skip;
+                        let eb = (run_hi * BLOCK_SIZE) as usize - head_skip;
+                        spans.push((dst + (i - lo) * BLOCK_SIZE, &data[sb..eb]));
+                        i = run_hi;
                     }
+                    if i < hi {
+                        if let Some(pg) = &tail_scratch {
+                            spans.push((dst + (i - lo) * BLOCK_SIZE, &pg[..]));
+                        }
+                    }
+                    extents.push((pg_cursor, start_block, got, false));
+                    pg_cursor += got;
+                    remaining -= got;
                 }
-                extents.push((pg_cursor, start_block, got));
-                pg_cursor += got;
-                remaining -= got;
             }
             dev.write_v(&spans);
             dev.crash_point("nova::write::after_stores");
@@ -138,18 +175,25 @@ impl Nova {
                 self.scratch_release(pg);
             }
             NovaStats::add(&self.stats().bytes_staged, staged);
+            NovaStats::add(&self.stats().zero_holes, hole_pages);
 
             // Step 2 + 3: append one entry per extent; single atomic commit.
+            // Hole entries never fingerprint or dedup (`NotApplicable`).
             let txid = ctx.next_txid();
             let entries: Vec<WriteEntry> = extents
                 .iter()
-                .map(|&(pgoff, block, count)| WriteEntry {
-                    dedupe_flag: flag,
+                .map(|&(pgoff, block, count, hole)| WriteEntry {
+                    dedupe_flag: if hole {
+                        crate::entry::DedupeFlag::NotApplicable
+                    } else {
+                        flag
+                    },
                     file_pgoff: pgoff,
                     num_pages: count as u32,
-                    block,
+                    block: if hole { 0 } else { block },
                     size_after: new_size,
                     txid,
+                    hole,
                 })
                 .collect();
             let encoded: Vec<[u8; 64]> = entries.iter().map(|e| e.encode()).collect();
@@ -267,6 +311,7 @@ impl Nova {
                     block,
                     size_after: new_size,
                     txid,
+                    hole: false,
                 })
                 .collect();
             let encoded: Vec<[u8; 64]> = entries.iter().map(|e| e.encode()).collect();
@@ -331,7 +376,7 @@ impl Nova {
                 let in_pg = (abs % BLOCK_SIZE) as usize;
                 let left = len - out.len();
                 match mem.radix.get(pg) {
-                    Some(entry) => {
+                    Some(entry) if entry.block != HOLE_BLOCK => {
                         if entry.block >= total_blocks {
                             return Err(NovaError::Corrupt("extent block out of range"));
                         }
@@ -352,8 +397,9 @@ impl Nova {
                         self.device()
                             .with_slice(src, take, |s| out.extend_from_slice(s));
                     }
-                    None => {
-                        // Hole: zero exactly this page's range, nothing more.
+                    _ => {
+                        // Hole (unmapped page or elided zero page): zero
+                        // exactly this page's range, nothing more.
                         let take = (BLOCK_SIZE as usize - in_pg).min(left);
                         out.resize(out.len() + take, 0);
                     }
@@ -383,7 +429,11 @@ impl Nova {
                 for (_, e) in &removed {
                     ctx.mem.supersede(e);
                 }
-                let blocks: Vec<u64> = removed.iter().map(|(_, e)| e.block).collect();
+                let blocks: Vec<u64> = removed
+                    .iter()
+                    .map(|(_, e)| e.block)
+                    .filter(|&b| b != HOLE_BLOCK)
+                    .collect();
                 for b in blocks {
                     ctx.reclaim_block(b);
                 }
@@ -402,11 +452,12 @@ impl Nova {
 
 fn read_old_page(ctx: &InodeCtx<'_>, pg: u64, buf: &mut [u8]) {
     debug_assert_eq!(buf.len(), BLOCK_SIZE as usize);
-    if let Some(entry) = ctx.mem.radix.get(pg) {
-        let src = ctx.fs().layout().block_off(entry.block);
-        ctx.dev().read_into(src, buf);
-    } else {
-        buf.fill(0);
+    match ctx.mem.radix.get(pg) {
+        Some(entry) if entry.block != HOLE_BLOCK => {
+            let src = ctx.fs().layout().block_off(entry.block);
+            ctx.dev().read_into(src, buf);
+        }
+        _ => buf.fill(0),
     }
 }
 
@@ -727,6 +778,116 @@ mod tests {
         .unwrap();
         let ino2 = fs2.open("f").unwrap();
         assert_eq!(fs2.read(ino2, 0, 4096).unwrap(), vec![1u8; 4096]);
+    }
+
+    #[test]
+    fn all_zero_write_consumes_no_data_pages() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        let before = fs.free_blocks();
+        fs.write(ino, 0, &vec![0u8; 16 * 4096]).unwrap();
+        // Only the log page was consumed — every data page became a hole.
+        assert_eq!(before - fs.free_blocks(), 1);
+        assert_eq!(fs.stats().zero_holes.get(), 16);
+        assert_eq!(fs.read(ino, 0, 16 * 4096).unwrap(), vec![0u8; 16 * 4096]);
+        assert_eq!(fs.file_size(ino).unwrap(), 16 * 4096);
+    }
+
+    #[test]
+    fn mixed_zero_and_data_pages_elide_only_zeros() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        // Pages: data, zero, zero, data, zero.
+        let mut data = vec![0u8; 5 * 4096];
+        data[..4096].fill(1);
+        data[3 * 4096..4 * 4096].fill(2);
+        let before = fs.free_blocks();
+        fs.write(ino, 0, &data).unwrap();
+        // 2 data pages + 1 log page.
+        assert_eq!(before - fs.free_blocks(), 3);
+        assert_eq!(fs.stats().zero_holes.get(), 3);
+        assert_eq!(fs.read(ino, 0, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn partial_edge_pages_are_never_elided() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        // Unaligned all-zero write: the head and tail pages are partial, so
+        // they must materialize (they merge with pre-existing bytes); only
+        // the fully-covered middle page becomes a hole.
+        fs.write(ino, 100, &vec![0u8; 2 * 4096]).unwrap();
+        assert_eq!(fs.stats().zero_holes.get(), 1);
+        assert_eq!(
+            fs.read(ino, 0, 2 * 4096 + 100).unwrap(),
+            vec![0u8; 2 * 4096 + 100]
+        );
+    }
+
+    #[test]
+    fn overwriting_a_hole_with_data_works() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        fs.write(ino, 0, &vec![0u8; 4 * 4096]).unwrap();
+        fs.write(ino, 4096, &vec![7u8; 4096]).unwrap();
+        let mut expect = vec![0u8; 4 * 4096];
+        expect[4096..8192].fill(7);
+        assert_eq!(fs.read(ino, 0, expect.len()).unwrap(), expect);
+    }
+
+    #[test]
+    fn overwriting_data_with_zeros_reclaims_pages() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        fs.write(ino, 0, &vec![3u8; 4 * 4096]).unwrap();
+        let with_data = fs.free_blocks();
+        fs.write(ino, 0, &vec![0u8; 4 * 4096]).unwrap();
+        // The four CoW data pages came back; one more log... the second
+        // entry fits the same log page, so net gain is exactly 4.
+        assert_eq!(fs.free_blocks(), with_data + 4);
+        assert_eq!(fs.read(ino, 0, 4 * 4096).unwrap(), vec![0u8; 4 * 4096]);
+    }
+
+    #[test]
+    fn holes_survive_remount() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        let mut data = vec![0u8; 3 * 4096];
+        data[2 * 4096..].fill(5);
+        fs.write(ino, 0, &data).unwrap();
+        let dev = fs.device().clone();
+        let fs2 = Nova::mount(
+            Arc::new(dev.crash_clone(denova_pmem::CrashMode::Strict)),
+            NovaOptions::default(),
+        )
+        .unwrap();
+        let ino2 = fs2.open("f").unwrap();
+        assert_eq!(fs2.read(ino2, 0, data.len()).unwrap(), data);
+        assert_eq!(fs2.file_size(ino2).unwrap(), 3 * 4096);
+    }
+
+    #[test]
+    fn truncate_across_holes_reclaims_only_data() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        let mut data = vec![0u8; 4 * 4096];
+        data[..4096].fill(9);
+        fs.write(ino, 0, &data).unwrap();
+        fs.truncate(ino, 4096).unwrap();
+        assert_eq!(fs.read(ino, 0, 4096).unwrap(), vec![9u8; 4096]);
+        fs.truncate(ino, 0).unwrap();
+        assert_eq!(fs.file_size(ino).unwrap(), 0);
+    }
+
+    #[test]
+    fn fsck_clean_with_holes() {
+        let fs = mkfs();
+        let ino = fs.create("f").unwrap();
+        let mut data = vec![0u8; 6 * 4096];
+        data[4096..2 * 4096].fill(1);
+        fs.write(ino, 0, &data).unwrap();
+        let report = crate::fsck::check(&fs, true).unwrap();
+        assert!(report.is_clean(), "{:?}", report.errors);
     }
 
     #[test]

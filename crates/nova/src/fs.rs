@@ -42,6 +42,11 @@ pub struct NovaOptions {
     /// itself ignores the value (same rationale as `dedup_workers`). 0
     /// disables the loop.
     pub slo_write_p99_ns: u64,
+    /// Minimum duplicate-run length, in pages, at which the dedup layer
+    /// promotes per-page FACT records into a single extent-run record. 0
+    /// disables promotion (per-block dedup baseline). NOVA itself ignores
+    /// the value (same rationale as `dedup_workers`).
+    pub extent_threshold_pages: u32,
 }
 
 impl Default for NovaOptions {
@@ -53,6 +58,7 @@ impl Default for NovaOptions {
             dedup_enabled: false,
             dedup_workers: 1,
             slo_write_p99_ns: 0,
+            extent_threshold_pages: 16,
         }
     }
 }
@@ -150,13 +156,19 @@ impl InodeMem {
             .or_insert(0) += 1;
         for i in 0..we.num_pages as u64 {
             let pgoff = we.file_pgoff + i;
-            let block = we.block + i;
+            // Hole entries map every covered page to the `HOLE_BLOCK`
+            // sentinel (never `block + i` — the sentinel is u64::MAX).
+            let block = if we.hole {
+                crate::layout::HOLE_BLOCK
+            } else {
+                we.block + i
+            };
             let old = self
                 .radix
                 .insert(pgoff, crate::index::EntryRef { entry_off, block });
             if let Some(old) = old {
                 self.supersede(&old);
-                if old.block != block {
+                if old.block != block && old.block != crate::layout::HOLE_BLOCK {
                     superseded.push(old.block);
                 }
             }
@@ -669,7 +681,11 @@ impl Nova {
                 let _r = slot.lock.read();
                 // SAFETY: read lock held (see with_inode_read).
                 let mem = unsafe { &*slot.mem.get() };
-                mem.radix.for_each(|_, e| bitmap.set(e.block));
+                mem.radix.for_each(|_, e| {
+                    if e.block != crate::layout::HOLE_BLOCK {
+                        bitmap.set(e.block);
+                    }
+                });
             }
         }
         bitmap
@@ -687,8 +703,11 @@ impl Nova {
                 let _r = slot.lock.read();
                 // SAFETY: read lock held (see with_inode_read).
                 let mem = unsafe { &*slot.mem.get() };
-                mem.radix
-                    .for_each(|_, e| *counts.entry(e.block).or_insert(0) += 1);
+                mem.radix.for_each(|_, e| {
+                    if e.block != crate::layout::HOLE_BLOCK {
+                        *counts.entry(e.block).or_insert(0) += 1;
+                    }
+                });
             }
         }
         counts
@@ -942,10 +961,18 @@ impl Nova {
             return Err(NovaError::BadInode(ino));
         }
         self.with_inode_read_optimistic(ino, |mem| {
+            // Hole mappings occupy radix slots but own no data page, so they
+            // are excluded from the `blocks` count.
+            let mut blocks = 0u64;
+            mem.radix.for_each(|_, e| {
+                if e.block != crate::layout::HOLE_BLOCK {
+                    blocks += 1;
+                }
+            });
             Ok(FileStat {
                 ino,
                 size: mem.size(),
-                blocks: mem.radix.len() as u64,
+                blocks,
                 nlink: pi.link_count,
                 log_pages: log::log_pages(&self.dev, &self.layout, mem.log_head_hint()).len()
                     as u64,
@@ -974,7 +1001,11 @@ impl Nova {
             let mut ctx = InodeCtx { fs: self, ino, mem };
             let blocks: Vec<u64> = {
                 let mut v = Vec::new();
-                ctx.mem.radix.for_each(|_, e| v.push(e.block));
+                ctx.mem.radix.for_each(|_, e| {
+                    if e.block != crate::layout::HOLE_BLOCK {
+                        v.push(e.block);
+                    }
+                });
                 v
             };
             for block in blocks {

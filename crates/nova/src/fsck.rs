@@ -9,7 +9,7 @@
 use crate::entry::LogEntry;
 use crate::error::Result;
 use crate::fs::Nova;
-use crate::layout::{BLOCK_SIZE, ROOT_INO};
+use crate::layout::{BLOCK_SIZE, HOLE_BLOCK, ROOT_INO};
 use crate::log::{log_pages, LogIter};
 use std::collections::{HashMap, HashSet};
 
@@ -87,6 +87,14 @@ pub enum FsckError {
         nlink: u64,
         /// Names actually referencing it.
         names: u64,
+    },
+    /// A page the log replay says is a hole owns a data block in the radix
+    /// tree (or vice versa) — hole and data mappings must agree exactly.
+    HoleOwnsBlock {
+        /// Owning inode.
+        ino: u64,
+        /// The conflicted file page offset.
+        pgoff: u64,
     },
 }
 
@@ -169,7 +177,8 @@ pub fn check(fs: &Nova, dedup_mounted: bool) -> Result<FsckReport> {
                     }
                     Ok((_, LogEntry::Write(we))) => {
                         for i in 0..we.num_pages as u64 {
-                            shadow.insert(we.file_pgoff + i, we.block + i);
+                            let block = if we.hole { HOLE_BLOCK } else { we.block + i };
+                            shadow.insert(we.file_pgoff + i, block);
                         }
                         size = size.max(we.size_after);
                     }
@@ -187,12 +196,21 @@ pub fn check(fs: &Nova, dedup_mounted: bool) -> Result<FsckReport> {
             let mut live: HashSet<u64> = HashSet::new();
             mem.radix.for_each(|pgoff, e| {
                 live.insert(pgoff);
-                if shadow.get(&pgoff) != Some(&e.block) {
-                    report
-                        .errors
-                        .push(FsckError::IndexDivergence { ino, pgoff });
+                let shadow_block = shadow.get(&pgoff).copied();
+                if shadow_block != Some(e.block) {
+                    // Hole/data disagreement gets its own error class: a
+                    // hole offset must never own a data page.
+                    if shadow_block == Some(HOLE_BLOCK) || e.block == HOLE_BLOCK {
+                        report.errors.push(FsckError::HoleOwnsBlock { ino, pgoff });
+                    } else {
+                        report
+                            .errors
+                            .push(FsckError::IndexDivergence { ino, pgoff });
+                    }
                 }
-                if e.block < layout.data_start || e.block >= layout.total_blocks {
+                if e.block == HOLE_BLOCK {
+                    // Holes own no block: nothing to range-check or census.
+                } else if e.block < layout.data_start || e.block >= layout.total_blocks {
                     report.errors.push(FsckError::BlockOutOfRange {
                         ino,
                         pgoff,

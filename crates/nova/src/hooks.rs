@@ -69,6 +69,7 @@ mod tests {
             block: 1,
             size_after: 4096,
             txid: 0,
+            hole: false,
         };
         assert!(h.may_gc_entry(&e));
         h.on_write_committed(1, 0, &e);

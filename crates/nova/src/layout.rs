@@ -42,6 +42,13 @@ pub const ENTRIES_PER_LOG_PAGE: u64 = LOG_PAGE_PAYLOAD / LOG_ENTRY_SIZE;
 /// The inode number of the root directory (the flat namespace).
 pub const ROOT_INO: u64 = 1;
 
+/// Sentinel block number for a hole page in the DRAM radix tree: the page is
+/// mapped (its log entry is live, so GC must not collect it) but owns no data
+/// block — reads zero-fill it. Never a valid device block (`block_off` would
+/// overflow), and distinct from the radix tree's own empty-slot sentinel,
+/// which lives on `entry_off`.
+pub const HOLE_BLOCK: u64 = u64::MAX;
+
 /// Computed partition of a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {

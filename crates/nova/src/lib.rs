@@ -45,7 +45,7 @@ pub use fs::{FileStat, InodeCtx, InodeMem, Nova, NovaOptions, PREPARE_PREFIX};
 pub use fsck::{check as fsck, FsckError, FsckReport};
 pub use hooks::{NoHooks, NovaHooks, ReclaimDecision};
 pub use index::{EntryRef, RadixTree};
-pub use layout::{Layout, BLOCK_SIZE, LOG_ENTRY_SIZE, ROOT_INO};
+pub use layout::{Layout, BLOCK_SIZE, HOLE_BLOCK, LOG_ENTRY_SIZE, ROOT_INO};
 pub use log::{LogIter, LogPosition};
 pub use stats::NovaStats;
 pub use tap::{FsOp, NoOpTap, OpTap};

@@ -229,6 +229,7 @@ mod tests {
             block: 1000 + n,
             size_after: (n + 1) * BLOCK_SIZE,
             txid: n,
+            hole: false,
         }
         .encode()
     }

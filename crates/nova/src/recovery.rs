@@ -118,7 +118,11 @@ pub fn recover(dev: &PmemDevice, layout: &Layout, cpus: usize) -> Result<Recover
         for page in log_pages(dev, layout, pi.log_head) {
             occupied.set(page);
         }
-        mem.radix.for_each(|_, e| occupied.set(e.block));
+        mem.radix.for_each(|_, e| {
+            if e.block != crate::layout::HOLE_BLOCK {
+                occupied.set(e.block);
+            }
+        });
         inodes.insert(ino, mem);
     }
     inodes.insert(ROOT_INO, root_mem);

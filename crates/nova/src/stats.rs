@@ -43,6 +43,11 @@ pub struct NovaStats {
     /// Optimistic inode reads discarded by a seqlock conflict (each retry
     /// or fallback-to-lock adds one).
     pub read_seq_retries: Counter,
+    /// All-zero pages elided at write time and mapped as holes instead of
+    /// allocating + fingerprinting. Registered under the `denova.extent.*`
+    /// family because it is one of the extent-dedup headline counters, even
+    /// though the elision happens in the nova write path.
+    pub zero_holes: Counter,
 }
 
 impl Default for NovaStats {
@@ -69,6 +74,7 @@ impl NovaStats {
             bytes_staged: registry.counter("nova.write.bytes_staged"),
             read_optimistic_hits: registry.counter("nova.read.optimistic_hits"),
             read_seq_retries: registry.counter("nova.read.seq_retries"),
+            zero_holes: registry.counter("denova.extent.zero_holes"),
         }
     }
 

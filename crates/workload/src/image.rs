@@ -1,0 +1,358 @@
+//! VM-image and backup-stream content generation.
+//!
+//! The page-level [`DataGenerator`](crate::DataGenerator) controls the
+//! duplicate *ratio* but scatters duplicates randomly, so every duplicate
+//! page shares against an arbitrary earlier page — ideal for the paper's
+//! Fig. 8 sweeps, useless for measuring extent-granular dedup, which needs
+//! *runs*: long stretches of consecutive pages that duplicate consecutive
+//! pages of an earlier file. Real workloads with that structure are VM
+//! images cloned from a golden template and nightly backup streams, where
+//! generation k+1 is generation k with a few percent of pages changed.
+//!
+//! This module generates both shapes deterministically:
+//!
+//! * [`VmImageSet`] — a golden template of distinct non-zero pages
+//!   interleaved with zeroed (sparse) regions; every image is the template
+//!   with a per-image mutation budget applied, so clones share long
+//!   contiguous runs with whichever clone was written first.
+//! * [`BackupGenerator`] — a cumulative stream: each generation mutates the
+//!   previous one in place, so adjacent generations share almost
+//!   everything and distant generations drift apart.
+//!
+//! Zero regions sit at the same offsets in every image/generation, matching
+//! how unallocated guest blocks read back from a raw disk image; a
+//! hole-eliding write path should store none of them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAGE: usize = 4096;
+
+/// Shape of a VM-image or backup-stream workload.
+#[derive(Debug, Clone)]
+pub struct ImageSpec {
+    /// Pages per image (or per backup generation).
+    pub pages: usize,
+    /// Contiguous distinct non-zero pages per data segment. Segments are
+    /// where extent runs can form, so this should comfortably exceed the
+    /// promotion threshold under test.
+    pub data_run_pages: usize,
+    /// Zeroed pages following each data segment (the image's sparse,
+    /// never-allocated regions).
+    pub zero_run_pages: usize,
+    /// Fraction of *data* pages rewritten per clone (VM images) or per
+    /// generation (backups), `0.0 ..= 1.0`.
+    pub mutation_ratio: f64,
+    /// RNG seed (content is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl ImageSpec {
+    /// A VM-image template: long data segments (24 pages — 1.5× the default
+    /// 16-page promotion threshold), 25% sparse, 2% of data pages diverge
+    /// per clone.
+    pub fn vm_image(pages: usize) -> ImageSpec {
+        ImageSpec {
+            pages,
+            data_run_pages: 24,
+            zero_run_pages: 8,
+            mutation_ratio: 0.02,
+            seed: 42,
+        }
+    }
+
+    /// A backup stream: denser data (1/8 sparse), 3% of data pages change
+    /// per nightly generation.
+    pub fn backup(pages: usize) -> ImageSpec {
+        ImageSpec {
+            pages,
+            data_run_pages: 28,
+            zero_run_pages: 4,
+            mutation_ratio: 0.03,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style override of the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> ImageSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the mutation ratio.
+    pub fn with_mutation_ratio(mut self, ratio: f64) -> ImageSpec {
+        assert!((0.0..=1.0).contains(&ratio), "mutation_ratio out of range");
+        self.mutation_ratio = ratio;
+        self
+    }
+
+    /// Whether page `i` falls in a zeroed (sparse) region of the template.
+    pub fn is_zero_page(&self, i: usize) -> bool {
+        let cycle = self.data_run_pages + self.zero_run_pages;
+        i % cycle >= self.data_run_pages
+    }
+
+    /// Template zero pages per image.
+    pub fn zero_pages(&self) -> usize {
+        (0..self.pages).filter(|&i| self.is_zero_page(i)).count()
+    }
+
+    /// Template data (non-zero) pages per image.
+    pub fn data_pages(&self) -> usize {
+        self.pages - self.zero_pages()
+    }
+
+    /// Bytes per image.
+    pub fn bytes(&self) -> usize {
+        self.pages * PAGE
+    }
+}
+
+/// Fill `page` with globally unique non-zero content.
+fn unique_page(rng: &mut StdRng, counter: &mut u64, page: &mut [u8]) {
+    rng.fill(&mut page[..32]);
+    page[32..].fill(0);
+    *counter += 1;
+    page[0..8].copy_from_slice(&counter.to_le_bytes());
+    page[8..16].copy_from_slice(&0xF1E1_D0D0_0000_0000u64.to_le_bytes());
+}
+
+/// Build the golden template: distinct non-zero pages in the data
+/// segments, zeros in the sparse regions.
+fn template(spec: &ImageSpec, rng: &mut StdRng, counter: &mut u64) -> Vec<u8> {
+    let mut base = vec![0u8; spec.bytes()];
+    for (i, page) in base.chunks_mut(PAGE).enumerate() {
+        if !spec.is_zero_page(i) {
+            unique_page(rng, counter, page);
+        }
+    }
+    base
+}
+
+/// Mutate `ratio` of the data pages of `image` in place with fresh unique
+/// content (zero regions are never touched — sparse stays sparse). Returns
+/// how many pages changed.
+fn mutate(spec: &ImageSpec, rng: &mut StdRng, counter: &mut u64, image: &mut [u8]) -> usize {
+    let budget = ((spec.data_pages() as f64) * spec.mutation_ratio).round() as usize;
+    let mut done = 0;
+    while done < budget {
+        let i = rng.gen_range(0..spec.pages);
+        if spec.is_zero_page(i) {
+            continue;
+        }
+        unique_page(rng, counter, &mut image[i * PAGE..(i + 1) * PAGE]);
+        done += 1;
+    }
+    done
+}
+
+/// A set of VM images cloned from one golden template.
+pub struct VmImageSet {
+    spec: ImageSpec,
+    base: Vec<u8>,
+    rng: StdRng,
+    counter: u64,
+    images: u64,
+}
+
+impl VmImageSet {
+    /// Create a new instance.
+    pub fn new(spec: ImageSpec) -> VmImageSet {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut counter = 0;
+        let base = template(&spec, &mut rng, &mut counter);
+        VmImageSet {
+            spec,
+            base,
+            rng,
+            counter,
+            images: 0,
+        }
+    }
+
+    /// The next cloned image: the golden template with this clone's own
+    /// mutation budget applied. The first image is the pristine template,
+    /// so it seeds the canonical blocks every later clone's runs grow
+    /// against.
+    pub fn next_image(&mut self) -> Vec<u8> {
+        let mut img = self.base.clone();
+        if self.images > 0 {
+            mutate(&self.spec, &mut self.rng, &mut self.counter, &mut img);
+        }
+        self.images += 1;
+        img
+    }
+
+    /// The `spec` value.
+    pub fn spec(&self) -> &ImageSpec {
+        &self.spec
+    }
+
+    /// Images generated so far.
+    pub fn images(&self) -> u64 {
+        self.images
+    }
+}
+
+/// A backup stream: generation k+1 is generation k with the mutation
+/// budget applied cumulatively.
+pub struct BackupGenerator {
+    spec: ImageSpec,
+    current: Vec<u8>,
+    rng: StdRng,
+    counter: u64,
+    generations: u64,
+}
+
+impl BackupGenerator {
+    /// Create a new instance.
+    pub fn new(spec: ImageSpec) -> BackupGenerator {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut counter = 0;
+        let current = template(&spec, &mut rng, &mut counter);
+        BackupGenerator {
+            spec,
+            current,
+            rng,
+            counter,
+            generations: 0,
+        }
+    }
+
+    /// The next generation: the first call returns the full base, each
+    /// later call mutates the previous generation in place first.
+    pub fn next_generation(&mut self) -> Vec<u8> {
+        if self.generations > 0 {
+            mutate(
+                &self.spec,
+                &mut self.rng,
+                &mut self.counter,
+                &mut self.current,
+            );
+        }
+        self.generations += 1;
+        self.current.clone()
+    }
+
+    /// The `spec` value.
+    pub fn spec(&self) -> &ImageSpec {
+        &self.spec
+    }
+
+    /// Generations emitted so far.
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(image: &[u8], i: usize) -> &[u8] {
+        &image[i * PAGE..(i + 1) * PAGE]
+    }
+
+    fn shared_pages(a: &[u8], b: &[u8]) -> usize {
+        a.chunks(PAGE)
+            .zip(b.chunks(PAGE))
+            .filter(|(x, y)| x == y)
+            .count()
+    }
+
+    #[test]
+    fn template_zero_regions_are_zero_and_data_pages_distinct() {
+        let spec = ImageSpec::vm_image(64);
+        let mut set = VmImageSet::new(spec.clone());
+        let img = set.next_image();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..spec.pages {
+            let p = page_of(&img, i);
+            if spec.is_zero_page(i) {
+                assert!(p.iter().all(|&b| b == 0), "page {i} should be zero");
+            } else {
+                assert!(p.iter().any(|&b| b != 0), "page {i} should be data");
+                assert!(seen.insert(p.to_vec()), "page {i} repeats");
+            }
+        }
+        assert_eq!(spec.zero_pages() + spec.data_pages(), 64);
+        assert_eq!(spec.zero_pages(), 16); // 2 full cycles of 8
+    }
+
+    #[test]
+    fn clones_share_long_runs_with_the_template() {
+        let spec = ImageSpec::vm_image(128);
+        let mut set = VmImageSet::new(spec.clone());
+        let base = set.next_image();
+        let clone = set.next_image();
+        let budget = ((spec.data_pages() as f64) * spec.mutation_ratio).round() as usize;
+        assert_eq!(shared_pages(&base, &clone), spec.pages - budget);
+        // Mutations never land in sparse regions.
+        for i in 0..spec.pages {
+            if spec.is_zero_page(i) {
+                assert_eq!(page_of(&clone, i), page_of(&base, i));
+            }
+        }
+        // At least one full data segment survives unmutated (2% of 96 data
+        // pages is a 2-page budget over 4 segments).
+        let cycle = spec.data_run_pages + spec.zero_run_pages;
+        let whole_segments = (0..spec.pages / cycle)
+            .filter(|s| {
+                (0..spec.data_run_pages)
+                    .all(|k| page_of(&clone, s * cycle + k) == page_of(&base, s * cycle + k))
+            })
+            .count();
+        assert!(whole_segments >= 1, "no unmutated segment survived");
+    }
+
+    #[test]
+    fn clones_differ_from_each_other() {
+        let mut set = VmImageSet::new(ImageSpec::vm_image(128).with_mutation_ratio(0.05));
+        let _base = set.next_image();
+        let a = set.next_image();
+        let b = set.next_image();
+        assert_ne!(a, b);
+        assert_eq!(set.images(), 3);
+    }
+
+    #[test]
+    fn backup_generations_drift_cumulatively() {
+        let spec = ImageSpec::backup(128);
+        let mut backup = BackupGenerator::new(spec.clone());
+        let g0 = backup.next_generation();
+        let g1 = backup.next_generation();
+        let g2 = backup.next_generation();
+        let budget = ((spec.data_pages() as f64) * spec.mutation_ratio).round() as usize;
+        // Adjacent generations differ by at most one budget; distant ones
+        // drift further (mutations are cumulative, though they can overlap).
+        assert!(shared_pages(&g0, &g1) >= spec.pages - budget);
+        assert!(shared_pages(&g1, &g2) >= spec.pages - budget);
+        assert!(shared_pages(&g0, &g2) <= shared_pages(&g0, &g1));
+        assert_eq!(backup.generations(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut s = VmImageSet::new(ImageSpec::vm_image(64).with_seed(7));
+            (s.next_image(), s.next_image())
+        };
+        assert_eq!(mk(), mk());
+        let mut other = VmImageSet::new(ImageSpec::vm_image(64).with_seed(8));
+        assert_ne!(other.next_image(), mk().0);
+    }
+
+    #[test]
+    fn spec_accounting() {
+        let spec = ImageSpec::backup(64);
+        assert_eq!(spec.bytes(), 64 * 4096);
+        assert_eq!(spec.zero_pages(), 8); // 2 full cycles of 4
+        assert_eq!(spec.data_pages(), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutation_ratio")]
+    fn bad_mutation_ratio_rejected() {
+        let _ = ImageSpec::vm_image(64).with_mutation_ratio(1.5);
+    }
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI smoke for extent-granular dedup: run the `extent` experiment at smoke
+# scale (VM-image clones + a backup stream, extent-promoted vs per-block vs
+# the paper's fixed-ratio workload) and gate on the PR's acceptance bars:
+#
+#   - FACT-entry reduction vs per-block >= 30% at the same dedup ratio
+#     (parity within 0.01 — promotion must never change *what* dedups,
+#     only how many records track it);
+#   - sequential-read fragmentation (device reads per MB) down >= 30%
+#     vs the fixed-ratio paper workload;
+#   - at least one run promoted and at least one all-zero page elided;
+#   - every configuration's audit (fsck + FACT fsck + scrub fixpoint) clean.
+#
+# Usage: scripts/extent_smoke.sh
+# (`make extent-smoke` builds the release binary first)
+
+. "$(dirname "$0")/lib.sh"
+
+OUT=$(run_figures extent)
+echo "$OUT"
+
+summary() { # <key>: the "extent-summary: <key> ..." line
+    echo "$OUT" | grep "^extent-summary: $1 " || true
+}
+field() { # <line> <name>: value of "name=value"
+    echo "$1" | sed -n "s/.*$2=\\([^ ]*\\).*/\\1/p"
+}
+
+FACT=$(summary fact_entries)
+RATIO=$(summary ratio)
+FRAG=$(summary frag)
+COUNTERS=$(summary extent)
+AUDIT=$(summary audit)
+[ -n "$FACT" ] && [ -n "$RATIO" ] && [ -n "$FRAG" ] && [ -n "$COUNTERS" ] && [ -n "$AUDIT" ] \
+    || fail "extent-summary lines missing from figures output"
+
+FACT_RED=$(field "$FACT" reduction_pct)
+awk "BEGIN { exit !($FACT_RED >= 30.0) }" \
+    || fail "FACT-entry reduction $FACT_RED% < 30% vs per-block"
+
+R_PB=$(field "$RATIO" per_block)
+R_EXT=$(field "$RATIO" extent)
+awk "BEGIN { d = $R_EXT - $R_PB; if (d < 0) d = -d; exit !(d <= 0.01) }" \
+    || fail "dedup ratio diverged: per_block=$R_PB extent=$R_EXT"
+
+FRAG_RED=$(field "$FRAG" reduction_pct)
+awk "BEGIN { exit !($FRAG_RED >= 30.0) }" \
+    || fail "read-fragmentation reduction $FRAG_RED% < 30% vs paper workload"
+
+RUNS=$(field "$COUNTERS" promoted_runs)
+HOLES=$(field "$COUNTERS" zero_holes)
+[ "$RUNS" -gt 0 ] || fail "no runs promoted"
+[ "$HOLES" -gt 0 ] || fail "no all-zero pages elided"
+
+if echo "$AUDIT" | grep -oE '(extent|per_block|backup|paper)=[a-z]*' | grep -qv '=true$'; then
+    fail "audit failed in some configuration: $AUDIT"
+fi
+
+echo "extent-smoke OK (FACT -$FACT_RED%, frag -$FRAG_RED%, ratio $R_EXT≈$R_PB, $RUNS runs, $HOLES holes, audits clean)"

@@ -336,8 +336,17 @@ fn run() -> Result<(), String> {
                 "fsck: {} referenced blocks, {} shared, {} log pages",
                 report.referenced_blocks, report.shared_blocks, report.log_pages
             );
-            let clean = report.is_clean();
+            let fact_report = denova_repro::denova::fsck::fsck_fact(fs.nova(), fs.fact())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "fact:  {} per-page records, {} runs covering {} pages",
+                fact_report.per_page_records, fact_report.run_records, fact_report.run_pages
+            );
+            let clean = report.is_clean() && fact_report.is_clean();
             for err in &report.errors {
+                println!("  ERROR: {err:?}");
+            }
+            for err in &fact_report.errors {
                 println!("  ERROR: {err:?}");
             }
             close_fs(fs, &image)?;

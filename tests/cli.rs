@@ -230,3 +230,71 @@ fn cat_streams_file_contents() {
     assert_eq!(out, "hello from denova\n");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Parses the free-block count out of `df` output
+/// ("device: N MB, data area N blocks, N free (x% used)").
+fn df_free_blocks(df: &str) -> u64 {
+    df.split(" free")
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+/// Regression: an all-zero file must consume no data pages at all — every
+/// page is elided into a hole at write time — while still reading back as
+/// zeros. Only the inode's log pages may come out of the data area.
+#[test]
+fn all_zero_put_consumes_no_data_pages() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    let host_in = dir.join("zeros.bin");
+    let host_out = dir.join("zeros.out");
+    let zeros = vec![0u8; 1 << 20]; // 1 MiB = 256 pages of zeros
+    std::fs::write(&host_in, &zeros).unwrap();
+
+    ok(&image, &["mkfs", "--size", "32M"]);
+    let free_before = df_free_blocks(&ok(&image, &["df"]));
+
+    ok(&image, &["put", "z.bin", host_in.to_str().unwrap()]);
+
+    // The file owns zero data pages: all 256 pages became holes.
+    let st = ok(&image, &["stat", "z.bin"]);
+    assert!(st.contains("B, 0 data pages"), "{st}");
+
+    // The device-wide cost is log metadata only, nowhere near 256 pages.
+    let free_after = df_free_blocks(&ok(&image, &["df"]));
+    let consumed = free_before - free_after;
+    assert!(
+        consumed <= 8,
+        "all-zero put consumed {consumed} data blocks"
+    );
+
+    // Holes read back as zeros, byte for byte.
+    ok(&image, &["get", "z.bin", host_out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&host_out).unwrap(), zeros);
+
+    let fsck = ok(&image, &["fsck"]);
+    assert!(fsck.contains("clean"), "{fsck}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The extent-dedup telemetry counters are exported through `stats --json`.
+#[test]
+fn stats_json_exports_extent_counters() {
+    let dir = tmpdir();
+    let image = dir.join("fs.img");
+    ok(&image, &["mkfs", "--size", "16M"]);
+    let json = ok(&image, &["stats", "--json"]);
+    for name in [
+        "denova.extent.promoted_runs",
+        "denova.extent.run_pages",
+        "denova.extent.zero_holes",
+    ] {
+        assert!(json.contains(name), "stats --json missing {name}: {json}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
